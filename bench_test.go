@@ -1,0 +1,431 @@
+// Package healthcloud's root benchmark suite: one testing.B benchmark
+// per DESIGN.md experiment, exercising the measured code path directly
+// (cmd/benchreport runs the full parameterized experiments and prints
+// the EXPERIMENTS.md tables; these benches give ns/op + allocs for the
+// same hot paths).
+package healthcloud_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"healthcloud/internal/analytics"
+	"healthcloud/internal/anonymize"
+	"healthcloud/internal/attest"
+	"healthcloud/internal/audit"
+	"healthcloud/internal/blockchain"
+	"healthcloud/internal/bus"
+	"healthcloud/internal/cloud"
+	"healthcloud/internal/consent"
+	"healthcloud/internal/delt"
+	"healthcloud/internal/emr"
+	"healthcloud/internal/fhir"
+	"healthcloud/internal/gateway"
+	"healthcloud/internal/hccache"
+	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/ingest"
+	"healthcloud/internal/jmf"
+	"healthcloud/internal/kb"
+	"healthcloud/internal/redact"
+	"healthcloud/internal/scan"
+	"healthcloud/internal/store"
+	"healthcloud/internal/tiresias"
+)
+
+// BenchmarkE1CacheVsRemote measures a cached KB read (the remote arm's
+// 40 ms WAN cost is modeled in cmd/benchreport; here the cache path is
+// timed for real).
+func BenchmarkE1CacheVsRemote(b *testing.B) {
+	cfg := kb.DefaultConfig()
+	cfg.Drugs, cfg.Diseases = 100, 50
+	d, err := kb.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	remote := kb.NewRemoteKB(d, 0, kb.WithSleeper(func(time.Duration) {}))
+	tier, _ := hccache.New(256, 0)
+	tc, _ := hccache.NewTiered(remote.Loader(), tier)
+	key := "drug:" + d.DrugIDs[0]
+	if _, err := tc.Get(key); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2MultiLevelCache measures a two-tier read that misses the
+// client tier and hits the server tier.
+func BenchmarkE2MultiLevelCache(b *testing.B) {
+	cfg := kb.DefaultConfig()
+	cfg.Drugs, cfg.Diseases = 100, 50
+	d, err := kb.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	remote := kb.NewRemoteKB(d, 0, kb.WithSleeper(func(time.Duration) {}))
+	client, _ := hccache.New(1, 0) // tiny: forces client misses
+	server, _ := hccache.New(4096, 0)
+	tc, _ := hccache.NewTiered(remote.Loader(), client, server)
+	keys := []string{"drug:" + d.DrugIDs[0], "drug:" + d.DrugIDs[1], "drug:" + d.DrugIDs[2]}
+	for _, k := range keys {
+		tc.Get(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.Get(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3SharedKeyEncrypt / E3PublicKeyEncrypt quantify §IV-B1's
+// shared-key rule per 64 KiB record.
+func BenchmarkE3SharedKeyEncrypt(b *testing.B) {
+	key, _ := hckrypto.NewSymmetricKey()
+	payload := make([]byte, 64<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hckrypto.EncryptGCM(key, payload, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3PublicKeyEncrypt(b *testing.B) {
+	rsaKey, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := rsaKey.Public()
+	payload := make([]byte, 64<<10)
+	chunk := pub.MaxOAEPPayload()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < len(payload); off += chunk {
+			end := off + chunk
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if _, err := pub.EncryptOAEP(payload[off:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE4HMAC / E4Signature compare integrity primitives (§IV-B1).
+func BenchmarkE4HMAC(b *testing.B) {
+	key, _ := hckrypto.NewSymmetricKey()
+	payload := make([]byte, 64<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tag := hckrypto.MAC(key, payload)
+		if !hckrypto.VerifyMAC(key, payload, tag) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkE4Signature(b *testing.B) {
+	key, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig, err := key.Sign(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !key.Public().Verify(payload, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+// BenchmarkE5IngestPipeline measures one full background ingestion
+// (decrypt → validate → scan → consent → de-identify → store).
+func BenchmarkE5IngestPipeline(b *testing.B) {
+	kms, err := hckrypto.NewKMS("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgBus := bus.New()
+	defer msgBus.Close()
+	scanner, _ := scan.NewScanner(scan.DefaultSignatures()...)
+	consents := consent.NewService()
+	p, err := ingest.New(ingest.Deps{
+		Tenant: "bench", KMS: kms,
+		Lake:  store.NewDataLake(kms, "svc-storage"),
+		IDMap: store.NewIdentityMap("svc-reident"),
+		Bus:   msgBus, Scanner: scanner, Consents: consents,
+		Verifier: &anonymize.VerificationService{},
+		Log:      audit.NewLog(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Start(1)
+	defer p.Close()
+	key, _ := p.RegisterClient("c")
+	consents.Grant("p", "g", consent.PurposeResearch, 0)
+	bundle := fhir.NewBundle("collection")
+	bundle.AddResource(&fhir.Patient{ResourceType: "Patient", ID: "p", Gender: "female"})
+	bundle.AddResource(&fhir.Observation{ResourceType: "Observation", Status: "final",
+		Code: fhir.CodeableConcept{Text: "HbA1c"}, ValueQuantity: &fhir.Quantity{Value: 7}})
+	raw, _ := fhir.Marshal(bundle)
+	payload, _ := hckrypto.EncryptGCM(key, raw, []byte("c"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := p.Upload("c", "g", payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st, err := p.WaitForUpload(id, 30*time.Second); err != nil || st.State != ingest.StateStored {
+			b.Fatalf("upload %d: %+v %v", i, st, err)
+		}
+	}
+}
+
+// BenchmarkE6LedgerCommit measures one endorsed, ordered, committed
+// 16-transaction batch on a 3-peer network.
+func BenchmarkE6LedgerCommit(b *testing.B) {
+	net, err := blockchain.NewNetwork("bench", []string{"p0", "p1", "p2"}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txs := make([]blockchain.Transaction, 16)
+		for j := range txs {
+			txs[j] = blockchain.NewTransaction(blockchain.EventDataReceipt, "bench",
+				fmt.Sprintf("h-%d-%d", i, j), nil, nil)
+		}
+		if err := net.SubmitBatch(txs, 30*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7RedactableSign / E7VerifyRedacted measure the leakage-free
+// scheme at 64 fields.
+func BenchmarkE7RedactableSign(b *testing.B) {
+	key, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := make(redact.Record, 64)
+	for i := range rec {
+		rec[i] = redact.Field{Name: fmt.Sprintf("f%d", i), Value: "v"}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := redact.Sign(key, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7VerifyRedacted(b *testing.B) {
+	key, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := make(redact.Record, 64)
+	for i := range rec {
+		rec[i] = redact.Field{Name: fmt.Sprintf("f%d", i), Value: "v"}
+	}
+	sr, err := redact.Sign(key, rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	disclose := make([]int, 0, 32)
+	for i := 0; i < 64; i += 2 {
+		disclose = append(disclose, i)
+	}
+	rr, err := sr.Redact(disclose)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := key.Public()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := redact.VerifyRedacted(pub, rr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8AttestationChain measures the hardware→hypervisor→guest→
+// container chain of Fig 5.
+func BenchmarkE8AttestationChain(b *testing.B) {
+	attSvc := attest.NewService()
+	signer, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	attSvc.ApproveImageSigner(signer.Public())
+	c := cloud.New(attSvc, audit.NewLog())
+	img, _ := cloud.NewImage("os", []byte("os"), signer)
+	c.Registry().Register(img)
+	if _, err := c.ProvisionHost("h", 2); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.LaunchVM("h", "vm", "os"); err != nil {
+		b.Fatal(err)
+	}
+	wl, _ := cloud.NewImage("wl", []byte("wl"), signer)
+	c.Registry().Register(wl)
+	if _, err := c.StartContainer("h", "vm", "ctr", "wl"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.AttestContainer("h", "vm", "ctr"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9JMFFit measures one JMF fit at evaluation scale.
+func BenchmarkE9JMFFit(b *testing.B) {
+	cfg := kb.DefaultConfig()
+	cfg.Drugs, cfg.Diseases = 80, 60
+	d, err := kb.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, _ := d.HoldOut(0.2, 1)
+	var S, T [][][]float64
+	for _, src := range kb.DrugSources {
+		S = append(S, d.DrugSim[src])
+	}
+	for _, src := range kb.DiseaseSources {
+		T = append(T, d.DisSim[src])
+	}
+	jcfg := jmf.DefaultConfig()
+	jcfg.Iterations = 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jmf.Fit(train, S, T, jcfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10DELTFit measures one DELT fit on a 500-patient cohort.
+func BenchmarkE10DELTFit(b *testing.B) {
+	cfg := emr.DefaultConfig()
+	cfg.Patients = 500
+	ds, err := emr.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := delt.Fit(ds, delt.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11KAnonymity measures cohort verification at 10k records.
+func BenchmarkE11KAnonymity(b *testing.B) {
+	table := &anonymize.Table{QuasiIDs: []string{"age", "zip", "sex"}, Sensitive: "dx"}
+	for i := 0; i < 10_000; i++ {
+		table.Rows = append(table.Rows, anonymize.Record{
+			"age": anonymize.GeneralizeAge((i*37)%95, 10),
+			"zip": anonymize.GeneralizeZip(fmt.Sprintf("%03d42", (i*i+3*i)%60), nil),
+			"sex": []string{"F", "M"}[i%2],
+			"dx":  fmt.Sprintf("dx-%d", i%7),
+		})
+	}
+	v := &anonymize.VerificationService{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Verify(table); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE12EdgePredict measures local model execution on the client.
+func BenchmarkE12EdgePredict(b *testing.B) {
+	m := &analytics.LinearModel{Name: "risk", Bias: 6,
+		Weights: map[string]float64{"metformin": -1.2, "steroid": 0.4, "age": 0.05}}
+	features := map[string]float64{"metformin": 1, "age": 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(features)
+	}
+}
+
+// BenchmarkE13ShipWorkload measures the gateway's full trusted-transfer
+// path (register, start, remote-attest) with a no-op WAN.
+func BenchmarkE13ShipWorkload(b *testing.B) {
+	attSvc := attest.NewService()
+	signer, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	attSvc.ApproveImageSigner(signer.Public())
+	dst := cloud.New(attSvc, audit.NewLog())
+	osImg, _ := cloud.NewImage("os", []byte("os"), signer)
+	dst.Registry().Register(osImg)
+	if _, err := dst.ProvisionHost("h", 2); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := dst.LaunchVM("h", "vm", "os"); err != nil {
+		b.Fatal(err)
+	}
+	gw, err := gateway.New(gateway.Link{Latency: time.Millisecond, BandwidthMBps: 100},
+		gateway.WithSleeper(func(time.Duration) {}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, _ := cloud.NewImage("wl", make([]byte, 1<<20), signer)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gw.ShipWorkload(dst, "h", "vm", fmt.Sprintf("wl-%d", i), img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE14TiresiasScore measures scoring one candidate drug pair.
+func BenchmarkE14TiresiasScore(b *testing.B) {
+	cfg := kb.DefaultConfig()
+	cfg.Drugs, cfg.Diseases = 100, 20
+	d, err := kb.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := d.GenerateInteractions(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, _ := tiresias.HoldOutPairs(full, 0.2)
+	var sims [][][]float64
+	for _, src := range kb.DrugSources {
+		sims = append(sims, d.DrugSim[src])
+	}
+	m, err := tiresias.New(train, sims, tiresias.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Score(i%50, 50+i%50)
+	}
+}

@@ -1,0 +1,69 @@
+// Command benchreport runs the full reproduction harness (experiments
+// E1–E14 from DESIGN.md) and prints each experiment's measurements and
+// shape verdict — the data behind EXPERIMENTS.md.
+//
+//	go run ./cmd/benchreport            # all experiments
+//	go run ./cmd/benchreport -only E9   # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"healthcloud/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (e.g. E9 or A1)")
+	ablations := flag.Bool("ablations", false, "also run the design-choice ablations A1-A3")
+	flag.Parse()
+
+	runners := map[string]func() (*experiments.Result, error){
+		"E1": experiments.E1CacheVsRemote, "E2": experiments.E2MultiLevelCache,
+		"E3": experiments.E3SharedVsPublicKey, "E4": experiments.E4HMACVsSignature,
+		"E5": experiments.E5IngestPipeline, "E6": experiments.E6LedgerCommit,
+		"E7": experiments.E7RedactableSignatures, "E8": experiments.E8AttestationChain,
+		"E9": experiments.E9JMFAccuracy, "E10": experiments.E10DELTRecovery,
+		"E11": experiments.E11KAnonymity, "E12": experiments.E12EdgeVsServer,
+		"E13": experiments.E13ComputeToData, "E14": experiments.E14TiresiasDDI,
+		"A1": experiments.A1JMFSourceAblation, "A2": experiments.A2EndorsementPolicy,
+		"A3": experiments.A3CacheTierAblation,
+	}
+
+	if *only != "" {
+		f, ok := runners[*only]
+		if !ok {
+			log.Fatalf("unknown experiment %q (E1..E14)", *only)
+		}
+		report(*only, f)
+		return
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	if *ablations {
+		order = append(order, "A1", "A2", "A3")
+	}
+	failures := 0
+	for _, id := range order {
+		if !report(id, runners[id]) {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failures)
+		os.Exit(1)
+	}
+}
+
+func report(id string, f func() (*experiments.Result, error)) bool {
+	start := time.Now()
+	r, err := f()
+	if err != nil {
+		fmt.Printf("%s: ERROR: %v\n\n", id, err)
+		return false
+	}
+	fmt.Printf("%s  (%.1fs)\n\n", r.String(), time.Since(start).Seconds())
+	return true
+}

@@ -1,0 +1,152 @@
+// Command ingestctl is the client-side CLI for a running healthcloud
+// instance: it logs in with a federated token, registers a device,
+// encrypts a FHIR bundle under the issued shared key, uploads it, and
+// polls the status URL until ingestion completes.
+//
+//	ingestctl -server http://127.0.0.1:8080 -token token.json \
+//	          -bundle bundle.json -client device-1 -group study-1
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"healthcloud/internal/fhir"
+	"healthcloud/internal/hckrypto"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	server := flag.String("server", "http://127.0.0.1:8080", "healthcloud base URL")
+	tokenPath := flag.String("token", "", "path to a federated identity token JSON (from cmd/healthcloud output)")
+	bundlePath := flag.String("bundle", "", "path to a FHIR bundle JSON")
+	clientID := flag.String("client", "device-1", "client/device identifier")
+	group := flag.String("group", "study-1", "study group the data is consented to")
+	flag.Parse()
+	if *tokenPath == "" || *bundlePath == "" {
+		flag.Usage()
+		return fmt.Errorf("-token and -bundle are required")
+	}
+
+	// 1. Login.
+	tokenBody, err := os.ReadFile(*tokenPath)
+	if err != nil {
+		return err
+	}
+	var login struct {
+		Token string `json:"token"`
+		User  string `json:"user"`
+	}
+	if err := postJSON(*server+"/api/v1/login", "", tokenBody, &login); err != nil {
+		return fmt.Errorf("login: %w", err)
+	}
+	fmt.Printf("logged in as %s\n", login.User)
+
+	// 2. Register the device, receiving the shared upload key.
+	var reg struct {
+		Key string `json:"key"`
+	}
+	regBody, _ := json.Marshal(map[string]string{"client_id": *clientID})
+	if err := postJSON(*server+"/api/v1/clients", login.Token, regBody, &reg); err != nil {
+		return fmt.Errorf("register client: %w", err)
+	}
+	key, err := base64.StdEncoding.DecodeString(reg.Key)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("device %s registered (key %s…)\n", *clientID, reg.Key[:12])
+
+	// 3. Validate and encrypt the bundle locally.
+	raw, err := os.ReadFile(*bundlePath)
+	if err != nil {
+		return err
+	}
+	if _, err := fhir.ParseBundle(raw); err != nil {
+		return fmt.Errorf("bundle invalid before upload: %w", err)
+	}
+	encrypted, err := hckrypto.EncryptGCM(key, raw, []byte(*clientID))
+	if err != nil {
+		return err
+	}
+
+	// 4. Upload and poll the status URL.
+	var up struct {
+		UploadID  string `json:"upload_id"`
+		StatusURL string `json:"status_url"`
+	}
+	url := fmt.Sprintf("%s/api/v1/uploads?client=%s&group=%s", *server, *clientID, *group)
+	if err := postJSON(url, login.Token, encrypted, &up); err != nil {
+		return fmt.Errorf("upload: %w", err)
+	}
+	fmt.Printf("uploaded: %s (status %s)\n", up.UploadID, up.StatusURL)
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var st struct {
+			State string `json:"state"`
+			RefID string `json:"ref_id"`
+			Error string `json:"error"`
+		}
+		if err := getJSON(*server+up.StatusURL, login.Token, &st); err != nil {
+			return err
+		}
+		fmt.Printf("  state=%s\n", st.State)
+		if st.State == "stored" {
+			fmt.Printf("done: reference id %s\n", st.RefID)
+			return nil
+		}
+		if st.State == "failed" {
+			return fmt.Errorf("ingestion failed: %s", st.Error)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return fmt.Errorf("timed out waiting for ingestion")
+}
+
+func postJSON(url, bearer string, body []byte, out any) error {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if bearer != "" {
+		req.Header.Set("Authorization", "Bearer "+bearer)
+	}
+	return doJSON(req, out)
+}
+
+func getJSON(url, bearer string, out any) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+bearer)
+	return doJSON(req, out)
+}
+
+func doJSON(req *http.Request, out any) error {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	return json.Unmarshal(data, out)
+}

@@ -1,0 +1,99 @@
+// Drug repositioning (§V-A, Fig 9): run Joint Matrix Factorization over
+// the synthetic knowledge bases (PubChem/DrugBank/SIDER-style drug
+// views, phenotype/ontology/gene disease views), compare it against the
+// Guilt-by-Association and single-source MF baselines on held-out
+// associations, and print repositioning hypotheses with learned source
+// weights.
+//
+//	go run ./examples/drugrepositioning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"healthcloud/internal/jmf"
+	"healthcloud/internal/kb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("=== Drug repositioning with JMF (§V-A) ===")
+	dataset, err := kb.Generate(kb.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("knowledge base: %d drugs × %d diseases, %d drug views, %d disease views\n",
+		len(dataset.DrugIDs), len(dataset.DisIDs), len(kb.DrugSources), len(kb.DiseaseSources))
+
+	train, held := dataset.HoldOut(0.2, 1)
+	fmt.Printf("held out %d known associations for evaluation\n\n", len(held))
+
+	var drugSims, disSims [][][]float64
+	for _, src := range kb.DrugSources {
+		drugSims = append(drugSims, dataset.DrugSim[src])
+	}
+	for _, src := range kb.DiseaseSources {
+		disSims = append(disSims, dataset.DisSim[src])
+	}
+
+	model, err := jmf.Fit(train, drugSims, disSims, jmf.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	jmfAUC := jmf.AUC(jmf.ScoresOf(model), dataset.Assoc, train, held)
+
+	gba, err := jmf.GBA(train, dataset.DrugSim[kb.DrugChemical])
+	if err != nil {
+		return err
+	}
+	gbaAUC := jmf.AUC(gba, dataset.Assoc, train, held)
+
+	mf, err := jmf.SingleSourceMF(train, jmf.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	mfAUC := jmf.AUC(jmf.ScoresOf(mf), dataset.Assoc, train, held)
+
+	fmt.Println("method comparison (AUC on held-out drug-disease associations):")
+	fmt.Printf("  %-22s %.3f\n", "JMF (this paper)", jmfAUC)
+	fmt.Printf("  %-22s %.3f\n", "Guilt-by-Association", gbaAUC)
+	fmt.Printf("  %-22s %.3f\n\n", "single-source MF", mfAUC)
+
+	fmt.Println("learned source importances (interpretable weights):")
+	for i, src := range kb.DrugSources {
+		fmt.Printf("  drug/%-12s %.3f\n", src, model.DrugWeights[i])
+	}
+	for i, src := range kb.DiseaseSources {
+		fmt.Printf("  disease/%-9s %.3f\n", src, model.DiseaseWeight[i])
+	}
+
+	fmt.Println("\nrepositioning hypotheses (top new indications per drug):")
+	for _, drug := range []int{0, 1, 2} {
+		top := model.TopDiseases(drug, train, 3)
+		fmt.Printf("  %s →", dataset.DrugIDs[drug])
+		for _, j := range top {
+			verified := ""
+			if dataset.Assoc[drug][j] > 0 {
+				verified = "*" // held-out truth: the hypothesis is correct
+			}
+			fmt.Printf(" %s%s", dataset.DisIDs[j], verified)
+		}
+		fmt.Println()
+	}
+	fmt.Println("  (* = hypothesis confirmed by a held-out ground-truth association)")
+
+	groups := model.DrugGroups()
+	counts := map[int]int{}
+	for _, g := range groups {
+		counts[g]++
+	}
+	fmt.Printf("\nby-product drug groups: %d clusters over %d drugs\n", len(counts), len(groups))
+	fmt.Println("=== done ===")
+	return nil
+}

@@ -1,0 +1,68 @@
+// Real-World-Evidence analytics (§V-B, Figs 10–11): generate a synthetic
+// EMR cohort (the Explorys/MarketScan stand-in), fit the DELT model to
+// recover planted drug effects on HbA1c, and show how the marginal SCCS
+// baseline is fooled by co-medication confounding while DELT is not.
+//
+//	go run ./examples/rwe
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"healthcloud/internal/delt"
+	"healthcloud/internal/emr"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("=== Drug-effect signal detection from RWE with DELT (§V-B) ===")
+	cohort, err := emr.Generate(emr.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cohort: %d patients, %d drugs, %d lab measurements\n\n",
+		len(cohort.Patients), cohort.Cfg.Drugs, cohort.TotalVisits())
+
+	model, err := delt.Fit(cohort, delt.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	marginal := delt.MarginalSCCS(cohort)
+
+	fmt.Println("effect estimates for drugs with planted effects:")
+	fmt.Printf("  %-8s %8s %8s %10s\n", "drug", "true β", "DELT", "marginal")
+	var effectDrugs []int
+	for d := range cohort.Cfg.TrueEffects {
+		effectDrugs = append(effectDrugs, d)
+	}
+	sort.Ints(effectDrugs)
+	for _, d := range effectDrugs {
+		fmt.Printf("  drug-%02d  %8.2f %8.2f %10.2f\n", d, cohort.TrueBeta[d], model.Beta[d], marginal[d])
+	}
+
+	fmt.Println("\nco-medication decoys (true β = 0; marginal analysis is fooled):")
+	for _, pair := range cohort.Cfg.ConfoundPairs {
+		decoy := pair[0]
+		fmt.Printf("  drug-%02d  %8.2f %8.2f %10.2f   (rides along with drug-%02d)\n",
+			decoy, cohort.TrueBeta[decoy], model.Beta[decoy], marginal[decoy], pair[1])
+	}
+
+	deltRMSE, _ := delt.RMSE(model.Beta, cohort.TrueBeta)
+	margRMSE, _ := delt.RMSE(marginal, cohort.TrueBeta)
+	fmt.Printf("\noverall effect-vector RMSE: DELT=%.3f  marginal=%.3f (%.1fx worse)\n",
+		deltRMSE, margRMSE, margRMSE/deltRMSE)
+
+	fmt.Println("\nblood-sugar-lowering repositioning candidates (β ≤ -0.2):")
+	for _, d := range model.LoweringCandidates(0.2) {
+		fmt.Printf("  drug-%02d (β̂=%.2f)\n", d, model.Beta[d])
+	}
+	fmt.Println("=== done ===")
+	return nil
+}

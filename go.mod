@@ -1,0 +1,3 @@
+module healthcloud
+
+go 1.22

@@ -1,0 +1,254 @@
+// Package analytics implements the Analytics Platform of §II-B/§III-A:
+// "The Analytics platform supports various lifecycle stages of analytics
+// models, namely i) data cleaning, ii) initial model generation iii)
+// model testing iv) model deployment and v) model update." Models move
+// through an audited state machine; only approved-and-deployed versions
+// may be pushed to enhanced clients ("Customized client services could
+// also take approved and compliant models and push them to enhanced
+// clients", §II-C). The portable model payload is a linear scorer —
+// enough to ship DELT effect vectors or JMF factor rows to the edge.
+package analytics
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"healthcloud/internal/audit"
+)
+
+// Stage is a model version's lifecycle position.
+type Stage string
+
+// Lifecycle stages, in order.
+const (
+	StageDraft    Stage = "draft"    // created from cleaned data
+	StageTrained  Stage = "trained"  // initial model generation done
+	StageTested   Stage = "tested"   // evaluation metrics recorded
+	StageApproved Stage = "approved" // compliance sign-off
+	StageDeployed Stage = "deployed" // live on the platform
+	StageRetired  Stage = "retired"
+)
+
+// Errors returned by this package.
+var (
+	ErrNoSuchModel   = errors.New("analytics: no such model/version")
+	ErrBadTransition = errors.New("analytics: invalid stage transition")
+	ErrNotApproved   = errors.New("analytics: model not approved for distribution")
+	ErrTestFailed    = errors.New("analytics: model failed testing threshold")
+)
+
+// Version is one immutable model version.
+type Version struct {
+	Name     string
+	Number   int
+	Stage    Stage
+	Payload  []byte // serialized model (e.g. LinearModel JSON)
+	Metrics  map[string]float64
+	Approver string
+}
+
+// Platform is the model registry + lifecycle manager.
+type Platform struct {
+	log *audit.Log
+
+	mu     sync.RWMutex
+	models map[string][]*Version
+}
+
+// NewPlatform creates an empty analytics platform.
+func NewPlatform(log *audit.Log) *Platform {
+	return &Platform{log: log, models: make(map[string][]*Version)}
+}
+
+// Create registers version 1 of a model in draft state (post data
+// cleaning).
+func (p *Platform) Create(name string, payload []byte) *Version {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v := &Version{Name: name, Number: len(p.models[name]) + 1, Stage: StageDraft,
+		Payload: append([]byte(nil), payload...)}
+	p.models[name] = append(p.models[name], v)
+	p.log.Record(audit.Event{Level: audit.LevelInfo, Service: "analytics",
+		Action: "model-create", Resource: fmt.Sprintf("%s:v%d", name, v.Number)})
+	return &Version{Name: v.Name, Number: v.Number, Stage: v.Stage}
+}
+
+// Update creates the next version from new training data ("model
+// update"), starting again at draft.
+func (p *Platform) Update(name string, payload []byte) (*Version, error) {
+	p.mu.RLock()
+	existing := len(p.models[name])
+	p.mu.RUnlock()
+	if existing == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchModel, name)
+	}
+	v := p.Create(name, payload)
+	return v, nil
+}
+
+func (p *Platform) version(name string, number int) (*Version, error) {
+	versions := p.models[name]
+	if number < 1 || number > len(versions) {
+		return nil, fmt.Errorf("%w: %s:v%d", ErrNoSuchModel, name, number)
+	}
+	return versions[number-1], nil
+}
+
+// advance moves a version along the state machine.
+func (p *Platform) advance(name string, number int, from, to Stage, mutate func(*Version)) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, err := p.version(name, number)
+	if err != nil {
+		return err
+	}
+	if v.Stage != from {
+		return fmt.Errorf("%w: %s -> %s (version is %s)", ErrBadTransition, from, to, v.Stage)
+	}
+	if mutate != nil {
+		mutate(v)
+	}
+	v.Stage = to
+	p.log.Record(audit.Event{Level: audit.LevelInfo, Service: "analytics",
+		Action: "model-" + string(to), Resource: fmt.Sprintf("%s:v%d", name, number)})
+	return nil
+}
+
+// MarkTrained records that training completed, replacing the payload
+// with the trained parameters.
+func (p *Platform) MarkTrained(name string, number int, payload []byte) error {
+	return p.advance(name, number, StageDraft, StageTrained, func(v *Version) {
+		v.Payload = append([]byte(nil), payload...)
+	})
+}
+
+// RecordTest stores evaluation metrics; the version passes to tested
+// only if metric[gate] >= threshold (model testing).
+func (p *Platform) RecordTest(name string, number int, metrics map[string]float64, gate string, threshold float64) error {
+	if v, ok := metrics[gate]; !ok || v < threshold {
+		p.log.Record(audit.Event{Level: audit.LevelWarn, Service: "analytics",
+			Action: "model-test-failed", Resource: fmt.Sprintf("%s:v%d", name, number),
+			Detail: fmt.Sprintf("%s=%f < %f", gate, metrics[gate], threshold)})
+		return fmt.Errorf("%w: %s=%f < %f", ErrTestFailed, gate, metrics[gate], threshold)
+	}
+	return p.advance(name, number, StageTrained, StageTested, func(v *Version) {
+		v.Metrics = make(map[string]float64, len(metrics))
+		for k, val := range metrics {
+			v.Metrics[k] = val
+		}
+	})
+}
+
+// Approve records compliance sign-off.
+func (p *Platform) Approve(name string, number int, approver string) error {
+	return p.advance(name, number, StageTested, StageApproved, func(v *Version) {
+		v.Approver = approver
+	})
+}
+
+// Deploy makes an approved version live, retiring any previously
+// deployed version of the same model.
+func (p *Platform) Deploy(name string, number int) error {
+	p.mu.Lock()
+	for _, v := range p.models[name] {
+		if v.Stage == StageDeployed {
+			v.Stage = StageRetired
+		}
+	}
+	p.mu.Unlock()
+	return p.advance(name, number, StageApproved, StageDeployed, nil)
+}
+
+// Retire takes a deployed version out of service.
+func (p *Platform) Retire(name string, number int) error {
+	return p.advance(name, number, StageDeployed, StageRetired, nil)
+}
+
+// Get returns a copy of a version.
+func (p *Platform) Get(name string, number int) (Version, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	v, err := p.version(name, number)
+	if err != nil {
+		return Version{}, err
+	}
+	out := *v
+	out.Payload = append([]byte(nil), v.Payload...)
+	return out, nil
+}
+
+// Deployed returns the live version of a model.
+func (p *Platform) Deployed(name string) (Version, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, v := range p.models[name] {
+		if v.Stage == StageDeployed {
+			out := *v
+			out.Payload = append([]byte(nil), v.Payload...)
+			return out, nil
+		}
+	}
+	return Version{}, fmt.Errorf("%w: no deployed version of %s", ErrNoSuchModel, name)
+}
+
+// PushPayload returns the payload of the deployed version for
+// distribution to an enhanced client. Only deployed (hence approved)
+// models leave the platform.
+func (p *Platform) PushPayload(name string) ([]byte, error) {
+	v, err := p.Deployed(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotApproved, err)
+	}
+	return v.Payload, nil
+}
+
+// Models lists registered model names, sorted.
+func (p *Platform) Models() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.models))
+	for name := range p.models {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LinearModel is the portable model format pushed to enhanced clients:
+// score = Bias + Σ Weights[f]·x[f]. DELT effect vectors and risk scores
+// serialize into it directly.
+type LinearModel struct {
+	Name    string             `json:"name"`
+	Bias    float64            `json:"bias"`
+	Weights map[string]float64 `json:"weights"`
+}
+
+// Predict scores a feature map (missing features contribute zero).
+func (m *LinearModel) Predict(features map[string]float64) float64 {
+	y := m.Bias
+	for f, w := range m.Weights {
+		y += w * features[f]
+	}
+	return y
+}
+
+// Marshal serializes the model for registry storage / client push.
+func (m *LinearModel) Marshal() ([]byte, error) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("analytics: marshal model: %w", err)
+	}
+	return data, nil
+}
+
+// ParseLinearModel decodes a pushed payload.
+func ParseLinearModel(data []byte) (*LinearModel, error) {
+	var m LinearModel
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("analytics: parse model: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,211 @@
+package analytics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"healthcloud/internal/audit"
+)
+
+func newPlatform() *Platform { return NewPlatform(audit.NewLog()) }
+
+// runLifecycle drives a model to deployed and returns the platform.
+func runLifecycle(t *testing.T) *Platform {
+	t.Helper()
+	p := newPlatform()
+	v := p.Create("delt-hba1c", []byte("raw"))
+	if v.Number != 1 || v.Stage != StageDraft {
+		t.Fatalf("created = %+v", v)
+	}
+	if err := p.MarkTrained("delt-hba1c", 1, []byte(`{"weights":{}}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RecordTest("delt-hba1c", 1, map[string]float64{"rmse_inv": 0.9}, "rmse_inv", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Approve("delt-hba1c", 1, "compliance-officer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Deploy("delt-hba1c", 1); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFullLifecycle(t *testing.T) {
+	p := runLifecycle(t)
+	v, err := p.Deployed("delt-hba1c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Stage != StageDeployed || v.Approver != "compliance-officer" {
+		t.Errorf("deployed = %+v", v)
+	}
+	if v.Metrics["rmse_inv"] != 0.9 {
+		t.Errorf("metrics = %v", v.Metrics)
+	}
+}
+
+func TestTransitionsEnforced(t *testing.T) {
+	p := newPlatform()
+	p.Create("m", []byte("x"))
+	// Cannot skip stages.
+	if err := p.Approve("m", 1, "a"); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("approve from draft: %v", err)
+	}
+	if err := p.Deploy("m", 1); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("deploy from draft: %v", err)
+	}
+	if err := p.RecordTest("m", 1, map[string]float64{"auc": 1}, "auc", 0.5); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("test from draft: %v", err)
+	}
+	if err := p.Retire("m", 1); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("retire from draft: %v", err)
+	}
+}
+
+func TestTestGate(t *testing.T) {
+	p := newPlatform()
+	p.Create("m", nil)
+	if err := p.MarkTrained("m", 1, []byte("params")); err != nil {
+		t.Fatal(err)
+	}
+	err := p.RecordTest("m", 1, map[string]float64{"auc": 0.55}, "auc", 0.7)
+	if !errors.Is(err, ErrTestFailed) {
+		t.Fatalf("under-threshold test: %v", err)
+	}
+	// Version stays trained; a better test run passes.
+	if err := p.RecordTest("m", 1, map[string]float64{"auc": 0.8}, "auc", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	// Missing gate metric fails.
+	p.Create("m2", nil)
+	p.MarkTrained("m2", 1, nil)
+	if err := p.RecordTest("m2", 1, map[string]float64{"other": 1}, "auc", 0.1); !errors.Is(err, ErrTestFailed) {
+		t.Errorf("missing gate metric: %v", err)
+	}
+}
+
+func TestUnknownModelAndVersion(t *testing.T) {
+	p := newPlatform()
+	if _, err := p.Get("ghost", 1); !errors.Is(err, ErrNoSuchModel) {
+		t.Errorf("Get: %v", err)
+	}
+	if err := p.MarkTrained("ghost", 1, nil); !errors.Is(err, ErrNoSuchModel) {
+		t.Errorf("MarkTrained: %v", err)
+	}
+	if _, err := p.Update("ghost", nil); !errors.Is(err, ErrNoSuchModel) {
+		t.Errorf("Update: %v", err)
+	}
+	p.Create("m", nil)
+	if _, err := p.Get("m", 2); !errors.Is(err, ErrNoSuchModel) {
+		t.Errorf("Get v2: %v", err)
+	}
+	if _, err := p.Get("m", 0); !errors.Is(err, ErrNoSuchModel) {
+		t.Errorf("Get v0: %v", err)
+	}
+}
+
+func TestUpdateCreatesNextVersionAndDeployRetiresOld(t *testing.T) {
+	p := runLifecycle(t)
+	v2, err := p.Update("delt-hba1c", []byte("new data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Number != 2 || v2.Stage != StageDraft {
+		t.Fatalf("v2 = %+v", v2)
+	}
+	if err := p.MarkTrained("delt-hba1c", 2, []byte("params2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RecordTest("delt-hba1c", 2, map[string]float64{"rmse_inv": 0.95}, "rmse_inv", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Approve("delt-hba1c", 2, "compliance-officer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Deploy("delt-hba1c", 2); err != nil {
+		t.Fatal(err)
+	}
+	// v1 retired, v2 live.
+	v1, _ := p.Get("delt-hba1c", 1)
+	if v1.Stage != StageRetired {
+		t.Errorf("v1 stage = %s", v1.Stage)
+	}
+	live, _ := p.Deployed("delt-hba1c")
+	if live.Number != 2 {
+		t.Errorf("live version = %d", live.Number)
+	}
+}
+
+func TestPushPayloadOnlyDeployed(t *testing.T) {
+	p := newPlatform()
+	p.Create("m", []byte("draft-payload"))
+	if _, err := p.PushPayload("m"); !errors.Is(err, ErrNotApproved) {
+		t.Errorf("push draft: %v", err)
+	}
+	p2 := runLifecycle(t)
+	payload, err := p2.PushPayload("delt-hba1c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != `{"weights":{}}` {
+		t.Errorf("payload = %q", payload)
+	}
+}
+
+func TestRetire(t *testing.T) {
+	p := runLifecycle(t)
+	if err := p.Retire("delt-hba1c", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Deployed("delt-hba1c"); !errors.Is(err, ErrNoSuchModel) {
+		t.Errorf("Deployed after retire: %v", err)
+	}
+}
+
+func TestModelsListing(t *testing.T) {
+	p := newPlatform()
+	p.Create("zeta", nil)
+	p.Create("alpha", nil)
+	got := p.Models()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Errorf("Models = %v", got)
+	}
+}
+
+func TestLinearModelRoundTrip(t *testing.T) {
+	m := &LinearModel{Name: "hba1c-risk", Bias: 6.0,
+		Weights: map[string]float64{"metformin": -1.2, "steroid": 0.4}}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ParseLinearModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m2.Predict(map[string]float64{"metformin": 1})
+	if math.Abs(got-4.8) > 1e-9 {
+		t.Errorf("Predict = %f, want 4.8", got)
+	}
+	// Missing features contribute zero.
+	if m2.Predict(nil) != 6.0 {
+		t.Errorf("empty features = %f", m2.Predict(nil))
+	}
+	if _, err := ParseLinearModel([]byte("{bad")); err == nil {
+		t.Error("malformed payload accepted")
+	}
+}
+
+func TestVersionPayloadIsolated(t *testing.T) {
+	p := newPlatform()
+	p.Create("m", []byte("original"))
+	v, _ := p.Get("m", 1)
+	v.Payload[0] = 'X'
+	v2, _ := p.Get("m", 1)
+	if string(v2.Payload) != "original" {
+		t.Error("payload aliasing between Get calls")
+	}
+}

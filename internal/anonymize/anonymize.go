@@ -1,0 +1,263 @@
+// Package anonymize implements the platform's privacy machinery (§IV-C):
+// HIPAA Safe-Harbor de-identification of FHIR resources, generalization
+// of quasi-identifiers, k-anonymity and l-diversity measurement, and the
+// "anonymization verification service" that scores "the degree of
+// anonymization of the receiving data". Per the paper the degree has two
+// parts — "one independent of other data objects and another that is
+// determined holistically with respect to other data objects" — which map
+// to the per-record identifier scan and the cohort k-anonymity check.
+package anonymize
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"healthcloud/internal/fhir"
+)
+
+// Record is one row of tabular (quasi-identifier) data.
+type Record map[string]string
+
+// Table is a cohort of records sharing a schema, with declared
+// quasi-identifier columns and one sensitive column.
+type Table struct {
+	QuasiIDs  []string
+	Sensitive string
+	Rows      []Record
+}
+
+// ErrNotAnonymized is returned when verification fails.
+var ErrNotAnonymized = errors.New("anonymize: record not sufficiently anonymized")
+
+// Direct-identifier detectors (per-record, data-object-independent part
+// of the privacy degree). Intentionally conservative: false positives
+// cost a manual review, false negatives cost a breach.
+var (
+	emailRe = regexp.MustCompile(`[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}`)
+	phoneRe = regexp.MustCompile(`(\+?1[-. ]?)?(\(\d{3}\)\s?|\b\d{3}[-. ])\d{3}[-. ]\d{4}\b`)
+	ssnRe   = regexp.MustCompile(`\b\d{3}-\d{2}-\d{4}\b`)
+	mrnRe   = regexp.MustCompile(`\bMRN[-:]?\s*\d+\b`)
+	dateRe  = regexp.MustCompile(`\b\d{4}-\d{2}-\d{2}\b`) // full dates are PHI under Safe Harbor
+)
+
+// ScanIdentifiers returns the direct identifiers found in free text —
+// the per-record privacy check.
+func ScanIdentifiers(text string) []string {
+	var found []string
+	for _, probe := range []struct {
+		name string
+		re   *regexp.Regexp
+	}{
+		{"email", emailRe}, {"phone", phoneRe}, {"ssn", ssnRe},
+		{"mrn", mrnRe}, {"full-date", dateRe},
+	} {
+		if probe.re.MatchString(text) {
+			found = append(found, probe.name)
+		}
+	}
+	return found
+}
+
+// GeneralizeZip truncates a ZIP code to its 3-digit prefix, the Safe
+// Harbor rule for geographic subdivisions. Prefixes covering under
+// 20,000 people must become "000"; callers pass smallZones for those.
+func GeneralizeZip(zip string, smallZones map[string]bool) string {
+	if len(zip) < 3 {
+		return "000"
+	}
+	prefix := zip[:3]
+	if smallZones[prefix] {
+		return "000"
+	}
+	return prefix + "00"
+}
+
+// GeneralizeAge buckets an age into a width-sized band ("40-49").
+// Ages of 90 and over collapse into "90+" per Safe Harbor.
+func GeneralizeAge(age, width int) string {
+	if age >= 90 {
+		return "90+"
+	}
+	if width <= 0 {
+		width = 10
+	}
+	lo := (age / width) * width
+	return fmt.Sprintf("%d-%d", lo, lo+width-1)
+}
+
+// GeneralizeBirthDate reduces a YYYY-MM-DD birth date to its year, the
+// Safe Harbor treatment of dates.
+func GeneralizeBirthDate(birthDate string) string {
+	if len(birthDate) >= 4 {
+		if _, err := strconv.Atoi(birthDate[:4]); err == nil {
+			return birthDate[:4]
+		}
+	}
+	return ""
+}
+
+// DeidentifyPatient applies Safe Harbor to a FHIR Patient: names,
+// telecoms, and business identifiers are removed; the birth date is
+// generalized to a year; addresses keep only state and a generalized
+// ZIP prefix. The input is not modified.
+func DeidentifyPatient(p *fhir.Patient, smallZones map[string]bool) *fhir.Patient {
+	// Name, Telecom, and Identifier are omitted entirely; BirthDate is
+	// dropped from the resource (Safe Harbor forbids full dates) and the
+	// generalized year is available separately via BirthYear.
+	out := &fhir.Patient{
+		ResourceType: "Patient",
+		ID:           p.ID, // caller replaces with a reference-id
+		Gender:       p.Gender,
+	}
+	for _, a := range p.Address {
+		out.Address = append(out.Address, fhir.Address{
+			State:      a.State,
+			PostalCode: GeneralizeZip(a.PostalCode, smallZones),
+		})
+	}
+	return out
+}
+
+// BirthYear extracts the generalized birth year for analytics tables.
+func BirthYear(p *fhir.Patient) string { return GeneralizeBirthDate(p.BirthDate) }
+
+// equivalenceClasses groups rows by their quasi-identifier signature.
+func (t *Table) equivalenceClasses() map[string][]Record {
+	classes := make(map[string][]Record)
+	for _, row := range t.Rows {
+		var sb strings.Builder
+		for _, q := range t.QuasiIDs {
+			sb.WriteString(row[q])
+			sb.WriteByte('\x1f')
+		}
+		key := sb.String()
+		classes[key] = append(classes[key], row)
+	}
+	return classes
+}
+
+// KAnonymity returns the k of the table: the size of its smallest
+// equivalence class over the quasi-identifiers. An empty table has k=0.
+func (t *Table) KAnonymity() int {
+	classes := t.equivalenceClasses()
+	if len(classes) == 0 {
+		return 0
+	}
+	k := int(^uint(0) >> 1)
+	for _, rows := range classes {
+		if len(rows) < k {
+			k = len(rows)
+		}
+	}
+	return k
+}
+
+// LDiversity returns the l of the table: the minimum number of distinct
+// sensitive values within any equivalence class. k-anonymity without
+// l-diversity still leaks when a class is homogeneous in the sensitive
+// attribute.
+func (t *Table) LDiversity() int {
+	if t.Sensitive == "" {
+		return 0
+	}
+	classes := t.equivalenceClasses()
+	if len(classes) == 0 {
+		return 0
+	}
+	l := int(^uint(0) >> 1)
+	for _, rows := range classes {
+		distinct := make(map[string]bool)
+		for _, r := range rows {
+			distinct[r[t.Sensitive]] = true
+		}
+		if len(distinct) < l {
+			l = len(distinct)
+		}
+	}
+	return l
+}
+
+// Suppress removes every row in equivalence classes smaller than k,
+// returning the suppressed table and the number of rows dropped. This is
+// the standard repair when generalization alone cannot reach k.
+func (t *Table) Suppress(k int) (*Table, int) {
+	classes := t.equivalenceClasses()
+	out := &Table{QuasiIDs: t.QuasiIDs, Sensitive: t.Sensitive}
+	dropped := 0
+	// Iterate rows in original order to keep the result deterministic.
+	keep := make(map[string]bool, len(classes))
+	for key, rows := range classes {
+		if len(rows) >= k {
+			keep[key] = true
+		}
+	}
+	for _, row := range t.Rows {
+		var sb strings.Builder
+		for _, q := range t.QuasiIDs {
+			sb.WriteString(row[q])
+			sb.WriteByte('\x1f')
+		}
+		if keep[sb.String()] {
+			out.Rows = append(out.Rows, row)
+		} else {
+			dropped++
+		}
+	}
+	return out, dropped
+}
+
+// Report is the verification service's assessment of a submission.
+type Report struct {
+	PerRecordFindings map[int][]string // row index -> identifiers found
+	K                 int
+	L                 int
+	Passed            bool
+	Reason            string
+}
+
+// VerificationService is the anonymization verification service of
+// §IV-B1/§IV-C: it decides whether "a claimed anonymized record is ...
+// properly anonymized"; failing records "are dropped, and a response is
+// sent back to the sender", with the outcome recorded on the privacy
+// blockchain network by the caller.
+type VerificationService struct {
+	RequiredK int
+	RequiredL int
+}
+
+// Verify scores a table. It fails if any record carries a direct
+// identifier (per-record degree) or if the cohort's k/l fall below the
+// policy (holistic degree).
+func (v *VerificationService) Verify(t *Table) (*Report, error) {
+	rep := &Report{PerRecordFindings: make(map[int][]string)}
+	for i, row := range t.Rows {
+		keys := make([]string, 0, len(row))
+		for k := range row {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if found := ScanIdentifiers(row[k]); len(found) > 0 {
+				rep.PerRecordFindings[i] = append(rep.PerRecordFindings[i], found...)
+			}
+		}
+	}
+	rep.K = t.KAnonymity()
+	rep.L = t.LDiversity()
+	switch {
+	case len(rep.PerRecordFindings) > 0:
+		rep.Reason = fmt.Sprintf("%d records carry direct identifiers", len(rep.PerRecordFindings))
+	case v.RequiredK > 0 && rep.K < v.RequiredK:
+		rep.Reason = fmt.Sprintf("k-anonymity %d below required %d", rep.K, v.RequiredK)
+	case v.RequiredL > 0 && rep.L < v.RequiredL:
+		rep.Reason = fmt.Sprintf("l-diversity %d below required %d", rep.L, v.RequiredL)
+	default:
+		rep.Passed = true
+		return rep, nil
+	}
+	return rep, fmt.Errorf("%w: %s", ErrNotAnonymized, rep.Reason)
+}

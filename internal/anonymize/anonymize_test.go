@@ -1,0 +1,264 @@
+package anonymize
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"healthcloud/internal/fhir"
+)
+
+func TestScanIdentifiers(t *testing.T) {
+	tests := []struct {
+		text string
+		want []string
+	}{
+		{"no identifiers here, k=5 cohort", nil},
+		{"contact jane.doe@example.com", []string{"email"}},
+		{"call (914) 555-1234 now", []string{"phone"}},
+		{"ssn 123-45-6789", []string{"ssn"}},
+		{"chart MRN: 44821", []string{"mrn"}},
+		{"seen on 2016-03-01", []string{"full-date"}},
+		{"jane@x.org or 212-555-9876", []string{"email", "phone"}},
+	}
+	for _, tt := range tests {
+		got := ScanIdentifiers(tt.text)
+		if len(got) != len(tt.want) {
+			t.Errorf("ScanIdentifiers(%q) = %v, want %v", tt.text, got, tt.want)
+			continue
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Errorf("ScanIdentifiers(%q) = %v, want %v", tt.text, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestGeneralizeZip(t *testing.T) {
+	small := map[string]bool{"036": true}
+	tests := []struct {
+		zip, want string
+	}{
+		{"10598", "10500"},
+		{"03601", "000"}, // small zone collapses
+		{"12", "000"},    // malformed
+		{"", "000"},
+	}
+	for _, tt := range tests {
+		if got := GeneralizeZip(tt.zip, small); got != tt.want {
+			t.Errorf("GeneralizeZip(%q) = %q, want %q", tt.zip, got, tt.want)
+		}
+	}
+}
+
+func TestGeneralizeAge(t *testing.T) {
+	tests := []struct {
+		age, width int
+		want       string
+	}{
+		{44, 10, "40-49"},
+		{40, 10, "40-49"},
+		{49, 10, "40-49"},
+		{89, 10, "80-89"},
+		{90, 10, "90+"},
+		{103, 10, "90+"},
+		{23, 5, "20-24"},
+		{7, 0, "0-9"}, // zero width falls back to 10
+	}
+	for _, tt := range tests {
+		if got := GeneralizeAge(tt.age, tt.width); got != tt.want {
+			t.Errorf("GeneralizeAge(%d,%d) = %q, want %q", tt.age, tt.width, got, tt.want)
+		}
+	}
+}
+
+func TestGeneralizeBirthDate(t *testing.T) {
+	if got := GeneralizeBirthDate("1980-04-02"); got != "1980" {
+		t.Errorf("got %q", got)
+	}
+	if got := GeneralizeBirthDate(""); got != "" {
+		t.Errorf("empty input: %q", got)
+	}
+	if got := GeneralizeBirthDate("ab"); got != "" {
+		t.Errorf("short input: %q", got)
+	}
+	if got := GeneralizeBirthDate("abcd-01-01"); got != "" {
+		t.Errorf("non-numeric year: %q", got)
+	}
+}
+
+func TestDeidentifyPatient(t *testing.T) {
+	p := &fhir.Patient{
+		ResourceType: "Patient", ID: "p1",
+		Identifier: []fhir.Identifier{{System: "urn:mrn", Value: "MRN001"}},
+		Name:       []fhir.HumanName{{Family: "Doe", Given: []string{"Jane"}}},
+		Gender:     "female", BirthDate: "1980-04-02",
+		Address: []fhir.Address{{City: "Yorktown", State: "NY", PostalCode: "10598"}},
+		Telecom: []fhir.Telecom{{System: "phone", Value: "914-555-1234"}},
+	}
+	d := DeidentifyPatient(p, nil)
+	if len(d.Name) != 0 || len(d.Telecom) != 0 || len(d.Identifier) != 0 {
+		t.Errorf("direct identifiers survived: %+v", d)
+	}
+	if d.BirthDate != "" {
+		t.Errorf("full birth date survived: %q", d.BirthDate)
+	}
+	if d.Gender != "female" {
+		t.Error("gender lost (needed for analytics)")
+	}
+	if len(d.Address) != 1 || d.Address[0].City != "" || d.Address[0].PostalCode != "10500" {
+		t.Errorf("address = %+v", d.Address)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("de-identified patient invalid: %v", err)
+	}
+	// Original untouched.
+	if p.Name == nil || p.BirthDate != "1980-04-02" {
+		t.Error("input mutated")
+	}
+	if BirthYear(p) != "1980" {
+		t.Errorf("BirthYear = %q", BirthYear(p))
+	}
+}
+
+func cohort() *Table {
+	return &Table{
+		QuasiIDs:  []string{"age", "zip", "sex"},
+		Sensitive: "diagnosis",
+		Rows: []Record{
+			{"age": "40-49", "zip": "10500", "sex": "F", "diagnosis": "T2D"},
+			{"age": "40-49", "zip": "10500", "sex": "F", "diagnosis": "HTN"},
+			{"age": "40-49", "zip": "10500", "sex": "F", "diagnosis": "T2D"},
+			{"age": "50-59", "zip": "10500", "sex": "M", "diagnosis": "CAD"},
+			{"age": "50-59", "zip": "10500", "sex": "M", "diagnosis": "T2D"},
+		},
+	}
+}
+
+func TestKAnonymity(t *testing.T) {
+	tbl := cohort()
+	if k := tbl.KAnonymity(); k != 2 {
+		t.Errorf("k = %d, want 2", k)
+	}
+	// A unique row drops k to 1.
+	tbl.Rows = append(tbl.Rows, Record{"age": "90+", "zip": "000", "sex": "F", "diagnosis": "RA"})
+	if k := tbl.KAnonymity(); k != 1 {
+		t.Errorf("k = %d, want 1", k)
+	}
+	empty := &Table{QuasiIDs: []string{"age"}}
+	if k := empty.KAnonymity(); k != 0 {
+		t.Errorf("empty table k = %d", k)
+	}
+}
+
+func TestLDiversity(t *testing.T) {
+	tbl := cohort()
+	// Class 1 has {T2D,HTN} → 2 distinct; class 2 has {CAD,T2D} → 2.
+	if l := tbl.LDiversity(); l != 2 {
+		t.Errorf("l = %d, want 2", l)
+	}
+	// Make a class homogeneous.
+	tbl.Rows[1]["diagnosis"] = "T2D"
+	if l := tbl.LDiversity(); l != 1 {
+		t.Errorf("l = %d, want 1", l)
+	}
+	noSensitive := &Table{QuasiIDs: []string{"age"}, Rows: []Record{{"age": "1"}}}
+	if l := noSensitive.LDiversity(); l != 0 {
+		t.Errorf("no sensitive column l = %d", l)
+	}
+}
+
+func TestSuppress(t *testing.T) {
+	tbl := cohort()
+	tbl.Rows = append(tbl.Rows, Record{"age": "90+", "zip": "000", "sex": "F", "diagnosis": "RA"})
+	suppressed, dropped := tbl.Suppress(2)
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	if k := suppressed.KAnonymity(); k < 2 {
+		t.Errorf("post-suppression k = %d, want >= 2", k)
+	}
+	if len(suppressed.Rows) != 5 {
+		t.Errorf("rows = %d, want 5", len(suppressed.Rows))
+	}
+}
+
+// Property: suppression at k always yields a table with k-anonymity >= k
+// (or an empty table).
+func TestQuickSuppressionReachesK(t *testing.T) {
+	f := func(ages []uint8, k uint8) bool {
+		if k == 0 {
+			k = 1
+		}
+		kk := int(k%5) + 1
+		tbl := &Table{QuasiIDs: []string{"age"}}
+		for _, a := range ages {
+			tbl.Rows = append(tbl.Rows, Record{"age": GeneralizeAge(int(a)%100, 20)})
+		}
+		out, _ := tbl.Suppress(kk)
+		return len(out.Rows) == 0 || out.KAnonymity() >= kk
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerificationService(t *testing.T) {
+	v := &VerificationService{RequiredK: 2, RequiredL: 2}
+	rep, err := v.Verify(cohort())
+	if err != nil || !rep.Passed {
+		t.Fatalf("clean cohort rejected: %v (%+v)", err, rep)
+	}
+
+	// Direct identifier sneaks in: per-record check fails first.
+	leaky := cohort()
+	leaky.Rows[0]["note"] = "patient reachable at jane@x.org"
+	rep, err = v.Verify(leaky)
+	if !errors.Is(err, ErrNotAnonymized) {
+		t.Errorf("leaky cohort: got %v", err)
+	}
+	if rep.Passed || len(rep.PerRecordFindings) != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+
+	// Cohort too small for k.
+	vStrict := &VerificationService{RequiredK: 3}
+	if _, err := vStrict.Verify(cohort()); !errors.Is(err, ErrNotAnonymized) {
+		t.Errorf("under-k cohort: got %v", err)
+	}
+
+	// l-diversity failure.
+	homogeneous := cohort()
+	homogeneous.Rows[1]["diagnosis"] = "T2D"
+	vL := &VerificationService{RequiredK: 2, RequiredL: 2}
+	if _, err := vL.Verify(homogeneous); !errors.Is(err, ErrNotAnonymized) {
+		t.Errorf("homogeneous cohort: got %v", err)
+	}
+
+	// Zero requirements: anything without direct identifiers passes.
+	vZero := &VerificationService{}
+	if _, err := vZero.Verify(cohort()); err != nil {
+		t.Errorf("zero-policy: %v", err)
+	}
+}
+
+func TestVerifyDeterministicFindings(t *testing.T) {
+	v := &VerificationService{}
+	tbl := &Table{QuasiIDs: []string{"a"}, Rows: []Record{
+		{"a": "x", "b": "jane@x.org", "c": "123-45-6789"},
+	}}
+	var first []string
+	for i := 0; i < 10; i++ {
+		rep, _ := v.Verify(tbl)
+		got := rep.PerRecordFindings[0]
+		if first == nil {
+			first = got
+			continue
+		}
+		if fmt.Sprint(got) != fmt.Sprint(first) {
+			t.Fatalf("findings order unstable: %v vs %v", got, first)
+		}
+	}
+}

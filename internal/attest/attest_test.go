@@ -1,0 +1,284 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+
+	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/tpm"
+)
+
+// enrolledTPM creates a TPM with one measured layer and its golden value
+// registered with the service.
+func enrolledTPM(t *testing.T, s *Service, name string, layer Layer, measurement []byte) *tpm.TPM {
+	t.Helper()
+	tp, err := tpm.New(name)
+	if err != nil {
+		t.Fatalf("tpm.New: %v", err)
+	}
+	s.EnrollTPM(name, tp.AttestationKey())
+	if err := tp.Extend(LayerPCR[layer], string(layer), measurement); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	golden, err := tp.ReadPCR(LayerPCR[layer])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetGoldenValue(name, layer, golden); err != nil {
+		t.Fatalf("SetGoldenValue: %v", err)
+	}
+	return tp
+}
+
+func attestOnce(t *testing.T, s *Service, tp *tpm.TPM, layer Layer) error {
+	t.Helper()
+	nonce, err := s.Challenge(tp.Name())
+	if err != nil {
+		t.Fatalf("Challenge: %v", err)
+	}
+	q, err := tp.GenerateQuote(nonce, []int{LayerPCR[layer]})
+	if err != nil {
+		t.Fatalf("GenerateQuote: %v", err)
+	}
+	return s.AttestLayer(tp.Name(), layer, q)
+}
+
+func TestAttestTrustedLayer(t *testing.T) {
+	s := NewService()
+	tp := enrolledTPM(t, s, "host-1", LayerHardware, []byte("bios-v1"))
+	if err := attestOnce(t, s, tp, LayerHardware); err != nil {
+		t.Errorf("trusted layer rejected: %v", err)
+	}
+	h := s.History()
+	if len(h) != 1 || !h[0].Trusted {
+		t.Errorf("history = %+v, want one trusted decision", h)
+	}
+}
+
+func TestAttestDetectsDrift(t *testing.T) {
+	s := NewService()
+	tp := enrolledTPM(t, s, "host-1", LayerHardware, []byte("bios-v1"))
+	// Unapproved change: extra measurement after golden value was taken.
+	tp.Extend(LayerPCR[LayerHardware], "rootkit", []byte("evil"))
+	if err := attestOnce(t, s, tp, LayerHardware); !errors.Is(err, ErrMeasurement) {
+		t.Errorf("drifted layer: got %v, want ErrMeasurement", err)
+	}
+	h := s.History()
+	if len(h) != 1 || h[0].Trusted {
+		t.Errorf("history = %+v, want one untrusted decision", h)
+	}
+}
+
+func TestAttestUnknownTPM(t *testing.T) {
+	s := NewService()
+	if _, err := s.Challenge("ghost"); !errors.Is(err, ErrUnknownTPM) {
+		t.Errorf("Challenge unknown: %v", err)
+	}
+	if err := s.SetGoldenValue("ghost", LayerHardware, []byte{1}); !errors.Is(err, ErrUnknownTPM) {
+		t.Errorf("SetGoldenValue unknown: %v", err)
+	}
+}
+
+func TestNonceIsOneShot(t *testing.T) {
+	s := NewService()
+	tp := enrolledTPM(t, s, "host-1", LayerHardware, []byte("bios"))
+	nonce, err := s.Challenge(tp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := tp.GenerateQuote(nonce, []int{LayerPCR[LayerHardware]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AttestLayer(tp.Name(), LayerHardware, q); err != nil {
+		t.Fatalf("first attestation: %v", err)
+	}
+	// Replaying the same quote must fail: the nonce was consumed.
+	if err := s.AttestLayer(tp.Name(), LayerHardware, q); !errors.Is(err, ErrStaleNonce) {
+		t.Errorf("replay: got %v, want ErrStaleNonce", err)
+	}
+}
+
+func TestAttestWithoutChallenge(t *testing.T) {
+	s := NewService()
+	tp := enrolledTPM(t, s, "host-1", LayerHardware, []byte("bios"))
+	q, err := tp.GenerateQuote([]byte("self-chosen"), []int{LayerPCR[LayerHardware]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AttestLayer(tp.Name(), LayerHardware, q); !errors.Is(err, ErrStaleNonce) {
+		t.Errorf("got %v, want ErrStaleNonce", err)
+	}
+}
+
+func TestAttestNoGoldenValue(t *testing.T) {
+	s := NewService()
+	tp, err := tpm.New("host-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnrollTPM("host-1", tp.AttestationKey())
+	nonce, _ := s.Challenge("host-1")
+	q, err := tp.GenerateQuote(nonce, []int{LayerPCR[LayerHardware]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AttestLayer("host-1", LayerHardware, q); !errors.Is(err, ErrNoGoldenValue) {
+		t.Errorf("got %v, want ErrNoGoldenValue", err)
+	}
+}
+
+func TestAttestQuoteMissingPCR(t *testing.T) {
+	s := NewService()
+	tp := enrolledTPM(t, s, "host-1", LayerHardware, []byte("bios"))
+	nonce, _ := s.Challenge("host-1")
+	q, err := tp.GenerateQuote(nonce, []int{tpm.PCRKernel}) // wrong PCR
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AttestLayer(tp.Name(), LayerHardware, q); !errors.Is(err, ErrMeasurement) {
+		t.Errorf("got %v, want ErrMeasurement", err)
+	}
+}
+
+func TestAttestForgedQuote(t *testing.T) {
+	s := NewService()
+	enrolledTPM(t, s, "host-1", LayerHardware, []byte("bios"))
+	imposter, err := tpm.New("host-1") // same name, different key
+	if err != nil {
+		t.Fatal(err)
+	}
+	imposter.Extend(LayerPCR[LayerHardware], "bios", []byte("bios"))
+	nonce, _ := s.Challenge("host-1")
+	q, err := imposter.GenerateQuote(nonce, []int{LayerPCR[LayerHardware]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AttestLayer("host-1", LayerHardware, q); !errors.Is(err, ErrQuoteInvalid) {
+		t.Errorf("forged quote: got %v, want ErrQuoteInvalid", err)
+	}
+}
+
+// TestAttestChain verifies the full transitive model of Fig 5: hardware
+// TPM, vTPM for the guest, and a container measurement in the vTPM.
+func TestAttestChain(t *testing.T) {
+	s := NewService()
+	host, err := tpm.New("host-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnrollTPM("host-1", host.AttestationKey())
+	host.Extend(tpm.PCRBios, "bios", []byte("bios-v1"))
+
+	mgr, err := tpm.NewVTPMManager(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt, err := mgr.CreateInstance("vm-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnrollTPM(vt.Name(), vt.AttestationKey())
+	vt.Extend(tpm.PCRKernel, "kernel", []byte("kernel-v1"))
+	vt.Extend(tpm.PCRContainer, "analytics-image", []byte("img-sha"))
+
+	// Record golden values for every layer.
+	for layer, name := range map[Layer]string{LayerHardware: "host-1", LayerHypervisor: "host-1"} {
+		v, _ := host.ReadPCR(LayerPCR[layer])
+		if err := s.SetGoldenValue(name, layer, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, layer := range []Layer{LayerGuestOS, LayerContainer} {
+		v, _ := vt.ReadPCR(LayerPCR[layer])
+		if err := s.SetGoldenValue(vt.Name(), layer, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	chain := []ChainLink{
+		{TPMName: "host-1", Layer: LayerHardware, Quoter: host},
+		{TPMName: "host-1", Layer: LayerHypervisor, Quoter: host},
+		{TPMName: vt.Name(), Layer: LayerGuestOS, Quoter: vt},
+		{TPMName: vt.Name(), Layer: LayerContainer, Quoter: vt},
+	}
+	if err := s.AttestChain(chain); err != nil {
+		t.Fatalf("AttestChain: %v", err)
+	}
+
+	// Compromise the container layer and re-attest: the chain must break
+	// at the container link and not before.
+	vt.Extend(tpm.PCRContainer, "malicious-sidecar", []byte("evil"))
+	err = s.AttestChain(chain)
+	if err == nil {
+		t.Fatal("compromised chain attested successfully")
+	}
+	if !errors.Is(err, ErrMeasurement) {
+		t.Errorf("got %v, want ErrMeasurement", err)
+	}
+}
+
+func TestAttestChainOrderEnforced(t *testing.T) {
+	s := NewService()
+	tp := enrolledTPM(t, s, "host-1", LayerHardware, []byte("bios"))
+	chain := []ChainLink{
+		{TPMName: "host-1", Layer: LayerGuestOS, Quoter: tp},
+		{TPMName: "host-1", Layer: LayerHardware, Quoter: tp},
+	}
+	if err := s.AttestChain(chain); err == nil {
+		t.Error("out-of-order chain accepted")
+	}
+	bad := []ChainLink{{TPMName: "host-1", Layer: Layer("mystery"), Quoter: tp}}
+	if err := s.AttestChain(bad); err == nil {
+		t.Error("unknown layer accepted")
+	}
+}
+
+func TestImageSignerApproval(t *testing.T) {
+	s := NewService()
+	signer, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := []byte("sha256:abc123")
+	sig, err := signer.Sign(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.VerifyImageSignature(digest, sig); !errors.Is(err, ErrUntrustedSigner) {
+		t.Errorf("unapproved signer: got %v, want ErrUntrustedSigner", err)
+	}
+	s.ApproveImageSigner(signer.Public())
+	fp, err := s.VerifyImageSignature(digest, sig)
+	if err != nil {
+		t.Fatalf("approved signer rejected: %v", err)
+	}
+	if fp != signer.Public().Fingerprint() {
+		t.Errorf("fingerprint = %q, want %q", fp, signer.Public().Fingerprint())
+	}
+	s.RevokeImageSigner(fp)
+	if _, err := s.VerifyImageSignature(digest, sig); !errors.Is(err, ErrUntrustedSigner) {
+		t.Errorf("revoked signer still accepted: %v", err)
+	}
+}
+
+// TestChangeManagementFlow models §II-B: an approved change updates the
+// golden value, after which the new state attests and the old state does
+// not.
+func TestChangeManagementFlow(t *testing.T) {
+	s := NewService()
+	tp := enrolledTPM(t, s, "host-1", LayerGuestOS, []byte("kernel-v1"))
+	if err := attestOnce(t, s, tp, LayerGuestOS); err != nil {
+		t.Fatalf("v1 attestation: %v", err)
+	}
+	// Apply an approved kernel patch: measured, then golden value updated
+	// through the CM → attestation path.
+	tp.Extend(LayerPCR[LayerGuestOS], "kernel-v2-patch", []byte("kernel-v2"))
+	newGolden, _ := tp.ReadPCR(LayerPCR[LayerGuestOS])
+	if err := s.SetGoldenValue("host-1", LayerGuestOS, newGolden); err != nil {
+		t.Fatal(err)
+	}
+	if err := attestOnce(t, s, tp, LayerGuestOS); err != nil {
+		t.Errorf("post-change attestation: %v", err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package audit implements the platform's logging/monitoring and
+// auditability services (§II-A, §IV-E) and the change-management (CM)
+// workflow (§II-B). Log events are structured and PHI-free ("such logged
+// events cannot contain sensitive data" — the logger enforces this with
+// the anonymize scanner); log analytics supports the forensic queries
+// §IV-E requires; and the CM service runs the describe → evaluate →
+// approve pipeline that gates every change to a deployed component,
+// updating the Attestation Service's golden values when changes land.
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"healthcloud/internal/anonymize"
+)
+
+// Level is a log severity.
+type Level string
+
+// Severities.
+const (
+	LevelInfo  Level = "info"
+	LevelWarn  Level = "warn"
+	LevelError Level = "error"
+)
+
+// Event is one structured, PHI-free log record.
+type Event struct {
+	At       time.Time
+	Level    Level
+	Service  string
+	Action   string
+	Actor    string
+	Resource string
+	Detail   string
+	Err      string
+}
+
+// ErrSensitive is returned when a log event would contain PHI.
+var ErrSensitive = errors.New("audit: event contains sensitive data")
+
+// Log is the append-only audit log. Create with NewLog.
+type Log struct {
+	mu     sync.RWMutex
+	events []Event
+	clock  func() time.Time
+}
+
+// NewLog creates an empty audit log.
+func NewLog() *Log {
+	return &Log{clock: time.Now}
+}
+
+// SetClock injects a time source for tests.
+func (l *Log) SetClock(f func() time.Time) { l.clock = f }
+
+// Record appends an event after verifying it carries no direct
+// identifiers. Rejected events are replaced by a redaction marker so the
+// attempt itself remains auditable.
+func (l *Log) Record(e Event) error {
+	if e.At.IsZero() {
+		e.At = l.clock()
+	}
+	for _, text := range []string{e.Action, e.Actor, e.Resource, e.Detail, e.Err} {
+		if found := anonymize.ScanIdentifiers(text); len(found) > 0 {
+			l.mu.Lock()
+			l.events = append(l.events, Event{
+				At: e.At, Level: LevelWarn, Service: e.Service,
+				Action: "log-redacted", Detail: fmt.Sprintf("event dropped: contained %v", found),
+			})
+			l.mu.Unlock()
+			return fmt.Errorf("%w: %v", ErrSensitive, found)
+		}
+	}
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+	return nil
+}
+
+// Query filters events; zero-valued fields match everything.
+type Query struct {
+	Service string
+	Action  string
+	Actor   string
+	Level   Level
+	Since   time.Time
+	Until   time.Time
+}
+
+// Find returns matching events in order.
+func (l *Log) Find(q Query) []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Event
+	for _, e := range l.events {
+		if q.Service != "" && e.Service != q.Service {
+			continue
+		}
+		if q.Action != "" && e.Action != q.Action {
+			continue
+		}
+		if q.Actor != "" && e.Actor != q.Actor {
+			continue
+		}
+		if q.Level != "" && e.Level != q.Level {
+			continue
+		}
+		if !q.Since.IsZero() && e.At.Before(q.Since) {
+			continue
+		}
+		if !q.Until.IsZero() && e.At.After(q.Until) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Len returns the total number of events.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.events)
+}
+
+// CountBy aggregates event counts by a dimension ("service", "action",
+// "actor", "level") — the log-analytics support for forensics.
+func (l *Log) CountBy(dimension string) map[string]int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make(map[string]int)
+	for _, e := range l.events {
+		var key string
+		switch dimension {
+		case "service":
+			key = e.Service
+		case "action":
+			key = e.Action
+		case "actor":
+			key = e.Actor
+		case "level":
+			key = string(e.Level)
+		default:
+			return nil
+		}
+		out[key]++
+	}
+	return out
+}

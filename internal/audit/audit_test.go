@@ -1,0 +1,204 @@
+package audit
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"healthcloud/internal/attest"
+	"healthcloud/internal/tpm"
+)
+
+func TestRecordAndFind(t *testing.T) {
+	l := NewLog()
+	l.Record(Event{Level: LevelInfo, Service: "ingest", Action: "upload", Actor: "user-1", Resource: "ref-1"})
+	l.Record(Event{Level: LevelError, Service: "ingest", Action: "validate", Actor: "user-1", Err: "schema mismatch"})
+	l.Record(Event{Level: LevelInfo, Service: "export", Action: "anonymized-export", Actor: "user-2"})
+
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if got := l.Find(Query{Service: "ingest"}); len(got) != 2 {
+		t.Errorf("by service: %d", len(got))
+	}
+	if got := l.Find(Query{Actor: "user-2"}); len(got) != 1 {
+		t.Errorf("by actor: %d", len(got))
+	}
+	if got := l.Find(Query{Level: LevelError}); len(got) != 1 || got[0].Err != "schema mismatch" {
+		t.Errorf("by level: %+v", got)
+	}
+	if got := l.Find(Query{Action: "upload", Service: "export"}); len(got) != 0 {
+		t.Errorf("conjunctive filter: %d", len(got))
+	}
+}
+
+func TestTimeBoundedQueries(t *testing.T) {
+	l := NewLog()
+	base := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		l.Record(Event{At: base.Add(time.Duration(i) * time.Hour), Service: "s", Action: "a"})
+	}
+	got := l.Find(Query{Since: base.Add(90 * time.Minute), Until: base.Add(210 * time.Minute)})
+	if len(got) != 2 {
+		t.Errorf("window query = %d events, want 2", len(got))
+	}
+}
+
+func TestPHIRejectedFromLogs(t *testing.T) {
+	l := NewLog()
+	err := l.Record(Event{Service: "ingest", Action: "upload",
+		Detail: "uploaded for jane.doe@example.com"})
+	if !errors.Is(err, ErrSensitive) {
+		t.Fatalf("got %v, want ErrSensitive", err)
+	}
+	// The redaction marker is logged instead.
+	got := l.Find(Query{Action: "log-redacted"})
+	if len(got) != 1 {
+		t.Fatalf("redaction marker missing: %d", len(got))
+	}
+	if got[0].Level != LevelWarn {
+		t.Errorf("marker level = %s", got[0].Level)
+	}
+	// The original PHI never appears anywhere.
+	for _, e := range l.Find(Query{}) {
+		if e.Detail != "" && e.Action != "log-redacted" {
+			t.Errorf("unexpected event: %+v", e)
+		}
+	}
+}
+
+func TestCountBy(t *testing.T) {
+	l := NewLog()
+	l.Record(Event{Service: "ingest", Action: "upload", Actor: "u1", Level: LevelInfo})
+	l.Record(Event{Service: "ingest", Action: "store", Actor: "u1", Level: LevelInfo})
+	l.Record(Event{Service: "export", Action: "export", Actor: "u2", Level: LevelError})
+	if got := l.CountBy("service"); got["ingest"] != 2 || got["export"] != 1 {
+		t.Errorf("by service: %v", got)
+	}
+	if got := l.CountBy("actor"); got["u1"] != 2 {
+		t.Errorf("by actor: %v", got)
+	}
+	if got := l.CountBy("level"); got["error"] != 1 {
+		t.Errorf("by level: %v", got)
+	}
+	if got := l.CountBy("flavor"); got != nil {
+		t.Errorf("unknown dimension: %v", got)
+	}
+}
+
+// newAttestedHost enrolls a TPM with a golden kernel value and returns
+// the pieces a CM test needs.
+func newAttestedHost(t *testing.T) (*attest.Service, *tpm.TPM) {
+	t.Helper()
+	svc := attest.NewService()
+	host, err := tpm.New("host-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.EnrollTPM("host-1", host.AttestationKey())
+	host.Extend(tpm.PCRKernel, "kernel-v1", []byte("kernel-v1"))
+	golden, _ := host.ReadPCR(tpm.PCRKernel)
+	if err := svc.SetGoldenValue("host-1", attest.LayerGuestOS, golden); err != nil {
+		t.Fatal(err)
+	}
+	return svc, host
+}
+
+func TestChangeLifecycle(t *testing.T) {
+	attSvc, host := newAttestedHost(t)
+	log := NewLog()
+	cm := NewChangeManager(attSvc, log)
+
+	// Simulate the patch being measured, then run CM.
+	host.Extend(tpm.PCRKernel, "kernel-v2", []byte("kernel-v2"))
+	newGolden, _ := host.ReadPCR(tpm.PCRKernel)
+
+	id := cm.Describe("host-1/guest-os", "host-1", attest.LayerGuestOS, newGolden, "kernel security patch")
+	c, err := cm.Change(id)
+	if err != nil || c.State != ChangeDescribed {
+		t.Fatalf("after describe: %+v, %v", c, err)
+	}
+	// Approval before evaluation is an invalid transition.
+	if err := cm.Approve(id); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("approve before evaluate: %v", err)
+	}
+	if err := cm.Evaluate(id, "CVE fix, low risk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.Evaluate(id, "again"); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("double evaluate: %v", err)
+	}
+	if err := cm.Approve(id); err != nil {
+		t.Fatal(err)
+	}
+	c, _ = cm.Change(id)
+	if c.State != ChangeApplied {
+		t.Errorf("state = %s, want applied", c.State)
+	}
+
+	// The attestation service now accepts the new kernel.
+	nonce, _ := attSvc.Challenge("host-1")
+	q, err := host.GenerateQuote(nonce, []int{tpm.PCRKernel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := attSvc.AttestLayer("host-1", attest.LayerGuestOS, q); err != nil {
+		t.Errorf("post-change attestation: %v", err)
+	}
+
+	// The CM trail is in the audit log.
+	if got := log.Find(Query{Service: "change-mgmt"}); len(got) != 3 {
+		t.Errorf("CM audit events = %d, want 3", len(got))
+	}
+}
+
+func TestChangeRejection(t *testing.T) {
+	attSvc, _ := newAttestedHost(t)
+	cm := NewChangeManager(attSvc, NewLog())
+	id := cm.Describe("host-1/guest-os", "host-1", attest.LayerGuestOS, []byte("x"), "risky change")
+	if err := cm.Reject(id, "insufficient testing"); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := cm.Change(id)
+	if c.State != ChangeRejected {
+		t.Errorf("state = %s", c.State)
+	}
+	if err := cm.Reject(id, "again"); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("double reject: %v", err)
+	}
+	if err := cm.Evaluate(id, "too late"); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("evaluate after reject: %v", err)
+	}
+}
+
+func TestChangeUnknownID(t *testing.T) {
+	attSvc, _ := newAttestedHost(t)
+	cm := NewChangeManager(attSvc, NewLog())
+	if err := cm.Evaluate(99, "x"); !errors.Is(err, ErrNoSuchChange) {
+		t.Errorf("Evaluate: %v", err)
+	}
+	if err := cm.Approve(99); !errors.Is(err, ErrNoSuchChange) {
+		t.Errorf("Approve: %v", err)
+	}
+	if err := cm.Reject(99, "x"); !errors.Is(err, ErrNoSuchChange) {
+		t.Errorf("Reject: %v", err)
+	}
+	if _, err := cm.Change(99); !errors.Is(err, ErrNoSuchChange) {
+		t.Errorf("Change: %v", err)
+	}
+}
+
+func TestChangeApproveUnknownTPM(t *testing.T) {
+	cm := NewChangeManager(attest.NewService(), NewLog())
+	id := cm.Describe("ghost/guest-os", "ghost-tpm", attest.LayerGuestOS, []byte("x"), "change on unenrolled host")
+	if err := cm.Evaluate(id, "ok"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.Approve(id); err == nil {
+		t.Error("approval against unenrolled TPM succeeded")
+	}
+	c, _ := cm.Change(id)
+	if c.State != ChangeEvaluated {
+		t.Errorf("state after failed approve = %s, want evaluated", c.State)
+	}
+}

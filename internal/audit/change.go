@@ -1,0 +1,142 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"healthcloud/internal/attest"
+)
+
+// Change management (§II-B): "All authorized changes are first described,
+// evaluated and finally approved in the change management system;
+// thereafter the CM service accordingly updates the Attestation Service
+// regarding the approved changes and their new signatures."
+
+// ChangeState tracks a change request through its lifecycle.
+type ChangeState string
+
+// Lifecycle states, in order.
+const (
+	ChangeDescribed ChangeState = "described"
+	ChangeEvaluated ChangeState = "evaluated"
+	ChangeApproved  ChangeState = "approved"
+	ChangeApplied   ChangeState = "applied"
+	ChangeRejected  ChangeState = "rejected"
+)
+
+// ChangeRequest describes one proposed change to a deployed component.
+type ChangeRequest struct {
+	ID          int
+	Component   string       // e.g. "host-1/guest-os"
+	TPMName     string       // platform whose golden value changes
+	Layer       attest.Layer // trust layer affected
+	NewGolden   []byte       // approved PCR value after the change
+	Description string
+	State       ChangeState
+	Evaluation  string
+}
+
+// Errors returned by the CM service.
+var (
+	ErrBadTransition = errors.New("audit: invalid change-state transition")
+	ErrNoSuchChange  = errors.New("audit: no such change request")
+)
+
+// ChangeManager runs the CM pipeline against an attestation service.
+type ChangeManager struct {
+	attSvc *attest.Service
+	log    *Log
+
+	mu      sync.Mutex
+	nextID  int
+	changes map[int]*ChangeRequest
+}
+
+// NewChangeManager wires CM to the attestation service and audit log.
+func NewChangeManager(attSvc *attest.Service, log *Log) *ChangeManager {
+	return &ChangeManager{attSvc: attSvc, log: log, changes: make(map[int]*ChangeRequest)}
+}
+
+// Describe opens a change request.
+func (cm *ChangeManager) Describe(component, tpmName string, layer attest.Layer, newGolden []byte, description string) int {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	cm.nextID++
+	id := cm.nextID
+	cm.changes[id] = &ChangeRequest{
+		ID: id, Component: component, TPMName: tpmName, Layer: layer,
+		NewGolden:   append([]byte(nil), newGolden...),
+		Description: description, State: ChangeDescribed,
+	}
+	cm.log.Record(Event{Level: LevelInfo, Service: "change-mgmt", Action: "describe",
+		Resource: component, Detail: description})
+	return id
+}
+
+// Evaluate records an evaluation outcome, moving the change forward.
+func (cm *ChangeManager) Evaluate(id int, evaluation string) error {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	c, ok := cm.changes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchChange, id)
+	}
+	if c.State != ChangeDescribed {
+		return fmt.Errorf("%w: %s -> evaluated", ErrBadTransition, c.State)
+	}
+	c.State = ChangeEvaluated
+	c.Evaluation = evaluation
+	cm.log.Record(Event{Level: LevelInfo, Service: "change-mgmt", Action: "evaluate",
+		Resource: c.Component, Detail: evaluation})
+	return nil
+}
+
+// Approve approves an evaluated change and pushes the new golden value
+// to the attestation service, so the changed component attests again.
+func (cm *ChangeManager) Approve(id int) error {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	c, ok := cm.changes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchChange, id)
+	}
+	if c.State != ChangeEvaluated {
+		return fmt.Errorf("%w: %s -> approved", ErrBadTransition, c.State)
+	}
+	if err := cm.attSvc.SetGoldenValue(c.TPMName, c.Layer, c.NewGolden); err != nil {
+		return fmt.Errorf("audit: updating attestation golden value: %w", err)
+	}
+	c.State = ChangeApplied
+	cm.log.Record(Event{Level: LevelInfo, Service: "change-mgmt", Action: "approve",
+		Resource: c.Component})
+	return nil
+}
+
+// Reject closes a change without applying it.
+func (cm *ChangeManager) Reject(id int, reason string) error {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	c, ok := cm.changes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchChange, id)
+	}
+	if c.State == ChangeApplied || c.State == ChangeRejected {
+		return fmt.Errorf("%w: %s -> rejected", ErrBadTransition, c.State)
+	}
+	c.State = ChangeRejected
+	cm.log.Record(Event{Level: LevelWarn, Service: "change-mgmt", Action: "reject",
+		Resource: c.Component, Detail: reason})
+	return nil
+}
+
+// Change returns a copy of the request.
+func (cm *ChangeManager) Change(id int) (ChangeRequest, error) {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	c, ok := cm.changes[id]
+	if !ok {
+		return ChangeRequest{}, fmt.Errorf("%w: %d", ErrNoSuchChange, id)
+	}
+	return *c, nil
+}

@@ -1,0 +1,176 @@
+package blockchain
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Ledger is an append-only chain of blocks plus the world state derived
+// from them. Each peer holds its own instance, built independently from
+// the ordered transaction stream, so divergence is detectable by
+// comparing chain heads.
+type Ledger struct {
+	mu     sync.RWMutex
+	blocks []Block
+	state  map[string]string // world state: handle -> latest event summary
+	byID   map[string]bool   // committed tx ids, for at-least-once dedup
+	byType map[EventType][]int
+}
+
+// NewLedger creates an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		state:  make(map[string]string),
+		byID:   make(map[string]bool),
+		byType: make(map[EventType][]int),
+	}
+}
+
+// AppendBlock validates chain linkage and appends. Transactions already
+// committed (by ID) are dropped silently: the ordering layer is
+// at-least-once, the ledger is exactly-once.
+func (l *Ledger) AppendBlock(txs []Transaction) (*Block, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fresh := make([]Transaction, 0, len(txs))
+	for _, tx := range txs {
+		if !l.byID[tx.ID] {
+			fresh = append(fresh, tx)
+		}
+	}
+	if len(fresh) == 0 {
+		return nil, nil
+	}
+	var prev []byte
+	if n := len(l.blocks); n > 0 {
+		prev = l.blocks[n-1].Hash
+	}
+	b := Block{Number: uint64(len(l.blocks)), PrevHash: prev, Txs: fresh}
+	b.Hash = b.computeHash()
+	l.blocks = append(l.blocks, b)
+	for _, tx := range fresh {
+		l.byID[tx.ID] = true
+		l.byType[tx.Type] = append(l.byType[tx.Type], int(b.Number))
+		if tx.Handle != "" {
+			l.state[tx.Handle] = fmt.Sprintf("%s@block%d", tx.Type, b.Number)
+		}
+	}
+	return &l.blocks[len(l.blocks)-1], nil
+}
+
+// Height returns the number of blocks.
+func (l *Ledger) Height() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.blocks)
+}
+
+// TxCount returns the number of committed transactions.
+func (l *Ledger) TxCount() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.byID)
+}
+
+// Block returns a copy of block n.
+func (l *Ledger) Block(n uint64) (Block, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if n >= uint64(len(l.blocks)) {
+		return Block{}, fmt.Errorf("blockchain: no block %d (height %d)", n, len(l.blocks))
+	}
+	return l.blocks[n], nil
+}
+
+// Head returns the hash of the latest block, or nil if empty.
+func (l *Ledger) Head() []byte {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.blocks) == 0 {
+		return nil
+	}
+	return append([]byte(nil), l.blocks[len(l.blocks)-1].Hash...)
+}
+
+// VerifyChain re-hashes every block and checks linkage, returning
+// ErrChainBroken on any inconsistency. Auditors run this before trusting
+// query results.
+func (l *Ledger) VerifyChain() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var prev []byte
+	for i := range l.blocks {
+		b := &l.blocks[i]
+		if !bytes.Equal(b.PrevHash, prev) {
+			return fmt.Errorf("%w: block %d prev-hash mismatch", ErrChainBroken, i)
+		}
+		if !bytes.Equal(b.Hash, b.computeHash()) {
+			return fmt.Errorf("%w: block %d hash mismatch", ErrChainBroken, i)
+		}
+		prev = b.Hash
+	}
+	return nil
+}
+
+// HandleState returns the latest event recorded for a handle.
+func (l *Ledger) HandleState(handle string) (string, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	s, ok := l.state[handle]
+	return s, ok
+}
+
+// Committed reports whether a transaction ID is on the chain.
+func (l *Ledger) Committed(txID string) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.byID[txID]
+}
+
+// AuditQuery is the "auditor view" §IV-E describes: Hyperledger "allows
+// an auditor to get access to the ledgers and search for use and
+// processing of data". Zero-valued fields match everything.
+type AuditQuery struct {
+	Type    EventType
+	Creator string
+	Handle  string
+	Since   time.Time
+	Until   time.Time
+}
+
+// Audit returns every committed transaction matching the query, in chain
+// order.
+func (l *Ledger) Audit(q AuditQuery) []Transaction {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Transaction
+	for i := range l.blocks {
+		for _, tx := range l.blocks[i].Txs {
+			if q.Type != "" && tx.Type != q.Type {
+				continue
+			}
+			if q.Creator != "" && tx.Creator != q.Creator {
+				continue
+			}
+			if q.Handle != "" && tx.Handle != q.Handle {
+				continue
+			}
+			if !q.Since.IsZero() && tx.Timestamp.Before(q.Since) {
+				continue
+			}
+			if !q.Until.IsZero() && tx.Timestamp.After(q.Until) {
+				continue
+			}
+			out = append(out, tx)
+		}
+	}
+	return out
+}
+
+// ProvenanceTrail returns the full event history of one handle — the
+// data-provenance capability GDPR/HIPAA audits require (§IV).
+func (l *Ledger) ProvenanceTrail(handle string) []Transaction {
+	return l.Audit(AuditQuery{Handle: handle})
+}

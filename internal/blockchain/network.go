@@ -1,0 +1,243 @@
+package blockchain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"healthcloud/internal/consensus"
+	"healthcloud/internal/hckrypto"
+)
+
+// Network is one permissioned blockchain network (§IV names several:
+// provenance, malware management, privacy, identity). Peers endorse,
+// a Raft cluster orders, and every peer independently validates and
+// commits the ordered stream to its own ledger copy.
+type Network struct {
+	name     string
+	policyK  int // endorsements required
+	peerIDs  []string
+	peers    map[string]*Peer
+	keys     map[string]*hckrypto.VerifyKey
+	cluster  *consensus.Cluster
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Option configures a Network.
+type Option func(*options)
+
+type options struct {
+	validate func(*Transaction) error
+	raftCfg  consensus.Config
+}
+
+// WithValidation installs the peers' endorsement rule (smart-contract
+// stand-in).
+func WithValidation(f func(*Transaction) error) Option {
+	return func(o *options) { o.validate = f }
+}
+
+// WithRaftConfig overrides ordering-cluster tuning.
+func WithRaftConfig(cfg consensus.Config) Option {
+	return func(o *options) { o.raftCfg = cfg }
+}
+
+// NewNetwork creates a network with the given peers. policyK is the
+// number of endorsements a transaction needs to be valid; it must be
+// between 1 and len(peerIDs).
+func NewNetwork(name string, peerIDs []string, policyK int, opts ...Option) (*Network, error) {
+	if len(peerIDs) == 0 {
+		return nil, errors.New("blockchain: network needs at least one peer")
+	}
+	if policyK < 1 || policyK > len(peerIDs) {
+		return nil, fmt.Errorf("blockchain: policy %d out of range [1,%d]", policyK, len(peerIDs))
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	n := &Network{
+		name:    name,
+		policyK: policyK,
+		peerIDs: append([]string(nil), peerIDs...),
+		peers:   make(map[string]*Peer, len(peerIDs)),
+		keys:    make(map[string]*hckrypto.VerifyKey, len(peerIDs)),
+	}
+	sort.Strings(n.peerIDs)
+	for _, id := range n.peerIDs {
+		p, err := NewPeer(id, o.validate)
+		if err != nil {
+			return nil, err
+		}
+		n.peers[id] = p
+		n.keys[id] = p.VerifyKey()
+	}
+	// One ordering node per peer, mirroring Fabric's Raft ordering service.
+	n.cluster = consensus.NewCluster(len(n.peerIDs), o.raftCfg)
+	for i, id := range n.peerIDs {
+		n.wg.Add(1)
+		go n.pump(n.cluster.Nodes[i], n.peers[id])
+	}
+	return n, nil
+}
+
+// pump applies the ordered stream to one peer's ledger (the "validate"
+// and "commit" phases).
+func (n *Network) pump(node *consensus.Node, peer *Peer) {
+	defer n.wg.Done()
+	for com := range node.Apply() {
+		txs, err := decodeBatch(com.Entry.Data)
+		if err != nil {
+			continue // malformed batches are skipped deterministically
+		}
+		valid := txs[:0]
+		for _, tx := range txs {
+			if n.checkEndorsements(&tx) == nil {
+				valid = append(valid, tx)
+			}
+		}
+		if len(valid) > 0 {
+			peer.Ledger().AppendBlock(valid)
+		}
+	}
+}
+
+// checkEndorsements enforces the endorsement policy: at least policyK
+// distinct known peers with valid signatures over the tx digest.
+func (n *Network) checkEndorsements(tx *Transaction) error {
+	digest := tx.Digest()
+	seen := make(map[string]bool, len(tx.Endorsements))
+	for _, e := range tx.Endorsements {
+		key, ok := n.keys[e.PeerID]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownPeer, e.PeerID)
+		}
+		if seen[e.PeerID] {
+			continue
+		}
+		if !key.Verify(digest, e.Signature) {
+			return ErrBadEndorsement
+		}
+		seen[e.PeerID] = true
+	}
+	if len(seen) < n.policyK {
+		return fmt.Errorf("%w: have %d, need %d", ErrNotEndorsed, len(seen), n.policyK)
+	}
+	return nil
+}
+
+// Name returns the network name.
+func (n *Network) Name() string { return n.name }
+
+// Peer returns a member by ID.
+func (n *Network) Peer(id string) (*Peer, error) {
+	p, ok := n.peers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, id)
+	}
+	return p, nil
+}
+
+// PeerIDs returns the sorted member list.
+func (n *Network) PeerIDs() []string { return append([]string(nil), n.peerIDs...) }
+
+// NewTransaction builds an unendorsed transaction with a fresh ID.
+func NewTransaction(typ EventType, creator, handle string, dataHash []byte, meta map[string]string) Transaction {
+	return Transaction{
+		ID:        hckrypto.NewUUID(),
+		Type:      typ,
+		Creator:   creator,
+		Handle:    handle,
+		DataHash:  dataHash,
+		Meta:      meta,
+		Timestamp: time.Now().UTC(),
+	}
+}
+
+// EndorseAll collects endorsements from up to policyK peers, stopping as
+// soon as the policy is satisfied. Peers whose validation rejects the
+// transaction are skipped; if the policy cannot be met the first
+// rejection reason is returned.
+func (n *Network) EndorseAll(tx *Transaction) error {
+	var firstErr error
+	for _, id := range n.peerIDs {
+		if len(tx.Endorsements) >= n.policyK {
+			break
+		}
+		e, err := n.peers[id].Endorse(tx)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		tx.Endorsements = append(tx.Endorsements, e)
+	}
+	if len(tx.Endorsements) < n.policyK {
+		if firstErr != nil {
+			return firstErr
+		}
+		return ErrNotEndorsed
+	}
+	return nil
+}
+
+// Submit runs the full lifecycle for one transaction: endorse, order,
+// and wait until it is committed on every peer's ledger.
+func (n *Network) Submit(tx Transaction, timeout time.Duration) error {
+	return n.SubmitBatch([]Transaction{tx}, timeout)
+}
+
+// SubmitBatch endorses every transaction and submits them as a single
+// ordering batch (one block), then waits for commit everywhere. Batching
+// is how experiment E6 amortizes ordering cost.
+func (n *Network) SubmitBatch(txs []Transaction, timeout time.Duration) error {
+	if len(txs) == 0 {
+		return nil
+	}
+	for i := range txs {
+		if err := n.EndorseAll(&txs[i]); err != nil {
+			return fmt.Errorf("blockchain: endorsing %s: %w", txs[i].ID, err)
+		}
+	}
+	data, err := encodeBatch(txs)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(timeout)
+	if _, err := n.cluster.ProposeAndWait(data, timeout); err != nil {
+		return fmt.Errorf("blockchain: ordering: %w", err)
+	}
+	// Wait until the last tx of the batch lands on every peer.
+	lastID := txs[len(txs)-1].ID
+	for time.Now().Before(deadline) {
+		all := true
+		for _, id := range n.peerIDs {
+			if !n.peers[id].Ledger().Committed(lastID) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return errors.New("blockchain: commit not observed on all peers within timeout")
+}
+
+// Close shuts down the ordering cluster and waits for the apply pumps to
+// drain; each node closes its apply channel on stop.
+func (n *Network) Close() {
+	n.stopOnce.Do(func() {
+		n.cluster.Stop()
+		n.wg.Wait()
+	})
+}
+
+// OrderingNetwork exposes the ordering cluster's message fabric for
+// failure-injection tests (drops, delays, partitions).
+func (n *Network) OrderingNetwork() *consensus.Network { return n.cluster.Net }

@@ -1,0 +1,63 @@
+package blockchain
+
+import (
+	"fmt"
+	"sync"
+
+	"healthcloud/internal/hckrypto"
+)
+
+// Peer is one organization's member on a blockchain network: it endorses
+// transactions it considers valid and maintains its own copy of the
+// ledger from the ordered stream. The paper's networks have peers for
+// "sender ..., receiver ..., healthcare provider ..., data protection
+// service, audit service as well as other services" (§IV-B1).
+type Peer struct {
+	id  string
+	key *hckrypto.SigningKey
+
+	// validate lets each peer apply its own business rules before
+	// endorsing (smart-contract stand-in). Nil means endorse anything
+	// well-formed.
+	validate func(*Transaction) error
+
+	mu     sync.RWMutex
+	ledger *Ledger
+}
+
+// NewPeer creates a peer with a fresh signing identity.
+func NewPeer(id string, validate func(*Transaction) error) (*Peer, error) {
+	key, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		return nil, fmt.Errorf("blockchain: peer key: %w", err)
+	}
+	return &Peer{id: id, key: key, validate: validate, ledger: NewLedger()}, nil
+}
+
+// ID returns the peer's identity.
+func (p *Peer) ID() string { return p.id }
+
+// VerifyKey returns the peer's public endorsement-verification key.
+func (p *Peer) VerifyKey() *hckrypto.VerifyKey { return p.key.Public() }
+
+// Endorse validates the transaction against the peer's rules and signs
+// its digest. This is the "endorse" phase of the lifecycle.
+func (p *Peer) Endorse(tx *Transaction) (Endorsement, error) {
+	if p.validate != nil {
+		if err := p.validate(tx); err != nil {
+			return Endorsement{}, fmt.Errorf("%w: %s: %v", ErrTxRejected, p.id, err)
+		}
+	}
+	sig, err := p.key.Sign(tx.Digest())
+	if err != nil {
+		return Endorsement{}, fmt.Errorf("blockchain: endorsing: %w", err)
+	}
+	return Endorsement{PeerID: p.id, Signature: sig}, nil
+}
+
+// Ledger returns the peer's view of the chain.
+func (p *Peer) Ledger() *Ledger {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.ledger
+}

@@ -1,0 +1,143 @@
+// Package blockchain implements the permissioned ledger networks of §IV:
+// provenance, malware, privacy, and identity blockchains "such as
+// Hyperledger". The transaction lifecycle follows the Fabric model the
+// paper assumes — endorse, order, validate, commit — with ordering
+// provided by the Raft cluster in internal/consensus.
+//
+// PHI never goes on-chain: per §IV-B1 "it is essential not to store the
+// PHI data on the full replicated de-centralized ledger". Transactions
+// carry only a handle (reference) to the encrypted off-chain record, a
+// salted hash of the data, and event metadata.
+package blockchain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// EventType enumerates the ledger events §IV-B1 lists: "data receipt,
+// data retrieval, data anonymization and such other events".
+type EventType string
+
+// Ledger event types.
+const (
+	EventDataReceipt      EventType = "data-receipt"
+	EventDataRetrieval    EventType = "data-retrieval"
+	EventAnonymization    EventType = "anonymization"
+	EventConsentGranted   EventType = "consent-granted"
+	EventConsentRevoked   EventType = "consent-revoked"
+	EventMalwareReport    EventType = "malware-report"
+	EventPrivacyLevel     EventType = "privacy-level"
+	EventIdentityRegister EventType = "identity-register"
+	EventIdentityRevoke   EventType = "identity-revoke"
+	EventWorkloadAttest   EventType = "workload-attest"
+	EventSecureDeletion   EventType = "secure-deletion"
+	EventExport           EventType = "export"
+)
+
+// Transaction is one ledger record. Handle points at the off-chain
+// encrypted record; DataHash is a salted hash binding the record's
+// content without revealing it.
+type Transaction struct {
+	ID           string            `json:"id"`
+	Type         EventType         `json:"type"`
+	Creator      string            `json:"creator"`
+	Handle       string            `json:"handle,omitempty"`
+	DataHash     []byte            `json:"data_hash,omitempty"`
+	Meta         map[string]string `json:"meta,omitempty"`
+	Timestamp    time.Time         `json:"timestamp"`
+	Endorsements []Endorsement     `json:"endorsements,omitempty"`
+}
+
+// Endorsement is a peer's signature over a transaction digest.
+type Endorsement struct {
+	PeerID    string `json:"peer_id"`
+	Signature []byte `json:"signature"`
+}
+
+// Digest returns the canonical hash endorsers sign: every field except
+// the endorsements themselves, deterministically serialized.
+func (tx *Transaction) Digest() []byte {
+	h := sha256.New()
+	write := func(b []byte) {
+		var lenBuf [8]byte
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(b)))
+		h.Write(lenBuf[:])
+		h.Write(b)
+	}
+	write([]byte(tx.ID))
+	write([]byte(tx.Type))
+	write([]byte(tx.Creator))
+	write([]byte(tx.Handle))
+	write(tx.DataHash)
+	keys := make([]string, 0, len(tx.Meta))
+	for k := range tx.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		write([]byte(k))
+		write([]byte(tx.Meta[k]))
+	}
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(tx.Timestamp.UnixNano()))
+	write(ts[:])
+	return h.Sum(nil)
+}
+
+// Block is a batch of validated transactions chained by hash.
+type Block struct {
+	Number   uint64        `json:"number"`
+	PrevHash []byte        `json:"prev_hash"`
+	Txs      []Transaction `json:"txs"`
+	Hash     []byte        `json:"hash"`
+}
+
+// computeHash derives the block hash from number, previous hash, and
+// every transaction digest.
+func (b *Block) computeHash() []byte {
+	h := sha256.New()
+	var num [8]byte
+	binary.BigEndian.PutUint64(num[:], b.Number)
+	h.Write(num[:])
+	h.Write(b.PrevHash)
+	for i := range b.Txs {
+		h.Write(b.Txs[i].Digest())
+	}
+	return h.Sum(nil)
+}
+
+// batch is the unit submitted to the ordering service.
+type batch struct {
+	Txs []Transaction `json:"txs"`
+}
+
+func encodeBatch(txs []Transaction) ([]byte, error) {
+	data, err := json.Marshal(batch{Txs: txs})
+	if err != nil {
+		return nil, fmt.Errorf("blockchain: encoding batch: %w", err)
+	}
+	return data, nil
+}
+
+func decodeBatch(data []byte) ([]Transaction, error) {
+	var b batch
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("blockchain: decoding batch: %w", err)
+	}
+	return b.Txs, nil
+}
+
+// Errors returned by this package.
+var (
+	ErrNotEndorsed    = errors.New("blockchain: endorsement policy not satisfied")
+	ErrUnknownPeer    = errors.New("blockchain: unknown peer")
+	ErrBadEndorsement = errors.New("blockchain: invalid endorsement signature")
+	ErrChainBroken    = errors.New("blockchain: hash chain broken")
+	ErrTxRejected     = errors.New("blockchain: transaction rejected by endorser")
+)

@@ -1,0 +1,295 @@
+// Package bus is the platform's internal messaging system (§II-B): the
+// ingestion flow leaves "a message ... in the platform's internal
+// messaging system for the background ingestion process to ingest the
+// data". It provides named topics with fan-out to subscriptions,
+// at-least-once delivery with acknowledgements, and redelivery of
+// messages whose visibility timeout lapses (worker crash simulation).
+package bus
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"healthcloud/internal/hckrypto"
+)
+
+// Message is one queued item.
+type Message struct {
+	ID      string
+	Topic   string
+	Payload []byte
+	Attempt int // 1 on first delivery, incremented on redelivery
+}
+
+// Errors returned by this package.
+var (
+	ErrClosed      = errors.New("bus: closed")
+	ErrNoSuchSub   = errors.New("bus: no such subscription")
+	ErrNotInFlight = errors.New("bus: message not in flight")
+)
+
+// Bus routes published messages to every subscription on the topic.
+type Bus struct {
+	visibility time.Duration
+
+	mu     sync.Mutex
+	subs   map[string]map[string]*Subscription // topic -> name -> sub
+	closed bool
+	wg     sync.WaitGroup
+	stopCh chan struct{}
+}
+
+// Option configures the Bus.
+type Option func(*Bus)
+
+// WithVisibilityTimeout sets how long a delivered-but-unacked message
+// stays invisible before redelivery (default 500ms).
+func WithVisibilityTimeout(d time.Duration) Option {
+	return func(b *Bus) { b.visibility = d }
+}
+
+// New creates a bus. Call Close to stop its redelivery sweeper.
+func New(opts ...Option) *Bus {
+	b := &Bus{
+		visibility: 500 * time.Millisecond,
+		subs:       make(map[string]map[string]*Subscription),
+		stopCh:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	b.wg.Add(1)
+	go b.sweep()
+	return b
+}
+
+// Close stops redelivery and closes every subscription channel.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	close(b.stopCh)
+	for _, topic := range b.subs {
+		for _, s := range topic {
+			s.close()
+		}
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// Publish enqueues a payload on a topic, fanning out to every current
+// subscription. It returns the message ID.
+func (b *Bus) Publish(topic string, payload []byte) (string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return "", ErrClosed
+	}
+	id := hckrypto.NewUUID()
+	for _, s := range b.subs[topic] {
+		s.enqueue(Message{ID: id, Topic: topic, Payload: append([]byte(nil), payload...)})
+	}
+	return id, nil
+}
+
+// Subscribe attaches a named subscription to a topic. Each subscription
+// receives every message published after it subscribes (fan-out across
+// subscriptions; workers sharing one subscription compete for messages).
+func (b *Bus) Subscribe(topic, name string) (*Subscription, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	if b.subs[topic] == nil {
+		b.subs[topic] = make(map[string]*Subscription)
+	}
+	if _, ok := b.subs[topic][name]; ok {
+		return nil, fmt.Errorf("bus: subscription %q already exists on %q", name, topic)
+	}
+	s := &Subscription{
+		topic: topic, name: name,
+		queue:    list.New(),
+		inflight: make(map[string]*flightRecord),
+		ready:    make(chan struct{}, 1),
+	}
+	b.subs[topic][name] = s
+	return s, nil
+}
+
+// sweep periodically returns timed-out in-flight messages to their queues.
+func (b *Bus) sweep() {
+	defer b.wg.Done()
+	interval := b.visibility / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.stopCh:
+			return
+		case now := <-ticker.C:
+			b.mu.Lock()
+			for _, topic := range b.subs {
+				for _, s := range topic {
+					s.redeliverExpired(now, b.visibility)
+				}
+			}
+			b.mu.Unlock()
+		}
+	}
+}
+
+type flightRecord struct {
+	msg         Message
+	deliveredAt time.Time
+}
+
+// Subscription is one consumer queue on a topic.
+type Subscription struct {
+	topic, name string
+
+	mu       sync.Mutex
+	queue    *list.List
+	inflight map[string]*flightRecord
+	closed   bool
+	// ready is a wakeup signal (size 1) for receivers.
+	ready chan struct{}
+
+	redeliveries uint64
+}
+
+func (s *Subscription) enqueue(m Message) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.queue.PushBack(m)
+	s.mu.Unlock()
+	s.signal()
+}
+
+func (s *Subscription) signal() {
+	select {
+	case s.ready <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Subscription) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.signal()
+}
+
+// Receive blocks until a message is available or the timeout elapses
+// (zero timeout = poll once). The message becomes in-flight: it must be
+// Acked, or it will be redelivered after the visibility timeout.
+func (s *Subscription) Receive(timeout time.Duration) (Message, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return Message{}, ErrClosed
+		}
+		if el := s.queue.Front(); el != nil {
+			m := s.queue.Remove(el).(Message)
+			m.Attempt++
+			s.inflight[m.ID] = &flightRecord{msg: m, deliveredAt: time.Now()}
+			// More items may remain: re-signal for other receivers.
+			if s.queue.Len() > 0 {
+				s.signal()
+			}
+			s.mu.Unlock()
+			return m, nil
+		}
+		s.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Message{}, fmt.Errorf("bus: receive timeout on %s/%s", s.topic, s.name)
+		}
+		select {
+		case <-s.ready:
+		case <-time.After(remain):
+		}
+	}
+}
+
+// Ack marks a message done; it will not be redelivered.
+func (s *Subscription) Ack(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.inflight[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotInFlight, id)
+	}
+	delete(s.inflight, id)
+	return nil
+}
+
+// Nack returns a message to the queue immediately (processing failed,
+// retry now rather than waiting for the visibility timeout).
+func (s *Subscription) Nack(id string) error {
+	s.mu.Lock()
+	rec, ok := s.inflight[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotInFlight, id)
+	}
+	delete(s.inflight, id)
+	s.redeliveries++
+	s.queue.PushBack(rec.msg)
+	s.mu.Unlock()
+	s.signal()
+	return nil
+}
+
+func (s *Subscription) redeliverExpired(now time.Time, visibility time.Duration) {
+	s.mu.Lock()
+	woke := false
+	for id, rec := range s.inflight {
+		if now.Sub(rec.deliveredAt) >= visibility {
+			delete(s.inflight, id)
+			s.redeliveries++
+			s.queue.PushBack(rec.msg)
+			woke = true
+		}
+	}
+	s.mu.Unlock()
+	if woke {
+		s.signal()
+	}
+}
+
+// Depth returns queued (not in-flight) message count.
+func (s *Subscription) Depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue.Len()
+}
+
+// InFlight returns the number of delivered-but-unacked messages.
+func (s *Subscription) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inflight)
+}
+
+// Redeliveries returns how many times messages were requeued (nack or
+// visibility timeout).
+func (s *Subscription) Redeliveries() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.redeliveries
+}

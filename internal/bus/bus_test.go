@@ -1,0 +1,247 @@
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestBus(t *testing.T, opts ...Option) *Bus {
+	t.Helper()
+	b := New(opts...)
+	t.Cleanup(b.Close)
+	return b
+}
+
+func TestPublishReceiveAck(t *testing.T) {
+	b := newTestBus(t)
+	sub, err := b.Subscribe("ingest", "worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := b.Publish("ingest", []byte("bundle-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sub.Receive(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != id || string(m.Payload) != "bundle-1" || m.Attempt != 1 {
+		t.Errorf("message = %+v", m)
+	}
+	if err := sub.Ack(m.ID); err != nil {
+		t.Fatal(err)
+	}
+	if sub.InFlight() != 0 || sub.Depth() != 0 {
+		t.Errorf("inflight=%d depth=%d after ack", sub.InFlight(), sub.Depth())
+	}
+}
+
+func TestReceiveTimeout(t *testing.T) {
+	b := newTestBus(t)
+	sub, _ := b.Subscribe("t", "s")
+	start := time.Now()
+	if _, err := sub.Receive(50 * time.Millisecond); err == nil {
+		t.Error("empty receive returned a message")
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Error("receive returned before timeout")
+	}
+}
+
+func TestFanOutAcrossSubscriptions(t *testing.T) {
+	b := newTestBus(t)
+	s1, _ := b.Subscribe("t", "sub1")
+	s2, _ := b.Subscribe("t", "sub2")
+	b.Publish("t", []byte("x"))
+	for _, s := range []*Subscription{s1, s2} {
+		m, err := s.Receive(time.Second)
+		if err != nil {
+			t.Fatalf("subscription missed fan-out: %v", err)
+		}
+		s.Ack(m.ID)
+	}
+}
+
+func TestCompetingWorkersShareSubscription(t *testing.T) {
+	b := newTestBus(t)
+	sub, _ := b.Subscribe("t", "pool")
+	const total = 40
+	for i := 0; i < total; i++ {
+		b.Publish("t", []byte(fmt.Sprintf("m-%d", i)))
+	}
+	var mu sync.Mutex
+	got := make(map[string]int)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m, err := sub.Receive(100 * time.Millisecond)
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				got[string(m.Payload)]++
+				mu.Unlock()
+				sub.Ack(m.ID)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(got) != total {
+		t.Fatalf("received %d distinct messages, want %d", len(got), total)
+	}
+	for payload, n := range got {
+		if n != 1 {
+			t.Errorf("%s delivered %d times before any nack/timeout", payload, n)
+		}
+	}
+}
+
+func TestNackRedelivers(t *testing.T) {
+	b := newTestBus(t)
+	sub, _ := b.Subscribe("t", "s")
+	b.Publish("t", []byte("flaky"))
+	m, err := sub.Receive(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Nack(m.ID); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := sub.Receive(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.ID != m.ID {
+		t.Errorf("redelivered different message: %s vs %s", m2.ID, m.ID)
+	}
+	if m2.Attempt != 2 {
+		t.Errorf("attempt = %d, want 2", m2.Attempt)
+	}
+	if sub.Redeliveries() != 1 {
+		t.Errorf("redeliveries = %d, want 1", sub.Redeliveries())
+	}
+	sub.Ack(m2.ID)
+}
+
+func TestVisibilityTimeoutRedelivers(t *testing.T) {
+	// Simulates a crashed worker: message received but never acked.
+	b := newTestBus(t, WithVisibilityTimeout(40*time.Millisecond))
+	sub, _ := b.Subscribe("t", "s")
+	b.Publish("t", []byte("orphan"))
+	m, err := sub.Receive(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Do not ack. The sweeper must return it.
+	m2, err := sub.Receive(2 * time.Second)
+	if err != nil {
+		t.Fatalf("message never redelivered after visibility timeout: %v", err)
+	}
+	if m2.ID != m.ID || m2.Attempt != 2 {
+		t.Errorf("redelivery = %+v", m2)
+	}
+	sub.Ack(m2.ID)
+}
+
+func TestAckNackUnknown(t *testing.T) {
+	b := newTestBus(t)
+	sub, _ := b.Subscribe("t", "s")
+	if err := sub.Ack("ghost"); !errors.Is(err, ErrNotInFlight) {
+		t.Errorf("Ack ghost: %v", err)
+	}
+	if err := sub.Nack("ghost"); !errors.Is(err, ErrNotInFlight) {
+		t.Errorf("Nack ghost: %v", err)
+	}
+}
+
+func TestDoubleAck(t *testing.T) {
+	b := newTestBus(t)
+	sub, _ := b.Subscribe("t", "s")
+	b.Publish("t", []byte("x"))
+	m, _ := sub.Receive(time.Second)
+	if err := sub.Ack(m.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Ack(m.ID); !errors.Is(err, ErrNotInFlight) {
+		t.Errorf("double ack: %v", err)
+	}
+}
+
+func TestDuplicateSubscription(t *testing.T) {
+	b := newTestBus(t)
+	if _, err := b.Subscribe("t", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe("t", "s"); err == nil {
+		t.Error("duplicate subscription accepted")
+	}
+}
+
+func TestSubscriberOnlySeesLaterMessages(t *testing.T) {
+	b := newTestBus(t)
+	b.Publish("t", []byte("early")) // no subscribers yet: dropped
+	sub, _ := b.Subscribe("t", "late")
+	b.Publish("t", []byte("on-time"))
+	m, err := sub.Receive(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Payload) != "on-time" {
+		t.Errorf("payload = %q", m.Payload)
+	}
+	sub.Ack(m.ID)
+}
+
+func TestClosedBusRejectsOps(t *testing.T) {
+	b := New()
+	sub, _ := b.Subscribe("t", "s")
+	b.Close()
+	if _, err := b.Publish("t", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Publish after close: %v", err)
+	}
+	if _, err := b.Subscribe("t", "s2"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Subscribe after close: %v", err)
+	}
+	if _, err := sub.Receive(10 * time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Errorf("Receive after close: %v", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestPayloadIsolation(t *testing.T) {
+	b := newTestBus(t)
+	sub, _ := b.Subscribe("t", "s")
+	payload := []byte("mutable")
+	b.Publish("t", payload)
+	payload[0] = 'X' // caller mutates after publish
+	m, _ := sub.Receive(time.Second)
+	if string(m.Payload) != "mutable" {
+		t.Errorf("payload not copied at publish: %q", m.Payload)
+	}
+	sub.Ack(m.ID)
+}
+
+func TestHighThroughputDrain(t *testing.T) {
+	b := newTestBus(t)
+	sub, _ := b.Subscribe("t", "s")
+	const total = 2000
+	go func() {
+		for i := 0; i < total; i++ {
+			b.Publish("t", []byte{byte(i)})
+		}
+	}()
+	for i := 0; i < total; i++ {
+		m, err := sub.Receive(2 * time.Second)
+		if err != nil {
+			t.Fatalf("drain stalled at %d: %v", i, err)
+		}
+		sub.Ack(m.ID)
+	}
+}

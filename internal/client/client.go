@@ -1,0 +1,276 @@
+// Package client is the enhanced-client SDK of §I/§III-A and Fig 4: the
+// piece of the platform that runs on user machines and mobile devices.
+// It provides exactly the features the paper enumerates — "these
+// enhanced clients provide features such as caching, data analytics, and
+// encryption" — plus the privacy behaviour of §IV-C ("the enhanced
+// client can anonymize the data it is sending to the system") and
+// disconnected operation ("clients can also perform processing and
+// analysis while disconnected from servers"):
+//
+//   - client-side cache in front of server/KB reads;
+//   - client-side de-identification before anything leaves the device;
+//   - client-side encryption under the registration shared key;
+//   - an offline capture queue that syncs on reconnect;
+//   - local execution of platform-approved models pushed to the edge.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"healthcloud/internal/analytics"
+	"healthcloud/internal/anonymize"
+	"healthcloud/internal/fhir"
+	"healthcloud/internal/hccache"
+	"healthcloud/internal/hckrypto"
+)
+
+// Server is the platform surface the enhanced client talks to.
+type Server interface {
+	// Upload submits a client-encrypted bundle for asynchronous ingestion
+	// and returns the upload (status) ID.
+	Upload(clientID, group string, encrypted []byte) (string, error)
+	// FetchKB reads a knowledge-base key server-side.
+	FetchKB(key string) ([]byte, error)
+	// PullModel returns the deployed payload of an approved model.
+	PullModel(name string) ([]byte, error)
+}
+
+// Errors returned by this package.
+var (
+	ErrOffline  = errors.New("client: offline and not cached locally")
+	ErrNoModel  = errors.New("client: model not installed")
+	ErrNoBundle = errors.New("client: empty bundle")
+)
+
+// Options configures a capture.
+type Options struct {
+	// Deidentify strips direct identifiers at the client before
+	// encryption, so PHI never leaves the device (§IV-C).
+	Deidentify bool
+}
+
+// Client is one enhanced client instance. Construct with New.
+type Client struct {
+	id     string
+	key    hckrypto.SymmetricKey
+	server Server
+	cache  *hccache.Cache
+
+	mu      sync.Mutex
+	online  bool
+	queue   []queuedUpload
+	models  map[string]*analytics.LinearModel
+	uploads []string // upload IDs returned by the server
+}
+
+type queuedUpload struct {
+	group     string
+	encrypted []byte
+}
+
+// New creates a client with the shared key issued at registration.
+func New(id string, key hckrypto.SymmetricKey, server Server, cacheSize int) (*Client, error) {
+	if server == nil {
+		return nil, errors.New("client: server required")
+	}
+	cache, err := hccache.New(cacheSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		id: id, key: append(hckrypto.SymmetricKey(nil), key...),
+		server: server, cache: cache, online: true,
+		models: make(map[string]*analytics.LinearModel),
+	}, nil
+}
+
+// SetOnline toggles connectivity (disconnected operation support).
+func (c *Client) SetOnline(online bool) {
+	c.mu.Lock()
+	c.online = online
+	c.mu.Unlock()
+}
+
+// Online reports connectivity.
+func (c *Client) Online() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.online
+}
+
+// Capture encrypts a bundle (optionally de-identifying it first) and
+// either uploads it immediately or queues it for the next Sync. The
+// plaintext never persists on the client beyond this call. It returns
+// the upload ID when sent immediately, or "" when queued.
+func (c *Client) Capture(b *fhir.Bundle, group string, opts Options) (string, error) {
+	if b == nil || len(b.Entry) == 0 {
+		return "", ErrNoBundle
+	}
+	prepared := b
+	if opts.Deidentify {
+		deid, err := deidentifyBundle(b)
+		if err != nil {
+			return "", fmt.Errorf("client: de-identify: %w", err)
+		}
+		prepared = deid
+	}
+	raw, err := fhir.Marshal(prepared)
+	if err != nil {
+		return "", fmt.Errorf("client: marshal: %w", err)
+	}
+	encrypted, err := hckrypto.EncryptGCM(c.key, raw, []byte(c.id))
+	if err != nil {
+		return "", fmt.Errorf("client: encrypt: %w", err)
+	}
+	c.mu.Lock()
+	online := c.online
+	if !online {
+		c.queue = append(c.queue, queuedUpload{group: group, encrypted: encrypted})
+		c.mu.Unlock()
+		return "", nil
+	}
+	c.mu.Unlock()
+	id, err := c.server.Upload(c.id, group, encrypted)
+	if err != nil {
+		// Network failure: keep the capture, deliver on next Sync.
+		c.mu.Lock()
+		c.queue = append(c.queue, queuedUpload{group: group, encrypted: encrypted})
+		c.mu.Unlock()
+		return "", nil
+	}
+	c.mu.Lock()
+	c.uploads = append(c.uploads, id)
+	c.mu.Unlock()
+	return id, nil
+}
+
+// Pending returns the number of captures waiting for Sync.
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// Uploads returns the IDs of successfully submitted uploads.
+func (c *Client) Uploads() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.uploads...)
+}
+
+// Sync flushes the offline queue. It returns how many captures were
+// delivered; delivery stops at the first failure, retaining the rest.
+func (c *Client) Sync() (int, error) {
+	c.mu.Lock()
+	if !c.online {
+		c.mu.Unlock()
+		return 0, ErrOffline
+	}
+	pending := c.queue
+	c.queue = nil
+	c.mu.Unlock()
+	for i, q := range pending {
+		id, err := c.server.Upload(c.id, q.group, q.encrypted)
+		if err != nil {
+			c.mu.Lock()
+			c.queue = append(pending[i:], c.queue...)
+			c.mu.Unlock()
+			return i, fmt.Errorf("client: sync: %w", err)
+		}
+		c.mu.Lock()
+		c.uploads = append(c.uploads, id)
+		c.mu.Unlock()
+	}
+	return len(pending), nil
+}
+
+// QueryKB reads a knowledge-base key, serving from the client cache when
+// possible. Offline misses return ErrOffline.
+func (c *Client) QueryKB(key string) ([]byte, error) {
+	if v, _, ok := c.cache.Get(key); ok {
+		return v, nil
+	}
+	if !c.Online() {
+		return nil, fmt.Errorf("%w: %s", ErrOffline, key)
+	}
+	v, err := c.server.FetchKB(key)
+	if err != nil {
+		return nil, fmt.Errorf("client: kb fetch: %w", err)
+	}
+	c.cache.Put(key, v, 1)
+	return v, nil
+}
+
+// CacheStats exposes the client cache counters (E1/E2 measurements).
+func (c *Client) CacheStats() hccache.Stats { return c.cache.Stats() }
+
+// InvalidateKey drops a key from the client cache (server-push cache
+// consistency, §III). It reports whether the key was cached.
+func (c *Client) InvalidateKey(key string) bool { return c.cache.Invalidate(key) }
+
+// InstallModel pulls an approved model from the platform for local
+// execution.
+func (c *Client) InstallModel(name string) error {
+	if !c.Online() {
+		return fmt.Errorf("%w: cannot pull model %s", ErrOffline, name)
+	}
+	payload, err := c.server.PullModel(name)
+	if err != nil {
+		return fmt.Errorf("client: pulling model: %w", err)
+	}
+	m, err := analytics.ParseLinearModel(payload)
+	if err != nil {
+		return fmt.Errorf("client: decoding model: %w", err)
+	}
+	c.mu.Lock()
+	c.models[name] = m
+	c.mu.Unlock()
+	return nil
+}
+
+// Predict runs an installed model locally — client-side data analysis
+// that works offline and keeps the features on the device.
+func (c *Client) Predict(name string, features map[string]float64) (float64, error) {
+	c.mu.Lock()
+	m, ok := c.models[name]
+	c.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoModel, name)
+	}
+	return m.Predict(features), nil
+}
+
+// InstalledModels lists locally available models.
+func (c *Client) InstalledModels() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.models))
+	for name := range c.models {
+		out = append(out, name)
+	}
+	return out
+}
+
+// deidentifyBundle applies Safe-Harbor de-identification to every
+// patient in the bundle, client-side.
+func deidentifyBundle(b *fhir.Bundle) (*fhir.Bundle, error) {
+	resources, err := b.Resources()
+	if err != nil {
+		return nil, err
+	}
+	out := fhir.NewBundle(b.Type)
+	for _, r := range resources {
+		if pt, ok := r.(*fhir.Patient); ok {
+			if err := out.AddResource(anonymize.DeidentifyPatient(pt, nil)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := out.AddResource(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,316 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"healthcloud/internal/analytics"
+	"healthcloud/internal/fhir"
+	"healthcloud/internal/hckrypto"
+)
+
+// fakeServer implements Server, decrypting uploads so tests can inspect
+// what actually left the client.
+type fakeServer struct {
+	mu       sync.Mutex
+	key      hckrypto.SymmetricKey
+	uploads  []string // decrypted payloads
+	kbCalls  int
+	failNext bool
+	model    []byte
+}
+
+func (f *fakeServer) Upload(clientID, group string, encrypted []byte) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failNext {
+		f.failNext = false
+		return "", errors.New("boom")
+	}
+	pt, err := hckrypto.DecryptGCM(f.key, encrypted, []byte(clientID))
+	if err != nil {
+		return "", err
+	}
+	f.uploads = append(f.uploads, string(pt))
+	return fmt.Sprintf("upload-%d", len(f.uploads)), nil
+}
+
+func (f *fakeServer) FetchKB(key string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.kbCalls++
+	if key == "missing" {
+		return nil, errors.New("not found")
+	}
+	return []byte("kb:" + key), nil
+}
+
+func (f *fakeServer) PullModel(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.model == nil {
+		return nil, errors.New("no deployed model")
+	}
+	return f.model, nil
+}
+
+func newFixture(t *testing.T) (*Client, *fakeServer) {
+	t.Helper()
+	key, err := hckrypto.NewSymmetricKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &fakeServer{key: key}
+	c, err := New("device-1", key, srv, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, srv
+}
+
+func sampleBundle(t *testing.T) *fhir.Bundle {
+	t.Helper()
+	b := fhir.NewBundle("collection")
+	if err := b.AddResource(&fhir.Patient{
+		ResourceType: "Patient", ID: "p1",
+		Name:   []fhir.HumanName{{Family: "Doe"}},
+		Gender: "female", BirthDate: "1980-04-02",
+		Telecom: []fhir.Telecom{{System: "phone", Value: "914-555-1234"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddResource(&fhir.Observation{
+		ResourceType: "Observation", Status: "final",
+		Code:          fhir.CodeableConcept{Text: "HbA1c"},
+		ValueQuantity: &fhir.Quantity{Value: 7.0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	key, _ := hckrypto.NewSymmetricKey()
+	if _, err := New("id", key, nil, 8); err == nil {
+		t.Error("nil server accepted")
+	}
+	if _, err := New("id", key, &fakeServer{}, 0); err == nil {
+		t.Error("zero cache size accepted")
+	}
+}
+
+func TestCaptureOnlineEncrypted(t *testing.T) {
+	c, srv := newFixture(t)
+	id, err := c.Capture(sampleBundle(t), "study-1", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "upload-1" {
+		t.Errorf("id = %q", id)
+	}
+	if len(srv.uploads) != 1 || !strings.Contains(srv.uploads[0], "Doe") {
+		t.Errorf("server saw %v", srv.uploads)
+	}
+	if got := c.Uploads(); len(got) != 1 || got[0] != "upload-1" {
+		t.Errorf("Uploads = %v", got)
+	}
+}
+
+func TestCaptureWireFormatIsCiphertext(t *testing.T) {
+	// Spy on the raw bytes before the fake server decrypts them.
+	key, _ := hckrypto.NewSymmetricKey()
+	var wire []byte
+	srv := &spyServer{fakeServer: &fakeServer{key: key}, wire: &wire}
+	c, err := New("device-1", key, srv, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Capture(sampleBundle(t), "g", Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(wire, []byte("Doe")) || bytes.Contains(wire, []byte("914-555")) {
+		t.Error("PHI visible on the wire")
+	}
+}
+
+type spyServer struct {
+	*fakeServer
+	wire *[]byte
+}
+
+func (s *spyServer) Upload(clientID, group string, encrypted []byte) (string, error) {
+	*s.wire = append([]byte(nil), encrypted...)
+	return s.fakeServer.Upload(clientID, group, encrypted)
+}
+
+func TestCaptureDeidentifies(t *testing.T) {
+	c, srv := newFixture(t)
+	if _, err := c.Capture(sampleBundle(t), "study-1", Options{Deidentify: true}); err != nil {
+		t.Fatal(err)
+	}
+	got := srv.uploads[0]
+	for _, phi := range []string{"Doe", "914-555", "1980-04-02"} {
+		if strings.Contains(got, phi) {
+			t.Errorf("de-identified capture leaked %q", phi)
+		}
+	}
+	if !strings.Contains(got, "HbA1c") {
+		t.Error("observation lost in client-side de-identification")
+	}
+}
+
+func TestCaptureValidation(t *testing.T) {
+	c, _ := newFixture(t)
+	if _, err := c.Capture(nil, "g", Options{}); !errors.Is(err, ErrNoBundle) {
+		t.Errorf("nil bundle: %v", err)
+	}
+	if _, err := c.Capture(fhir.NewBundle("collection"), "g", Options{}); !errors.Is(err, ErrNoBundle) {
+		t.Errorf("empty bundle: %v", err)
+	}
+}
+
+func TestOfflineQueueAndSync(t *testing.T) {
+	c, srv := newFixture(t)
+	c.SetOnline(false)
+	for i := 0; i < 3; i++ {
+		id, err := c.Capture(sampleBundle(t), "study-1", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != "" {
+			t.Errorf("offline capture returned id %q", id)
+		}
+	}
+	if c.Pending() != 3 {
+		t.Fatalf("pending = %d", c.Pending())
+	}
+	if len(srv.uploads) != 0 {
+		t.Fatal("offline captures reached the server")
+	}
+	// Sync while offline fails.
+	if _, err := c.Sync(); !errors.Is(err, ErrOffline) {
+		t.Errorf("offline sync: %v", err)
+	}
+	c.SetOnline(true)
+	n, err := c.Sync()
+	if err != nil || n != 3 {
+		t.Fatalf("Sync = %d, %v", n, err)
+	}
+	if c.Pending() != 0 || len(srv.uploads) != 3 {
+		t.Errorf("pending=%d uploads=%d", c.Pending(), len(srv.uploads))
+	}
+}
+
+func TestSyncPartialFailureRetains(t *testing.T) {
+	c, srv := newFixture(t)
+	c.SetOnline(false)
+	c.Capture(sampleBundle(t), "g", Options{})
+	c.Capture(sampleBundle(t), "g", Options{})
+	c.SetOnline(true)
+	srv.failNext = true
+	n, err := c.Sync()
+	if err == nil {
+		t.Fatal("sync with failing server succeeded")
+	}
+	if n != 0 || c.Pending() != 2 {
+		t.Errorf("n=%d pending=%d, want retained queue", n, c.Pending())
+	}
+	if n2, err := c.Sync(); err != nil || n2 != 2 {
+		t.Errorf("retry sync = %d, %v", n2, err)
+	}
+}
+
+func TestUploadFailureFallsBackToQueue(t *testing.T) {
+	c, srv := newFixture(t)
+	srv.failNext = true
+	id, err := c.Capture(sampleBundle(t), "g", Options{})
+	if err != nil {
+		t.Fatalf("capture should queue on network failure: %v", err)
+	}
+	if id != "" || c.Pending() != 1 {
+		t.Errorf("id=%q pending=%d", id, c.Pending())
+	}
+}
+
+func TestQueryKBCaches(t *testing.T) {
+	c, srv := newFixture(t)
+	for i := 0; i < 5; i++ {
+		v, err := c.QueryKB("gene:BRCA1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v) != "kb:gene:BRCA1" {
+			t.Errorf("value = %q", v)
+		}
+	}
+	if srv.kbCalls != 1 {
+		t.Errorf("server calls = %d, want 1", srv.kbCalls)
+	}
+	stats := c.CacheStats()
+	if stats.Hits != 4 {
+		t.Errorf("cache hits = %d", stats.Hits)
+	}
+}
+
+func TestQueryKBOffline(t *testing.T) {
+	c, _ := newFixture(t)
+	// Warm one key.
+	if _, err := c.QueryKB("gene:BRCA1"); err != nil {
+		t.Fatal(err)
+	}
+	c.SetOnline(false)
+	// Cached key still served offline.
+	if _, err := c.QueryKB("gene:BRCA1"); err != nil {
+		t.Errorf("cached read offline: %v", err)
+	}
+	// Uncached key fails with ErrOffline.
+	if _, err := c.QueryKB("gene:TP53"); !errors.Is(err, ErrOffline) {
+		t.Errorf("uncached offline read: %v", err)
+	}
+}
+
+func TestModelInstallAndPredictOffline(t *testing.T) {
+	c, srv := newFixture(t)
+	m := &analytics.LinearModel{Name: "hba1c", Bias: 6, Weights: map[string]float64{"metformin": -1.2}}
+	payload, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.model = payload
+	if err := c.InstallModel("hba1c"); err != nil {
+		t.Fatal(err)
+	}
+	c.SetOnline(false) // prediction is local
+	got, err := c.Predict("hba1c", map[string]float64{"metformin": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4.8 {
+		t.Errorf("Predict = %f", got)
+	}
+	if names := c.InstalledModels(); len(names) != 1 || names[0] != "hba1c" {
+		t.Errorf("InstalledModels = %v", names)
+	}
+}
+
+func TestModelErrors(t *testing.T) {
+	c, srv := newFixture(t)
+	if _, err := c.Predict("ghost", nil); !errors.Is(err, ErrNoModel) {
+		t.Errorf("Predict ghost: %v", err)
+	}
+	if err := c.InstallModel("ghost"); err == nil {
+		t.Error("install with no deployed model succeeded")
+	}
+	srv.model = []byte("{bad json")
+	if err := c.InstallModel("bad"); err == nil {
+		t.Error("malformed model accepted")
+	}
+	c.SetOnline(false)
+	if err := c.InstallModel("hba1c"); !errors.Is(err, ErrOffline) {
+		t.Errorf("offline install: %v", err)
+	}
+}

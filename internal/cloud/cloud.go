@@ -1,0 +1,389 @@
+// Package cloud simulates the Trusted Infrastructure Cloud of Figure 1:
+// bare-metal hosts with (software) TPMs, a measured boot sequence that
+// extends BIOS → hypervisor → guest kernel → libraries into PCRs
+// (§II-A), an Image Management service that "accepts only those VM
+// images that are signed by an approved list of keys managed by an
+// attestation service", resource provisioning, and VM/container
+// lifecycle with per-layer attestation.
+//
+// Substitution note (DESIGN.md): there is no physical datacenter; hosts,
+// hypervisors, VMs, and containers are in-process objects, but the trust
+// chain they carry is computed exactly as the paper describes, and every
+// lifecycle event is measured and logged.
+package cloud
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"healthcloud/internal/attest"
+	"healthcloud/internal/audit"
+	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/tpm"
+)
+
+// Errors returned by this package.
+var (
+	ErrUnsignedImage   = errors.New("cloud: image not signed by an approved key")
+	ErrNoSuchImage     = errors.New("cloud: no such image")
+	ErrNoSuchHost      = errors.New("cloud: no such host")
+	ErrNoSuchVM        = errors.New("cloud: no such VM")
+	ErrNoSuchContainer = errors.New("cloud: no such container")
+	ErrExists          = errors.New("cloud: already exists")
+	ErrCapacity        = errors.New("cloud: host capacity exhausted")
+)
+
+// Image is a VM or container image: content, digest, and signature.
+type Image struct {
+	Name      string
+	Content   []byte // stand-in for the image filesystem
+	Digest    []byte
+	Signature []byte
+	SignerFP  string
+}
+
+// NewImage builds and signs an image with the given key. The signer must
+// later be on the attestation service's approved list for the image to
+// be admitted.
+func NewImage(name string, content []byte, signer *hckrypto.SigningKey) (Image, error) {
+	digest := sha256.Sum256(content)
+	sig, err := signer.Sign(digest[:])
+	if err != nil {
+		return Image{}, fmt.Errorf("cloud: signing image: %w", err)
+	}
+	return Image{
+		Name: name, Content: append([]byte(nil), content...),
+		Digest: digest[:], Signature: sig,
+		SignerFP: signer.Public().Fingerprint(),
+	}, nil
+}
+
+// ImageRegistry is the Image Management service.
+type ImageRegistry struct {
+	attSvc *attest.Service
+
+	mu     sync.RWMutex
+	images map[string]Image
+}
+
+// NewImageRegistry creates a registry gated by the attestation service's
+// approved-signer list.
+func NewImageRegistry(attSvc *attest.Service) *ImageRegistry {
+	return &ImageRegistry{attSvc: attSvc, images: make(map[string]Image)}
+}
+
+// Register admits an image if its signature verifies under an approved
+// key.
+func (r *ImageRegistry) Register(img Image) error {
+	fp, err := r.attSvc.VerifyImageSignature(img.Digest, img.Signature)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnsignedImage, err)
+	}
+	if fp != img.SignerFP {
+		return fmt.Errorf("%w: signer fingerprint mismatch", ErrUnsignedImage)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.images[img.Name]; ok {
+		return fmt.Errorf("%w: image %q", ErrExists, img.Name)
+	}
+	r.images[img.Name] = img
+	return nil
+}
+
+// Get returns an admitted image.
+func (r *ImageRegistry) Get(name string) (Image, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	img, ok := r.images[name]
+	if !ok {
+		return Image{}, fmt.Errorf("%w: %q", ErrNoSuchImage, name)
+	}
+	return img, nil
+}
+
+// Container is a running workload inside a VM.
+type Container struct {
+	ID    string
+	Image Image
+	vmID  string
+}
+
+// VM is a guest with its own vTPM.
+type VM struct {
+	ID    string
+	Image Image
+
+	host *Host
+	vtpm *tpm.TPM
+
+	mu         sync.RWMutex
+	containers map[string]*Container
+}
+
+// Host is one bare-metal server: hardware TPM, hypervisor, capacity.
+type Host struct {
+	Name     string
+	Capacity int // max concurrent VMs
+
+	tpm     *tpm.TPM
+	vtpmMgr *tpm.VTPMManager
+
+	mu  sync.RWMutex
+	vms map[string]*VM
+}
+
+// Cloud is the infrastructure provider: provisioning, image management,
+// attestation wiring, and audit logging.
+type Cloud struct {
+	attSvc   *attest.Service
+	registry *ImageRegistry
+	log      *audit.Log
+
+	mu    sync.RWMutex
+	hosts map[string]*Host
+}
+
+// New creates an empty cloud bound to an attestation service and audit
+// log.
+func New(attSvc *attest.Service, log *audit.Log) *Cloud {
+	return &Cloud{
+		attSvc:   attSvc,
+		registry: NewImageRegistry(attSvc),
+		log:      log,
+		hosts:    make(map[string]*Host),
+	}
+}
+
+// Registry returns the image-management service.
+func (c *Cloud) Registry() *ImageRegistry { return c.registry }
+
+// ProvisionHost racks a new server: its TPM is created and enrolled, the
+// measured boot runs (CRTM/BIOS then hypervisor), and golden values for
+// the hardware and hypervisor layers are recorded.
+func (c *Cloud) ProvisionHost(name string, capacity int) (*Host, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cloud: capacity must be positive")
+	}
+	c.mu.Lock()
+	if _, ok := c.hosts[name]; ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: host %q", ErrExists, name)
+	}
+	c.mu.Unlock()
+
+	hostTPM, err := tpm.New(name)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: provisioning TPM: %w", err)
+	}
+	c.attSvc.EnrollTPM(name, hostTPM.AttestationKey())
+	// Measured boot: CRTM/BIOS first, then the hypervisor stack.
+	if err := hostTPM.Extend(tpm.PCRBios, "crtm+bios", []byte("bios-v1")); err != nil {
+		return nil, err
+	}
+	if err := hostTPM.Extend(tpm.PCRHypervisor, "hypervisor", []byte("hypervisor-v1")); err != nil {
+		return nil, err
+	}
+	vtpmMgr, err := tpm.NewVTPMManager(hostTPM) // also measured into PCRHypervisor
+	if err != nil {
+		return nil, err
+	}
+	for layer, pcr := range map[attest.Layer]int{
+		attest.LayerHardware:   tpm.PCRBios,
+		attest.LayerHypervisor: tpm.PCRHypervisor,
+	} {
+		v, err := hostTPM.ReadPCR(pcr)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.attSvc.SetGoldenValue(name, layer, v); err != nil {
+			return nil, err
+		}
+	}
+	h := &Host{Name: name, Capacity: capacity, tpm: hostTPM, vtpmMgr: vtpmMgr, vms: make(map[string]*VM)}
+	c.mu.Lock()
+	c.hosts[name] = h
+	c.mu.Unlock()
+	c.log.Record(audit.Event{Level: audit.LevelInfo, Service: "provisioning",
+		Action: "provision-host", Resource: name})
+	return h, nil
+}
+
+// Host returns a provisioned host.
+func (c *Cloud) Host(name string) (*Host, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	h, ok := c.hosts[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchHost, name)
+	}
+	return h, nil
+}
+
+// Hosts lists provisioned host names, sorted.
+func (c *Cloud) Hosts() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.hosts))
+	for n := range c.hosts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LaunchVM boots a VM from an admitted image on the host: a vTPM is
+// created and enrolled, the guest kernel and libraries are measured, and
+// golden values for the guest layer are recorded.
+func (c *Cloud) LaunchVM(hostName, vmID, imageName string) (*VM, error) {
+	h, err := c.Host(hostName)
+	if err != nil {
+		return nil, err
+	}
+	img, err := c.registry.Get(imageName)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	if _, ok := h.vms[vmID]; ok {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: VM %q", ErrExists, vmID)
+	}
+	if len(h.vms) >= h.Capacity {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: host %q at %d VMs", ErrCapacity, hostName, h.Capacity)
+	}
+	h.mu.Unlock()
+
+	vt, err := h.vtpmMgr.CreateInstance(vmID)
+	if err != nil {
+		return nil, err
+	}
+	c.attSvc.EnrollTPM(vt.Name(), vt.AttestationKey())
+	// Guest measured boot: kernel from the image, then the library stack.
+	if err := vt.Extend(tpm.PCRKernel, "guest-kernel", img.Digest); err != nil {
+		return nil, err
+	}
+	if err := vt.Extend(tpm.PCRLibraries, "guest-libraries", []byte("baselibs-v1")); err != nil {
+		return nil, err
+	}
+	v, err := vt.ReadPCR(tpm.PCRKernel)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.attSvc.SetGoldenValue(vt.Name(), attest.LayerGuestOS, v); err != nil {
+		return nil, err
+	}
+	vm := &VM{ID: vmID, Image: img, host: h, vtpm: vt, containers: make(map[string]*Container)}
+	h.mu.Lock()
+	h.vms[vmID] = vm
+	h.mu.Unlock()
+	c.log.Record(audit.Event{Level: audit.LevelInfo, Service: "provisioning",
+		Action: "launch-vm", Resource: hostName + "/" + vmID, Detail: imageName})
+	return vm, nil
+}
+
+// VM returns a running VM.
+func (c *Cloud) VM(hostName, vmID string) (*VM, error) {
+	h, err := c.Host(hostName)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	vm, ok := h.vms[vmID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchVM, vmID)
+	}
+	return vm, nil
+}
+
+// StartContainer runs an admitted container image inside the VM,
+// measuring it into the vTPM's container PCR and recording the golden
+// value, so the container layer attests (Fig 5).
+func (c *Cloud) StartContainer(hostName, vmID, containerID, imageName string) (*Container, error) {
+	vm, err := c.VM(hostName, vmID)
+	if err != nil {
+		return nil, err
+	}
+	img, err := c.registry.Get(imageName)
+	if err != nil {
+		return nil, err
+	}
+	vm.mu.Lock()
+	if _, ok := vm.containers[containerID]; ok {
+		vm.mu.Unlock()
+		return nil, fmt.Errorf("%w: container %q", ErrExists, containerID)
+	}
+	vm.mu.Unlock()
+	if err := vm.vtpm.Extend(tpm.PCRContainer, "container:"+containerID, img.Digest); err != nil {
+		return nil, err
+	}
+	v, err := vm.vtpm.ReadPCR(tpm.PCRContainer)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.attSvc.SetGoldenValue(vm.vtpm.Name(), attest.LayerContainer, v); err != nil {
+		return nil, err
+	}
+	ctr := &Container{ID: containerID, Image: img, vmID: vmID}
+	vm.mu.Lock()
+	vm.containers[containerID] = ctr
+	vm.mu.Unlock()
+	c.log.Record(audit.Event{Level: audit.LevelInfo, Service: "provisioning",
+		Action: "start-container", Resource: hostName + "/" + vmID + "/" + containerID, Detail: imageName})
+	return ctr, nil
+}
+
+// AttestVM runs the transitive chain hardware → hypervisor → guest OS
+// for a VM.
+func (c *Cloud) AttestVM(hostName, vmID string) error {
+	h, err := c.Host(hostName)
+	if err != nil {
+		return err
+	}
+	vm, err := c.VM(hostName, vmID)
+	if err != nil {
+		return err
+	}
+	return c.attSvc.AttestChain([]attest.ChainLink{
+		{TPMName: h.Name, Layer: attest.LayerHardware, Quoter: h.tpm},
+		{TPMName: h.Name, Layer: attest.LayerHypervisor, Quoter: h.tpm},
+		{TPMName: vm.vtpm.Name(), Layer: attest.LayerGuestOS, Quoter: vm.vtpm},
+	})
+}
+
+// AttestContainer extends AttestVM with the container layer — the full
+// chain of Figure 5.
+func (c *Cloud) AttestContainer(hostName, vmID, containerID string) error {
+	vm, err := c.VM(hostName, vmID)
+	if err != nil {
+		return err
+	}
+	vm.mu.RLock()
+	_, ok := vm.containers[containerID]
+	vm.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchContainer, containerID)
+	}
+	if err := c.AttestVM(hostName, vmID); err != nil {
+		return err
+	}
+	h, err := c.Host(hostName)
+	if err != nil {
+		return err
+	}
+	_ = h
+	return c.attSvc.AttestChain([]attest.ChainLink{
+		{TPMName: vm.vtpm.Name(), Layer: attest.LayerContainer, Quoter: vm.vtpm},
+	})
+}
+
+// CompromiseVM simulates an in-guest attack for failure-injection tests:
+// an unapproved measurement lands in the guest kernel PCR.
+func (vm *VM) CompromiseVM() error {
+	return vm.vtpm.Extend(tpm.PCRKernel, "unapproved-module", []byte("rootkit"))
+}

@@ -1,0 +1,214 @@
+package cloud
+
+import (
+	"errors"
+	"testing"
+
+	"healthcloud/internal/attest"
+	"healthcloud/internal/audit"
+	"healthcloud/internal/hckrypto"
+)
+
+// testCloud bundles the pieces most tests need.
+type testCloud struct {
+	cloud  *Cloud
+	attSvc *attest.Service
+	log    *audit.Log
+	signer *hckrypto.SigningKey
+}
+
+func newTestCloud(t *testing.T) *testCloud {
+	t.Helper()
+	attSvc := attest.NewService()
+	log := audit.NewLog()
+	signer, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attSvc.ApproveImageSigner(signer.Public())
+	return &testCloud{cloud: New(attSvc, log), attSvc: attSvc, log: log, signer: signer}
+}
+
+func (tc *testCloud) image(t *testing.T, name string) Image {
+	t.Helper()
+	img, err := NewImage(name, []byte("content-of-"+name), tc.signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.cloud.Registry().Register(img); err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestImageRegistryRejectsUnapprovedSigner(t *testing.T) {
+	tc := newTestCloud(t)
+	rogue, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := NewImage("evil-os", []byte("payload"), rogue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.cloud.Registry().Register(img); !errors.Is(err, ErrUnsignedImage) {
+		t.Errorf("got %v, want ErrUnsignedImage", err)
+	}
+}
+
+func TestImageRegistryRejectsTamperedImage(t *testing.T) {
+	tc := newTestCloud(t)
+	img, err := NewImage("os", []byte("original"), tc.signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Digest[0] ^= 1 // content swapped after signing
+	if err := tc.cloud.Registry().Register(img); !errors.Is(err, ErrUnsignedImage) {
+		t.Errorf("got %v, want ErrUnsignedImage", err)
+	}
+}
+
+func TestImageRegistryDuplicate(t *testing.T) {
+	tc := newTestCloud(t)
+	tc.image(t, "os")
+	img, _ := NewImage("os", []byte("other"), tc.signer)
+	if err := tc.cloud.Registry().Register(img); !errors.Is(err, ErrExists) {
+		t.Errorf("got %v, want ErrExists", err)
+	}
+	if _, err := tc.cloud.Registry().Get("ghost"); !errors.Is(err, ErrNoSuchImage) {
+		t.Errorf("Get ghost: %v", err)
+	}
+}
+
+func TestProvisionHostAndAttestVM(t *testing.T) {
+	tc := newTestCloud(t)
+	tc.image(t, "guest-os")
+	if _, err := tc.cloud.ProvisionHost("host-1", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.cloud.ProvisionHost("host-1", 4); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate host: %v", err)
+	}
+	if _, err := tc.cloud.ProvisionHost("host-x", 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := tc.cloud.LaunchVM("host-1", "vm-1", "guest-os"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.cloud.AttestVM("host-1", "vm-1"); err != nil {
+		t.Fatalf("AttestVM: %v", err)
+	}
+	// Audit trail includes provisioning events.
+	if got := tc.log.Find(audit.Query{Service: "provisioning"}); len(got) != 2 {
+		t.Errorf("provisioning events = %d, want 2", len(got))
+	}
+}
+
+func TestLaunchVMValidation(t *testing.T) {
+	tc := newTestCloud(t)
+	tc.image(t, "guest-os")
+	tc.cloud.ProvisionHost("host-1", 1)
+	if _, err := tc.cloud.LaunchVM("ghost", "vm", "guest-os"); !errors.Is(err, ErrNoSuchHost) {
+		t.Errorf("unknown host: %v", err)
+	}
+	if _, err := tc.cloud.LaunchVM("host-1", "vm", "ghost-image"); !errors.Is(err, ErrNoSuchImage) {
+		t.Errorf("unknown image: %v", err)
+	}
+	if _, err := tc.cloud.LaunchVM("host-1", "vm-1", "guest-os"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.cloud.LaunchVM("host-1", "vm-1", "guest-os"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate VM: %v", err)
+	}
+	// Capacity 1 host refuses a second VM.
+	if _, err := tc.cloud.LaunchVM("host-1", "vm-2", "guest-os"); !errors.Is(err, ErrCapacity) {
+		t.Errorf("over capacity: %v", err)
+	}
+}
+
+func TestContainerChainAttestation(t *testing.T) {
+	tc := newTestCloud(t)
+	tc.image(t, "guest-os")
+	tc.image(t, "analytics-model")
+	tc.cloud.ProvisionHost("host-1", 4)
+	tc.cloud.LaunchVM("host-1", "vm-1", "guest-os")
+	if _, err := tc.cloud.StartContainer("host-1", "vm-1", "ctr-1", "analytics-model"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.cloud.AttestContainer("host-1", "vm-1", "ctr-1"); err != nil {
+		t.Fatalf("AttestContainer: %v", err)
+	}
+	if err := tc.cloud.AttestContainer("host-1", "vm-1", "ghost"); !errors.Is(err, ErrNoSuchContainer) {
+		t.Errorf("unknown container: %v", err)
+	}
+	if _, err := tc.cloud.StartContainer("host-1", "vm-1", "ctr-1", "analytics-model"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate container: %v", err)
+	}
+}
+
+func TestCompromisedVMFailsAttestation(t *testing.T) {
+	tc := newTestCloud(t)
+	tc.image(t, "guest-os")
+	tc.cloud.ProvisionHost("host-1", 4)
+	vm, err := tc.cloud.LaunchVM("host-1", "vm-1", "guest-os")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.cloud.AttestVM("host-1", "vm-1"); err != nil {
+		t.Fatalf("clean VM failed attestation: %v", err)
+	}
+	if err := vm.CompromiseVM(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.cloud.AttestVM("host-1", "vm-1"); !errors.Is(err, attest.ErrMeasurement) {
+		t.Errorf("compromised VM: got %v, want ErrMeasurement", err)
+	}
+	// The compromise leaves an audit trail in the attestation history.
+	history := tc.attSvc.History()
+	last := history[len(history)-1]
+	if last.Trusted {
+		t.Error("last attestation decision should be untrusted")
+	}
+}
+
+func TestUnapprovedContainerBreaksOnlyContainerLayer(t *testing.T) {
+	tc := newTestCloud(t)
+	tc.image(t, "guest-os")
+	tc.image(t, "model-a")
+	tc.cloud.ProvisionHost("host-1", 4)
+	vm, _ := tc.cloud.LaunchVM("host-1", "vm-1", "guest-os")
+	tc.cloud.StartContainer("host-1", "vm-1", "ctr-1", "model-a")
+	if err := tc.cloud.AttestContainer("host-1", "vm-1", "ctr-1"); err != nil {
+		t.Fatal(err)
+	}
+	// A sidecar starts without going through StartContainer (no golden
+	// update): container layer must break, VM layer must still attest.
+	if err := vm.vtpm.Extend(4 /* tpm.PCRContainer */, "rogue-sidecar", []byte("rogue")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.cloud.AttestVM("host-1", "vm-1"); err != nil {
+		t.Errorf("VM layer broken by container drift: %v", err)
+	}
+	if err := tc.cloud.AttestContainer("host-1", "vm-1", "ctr-1"); err == nil {
+		t.Error("container drift not detected")
+	}
+}
+
+func TestVMsIsolatedAcrossHosts(t *testing.T) {
+	tc := newTestCloud(t)
+	tc.image(t, "guest-os")
+	tc.cloud.ProvisionHost("host-1", 4)
+	tc.cloud.ProvisionHost("host-2", 4)
+	vm1, _ := tc.cloud.LaunchVM("host-1", "vm-1", "guest-os")
+	tc.cloud.LaunchVM("host-2", "vm-1", "guest-os")
+	vm1.CompromiseVM()
+	if err := tc.cloud.AttestVM("host-1", "vm-1"); err == nil {
+		t.Error("compromised VM attested")
+	}
+	if err := tc.cloud.AttestVM("host-2", "vm-1"); err != nil {
+		t.Errorf("unrelated host's VM failed: %v", err)
+	}
+	if got := tc.cloud.Hosts(); len(got) != 2 || got[0] != "host-1" {
+		t.Errorf("Hosts = %v", got)
+	}
+}

@@ -1,0 +1,121 @@
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Cluster bundles a set of nodes on one network — the deployment unit the
+// blockchain ordering service runs as.
+type Cluster struct {
+	Net   *Network
+	Nodes []*Node
+}
+
+// NewCluster builds and starts n nodes named node-0..node-{n-1}.
+func NewCluster(n int, cfg Config) *Cluster {
+	net := NewNetwork()
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%d", i)
+	}
+	c := &Cluster{Net: net}
+	for i, id := range ids {
+		nodeCfg := cfg
+		if nodeCfg.Seed == 0 {
+			nodeCfg.Seed = int64(i + 1)
+		}
+		c.Nodes = append(c.Nodes, NewNode(id, ids, net, nodeCfg))
+	}
+	for _, nd := range c.Nodes {
+		nd.Start()
+	}
+	return c
+}
+
+// Stop shuts down the network and every node.
+func (c *Cluster) Stop() {
+	c.Net.Stop()
+	for _, n := range c.Nodes {
+		n.Stop()
+	}
+}
+
+// Leader returns the current leader if exactly one node in the highest
+// term believes it is leader, else nil.
+func (c *Cluster) Leader() *Node {
+	var leader *Node
+	var topTerm uint64
+	for _, n := range c.Nodes {
+		if t := n.Term(); t > topTerm {
+			topTerm = t
+		}
+	}
+	for _, n := range c.Nodes {
+		if n.Role() == Leader && n.Term() == topTerm {
+			if leader != nil {
+				return nil // split claim, not settled yet
+			}
+			leader = n
+		}
+	}
+	return leader
+}
+
+// WaitForLeader blocks until a leader emerges or the timeout passes.
+func (c *Cluster) WaitForLeader(timeout time.Duration) (*Node, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if l := c.Leader(); l != nil {
+			return l, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil, errors.New("consensus: no leader elected within timeout")
+}
+
+// ProposeAndWait submits data through the current leader and waits until
+// a majority has committed it (observed via the leader's commit index).
+// Delivery is at-least-once: if an attempt's outcome cannot be confirmed
+// (for example the chosen leader turns out to be a deposed node on the
+// wrong side of a partition), the proposal is retried through the next
+// leader, so callers that need exactly-once must deduplicate by content —
+// the blockchain layer does so by transaction ID.
+func (c *Cluster) ProposeAndWait(data []byte, timeout time.Duration) (uint64, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		l := c.Leader()
+		if l == nil {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		idx, term, err := l.Propose(data)
+		if errors.Is(err, ErrNotLeader) {
+			continue // leadership moved between Leader() and Propose
+		}
+		if err != nil {
+			return 0, err
+		}
+		// Wait for commit, but only briefly: a stale leader stranded in a
+		// minority partition would otherwise trap us until the full
+		// deadline. If the attempt can't be confirmed in time, re-evaluate
+		// leadership and retry.
+		attemptDeadline := time.Now().Add(300 * time.Millisecond)
+		for time.Now().Before(deadline) && time.Now().Before(attemptDeadline) {
+			if l.CommitIndex() >= idx {
+				// Confirm the entry wasn't overwritten by a newer term.
+				entries := l.LogEntries()
+				if idx-1 < uint64(len(entries)) && entries[idx-1].Term == term {
+					return idx, nil
+				}
+				break // overwritten: retry via the new leader
+			}
+			if l.Role() != Leader {
+				break // deposed before commit: retry
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return 0, errors.New("consensus: proposal did not commit within timeout")
+}

@@ -1,0 +1,128 @@
+package consensus
+
+import (
+	"sync"
+	"time"
+)
+
+// Network is an in-process message fabric between Raft nodes with
+// injectable failures: per-link drops, delays, and partitions. It stands
+// in for the datacenter network of the paper's infrastructure cloud and
+// gives failure-injection tests a deterministic handle.
+type Network struct {
+	mu       sync.RWMutex
+	inboxes  map[string]chan<- message
+	cut      map[[2]string]bool // directed links severed
+	dropRate float64            // global probability of dropping any message
+	delay    time.Duration      // fixed latency applied to every delivery
+	rngState uint64
+	stopped  bool
+}
+
+// NewNetwork creates a connected, lossless network.
+func NewNetwork() *Network {
+	return &Network{
+		inboxes:  make(map[string]chan<- message),
+		cut:      make(map[[2]string]bool),
+		rngState: 0x9E3779B97F4A7C15,
+	}
+}
+
+func (w *Network) register(id string, inbox chan<- message) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.inboxes[id] = inbox
+}
+
+// SetDelay applies a fixed delivery delay to all messages.
+func (w *Network) SetDelay(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.delay = d
+}
+
+// SetDropRate drops each message independently with probability p.
+func (w *Network) SetDropRate(p float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.dropRate = p
+}
+
+// Partition severs all links between the two groups (both directions).
+// Nodes within a group still communicate.
+func (w *Network) Partition(groupA, groupB []string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, a := range groupA {
+		for _, b := range groupB {
+			w.cut[[2]string{a, b}] = true
+			w.cut[[2]string{b, a}] = true
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (w *Network) Heal() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.cut = make(map[[2]string]bool)
+}
+
+// Isolate cuts a single node off from everyone else.
+func (w *Network) Isolate(id string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for other := range w.inboxes {
+		if other == id {
+			continue
+		}
+		w.cut[[2]string{id, other}] = true
+		w.cut[[2]string{other, id}] = true
+	}
+}
+
+// Stop silences the network; subsequent sends are discarded. Call before
+// stopping nodes so in-flight goroutine deliveries don't block.
+func (w *Network) Stop() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stopped = true
+}
+
+// send delivers asynchronously, honoring partitions, drops, and delay.
+func (w *Network) send(from, to string, m message) {
+	w.mu.Lock()
+	if w.stopped || w.cut[[2]string{from, to}] {
+		w.mu.Unlock()
+		return
+	}
+	if w.dropRate > 0 {
+		// xorshift64* — cheap deterministic PRNG under the lock.
+		w.rngState ^= w.rngState << 13
+		w.rngState ^= w.rngState >> 7
+		w.rngState ^= w.rngState << 17
+		if float64(w.rngState%1_000_000)/1_000_000 < w.dropRate {
+			w.mu.Unlock()
+			return
+		}
+	}
+	inbox, ok := w.inboxes[to]
+	delay := w.delay
+	w.mu.Unlock()
+	if !ok {
+		return
+	}
+	deliver := func() {
+		select {
+		case inbox <- m:
+		default:
+			// Receiver's inbox is full: the message is lost, exactly as a
+			// saturated network would lose it. Raft tolerates message loss.
+		}
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, deliver)
+		return
+	}
+	deliver()
+}

@@ -1,0 +1,306 @@
+package consensus
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+const testTimeout = 5 * time.Second
+
+func newTestCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c := NewCluster(n, Config{})
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestSingleNodeBecomesLeader(t *testing.T) {
+	c := newTestCluster(t, 1)
+	l, err := c.WaitForLeader(testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ID() != "node-0" {
+		t.Errorf("leader = %s", l.ID())
+	}
+}
+
+func TestThreeNodeElection(t *testing.T) {
+	c := newTestCluster(t, 3)
+	if _, err := c.WaitForLeader(testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one leader in the top term.
+	leaders := 0
+	top := uint64(0)
+	for _, n := range c.Nodes {
+		if n.Term() > top {
+			top = n.Term()
+		}
+	}
+	for _, n := range c.Nodes {
+		if n.Role() == Leader && n.Term() == top {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("leaders in top term = %d, want 1", leaders)
+	}
+}
+
+func TestProposeCommitsOnMajority(t *testing.T) {
+	c := newTestCluster(t, 3)
+	idx, err := c.ProposeAndWait([]byte("tx-1"), testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Errorf("first committed index = %d, want 1", idx)
+	}
+	// Every node eventually applies the entry.
+	for _, n := range c.Nodes {
+		select {
+		case com := <-n.Apply():
+			if !bytes.Equal(com.Entry.Data, []byte("tx-1")) {
+				t.Errorf("%s applied %q", n.ID(), com.Entry.Data)
+			}
+		case <-time.After(testTimeout):
+			t.Fatalf("%s never applied the entry", n.ID())
+		}
+	}
+}
+
+func TestProposeOnFollowerRejected(t *testing.T) {
+	c := newTestCluster(t, 3)
+	l, err := c.WaitForLeader(testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		if n == l {
+			continue
+		}
+		if _, _, err := n.Propose([]byte("x")); err != ErrNotLeader {
+			t.Errorf("%s Propose: got %v, want ErrNotLeader", n.ID(), err)
+		}
+	}
+}
+
+func TestOrderedDelivery(t *testing.T) {
+	c := newTestCluster(t, 3)
+	const total = 20
+	for i := 0; i < total; i++ {
+		if _, err := c.ProposeAndWait([]byte(fmt.Sprintf("tx-%d", i)), testTimeout); err != nil {
+			t.Fatalf("proposal %d: %v", i, err)
+		}
+	}
+	for _, n := range c.Nodes {
+		for i := 0; i < total; i++ {
+			select {
+			case com := <-n.Apply():
+				want := fmt.Sprintf("tx-%d", i)
+				if string(com.Entry.Data) != want {
+					t.Fatalf("%s applied %q at position %d, want %q", n.ID(), com.Entry.Data, i, want)
+				}
+			case <-time.After(testTimeout):
+				t.Fatalf("%s: missing entry %d", n.ID(), i)
+			}
+		}
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	c := newTestCluster(t, 5)
+	l, err := c.WaitForLeader(testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ProposeAndWait([]byte("before"), testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the leader's connectivity.
+	c.Net.Isolate(l.ID())
+	// A new leader must emerge among the rest.
+	deadline := time.Now().Add(testTimeout)
+	var newLeader *Node
+	for time.Now().Before(deadline) {
+		for _, n := range c.Nodes {
+			if n != l && n.Role() == Leader && n.Term() > l.Term() {
+				newLeader = n
+				break
+			}
+		}
+		if newLeader != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if newLeader == nil {
+		t.Fatal("no new leader after isolating the old one")
+	}
+	// The cluster keeps making progress.
+	idx, _, err := newLeader.Propose([]byte("after"))
+	if err != nil {
+		t.Fatalf("new leader rejected proposal: %v", err)
+	}
+	deadline = time.Now().Add(testTimeout)
+	for newLeader.CommitIndex() < idx && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if newLeader.CommitIndex() < idx {
+		t.Fatal("proposal after failover never committed")
+	}
+}
+
+func TestMinorityPartitionCannotCommit(t *testing.T) {
+	c := newTestCluster(t, 5)
+	l, err := c.WaitForLeader(testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Put the leader alone with one follower (minority).
+	var minority, majority []string
+	minority = append(minority, l.ID())
+	for _, n := range c.Nodes {
+		if n == l {
+			continue
+		}
+		if len(minority) < 2 {
+			minority = append(minority, n.ID())
+		} else {
+			majority = append(majority, n.ID())
+		}
+	}
+	c.Net.Partition(minority, majority)
+	// Old leader can still accept a proposal but must not commit it.
+	idx, _, err := l.Propose([]byte("doomed"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if l.CommitIndex() >= idx {
+		t.Fatal("minority leader committed an entry — safety violation")
+	}
+	// Heal; the entry from the stale term must not survive if the majority
+	// elected a new leader and moved on.
+	c.Net.Heal()
+	if _, err := c.ProposeAndWait([]byte("post-heal"), testTimeout); err != nil {
+		t.Fatalf("post-heal proposal: %v", err)
+	}
+}
+
+// TestLogConsistencyAfterHeal is the Raft log-matching property under a
+// partition/heal cycle: all nodes converge to identical logs.
+func TestLogConsistencyAfterHeal(t *testing.T) {
+	c := newTestCluster(t, 5)
+	if _, err := c.ProposeAndWait([]byte("a"), testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	l := c.Leader()
+	if l == nil {
+		t.Fatal("no leader")
+	}
+	c.Net.Isolate(l.ID())
+	// Propose into the isolated stale leader: these must eventually vanish.
+	l.Propose([]byte("stale-1"))
+	l.Propose([]byte("stale-2"))
+	// Majority continues.
+	if _, err := c.ProposeAndWait([]byte("b"), testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	c.Net.Heal()
+	if _, err := c.ProposeAndWait([]byte("c"), testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for convergence: all nodes share the committed prefix a,b,c.
+	deadline := time.Now().Add(testTimeout)
+	for time.Now().Before(deadline) {
+		if logsConverged(c, 3) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !logsConverged(c, 3) {
+		for _, n := range c.Nodes {
+			t.Logf("%s: %d entries, commit=%d", n.ID(), len(n.LogEntries()), n.CommitIndex())
+		}
+		t.Fatal("logs did not converge after heal")
+	}
+	for _, n := range c.Nodes {
+		entries := n.LogEntries()
+		got := []string{string(entries[0].Data), string(entries[1].Data), string(entries[2].Data)}
+		want := []string{"a", "b", "c"}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s log[%d] = %q, want %q", n.ID(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func logsConverged(c *Cluster, wantLen int) bool {
+	var ref []Entry
+	for _, n := range c.Nodes {
+		if n.CommitIndex() < uint64(wantLen) {
+			return false
+		}
+		entries := n.LogEntries()
+		if len(entries) < wantLen {
+			return false
+		}
+		entries = entries[:wantLen]
+		if ref == nil {
+			ref = entries
+			continue
+		}
+		for i := range ref {
+			if entries[i].Term != ref[i].Term || !bytes.Equal(entries[i].Data, ref[i].Data) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCommitUnderMessageLoss(t *testing.T) {
+	c := newTestCluster(t, 3)
+	c.Net.SetDropRate(0.2)
+	for i := 0; i < 5; i++ {
+		if _, err := c.ProposeAndWait([]byte(fmt.Sprintf("lossy-%d", i)), testTimeout); err != nil {
+			t.Fatalf("proposal %d under 20%% loss: %v", i, err)
+		}
+	}
+}
+
+func TestCommitUnderDelay(t *testing.T) {
+	c := newTestCluster(t, 3)
+	c.Net.SetDelay(5 * time.Millisecond)
+	if _, err := c.ProposeAndWait([]byte("slow"), testTimeout); err != nil {
+		t.Fatalf("proposal under delay: %v", err)
+	}
+}
+
+func TestStoppedNodeRejectsPropose(t *testing.T) {
+	net := NewNetwork()
+	n := NewNode("solo", []string{"solo"}, net, Config{})
+	n.Start()
+	deadline := time.Now().Add(testTimeout)
+	for n.Role() != Leader && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	net.Stop()
+	n.Stop()
+	if _, _, err := n.Propose([]byte("late")); err != ErrStopped {
+		t.Errorf("got %v, want ErrStopped", err)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for r, want := range map[Role]string{Follower: "follower", Candidate: "candidate", Leader: "leader", Role(9): "role(9)"} {
+		if r.String() != want {
+			t.Errorf("Role(%d).String() = %q, want %q", int(r), r.String(), want)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package consent implements the consent management service (§II-B):
+// "Since the platform supports uploading protected health information
+// (PHI) via the Data Ingestion service, it is important to secure the
+// consent of the patient/user for the uploaded data." Patients consent
+// their data to Groups (healthcare studies/programs in the RBAC model);
+// ingestion and export verify consent, and every grant or revocation is
+// recorded on the provenance blockchain by the platform for GDPR/HIPAA
+// consent provenance.
+package consent
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Errors returned by this package.
+var (
+	ErrNoConsent = errors.New("consent: no active consent")
+	ErrExpired   = errors.New("consent: consent expired")
+	ErrRevoked   = errors.New("consent: consent revoked")
+)
+
+// Purpose narrows what a consent covers.
+type Purpose string
+
+// Consent purposes.
+const (
+	PurposeTreatment Purpose = "treatment"
+	PurposeResearch  Purpose = "research"
+	PurposeExport    Purpose = "export"
+)
+
+// Grant is one patient's consent of their data to a group for a purpose.
+type Grant struct {
+	Patient   string
+	Group     string
+	Purpose   Purpose
+	GrantedAt time.Time
+	ExpiresAt time.Time // zero = no expiry
+	RevokedAt time.Time // zero = not revoked
+}
+
+// Event is the ledger-facing record of a consent change; the platform
+// submits these to the provenance network.
+type Event struct {
+	Kind    string // "granted" | "revoked"
+	Patient string
+	Group   string
+	Purpose Purpose
+	At      time.Time
+}
+
+// Service is the consent decision point. Create with NewService.
+type Service struct {
+	mu     sync.RWMutex
+	grants map[string][]*Grant // patient -> grants
+	events []Event
+	clock  func() time.Time
+}
+
+// Option configures the service.
+type Option func(*Service)
+
+// WithClock injects a time source for deterministic tests.
+func WithClock(f func() time.Time) Option {
+	return func(s *Service) { s.clock = f }
+}
+
+// NewService creates an empty consent service.
+func NewService(opts ...Option) *Service {
+	s := &Service{grants: make(map[string][]*Grant), clock: time.Now}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Grant records a patient's consent to a group for a purpose, with an
+// optional TTL.
+func (s *Service) Grant(patient, group string, purpose Purpose, ttl time.Duration) *Grant {
+	now := s.clock()
+	g := &Grant{Patient: patient, Group: group, Purpose: purpose, GrantedAt: now}
+	if ttl > 0 {
+		g.ExpiresAt = now.Add(ttl)
+	}
+	s.mu.Lock()
+	s.grants[patient] = append(s.grants[patient], g)
+	s.events = append(s.events, Event{Kind: "granted", Patient: patient, Group: group, Purpose: purpose, At: now})
+	s.mu.Unlock()
+	return g
+}
+
+// Revoke withdraws every active consent the patient gave to the group
+// for the purpose. Revocation is how GDPR withdrawal-of-consent reaches
+// the platform.
+func (s *Service) Revoke(patient, group string, purpose Purpose) int {
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, g := range s.grants[patient] {
+		if g.Group == group && g.Purpose == purpose && g.RevokedAt.IsZero() {
+			g.RevokedAt = now
+			n++
+		}
+	}
+	if n > 0 {
+		s.events = append(s.events, Event{Kind: "revoked", Patient: patient, Group: group, Purpose: purpose, At: now})
+	}
+	return n
+}
+
+// Check returns nil if the patient has an active consent to the group
+// for the purpose, and a typed error explaining why not otherwise.
+func (s *Service) Check(patient, group string, purpose Purpose) error {
+	now := s.clock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var sawRevoked, sawExpired bool
+	for _, g := range s.grants[patient] {
+		if g.Group != group || g.Purpose != purpose {
+			continue
+		}
+		if !g.RevokedAt.IsZero() && !g.RevokedAt.After(now) {
+			sawRevoked = true
+			continue
+		}
+		if !g.ExpiresAt.IsZero() && now.After(g.ExpiresAt) {
+			sawExpired = true
+			continue
+		}
+		return nil
+	}
+	switch {
+	case sawRevoked:
+		return fmt.Errorf("%w: %s -> %s (%s)", ErrRevoked, patient, group, purpose)
+	case sawExpired:
+		return fmt.Errorf("%w: %s -> %s (%s)", ErrExpired, patient, group, purpose)
+	default:
+		return fmt.Errorf("%w: %s -> %s (%s)", ErrNoConsent, patient, group, purpose)
+	}
+}
+
+// ActiveGroups lists the groups a patient currently consents to for a
+// purpose, sorted.
+func (s *Service) ActiveGroups(patient string, purpose Purpose) []string {
+	now := s.clock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := make(map[string]bool)
+	for _, g := range s.grants[patient] {
+		if g.Purpose != purpose || !g.RevokedAt.IsZero() {
+			continue
+		}
+		if !g.ExpiresAt.IsZero() && now.After(g.ExpiresAt) {
+			continue
+		}
+		set[g.Group] = true
+	}
+	out := make([]string, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Events drains the pending ledger events (the caller commits them to
+// the provenance blockchain and calls this once per sync).
+func (s *Service) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.events
+	s.events = nil
+	return out
+}

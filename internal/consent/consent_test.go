@@ -1,0 +1,135 @@
+package consent
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+func newFixedService() (*Service, *fakeClock) {
+	clk := &fakeClock{now: time.Unix(1_600_000_000, 0)}
+	return NewService(WithClock(clk.Now)), clk
+}
+
+func TestGrantAndCheck(t *testing.T) {
+	s, _ := newFixedService()
+	if err := s.Check("patient-1", "diabetes-study", PurposeResearch); !errors.Is(err, ErrNoConsent) {
+		t.Errorf("pre-grant: got %v, want ErrNoConsent", err)
+	}
+	s.Grant("patient-1", "diabetes-study", PurposeResearch, 0)
+	if err := s.Check("patient-1", "diabetes-study", PurposeResearch); err != nil {
+		t.Errorf("post-grant: %v", err)
+	}
+}
+
+func TestConsentIsScopedToGroupAndPurpose(t *testing.T) {
+	s, _ := newFixedService()
+	s.Grant("patient-1", "diabetes-study", PurposeResearch, 0)
+	if err := s.Check("patient-1", "oncology-study", PurposeResearch); !errors.Is(err, ErrNoConsent) {
+		t.Errorf("other group: %v", err)
+	}
+	if err := s.Check("patient-1", "diabetes-study", PurposeExport); !errors.Is(err, ErrNoConsent) {
+		t.Errorf("other purpose: %v", err)
+	}
+	if err := s.Check("patient-2", "diabetes-study", PurposeResearch); !errors.Is(err, ErrNoConsent) {
+		t.Errorf("other patient: %v", err)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	s, _ := newFixedService()
+	s.Grant("patient-1", "study", PurposeResearch, 0)
+	if n := s.Revoke("patient-1", "study", PurposeResearch); n != 1 {
+		t.Errorf("Revoke = %d, want 1", n)
+	}
+	if err := s.Check("patient-1", "study", PurposeResearch); !errors.Is(err, ErrRevoked) {
+		t.Errorf("post-revoke: got %v, want ErrRevoked", err)
+	}
+	if n := s.Revoke("patient-1", "study", PurposeResearch); n != 0 {
+		t.Errorf("second Revoke = %d, want 0", n)
+	}
+	// Re-consent after revocation works (fresh grant).
+	s.Grant("patient-1", "study", PurposeResearch, 0)
+	if err := s.Check("patient-1", "study", PurposeResearch); err != nil {
+		t.Errorf("re-grant: %v", err)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	s, clk := newFixedService()
+	s.Grant("patient-1", "study", PurposeResearch, time.Hour)
+	if err := s.Check("patient-1", "study", PurposeResearch); err != nil {
+		t.Fatalf("fresh: %v", err)
+	}
+	clk.Advance(2 * time.Hour)
+	if err := s.Check("patient-1", "study", PurposeResearch); !errors.Is(err, ErrExpired) {
+		t.Errorf("expired: got %v, want ErrExpired", err)
+	}
+}
+
+func TestActiveGroups(t *testing.T) {
+	s, clk := newFixedService()
+	s.Grant("p", "study-b", PurposeResearch, 0)
+	s.Grant("p", "study-a", PurposeResearch, 0)
+	s.Grant("p", "study-c", PurposeResearch, time.Hour)
+	s.Grant("p", "study-d", PurposeExport, 0) // other purpose
+	s.Revoke("p", "study-b", PurposeResearch)
+	clk.Advance(2 * time.Hour) // expires study-c
+	got := s.ActiveGroups("p", PurposeResearch)
+	if len(got) != 1 || got[0] != "study-a" {
+		t.Errorf("ActiveGroups = %v, want [study-a]", got)
+	}
+}
+
+func TestEventsDrain(t *testing.T) {
+	s, _ := newFixedService()
+	s.Grant("p", "study", PurposeResearch, 0)
+	s.Revoke("p", "study", PurposeResearch)
+	events := s.Events()
+	if len(events) != 2 || events[0].Kind != "granted" || events[1].Kind != "revoked" {
+		t.Errorf("events = %+v", events)
+	}
+	if got := s.Events(); len(got) != 0 {
+		t.Errorf("second drain = %+v", got)
+	}
+}
+
+func TestConcurrentConsent(t *testing.T) {
+	s := NewService()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			patient := "p"
+			for i := 0; i < 50; i++ {
+				s.Grant(patient, "study", PurposeResearch, 0)
+				s.Check(patient, "study", PurposeResearch)
+				s.Revoke(patient, "study", PurposeResearch)
+			}
+		}(g)
+	}
+	wg.Wait()
+	// After every grant was revoked, the final state must be revoked.
+	if err := s.Check("p", "study", PurposeResearch); !errors.Is(err, ErrRevoked) {
+		t.Errorf("final state: %v", err)
+	}
+}

@@ -1,0 +1,411 @@
+// Package core assembles the trusted healthcare data analytics cloud
+// platform. The paper's primary contribution is not any single
+// component but the weave (§I: the system "'weaves' security, privacy
+// and compliance in the lifecycle of the crown-jewels that need
+// protection: data, systems, users and devices"), so Platform is where
+// the pieces interlock:
+//
+//   - a trusted infrastructure cloud (measured hosts, attested VMs and
+//     containers) hosting the health-cloud instance (Fig 1);
+//   - RBAC + federated identity guarding every API;
+//   - consent management gating ingestion and export;
+//   - the asynchronous ingestion pipeline writing to the encrypted Data
+//     Lake with provenance on a permissioned blockchain;
+//   - the analytics platform with its model lifecycle;
+//   - the external AI-service registry and cached knowledge bases;
+//   - the enhanced-client server surface.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"healthcloud/internal/analytics"
+	"healthcloud/internal/anonymize"
+	"healthcloud/internal/attest"
+	"healthcloud/internal/audit"
+	"healthcloud/internal/blockchain"
+	"healthcloud/internal/bus"
+	"healthcloud/internal/client"
+	"healthcloud/internal/cloud"
+	"healthcloud/internal/consent"
+	"healthcloud/internal/hccache"
+	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/ingest"
+	"healthcloud/internal/kb"
+	"healthcloud/internal/metering"
+	"healthcloud/internal/rbac"
+	"healthcloud/internal/scan"
+	"healthcloud/internal/services"
+	"healthcloud/internal/ssi"
+	"healthcloud/internal/store"
+)
+
+// Config sizes a platform instance.
+type Config struct {
+	Tenant string
+	// LedgerPeers are the provenance-network members; empty disables the
+	// blockchain (useful for microbenchmarks). Per §IV-B1's "in a
+	// different approach, information about a given record on malware,
+	// privacy and integrity can be added to a single blockchain network.
+	// It is a design decision." — we run one network for all event types.
+	LedgerPeers []string
+	// EndorsementK is the endorsement policy (default: majority).
+	EndorsementK int
+	// IngestWorkers is the background worker count (default 4).
+	IngestWorkers int
+	// RequiredK is the export k-anonymity policy (default 2).
+	RequiredK int
+	// KBLatency simulates WAN distance to the external knowledge bases.
+	KBLatency time.Duration
+	// KBDataset overrides the default synthetic knowledge base.
+	KBDataset *kb.Dataset
+}
+
+// Platform is one trusted health cloud instance.
+type Platform struct {
+	cfg Config
+
+	RBAC       *rbac.System
+	KMS        *hckrypto.KMS
+	Audit      *audit.Log
+	AttSvc     *attest.Service
+	CM         *audit.ChangeManager
+	Cloud      *cloud.Cloud
+	Bus        *bus.Bus
+	Lake       *store.DataLake
+	IDMap      *store.IdentityMap
+	Consents   *consent.Service
+	Scanner    *scan.Scanner
+	Verifier   *anonymize.VerificationService
+	Provenance *blockchain.Network // nil when disabled
+	Ingest     *ingest.Pipeline
+	Analytics  *analytics.Platform
+	Services   *services.Registry
+	KB         *kb.Dataset
+	KBRemote   *kb.RemoteKB
+	KBCache    *hccache.Tiered
+	// Invalidations propagates cache-consistency events to every cache
+	// tier, including enhanced clients (§III).
+	Invalidations *hccache.Publisher
+	// Identity anchors self-sovereign credentials on the ledger (§IV-B1);
+	// nil when the ledger is disabled.
+	Identity *ssi.Registry
+	// Meter records per-tenant service usage for billing (§II-B
+	// Registration Service: "metering and billing of various services").
+	Meter *metering.Meter
+}
+
+// New builds and starts a platform instance.
+func New(cfg Config) (*Platform, error) {
+	if cfg.Tenant == "" {
+		return nil, errors.New("core: tenant required")
+	}
+	if cfg.IngestWorkers <= 0 {
+		cfg.IngestWorkers = 4
+	}
+	if cfg.RequiredK <= 0 {
+		cfg.RequiredK = 2
+	}
+	p := &Platform{cfg: cfg}
+
+	var err error
+	if p.KMS, err = hckrypto.NewKMS(cfg.Tenant); err != nil {
+		return nil, fmt.Errorf("core: kms: %w", err)
+	}
+	p.Audit = audit.NewLog()
+	p.AttSvc = attest.NewService()
+	p.CM = audit.NewChangeManager(p.AttSvc, p.Audit)
+	p.Cloud = cloud.New(p.AttSvc, p.Audit)
+	p.RBAC = rbac.NewSystem()
+	if err := p.RBAC.CreateTenant(cfg.Tenant); err != nil {
+		return nil, fmt.Errorf("core: tenant: %w", err)
+	}
+	p.Bus = bus.New()
+	p.Lake = store.NewDataLake(p.KMS, "svc-storage")
+	p.IDMap = store.NewIdentityMap("svc-reident")
+	p.Consents = consent.NewService()
+	if p.Scanner, err = scan.NewScanner(scan.DefaultSignatures()...); err != nil {
+		return nil, fmt.Errorf("core: scanner: %w", err)
+	}
+	p.Verifier = &anonymize.VerificationService{RequiredK: cfg.RequiredK}
+
+	if len(cfg.LedgerPeers) > 0 {
+		k := cfg.EndorsementK
+		if k <= 0 {
+			k = len(cfg.LedgerPeers)/2 + 1
+		}
+		if p.Provenance, err = blockchain.NewNetwork("hcls-ledger", cfg.LedgerPeers, k); err != nil {
+			return nil, fmt.Errorf("core: ledger: %w", err)
+		}
+	}
+
+	var ledger ingest.Ledger
+	if p.Provenance != nil {
+		ledger = p.Provenance
+	}
+	p.Ingest, err = ingest.New(ingest.Deps{
+		Tenant: cfg.Tenant, KMS: p.KMS, Lake: p.Lake, IDMap: p.IDMap,
+		Bus: p.Bus, Scanner: p.Scanner, Consents: p.Consents,
+		Verifier: p.Verifier, Ledger: ledger, Log: p.Audit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: ingest: %w", err)
+	}
+	p.Ingest.Start(cfg.IngestWorkers)
+
+	p.Analytics = analytics.NewPlatform(p.Audit)
+	p.Services = services.NewRegistry()
+	p.Meter = metering.NewMeter(metering.DefaultRates())
+
+	p.KB = cfg.KBDataset
+	if p.KB == nil {
+		if p.KB, err = kb.Generate(kb.DefaultConfig()); err != nil {
+			return nil, fmt.Errorf("core: kb: %w", err)
+		}
+	}
+	p.KBRemote = kb.NewRemoteKB(p.KB, cfg.KBLatency)
+	serverTier, err := hccache.New(4096, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: kb cache: %w", err)
+	}
+	if p.KBCache, err = hccache.NewTiered(p.KBRemote.Loader(), serverTier); err != nil {
+		return nil, fmt.Errorf("core: kb cache: %w", err)
+	}
+	p.Invalidations = hccache.NewPublisher(p.Bus)
+	if p.Provenance != nil {
+		// Any peer's ledger copy serves identity status queries; use the
+		// first (they converge, and VerifyChain audits divergence).
+		peer, err := p.Provenance.Peer(p.Provenance.PeerIDs()[0])
+		if err != nil {
+			return nil, fmt.Errorf("core: identity registry: %w", err)
+		}
+		p.Identity = ssi.NewRegistry(p.Provenance, peer.Ledger())
+	}
+	p.Audit.Record(audit.Event{Level: audit.LevelInfo, Service: "platform",
+		Action: "instance-start", Resource: cfg.Tenant})
+	return p, nil
+}
+
+// Close stops background machinery.
+func (p *Platform) Close() {
+	p.Ingest.Close()
+	p.Bus.Close()
+	if p.Provenance != nil {
+		p.Provenance.Close()
+	}
+}
+
+// ProvisionTrustedInstance racks a host, boots the platform VM from a
+// signed image, attests the chain, and returns the host/VM names — the
+// "trusted secure health cloud instances" of §II-A.
+func (p *Platform) ProvisionTrustedInstance(signer *hckrypto.SigningKey) (hostName, vmID string, err error) {
+	p.AttSvc.ApproveImageSigner(signer.Public())
+	img, err := cloud.NewImage("healthcloud-platform", []byte("platform-os-v1"), signer)
+	if err != nil {
+		return "", "", err
+	}
+	if err := p.Cloud.Registry().Register(img); err != nil {
+		return "", "", err
+	}
+	hostName = p.cfg.Tenant + "-host-1"
+	if _, err := p.Cloud.ProvisionHost(hostName, 8); err != nil {
+		return "", "", err
+	}
+	vmID = "platform-vm"
+	if _, err := p.Cloud.LaunchVM(hostName, vmID, "healthcloud-platform"); err != nil {
+		return "", "", err
+	}
+	if err := p.Cloud.AttestVM(hostName, vmID); err != nil {
+		return "", "", fmt.Errorf("core: instance failed attestation: %w", err)
+	}
+	return hostName, vmID, nil
+}
+
+// clientServer adapts the platform to the enhanced-client SDK surface.
+type clientServer struct{ p *Platform }
+
+var _ client.Server = (*clientServer)(nil)
+
+func (s *clientServer) Upload(clientID, group string, encrypted []byte) (string, error) {
+	id, err := s.p.Ingest.Upload(clientID, group, encrypted)
+	if err == nil {
+		s.p.Meter.Record(s.p.cfg.Tenant, "ingest", 1, time.Now())
+	}
+	return id, err
+}
+
+func (s *clientServer) FetchKB(key string) ([]byte, error) {
+	v, err := s.p.KBCache.Get(key)
+	if err == nil {
+		s.p.Meter.Record(s.p.cfg.Tenant, "kb-read", 1, time.Now())
+	}
+	return v, err
+}
+
+func (s *clientServer) PullModel(name string) ([]byte, error) {
+	payload, err := s.p.Analytics.PushPayload(name)
+	if err == nil {
+		s.p.Meter.Record(s.p.cfg.Tenant, "model-run", 1, time.Now())
+	}
+	return payload, err
+}
+
+// ClientServer returns the surface enhanced clients talk to.
+func (p *Platform) ClientServer() client.Server { return &clientServer{p: p} }
+
+// NewEnhancedClient registers a device and returns a ready SDK client.
+func (p *Platform) NewEnhancedClient(deviceID string, cacheSize int) (*client.Client, error) {
+	key, err := p.Ingest.RegisterClient(deviceID)
+	if err != nil {
+		return nil, err
+	}
+	return client.New(deviceID, key, p.ClientServer(), cacheSize)
+}
+
+// SeedDemoProviders registers simulated external AI services (§III) and
+// runs the standard accuracy tests so Best has data. Used by
+// cmd/healthcloud and tests.
+func (p *Platform) SeedDemoProviders() {
+	providers := []*services.Provider{
+		services.NewProvider("nlu-alpha", services.CapNLU, 12*time.Millisecond, 4*time.Millisecond, 0.99, 0.82, 11),
+		services.NewProvider("nlu-beta", services.CapNLU, 45*time.Millisecond, 10*time.Millisecond, 0.995, 0.95, 12),
+		services.NewProvider("nlu-gamma", services.CapNLU, 9*time.Millisecond, 2*time.Millisecond, 0.90, 0.88, 13),
+		services.NewProvider("textract-alpha", services.CapTextExtraction, 30*time.Millisecond, 5*time.Millisecond, 0.99, 0.91, 14),
+		services.NewProvider("textract-beta", services.CapTextExtraction, 22*time.Millisecond, 5*time.Millisecond, 0.97, 0.86, 15),
+	}
+	for _, pr := range providers {
+		p.Services.Register(pr)
+	}
+	for _, c := range []services.Capability{services.CapNLU, services.CapTextExtraction} {
+		for _, name := range p.Services.Providers(c) {
+			for i := 0; i < 50; i++ {
+				p.Services.Call(name, c)
+			}
+		}
+		p.Services.RunAccuracyTest(c, 100)
+	}
+}
+
+// MineFacts runs PubMed-style text extraction over a synthetic corpus
+// derived from the knowledge base and returns co-occurrence facts with
+// at least minSupport supporting papers (§III: "We perform text analysis
+// on these papers to extract important scientific facts").
+func (p *Platform) MineFacts(papers, minSupport int) []kb.Fact {
+	corpus := kb.GenerateCorpus(p.KB, papers, 17)
+	return corpus.MineFacts(minSupport)
+}
+
+// InvalidateKB drops a knowledge-base key from the server tier and
+// broadcasts the invalidation to every subscribed cache (enhanced
+// clients included), closing the stale-read window for changed data.
+func (p *Platform) InvalidateKB(key string) error {
+	p.KBCache.Invalidate(key)
+	return p.Invalidations.Publish(key)
+}
+
+// AttachInvalidationListener subscribes an enhanced client's cache to
+// the platform's invalidation stream. Callers Stop the listener when the
+// device disconnects.
+func (p *Platform) AttachInvalidationListener(dev *client.Client, name string) (*hccache.Listener, error) {
+	return hccache.NewListener(p.Bus, name, func(key string) { dev.InvalidateKey(key) })
+}
+
+// Components lists every named component of Figures 1–3 that this
+// instance actually instantiates, sorted. TestFigure1ComponentInventory
+// asserts the inventory.
+func (p *Platform) Components() []string {
+	out := []string{
+		"analytics-platform",
+		"api-management",
+		"attestation-service",
+		"audit-log",
+		"change-management",
+		"consent-management",
+		"data-ingestion",
+		"data-lake",
+		"enhanced-client-management",
+		"export-service",
+		"federated-identity",
+		"image-management",
+		"intercloud-gateway-support",
+		"internal-messaging",
+		"key-management",
+		"knowledge-bases",
+		"logging-monitoring",
+		"malware-filtration",
+		"privacy-management-rbac",
+		"registration-service",
+		"resource-provisioning",
+		"service-registry",
+		"tpm-vtpm",
+	}
+	if p.Provenance != nil {
+		out = append(out, "provenance-blockchain")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HIPAAControl is one Fig 8 control with its implementing component.
+type HIPAAControl struct {
+	Pillar    string // administrative | physical | technical | policies
+	Name      string
+	Component string
+}
+
+// HIPAAControls maps Fig 8's four pillars to the platform mechanisms
+// that implement them.
+func (p *Platform) HIPAAControls() []HIPAAControl {
+	return []HIPAAControl{
+		{"administrative", "workforce-access-management", "privacy-management-rbac"},
+		{"administrative", "security-incident-procedures", "malware-filtration"},
+		{"administrative", "change-management", "change-management"},
+		{"physical", "device-and-media-controls", "key-management (crypto-shredding)"},
+		{"physical", "facility-access(simulated)", "tpm-vtpm measured boot"},
+		{"technical", "access-control", "privacy-management-rbac"},
+		{"technical", "audit-controls", "audit-log + provenance-blockchain"},
+		{"technical", "integrity", "hmac + redactable-signatures"},
+		{"technical", "transmission-security", "client-shared-key encryption"},
+		{"policies", "documentation", "audit-log change trail"},
+		{"policies", "consent", "consent-management"},
+	}
+}
+
+// SyncConsentProvenance drains pending consent events onto the ledger
+// (§IV: "Blockchain enables ... consent provenance as required by GDPR
+// and HIPAA"). It returns the number of events committed.
+func (p *Platform) SyncConsentProvenance(timeout time.Duration) (int, error) {
+	events := p.Consents.Events()
+	if p.Provenance == nil || len(events) == 0 {
+		return 0, nil
+	}
+	txs := make([]blockchain.Transaction, 0, len(events))
+	for _, e := range events {
+		typ := blockchain.EventConsentGranted
+		if e.Kind == "revoked" {
+			typ = blockchain.EventConsentRevoked
+		}
+		txs = append(txs, blockchain.NewTransaction(typ, "consent-service", e.Patient,
+			nil, map[string]string{"group": e.Group, "purpose": string(e.Purpose)}))
+	}
+	if err := p.Provenance.SubmitBatch(txs, timeout); err != nil {
+		return 0, fmt.Errorf("core: consent provenance: %w", err)
+	}
+	return len(txs), nil
+}
+
+// CheckAccess is the API-management decision: authenticate (caller
+// already did), then consult the privacy-management RBAC.
+func (p *Platform) CheckAccess(userID string, action rbac.Action, resource string, scope rbac.Scope, env string) error {
+	err := p.RBAC.Check(userID, action, resource, scope, env)
+	outcome := "allow"
+	if err != nil {
+		outcome = "deny"
+	}
+	p.Audit.Record(audit.Event{Level: audit.LevelInfo, Service: "api-mgmt",
+		Action: "access-" + outcome, Actor: userID, Resource: resource})
+	return err
+}

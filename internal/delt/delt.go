@@ -1,0 +1,314 @@
+// Package delt implements the Drug Effects on Laboratory Tests algorithm
+// of §V-B (Ghalwash–Li–Zhang–Hu, CIKM'17), an extension of the
+// Self-Controlled Case Series model. It fits
+//
+//	y_ij = α_i + γ_i·t_ij + Σ_d β_d·x_ijd + ε
+//
+// by alternating least squares: per-patient closed-form updates for the
+// baseline α_i and time-drift γ_i (the confounder absorbers of Figs
+// 10–11), and a global ridge regression for the joint drug-effect vector
+// β. Modeling *joint* exposure makes DELT "robust against confounders
+// raised by co-medications"; the MarginalSCCS baseline in this package
+// is the per-drug marginal analysis that experiment E10 shows being
+// fooled by exactly those confounders.
+package delt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"healthcloud/internal/emr"
+)
+
+// Config tunes the fit.
+type Config struct {
+	Lambda     float64 // ridge strength on β
+	Iterations int
+	Tol        float64 // stop when max |Δβ| < Tol
+	// GraphLambda weights the drug-similarity network regularizer
+	// (contribution 3 of the DELT paper: "leverages the prior knowledge
+	// of ... drug similarity network information into the SCCS model").
+	// With DrugSim set, similar drugs are pulled toward similar effects
+	// via the graph Laplacian penalty λ_g Σ s_dd' (β_d − β_d')².
+	GraphLambda float64
+	// DrugSim is the optional drugs×drugs similarity matrix.
+	DrugSim [][]float64
+}
+
+// DefaultConfig returns the settings used in examples and benches.
+func DefaultConfig() Config {
+	return Config{Lambda: 1.0, Iterations: 25, Tol: 1e-6}
+}
+
+// Model is a fitted DELT instance.
+type Model struct {
+	Beta      []float64 // per-drug effect estimates
+	Alpha     []float64 // per-patient baselines
+	Gamma     []float64 // per-patient drifts
+	Objective []float64 // mean squared error per iteration
+}
+
+// Errors returned by this package.
+var (
+	ErrInput    = errors.New("delt: invalid input")
+	ErrSingular = errors.New("delt: singular system")
+)
+
+// Fit runs DELT over a cohort.
+func Fit(ds *emr.Dataset, cfg Config) (*Model, error) {
+	if ds == nil || len(ds.Patients) == 0 {
+		return nil, fmt.Errorf("%w: empty cohort", ErrInput)
+	}
+	if cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("%w: iterations must be positive", ErrInput)
+	}
+	if cfg.Lambda < 0 || cfg.GraphLambda < 0 {
+		return nil, fmt.Errorf("%w: lambdas must be nonnegative", ErrInput)
+	}
+	if cfg.GraphLambda > 0 {
+		if len(cfg.DrugSim) != ds.Cfg.Drugs {
+			return nil, fmt.Errorf("%w: DrugSim must be %d×%d", ErrInput, ds.Cfg.Drugs, ds.Cfg.Drugs)
+		}
+		for i, row := range cfg.DrugSim {
+			if len(row) != ds.Cfg.Drugs {
+				return nil, fmt.Errorf("%w: DrugSim row %d ragged", ErrInput, i)
+			}
+		}
+	}
+	nD := ds.Cfg.Drugs
+	nP := len(ds.Patients)
+	m := &Model{
+		Beta:  make([]float64, nD),
+		Alpha: make([]float64, nP),
+		Gamma: make([]float64, nP),
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		// Step 1: per-patient (α_i, γ_i) by 2-variable least squares on
+		// the drug-effect-adjusted residuals.
+		for i, p := range ds.Patients {
+			m.Alpha[i], m.Gamma[i] = fitPatient(p, m.Beta)
+		}
+		// Step 2: global ridge for β on baseline-adjusted residuals, with
+		// the optional similarity-network (graph Laplacian) penalty.
+		newBeta, err := fitBeta(ds, m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		maxDelta := 0.0
+		for d := range newBeta {
+			if dd := math.Abs(newBeta[d] - m.Beta[d]); dd > maxDelta {
+				maxDelta = dd
+			}
+		}
+		m.Beta = newBeta
+		m.Objective = append(m.Objective, m.mse(ds))
+		if maxDelta < cfg.Tol {
+			break
+		}
+	}
+	return m, nil
+}
+
+// fitPatient solves min over (α, γ) of Σ_j (r_j − α − γ·t_j)² where
+// r_j = y_j − x_j·β, in closed form.
+func fitPatient(p emr.Patient, beta []float64) (alpha, gamma float64) {
+	n := float64(len(p.Visits))
+	var st, stt, sr, srt float64
+	for _, v := range p.Visits {
+		r := v.HbA1c
+		for _, d := range v.Drugs {
+			r -= beta[d]
+		}
+		st += v.Time
+		stt += v.Time * v.Time
+		sr += r
+		srt += r * v.Time
+	}
+	det := n*stt - st*st
+	if math.Abs(det) < 1e-12 {
+		// All visits at the same time: drift unidentifiable, use mean.
+		return sr / n, 0
+	}
+	alpha = (stt*sr - st*srt) / det
+	gamma = (n*srt - st*sr) / det
+	return alpha, gamma
+}
+
+// fitBeta solves the regularized system (XᵀX + λI + λ_g·L)β = Xᵀz over
+// all visits, where z_ij = y_ij − α_i − γ_i·t_ij, X is the binary
+// exposure design, and L is the graph Laplacian of the drug-similarity
+// network (L = D − S): the Laplacian term penalizes
+// Σ s_dd' (β_d − β_d')², shrinking similar drugs toward similar effects.
+func fitBeta(ds *emr.Dataset, m *Model, cfg Config) ([]float64, error) {
+	nD := ds.Cfg.Drugs
+	ata := make([][]float64, nD)
+	for d := range ata {
+		ata[d] = make([]float64, nD)
+		ata[d][d] = cfg.Lambda
+	}
+	if cfg.GraphLambda > 0 {
+		for i := 0; i < nD; i++ {
+			var degree float64
+			for j := 0; j < nD; j++ {
+				if i == j {
+					continue
+				}
+				s := cfg.DrugSim[i][j]
+				degree += s
+				ata[i][j] -= cfg.GraphLambda * s
+			}
+			ata[i][i] += cfg.GraphLambda * degree
+		}
+	}
+	atz := make([]float64, nD)
+	for i, p := range ds.Patients {
+		for _, v := range p.Visits {
+			z := v.HbA1c - m.Alpha[i] - m.Gamma[i]*v.Time
+			for _, d1 := range v.Drugs {
+				atz[d1] += z
+				for _, d2 := range v.Drugs {
+					ata[d1][d2]++
+				}
+			}
+		}
+	}
+	return solveLinear(ata, atz)
+}
+
+// mse returns the model's mean squared error over the cohort.
+func (m *Model) mse(ds *emr.Dataset) float64 {
+	var sum float64
+	var n int
+	for i, p := range ds.Patients {
+		for _, v := range p.Visits {
+			pred := m.Alpha[i] + m.Gamma[i]*v.Time
+			for _, d := range v.Drugs {
+				pred += m.Beta[d]
+			}
+			diff := v.HbA1c - pred
+			sum += diff * diff
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// Predict returns the model's estimate for patient index i at time t
+// with exposures drugs.
+func (m *Model) Predict(i int, t float64, drugs []int) float64 {
+	y := m.Alpha[i] + m.Gamma[i]*t
+	for _, d := range drugs {
+		y += m.Beta[d]
+	}
+	return y
+}
+
+// LoweringCandidates returns drugs ranked by most-negative estimated
+// effect whose |β| meets the threshold — "potential candidates for
+// repositioning to control blood sugar".
+func (m *Model) LoweringCandidates(threshold float64) []int {
+	var out []int
+	for d, b := range m.Beta {
+		if b <= -threshold {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return m.Beta[out[a]] < m.Beta[out[b]] })
+	return out
+}
+
+// MarginalSCCS is the baseline: for each drug independently, the mean
+// within-patient difference between exposed and unexposed visits. It is
+// self-controlled (handles α_i) but marginal — co-medication confounding
+// and time drift pass straight through.
+func MarginalSCCS(ds *emr.Dataset) []float64 {
+	nD := ds.Cfg.Drugs
+	out := make([]float64, nD)
+	for d := 0; d < nD; d++ {
+		var diffSum float64
+		var n int
+		for _, p := range ds.Patients {
+			var expSum, unexpSum float64
+			var expN, unexpN int
+			for _, v := range p.Visits {
+				exposed := false
+				for _, vd := range v.Drugs {
+					if vd == d {
+						exposed = true
+						break
+					}
+				}
+				if exposed {
+					expSum += v.HbA1c
+					expN++
+				} else {
+					unexpSum += v.HbA1c
+					unexpN++
+				}
+			}
+			if expN > 0 && unexpN > 0 {
+				diffSum += expSum/float64(expN) - unexpSum/float64(unexpN)
+				n++
+			}
+		}
+		if n > 0 {
+			out[d] = diffSum / float64(n)
+		}
+	}
+	return out
+}
+
+// RMSE compares an effect estimate against the ground truth.
+func RMSE(estimate, truth []float64) (float64, error) {
+	if len(estimate) != len(truth) {
+		return 0, fmt.Errorf("%w: length mismatch", ErrInput)
+	}
+	var sum float64
+	for i := range truth {
+		d := estimate[i] - truth[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(truth))), nil
+}
+
+// solveLinear solves Ax = b by Gaussian elimination with partial
+// pivoting. A is destroyed.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// pivot
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		x[col], x[pivot] = x[pivot], x[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		s := x[col]
+		for c := col + 1; c < n; c++ {
+			s -= a[col][c] * x[c]
+		}
+		x[col] = s / a[col][col]
+	}
+	return x, nil
+}

@@ -1,0 +1,318 @@
+package delt
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"healthcloud/internal/emr"
+)
+
+func testCohort(t *testing.T) *emr.Dataset {
+	t.Helper()
+	cfg := emr.DefaultConfig()
+	cfg.Patients = 600
+	ds, err := emr.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, DefaultConfig()); !errors.Is(err, ErrInput) {
+		t.Errorf("nil cohort: %v", err)
+	}
+	ds := testCohort(t)
+	if _, err := Fit(ds, Config{Iterations: 0}); !errors.Is(err, ErrInput) {
+		t.Errorf("zero iterations: %v", err)
+	}
+	if _, err := Fit(ds, Config{Iterations: 5, Lambda: -1}); !errors.Is(err, ErrInput) {
+		t.Errorf("negative lambda: %v", err)
+	}
+}
+
+func TestObjectiveDecreases(t *testing.T) {
+	ds := testCohort(t)
+	m, err := Fit(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Objective) < 2 {
+		t.Fatalf("only %d iterations recorded", len(m.Objective))
+	}
+	first, last := m.Objective[0], m.Objective[len(m.Objective)-1]
+	if last > first {
+		t.Errorf("MSE rose: %f -> %f", first, last)
+	}
+	// Final fit should approach the generator's noise floor (0.25² ≈ 0.06,
+	// plus unmodeled comorbidity steps).
+	if last > 0.2 {
+		t.Errorf("final MSE = %f, want < 0.2", last)
+	}
+}
+
+// TestRecoversPlantedEffects is the core E10 claim: DELT's β estimates
+// land near the generator's true effects.
+func TestRecoversPlantedEffects(t *testing.T) {
+	ds := testCohort(t)
+	m, err := Fit(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, want := range ds.Cfg.TrueEffects {
+		got := m.Beta[d]
+		if math.Abs(got-want) > 0.15 {
+			t.Errorf("drug %d: β = %.3f, want %.3f ± 0.15", d, got, want)
+		}
+	}
+	// No-effect drugs estimate near zero.
+	for d := 0; d < ds.Cfg.Drugs; d++ {
+		if _, hasEffect := ds.Cfg.TrueEffects[d]; hasEffect {
+			continue
+		}
+		if math.Abs(m.Beta[d]) > 0.15 {
+			t.Errorf("no-effect drug %d: β = %.3f, want ~0", d, m.Beta[d])
+		}
+	}
+}
+
+// TestRobustToCoMedicationConfounding: the decoy drugs must be cleared by
+// DELT but flagged by the marginal baseline — the paper's contribution
+// (1): "DELT looks at the joint exposure of multiple drugs at the same
+// time (instead of marginal correlation). Therefore it is robust against
+// confounders raised by co-medications."
+func TestRobustToCoMedicationConfounding(t *testing.T) {
+	ds := testCohort(t)
+	m, err := Fit(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	marginal := MarginalSCCS(ds)
+	for _, pair := range ds.Cfg.ConfoundPairs {
+		decoy := pair[0]
+		if math.Abs(m.Beta[decoy]) > 0.15 {
+			t.Errorf("DELT fooled by decoy %d: β = %.3f", decoy, m.Beta[decoy])
+		}
+		if marginal[decoy] > -0.15 {
+			t.Errorf("marginal baseline NOT fooled by decoy %d (%.3f) — confounding too weak to demonstrate", decoy, marginal[decoy])
+		}
+	}
+}
+
+func TestDELTBeatsMarginalOnRMSE(t *testing.T) {
+	ds := testCohort(t)
+	m, err := Fit(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltRMSE, err := RMSE(m.Beta, ds.TrueBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	margRMSE, err := RMSE(MarginalSCCS(ds), ds.TrueBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("RMSE: DELT=%.3f marginal=%.3f", deltRMSE, margRMSE)
+	if deltRMSE >= margRMSE {
+		t.Errorf("DELT RMSE (%.3f) not better than marginal (%.3f)", deltRMSE, margRMSE)
+	}
+}
+
+func TestPatientBaselinesRecovered(t *testing.T) {
+	ds := testCohort(t)
+	m, err := Fit(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// α_i should correlate strongly with the generator's baselines. The
+	// comorbidity steps bias some patients, so compare in aggregate.
+	var sumErr float64
+	for i, p := range ds.Patients {
+		sumErr += math.Abs(m.Alpha[i] - p.Baseline)
+	}
+	meanErr := sumErr / float64(len(ds.Patients))
+	if meanErr > 0.25 {
+		t.Errorf("mean |α̂−α| = %.3f, want <= 0.25", meanErr)
+	}
+}
+
+func TestLoweringCandidates(t *testing.T) {
+	ds := testCohort(t)
+	m, err := Fit(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.LoweringCandidates(0.2)
+	// Expected: drugs 0,1,2,3 (negative effects ≤ -0.3); drug 4 raises.
+	want := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v", got)
+	}
+	for _, d := range got {
+		if !want[d] {
+			t.Errorf("unexpected candidate %d", d)
+		}
+	}
+	// Sorted by strength: drug 0 (-1.2) first.
+	if got[0] != 0 {
+		t.Errorf("strongest candidate = %d, want 0", got[0])
+	}
+}
+
+func TestPredict(t *testing.T) {
+	ds := testCohort(t)
+	m, err := Fit(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prediction with the strong drug is lower than without.
+	without := m.Predict(0, 1.0, nil)
+	with := m.Predict(0, 1.0, []int{0})
+	if with >= without {
+		t.Errorf("exposure to drug 0 did not lower prediction: %f vs %f", with, without)
+	}
+}
+
+func TestRMSEValidation(t *testing.T) {
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrInput) {
+		t.Errorf("length mismatch: %v", err)
+	}
+	v, err := RMSE([]float64{1, 2}, []float64{1, 2})
+	if err != nil || v != 0 {
+		t.Errorf("identical vectors: %f, %v", v, err)
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := solveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+	sing := [][]float64{{1, 1}, {2, 2}}
+	if _, err := solveLinear(sing, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular system: %v", err)
+	}
+}
+
+func TestSameTimeVisitsHandled(t *testing.T) {
+	// A degenerate patient whose visits are all at t=0 must not produce
+	// NaNs (drift unidentifiable → 0).
+	ds := &emr.Dataset{
+		Cfg: emr.Config{Patients: 1, Drugs: 2, VisitsMin: 2, VisitsMax: 3},
+		Patients: []emr.Patient{{
+			ID: "p",
+			Visits: []emr.Visit{
+				{Time: 0, Drugs: []int{0}, HbA1c: 6.2},
+				{Time: 0, Drugs: nil, HbA1c: 6.0},
+				{Time: 0, Drugs: []int{1}, HbA1c: 6.4},
+			},
+		}},
+		TrueBeta: []float64{0, 0},
+	}
+	m, err := Fit(ds, Config{Lambda: 1, Iterations: 5, Tol: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range append(append([]float64{}, m.Beta...), m.Alpha[0], m.Gamma[0]) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("degenerate cohort produced %f", v)
+		}
+	}
+	if m.Gamma[0] != 0 {
+		t.Errorf("gamma = %f, want 0 for unidentifiable drift", m.Gamma[0])
+	}
+}
+
+// effectSimilarity builds a drug-similarity network from the generator's
+// true effects (similar effect → similar drug), the prior knowledge
+// DELT's contribution (3) injects.
+func effectSimilarity(truth []float64) [][]float64 {
+	n := len(truth)
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+		for j := range sim[i] {
+			if i == j {
+				sim[i][j] = 1
+				continue
+			}
+			d := truth[i] - truth[j]
+			sim[i][j] = math.Exp(-8 * d * d)
+		}
+	}
+	return sim
+}
+
+func TestGraphRegularizationValidation(t *testing.T) {
+	ds := testCohort(t)
+	cfg := DefaultConfig()
+	cfg.GraphLambda = -1
+	if _, err := Fit(ds, cfg); !errors.Is(err, ErrInput) {
+		t.Errorf("negative graph lambda: %v", err)
+	}
+	cfg.GraphLambda = 1
+	cfg.DrugSim = [][]float64{{1}}
+	if _, err := Fit(ds, cfg); !errors.Is(err, ErrInput) {
+		t.Errorf("mis-sized DrugSim: %v", err)
+	}
+}
+
+// TestGraphRegularizationHelpsWhenDataIsScarce: with few patients the
+// unregularized estimates are noisy; the similarity network pulls
+// similar drugs together and reduces effect-vector error — DELT's
+// contribution (3).
+func TestGraphRegularizationHelpsWhenDataIsScarce(t *testing.T) {
+	cfg := emr.DefaultConfig()
+	cfg.Patients = 40 // scarce data regime
+	cfg.NoiseSD = 0.6
+	ds, err := emr.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Fit(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := DefaultConfig()
+	reg.GraphLambda = 25
+	reg.DrugSim = effectSimilarity(ds.TrueBeta)
+	smooth, err := Fit(ds, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRMSE, _ := RMSE(plain.Beta, ds.TrueBeta)
+	smoothRMSE, _ := RMSE(smooth.Beta, ds.TrueBeta)
+	t.Logf("RMSE: plain=%.4f graph-regularized=%.4f", plainRMSE, smoothRMSE)
+	if smoothRMSE >= plainRMSE {
+		t.Errorf("similarity regularization did not help: %.4f vs %.4f", smoothRMSE, plainRMSE)
+	}
+}
+
+// TestGraphRegularizationHarmlessAtScale: with abundant data the
+// regularizer must not materially hurt accuracy.
+func TestGraphRegularizationHarmlessAtScale(t *testing.T) {
+	ds := testCohort(t)
+	plain, err := Fit(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := DefaultConfig()
+	reg.GraphLambda = 5
+	reg.DrugSim = effectSimilarity(ds.TrueBeta)
+	smooth, err := Fit(ds, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRMSE, _ := RMSE(plain.Beta, ds.TrueBeta)
+	smoothRMSE, _ := RMSE(smooth.Beta, ds.TrueBeta)
+	if smoothRMSE > plainRMSE*2 {
+		t.Errorf("regularizer hurt at scale: %.4f vs %.4f", smoothRMSE, plainRMSE)
+	}
+}

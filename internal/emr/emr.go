@@ -1,0 +1,205 @@
+// Package emr generates synthetic Real-World-Evidence data standing in
+// for the Explorys SuperMart and Truven MarketScan databases of §V-B
+// (DESIGN.md substitution table): longitudinal patients with drug
+// prescription histories and HbA1c laboratory series. The generating
+// process mirrors the DELT paper's model (Figs 10–11):
+//
+//	y_ij = α_i + γ_i·t_ij + Σ_d β_d·x_ijd + comorbidity_i(t_ij) + ε
+//
+// α_i is the patient-specific baseline ("different healthy patients may
+// have different normal laboratory test values"), γ_i·t is aging drift,
+// comorbidity_i is a persistent step change at a random onset (both are
+// the confounders Fig 11 describes), β_d are the true drug effects —
+// known here, so recovery is verifiable — and selected no-effect drugs
+// are co-prescribed with effective ones to create exactly the
+// co-medication confounding that defeats marginal analyses.
+package emr
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Visit is one lab measurement with the drug exposures active at that
+// time (x_ij of Fig 10).
+type Visit struct {
+	Time  float64 // years since enrollment
+	Drugs []int   // indices of drugs the patient is on at this visit
+	HbA1c float64 // y_ij
+}
+
+// Patient is one longitudinal record.
+type Patient struct {
+	ID       string
+	Baseline float64 // α_i (ground truth)
+	Drift    float64 // γ_i (ground truth aging slope)
+	Visits   []Visit
+}
+
+// Config sizes the synthetic cohort.
+type Config struct {
+	Patients int
+	Drugs    int
+	// TrueEffects maps drug index -> β (HbA1c units). Unlisted drugs
+	// have zero effect.
+	TrueEffects map[int]float64
+	// ConfoundPairs lists (decoy, effective) drug pairs that are
+	// co-prescribed ~80% of the time: the decoy has no effect but
+	// marginally correlates with lowered HbA1c.
+	ConfoundPairs [][2]int
+	VisitsMin     int
+	VisitsMax     int
+	NoiseSD       float64
+	Seed          int64
+}
+
+// DefaultConfig is the cohort used by examples and benches: 2000
+// patients, 30 drugs, five true HbA1c-lowering effects, and two decoy
+// drugs riding along with effective ones.
+func DefaultConfig() Config {
+	return Config{
+		Patients: 2000,
+		Drugs:    30,
+		TrueEffects: map[int]float64{
+			0: -1.2, // strong (think metformin)
+			1: -0.8,
+			2: -0.5,
+			3: -0.3,
+			4: +0.4, // a blood-sugar-raising drug (e.g. a steroid)
+		},
+		ConfoundPairs: [][2]int{{10, 0}, {11, 1}},
+		VisitsMin:     6,
+		VisitsMax:     14,
+		NoiseSD:       0.25,
+		Seed:          7,
+	}
+}
+
+// Dataset is the generated cohort plus ground truth.
+type Dataset struct {
+	Cfg      Config
+	Patients []Patient
+	TrueBeta []float64 // per drug
+}
+
+// Generate builds a cohort.
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.Patients <= 0 || cfg.Drugs <= 0 {
+		return nil, fmt.Errorf("emr: sizes must be positive: %+v", cfg)
+	}
+	if cfg.VisitsMin < 2 || cfg.VisitsMax < cfg.VisitsMin {
+		return nil, fmt.Errorf("emr: need VisitsMax >= VisitsMin >= 2")
+	}
+	for d := range cfg.TrueEffects {
+		if d < 0 || d >= cfg.Drugs {
+			return nil, fmt.Errorf("emr: effect drug %d out of range", d)
+		}
+	}
+	for _, p := range cfg.ConfoundPairs {
+		if p[0] < 0 || p[0] >= cfg.Drugs || p[1] < 0 || p[1] >= cfg.Drugs {
+			return nil, fmt.Errorf("emr: confound pair %v out of range", p)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{Cfg: cfg, TrueBeta: make([]float64, cfg.Drugs)}
+	for d, b := range cfg.TrueEffects {
+		ds.TrueBeta[d] = b
+	}
+	confoundOf := make(map[int]int) // effective drug -> decoy that tags along
+	for _, p := range cfg.ConfoundPairs {
+		confoundOf[p[1]] = p[0]
+	}
+
+	for i := 0; i < cfg.Patients; i++ {
+		p := Patient{
+			ID:       fmt.Sprintf("patient-%05d", i),
+			Baseline: 6.0 + 1.2*rng.NormFloat64(), // diverse α_i
+			Drift:    0.05 + 0.05*rng.NormFloat64(),
+		}
+		nVisits := cfg.VisitsMin + rng.Intn(cfg.VisitsMax-cfg.VisitsMin+1)
+		// Prescription episodes: the patient takes 2..6 drugs, each over
+		// a contiguous visit interval.
+		nDrugs := 2 + rng.Intn(5)
+		type episode struct {
+			drug       int
+			start, end int
+		}
+		var episodes []episode
+		for e := 0; e < nDrugs; e++ {
+			d := rng.Intn(cfg.Drugs)
+			start := rng.Intn(nVisits)
+			end := start + 1 + rng.Intn(nVisits-start)
+			episodes = append(episodes, episode{d, start, end})
+			// Co-medication confounding: the decoy joins ~80% of the
+			// effective drug's episodes with the same interval.
+			if decoy, ok := confoundOf[d]; ok && rng.Float64() < 0.8 {
+				episodes = append(episodes, episode{decoy, start, end})
+			}
+		}
+		// Comorbidity shock: 30% of patients acquire a persistent +step
+		// at a random onset (the Fig 11 confounder).
+		comorbidAt, comorbidDelta := -1, 0.0
+		if rng.Float64() < 0.3 {
+			comorbidAt = rng.Intn(nVisits)
+			comorbidDelta = 0.3 + 0.4*rng.Float64()
+		}
+		for j := 0; j < nVisits; j++ {
+			t := float64(j) * 0.5 // visits every 6 months
+			active := make(map[int]bool)
+			for _, ep := range episodes {
+				if j >= ep.start && j < ep.end {
+					active[ep.drug] = true
+				}
+			}
+			y := p.Baseline + p.Drift*t
+			drugs := make([]int, 0, len(active))
+			for d := range active {
+				drugs = append(drugs, d)
+			}
+			// Sum effects in sorted order: float addition is not
+			// associative, so map-iteration order would make the labs
+			// nondeterministic across runs of the same seed.
+			sortInts(drugs)
+			for _, d := range drugs {
+				y += ds.TrueBeta[d]
+			}
+			if comorbidAt >= 0 && j >= comorbidAt {
+				y += comorbidDelta
+			}
+			y += cfg.NoiseSD * rng.NormFloat64()
+			p.Visits = append(p.Visits, Visit{Time: t, Drugs: drugs, HbA1c: y})
+		}
+		ds.Patients = append(ds.Patients, p)
+	}
+	return ds, nil
+}
+
+// ExposureStats returns, per drug, how many visits were exposed.
+func (ds *Dataset) ExposureStats() []int {
+	out := make([]int, ds.Cfg.Drugs)
+	for _, p := range ds.Patients {
+		for _, v := range p.Visits {
+			for _, d := range v.Drugs {
+				out[d]++
+			}
+		}
+	}
+	return out
+}
+
+// TotalVisits counts measurements across the cohort.
+func (ds *Dataset) TotalVisits() int {
+	n := 0
+	for _, p := range ds.Patients {
+		n += len(p.Visits)
+	}
+	return n
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package emr
+
+import (
+	"math"
+	"testing"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Patients = 200
+	return cfg
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{Patients: 0, Drugs: 5, VisitsMin: 2, VisitsMax: 4},
+		{Patients: 5, Drugs: 0, VisitsMin: 2, VisitsMax: 4},
+		{Patients: 5, Drugs: 5, VisitsMin: 1, VisitsMax: 4},
+		{Patients: 5, Drugs: 5, VisitsMin: 4, VisitsMax: 2},
+		{Patients: 5, Drugs: 5, VisitsMin: 2, VisitsMax: 4, TrueEffects: map[int]float64{9: -1}},
+		{Patients: 5, Drugs: 5, VisitsMin: 2, VisitsMax: 4, ConfoundPairs: [][2]int{{0, 9}}},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Patients) != 200 {
+		t.Fatalf("patients = %d", len(ds.Patients))
+	}
+	for _, p := range ds.Patients {
+		if len(p.Visits) < ds.Cfg.VisitsMin || len(p.Visits) > ds.Cfg.VisitsMax {
+			t.Fatalf("%s has %d visits", p.ID, len(p.Visits))
+		}
+		for _, v := range p.Visits {
+			for _, d := range v.Drugs {
+				if d < 0 || d >= ds.Cfg.Drugs {
+					t.Fatalf("drug index %d out of range", d)
+				}
+			}
+		}
+	}
+	if ds.TotalVisits() < 200*ds.Cfg.VisitsMin {
+		t.Errorf("total visits = %d", ds.TotalVisits())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Generate(smallConfig())
+	b, _ := Generate(smallConfig())
+	for i := range a.Patients {
+		if a.Patients[i].Baseline != b.Patients[i].Baseline {
+			t.Fatal("same seed produced different cohorts")
+		}
+		for j := range a.Patients[i].Visits {
+			if a.Patients[i].Visits[j].HbA1c != b.Patients[i].Visits[j].HbA1c {
+				t.Fatal("same seed produced different labs")
+			}
+		}
+	}
+}
+
+func TestPatientBaselinesVary(t *testing.T) {
+	ds, _ := Generate(smallConfig())
+	var mean, sq float64
+	for _, p := range ds.Patients {
+		mean += p.Baseline
+	}
+	mean /= float64(len(ds.Patients))
+	for _, p := range ds.Patients {
+		sq += (p.Baseline - mean) * (p.Baseline - mean)
+	}
+	sd := math.Sqrt(sq / float64(len(ds.Patients)))
+	if sd < 0.8 {
+		t.Errorf("baseline SD = %f; the α_i diversity DELT models is missing", sd)
+	}
+}
+
+// TestPlantedEffectVisible verifies that exposure to the strong drug
+// (β=-1.2) lowers HbA1c within-patient — the raw signal DELT must find.
+func TestPlantedEffectVisible(t *testing.T) {
+	ds, _ := Generate(smallConfig())
+	var diffSum float64
+	var n int
+	for _, p := range ds.Patients {
+		var expSum, expN, unexpSum, unexpN float64
+		for _, v := range p.Visits {
+			exposed := false
+			for _, d := range v.Drugs {
+				if d == 0 {
+					exposed = true
+				}
+			}
+			if exposed {
+				expSum += v.HbA1c
+				expN++
+			} else {
+				unexpSum += v.HbA1c
+				unexpN++
+			}
+		}
+		if expN > 0 && unexpN > 0 {
+			diffSum += expSum/expN - unexpSum/unexpN
+			n++
+		}
+	}
+	if n < 20 {
+		t.Fatalf("only %d patients have within-patient contrast for drug 0", n)
+	}
+	meanDiff := diffSum / float64(n)
+	if meanDiff > -0.5 {
+		t.Errorf("within-patient effect of drug 0 = %.2f, want strongly negative", meanDiff)
+	}
+}
+
+// TestConfoundingPresent verifies the decoy drug is marginally associated
+// with lower HbA1c despite having zero true effect — the trap for the
+// marginal baseline in experiment E10.
+func TestConfoundingPresent(t *testing.T) {
+	ds, _ := Generate(smallConfig())
+	decoy := ds.Cfg.ConfoundPairs[0][0]
+	partner := ds.Cfg.ConfoundPairs[0][1]
+	if ds.TrueBeta[decoy] != 0 {
+		t.Fatalf("decoy %d has a true effect", decoy)
+	}
+	// Decoy and partner co-occur far more often than chance.
+	var both, decoyOnly int
+	for _, p := range ds.Patients {
+		for _, v := range p.Visits {
+			hasDecoy, hasPartner := false, false
+			for _, d := range v.Drugs {
+				if d == decoy {
+					hasDecoy = true
+				}
+				if d == partner {
+					hasPartner = true
+				}
+			}
+			if hasDecoy && hasPartner {
+				both++
+			} else if hasDecoy {
+				decoyOnly++
+			}
+		}
+	}
+	if both == 0 || float64(both)/float64(both+decoyOnly) < 0.5 {
+		t.Errorf("co-prescription too weak: both=%d, decoyOnly=%d", both, decoyOnly)
+	}
+	// Marginal (cross-patient, no baseline) association of the decoy is
+	// negative — the confounded signal.
+	var expSum, expN, unexpSum, unexpN float64
+	for _, p := range ds.Patients {
+		for _, v := range p.Visits {
+			exposed := false
+			for _, d := range v.Drugs {
+				if d == decoy {
+					exposed = true
+				}
+			}
+			if exposed {
+				expSum += v.HbA1c
+				expN++
+			} else {
+				unexpSum += v.HbA1c
+				unexpN++
+			}
+		}
+	}
+	if expN == 0 {
+		t.Fatal("decoy never prescribed")
+	}
+	marginal := expSum/expN - unexpSum/unexpN
+	if marginal > -0.2 {
+		t.Errorf("decoy marginal association = %.2f, want clearly negative (confounded)", marginal)
+	}
+}
+
+func TestExposureStats(t *testing.T) {
+	ds, _ := Generate(smallConfig())
+	stats := ds.ExposureStats()
+	if len(stats) != ds.Cfg.Drugs {
+		t.Fatalf("stats length = %d", len(stats))
+	}
+	total := 0
+	for _, n := range stats {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no exposures generated")
+	}
+	// Every drug in the effect set must have meaningful exposure, or the
+	// recovery experiment is vacuous.
+	for d := range ds.Cfg.TrueEffects {
+		if stats[d] < 50 {
+			t.Errorf("drug %d has only %d exposed visits", d, stats[d])
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"healthcloud/internal/analytics"
+	"healthcloud/internal/delt"
+	"healthcloud/internal/emr"
+	"healthcloud/internal/jmf"
+	"healthcloud/internal/kb"
+	"healthcloud/internal/tiresias"
+)
+
+// E9JMFAccuracy reproduces Fig 9 / §V-A's shape: JMF's multi-source
+// integration beats Guilt-by-Association and single-source MF at
+// predicting held-out drug–disease associations.
+func E9JMFAccuracy() (*Result, error) {
+	d, err := kb.Generate(kb.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	train, held := d.HoldOut(0.2, 1)
+	var S, T [][][]float64
+	for _, src := range kb.DrugSources {
+		S = append(S, d.DrugSim[src])
+	}
+	for _, src := range kb.DiseaseSources {
+		T = append(T, d.DisSim[src])
+	}
+	model, err := jmf.Fit(train, S, T, jmf.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	jmfScores := jmf.ScoresOf(model)
+	gba, err := jmf.GBA(train, d.DrugSim[kb.DrugChemical])
+	if err != nil {
+		return nil, err
+	}
+	gbaSE, err := jmf.GBA(train, d.DrugSim[kb.DrugSideEffect])
+	if err != nil {
+		return nil, err
+	}
+	mf, err := jmf.SingleSourceMF(train, jmf.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	jmfAUC := jmf.AUC(jmfScores, d.Assoc, train, held)
+	gbaAUC := jmf.AUC(gba, d.Assoc, train, held)
+	gbaSEAUC := jmf.AUC(gbaSE, d.Assoc, train, held)
+	mfAUC := jmf.AUC(jmf.ScoresOf(mf), d.Assoc, train, held)
+	jmfP := jmf.PrecisionAtK(jmfScores, d.Assoc, train, held, 100)
+	gbaP := jmf.PrecisionAtK(gba, d.Assoc, train, held, 100)
+	mfP := jmf.PrecisionAtK(jmf.ScoresOf(mf), d.Assoc, train, held, 100)
+	return &Result{
+		ID:         "E9",
+		Title:      "drug repositioning: JMF vs GBA vs single-source MF (200×150, 20% held out)",
+		PaperClaim: "JMF integrates multiple drug and disease information sources and outperforms single-aspect methods (§V-A, Fig 9)",
+		Rows: []Row{
+			{"JMF AUC", jmfAUC, ""},
+			{"GBA (chemical) AUC", gbaAUC, ""},
+			{"GBA (side-effect) AUC", gbaSEAUC, ""},
+			{"single-source MF AUC", mfAUC, ""},
+			{"JMF precision@100", jmfP, ""},
+			{"GBA precision@100", gbaP, ""},
+			{"single-source MF precision@100", mfP, ""},
+		},
+		Shape: verdict(jmfAUC > gbaAUC && jmfAUC > gbaSEAUC && jmfAUC > mfAUC,
+			fmt.Sprintf("JMF wins on AUC (%.3f vs %.3f/%.3f/%.3f); single-aspect GBA varies with its source — the bias the paper motivates JMF with",
+				jmfAUC, gbaAUC, gbaSEAUC, mfAUC)),
+	}, nil
+}
+
+// E10DELTRecovery reproduces Figs 10–11 / §V-B's shape: DELT recovers
+// planted drug effects despite per-patient baselines, drift, and
+// co-medication confounding, while the marginal SCCS baseline is fooled.
+func E10DELTRecovery() (*Result, error) {
+	cohort, err := emr.Generate(emr.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	model, err := delt.Fit(cohort, delt.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	marginal := delt.MarginalSCCS(cohort)
+	deltRMSE, err := delt.RMSE(model.Beta, cohort.TrueBeta)
+	if err != nil {
+		return nil, err
+	}
+	margRMSE, err := delt.RMSE(marginal, cohort.TrueBeta)
+	if err != nil {
+		return nil, err
+	}
+	decoy := cohort.Cfg.ConfoundPairs[0][0]
+	rows := []Row{
+		{"DELT effect-vector RMSE", deltRMSE, ""},
+		{"marginal SCCS RMSE", margRMSE, ""},
+		{"marginal penalty", margRMSE / deltRMSE, "x"},
+		{fmt.Sprintf("decoy drug-%d true effect", decoy), cohort.TrueBeta[decoy], "HbA1c"},
+		{fmt.Sprintf("decoy drug-%d DELT estimate", decoy), model.Beta[decoy], "HbA1c"},
+		{fmt.Sprintf("decoy drug-%d marginal estimate", decoy), marginal[decoy], "HbA1c"},
+	}
+	holds := deltRMSE < margRMSE && abs(model.Beta[decoy]) < 0.15 && marginal[decoy] < -0.15
+	return &Result{
+		ID:         "E10",
+		Title:      "RWE drug-effect detection: DELT vs marginal SCCS (2000 patients, 30 drugs)",
+		PaperClaim: "joint exposure modeling makes DELT robust to co-medication confounders; baselines and drift are absorbed by α_i and t_ij (§V-B)",
+		Rows:       rows,
+		Shape: verdict(holds, fmt.Sprintf("DELT %.1fx more accurate; marginal flags the decoy (%.2f), DELT clears it (%.2f)",
+			margRMSE/deltRMSE, marginal[decoy], model.Beta[decoy])),
+	}, nil
+}
+
+// E12EdgeVsServer measures §I/§III-A's edge-computing claim: running an
+// approved model locally on the enhanced client versus calling the
+// server over a 20 ms RTT, and the server load avoided.
+func E12EdgeVsServer() (*Result, error) {
+	model := &analytics.LinearModel{Name: "hba1c-risk", Bias: 6,
+		Weights: map[string]float64{"metformin": -1.2, "steroid": 0.4, "age": 0.05}}
+	features := map[string]float64{"metformin": 1, "age": 5}
+	const ops = 1000
+	const rtt = 20 * time.Millisecond
+
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		model.Predict(features)
+	}
+	localTotal := time.Since(start)
+	localPer := localTotal / ops
+
+	// Server arm: each prediction pays the RTT (modeled) plus the same
+	// compute, and consumes a server request slot.
+	serverPer := rtt + localPer
+	speedup := float64(serverPer) / float64(localPer)
+	return &Result{
+		ID:         "E12",
+		Title:      "edge analytics: local model execution vs server round-trips (1k predictions)",
+		PaperClaim: "computation at clients moves computing to the network edge, offloading servers and cutting latency (§I, §III-A)",
+		Rows: []Row{
+			{"local prediction", float64(localPer.Nanoseconds()), "ns/op"},
+			{"server prediction (20 ms RTT)", float64(serverPer.Microseconds()), "µs/op"},
+			{"edge speedup", speedup, "x"},
+			{"server requests avoided", ops, "req"},
+		},
+		Shape: verdict(speedup > 100, fmt.Sprintf("local execution %.0fx faster and removes all %d server round-trips", speedup, ops)),
+	}, nil
+}
+
+// E14TiresiasDDI reproduces the Tiresias shape (§V-A): pair-similarity
+// link prediction beats popularity and random ranking for drug–drug
+// interactions.
+func E14TiresiasDDI() (*Result, error) {
+	cfg := kb.DefaultConfig()
+	cfg.Drugs, cfg.Diseases = 120, 20
+	d, err := kb.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	full, err := d.GenerateInteractions(0.05)
+	if err != nil {
+		return nil, err
+	}
+	train, held := tiresias.HoldOutPairs(full, 0.2)
+	var sims [][][]float64
+	for _, src := range kb.DrugSources {
+		sims = append(sims, d.DrugSim[src])
+	}
+	m, err := tiresias.New(train, sims, tiresias.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	tireAUC := tiresias.PairAUC(m.ScoreAll(), full, train, held)
+	degAUC := tiresias.PairAUC(tiresias.DegreeBaseline(train), full, train, held)
+	rng := rand.New(rand.NewSource(3))
+	randScores := make([][]float64, len(full))
+	for i := range randScores {
+		randScores[i] = make([]float64, len(full))
+		for j := range randScores[i] {
+			randScores[i][j] = rng.Float64()
+		}
+	}
+	randAUC := tiresias.PairAUC(randScores, full, train, held)
+	return &Result{
+		ID:         "E14",
+		Title:      "drug–drug interaction prediction: Tiresias vs degree vs random (120 drugs)",
+		PaperClaim: "similarity metrics combined over drug pairs predict drug-drug interactions (§V-A, Tiresias)",
+		Rows: []Row{
+			{"Tiresias pair-similarity AUC", tireAUC, ""},
+			{"degree (popularity) AUC", degAUC, ""},
+			{"random AUC", randAUC, ""},
+		},
+		Shape: verdict(tireAUC > degAUC && tireAUC > 0.65,
+			fmt.Sprintf("pair similarity wins (%.3f vs %.3f), random sits at ~0.5", tireAUC, degAUC)),
+	}, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// All runs every experiment in order.
+func All() ([]*Result, error) {
+	funcs := []func() (*Result, error){
+		E1CacheVsRemote, E2MultiLevelCache, E3SharedVsPublicKey,
+		E4HMACVsSignature, E5IngestPipeline, E6LedgerCommit,
+		E7RedactableSignatures, E8AttestationChain, E9JMFAccuracy,
+		E10DELTRecovery, E11KAnonymity, E12EdgeVsServer,
+		E13ComputeToData, E14TiresiasDDI,
+	}
+	out := make([]*Result, 0, len(funcs))
+	for _, f := range funcs {
+		r, err := f()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+// Package experiments implements the reproduction harness: one function
+// per experiment in DESIGN.md's index (E1–E14), each regenerating the
+// measurement behind a figure or quantitative claim of the paper. The
+// functions return structured results so cmd/benchreport can print the
+// EXPERIMENTS.md tables and tests can assert the *shape* of each claim
+// (who wins, by roughly what factor).
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Row is one measurement line.
+type Row struct {
+	Label string
+	Value float64
+	Unit  string
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Rows       []Row
+	Shape      string // the qualitative verdict the paper predicts
+}
+
+// String renders the result as a fixed-width table.
+func (r *Result) String() string {
+	out := fmt.Sprintf("%s — %s\n  claim: %s\n", r.ID, r.Title, r.PaperClaim)
+	for _, row := range r.Rows {
+		out += fmt.Sprintf("  %-44s %14.3f %s\n", row.Label, row.Value, row.Unit)
+	}
+	out += fmt.Sprintf("  shape: %s\n", r.Shape)
+	return out
+}
+
+// zipfKeys draws n keys from a Zipf(s=1.07) distribution over the
+// keyspace — the standard skewed-popularity model for cache studies.
+func zipfKeys(keyspace []string, n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.07, 1, uint64(len(keyspace)-1))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = keyspace[z.Uint64()]
+	}
+	return out
+}
+
+// accountedSleeper returns a sleeper that accumulates modeled time
+// instead of blocking, so WAN-scale experiments run in microseconds.
+func accountedSleeper() (func(time.Duration), *time.Duration) {
+	total := new(time.Duration)
+	return func(d time.Duration) { *total += d }, total
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllShapesHold runs the full reproduction harness and requires every
+// experiment to report its paper-predicted shape. This is the repo's
+// single strongest statement: each quantitative claim of the paper holds
+// on this substrate.
+func TestAllShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness skipped in -short mode")
+	}
+	results, err := All()
+	if err != nil {
+		t.Fatalf("harness error after %d experiments: %v", len(results), err)
+	}
+	if len(results) != 14 {
+		t.Fatalf("ran %d experiments, want 14", len(results))
+	}
+	for _, r := range results {
+		if !strings.HasPrefix(r.Shape, "HOLDS") {
+			t.Errorf("%s: %s", r.ID, r.Shape)
+		}
+		if len(r.Rows) == 0 || r.PaperClaim == "" {
+			t.Errorf("%s: incomplete result %+v", r.ID, r)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{ID: "EX", Title: "t", PaperClaim: "c",
+		Rows: []Row{{"a", 1.5, "x"}}, Shape: "HOLDS — demo"}
+	s := r.String()
+	for _, want := range []string{"EX", "claim: c", "1.500", "HOLDS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestZipfKeysSkewed(t *testing.T) {
+	keys := make([]string, 100)
+	for i := range keys {
+		keys[i] = string(rune('a' + i%26))
+	}
+	draws := zipfKeys(keys, 10_000, 1)
+	counts := map[string]int{}
+	for _, k := range draws {
+		counts[k]++
+	}
+	// The head key must dominate a Zipf draw.
+	if counts[keys[0]] < 1000 {
+		t.Errorf("head key drawn only %d times — not Zipf-skewed", counts[keys[0]])
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	if got := verdict(true, "yes"); got != "HOLDS — yes" {
+		t.Errorf("verdict(true) = %q", got)
+	}
+	if got := verdict(false, "no"); got != "DOES NOT HOLD — no" {
+		t.Errorf("verdict(false) = %q", got)
+	}
+}
+
+func TestAccountedSleeper(t *testing.T) {
+	sleep, total := accountedSleeper()
+	sleep(100)
+	sleep(200)
+	if *total != 300 {
+		t.Errorf("accounted %v", *total)
+	}
+}
+
+// TestAblationShapesHold runs the design-choice ablations A1–A3.
+func TestAblationShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations skipped in -short mode")
+	}
+	results, err := Ablations()
+	if err != nil {
+		t.Fatalf("ablations error after %d: %v", len(results), err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("ran %d ablations, want 3", len(results))
+	}
+	for _, r := range results {
+		if !strings.HasPrefix(r.Shape, "HOLDS") {
+			t.Errorf("%s: %s", r.ID, r.Shape)
+		}
+	}
+}

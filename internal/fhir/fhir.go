@@ -1,0 +1,335 @@
+// Package fhir implements the platform's electronic healthcare
+// information exchange format (§II-B): "Our system adopts FHIR as the
+// data ingestion format". It provides an R4-subset resource model —
+// Patient, Observation, Condition, MedicationRequest, and Bundle — with
+// JSON codecs and validation, plus an HL7v2 adapter (hl7.go) because the
+// system "can be easily extended to support any other format by writing
+// adapters that transform data from one exchange format to another, e.g.
+// from HL7 to FHIR and back".
+package fhir
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors returned by this package.
+var (
+	ErrInvalid     = errors.New("fhir: invalid resource")
+	ErrUnknownType = errors.New("fhir: unknown resource type")
+)
+
+// Resource is any FHIR resource the platform understands.
+type Resource interface {
+	// Type returns the FHIR resourceType discriminator.
+	Type() string
+	// Validate checks required elements and coded-value domains.
+	Validate() error
+}
+
+// Identifier is a business identifier (e.g. an MRN).
+type Identifier struct {
+	System string `json:"system,omitempty"`
+	Value  string `json:"value"`
+}
+
+// HumanName carries a patient or practitioner name.
+type HumanName struct {
+	Family string   `json:"family,omitempty"`
+	Given  []string `json:"given,omitempty"`
+	Text   string   `json:"text,omitempty"`
+}
+
+// Coding is one code from a terminology system (LOINC, SNOMED, RxNorm).
+type Coding struct {
+	System  string `json:"system,omitempty"`
+	Code    string `json:"code"`
+	Display string `json:"display,omitempty"`
+}
+
+// CodeableConcept wraps alternative codings for one concept.
+type CodeableConcept struct {
+	Coding []Coding `json:"coding,omitempty"`
+	Text   string   `json:"text,omitempty"`
+}
+
+// Reference points at another resource ("Patient/123").
+type Reference struct {
+	Reference string `json:"reference,omitempty"`
+	Display   string `json:"display,omitempty"`
+}
+
+// Quantity is a measured amount.
+type Quantity struct {
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+// Patient is the FHIR Patient resource subset.
+type Patient struct {
+	ResourceType string       `json:"resourceType"`
+	ID           string       `json:"id,omitempty"`
+	Identifier   []Identifier `json:"identifier,omitempty"`
+	Name         []HumanName  `json:"name,omitempty"`
+	Gender       string       `json:"gender,omitempty"`
+	BirthDate    string       `json:"birthDate,omitempty"` // YYYY-MM-DD
+	Address      []Address    `json:"address,omitempty"`
+	Telecom      []Telecom    `json:"telecom,omitempty"`
+}
+
+// Address is a postal address (quasi-identifier for anonymization).
+type Address struct {
+	City       string `json:"city,omitempty"`
+	State      string `json:"state,omitempty"`
+	PostalCode string `json:"postalCode,omitempty"`
+}
+
+// Telecom is a phone/email contact point.
+type Telecom struct {
+	System string `json:"system,omitempty"` // phone | email
+	Value  string `json:"value,omitempty"`
+}
+
+// Type implements Resource.
+func (p *Patient) Type() string { return "Patient" }
+
+// Validate implements Resource.
+func (p *Patient) Validate() error {
+	if p.ResourceType != "Patient" {
+		return fmt.Errorf("%w: resourceType %q", ErrInvalid, p.ResourceType)
+	}
+	switch p.Gender {
+	case "", "male", "female", "other", "unknown":
+	default:
+		return fmt.Errorf("%w: gender %q", ErrInvalid, p.Gender)
+	}
+	if p.BirthDate != "" {
+		if _, err := time.Parse("2006-01-02", p.BirthDate); err != nil {
+			return fmt.Errorf("%w: birthDate %q", ErrInvalid, p.BirthDate)
+		}
+	}
+	return nil
+}
+
+// Observation is the FHIR Observation subset (lab results, vitals).
+type Observation struct {
+	ResourceType      string          `json:"resourceType"`
+	ID                string          `json:"id,omitempty"`
+	Status            string          `json:"status"`
+	Code              CodeableConcept `json:"code"`
+	Subject           Reference       `json:"subject,omitempty"`
+	EffectiveDateTime string          `json:"effectiveDateTime,omitempty"` // RFC 3339
+	ValueQuantity     *Quantity       `json:"valueQuantity,omitempty"`
+	ValueString       string          `json:"valueString,omitempty"`
+}
+
+// Observation status codes (FHIR value set, subset).
+var observationStatuses = map[string]bool{
+	"registered": true, "preliminary": true, "final": true,
+	"amended": true, "corrected": true, "cancelled": true,
+	"entered-in-error": true, "unknown": true,
+}
+
+// Type implements Resource.
+func (o *Observation) Type() string { return "Observation" }
+
+// Validate implements Resource.
+func (o *Observation) Validate() error {
+	if o.ResourceType != "Observation" {
+		return fmt.Errorf("%w: resourceType %q", ErrInvalid, o.ResourceType)
+	}
+	if !observationStatuses[o.Status] {
+		return fmt.Errorf("%w: observation status %q", ErrInvalid, o.Status)
+	}
+	if len(o.Code.Coding) == 0 && o.Code.Text == "" {
+		return fmt.Errorf("%w: observation needs a code", ErrInvalid)
+	}
+	if o.EffectiveDateTime != "" {
+		if _, err := time.Parse(time.RFC3339, o.EffectiveDateTime); err != nil {
+			return fmt.Errorf("%w: effectiveDateTime %q", ErrInvalid, o.EffectiveDateTime)
+		}
+	}
+	return nil
+}
+
+// Condition is the FHIR Condition subset (diagnoses).
+type Condition struct {
+	ResourceType   string          `json:"resourceType"`
+	ID             string          `json:"id,omitempty"`
+	Code           CodeableConcept `json:"code"`
+	Subject        Reference       `json:"subject,omitempty"`
+	OnsetDate      string          `json:"onsetDateTime,omitempty"`
+	ClinicalStatus string          `json:"clinicalStatus,omitempty"`
+}
+
+// Type implements Resource.
+func (c *Condition) Type() string { return "Condition" }
+
+// Validate implements Resource.
+func (c *Condition) Validate() error {
+	if c.ResourceType != "Condition" {
+		return fmt.Errorf("%w: resourceType %q", ErrInvalid, c.ResourceType)
+	}
+	if len(c.Code.Coding) == 0 && c.Code.Text == "" {
+		return fmt.Errorf("%w: condition needs a code", ErrInvalid)
+	}
+	switch c.ClinicalStatus {
+	case "", "active", "recurrence", "relapse", "inactive", "remission", "resolved":
+	default:
+		return fmt.Errorf("%w: clinicalStatus %q", ErrInvalid, c.ClinicalStatus)
+	}
+	return nil
+}
+
+// MedicationRequest is the FHIR MedicationRequest subset (prescriptions).
+type MedicationRequest struct {
+	ResourceType              string          `json:"resourceType"`
+	ID                        string          `json:"id,omitempty"`
+	Status                    string          `json:"status"`
+	MedicationCodeableConcept CodeableConcept `json:"medicationCodeableConcept"`
+	Subject                   Reference       `json:"subject,omitempty"`
+	AuthoredOn                string          `json:"authoredOn,omitempty"`
+}
+
+var medicationStatuses = map[string]bool{
+	"active": true, "on-hold": true, "cancelled": true, "completed": true,
+	"entered-in-error": true, "stopped": true, "draft": true, "unknown": true,
+}
+
+// Type implements Resource.
+func (m *MedicationRequest) Type() string { return "MedicationRequest" }
+
+// Validate implements Resource.
+func (m *MedicationRequest) Validate() error {
+	if m.ResourceType != "MedicationRequest" {
+		return fmt.Errorf("%w: resourceType %q", ErrInvalid, m.ResourceType)
+	}
+	if !medicationStatuses[m.Status] {
+		return fmt.Errorf("%w: medication status %q", ErrInvalid, m.Status)
+	}
+	if len(m.MedicationCodeableConcept.Coding) == 0 && m.MedicationCodeableConcept.Text == "" {
+		return fmt.Errorf("%w: medication needs a code", ErrInvalid)
+	}
+	return nil
+}
+
+// BundleEntry wraps one resource inside a bundle.
+type BundleEntry struct {
+	Resource json.RawMessage `json:"resource"`
+}
+
+// Bundle is the FHIR Bundle: the unit of ingestion upload.
+type Bundle struct {
+	ResourceType string        `json:"resourceType"`
+	ID           string        `json:"id,omitempty"`
+	Type         string        `json:"type"` // transaction | collection | batch
+	Entry        []BundleEntry `json:"entry,omitempty"`
+}
+
+// Validate checks the bundle wrapper and every entry.
+func (b *Bundle) Validate() error {
+	if b.ResourceType != "Bundle" {
+		return fmt.Errorf("%w: resourceType %q", ErrInvalid, b.ResourceType)
+	}
+	switch b.Type {
+	case "transaction", "collection", "batch":
+	default:
+		return fmt.Errorf("%w: bundle type %q", ErrInvalid, b.Type)
+	}
+	for i, e := range b.Entry {
+		res, err := ParseResource(e.Resource)
+		if err != nil {
+			return fmt.Errorf("fhir: bundle entry %d: %w", i, err)
+		}
+		if err := res.Validate(); err != nil {
+			return fmt.Errorf("fhir: bundle entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Resources parses and returns every entry's resource.
+func (b *Bundle) Resources() ([]Resource, error) {
+	out := make([]Resource, 0, len(b.Entry))
+	for i, e := range b.Entry {
+		res, err := ParseResource(e.Resource)
+		if err != nil {
+			return nil, fmt.Errorf("fhir: bundle entry %d: %w", i, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AddResource appends a resource to the bundle.
+func (b *Bundle) AddResource(r Resource) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("fhir: marshaling %s: %w", r.Type(), err)
+	}
+	b.Entry = append(b.Entry, BundleEntry{Resource: data})
+	return nil
+}
+
+// NewBundle creates an empty bundle of the given type.
+func NewBundle(bundleType string) *Bundle {
+	return &Bundle{ResourceType: "Bundle", Type: bundleType}
+}
+
+// ParseResource decodes a single resource by its resourceType field.
+func ParseResource(data []byte) (Resource, error) {
+	var probe struct {
+		ResourceType string `json:"resourceType"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("fhir: decoding resource: %w", err)
+	}
+	var res Resource
+	switch probe.ResourceType {
+	case "Patient":
+		res = &Patient{}
+	case "Observation":
+		res = &Observation{}
+	case "Condition":
+		res = &Condition{}
+	case "MedicationRequest":
+		res = &MedicationRequest{}
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownType, probe.ResourceType)
+	}
+	if err := json.Unmarshal(data, res); err != nil {
+		return nil, fmt.Errorf("fhir: decoding %s: %w", probe.ResourceType, err)
+	}
+	return res, nil
+}
+
+// ParseBundle decodes and validates a bundle from JSON.
+func ParseBundle(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("fhir: decoding bundle: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// Marshal encodes any resource or bundle as JSON.
+func Marshal(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("fhir: marshal: %w", err)
+	}
+	return data, nil
+}
+
+// Interface compliance.
+var (
+	_ Resource = (*Patient)(nil)
+	_ Resource = (*Observation)(nil)
+	_ Resource = (*Condition)(nil)
+	_ Resource = (*MedicationRequest)(nil)
+)

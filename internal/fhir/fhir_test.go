@@ -1,0 +1,369 @@
+package fhir
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func validPatient() *Patient {
+	return &Patient{
+		ResourceType: "Patient", ID: "p1",
+		Identifier: []Identifier{{System: "urn:mrn", Value: "MRN001"}},
+		Name:       []HumanName{{Family: "Doe", Given: []string{"Jane"}}},
+		Gender:     "female", BirthDate: "1980-04-02",
+		Address: []Address{{City: "Yorktown", State: "NY", PostalCode: "10598"}},
+	}
+}
+
+func validObservation() *Observation {
+	return &Observation{
+		ResourceType: "Observation", Status: "final",
+		Code:          CodeableConcept{Coding: []Coding{{System: "http://loinc.org", Code: "4548-4", Display: "HbA1c"}}},
+		Subject:       Reference{Reference: "Patient/p1"},
+		ValueQuantity: &Quantity{Value: 7.2, Unit: "%"},
+	}
+}
+
+func TestPatientValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Patient)
+		wantErr bool
+	}{
+		{"valid", func(p *Patient) {}, false},
+		{"no optional fields", func(p *Patient) { p.Name = nil; p.Gender = ""; p.BirthDate = "" }, false},
+		{"wrong resourceType", func(p *Patient) { p.ResourceType = "Pat" }, true},
+		{"bad gender", func(p *Patient) { p.Gender = "robot" }, true},
+		{"bad birthDate", func(p *Patient) { p.BirthDate = "04/02/1980" }, true},
+		{"impossible date", func(p *Patient) { p.BirthDate = "1980-13-45" }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := validPatient()
+			tt.mutate(p)
+			err := p.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestObservationValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Observation)
+		wantErr bool
+	}{
+		{"valid", func(o *Observation) {}, false},
+		{"text-only code", func(o *Observation) { o.Code = CodeableConcept{Text: "HbA1c"} }, false},
+		{"bad status", func(o *Observation) { o.Status = "done" }, true},
+		{"no code", func(o *Observation) { o.Code = CodeableConcept{} }, true},
+		{"bad time", func(o *Observation) { o.EffectiveDateTime = "yesterday" }, true},
+		{"good time", func(o *Observation) { o.EffectiveDateTime = "2016-03-01T10:00:00Z" }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			o := validObservation()
+			tt.mutate(o)
+			err := o.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestConditionValidation(t *testing.T) {
+	c := &Condition{ResourceType: "Condition",
+		Code: CodeableConcept{Coding: []Coding{{Code: "E11.9", Display: "T2D"}}}}
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid condition: %v", err)
+	}
+	c.ClinicalStatus = "active"
+	if err := c.Validate(); err != nil {
+		t.Errorf("active condition: %v", err)
+	}
+	c.ClinicalStatus = "zombie"
+	if err := c.Validate(); err == nil {
+		t.Error("bad clinicalStatus accepted")
+	}
+	c2 := &Condition{ResourceType: "Condition"}
+	if err := c2.Validate(); err == nil {
+		t.Error("code-less condition accepted")
+	}
+}
+
+func TestMedicationRequestValidation(t *testing.T) {
+	m := &MedicationRequest{ResourceType: "MedicationRequest", Status: "active",
+		MedicationCodeableConcept: CodeableConcept{Coding: []Coding{{Code: "860975", Display: "metformin"}}}}
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid medication: %v", err)
+	}
+	m.Status = "maybe"
+	if err := m.Validate(); err == nil {
+		t.Error("bad status accepted")
+	}
+}
+
+func TestParseResourceDispatch(t *testing.T) {
+	tests := []struct {
+		json     string
+		wantType string
+	}{
+		{`{"resourceType":"Patient","id":"x"}`, "Patient"},
+		{`{"resourceType":"Observation","status":"final","code":{"text":"x"}}`, "Observation"},
+		{`{"resourceType":"Condition","code":{"text":"x"}}`, "Condition"},
+		{`{"resourceType":"MedicationRequest","status":"active","medicationCodeableConcept":{"text":"x"}}`, "MedicationRequest"},
+	}
+	for _, tt := range tests {
+		res, err := ParseResource([]byte(tt.json))
+		if err != nil {
+			t.Errorf("ParseResource(%s): %v", tt.wantType, err)
+			continue
+		}
+		if res.Type() != tt.wantType {
+			t.Errorf("Type() = %s, want %s", res.Type(), tt.wantType)
+		}
+	}
+	if _, err := ParseResource([]byte(`{"resourceType":"Spaceship"}`)); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("unknown type: %v", err)
+	}
+	if _, err := ParseResource([]byte(`{broken`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	b := NewBundle("transaction")
+	if err := b.AddResource(validPatient()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddResource(validObservation()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ParseBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resources, err := b2.Resources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resources) != 2 {
+		t.Fatalf("resources = %d, want 2", len(resources))
+	}
+	if p, ok := resources[0].(*Patient); !ok || p.ID != "p1" {
+		t.Errorf("entry 0 = %+v", resources[0])
+	}
+	if o, ok := resources[1].(*Observation); !ok || o.ValueQuantity.Value != 7.2 {
+		t.Errorf("entry 1 = %+v", resources[1])
+	}
+}
+
+func TestBundleValidation(t *testing.T) {
+	if err := NewBundle("collection").Validate(); err != nil {
+		t.Errorf("empty collection: %v", err)
+	}
+	if err := NewBundle("party").Validate(); err == nil {
+		t.Error("bad bundle type accepted")
+	}
+	b := NewBundle("collection")
+	b.Entry = append(b.Entry, BundleEntry{Resource: []byte(`{"resourceType":"Patient","gender":"robot"}`)})
+	if err := b.Validate(); err == nil {
+		t.Error("bundle with invalid entry accepted")
+	}
+	b2 := NewBundle("collection")
+	b2.Entry = append(b2.Entry, BundleEntry{Resource: []byte(`{"resourceType":"Alien"}`)})
+	if err := b2.Validate(); err == nil {
+		t.Error("bundle with unknown entry type accepted")
+	}
+	if _, err := ParseBundle([]byte(`{bad`)); err == nil {
+		t.Error("malformed bundle JSON accepted")
+	}
+}
+
+const sampleHL7 = "MSH|^~\\&|LAB|HOSP|EHR|HOSP|20160301||ORU^R01|123|P|2.5\r" +
+	"PID|1||MRN001||Doe^Jane||19800402|F|||^^Yorktown^NY^10598\r" +
+	"OBX|1|NM|4548-4^HbA1c||7.2|%\r" +
+	"OBX|2|ST|1234-5^Note||stable\r" +
+	"DG1|1||E11.9^Type 2 diabetes\r" +
+	"RXE||860975^metformin\r"
+
+func TestHL7ToBundle(t *testing.T) {
+	b, err := HL7ToBundle(sampleHL7)
+	if err != nil {
+		t.Fatalf("HL7ToBundle: %v", err)
+	}
+	resources, err := b.Resources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resources) != 5 {
+		t.Fatalf("resources = %d, want 5", len(resources))
+	}
+	p := resources[0].(*Patient)
+	if p.ID != "MRN001" || p.BirthDate != "1980-04-02" || p.Gender != "female" {
+		t.Errorf("patient = %+v", p)
+	}
+	if p.Name[0].Family != "Doe" || p.Name[0].Given[0] != "Jane" {
+		t.Errorf("name = %+v", p.Name)
+	}
+	if p.Address[0].PostalCode != "10598" || p.Address[0].City != "Yorktown" {
+		t.Errorf("address = %+v", p.Address)
+	}
+	o := resources[1].(*Observation)
+	if o.ValueQuantity == nil || o.ValueQuantity.Value != 7.2 || o.ValueQuantity.Unit != "%" {
+		t.Errorf("observation = %+v", o)
+	}
+	if o.Subject.Reference != "Patient/MRN001" {
+		t.Errorf("subject = %q", o.Subject.Reference)
+	}
+	txt := resources[2].(*Observation)
+	if txt.ValueString != "stable" {
+		t.Errorf("text obs = %+v", txt)
+	}
+	c := resources[3].(*Condition)
+	if c.Code.Coding[0].Code != "E11.9" {
+		t.Errorf("condition = %+v", c)
+	}
+	m := resources[4].(*MedicationRequest)
+	if m.MedicationCodeableConcept.Coding[0].Code != "860975" {
+		t.Errorf("medication = %+v", m)
+	}
+}
+
+func TestHL7Errors(t *testing.T) {
+	tests := []struct {
+		name string
+		msg  string
+	}{
+		{"empty", ""},
+		{"no MSH", "PID|1||MRN001\r"},
+		{"PID without id", "MSH|^~\\&|A|B\rPID|1||\r"},
+		{"OBX bad numeric", "MSH|^~\\&|A|B\rPID|1||M1\rOBX|1|NM|X^Y||notanumber|\r"},
+		{"OBX missing code", "MSH|^~\\&|A|B\rPID|1||M1\rOBX|1|NM|||5|\r"},
+		{"DG1 missing code", "MSH|^~\\&|A|B\rPID|1||M1\rDG1|1||\r"},
+		{"RXE missing code", "MSH|^~\\&|A|B\rPID|1||M1\rRXE||\r"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := HL7ToBundle(tt.msg); !errors.Is(err, ErrHL7) {
+				t.Errorf("got %v, want ErrHL7", err)
+			}
+		})
+	}
+}
+
+func TestHL7NewlineTolerance(t *testing.T) {
+	// Interface engines emit \r, files often have \n or \r\n.
+	for _, sep := range []string{"\n", "\r\n"} {
+		msg := strings.ReplaceAll(sampleHL7, "\r", sep)
+		if _, err := HL7ToBundle(msg); err != nil {
+			t.Errorf("separator %q: %v", sep, err)
+		}
+	}
+}
+
+func TestHL7RoundTrip(t *testing.T) {
+	b, err := HL7ToBundle(sampleHL7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := BundleToHL7(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := HL7ToBundle(msg)
+	if err != nil {
+		t.Fatalf("re-parsing generated HL7: %v\n%s", err, msg)
+	}
+	r1, _ := b.Resources()
+	r2, _ := b2.Resources()
+	if len(r1) != len(r2) {
+		t.Fatalf("round trip lost resources: %d vs %d", len(r1), len(r2))
+	}
+	p1, p2 := r1[0].(*Patient), r2[0].(*Patient)
+	if p1.ID != p2.ID || p1.BirthDate != p2.BirthDate || p1.Gender != p2.Gender {
+		t.Errorf("patient round trip: %+v vs %+v", p1, p2)
+	}
+	o1, o2 := r1[1].(*Observation), r2[1].(*Observation)
+	if o1.ValueQuantity.Value != o2.ValueQuantity.Value {
+		t.Errorf("observation round trip: %v vs %v", o1.ValueQuantity, o2.ValueQuantity)
+	}
+}
+
+func TestHL7UnknownSegmentsIgnored(t *testing.T) {
+	msg := "MSH|^~\\&|A|B\rPID|1||M1\rZZZ|custom|stuff\rNTE|1|note\r"
+	b, err := HL7ToBundle(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := b.Resources()
+	if len(res) != 1 {
+		t.Errorf("resources = %d, want 1 (unknown segments ignored)", len(res))
+	}
+}
+
+// Property: any patient built from constrained random parts survives the
+// FHIR→HL7→FHIR round trip with identity on the HL7-representable
+// fields.
+func TestQuickHL7PatientRoundTrip(t *testing.T) {
+	genders := []string{"male", "female", "other", "unknown"}
+	f := func(mrnN uint16, family, given string, genderIdx uint8, y, m, d uint16) bool {
+		clean := func(s string) string {
+			out := make([]rune, 0, len(s))
+			for _, r := range s {
+				if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' {
+					out = append(out, r)
+				}
+			}
+			if len(out) == 0 {
+				return "X"
+			}
+			if len(out) > 12 {
+				out = out[:12]
+			}
+			return string(out)
+		}
+		p := &Patient{
+			ResourceType: "Patient",
+			ID:           fmt.Sprintf("MRN%05d", mrnN),
+			Name:         []HumanName{{Family: clean(family), Given: []string{clean(given)}}},
+			Gender:       genders[int(genderIdx)%len(genders)],
+			BirthDate:    fmt.Sprintf("%04d-%02d-%02d", 1900+int(y)%150, 1+int(m)%12, 1+int(d)%28),
+		}
+		b := NewBundle("collection")
+		if err := b.AddResource(p); err != nil {
+			return false
+		}
+		msg, err := BundleToHL7(b)
+		if err != nil {
+			return false
+		}
+		b2, err := HL7ToBundle(msg)
+		if err != nil {
+			return false
+		}
+		res, err := b2.Resources()
+		if err != nil || len(res) != 1 {
+			return false
+		}
+		p2, ok := res[0].(*Patient)
+		if !ok {
+			return false
+		}
+		return p2.ID == p.ID && p2.Gender == p.Gender && p2.BirthDate == p.BirthDate &&
+			p2.Name[0].Family == p.Name[0].Family && p2.Name[0].Given[0] == p.Name[0].Given[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,259 @@
+package fhir
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// HL7v2 adapter (§II-B): transforms pipe-delimited HL7 v2.x messages to
+// FHIR bundles and back. Supported segments cover the ingestion paths
+// the applications need:
+//
+//	MSH — message header (required first segment)
+//	PID — patient identification → Patient
+//	OBX — observation result → Observation
+//	DG1 — diagnosis → Condition
+//	RXE — pharmacy encoded order → MedicationRequest
+//
+// Unknown segments are ignored, as HL7 interface engines conventionally
+// do.
+
+// ErrHL7 is the base error for HL7 parse failures.
+var ErrHL7 = errors.New("fhir: malformed HL7 message")
+
+// HL7ToBundle parses an HL7 v2 message into a FHIR collection bundle.
+func HL7ToBundle(message string) (*Bundle, error) {
+	message = strings.TrimSpace(strings.ReplaceAll(message, "\r\n", "\r"))
+	message = strings.ReplaceAll(message, "\n", "\r")
+	if message == "" {
+		return nil, fmt.Errorf("%w: empty message", ErrHL7)
+	}
+	segments := strings.Split(message, "\r")
+	if !strings.HasPrefix(segments[0], "MSH|") {
+		return nil, fmt.Errorf("%w: missing MSH header", ErrHL7)
+	}
+	b := NewBundle("collection")
+	var patientRef string
+	for i, seg := range segments {
+		if seg == "" {
+			continue
+		}
+		fields := strings.Split(seg, "|")
+		switch fields[0] {
+		case "MSH":
+			// Field 8 (index since MSH counts the separator itself) is the
+			// message type; we accept any.
+		case "PID":
+			p, err := pidToPatient(fields)
+			if err != nil {
+				return nil, fmt.Errorf("%w: segment %d: %v", ErrHL7, i, err)
+			}
+			patientRef = "Patient/" + p.ID
+			if err := b.AddResource(p); err != nil {
+				return nil, err
+			}
+		case "OBX":
+			o, err := obxToObservation(fields, patientRef)
+			if err != nil {
+				return nil, fmt.Errorf("%w: segment %d: %v", ErrHL7, i, err)
+			}
+			if err := b.AddResource(o); err != nil {
+				return nil, err
+			}
+		case "DG1":
+			c, err := dg1ToCondition(fields, patientRef)
+			if err != nil {
+				return nil, fmt.Errorf("%w: segment %d: %v", ErrHL7, i, err)
+			}
+			if err := b.AddResource(c); err != nil {
+				return nil, err
+			}
+		case "RXE":
+			m, err := rxeToMedication(fields, patientRef)
+			if err != nil {
+				return nil, fmt.Errorf("%w: segment %d: %v", ErrHL7, i, err)
+			}
+			if err := b.AddResource(m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func field(fields []string, i int) string {
+	if i < len(fields) {
+		return fields[i]
+	}
+	return ""
+}
+
+func component(f string, i int) string {
+	parts := strings.Split(f, "^")
+	if i < len(parts) {
+		return parts[i]
+	}
+	return ""
+}
+
+func pidToPatient(fields []string) (*Patient, error) {
+	id := component(field(fields, 3), 0)
+	if id == "" {
+		return nil, errors.New("PID-3 patient identifier missing")
+	}
+	p := &Patient{ResourceType: "Patient", ID: id,
+		Identifier: []Identifier{{System: "urn:mrn", Value: id}}}
+	if name := field(fields, 5); name != "" {
+		hn := HumanName{Family: component(name, 0)}
+		if given := component(name, 1); given != "" {
+			hn.Given = []string{given}
+		}
+		p.Name = []HumanName{hn}
+	}
+	if dob := field(fields, 7); len(dob) >= 8 {
+		p.BirthDate = fmt.Sprintf("%s-%s-%s", dob[0:4], dob[4:6], dob[6:8])
+	}
+	switch field(fields, 8) {
+	case "M":
+		p.Gender = "male"
+	case "F":
+		p.Gender = "female"
+	case "O":
+		p.Gender = "other"
+	case "U":
+		p.Gender = "unknown"
+	}
+	if addr := field(fields, 11); addr != "" {
+		p.Address = []Address{{
+			City:       component(addr, 2),
+			State:      component(addr, 3),
+			PostalCode: component(addr, 4),
+		}}
+	}
+	return p, nil
+}
+
+func obxToObservation(fields []string, patientRef string) (*Observation, error) {
+	codeField := field(fields, 3)
+	code := component(codeField, 0)
+	if code == "" {
+		return nil, errors.New("OBX-3 observation identifier missing")
+	}
+	o := &Observation{
+		ResourceType: "Observation",
+		Status:       "final",
+		Code: CodeableConcept{Coding: []Coding{{
+			System: "http://loinc.org", Code: code, Display: component(codeField, 1),
+		}}},
+		Subject: Reference{Reference: patientRef},
+	}
+	valueType := field(fields, 2)
+	raw := field(fields, 5)
+	switch valueType {
+	case "NM":
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("OBX-5 numeric value %q: %v", raw, err)
+		}
+		o.ValueQuantity = &Quantity{Value: v, Unit: component(field(fields, 6), 0)}
+	default:
+		o.ValueString = raw
+	}
+	return o, nil
+}
+
+func dg1ToCondition(fields []string, patientRef string) (*Condition, error) {
+	codeField := field(fields, 3)
+	code := component(codeField, 0)
+	if code == "" {
+		return nil, errors.New("DG1-3 diagnosis code missing")
+	}
+	return &Condition{
+		ResourceType: "Condition",
+		Code: CodeableConcept{Coding: []Coding{{
+			System: "http://hl7.org/fhir/sid/icd-10", Code: code, Display: component(codeField, 1),
+		}}},
+		Subject:        Reference{Reference: patientRef},
+		ClinicalStatus: "active",
+	}, nil
+}
+
+func rxeToMedication(fields []string, patientRef string) (*MedicationRequest, error) {
+	codeField := field(fields, 2)
+	code := component(codeField, 0)
+	if code == "" {
+		return nil, errors.New("RXE-2 give code missing")
+	}
+	return &MedicationRequest{
+		ResourceType: "MedicationRequest",
+		Status:       "active",
+		MedicationCodeableConcept: CodeableConcept{Coding: []Coding{{
+			System: "http://www.nlm.nih.gov/research/umls/rxnorm",
+			Code:   code, Display: component(codeField, 1),
+		}}},
+		Subject: Reference{Reference: patientRef},
+	}, nil
+}
+
+// BundleToHL7 renders a bundle back to an HL7 v2 message ("from HL7 to
+// FHIR and back"). Resources without an HL7 mapping are skipped.
+func BundleToHL7(b *Bundle) (string, error) {
+	resources, err := b.Resources()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("MSH|^~\\&|HEALTHCLOUD|PLATFORM|||||ADT^A01|1|P|2.5\r")
+	obxSeq := 0
+	for _, res := range resources {
+		switch r := res.(type) {
+		case *Patient:
+			name := ""
+			if len(r.Name) > 0 {
+				name = r.Name[0].Family
+				if len(r.Name[0].Given) > 0 {
+					name += "^" + r.Name[0].Given[0]
+				}
+			}
+			dob := strings.ReplaceAll(r.BirthDate, "-", "")
+			sex := map[string]string{"male": "M", "female": "F", "other": "O", "unknown": "U"}[r.Gender]
+			addr := ""
+			if len(r.Address) > 0 {
+				addr = fmt.Sprintf("^^%s^%s^%s", r.Address[0].City, r.Address[0].State, r.Address[0].PostalCode)
+			}
+			fmt.Fprintf(&sb, "PID|1||%s||%s||%s|%s|||%s\r", r.ID, name, dob, sex, addr)
+		case *Observation:
+			obxSeq++
+			code := ""
+			display := ""
+			if len(r.Code.Coding) > 0 {
+				code = r.Code.Coding[0].Code
+				display = r.Code.Coding[0].Display
+			}
+			if r.ValueQuantity != nil {
+				fmt.Fprintf(&sb, "OBX|%d|NM|%s^%s||%g|%s\r", obxSeq, code, display, r.ValueQuantity.Value, r.ValueQuantity.Unit)
+			} else {
+				fmt.Fprintf(&sb, "OBX|%d|ST|%s^%s||%s|\r", obxSeq, code, display, r.ValueString)
+			}
+		case *Condition:
+			code, display := "", ""
+			if len(r.Code.Coding) > 0 {
+				code, display = r.Code.Coding[0].Code, r.Code.Coding[0].Display
+			}
+			fmt.Fprintf(&sb, "DG1|1||%s^%s\r", code, display)
+		case *MedicationRequest:
+			code, display := "", ""
+			if len(r.MedicationCodeableConcept.Coding) > 0 {
+				code = r.MedicationCodeableConcept.Coding[0].Code
+				display = r.MedicationCodeableConcept.Coding[0].Display
+			}
+			fmt.Fprintf(&sb, "RXE||%s^%s\r", code, display)
+		}
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,164 @@
+package gateway
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"healthcloud/internal/attest"
+	"healthcloud/internal/audit"
+	"healthcloud/internal/cloud"
+	"healthcloud/internal/hckrypto"
+)
+
+// newDestCloud builds a destination cloud instance with one host and VM,
+// plus the signer its image management approves.
+func newDestCloud(t *testing.T) (*cloud.Cloud, *hckrypto.SigningKey) {
+	t.Helper()
+	attSvc := attest.NewService()
+	signer, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attSvc.ApproveImageSigner(signer.Public())
+	c := cloud.New(attSvc, audit.NewLog())
+	osImg, err := cloud.NewImage("guest-os", []byte("os-content"), signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Registry().Register(osImg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ProvisionHost("dst-host", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LaunchVM("dst-host", "dst-vm", "guest-os"); err != nil {
+		t.Fatal(err)
+	}
+	return c, signer
+}
+
+func noSleep(time.Duration) {}
+
+func TestLinkTransferTime(t *testing.T) {
+	l := Link{Latency: 50 * time.Millisecond, BandwidthMBps: 100}
+	// 1 MB at 100 MB/s = 10ms + 100ms RTT setup.
+	got, err := l.TransferTime(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 110 * time.Millisecond
+	if got != want {
+		t.Errorf("TransferTime = %v, want %v", got, want)
+	}
+	if _, err := (Link{}).TransferTime(1); !errors.Is(err, ErrBadLink) {
+		t.Errorf("zero bandwidth: %v", err)
+	}
+	if _, err := New(Link{}); !errors.Is(err, ErrBadLink) {
+		t.Errorf("New with bad link: %v", err)
+	}
+}
+
+func TestShipWorkloadEndToEnd(t *testing.T) {
+	dst, signer := newDestCloud(t)
+	g, err := New(Link{Latency: time.Millisecond, BandwidthMBps: 100}, WithSleeper(noSleep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := cloud.NewImage("jmf-workload", []byte("analytics-container-bytes"), signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receipt, err := g.ShipWorkload(dst, "dst-host", "dst-vm", "wl-1", img)
+	if err != nil {
+		t.Fatalf("ShipWorkload: %v", err)
+	}
+	if !receipt.AttestedChain || receipt.BytesShipped != len(img.Content) {
+		t.Errorf("receipt = %+v", receipt)
+	}
+	// The workload is now running and attestable at the destination.
+	if err := dst.AttestContainer("dst-host", "dst-vm", "wl-1"); err != nil {
+		t.Errorf("post-transfer attestation: %v", err)
+	}
+}
+
+func TestShipWorkloadRejectsUntrustedImage(t *testing.T) {
+	dst, _ := newDestCloud(t)
+	rogue, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := cloud.NewImage("rogue-workload", []byte("payload"), rogue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := New(Link{Latency: time.Millisecond, BandwidthMBps: 100}, WithSleeper(noSleep))
+	if _, err := g.ShipWorkload(dst, "dst-host", "dst-vm", "wl-x", img); !errors.Is(err, cloud.ErrUnsignedImage) {
+		t.Errorf("got %v, want ErrUnsignedImage", err)
+	}
+	// Nothing started.
+	if err := dst.AttestContainer("dst-host", "dst-vm", "wl-x"); !errors.Is(err, cloud.ErrNoSuchContainer) {
+		t.Errorf("container exists after rejected transfer: %v", err)
+	}
+}
+
+func TestShipWorkloadToCompromisedVMFails(t *testing.T) {
+	dst, signer := newDestCloud(t)
+	vm, err := dst.VM("dst-host", "dst-vm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.CompromiseVM(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := cloud.NewImage("wl", []byte("bytes"), signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := New(Link{Latency: time.Millisecond, BandwidthMBps: 100}, WithSleeper(noSleep))
+	if _, err := g.ShipWorkload(dst, "dst-host", "dst-vm", "wl-1", img); !errors.Is(err, attest.ErrMeasurement) {
+		t.Errorf("workload started on compromised VM: %v", err)
+	}
+}
+
+func TestShipWorkloadIdempotentImage(t *testing.T) {
+	dst, signer := newDestCloud(t)
+	img, err := cloud.NewImage("wl", []byte("bytes"), signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := New(Link{Latency: time.Millisecond, BandwidthMBps: 100}, WithSleeper(noSleep))
+	if _, err := g.ShipWorkload(dst, "dst-host", "dst-vm", "wl-1", img); err != nil {
+		t.Fatal(err)
+	}
+	// Redeploying the same image as a new container must work (image
+	// registration is idempotent for identical content).
+	if _, err := g.ShipWorkload(dst, "dst-host", "dst-vm", "wl-2", img); err != nil {
+		t.Errorf("redeploy: %v", err)
+	}
+}
+
+func TestComputeToDataBeatsDataToCompute(t *testing.T) {
+	// The paper's §II-C claim, in miniature: a 1 MB container vs a 512 MB
+	// dataset over the same link.
+	var slept time.Duration
+	g, _ := New(Link{Latency: 50 * time.Millisecond, BandwidthMBps: 100},
+		WithSleeper(func(d time.Duration) { slept += d }))
+	containerTime, err := g.link.TransferTime(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataTime, err := g.ShipData(512 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dataTime <= containerTime {
+		t.Errorf("data transfer (%v) should dwarf container transfer (%v)", dataTime, containerTime)
+	}
+	if dataTime < 40*containerTime {
+		t.Errorf("expected >40x gap, got %v vs %v", dataTime, containerTime)
+	}
+	if slept != dataTime {
+		t.Errorf("sleeper accounted %v, want %v", slept, dataTime)
+	}
+}

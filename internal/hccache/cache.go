@@ -1,0 +1,180 @@
+// Package hccache provides the multi-level caching the paper leans on
+// for performance: "the cost for accessing data from remote cloud
+// servers can be orders of magnitude higher than the cost for accessing
+// data locally. ... Our system employs caching at multiple levels and
+// not just at the client level" (§I, §III).
+//
+// Cache is a single tier: LRU eviction, per-entry TTL leases, and
+// explicit invalidation for data that changes (the paper: "if the data
+// are changing frequently, cache consistency algorithms need to be
+// applied"). Tiered composes tiers in front of an origin loader,
+// implementing read-through fill and hit/miss accounting per tier —
+// the client cache, server cache, and remote knowledge base of Fig 4.
+package hccache
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for deterministic tests.
+type Clock func() time.Time
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	Expirations uint64
+	Puts        uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 when unused.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry struct {
+	key       string
+	value     []byte
+	version   uint64
+	expiresAt time.Time
+}
+
+// Cache is one LRU+TTL tier. The zero value is unusable; construct with
+// New.
+type Cache struct {
+	capacity int
+	ttl      time.Duration
+	clock    Clock
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	stats Stats
+}
+
+// Option configures a Cache.
+type Option func(*Cache)
+
+// WithClock injects a time source (tests use a fake clock to expire
+// leases deterministically).
+func WithClock(c Clock) Option {
+	return func(cc *Cache) { cc.clock = c }
+}
+
+// ErrBadCapacity reports a non-positive capacity.
+var ErrBadCapacity = errors.New("hccache: capacity must be positive")
+
+// New creates a cache holding at most capacity entries, each valid for
+// ttl after insertion (ttl<=0 disables expiry).
+func New(capacity int, ttl time.Duration, opts ...Option) (*Cache, error) {
+	if capacity <= 0 {
+		return nil, ErrBadCapacity
+	}
+	c := &Cache{
+		capacity: capacity,
+		ttl:      ttl,
+		clock:    time.Now,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Get returns the cached value and its version, if present and fresh.
+func (c *Cache) Get(key string) (value []byte, version uint64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.items[key]
+	if !found {
+		c.stats.Misses++
+		return nil, 0, false
+	}
+	e := el.Value.(*entry)
+	if c.ttl > 0 && c.clock().After(e.expiresAt) {
+		c.removeLocked(el)
+		c.stats.Expirations++
+		c.stats.Misses++
+		return nil, 0, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return e.value, e.version, true
+}
+
+// Put inserts or replaces a value at the given version, renewing its
+// lease and evicting the LRU entry if at capacity.
+func (c *Cache) Put(key string, value []byte, version uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Puts++
+	now := c.clock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		e.value = value
+		e.version = version
+		e.expiresAt = now.Add(c.ttl)
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		if back := c.ll.Back(); back != nil {
+			c.removeLocked(back)
+			c.stats.Evictions++
+		}
+	}
+	el := c.ll.PushFront(&entry{key: key, value: value, version: version, expiresAt: now.Add(c.ttl)})
+	c.items[key] = el
+}
+
+// Invalidate drops a key (consistency on update). It reports whether the
+// key was present.
+func (c *Cache) Invalidate(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeLocked(el)
+	return true
+}
+
+// InvalidateAll empties the cache.
+func (c *Cache) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+}
+
+// Len returns the number of live entries (including any not yet expired
+// lazily).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	delete(c.items, e.key)
+	c.ll.Remove(el)
+}

@@ -1,0 +1,317 @@
+package hccache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// fakeClock is a controllable time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0); !errors.Is(err, ErrBadCapacity) {
+		t.Errorf("capacity 0: got %v", err)
+	}
+	if _, err := New(-1, 0); !errors.Is(err, ErrBadCapacity) {
+		t.Errorf("capacity -1: got %v", err)
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	c, err := New(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k", []byte("v"), 1)
+	v, ver, ok := c.Get("k")
+	if !ok || string(v) != "v" || ver != 1 {
+		t.Errorf("Get = %q, %d, %v", v, ver, ok)
+	}
+	if _, _, ok := c.Get("missing"); ok {
+		t.Error("missing key reported present")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c, _ := New(10, 0)
+	c.Put("k", []byte("v1"), 1)
+	c.Put("k", []byte("v2"), 2)
+	v, ver, ok := c.Get("k")
+	if !ok || string(v) != "v2" || ver != 2 {
+		t.Errorf("Get = %q, %d, %v", v, ver, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _ := New(3, 0)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("v"), 1)
+	}
+	// Touch k0 so k1 becomes LRU.
+	c.Get("k0")
+	c.Put("k3", []byte("v"), 1)
+	if _, _, ok := c.Get("k1"); ok {
+		t.Error("LRU entry k1 survived eviction")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted unexpectedly", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	c, err := New(10, time.Minute, WithClock(clk.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k", []byte("v"), 1)
+	if _, _, ok := c.Get("k"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	clk.Advance(2 * time.Minute)
+	if _, _, ok := c.Get("k"); ok {
+		t.Error("expired entry served")
+	}
+	s := c.Stats()
+	if s.Expirations != 1 {
+		t.Errorf("expirations = %d, want 1", s.Expirations)
+	}
+	// Re-putting renews the lease.
+	c.Put("k", []byte("v2"), 2)
+	clk.Advance(30 * time.Second)
+	if _, _, ok := c.Get("k"); !ok {
+		t.Error("renewed entry missing")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c, _ := New(10, 0)
+	c.Put("k", []byte("v"), 1)
+	if !c.Invalidate("k") {
+		t.Error("Invalidate returned false for present key")
+	}
+	if c.Invalidate("k") {
+		t.Error("Invalidate returned true for absent key")
+	}
+	if _, _, ok := c.Get("k"); ok {
+		t.Error("invalidated key still served")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c, _ := New(10, 0)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("v"), 1)
+	}
+	c.InvalidateAll()
+	if c.Len() != 0 {
+		t.Errorf("Len after InvalidateAll = %d", c.Len())
+	}
+}
+
+func TestStatsAndHitRate(t *testing.T) {
+	c, _ := New(10, 0)
+	c.Put("k", []byte("v"), 1)
+	c.Get("k")
+	c.Get("k")
+	c.Get("miss")
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Puts != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if got := s.HitRate(); got < 0.66 || got > 0.67 {
+		t.Errorf("HitRate = %f, want ~0.667", got)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty HitRate should be 0")
+	}
+}
+
+// Property: the cache never exceeds its capacity, whatever the workload.
+func TestQuickCapacityInvariant(t *testing.T) {
+	c, _ := New(8, 0)
+	f := func(keys []uint8) bool {
+		for _, k := range keys {
+			c.Put(fmt.Sprintf("k%d", k), []byte{k}, uint64(k))
+			if c.Len() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Get returns exactly what the most recent Put stored.
+func TestQuickReadYourWrites(t *testing.T) {
+	c, _ := New(64, 0)
+	f := func(key uint8, val []byte, ver uint64) bool {
+		k := fmt.Sprintf("k%d", key)
+		c.Put(k, val, ver)
+		got, gotVer, ok := c.Get(k)
+		if !ok || gotVer != ver || len(got) != len(val) {
+			return false
+		}
+		for i := range val {
+			if got[i] != val[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, _ := New(128, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*13+i)%64)
+				if i%3 == 0 {
+					c.Put(k, []byte{byte(i)}, uint64(i))
+				} else if i%7 == 0 {
+					c.Invalidate(k)
+				} else {
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 128 {
+		t.Errorf("capacity exceeded under concurrency: %d", c.Len())
+	}
+}
+
+func newOrigin() (Loader, *int) {
+	calls := new(int)
+	return func(key string) ([]byte, uint64, error) {
+		*calls++
+		if key == "missing" {
+			return nil, 0, ErrNotFound
+		}
+		return []byte("origin:" + key), 7, nil
+	}, calls
+}
+
+func TestTieredValidation(t *testing.T) {
+	c, _ := New(4, 0)
+	if _, err := NewTiered(nil, c); err == nil {
+		t.Error("nil origin accepted")
+	}
+	origin, _ := newOrigin()
+	if _, err := NewTiered(origin); err == nil {
+		t.Error("zero tiers accepted")
+	}
+}
+
+func TestTieredReadThrough(t *testing.T) {
+	client, _ := New(4, 0)
+	server, _ := New(16, 0)
+	origin, calls := newOrigin()
+	tc, err := NewTiered(origin, client, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tc.Get("gene:BRCA1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "origin:gene:BRCA1" {
+		t.Errorf("value = %q", v)
+	}
+	if *calls != 1 || tc.OriginLoads() != 1 {
+		t.Errorf("origin calls = %d, loads = %d", *calls, tc.OriginLoads())
+	}
+	// Second read: client hit, origin untouched.
+	if _, err := tc.Get("gene:BRCA1"); err != nil {
+		t.Fatal(err)
+	}
+	if *calls != 1 {
+		t.Errorf("origin re-queried on warm read: %d calls", *calls)
+	}
+	stats := tc.TierStats()
+	if stats[0].Hits != 1 {
+		t.Errorf("client hits = %d, want 1", stats[0].Hits)
+	}
+}
+
+func TestTieredBackfill(t *testing.T) {
+	client, _ := New(4, 0)
+	server, _ := New(16, 0)
+	origin, calls := newOrigin()
+	tc, _ := NewTiered(origin, client, server)
+	// Warm the server tier only.
+	server.Put("k", []byte("from-server"), 3)
+	v, err := tc.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "from-server" {
+		t.Errorf("value = %q", v)
+	}
+	if *calls != 0 {
+		t.Error("origin touched despite server-tier hit")
+	}
+	// Back-fill happened: the client tier now holds the key.
+	if _, _, ok := client.Get("k"); !ok {
+		t.Error("client tier not back-filled")
+	}
+}
+
+func TestTieredMissingKey(t *testing.T) {
+	client, _ := New(4, 0)
+	origin, _ := newOrigin()
+	tc, _ := NewTiered(origin, client)
+	if _, err := tc.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("got %v, want ErrNotFound", err)
+	}
+}
+
+func TestTieredInvalidate(t *testing.T) {
+	client, _ := New(4, 0)
+	server, _ := New(16, 0)
+	origin, calls := newOrigin()
+	tc, _ := NewTiered(origin, client, server)
+	tc.Get("k")
+	tc.Invalidate("k")
+	tc.Get("k")
+	if *calls != 2 {
+		t.Errorf("origin calls = %d, want 2 (invalidation forces reload)", *calls)
+	}
+}

@@ -1,0 +1,93 @@
+package hccache
+
+import (
+	"sync"
+	"time"
+
+	"healthcloud/internal/bus"
+)
+
+// Invalidation propagation (§III): "If the data are changing frequently,
+// cache consistency algorithms need to be applied to keep multiple
+// versions of the data consistent." When an origin record changes, the
+// platform publishes the key on an invalidation topic; every cache tier
+// (server-side and enhanced clients) runs a Listener that drops the key,
+// so the next read refetches the fresh version.
+
+// InvalidationTopic is the bus topic invalidations travel on.
+const InvalidationTopic = "cache-invalidation"
+
+// Publisher broadcasts invalidations.
+type Publisher struct {
+	bus *bus.Bus
+}
+
+// NewPublisher creates a publisher on the given bus.
+func NewPublisher(b *bus.Bus) *Publisher { return &Publisher{bus: b} }
+
+// Publish announces that key's cached copies are stale.
+func (p *Publisher) Publish(key string) error {
+	_, err := p.bus.Publish(InvalidationTopic, []byte(key))
+	return err
+}
+
+// Listener consumes invalidations and applies them to a cache via the
+// provided callback. Stop terminates its goroutine.
+type Listener struct {
+	sub    *bus.Subscription
+	apply  func(key string)
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	applied uint64
+}
+
+// NewListener subscribes name on the bus and applies each invalidation.
+func NewListener(b *bus.Bus, name string, apply func(key string)) (*Listener, error) {
+	sub, err := b.Subscribe(InvalidationTopic, name)
+	if err != nil {
+		return nil, err
+	}
+	l := &Listener{sub: sub, apply: apply, stopCh: make(chan struct{})}
+	l.wg.Add(1)
+	go l.run()
+	return l, nil
+}
+
+func (l *Listener) run() {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.stopCh:
+			return
+		default:
+		}
+		m, err := l.sub.Receive(50 * time.Millisecond)
+		if err != nil {
+			continue // timeout or closed; loop re-checks stopCh
+		}
+		l.apply(string(m.Payload))
+		l.sub.Ack(m.ID)
+		l.mu.Lock()
+		l.applied++
+		l.mu.Unlock()
+	}
+}
+
+// Applied returns how many invalidations this listener has processed.
+func (l *Listener) Applied() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.applied
+}
+
+// Stop terminates the listener.
+func (l *Listener) Stop() {
+	select {
+	case <-l.stopCh:
+	default:
+		close(l.stopCh)
+	}
+	l.wg.Wait()
+}

@@ -1,0 +1,140 @@
+package hccache
+
+import (
+	"testing"
+	"time"
+
+	"healthcloud/internal/bus"
+)
+
+// waitApplied polls until the listener has processed n invalidations.
+func waitApplied(t *testing.T, l *Listener, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if l.Applied() >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("listener applied %d invalidations, want %d", l.Applied(), n)
+}
+
+func TestInvalidationPropagates(t *testing.T) {
+	b := bus.New()
+	t.Cleanup(b.Close)
+	serverTier, _ := New(16, 0)
+	clientTier, _ := New(16, 0)
+	pub := NewPublisher(b)
+	lServer, err := NewListener(b, "server-cache", func(k string) { serverTier.Invalidate(k) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lServer.Stop)
+	lClient, err := NewListener(b, "client-device-1", func(k string) { clientTier.Invalidate(k) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lClient.Stop)
+
+	serverTier.Put("gene:BRCA1", []byte("v1"), 1)
+	clientTier.Put("gene:BRCA1", []byte("v1"), 1)
+	serverTier.Put("gene:TP53", []byte("v1"), 1)
+
+	if err := pub.Publish("gene:BRCA1"); err != nil {
+		t.Fatal(err)
+	}
+	waitApplied(t, lServer, 1)
+	waitApplied(t, lClient, 1)
+
+	// The invalidated key is gone from BOTH tiers; the other key survives.
+	if _, _, ok := serverTier.Get("gene:BRCA1"); ok {
+		t.Error("server tier still serves invalidated key")
+	}
+	if _, _, ok := clientTier.Get("gene:BRCA1"); ok {
+		t.Error("client tier still serves invalidated key")
+	}
+	if _, _, ok := serverTier.Get("gene:TP53"); !ok {
+		t.Error("unrelated key was invalidated")
+	}
+}
+
+func TestInvalidationFanOut(t *testing.T) {
+	b := bus.New()
+	t.Cleanup(b.Close)
+	pub := NewPublisher(b)
+	const devices = 5
+	caches := make([]*Cache, devices)
+	listeners := make([]*Listener, devices)
+	for i := range caches {
+		caches[i], _ = New(8, 0)
+		caches[i].Put("k", []byte("stale"), 1)
+		c := caches[i]
+		l, err := NewListener(b, "device-"+string(rune('a'+i)), func(k string) { c.Invalidate(k) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(l.Stop)
+		listeners[i] = l
+	}
+	if err := pub.Publish("k"); err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range listeners {
+		waitApplied(t, l, 1)
+		if _, _, ok := caches[i].Get("k"); ok {
+			t.Errorf("device %d still serves stale key", i)
+		}
+	}
+}
+
+func TestListenerStopIdempotent(t *testing.T) {
+	b := bus.New()
+	t.Cleanup(b.Close)
+	l, err := NewListener(b, "x", func(string) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Stop()
+	l.Stop() // must not panic or deadlock
+}
+
+// TestStaleReadWindowCloses is the end-to-end consistency scenario: a
+// read-through cache serves v1, the origin changes to v2, the
+// invalidation lands, and the next read observes v2.
+func TestStaleReadWindowCloses(t *testing.T) {
+	b := bus.New()
+	t.Cleanup(b.Close)
+	version := 1
+	origin := func(key string) ([]byte, uint64, error) {
+		if version == 1 {
+			return []byte("v1"), 1, nil
+		}
+		return []byte("v2"), 2, nil
+	}
+	tier, _ := New(8, 0)
+	tc, err := NewTiered(origin, tier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := NewPublisher(b)
+	l, err := NewListener(b, "tier", func(k string) { tc.Invalidate(k) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Stop)
+
+	if v, _ := tc.Get("k"); string(v) != "v1" {
+		t.Fatalf("initial read = %q", v)
+	}
+	// Origin updates; cached copy is now stale until the invalidation.
+	version = 2
+	if v, _ := tc.Get("k"); string(v) != "v1" {
+		t.Fatalf("pre-invalidation read should still be cached v1, got %q", v)
+	}
+	pub.Publish("k")
+	waitApplied(t, l, 1)
+	if v, _ := tc.Get("k"); string(v) != "v2" {
+		t.Errorf("post-invalidation read = %q, want v2", v)
+	}
+}

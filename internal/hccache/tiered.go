@@ -1,0 +1,85 @@
+package hccache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Loader fetches a value (and its version) from the origin — typically a
+// remote knowledge base or the data lake, with real (or simulated) WAN
+// latency.
+type Loader func(key string) (value []byte, version uint64, err error)
+
+// ErrNotFound is returned by loaders for missing keys.
+var ErrNotFound = errors.New("hccache: not found at origin")
+
+// Tiered chains caches in front of an origin: Fig 4's client cache →
+// cloud-server cache → external knowledge base. Get probes tiers in
+// order and back-fills every missed tier on the way out, so hot keys
+// migrate toward the client.
+type Tiered struct {
+	tiers  []*Cache
+	origin Loader
+
+	mu          sync.Mutex
+	originLoads uint64
+}
+
+// NewTiered creates a tiered cache. Tier 0 is closest to the caller.
+func NewTiered(origin Loader, tiers ...*Cache) (*Tiered, error) {
+	if origin == nil {
+		return nil, errors.New("hccache: origin loader required")
+	}
+	if len(tiers) == 0 {
+		return nil, errors.New("hccache: at least one tier required")
+	}
+	return &Tiered{tiers: tiers, origin: origin}, nil
+}
+
+// Get returns the value for key, filling missed tiers read-through.
+func (t *Tiered) Get(key string) ([]byte, error) {
+	for i, tier := range t.tiers {
+		if v, ver, ok := tier.Get(key); ok {
+			// Back-fill the closer tiers.
+			for j := 0; j < i; j++ {
+				t.tiers[j].Put(key, v, ver)
+			}
+			return v, nil
+		}
+	}
+	v, ver, err := t.origin(key)
+	if err != nil {
+		return nil, fmt.Errorf("hccache: origin load %q: %w", key, err)
+	}
+	t.mu.Lock()
+	t.originLoads++
+	t.mu.Unlock()
+	for _, tier := range t.tiers {
+		tier.Put(key, v, ver)
+	}
+	return v, nil
+}
+
+// Invalidate drops the key from every tier (server push invalidation).
+func (t *Tiered) Invalidate(key string) {
+	for _, tier := range t.tiers {
+		tier.Invalidate(key)
+	}
+}
+
+// OriginLoads reports how many requests reached the origin.
+func (t *Tiered) OriginLoads() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.originLoads
+}
+
+// TierStats returns each tier's counters, closest first.
+func (t *Tiered) TierStats() []Stats {
+	out := make([]Stats, len(t.tiers))
+	for i, tier := range t.tiers {
+		out[i] = tier.Stats()
+	}
+	return out
+}

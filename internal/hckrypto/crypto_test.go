@@ -1,0 +1,262 @@
+package hckrypto
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustKey(t *testing.T) SymmetricKey {
+	t.Helper()
+	k, err := NewSymmetricKey()
+	if err != nil {
+		t.Fatalf("NewSymmetricKey: %v", err)
+	}
+	return k
+}
+
+func TestGCMRoundTrip(t *testing.T) {
+	key := mustKey(t)
+	tests := []struct {
+		name string
+		pt   []byte
+		aad  []byte
+	}{
+		{name: "empty", pt: nil, aad: nil},
+		{name: "small", pt: []byte("phi record"), aad: nil},
+		{name: "with aad", pt: []byte("phi record"), aad: []byte("record-42")},
+		{name: "binary", pt: []byte{0, 1, 2, 255, 254}, aad: []byte{9}},
+		{name: "large", pt: bytes.Repeat([]byte("x"), 1<<16), aad: nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ct, err := EncryptGCM(key, tt.pt, tt.aad)
+			if err != nil {
+				t.Fatalf("EncryptGCM: %v", err)
+			}
+			got, err := DecryptGCM(key, ct, tt.aad)
+			if err != nil {
+				t.Fatalf("DecryptGCM: %v", err)
+			}
+			if !bytes.Equal(got, tt.pt) {
+				t.Errorf("round trip mismatch: got %q want %q", got, tt.pt)
+			}
+		})
+	}
+}
+
+func TestGCMWrongKeyFails(t *testing.T) {
+	k1, k2 := mustKey(t), mustKey(t)
+	ct, err := EncryptGCM(k1, []byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecryptGCM(k2, ct, nil); err == nil {
+		t.Error("decryption with wrong key should fail")
+	}
+}
+
+func TestGCMWrongAADFails(t *testing.T) {
+	k := mustKey(t)
+	ct, err := EncryptGCM(k, []byte("secret"), []byte("aad-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecryptGCM(k, ct, []byte("aad-2")); err == nil {
+		t.Error("decryption with wrong additional data should fail")
+	}
+}
+
+func TestGCMTamperDetected(t *testing.T) {
+	k := mustKey(t)
+	ct, err := EncryptGCM(k, []byte("secret message"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(ct); i += 7 {
+		mut := append([]byte(nil), ct...)
+		mut[i] ^= 0x80
+		if _, err := DecryptGCM(k, mut, nil); err == nil {
+			t.Errorf("tampering at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestGCMBadKeySize(t *testing.T) {
+	if _, err := EncryptGCM(SymmetricKey("short"), []byte("x"), nil); err != ErrBadKeySize {
+		t.Errorf("got %v, want ErrBadKeySize", err)
+	}
+	if _, err := DecryptGCM(SymmetricKey("short"), []byte("x"), nil); err != ErrBadKeySize {
+		t.Errorf("got %v, want ErrBadKeySize", err)
+	}
+}
+
+func TestGCMShortCiphertext(t *testing.T) {
+	k := mustKey(t)
+	if _, err := DecryptGCM(k, []byte{1, 2, 3}, nil); err != ErrShortPayload {
+		t.Errorf("got %v, want ErrShortPayload", err)
+	}
+}
+
+func TestCBCHMACRoundTrip(t *testing.T) {
+	enc, mac := mustKey(t), mustKey(t)
+	for _, pt := range [][]byte{nil, []byte("a"), []byte("exactly sixteen!"), bytes.Repeat([]byte("q"), 1000)} {
+		ct, err := EncryptCBCHMAC(enc, mac, pt)
+		if err != nil {
+			t.Fatalf("EncryptCBCHMAC(%d bytes): %v", len(pt), err)
+		}
+		got, err := DecryptCBCHMAC(enc, mac, ct)
+		if err != nil {
+			t.Fatalf("DecryptCBCHMAC(%d bytes): %v", len(pt), err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Errorf("round trip mismatch for %d-byte plaintext", len(pt))
+		}
+	}
+}
+
+func TestCBCHMACTamperDetected(t *testing.T) {
+	enc, mac := mustKey(t), mustKey(t)
+	ct, err := EncryptCBCHMAC(enc, mac, []byte("record body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), ct...)
+	mut[3] ^= 1
+	if _, err := DecryptCBCHMAC(enc, mac, mut); err != ErrAuthFailed {
+		t.Errorf("got %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestCBCHMACWrongMACKey(t *testing.T) {
+	enc, mac, mac2 := mustKey(t), mustKey(t), mustKey(t)
+	ct, err := EncryptCBCHMAC(enc, mac, []byte("record"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecryptCBCHMAC(enc, mac2, ct); err != ErrAuthFailed {
+		t.Errorf("got %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestMACVerify(t *testing.T) {
+	k := mustKey(t)
+	tag := MAC(k, []byte("data"))
+	if !VerifyMAC(k, []byte("data"), tag) {
+		t.Error("valid MAC rejected")
+	}
+	if VerifyMAC(k, []byte("data2"), tag) {
+		t.Error("MAC over different data accepted")
+	}
+	k2 := mustKey(t)
+	if VerifyMAC(k2, []byte("data"), tag) {
+		t.Error("MAC with different key accepted")
+	}
+}
+
+func TestSaltedHashDiffersBySalt(t *testing.T) {
+	h1 := SaltedHash([]byte("salt1"), []byte("record"))
+	h2 := SaltedHash([]byte("salt2"), []byte("record"))
+	if bytes.Equal(h1, h2) {
+		t.Error("different salts produced identical hashes")
+	}
+	h3 := SaltedHash([]byte("salt1"), []byte("record"))
+	if !bytes.Equal(h1, h3) {
+		t.Error("salted hash not deterministic")
+	}
+}
+
+func TestKeyFingerprintStable(t *testing.T) {
+	k := mustKey(t)
+	if k.Fingerprint() != k.Fingerprint() {
+		t.Error("fingerprint not stable")
+	}
+	if len(k.Fingerprint()) != 16 {
+		t.Errorf("fingerprint length = %d, want 16", len(k.Fingerprint()))
+	}
+}
+
+// Property: GCM round trip is identity for arbitrary plaintexts and AADs.
+func TestQuickGCMRoundTrip(t *testing.T) {
+	key := mustKey(t)
+	f := func(pt, aad []byte) bool {
+		ct, err := EncryptGCM(key, pt, aad)
+		if err != nil {
+			return false
+		}
+		got, err := DecryptGCM(key, ct, aad)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CBC+HMAC round trip is identity and ciphertext differs from plaintext.
+func TestQuickCBCHMACRoundTrip(t *testing.T) {
+	enc, mac := mustKey(t), mustKey(t)
+	f := func(pt []byte) bool {
+		ct, err := EncryptCBCHMAC(enc, mac, pt)
+		if err != nil {
+			return false
+		}
+		got, err := DecryptCBCHMAC(enc, mac, ct)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pkcs7 pad/unpad is identity and padded length is a block multiple.
+func TestQuickPKCS7(t *testing.T) {
+	f := func(b []byte) bool {
+		p := pkcs7Pad(b, 16)
+		if len(p)%16 != 0 || len(p) <= len(b) {
+			return false
+		}
+		u, err := pkcs7Unpad(p, 16)
+		return err == nil && bytes.Equal(u, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPKCS7RejectsCorruptPadding(t *testing.T) {
+	if _, err := pkcs7Unpad(nil, 16); err == nil {
+		t.Error("empty input should be rejected")
+	}
+	bad := bytes.Repeat([]byte{16}, 16)
+	bad[15] = 0
+	if _, err := pkcs7Unpad(bad, 16); err == nil {
+		t.Error("zero padding byte should be rejected")
+	}
+	bad[15] = 17
+	if _, err := pkcs7Unpad(bad, 16); err == nil {
+		t.Error("oversized padding byte should be rejected")
+	}
+	mixed := bytes.Repeat([]byte{4}, 16)
+	mixed[13] = 3
+	if _, err := pkcs7Unpad(mixed, 16); err == nil {
+		t.Error("inconsistent padding should be rejected")
+	}
+}
+
+func TestNewUUIDShape(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		u := NewUUID()
+		if len(u) != 36 || strings.Count(u, "-") != 4 {
+			t.Fatalf("malformed UUID %q", u)
+		}
+		if u[14] != '4' {
+			t.Fatalf("UUID %q not version 4", u)
+		}
+		if seen[u] {
+			t.Fatalf("duplicate UUID %q", u)
+		}
+		seen[u] = true
+	}
+}

@@ -1,0 +1,312 @@
+package hckrypto
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newTestKMS(t *testing.T) *KMS {
+	t.Helper()
+	k, err := NewKMS("tenant-a")
+	if err != nil {
+		t.Fatalf("NewKMS: %v", err)
+	}
+	return k
+}
+
+func TestKMSCreateAndUnwrap(t *testing.T) {
+	kms := newTestKMS(t)
+	id, dk, err := kms.CreateDataKey("patient-1", "svc-ingest")
+	if err != nil {
+		t.Fatalf("CreateDataKey: %v", err)
+	}
+	got, err := kms.UnwrapDataKey(id, "svc-ingest")
+	if err != nil {
+		t.Fatalf("UnwrapDataKey: %v", err)
+	}
+	if !bytes.Equal(got, dk) {
+		t.Error("unwrapped key differs from created key")
+	}
+}
+
+func TestKMSAccessControl(t *testing.T) {
+	kms := newTestKMS(t)
+	id, _, err := kms.CreateDataKey("patient-1", "svc-ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kms.UnwrapDataKey(id, "svc-analytics"); !errors.Is(err, ErrAccessDenied) {
+		t.Errorf("unauthorized unwrap: got %v, want ErrAccessDenied", err)
+	}
+	if err := kms.Grant(id, "svc-analytics"); err != nil {
+		t.Fatalf("Grant: %v", err)
+	}
+	if _, err := kms.UnwrapDataKey(id, "svc-analytics"); err != nil {
+		t.Errorf("unwrap after grant: %v", err)
+	}
+	if err := kms.Revoke(id, "svc-analytics"); err != nil {
+		t.Fatalf("Revoke: %v", err)
+	}
+	if _, err := kms.UnwrapDataKey(id, "svc-analytics"); !errors.Is(err, ErrAccessDenied) {
+		t.Errorf("unwrap after revoke: got %v, want ErrAccessDenied", err)
+	}
+}
+
+func TestKMSUnknownKey(t *testing.T) {
+	kms := newTestKMS(t)
+	if _, err := kms.UnwrapDataKey("nope", "svc"); !errors.Is(err, ErrKeyNotFound) {
+		t.Errorf("got %v, want ErrKeyNotFound", err)
+	}
+	if err := kms.Grant("nope", "svc"); !errors.Is(err, ErrKeyNotFound) {
+		t.Errorf("Grant unknown: got %v, want ErrKeyNotFound", err)
+	}
+	if err := kms.Shred("nope"); !errors.Is(err, ErrKeyNotFound) {
+		t.Errorf("Shred unknown: got %v, want ErrKeyNotFound", err)
+	}
+}
+
+func TestKMSShred(t *testing.T) {
+	kms := newTestKMS(t)
+	id, dk, err := kms.CreateDataKey("patient-1", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := EncryptGCM(dk, []byte("phi"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kms.Shred(id); err != nil {
+		t.Fatalf("Shred: %v", err)
+	}
+	if !kms.Shredded(id) {
+		t.Error("key not marked shredded")
+	}
+	if _, err := kms.UnwrapDataKey(id, "svc"); !errors.Is(err, ErrKeyShredded) {
+		t.Errorf("unwrap shredded: got %v, want ErrKeyShredded", err)
+	}
+	// The ciphertext is now permanently unrecoverable through the KMS; the
+	// caller's own copy of dk is the only path, and real deployments zero it.
+	_ = ct
+}
+
+func TestKMSShredSubject(t *testing.T) {
+	kms := newTestKMS(t)
+	var patientKeys []string
+	for i := 0; i < 3; i++ {
+		id, _, err := kms.CreateDataKey("patient-7", "svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		patientKeys = append(patientKeys, id)
+	}
+	otherID, _, err := kms.CreateDataKey("patient-8", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := kms.ShredSubject("patient-7"); n != 3 {
+		t.Errorf("ShredSubject = %d, want 3", n)
+	}
+	for _, id := range patientKeys {
+		if !kms.Shredded(id) {
+			t.Errorf("key %s should be shredded", id)
+		}
+	}
+	if kms.Shredded(otherID) {
+		t.Error("unrelated patient's key was shredded")
+	}
+	if n := kms.ShredSubject("patient-7"); n != 0 {
+		t.Errorf("second ShredSubject = %d, want 0 (idempotent)", n)
+	}
+}
+
+func TestKMSRotatePreservesKeys(t *testing.T) {
+	kms := newTestKMS(t)
+	type rec struct {
+		id string
+		dk SymmetricKey
+	}
+	var recs []rec
+	for i := 0; i < 5; i++ {
+		id, dk, err := kms.CreateDataKey(fmt.Sprintf("p-%d", i), "svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec{id, dk})
+	}
+	if err := kms.RotateMaster(); err != nil {
+		t.Fatalf("RotateMaster: %v", err)
+	}
+	for _, r := range recs {
+		got, err := kms.UnwrapDataKey(r.id, "svc")
+		if err != nil {
+			t.Fatalf("unwrap %s after rotation: %v", r.id, err)
+		}
+		if !bytes.Equal(got, r.dk) {
+			t.Errorf("key %s changed across rotation", r.id)
+		}
+	}
+}
+
+func TestKMSRotateSkipsShredded(t *testing.T) {
+	kms := newTestKMS(t)
+	id, _, err := kms.CreateDataKey("p", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kms.Shred(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := kms.RotateMaster(); err != nil {
+		t.Fatalf("RotateMaster with shredded key: %v", err)
+	}
+	if _, err := kms.UnwrapDataKey(id, "svc"); !errors.Is(err, ErrKeyShredded) {
+		t.Errorf("shredded key resurrected by rotation: %v", err)
+	}
+}
+
+func TestKMSKeyCount(t *testing.T) {
+	kms := newTestKMS(t)
+	if kms.KeyCount() != 0 {
+		t.Errorf("fresh KMS KeyCount = %d", kms.KeyCount())
+	}
+	id, _, _ := kms.CreateDataKey("p", "svc")
+	kms.CreateDataKey("p", "svc")
+	if kms.KeyCount() != 2 {
+		t.Errorf("KeyCount = %d, want 2", kms.KeyCount())
+	}
+	kms.Shred(id)
+	if kms.KeyCount() != 1 {
+		t.Errorf("KeyCount after shred = %d, want 1", kms.KeyCount())
+	}
+}
+
+func TestKMSConcurrentUse(t *testing.T) {
+	kms := newTestKMS(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				id, dk, err := kms.CreateDataKey(fmt.Sprintf("p-%d", g), "svc")
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := kms.UnwrapDataKey(id, "svc")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, dk) {
+					errs <- fmt.Errorf("key %s mismatch", id)
+					return
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 4; i++ {
+			if err := kms.RotateMaster(); err != nil {
+				errs <- err
+			}
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if kms.KeyCount() != 64 {
+		t.Errorf("KeyCount = %d, want 64", kms.KeyCount())
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	sk, err := NewSigningKey(2048)
+	if err != nil {
+		t.Fatalf("NewSigningKey: %v", err)
+	}
+	sig, err := sk.Sign([]byte("container image digest"))
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	vk := sk.Public()
+	if !vk.Verify([]byte("container image digest"), sig) {
+		t.Error("valid signature rejected")
+	}
+	if vk.Verify([]byte("tampered digest"), sig) {
+		t.Error("signature over different data accepted")
+	}
+}
+
+func TestSigningKeyMinimumSize(t *testing.T) {
+	if _, err := NewSigningKey(1024); err == nil {
+		t.Error("1024-bit key should be rejected")
+	}
+}
+
+func TestVerifyKeyPEMRoundTrip(t *testing.T) {
+	sk, err := NewSigningKey(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pemBytes, err := sk.Public().MarshalPEM()
+	if err != nil {
+		t.Fatalf("MarshalPEM: %v", err)
+	}
+	vk, err := ParseVerifyKeyPEM(pemBytes)
+	if err != nil {
+		t.Fatalf("ParseVerifyKeyPEM: %v", err)
+	}
+	sig, err := sk.Sign([]byte("msg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vk.Verify([]byte("msg"), sig) {
+		t.Error("parsed key failed to verify")
+	}
+	if vk.Fingerprint() != sk.Public().Fingerprint() {
+		t.Error("fingerprint changed across PEM round trip")
+	}
+}
+
+func TestParseVerifyKeyPEMErrors(t *testing.T) {
+	if _, err := ParseVerifyKeyPEM([]byte("not pem")); err == nil {
+		t.Error("garbage input accepted")
+	}
+}
+
+func TestOAEPRoundTripAndLimit(t *testing.T) {
+	sk, err := NewSigningKey(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vk := sk.Public()
+	maxLen := vk.MaxOAEPPayload()
+	if maxLen <= 0 || maxLen >= 256 {
+		t.Fatalf("MaxOAEPPayload = %d, expected small positive bound", maxLen)
+	}
+	msg := bytes.Repeat([]byte{0xAB}, maxLen)
+	ct, err := vk.EncryptOAEP(msg)
+	if err != nil {
+		t.Fatalf("EncryptOAEP at max payload: %v", err)
+	}
+	pt, err := sk.DecryptOAEP(ct)
+	if err != nil {
+		t.Fatalf("DecryptOAEP: %v", err)
+	}
+	if !bytes.Equal(pt, msg) {
+		t.Error("OAEP round trip mismatch")
+	}
+	if _, err := vk.EncryptOAEP(bytes.Repeat([]byte{1}, maxLen+1)); err == nil {
+		t.Error("payload over RSA limit accepted — this is exactly why the paper rejects public-key bulk encryption")
+	}
+}

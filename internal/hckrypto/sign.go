@@ -1,0 +1,122 @@
+package hckrypto
+
+import (
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/pem"
+	"errors"
+	"fmt"
+)
+
+// SigningKey is an RSA private key used for image signing, attestation
+// quotes, and the E4 signature-vs-HMAC comparison. Bulk data paths use
+// symmetric primitives per the paper; asymmetric keys appear only where
+// non-repudiation across parties is required (signed VM/container images,
+// TPM quotes, client upload certificates).
+type SigningKey struct {
+	priv *rsa.PrivateKey
+}
+
+// VerifyKey is the public half of a SigningKey.
+type VerifyKey struct {
+	pub *rsa.PublicKey
+}
+
+// NewSigningKey generates an RSA key of the given bit size (2048 minimum
+// enforced; tests may use the package-level test hooks to go smaller).
+func NewSigningKey(bits int) (*SigningKey, error) {
+	if bits < 2048 {
+		return nil, errors.New("hckrypto: signing keys must be >= 2048 bits")
+	}
+	priv, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("hckrypto: generating rsa key: %w", err)
+	}
+	return &SigningKey{priv: priv}, nil
+}
+
+// Public returns the verification half of the key.
+func (k *SigningKey) Public() *VerifyKey { return &VerifyKey{pub: &k.priv.PublicKey} }
+
+// Sign produces an RSA-PSS signature over SHA-256(data).
+func (k *SigningKey) Sign(data []byte) ([]byte, error) {
+	digest := sha256.Sum256(data)
+	sig, err := rsa.SignPSS(rand.Reader, k.priv, crypto.SHA256, digest[:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("hckrypto: signing: %w", err)
+	}
+	return sig, nil
+}
+
+// Verify reports whether sig is a valid signature by the key's owner.
+func (v *VerifyKey) Verify(data, sig []byte) bool {
+	digest := sha256.Sum256(data)
+	return rsa.VerifyPSS(v.pub, crypto.SHA256, digest[:], sig, nil) == nil
+}
+
+// Fingerprint returns a stable hex identifier for the public key.
+func (v *VerifyKey) Fingerprint() string {
+	der, err := x509.MarshalPKIXPublicKey(v.pub)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(der)
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// MarshalPEM encodes the public key in PEM form for distribution to
+// clients (the platform issues clients a "public certificate" at
+// registration, §II-B).
+func (v *VerifyKey) MarshalPEM() ([]byte, error) {
+	der, err := x509.MarshalPKIXPublicKey(v.pub)
+	if err != nil {
+		return nil, fmt.Errorf("hckrypto: marshal public key: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: "PUBLIC KEY", Bytes: der}), nil
+}
+
+// ParseVerifyKeyPEM decodes a PEM public key produced by MarshalPEM.
+func ParseVerifyKeyPEM(data []byte) (*VerifyKey, error) {
+	block, _ := pem.Decode(data)
+	if block == nil {
+		return nil, errors.New("hckrypto: no PEM block found")
+	}
+	pub, err := x509.ParsePKIXPublicKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("hckrypto: parse public key: %w", err)
+	}
+	rpub, ok := pub.(*rsa.PublicKey)
+	if !ok {
+		return nil, errors.New("hckrypto: not an RSA public key")
+	}
+	return &VerifyKey{pub: rpub}, nil
+}
+
+// EncryptOAEP encrypts a short message (such as a wrapped data key) to the
+// holder of the key. Used by E3 to measure why the paper rejects public-key
+// encryption for bulk data: RSA-OAEP can only seal messages shorter than
+// the modulus and costs orders of magnitude more per byte than AES-GCM.
+func (v *VerifyKey) EncryptOAEP(plaintext []byte) ([]byte, error) {
+	out, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, v.pub, plaintext, nil)
+	if err != nil {
+		return nil, fmt.Errorf("hckrypto: rsa encrypt: %w", err)
+	}
+	return out, nil
+}
+
+// DecryptOAEP opens a message produced by EncryptOAEP.
+func (k *SigningKey) DecryptOAEP(ciphertext []byte) ([]byte, error) {
+	out, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, k.priv, ciphertext, nil)
+	if err != nil {
+		return nil, fmt.Errorf("hckrypto: rsa decrypt: %w", err)
+	}
+	return out, nil
+}
+
+// MaxOAEPPayload returns the largest plaintext EncryptOAEP can seal.
+func (v *VerifyKey) MaxOAEPPayload() int {
+	return v.pub.Size() - 2*sha256.Size - 2
+}

@@ -1,0 +1,101 @@
+package hckrypto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// signcryptFixture returns sender key, shared key, and a sealed payload.
+func signcryptFixture(t *testing.T) (*SigningKey, SymmetricKey, []byte) {
+	t.Helper()
+	signer, err := NewSigningKey(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := mustKey(t)
+	sealed, err := Signcrypt(signer, "clinic-1", "platform", key, []byte("lab results bundle"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return signer, key, sealed
+}
+
+func TestSigncryptRoundTrip(t *testing.T) {
+	signer, key, sealed := signcryptFixture(t)
+	pt, sender, err := Unsigncrypt(signer.Public(), "platform", key, sealed)
+	if err != nil {
+		t.Fatalf("Unsigncrypt: %v", err)
+	}
+	if string(pt) != "lab results bundle" || sender != "clinic-1" {
+		t.Errorf("pt=%q sender=%q", pt, sender)
+	}
+}
+
+func TestSigncryptWrongRecipient(t *testing.T) {
+	signer, key, sealed := signcryptFixture(t)
+	// Re-targeting the ciphertext to another recipient fails (AAD).
+	if _, _, err := Unsigncrypt(signer.Public(), "mallory", key, sealed); !errors.Is(err, ErrSigncrypt) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestSigncryptWrongKey(t *testing.T) {
+	signer, _, sealed := signcryptFixture(t)
+	otherKey := mustKey(t)
+	if _, _, err := Unsigncrypt(signer.Public(), "platform", otherKey, sealed); !errors.Is(err, ErrSigncrypt) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestSigncryptForeignSigner(t *testing.T) {
+	_, key, sealed := signcryptFixture(t)
+	imposter, err := NewSigningKey(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Unsigncrypt(imposter.Public(), "platform", key, sealed); !errors.Is(err, ErrSigncrypt) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestSigncryptTamperDetected(t *testing.T) {
+	signer, key, sealed := signcryptFixture(t)
+	mut := append([]byte(nil), sealed...)
+	mut[len(mut)/2] ^= 1
+	if _, _, err := Unsigncrypt(signer.Public(), "platform", key, mut); !errors.Is(err, ErrSigncrypt) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestSigncryptCiphertextHidesEverything(t *testing.T) {
+	signer, err := NewSigningKey(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := mustKey(t)
+	secret := []byte("THE-SECRET-BODY")
+	sealed, err := Signcrypt(signer, "SENDER-NAME", "platform", key, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, secret) || bytes.Contains(sealed, []byte("SENDER-NAME")) {
+		t.Error("signcrypted payload leaks plaintext or sender identity")
+	}
+}
+
+func TestSigncryptEmptyPlaintext(t *testing.T) {
+	signer, err := NewSigningKey(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := mustKey(t)
+	sealed, err := Signcrypt(signer, "a", "b", key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, sender, err := Unsigncrypt(signer.Public(), "b", key, sealed)
+	if err != nil || len(pt) != 0 || sender != "a" {
+		t.Errorf("empty round trip: %q %q %v", pt, sender, err)
+	}
+}

@@ -1,0 +1,329 @@
+// Package httpapi exposes the platform as HTTPS (REST) interfaces
+// (§III-A: "We provide HTTPS (REST) interfaces to our system. Users
+// access our system as Web services.") with the API-management behaviour
+// of §II-B: "The API management system first authenticates the user
+// requesting the APIs, and once successfully authenticated, it consults
+// the Privacy Management system and allows API access accordingly."
+//
+// Authentication: clients log in with a federated identity token
+// (internal/rbac.IdentityToken) and receive an opaque bearer session
+// token. Every data route then runs authenticate → RBAC check → handler.
+package httpapi
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"healthcloud/internal/audit"
+	"healthcloud/internal/consent"
+	"healthcloud/internal/core"
+	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/rbac"
+	"healthcloud/internal/services"
+)
+
+// Server is the REST front end over a platform instance.
+type Server struct {
+	p   *core.Platform
+	mux *http.ServeMux
+
+	mu       sync.RWMutex
+	sessions map[string]string // bearer token -> user id
+}
+
+// New builds the server and its routes.
+func New(p *core.Platform) *Server {
+	s := &Server{p: p, mux: http.NewServeMux(), sessions: make(map[string]string)}
+	s.mux.HandleFunc("POST /api/v1/login", s.handleLogin)
+	s.mux.HandleFunc("GET /api/v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /api/v1/clients", s.guard("ingest", rbac.ActionWrite, s.handleRegisterClient))
+	s.mux.HandleFunc("POST /api/v1/uploads", s.guard("ingest", rbac.ActionWrite, s.handleUpload))
+	s.mux.HandleFunc("GET /api/v1/uploads/{id}", s.guard("ingest", rbac.ActionWrite, s.handleUploadStatus))
+	s.mux.HandleFunc("GET /api/v1/kb/{key}", s.guard("services", rbac.ActionRead, s.handleKB))
+	s.mux.HandleFunc("GET /api/v1/models/{name}", s.guard("models", rbac.ActionRead, s.handleModel))
+	s.mux.HandleFunc("GET /api/v1/exports/anonymized", s.guard("exports", rbac.ActionRead, s.handleExportAnonymized))
+	s.mux.HandleFunc("GET /api/v1/audit", s.guard("logs", rbac.ActionRead, s.handleAudit))
+	s.mux.HandleFunc("POST /api/v1/consents", s.guard("phi", rbac.ActionWrite, s.handleGrantConsent))
+	s.mux.HandleFunc("GET /api/v1/services/{capability}", s.guard("services", rbac.ActionRead, s.handleServices))
+	s.mux.HandleFunc("GET /api/v1/facts", s.guard("services", rbac.ActionRead, s.handleFacts))
+	s.mux.HandleFunc("GET /api/v1/billing", s.guard("logs", rbac.ActionRead, s.handleBilling))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+var _ http.Handler = (*Server)(nil)
+
+// writeJSON emits a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// handleLogin exchanges a federated identity token for a session token.
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	var tok rbac.IdentityToken
+	if err := json.NewDecoder(r.Body).Decode(&tok); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{"malformed token"})
+		return
+	}
+	userID, err := s.p.RBAC.Authenticate(&tok, time.Now())
+	if err != nil {
+		writeJSON(w, http.StatusUnauthorized, errorBody{err.Error()})
+		return
+	}
+	session := hckrypto.NewUUID()
+	s.mu.Lock()
+	s.sessions[session] = userID
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"token": session, "user": userID})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"components": s.p.Components(),
+	})
+}
+
+// authenticate resolves the bearer token to a user.
+func (s *Server) authenticate(r *http.Request) (string, error) {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(h, prefix) {
+		return "", errors.New("missing bearer token")
+	}
+	s.mu.RLock()
+	user, ok := s.sessions[strings.TrimPrefix(h, prefix)]
+	s.mu.RUnlock()
+	if !ok {
+		return "", errors.New("invalid session")
+	}
+	return user, nil
+}
+
+// guard wraps a handler with authenticate → RBAC (§II-B API management).
+func (s *Server) guard(resource string, action rbac.Action, next func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		user, err := s.authenticate(r)
+		if err != nil {
+			writeJSON(w, http.StatusUnauthorized, errorBody{err.Error()})
+			return
+		}
+		scope := rbac.Scope{Tenant: s.tenant(), Org: r.URL.Query().Get("org"), Group: r.URL.Query().Get("group")}
+		if err := s.p.CheckAccess(user, action, resource, scope, r.URL.Query().Get("env")); err != nil {
+			writeJSON(w, http.StatusForbidden, errorBody{err.Error()})
+			return
+		}
+		next(w, r, user)
+	}
+}
+
+func (s *Server) tenant() string {
+	// One instance serves one tenant; the RBAC system was seeded with it.
+	return s.p.KMS.Tenant()
+}
+
+// handleRegisterClient issues an enhanced client its shared key.
+func (s *Server) handleRegisterClient(w http.ResponseWriter, r *http.Request, _ string) {
+	var body struct {
+		ClientID string `json:"client_id"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.ClientID == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{"client_id required"})
+		return
+	}
+	key, err := s.p.Ingest.RegisterClient(body.ClientID)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{
+		"client_id": body.ClientID,
+		"key":       base64.StdEncoding.EncodeToString(key),
+	})
+}
+
+// handleUpload accepts an encrypted bundle; responds with the status URL.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, _ string) {
+	clientID := r.URL.Query().Get("client")
+	group := r.URL.Query().Get("group")
+	if clientID == "" || group == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{"client and group query params required"})
+		return
+	}
+	encrypted, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil || len(encrypted) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{"empty body"})
+		return
+	}
+	id, err := s.p.Ingest.Upload(clientID, group, encrypted)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"upload_id":  id,
+		"status_url": "/api/v1/uploads/" + id,
+	})
+}
+
+func (s *Server) handleUploadStatus(w http.ResponseWriter, r *http.Request, _ string) {
+	st, err := s.p.Ingest.Status(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleKB(w http.ResponseWriter, r *http.Request, _ string) {
+	v, err := s.p.KBCache.Get(r.PathValue("key"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(v)
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request, _ string) {
+	payload, err := s.p.Analytics.PushPayload(r.PathValue("name"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(payload)
+}
+
+func (s *Server) handleExportAnonymized(w http.ResponseWriter, r *http.Request, user string) {
+	group := r.URL.Query().Get("group")
+	if group == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{"group required"})
+		return
+	}
+	recs, err := s.p.Ingest.ExportAnonymized(group, user)
+	if err != nil {
+		writeJSON(w, http.StatusForbidden, errorBody{err.Error()})
+		return
+	}
+	s.p.Meter.Record(s.tenant(), "export", float64(len(recs)), time.Now())
+	writeJSON(w, http.StatusOK, recs)
+}
+
+// handleBilling returns the tenant's statement for the trailing 30 days
+// (§II-B metering and billing).
+func (s *Server) handleBilling(w http.ResponseWriter, _ *http.Request, _ string) {
+	now := time.Now().UTC()
+	bill := s.p.Meter.BillFor(s.tenant(), now.Add(-30*24*time.Hour), now.Add(time.Second))
+	writeJSON(w, http.StatusOK, bill)
+}
+
+// handleServices lists providers of a capability with their observed
+// stats and the current best pick (§III service brokerage).
+func (s *Server) handleServices(w http.ResponseWriter, r *http.Request, _ string) {
+	capability := services.Capability(r.PathValue("capability"))
+	names := s.p.Services.Providers(capability)
+	if len(names) == 0 {
+		writeJSON(w, http.StatusNotFound, errorBody{"no providers for capability"})
+		return
+	}
+	type row struct {
+		Name         string  `json:"name"`
+		MeanLatencyM float64 `json:"mean_latency_ms"`
+		Availability float64 `json:"availability"`
+		Accuracy     float64 `json:"measured_accuracy"`
+		UserRating   float64 `json:"user_rating"`
+	}
+	rows := make([]row, 0, len(names))
+	for _, name := range names {
+		st, err := s.p.Services.StatsFor(name)
+		if err != nil {
+			continue
+		}
+		rows = append(rows, row{
+			Name:         name,
+			MeanLatencyM: float64(st.MeanLatency().Microseconds()) / 1000,
+			Availability: st.Availability(),
+			Accuracy:     st.MeasuredAccuracy(),
+			UserRating:   st.UserRating(),
+		})
+	}
+	best, err := s.p.Services.Best(capability, services.Criteria{})
+	resp := map[string]any{"providers": rows}
+	if err == nil {
+		resp["best"] = best
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFacts runs text extraction over the PubMed-style corpus and
+// returns mined drug–disease co-occurrence facts.
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request, _ string) {
+	minSupport := 2
+	if v := r.URL.Query().Get("min_support"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeJSON(w, http.StatusBadRequest, errorBody{"min_support must be a positive integer"})
+			return
+		}
+		minSupport = n
+	}
+	facts := s.p.MineFacts(300, minSupport)
+	if len(facts) > 50 {
+		facts = facts[:50]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(facts), "facts": facts})
+}
+
+// handleGrantConsent records a patient's consent of their data to a
+// study group (§II-B consent management).
+func (s *Server) handleGrantConsent(w http.ResponseWriter, r *http.Request, _ string) {
+	var body struct {
+		Patient string `json:"patient"`
+		Group   string `json:"group"`
+		Purpose string `json:"purpose"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil ||
+		body.Patient == "" || body.Group == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{"patient and group required"})
+		return
+	}
+	purpose := consent.Purpose(body.Purpose)
+	switch purpose {
+	case "":
+		purpose = consent.PurposeResearch
+	case consent.PurposeResearch, consent.PurposeExport, consent.PurposeTreatment:
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{"unknown purpose"})
+		return
+	}
+	s.p.Consents.Grant(body.Patient, body.Group, purpose, 0)
+	writeJSON(w, http.StatusCreated, map[string]string{
+		"patient": body.Patient, "group": body.Group, "purpose": string(purpose),
+	})
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request, _ string) {
+	q := r.URL.Query()
+	events := s.p.Audit.Find(audit.Query{
+		Service: q.Get("service"),
+		Action:  q.Get("action"),
+		Actor:   q.Get("actor"),
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(events), "events": events})
+}

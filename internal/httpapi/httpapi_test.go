@@ -1,0 +1,361 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"healthcloud/internal/analytics"
+	"healthcloud/internal/consent"
+	"healthcloud/internal/core"
+	"healthcloud/internal/fhir"
+	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/kb"
+	"healthcloud/internal/rbac"
+)
+
+// apiFixture is a running API server with an admin session.
+type apiFixture struct {
+	srv   *httptest.Server
+	p     *core.Platform
+	idp   *rbac.IdentityProvider
+	admin string // bearer token
+}
+
+func newAPI(t *testing.T) *apiFixture {
+	t.Helper()
+	kbCfg := kb.DefaultConfig()
+	kbCfg.Drugs, kbCfg.Diseases = 20, 10
+	dataset, err := kb.Generate(kbCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.New(core.Config{Tenant: "mercy-health", KBDataset: dataset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	srv := httptest.NewServer(New(p))
+	t.Cleanup(srv.Close)
+
+	idp, err := rbac.NewIdentityProvider("hospital-sso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RBAC.ApproveIdentityProvider("hospital-sso", idp.VerifyKey())
+	f := &apiFixture{srv: srv, p: p, idp: idp}
+	f.admin = f.login(t, "admin@hospital.org", rbac.RoleAdmin)
+	return f
+}
+
+// login registers a user with a role and returns their session token.
+func (f *apiFixture) login(t *testing.T, subject string, role rbac.Role) string {
+	t.Helper()
+	userID := "hospital-sso:" + subject
+	f.p.RBAC.RegisterUser("mercy-health", userID)
+	if err := f.p.RBAC.AssignRole(userID, role, rbac.Scope{Tenant: "mercy-health"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := f.idp.Issue(subject, "mercy-health", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(tok)
+	resp, err := http.Post(f.srv.URL+"/api/v1/login", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("login status = %d", resp.StatusCode)
+	}
+	var out map[string]string
+	json.NewDecoder(resp.Body).Decode(&out)
+	return out["token"]
+}
+
+// do issues an authenticated request and decodes the JSON response.
+func (f *apiFixture) do(t *testing.T, method, path, token string, body []byte) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, f.srv.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+func TestHealthz(t *testing.T) {
+	f := newAPI(t)
+	status, body := f.do(t, "GET", "/api/v1/healthz", "", nil)
+	if status != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", status, body)
+	}
+	if comps, ok := body["components"].([]any); !ok || len(comps) < 15 {
+		t.Errorf("components = %v", body["components"])
+	}
+}
+
+func TestLoginRejectsBadTokens(t *testing.T) {
+	f := newAPI(t)
+	resp, err := http.Post(f.srv.URL+"/api/v1/login", "application/json", strings.NewReader("{broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: %d", resp.StatusCode)
+	}
+	// A token signed by an unapproved IdP.
+	rogue, err := rbac.NewIdentityProvider("rogue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, _ := rogue.Issue("mallory", "mercy-health", time.Hour)
+	body, _ := json.Marshal(tok)
+	resp2, err := http.Post(f.srv.URL+"/api/v1/login", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnauthorized {
+		t.Errorf("rogue idp: %d", resp2.StatusCode)
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	f := newAPI(t)
+	status, _ := f.do(t, "GET", "/api/v1/kb/drug:drug-000", "", nil)
+	if status != http.StatusUnauthorized {
+		t.Errorf("no token: %d", status)
+	}
+	status, _ = f.do(t, "GET", "/api/v1/kb/drug:drug-000", "not-a-session", nil)
+	if status != http.StatusUnauthorized {
+		t.Errorf("bad token: %d", status)
+	}
+}
+
+func TestRBACEnforcedPerRoute(t *testing.T) {
+	f := newAPI(t)
+	auditor := f.login(t, "auditor@hospital.org", rbac.RoleAuditor)
+	// Auditor can read logs...
+	status, body := f.do(t, "GET", "/api/v1/audit?service=platform", auditor, nil)
+	if status != http.StatusOK {
+		t.Errorf("auditor reading logs: %d %v", status, body)
+	}
+	// ...but not the KB, models, or uploads.
+	if status, _ := f.do(t, "GET", "/api/v1/kb/drug:drug-000", auditor, nil); status != http.StatusForbidden {
+		t.Errorf("auditor reading kb: %d", status)
+	}
+	if status, _ := f.do(t, "POST", "/api/v1/clients", auditor, []byte(`{"client_id":"x"}`)); status != http.StatusForbidden {
+		t.Errorf("auditor registering client: %d", status)
+	}
+}
+
+func TestUploadFlowOverHTTP(t *testing.T) {
+	f := newAPI(t)
+	ingestor := f.login(t, "nurse@hospital.org", rbac.RoleIngestor)
+	// Register a client device.
+	status, body := f.do(t, "POST", "/api/v1/clients", ingestor, []byte(`{"client_id":"device-1"}`))
+	if status != http.StatusCreated {
+		t.Fatalf("register: %d %v", status, body)
+	}
+	key, err := base64.StdEncoding.DecodeString(body["key"].(string))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build and encrypt a bundle exactly as the SDK would.
+	f.p.Consents.Grant("patient-1", "study-1", consent.PurposeResearch, 0)
+	b := fhir.NewBundle("collection")
+	b.AddResource(&fhir.Patient{ResourceType: "Patient", ID: "patient-1", Gender: "female"})
+	raw, _ := fhir.Marshal(b)
+	encrypted, err := hckrypto.EncryptGCM(key, raw, []byte("device-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body = f.do(t, "POST", "/api/v1/uploads?client=device-1&group=study-1", ingestor, encrypted)
+	if status != http.StatusAccepted {
+		t.Fatalf("upload: %d %v", status, body)
+	}
+	statusURL := body["status_url"].(string)
+	// Poll the status URL until terminal.
+	deadline := time.Now().Add(10 * time.Second)
+	var last map[string]any
+	for time.Now().Before(deadline) {
+		_, last = f.do(t, "GET", statusURL, ingestor, nil)
+		if last["state"] == "stored" || last["state"] == "failed" {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if last["state"] != "stored" {
+		t.Fatalf("final status = %v", last)
+	}
+}
+
+func TestUploadValidation(t *testing.T) {
+	f := newAPI(t)
+	if status, _ := f.do(t, "POST", "/api/v1/uploads", f.admin, []byte("x")); status != http.StatusBadRequest {
+		t.Errorf("missing params: %d", status)
+	}
+	if status, _ := f.do(t, "POST", "/api/v1/uploads?client=ghost&group=g", f.admin, []byte("x")); status != http.StatusBadRequest {
+		t.Errorf("unregistered client: %d", status)
+	}
+	if status, _ := f.do(t, "GET", "/api/v1/uploads/ghost", f.admin, nil); status != http.StatusNotFound {
+		t.Errorf("unknown upload: %d", status)
+	}
+}
+
+func TestKBEndpoint(t *testing.T) {
+	f := newAPI(t)
+	status, body := f.do(t, "GET", "/api/v1/kb/drug:drug-000", f.admin, nil)
+	if status != http.StatusOK || body["id"] != "drug-000" {
+		t.Errorf("kb = %d %v", status, body)
+	}
+	if status, _ := f.do(t, "GET", "/api/v1/kb/drug:ghost", f.admin, nil); status != http.StatusNotFound {
+		t.Errorf("unknown key: %d", status)
+	}
+}
+
+func TestModelEndpoint(t *testing.T) {
+	f := newAPI(t)
+	if status, _ := f.do(t, "GET", "/api/v1/models/hba1c", f.admin, nil); status != http.StatusNotFound {
+		t.Errorf("undeployed model: %d", status)
+	}
+	m := &analytics.LinearModel{Name: "hba1c", Bias: 6}
+	payload, _ := m.Marshal()
+	f.p.Analytics.Create("hba1c", nil)
+	f.p.Analytics.MarkTrained("hba1c", 1, payload)
+	f.p.Analytics.RecordTest("hba1c", 1, map[string]float64{"auc": 0.9}, "auc", 0.5)
+	f.p.Analytics.Approve("hba1c", 1, "compliance")
+	f.p.Analytics.Deploy("hba1c", 1)
+	status, body := f.do(t, "GET", "/api/v1/models/hba1c", f.admin, nil)
+	if status != http.StatusOK || body["bias"].(float64) != 6 {
+		t.Errorf("model = %d %v", status, body)
+	}
+}
+
+func TestExportEndpoint(t *testing.T) {
+	f := newAPI(t)
+	cro := f.login(t, "cro@partner.org", rbac.RoleCRO)
+	// No data yet.
+	if status, _ := f.do(t, "GET", "/api/v1/exports/anonymized?group=study-1", cro, nil); status != http.StatusForbidden {
+		t.Errorf("empty export: %d", status)
+	}
+	// Ingest three identical-quasi patients, then export passes k=2.
+	key, err := f.p.Ingest.RegisterClient("device-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		pid := fmt.Sprintf("patient-%d", i)
+		f.p.Consents.Grant(pid, "study-1", consent.PurposeResearch, 0)
+		b := fhir.NewBundle("collection")
+		b.AddResource(&fhir.Patient{ResourceType: "Patient", ID: pid, Gender: "female",
+			Address: []fhir.Address{{State: "NY", PostalCode: "10598"}}})
+		raw, _ := fhir.Marshal(b)
+		ct, _ := hckrypto.EncryptGCM(key, raw, []byte("device-9"))
+		id, err := f.p.Ingest.Upload("device-9", "study-1", ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.p.Ingest.WaitForUpload(id, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, _ := http.NewRequest("GET", f.srv.URL+"/api/v1/exports/anonymized?group=study-1", nil)
+	req.Header.Set("Authorization", "Bearer "+cro)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export status = %d", resp.StatusCode)
+	}
+	var recs []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Errorf("exported %d records", len(recs))
+	}
+}
+
+func TestServicesEndpoint(t *testing.T) {
+	f := newAPI(t)
+	f.p.SeedDemoProviders()
+	status, body := f.do(t, "GET", "/api/v1/services/nlu", f.admin, nil)
+	if status != http.StatusOK {
+		t.Fatalf("services = %d %v", status, body)
+	}
+	providers, ok := body["providers"].([]any)
+	if !ok || len(providers) != 3 {
+		t.Fatalf("providers = %v", body["providers"])
+	}
+	if body["best"] == nil || body["best"] == "" {
+		t.Error("no best provider selected")
+	}
+	// Unknown capability.
+	if status, _ := f.do(t, "GET", "/api/v1/services/telepathy", f.admin, nil); status != http.StatusNotFound {
+		t.Errorf("unknown capability: %d", status)
+	}
+}
+
+func TestFactsEndpoint(t *testing.T) {
+	f := newAPI(t)
+	status, body := f.do(t, "GET", "/api/v1/facts?min_support=1", f.admin, nil)
+	if status != http.StatusOK {
+		t.Fatalf("facts = %d %v", status, body)
+	}
+	if body["count"].(float64) == 0 {
+		t.Error("no facts mined")
+	}
+	if status, _ := f.do(t, "GET", "/api/v1/facts?min_support=zero", f.admin, nil); status != http.StatusBadRequest {
+		t.Errorf("bad min_support: %d", status)
+	}
+	// RBAC: auditors cannot read services/facts.
+	auditor := f.login(t, "auditor2@hospital.org", rbac.RoleAuditor)
+	if status, _ := f.do(t, "GET", "/api/v1/facts", auditor, nil); status != http.StatusForbidden {
+		t.Errorf("auditor reading facts: %d", status)
+	}
+}
+
+func TestBillingEndpoint(t *testing.T) {
+	f := newAPI(t)
+	// Drive some metered usage through the client surface.
+	dev, err := f.p.NewEnhancedClient("device-bill", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := dev.QueryKB("drug:drug-00" + string(rune('0'+i%3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	status, body := f.do(t, "GET", "/api/v1/billing", f.admin, nil)
+	if status != http.StatusOK {
+		t.Fatalf("billing = %d %v", status, body)
+	}
+	if body["tenant"] != "mercy-health" {
+		t.Errorf("tenant = %v", body["tenant"])
+	}
+	if body["total_cents"].(float64) <= 0 {
+		t.Errorf("total = %v, want > 0 after metered reads", body["total_cents"])
+	}
+}

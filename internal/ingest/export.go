@@ -1,0 +1,169 @@
+package ingest
+
+import (
+	"fmt"
+	"time"
+
+	"healthcloud/internal/anonymize"
+	"healthcloud/internal/audit"
+	"healthcloud/internal/blockchain"
+	"healthcloud/internal/consent"
+	"healthcloud/internal/fhir"
+)
+
+// ExportedRecord is one row of an export.
+type ExportedRecord struct {
+	RefID    string `json:"ref_id"`
+	Identity string `json:"identity,omitempty"` // full export only
+	Bundle   []byte `json:"bundle"`
+}
+
+// ExportAnonymized returns the de-identified records of a study group
+// after the anonymization verification service confirms the cohort's
+// k-anonymity (§II-B "Anonymized export, that anonymizes the data to
+// protect privacy"; §IV-C). The export is recorded on the provenance
+// ledger.
+func (p *Pipeline) ExportAnonymized(group, principal string) ([]ExportedRecord, error) {
+	refs := p.lake.List(p.tenant, group)
+	var out []ExportedRecord
+	table := &anonymize.Table{QuasiIDs: []string{"gender", "state", "zip"}}
+	for _, ref := range refs {
+		meta, err := p.lake.Meta(ref)
+		if err != nil || meta.ContentType != "fhir+json;deidentified" {
+			continue
+		}
+		if err := p.lake.Grant(ref, principal); err != nil {
+			return nil, fmt.Errorf("ingest: granting export access: %w", err)
+		}
+		body, err := p.lake.Get(ref, principal)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: reading %s: %w", ref, err)
+		}
+		out = append(out, ExportedRecord{RefID: ref, Bundle: body})
+		table.Rows = append(table.Rows, quasiRow(body))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no de-identified records in group %q", ErrExportDenied, group)
+	}
+	if _, err := p.verifier.Verify(table); err != nil {
+		p.log.Record(audit.Event{Level: audit.LevelWarn, Service: "export",
+			Action: "anonymized-export-blocked", Resource: group, Err: err.Error()})
+		return nil, fmt.Errorf("%w: %v", ErrExportDenied, err)
+	}
+	p.recordLedger(blockchain.EventExport, group, nil, map[string]string{
+		"mode": "anonymized", "principal": principal, "records": fmt.Sprint(len(out)),
+	})
+	p.log.Record(audit.Event{Level: audit.LevelInfo, Service: "export",
+		Action: "anonymized-export", Actor: principal, Resource: group})
+	return out, nil
+}
+
+// ExportFull returns re-identified records for a CRO (§II-B "Full export
+// where the re-identified consented data is provided to the client").
+// Every record's patient must hold an export-purpose consent; the
+// principal must be the identity-map's authorized re-identification
+// service.
+func (p *Pipeline) ExportFull(group, principal string) ([]ExportedRecord, error) {
+	refs := p.lake.List(p.tenant, group)
+	var out []ExportedRecord
+	for _, ref := range refs {
+		meta, err := p.lake.Meta(ref)
+		if err != nil || meta.ContentType != "fhir+json;identified" {
+			continue
+		}
+		identity, err := p.idmap.Identity(ref, principal)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrExportDenied, err)
+		}
+		if err := p.consents.Check(identity, group, consent.PurposeExport); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrExportDenied, err)
+		}
+		if err := p.lake.Grant(ref, principal); err != nil {
+			return nil, fmt.Errorf("ingest: granting export access: %w", err)
+		}
+		body, err := p.lake.Get(ref, principal)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: reading %s: %w", ref, err)
+		}
+		out = append(out, ExportedRecord{RefID: ref, Identity: identity, Bundle: body})
+		p.recordLedger(blockchain.EventDataRetrieval, ref, nil, map[string]string{
+			"mode": "full", "principal": principal,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no identified records in group %q", ErrExportDenied, group)
+	}
+	p.recordLedger(blockchain.EventExport, group, nil, map[string]string{
+		"mode": "full", "principal": principal, "records": fmt.Sprint(len(out)),
+	})
+	p.log.Record(audit.Event{Level: audit.LevelInfo, Service: "export",
+		Action: "full-export", Actor: principal, Resource: group})
+	return out, nil
+}
+
+// Forget implements GDPR right-to-forget end to end: every record of the
+// patient is crypto-shredded, the identity mapping is erased, and a
+// secure-deletion event lands on the ledger. It returns the number of
+// records destroyed.
+func (p *Pipeline) Forget(patientID string) (int, error) {
+	refs := p.idmap.Forget(patientID)
+	n := 0
+	for _, ref := range refs {
+		if err := p.lake.SecureDelete(ref); err == nil {
+			n++
+		}
+		p.recordLedger(blockchain.EventSecureDeletion, ref, nil, nil)
+	}
+	// Shred every remaining key bound to the subject (covers the
+	// de-identified copies, which are keyed to the same subject).
+	p.kms.ShredSubject(patientID)
+	p.log.Record(audit.Event{Level: audit.LevelInfo, Service: "ingest",
+		Action: "right-to-forget", Resource: fmt.Sprint(n)})
+	return n, nil
+}
+
+// quasiRow extracts the quasi-identifier columns the anonymization
+// verification service checks on export.
+func quasiRow(bundleJSON []byte) anonymize.Record {
+	row := anonymize.Record{"gender": "", "state": "", "zip": ""}
+	b, err := fhir.ParseBundle(bundleJSON)
+	if err != nil {
+		return row
+	}
+	resources, err := b.Resources()
+	if err != nil {
+		return row
+	}
+	for _, r := range resources {
+		if pt, ok := r.(*fhir.Patient); ok {
+			row["gender"] = pt.Gender
+			if len(pt.Address) > 0 {
+				row["state"] = pt.Address[0].State
+				row["zip"] = pt.Address[0].PostalCode
+			}
+			break
+		}
+	}
+	return row
+}
+
+// WaitForIdle blocks until no uploads are mid-flight (test support).
+func (p *Pipeline) WaitForIdle(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		busy := false
+		p.mu.RLock()
+		for _, st := range p.statuses {
+			if st.State != StateStored && st.State != StateFailed {
+				busy = true
+				break
+			}
+		}
+		p.mu.RUnlock()
+		if !busy {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("ingest: pipeline still busy after %v", timeout)
+}

@@ -1,0 +1,165 @@
+package jmf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Baselines for experiment E9, mirroring the prior art §V-A surveys.
+
+// GBA implements Guilt-by-Association (Chiang & Butte): a drug's score
+// for a disease is the similarity-weighted vote of drugs already
+// associated with it, using a single drug-similarity source.
+//
+//	score(i, j) = Σ_{i'≠i} sim(i, i') · R[i'][j]  /  Σ_{i'≠i} sim(i, i')
+func GBA(R [][]float64, drugSim [][]float64) ([][]float64, error) {
+	n := len(R)
+	if n == 0 || len(drugSim) != n {
+		return nil, fmt.Errorf("%w: GBA needs square sim aligned with R", ErrInput)
+	}
+	m := len(R[0])
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]float64, m)
+		var simSum float64
+		for ip := 0; ip < n; ip++ {
+			if ip != i {
+				simSum += drugSim[i][ip]
+			}
+		}
+		if simSum == 0 {
+			continue
+		}
+		for j := 0; j < m; j++ {
+			var s float64
+			for ip := 0; ip < n; ip++ {
+				if ip == i {
+					continue
+				}
+				s += drugSim[i][ip] * R[ip][j]
+			}
+			out[i][j] = s / simSum
+		}
+	}
+	return out, nil
+}
+
+// SingleSourceMF is plain nonnegative matrix factorization of R with no
+// side information — the JMF machinery with α=β=0.
+func SingleSourceMF(R [][]float64, cfg Config) (*Model, error) {
+	cfg.Alpha, cfg.Beta = 0, 0
+	return Fit(R, nil, nil, cfg)
+}
+
+// Evaluation ------------------------------------------------------------
+
+// AUC computes the area under the ROC curve for held-out positives
+// against all remaining zero entries of the ground truth. scores is the
+// prediction matrix; truth the full association matrix; train the
+// training matrix (entries positive in train are excluded from ranking).
+func AUC(scores, truth, train [][]float64, heldOut [][2]int) float64 {
+	held := make(map[[2]int]bool, len(heldOut))
+	for _, p := range heldOut {
+		held[p] = true
+	}
+	var pos, neg []float64
+	for i := range truth {
+		for j := range truth[i] {
+			if train[i][j] > 0 {
+				continue // known during training: not rankable
+			}
+			if held[[2]int{i, j}] {
+				pos = append(pos, scores[i][j])
+			} else if truth[i][j] == 0 {
+				neg = append(neg, scores[i][j])
+			}
+		}
+	}
+	if len(pos) == 0 || len(neg) == 0 {
+		return 0
+	}
+	// Rank-sum AUC.
+	type sample struct {
+		v   float64
+		pos bool
+	}
+	all := make([]sample, 0, len(pos)+len(neg))
+	for _, v := range pos {
+		all = append(all, sample{v, true})
+	}
+	for _, v := range neg {
+		all = append(all, sample{v, false})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].v < all[b].v })
+	// Handle ties with average ranks.
+	ranks := make([]float64, len(all))
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		i = j
+	}
+	var rankSum float64
+	for i, s := range all {
+		if s.pos {
+			rankSum += ranks[i]
+		}
+	}
+	nP, nN := float64(len(pos)), float64(len(neg))
+	return (rankSum - nP*(nP+1)/2) / (nP * nN)
+}
+
+// PrecisionAtK returns the fraction of the top-k unobserved predictions
+// (global ranking) that are held-out true positives.
+func PrecisionAtK(scores, truth, train [][]float64, heldOut [][2]int, k int) float64 {
+	held := make(map[[2]int]bool, len(heldOut))
+	for _, p := range heldOut {
+		held[p] = true
+	}
+	type cand struct {
+		i, j int
+		v    float64
+	}
+	var cands []cand
+	for i := range truth {
+		for j := range truth[i] {
+			if train[i][j] > 0 {
+				continue
+			}
+			cands = append(cands, cand{i, j, scores[i][j]})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].v > cands[b].v })
+	if k > len(cands) {
+		k = len(cands)
+	}
+	if k == 0 {
+		return 0
+	}
+	hits := 0
+	for _, c := range cands[:k] {
+		if held[[2]int{c.i, c.j}] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// ScoresOf converts a model's prediction matrix to [][]float64 for the
+// shared evaluators.
+func ScoresOf(m *Model) [][]float64 {
+	sm := m.ScoreMatrix()
+	out := make([][]float64, sm.Rows)
+	for i := 0; i < sm.Rows; i++ {
+		out[i] = make([]float64, sm.Cols)
+		for j := 0; j < sm.Cols; j++ {
+			out[i][j] = sm.At(i, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,339 @@
+// Package jmf implements Joint Matrix Factorization for drug
+// repositioning (§V-A, Fig 9; Zhang–Wang–Hu, AMIA 2014): a constrained
+// non-convex optimization that integrates a known drug–disease
+// association matrix R with multiple drug similarity networks S_p
+// (chemical structure, target protein, side effect) and disease
+// similarity networks T_q (phenotype, ontology, disease gene):
+//
+//	min_{F,G≥0, ω,μ∈Δ}  ‖R − FGᵀ‖² + α Σ_p ω_p^r ‖S_p − FFᵀ‖²
+//	                               + β Σ_q μ_q^r ‖T_q − GGᵀ‖²
+//
+// solved by multiplicative updates on the nonnegative factors F, G and
+// closed-form simplex updates on the source weights ω, μ. The learned
+// weights are the paper's "interpretable importance of different
+// information sources"; FGᵀ scores unobserved (drug, disease) pairs;
+// and the dominant factor of each row gives the by-product drug/disease
+// groups.
+//
+// Baselines for experiment E9 live in baselines.go: Guilt-by-Association
+// and single-source matrix factorization (α=β=0).
+package jmf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"healthcloud/internal/matrix"
+)
+
+// Config tunes the optimization.
+type Config struct {
+	Rank       int     // latent dimension k
+	Alpha      float64 // drug-similarity weight
+	Beta       float64 // disease-similarity weight
+	WeightExp  float64 // r > 1; sharpness of source weighting
+	Iterations int
+	Tol        float64 // stop when max factor change < Tol
+	Seed       int64
+}
+
+// DefaultConfig returns the settings used in the examples and benches.
+// Alpha/Beta are per-entry coefficients (the similarity blocks are
+// normalized by entry count inside Fit), so 2 means "a similarity entry
+// matters about twice as much as an association entry" before the ω^r
+// simplex weighting splits it across sources.
+func DefaultConfig() Config {
+	return Config{Rank: 14, Alpha: 2, Beta: 2, WeightExp: 2, Iterations: 200, Tol: 1e-4, Seed: 1}
+}
+
+// Model is a fitted JMF instance.
+type Model struct {
+	F, G          *matrix.Matrix // drug and disease factors
+	DrugWeights   []float64      // ω, aligned with the input source order
+	DiseaseWeight []float64      // μ
+	Objective     []float64      // objective value per iteration
+	cfg           Config
+}
+
+// ErrInput reports invalid inputs.
+var ErrInput = errors.New("jmf: invalid input")
+
+const eps = 1e-12
+
+// Fit runs JMF on the training association matrix R (drugs×diseases)
+// with drug similarity sources S and disease similarity sources T.
+func Fit(R [][]float64, S, T [][][]float64, cfg Config) (*Model, error) {
+	if cfg.Rank <= 0 || cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("%w: rank and iterations must be positive", ErrInput)
+	}
+	if cfg.WeightExp <= 1 {
+		return nil, fmt.Errorf("%w: weight exponent must exceed 1", ErrInput)
+	}
+	Rm, err := matrix.FromRows(R)
+	if err != nil {
+		return nil, fmt.Errorf("%w: R: %v", ErrInput, err)
+	}
+	n, m := Rm.Rows, Rm.Cols
+	Sm := make([]*matrix.Matrix, len(S))
+	for p, s := range S {
+		if Sm[p], err = matrix.FromRows(s); err != nil {
+			return nil, fmt.Errorf("%w: S[%d]: %v", ErrInput, p, err)
+		}
+		if Sm[p].Rows != n || Sm[p].Cols != n {
+			return nil, fmt.Errorf("%w: S[%d] must be %dx%d", ErrInput, p, n, n)
+		}
+	}
+	Tm := make([]*matrix.Matrix, len(T))
+	for q, t := range T {
+		if Tm[q], err = matrix.FromRows(t); err != nil {
+			return nil, fmt.Errorf("%w: T[%d]: %v", ErrInput, q, err)
+		}
+		if Tm[q].Rows != m || Tm[q].Cols != m {
+			return nil, fmt.Errorf("%w: T[%d] must be %dx%d", ErrInput, q, m, m)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	F := matrix.Random(n, cfg.Rank, 0.1, rng)
+	G := matrix.Random(m, cfg.Rank, 0.1, rng)
+	// Per-entry normalization: the R block has n·m residuals while each
+	// similarity block has n² (or m²). Scaling the similarity coefficients
+	// by the entry-count ratio makes Alpha/Beta express a per-entry
+	// trade-off that transfers across dataset sizes.
+	drugScale := float64(n) * float64(m) / (float64(n) * float64(n))
+	disScale := float64(n) * float64(m) / (float64(m) * float64(m))
+	// Source weights are computed once, against the association-implied
+	// similarity (RRᵀ co-association for drugs, RᵀR for diseases). An
+	// alternating weight update that scores sources by their fit to the
+	// current factors has a runaway failure mode: high-rank factors can
+	// overfit an information-free source, inflating its apparent
+	// agreement and dragging the optimization toward noise. Anchoring the
+	// weights to the observed data keeps them meaningful ("interpretable
+	// importance") and the optimization stable.
+	omega := anchoredWeights(Sm, coAssociation(Rm, false), cfg.WeightExp)
+	mu := anchoredWeights(Tm, coAssociation(Rm, true), cfg.WeightExp)
+	model := &Model{cfg: cfg}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		prevF := F.Clone()
+
+		// --- Update F ---
+		// numerator: R G + 2α Σ ω_p^r S_p F ; denominator: F GᵀG + 2α Σ ω_p^r F FᵀF
+		RG, _ := matrix.Mul(Rm, G)
+		GtG, _ := matrix.Mul(G.T(), G)
+		FGtG, _ := matrix.Mul(F, GtG)
+		num := RG
+		den := FGtG
+		if len(Sm) > 0 && cfg.Alpha > 0 {
+			FtF, _ := matrix.Mul(F.T(), F)
+			FFtF, _ := matrix.Mul(F, FtF)
+			for p, Sp := range Sm {
+				w := 2 * cfg.Alpha * drugScale * math.Pow(omega[p], cfg.WeightExp)
+				SpF, _ := matrix.Mul(Sp, F)
+				num, _ = matrix.Add(num, SpF.Scale(w))
+				den, _ = matrix.Add(den, FFtF.Clone().Scale(w))
+			}
+		}
+		applyMultiplicative(F, num, den)
+
+		// --- Update G ---
+		RtF, _ := matrix.Mul(Rm.T(), F)
+		FtF2, _ := matrix.Mul(F.T(), F)
+		GFtF, _ := matrix.Mul(G, FtF2)
+		numG := RtF
+		denG := GFtF
+		if len(Tm) > 0 && cfg.Beta > 0 {
+			GtG2, _ := matrix.Mul(G.T(), G)
+			GGtG, _ := matrix.Mul(G, GtG2)
+			for q, Tq := range Tm {
+				w := 2 * cfg.Beta * disScale * math.Pow(mu[q], cfg.WeightExp)
+				TqG, _ := matrix.Mul(Tq, G)
+				numG, _ = matrix.Add(numG, TqG.Scale(w))
+				denG, _ = matrix.Add(denG, GGtG.Clone().Scale(w))
+			}
+		}
+		applyMultiplicative(G, numG, denG)
+
+		model.Objective = append(model.Objective, objective(Rm, Sm, Tm, F, G, omega, mu, cfg))
+		if d, _ := matrix.MaxAbsDiff(F, prevF); d < cfg.Tol && it > 5 {
+			break
+		}
+	}
+	model.F, model.G = F, G
+	model.DrugWeights, model.DiseaseWeight = omega, mu
+	return model, nil
+}
+
+// Score returns the predicted association strength for (drug i, disease j).
+func (m *Model) Score(i, j int) float64 {
+	v, _ := matrix.RowDot(m.F, i, m.G, j)
+	return v
+}
+
+// ScoreMatrix returns the full FGᵀ prediction matrix.
+func (m *Model) ScoreMatrix() *matrix.Matrix {
+	out, _ := matrix.Mul(m.F, m.G.T())
+	return out
+}
+
+// TopDiseases returns the k highest-scoring diseases for a drug,
+// excluding those already known in the given training matrix —
+// repositioning-hypothesis generation.
+func (m *Model) TopDiseases(drug int, train [][]float64, k int) []int {
+	type cand struct {
+		j int
+		v float64
+	}
+	var cands []cand
+	for j := 0; j < m.G.Rows; j++ {
+		if train[drug][j] > 0 {
+			continue
+		}
+		cands = append(cands, cand{j, m.Score(drug, j)})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].v > cands[b].v })
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].j
+	}
+	return out
+}
+
+// DrugGroups assigns each drug to its dominant latent factor — the
+// "drug and disease groups" by-product the paper highlights.
+func (m *Model) DrugGroups() []int { return argmaxRows(m.F) }
+
+// DiseaseGroups assigns each disease to its dominant latent factor.
+func (m *Model) DiseaseGroups() []int { return argmaxRows(m.G) }
+
+func argmaxRows(f *matrix.Matrix) []int {
+	out := make([]int, f.Rows)
+	for i := 0; i < f.Rows; i++ {
+		best, bestV := 0, math.Inf(-1)
+		for j := 0; j < f.Cols; j++ {
+			if v := f.At(i, j); v > bestV {
+				best, bestV = j, v
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// applyMultiplicative performs X ← X ⊙ num ⊘ den with an epsilon floor.
+func applyMultiplicative(X, num, den *matrix.Matrix) {
+	for i := range X.Data {
+		X.Data[i] *= num.Data[i] / (den.Data[i] + eps)
+		if X.Data[i] < eps {
+			X.Data[i] = eps
+		}
+	}
+}
+
+// coAssociation returns the association-implied similarity: RRᵀ over
+// drugs (transpose=false) or RᵀR over diseases (transpose=true).
+func coAssociation(R *matrix.Matrix, transpose bool) *matrix.Matrix {
+	if transpose {
+		out, _ := matrix.Mul(R.T(), R)
+		return out
+	}
+	out, _ := matrix.Mul(R, R.T())
+	return out
+}
+
+// anchoredWeights assigns each source a simplex weight from its
+// agreement with the association-implied similarity: w_p ∝
+// max(ρ_p, ε)^{1/(r−1)}, where ρ_p is the Pearson correlation between
+// S_p and the co-association matrix over off-diagonal entries. The
+// weights measure how predictive a source is of observed co-association;
+// an information-free source correlates ≈0 and is effectively ignored.
+func anchoredWeights(sources []*matrix.Matrix, anchor *matrix.Matrix, r float64) []float64 {
+	if len(sources) == 0 {
+		return nil
+	}
+	w := make([]float64, len(sources))
+	sum := 0.0
+	for p, Sp := range sources {
+		rho := offDiagCorrelation(Sp, anchor)
+		if rho < eps {
+			rho = eps
+		}
+		w[p] = math.Pow(rho, 1/(r-1))
+		sum += w[p]
+	}
+	for p := range w {
+		w[p] /= sum
+	}
+	return w
+}
+
+// offDiagCorrelation computes the Pearson correlation between two
+// symmetric matrices over their off-diagonal entries.
+func offDiagCorrelation(a, b *matrix.Matrix) float64 {
+	n := a.Rows
+	var meanA, meanB float64
+	count := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			meanA += a.At(i, j)
+			meanB += b.At(i, j)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	meanA /= count
+	meanB /= count
+	var cov, varA, varB float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			da := a.At(i, j) - meanA
+			db := b.At(i, j) - meanB
+			cov += da * db
+			varA += da * da
+			varB += db * db
+		}
+	}
+	if varA < eps || varB < eps {
+		return 0
+	}
+	return cov / math.Sqrt(varA*varB)
+}
+
+func objective(R *matrix.Matrix, S, T []*matrix.Matrix, F, G *matrix.Matrix, omega, mu []float64, cfg Config) float64 {
+	FGt, _ := matrix.Mul(F, G.T())
+	diff, _ := matrix.Sub(R, FGt)
+	obj := diff.Frobenius()
+	obj = obj * obj
+	n, m := float64(R.Rows), float64(R.Cols)
+	if len(S) > 0 && cfg.Alpha > 0 {
+		FFt, _ := matrix.Mul(F, F.T())
+		for p, Sp := range S {
+			d, _ := matrix.Sub(Sp, FFt)
+			e := d.Frobenius()
+			obj += cfg.Alpha * (m / n) * math.Pow(omega[p], cfg.WeightExp) * e * e
+		}
+	}
+	if len(T) > 0 && cfg.Beta > 0 {
+		GGt, _ := matrix.Mul(G, G.T())
+		for q, Tq := range T {
+			d, _ := matrix.Sub(Tq, GGt)
+			e := d.Frobenius()
+			obj += cfg.Beta * (n / m) * math.Pow(mu[q], cfg.WeightExp) * e * e
+		}
+	}
+	return obj
+}

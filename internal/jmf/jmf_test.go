@@ -1,0 +1,305 @@
+package jmf
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"healthcloud/internal/kb"
+)
+
+// testData generates a small dataset once for the package.
+func testData(t *testing.T) *kb.Dataset {
+	t.Helper()
+	cfg := kb.DefaultConfig()
+	cfg.Drugs, cfg.Diseases = 80, 60
+	d, err := kb.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func drugSims(d *kb.Dataset) [][][]float64 {
+	var out [][][]float64
+	for _, src := range kb.DrugSources {
+		out = append(out, d.DrugSim[src])
+	}
+	return out
+}
+
+func disSims(d *kb.Dataset) [][][]float64 {
+	var out [][][]float64
+	for _, src := range kb.DiseaseSources {
+		out = append(out, d.DisSim[src])
+	}
+	return out
+}
+
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Iterations = 150
+	return cfg
+}
+
+func TestFitValidation(t *testing.T) {
+	R := [][]float64{{1, 0}, {0, 1}}
+	if _, err := Fit(R, nil, nil, Config{Rank: 0, Iterations: 10, WeightExp: 2}); !errors.Is(err, ErrInput) {
+		t.Errorf("rank 0: %v", err)
+	}
+	if _, err := Fit(R, nil, nil, Config{Rank: 2, Iterations: 10, WeightExp: 1}); !errors.Is(err, ErrInput) {
+		t.Errorf("weight exp 1: %v", err)
+	}
+	if _, err := Fit(nil, nil, nil, quickConfig()); !errors.Is(err, ErrInput) {
+		t.Errorf("nil R: %v", err)
+	}
+	badS := [][][]float64{{{1}}}
+	if _, err := Fit(R, badS, nil, quickConfig()); !errors.Is(err, ErrInput) {
+		t.Errorf("mis-sized S: %v", err)
+	}
+	badT := [][][]float64{{{1}}}
+	if _, err := Fit(R, nil, badT, quickConfig()); !errors.Is(err, ErrInput) {
+		t.Errorf("mis-sized T: %v", err)
+	}
+}
+
+func TestObjectiveDecreases(t *testing.T) {
+	d := testData(t)
+	train, _ := d.HoldOut(0.1, 1)
+	m, err := Fit(train, drugSims(d), disSims(d), quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Objective) < 5 {
+		t.Fatalf("too few iterations recorded: %d", len(m.Objective))
+	}
+	// Monotone within tolerance (multiplicative updates + weight updates
+	// can wobble slightly; require overall decrease and near-monotonicity).
+	first, last := m.Objective[0], m.Objective[len(m.Objective)-1]
+	if last >= first {
+		t.Errorf("objective did not decrease: %f -> %f", first, last)
+	}
+	violations := 0
+	for i := 1; i < len(m.Objective); i++ {
+		if m.Objective[i] > m.Objective[i-1]*1.001 {
+			violations++
+		}
+	}
+	if violations > len(m.Objective)/10 {
+		t.Errorf("objective increased in %d/%d iterations", violations, len(m.Objective))
+	}
+}
+
+func TestFactorsNonnegative(t *testing.T) {
+	d := testData(t)
+	train, _ := d.HoldOut(0.1, 1)
+	m, err := Fit(train, drugSims(d), disSims(d), quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.F.Data {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("F contains invalid value %f", v)
+		}
+	}
+	for _, v := range m.G.Data {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("G contains invalid value %f", v)
+		}
+	}
+}
+
+func TestSourceWeightsOnSimplex(t *testing.T) {
+	d := testData(t)
+	train, _ := d.HoldOut(0.1, 1)
+	m, err := Fit(train, drugSims(d), disSims(d), quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range [][]float64{m.DrugWeights, m.DiseaseWeight} {
+		sum := 0.0
+		for _, v := range w {
+			if v < 0 {
+				t.Fatalf("negative weight %f", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("weights sum to %f", sum)
+		}
+	}
+}
+
+// TestGarbageSourceDownWeighted is the interpretable-importance claim
+// under the harshest test: an information-free random similarity source
+// must receive far less weight than every informative source, and its
+// presence must not wreck prediction quality.
+func TestGarbageSourceDownWeighted(t *testing.T) {
+	d := testData(t)
+	train, held := d.HoldOut(0.15, 1)
+	rng := rand.New(rand.NewSource(9))
+	n := len(d.DrugIDs)
+	garbage := make([][]float64, n)
+	for i := range garbage {
+		garbage[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		garbage[i][i] = 1
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64()
+			garbage[i][j], garbage[j][i] = v, v
+		}
+	}
+	S := append(drugSims(d), garbage)
+	m, err := Fit(train, S, disSims(d), quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbageW := m.DrugWeights[len(m.DrugWeights)-1]
+	for p := 0; p < len(m.DrugWeights)-1; p++ {
+		if garbageW >= m.DrugWeights[p] {
+			t.Errorf("garbage weight %.3f >= source %d weight %.3f", garbageW, p, m.DrugWeights[p])
+		}
+	}
+	auc := AUC(ScoresOf(m), d.Assoc, train, held)
+	if auc < 0.7 {
+		t.Errorf("AUC with garbage source = %.3f, want >= 0.7", auc)
+	}
+}
+
+func TestJMFRecoversHeldOutAssociations(t *testing.T) {
+	d := testData(t)
+	train, held := d.HoldOut(0.15, 1)
+	m, err := Fit(train, drugSims(d), disSims(d), quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc := AUC(ScoresOf(m), d.Assoc, train, held)
+	if auc < 0.7 {
+		t.Errorf("JMF AUC = %.3f, want >= 0.7", auc)
+	}
+}
+
+// TestJMFBeatsBaselines is the shape of Fig 9 / the paper's central
+// analytics claim: integrating multiple sources beats GBA and
+// single-source MF.
+func TestJMFBeatsBaselines(t *testing.T) {
+	d := testData(t)
+	train, held := d.HoldOut(0.15, 1)
+
+	jm, err := Fit(train, drugSims(d), disSims(d), quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jmfAUC := AUC(ScoresOf(jm), d.Assoc, train, held)
+
+	gba, err := GBA(train, d.DrugSim[kb.DrugChemical])
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbaAUC := AUC(gba, d.Assoc, train, held)
+
+	mf, err := SingleSourceMF(train, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfAUC := AUC(ScoresOf(mf), d.Assoc, train, held)
+
+	t.Logf("AUC: JMF=%.3f GBA=%.3f MF=%.3f", jmfAUC, gbaAUC, mfAUC)
+	if jmfAUC <= gbaAUC {
+		t.Errorf("JMF (%.3f) did not beat GBA (%.3f)", jmfAUC, gbaAUC)
+	}
+	if jmfAUC <= mfAUC {
+		t.Errorf("JMF (%.3f) did not beat single-source MF (%.3f)", jmfAUC, mfAUC)
+	}
+}
+
+func TestTopDiseasesExcludesKnown(t *testing.T) {
+	d := testData(t)
+	train, _ := d.HoldOut(0.1, 1)
+	m, err := Fit(train, drugSims(d), disSims(d), quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := m.TopDiseases(0, train, 10)
+	if len(top) != 10 {
+		t.Fatalf("top = %d entries", len(top))
+	}
+	for _, j := range top {
+		if train[0][j] > 0 {
+			t.Errorf("known association %d suggested as new", j)
+		}
+	}
+}
+
+func TestGroupsCoverFactors(t *testing.T) {
+	d := testData(t)
+	train, _ := d.HoldOut(0.1, 1)
+	m, err := Fit(train, drugSims(d), disSims(d), quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := m.DrugGroups()
+	if len(dg) != len(d.DrugIDs) {
+		t.Fatalf("drug groups = %d", len(dg))
+	}
+	for _, g := range dg {
+		if g < 0 || g >= quickConfig().Rank {
+			t.Fatalf("group %d out of range", g)
+		}
+	}
+	if len(m.DiseaseGroups()) != len(d.DisIDs) {
+		t.Fatal("disease groups wrong length")
+	}
+}
+
+func TestGBAValidation(t *testing.T) {
+	if _, err := GBA(nil, nil); !errors.Is(err, ErrInput) {
+		t.Errorf("nil input: %v", err)
+	}
+	if _, err := GBA([][]float64{{1}}, [][]float64{{1}, {1}}); !errors.Is(err, ErrInput) {
+		t.Errorf("misaligned sim: %v", err)
+	}
+}
+
+func TestAUCEdgeCases(t *testing.T) {
+	truth := [][]float64{{1, 0}, {0, 0}}
+	train := [][]float64{{0, 0}, {0, 0}}
+	scores := [][]float64{{0.9, 0.1}, {0.2, 0.3}}
+	held := [][2]int{{0, 0}}
+	auc := AUC(scores, truth, train, held)
+	if auc != 1.0 {
+		t.Errorf("perfect ranking AUC = %f", auc)
+	}
+	// Inverted scores give AUC 0.
+	bad := [][]float64{{0.0, 0.5}, {0.6, 0.7}}
+	if got := AUC(bad, truth, train, held); got != 0 {
+		t.Errorf("worst ranking AUC = %f", got)
+	}
+	// No held-out positives.
+	if got := AUC(scores, truth, train, nil); got != 0 {
+		t.Errorf("no positives AUC = %f", got)
+	}
+	// Ties get 0.5.
+	flat := [][]float64{{0.5, 0.5}, {0.5, 0.5}}
+	if got := AUC(flat, truth, train, held); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("all-tied AUC = %f, want 0.5", got)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	truth := [][]float64{{1, 1}, {0, 0}}
+	train := [][]float64{{1, 0}, {0, 0}} // (0,1) held out
+	held := [][2]int{{0, 1}}
+	scores := [][]float64{{0, 0.9}, {0.1, 0.2}}
+	if got := PrecisionAtK(scores, truth, train, held, 1); got != 1.0 {
+		t.Errorf("P@1 = %f", got)
+	}
+	if got := PrecisionAtK(scores, truth, train, held, 3); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("P@3 = %f", got)
+	}
+	if got := PrecisionAtK(scores, truth, train, held, 0); got != 0 {
+		t.Errorf("P@0 = %f", got)
+	}
+}

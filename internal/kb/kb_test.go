@@ -1,0 +1,311 @@
+package kb
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"healthcloud/internal/hccache"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Drugs, cfg.Diseases = 60, 40
+	return cfg
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{Drugs: 0, Diseases: 10, LatentDim: 4, Density: 0.1},
+		{Drugs: 10, Diseases: 0, LatentDim: 4, Density: 0.1},
+		{Drugs: 10, Diseases: 10, LatentDim: 0, Density: 0.1},
+		{Drugs: 10, Diseases: 10, LatentDim: 4, Density: 0},
+		{Drugs: 10, Diseases: 10, LatentDim: 4, Density: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	d, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.DrugIDs) != 60 || len(d.DisIDs) != 40 {
+		t.Fatalf("ids = %d, %d", len(d.DrugIDs), len(d.DisIDs))
+	}
+	if len(d.Assoc) != 60 || len(d.Assoc[0]) != 40 {
+		t.Fatalf("assoc shape wrong")
+	}
+	for _, src := range DrugSources {
+		m := d.DrugSim[src]
+		if len(m) != 60 || len(m[0]) != 60 {
+			t.Errorf("drug sim %s shape wrong", src)
+		}
+	}
+	for _, src := range DiseaseSources {
+		m := d.DisSim[src]
+		if len(m) != 40 || len(m[0]) != 40 {
+			t.Errorf("disease sim %s shape wrong", src)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(smallConfig())
+	b, _ := Generate(smallConfig())
+	for i := range a.Assoc {
+		for j := range a.Assoc[i] {
+			if a.Assoc[i][j] != b.Assoc[i][j] {
+				t.Fatal("same seed produced different associations")
+			}
+		}
+	}
+	cfg := smallConfig()
+	cfg.Seed = 7
+	c, _ := Generate(cfg)
+	same := true
+	for i := range a.Assoc {
+		for j := range a.Assoc[i] {
+			if a.Assoc[i][j] != c.Assoc[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical associations")
+	}
+}
+
+func TestDensityRespected(t *testing.T) {
+	d, _ := Generate(smallConfig())
+	total, ones := 0, 0
+	for i := range d.Assoc {
+		for range d.Assoc[i] {
+			total++
+		}
+		for _, v := range d.Assoc[i] {
+			if v > 0 {
+				ones++
+			}
+		}
+	}
+	got := float64(ones) / float64(total)
+	if math.Abs(got-d.Cfg.Density) > 0.01 {
+		t.Errorf("density = %f, want ~%f", got, d.Cfg.Density)
+	}
+}
+
+func TestSimilarityMatrixProperties(t *testing.T) {
+	d, _ := Generate(smallConfig())
+	for _, src := range DrugSources {
+		m := d.DrugSim[src]
+		for i := range m {
+			if m[i][i] != 1 {
+				t.Fatalf("%s: diagonal not 1 at %d", src, i)
+			}
+			for j := range m[i] {
+				if m[i][j] < 0 || m[i][j] > 1.0000001 {
+					t.Fatalf("%s: sim[%d][%d] = %f out of range", src, i, j, m[i][j])
+				}
+				if math.Abs(m[i][j]-m[j][i]) > 1e-9 {
+					t.Fatalf("%s: asymmetric at %d,%d", src, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestPlantedSignal checks the core property the repositioning
+// experiments rely on: drugs associated with the same disease are more
+// similar (in every source) than random drug pairs.
+func TestPlantedSignal(t *testing.T) {
+	d, _ := Generate(DefaultConfig())
+	for _, src := range DrugSources {
+		sim := d.DrugSim[src]
+		var coSum, coN, rndSum, rndN float64
+		for i := 0; i < len(d.DrugIDs); i++ {
+			for j := i + 1; j < len(d.DrugIDs); j++ {
+				shared := false
+				for s := 0; s < len(d.DisIDs); s++ {
+					if d.Assoc[i][s] > 0 && d.Assoc[j][s] > 0 {
+						shared = true
+						break
+					}
+				}
+				if shared {
+					coSum += sim[i][j]
+					coN++
+				} else {
+					rndSum += sim[i][j]
+					rndN++
+				}
+			}
+		}
+		coMean, rndMean := coSum/coN, rndSum/rndN
+		if coMean <= rndMean {
+			t.Errorf("%s: co-associated drugs not more similar (%.3f vs %.3f)", src, coMean, rndMean)
+		}
+	}
+}
+
+func TestHoldOut(t *testing.T) {
+	d, _ := Generate(smallConfig())
+	train, held := d.HoldOut(0.2, 1)
+	// Held-out entries are positive in truth, zero in train.
+	for _, p := range held {
+		if d.Assoc[p[0]][p[1]] != 1 {
+			t.Errorf("held-out %v not positive in ground truth", p)
+		}
+		if train[p[0]][p[1]] != 0 {
+			t.Errorf("held-out %v still positive in train", p)
+		}
+	}
+	// Non-held-out positives survive.
+	heldSet := make(map[[2]int]bool)
+	for _, p := range held {
+		heldSet[p] = true
+	}
+	for i := range d.Assoc {
+		for j := range d.Assoc[i] {
+			if d.Assoc[i][j] == 1 && !heldSet[[2]int{i, j}] && train[i][j] != 1 {
+				t.Fatalf("training positive (%d,%d) lost", i, j)
+			}
+		}
+	}
+	// Ground truth not mutated.
+	ones := 0
+	for i := range d.Assoc {
+		for _, v := range d.Assoc[i] {
+			if v > 0 {
+				ones++
+			}
+		}
+	}
+	if ones == 0 {
+		t.Fatal("ground truth mutated by HoldOut")
+	}
+}
+
+func TestRemoteKBFetch(t *testing.T) {
+	d, _ := Generate(smallConfig())
+	var slept time.Duration
+	r := NewRemoteKB(d, 30*time.Millisecond, WithSleeper(func(x time.Duration) { slept += x }))
+	data, ver, err := r.Fetch("drug:drug-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 {
+		t.Errorf("version = %d", ver)
+	}
+	var rec DrugRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != "drug-000" || len(rec.Similar) != 5 {
+		t.Errorf("record = %+v", rec)
+	}
+	if slept != 30*time.Millisecond {
+		t.Errorf("latency not paid: %v", slept)
+	}
+	if _, _, err := r.Fetch("disease:disease-001"); err != nil {
+		t.Errorf("disease fetch: %v", err)
+	}
+	if _, _, err := r.Fetch("drug:nope"); !errors.Is(err, hccache.ErrNotFound) {
+		t.Errorf("unknown drug: %v", err)
+	}
+	if _, _, err := r.Fetch("gene:BRCA1"); !errors.Is(err, hccache.ErrNotFound) {
+		t.Errorf("unknown kind: %v", err)
+	}
+	if r.Calls() != 4 {
+		t.Errorf("calls = %d", r.Calls())
+	}
+}
+
+func TestRemoteKBBehindCache(t *testing.T) {
+	d, _ := Generate(smallConfig())
+	r := NewRemoteKB(d, 0, WithSleeper(func(time.Duration) {}))
+	tier, err := hccache.New(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := hccache.NewTiered(r.Loader(), tier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := tc.Get("drug:drug-001"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Calls() != 1 {
+		t.Errorf("remote calls = %d, want 1 (cache absorbs the rest)", r.Calls())
+	}
+}
+
+func TestCorpusGenerationAndExtraction(t *testing.T) {
+	d, _ := Generate(smallConfig())
+	c := GenerateCorpus(d, 50, 3)
+	if len(c.Abstracts) != 50 {
+		t.Fatalf("abstracts = %d", len(c.Abstracts))
+	}
+	// Extraction recovers exactly the planted mentions.
+	for _, a := range c.Abstracts {
+		drugs, diseases := c.ExtractEntities(a.Text)
+		if strings.Join(drugs, ",") != strings.Join(a.Drugs, ",") {
+			t.Errorf("%s: drugs = %v, want %v", a.PMID, drugs, a.Drugs)
+		}
+		if strings.Join(diseases, ",") != strings.Join(a.Diseases, ",") {
+			t.Errorf("%s: diseases = %v, want %v", a.PMID, diseases, a.Diseases)
+		}
+	}
+}
+
+func TestMineFacts(t *testing.T) {
+	d, _ := Generate(smallConfig())
+	c := GenerateCorpus(d, 200, 3)
+	facts := MineFactsHelper(c, 1)
+	if len(facts) == 0 {
+		t.Fatal("no facts mined")
+	}
+	// Every fact's papers really mention both entities.
+	byPMID := make(map[string]Abstract)
+	for _, a := range c.Abstracts {
+		byPMID[a.PMID] = a
+	}
+	for _, f := range facts[:min(len(facts), 20)] {
+		for _, pmid := range f.Papers {
+			a := byPMID[pmid]
+			if !strings.Contains(a.Text, f.Drug) || !strings.Contains(a.Text, f.Disease) {
+				t.Errorf("fact %v cites %s which lacks the entities", f, pmid)
+			}
+		}
+	}
+	// Sorted by support descending.
+	for i := 1; i < len(facts); i++ {
+		if len(facts[i].Papers) > len(facts[i-1].Papers) {
+			t.Fatal("facts not sorted by support")
+		}
+	}
+	// minSupport filters.
+	strict := MineFactsHelper(c, 3)
+	if len(strict) > len(facts) {
+		t.Error("higher support threshold returned more facts")
+	}
+}
+
+// MineFactsHelper exists so the test reads naturally.
+func MineFactsHelper(c *Corpus, minSupport int) []Fact { return c.MineFacts(minSupport) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"healthcloud/internal/hccache"
+)
+
+// RemoteKB wraps a dataset behind a simulated WAN so the caching
+// experiments (E1/E2) measure realistic remote-access costs. The paper:
+// "We cache data from these knowledge bases locally. That way, data can
+// be accessed and analyzed more quickly than if it needs to be fetched
+// remotely" (§III).
+type RemoteKB struct {
+	data    *Dataset
+	latency time.Duration
+	sleeper func(time.Duration)
+	calls   atomic.Uint64
+}
+
+// RemoteOption configures a RemoteKB.
+type RemoteOption func(*RemoteKB)
+
+// WithSleeper replaces the real sleep (benches account instead of sleeping).
+func WithSleeper(f func(time.Duration)) RemoteOption {
+	return func(r *RemoteKB) { r.sleeper = f }
+}
+
+// NewRemoteKB serves a dataset with the given per-request latency.
+func NewRemoteKB(data *Dataset, latency time.Duration, opts ...RemoteOption) *RemoteKB {
+	r := &RemoteKB{data: data, latency: latency, sleeper: time.Sleep}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// Calls returns the number of remote requests served.
+func (r *RemoteKB) Calls() uint64 { return r.calls.Load() }
+
+// DrugRecord is the JSON document the remote KB serves per drug.
+type DrugRecord struct {
+	ID           string   `json:"id"`
+	Associations []string `json:"associations"` // disease IDs
+	Similar      []string `json:"similar"`      // most chemically similar drugs
+}
+
+// Fetch serves a key of the form "drug:<id>" or "disease:<id>", paying
+// the WAN latency. It satisfies hccache.Loader.
+func (r *RemoteKB) Fetch(key string) ([]byte, uint64, error) {
+	r.calls.Add(1)
+	r.sleeper(r.latency)
+	switch {
+	case strings.HasPrefix(key, "drug:"):
+		id := strings.TrimPrefix(key, "drug:")
+		idx := indexOf(r.data.DrugIDs, id)
+		if idx < 0 {
+			return nil, 0, fmt.Errorf("%w: %s", hccache.ErrNotFound, key)
+		}
+		rec := DrugRecord{ID: id}
+		for j, v := range r.data.Assoc[idx] {
+			if v > 0 {
+				rec.Associations = append(rec.Associations, r.data.DisIDs[j])
+			}
+		}
+		rec.Similar = r.topSimilarDrugs(idx, 5)
+		out, err := json.Marshal(rec)
+		return out, 1, err
+	case strings.HasPrefix(key, "disease:"):
+		id := strings.TrimPrefix(key, "disease:")
+		j := indexOf(r.data.DisIDs, id)
+		if j < 0 {
+			return nil, 0, fmt.Errorf("%w: %s", hccache.ErrNotFound, key)
+		}
+		var drugs []string
+		for i := range r.data.Assoc {
+			if r.data.Assoc[i][j] > 0 {
+				drugs = append(drugs, r.data.DrugIDs[i])
+			}
+		}
+		out, err := json.Marshal(map[string]any{"id": id, "drugs": drugs})
+		return out, 1, err
+	default:
+		return nil, 0, fmt.Errorf("%w: %s", hccache.ErrNotFound, key)
+	}
+}
+
+// fetchAsLoader adapts the method to the hccache.Loader func type.
+func (r *RemoteKB) fetchAsLoader() hccache.Loader {
+	return func(key string) ([]byte, uint64, error) { return r.Fetch(key) }
+}
+
+// Loader returns the remote KB as a cache origin.
+func (r *RemoteKB) Loader() hccache.Loader { return r.fetchAsLoader() }
+
+func (r *RemoteKB) topSimilarDrugs(idx, k int) []string {
+	sim := r.data.DrugSim[DrugChemical][idx]
+	type pair struct {
+		j int
+		v float64
+	}
+	best := make([]pair, 0, k)
+	for j, v := range sim {
+		if j == idx {
+			continue
+		}
+		if len(best) < k {
+			best = append(best, pair{j, v})
+			continue
+		}
+		// Replace the current minimum if better.
+		minAt, minV := 0, best[0].v
+		for b := 1; b < len(best); b++ {
+			if best[b].v < minV {
+				minAt, minV = b, best[b].v
+			}
+		}
+		if v > minV {
+			best[minAt] = pair{j, v}
+		}
+	}
+	out := make([]string, 0, len(best))
+	for _, p := range best {
+		out = append(out, r.data.DrugIDs[p.j])
+	}
+	return out
+}
+
+func indexOf(ids []string, id string) int {
+	for i, s := range ids {
+		if s == id {
+			return i
+		}
+	}
+	return -1
+}

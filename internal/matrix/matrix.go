@@ -1,0 +1,183 @@
+// Package matrix is the dense float64 linear-algebra substrate for the
+// platform's bioinformatics analytics (§V): JMF's multiplicative
+// updates, collaborative-filtering matrix factorization, and Tiresias
+// similarity math all build on it. Row-major flat storage, explicit
+// dimension checks, no external dependencies.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense rows×cols matrix in row-major order.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// ErrDims reports incompatible dimensions.
+var ErrDims = errors.New("matrix: dimension mismatch")
+
+// New returns a zero matrix.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows copies a [][]float64 into a Matrix.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrDims)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			return nil, fmt.Errorf("%w: ragged row %d", ErrDims, i)
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m, nil
+}
+
+// Random fills a matrix with uniform values in [0, scale) — the standard
+// nonnegative initialization for multiplicative updates.
+func Random(rows, cols int, scale float64, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64() * scale
+	}
+	return m
+}
+
+// At returns m[i,j].
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns m[i,j].
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose.
+func (m *Matrix) T() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Mul returns a×b.
+func Mul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: %dx%d × %dx%d", ErrDims, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// Add returns a+b.
+func Add(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, ErrDims
+	}
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] += v
+	}
+	return out, nil
+}
+
+// Sub returns a−b.
+func Sub(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, ErrDims
+	}
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] -= v
+	}
+	return out, nil
+}
+
+// Scale multiplies in place by s and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// Hadamard returns the element-wise product.
+func Hadamard(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, ErrDims
+	}
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] *= v
+	}
+	return out, nil
+}
+
+// Frobenius returns the Frobenius norm.
+func (m *Matrix) Frobenius() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns max |a-b| element-wise (convergence checks).
+func MaxAbsDiff(a, b *Matrix) (float64, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return 0, ErrDims
+	}
+	max := 0.0
+	for i := range a.Data {
+		d := math.Abs(a.Data[i] - b.Data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// RowDot returns the dot product of row i of a and row j of b.
+func RowDot(a *Matrix, i int, b *Matrix, j int) (float64, error) {
+	if a.Cols != b.Cols {
+		return 0, ErrDims
+	}
+	ar := a.Data[i*a.Cols : (i+1)*a.Cols]
+	br := b.Data[j*b.Cols : (j+1)*b.Cols]
+	s := 0.0
+	for k := range ar {
+		s += ar[k] * br[k]
+	}
+	return s, nil
+}

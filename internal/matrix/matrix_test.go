@@ -1,0 +1,178 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustFromRows(t *testing.T, rows [][]float64) *Matrix {
+	t.Helper()
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFromRowsValidation(t *testing.T) {
+	if _, err := FromRows(nil); !errors.Is(err, ErrDims) {
+		t.Errorf("nil rows: %v", err)
+	}
+	if _, err := FromRows([][]float64{{}}); !errors.Is(err, ErrDims) {
+		t.Errorf("empty row: %v", err)
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrDims) {
+		t.Errorf("ragged rows: %v", err)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustFromRows(t, [][]float64{{5, 6}, {7, 8}})
+	c, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %f, want %f", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := Mul(a, New(3, 2)); !errors.Is(err, ErrDims) {
+		t.Errorf("dim mismatch: %v", err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Random(4, 4, 1, rng)
+	eye := New(4, 4)
+	for i := 0; i < 4; i++ {
+		eye.Set(i, i, 1)
+	}
+	c, err := Mul(a, eye)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := MaxAbsDiff(a, c); d != 0 {
+		t.Errorf("A×I != A (diff %f)", d)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("T dims = %dx%d", at.Rows, at.Cols)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 0) != 1 {
+		t.Error("transpose values wrong")
+	}
+	back := at.T()
+	if d, _ := MaxAbsDiff(a, back); d != 0 {
+		t.Error("double transpose not identity")
+	}
+}
+
+func TestAddSubHadamardScale(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustFromRows(t, [][]float64{{10, 20}, {30, 40}})
+	sum, err := Add(a, b)
+	if err != nil || sum.At(1, 1) != 44 {
+		t.Errorf("Add: %v, %f", err, sum.At(1, 1))
+	}
+	diff, err := Sub(b, a)
+	if err != nil || diff.At(0, 0) != 9 {
+		t.Errorf("Sub: %v", err)
+	}
+	had, err := Hadamard(a, b)
+	if err != nil || had.At(1, 0) != 90 {
+		t.Errorf("Hadamard: %v", err)
+	}
+	sc := a.Clone().Scale(2)
+	if sc.At(0, 1) != 4 || a.At(0, 1) != 2 {
+		t.Error("Scale/Clone interaction wrong")
+	}
+	if _, err := Add(a, New(3, 3)); !errors.Is(err, ErrDims) {
+		t.Errorf("Add dims: %v", err)
+	}
+	if _, err := Sub(a, New(3, 3)); !errors.Is(err, ErrDims) {
+		t.Errorf("Sub dims: %v", err)
+	}
+	if _, err := Hadamard(a, New(3, 3)); !errors.Is(err, ErrDims) {
+		t.Errorf("Hadamard dims: %v", err)
+	}
+}
+
+func TestFrobenius(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{3, 4}})
+	if got := a.Frobenius(); got != 5 {
+		t.Errorf("Frobenius = %f", got)
+	}
+	if New(2, 2).Frobenius() != 0 {
+		t.Error("zero matrix norm nonzero")
+	}
+}
+
+func TestRowDot(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	got, err := RowDot(a, 0, a, 1)
+	if err != nil || got != 32 {
+		t.Errorf("RowDot = %f, %v", got, err)
+	}
+	if _, err := RowDot(a, 0, New(2, 2), 0); !errors.Is(err, ErrDims) {
+		t.Errorf("RowDot dims: %v", err)
+	}
+}
+
+// Property: (A×B)ᵀ == Bᵀ×Aᵀ.
+func TestQuickTransposeProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := Random(m, k, 1, rng)
+		b := Random(k, n, 1, rng)
+		ab, err := Mul(a, b)
+		if err != nil {
+			return false
+		}
+		btat, err := Mul(b.T(), a.T())
+		if err != nil {
+			return false
+		}
+		d, err := MaxAbsDiff(ab.T(), btat)
+		return err == nil && d < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Frobenius norm is invariant under transpose.
+func TestQuickFrobeniusTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := Random(1+r.Intn(8), 1+r.Intn(8), 2, rng)
+		return math.Abs(a.Frobenius()-a.T().Frobenius()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0,1) did not panic")
+		}
+	}()
+	New(0, 1)
+}

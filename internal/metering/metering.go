@@ -1,0 +1,132 @@
+// Package metering implements the tenant metering and billing the
+// Registration Service exists for (§II-B: "The platform supports an idea
+// of tenant, which is equivalent to an account at an enterprise level
+// for metering and billing of various services."). Services record
+// usage events; bills aggregate them per tenant against a rate card.
+package metering
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Usage is one metered event.
+type Usage struct {
+	Tenant   string
+	Service  string // e.g. "ingest", "export", "kb-read", "model-run"
+	Quantity float64
+	At       time.Time
+}
+
+// RateCard maps service names to price per unit (in cents).
+type RateCard map[string]float64
+
+// DefaultRates is the demo rate card.
+func DefaultRates() RateCard {
+	return RateCard{
+		"ingest":    2.0,  // per bundle
+		"export":    5.0,  // per record
+		"kb-read":   0.01, // per read
+		"model-run": 0.5,  // per prediction
+		"ledger-tx": 0.1,  // per provenance event
+	}
+}
+
+// Errors returned by this package.
+var (
+	ErrUnknownService = errors.New("metering: service not on the rate card")
+	ErrBadQuantity    = errors.New("metering: quantity must be positive")
+)
+
+// Meter accumulates usage. Construct with NewMeter.
+type Meter struct {
+	rates RateCard
+
+	mu     sync.Mutex
+	events []Usage
+}
+
+// NewMeter creates a meter over a rate card.
+func NewMeter(rates RateCard) *Meter {
+	rc := make(RateCard, len(rates))
+	for k, v := range rates {
+		rc[k] = v
+	}
+	return &Meter{rates: rc}
+}
+
+// Record adds a usage event. Unknown services are rejected so typos
+// cannot silently meter for free.
+func (m *Meter) Record(tenant, service string, quantity float64, at time.Time) error {
+	if quantity <= 0 {
+		return fmt.Errorf("%w: %f", ErrBadQuantity, quantity)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.rates[service]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownService, service)
+	}
+	m.events = append(m.events, Usage{Tenant: tenant, Service: service, Quantity: quantity, At: at.UTC()})
+	return nil
+}
+
+// LineItem is one service's aggregate on a bill.
+type LineItem struct {
+	Service   string  `json:"service"`
+	Quantity  float64 `json:"quantity"`
+	UnitCents float64 `json:"unit_cents"`
+	Cents     float64 `json:"cents"`
+}
+
+// Bill is a tenant's statement for a period.
+type Bill struct {
+	Tenant     string     `json:"tenant"`
+	From, To   time.Time  `json:"-"`
+	Lines      []LineItem `json:"lines"`
+	TotalCents float64    `json:"total_cents"`
+}
+
+// BillFor aggregates a tenant's usage in [from, to).
+func (m *Meter) BillFor(tenant string, from, to time.Time) *Bill {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	agg := make(map[string]float64)
+	for _, e := range m.events {
+		if e.Tenant != tenant || e.At.Before(from) || !e.At.Before(to) {
+			continue
+		}
+		agg[e.Service] += e.Quantity
+	}
+	b := &Bill{Tenant: tenant, From: from, To: to}
+	services := make([]string, 0, len(agg))
+	for s := range agg {
+		services = append(services, s)
+	}
+	sort.Strings(services)
+	for _, s := range services {
+		line := LineItem{Service: s, Quantity: agg[s], UnitCents: m.rates[s]}
+		line.Cents = line.Quantity * line.UnitCents
+		b.Lines = append(b.Lines, line)
+		b.TotalCents += line.Cents
+	}
+	return b
+}
+
+// Tenants lists every tenant with recorded usage, sorted.
+func (m *Meter) Tenants() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set := make(map[string]bool)
+	for _, e := range m.events {
+		set[e.Tenant] = true
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,110 @@
+package metering
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRecordValidation(t *testing.T) {
+	m := NewMeter(DefaultRates())
+	if err := m.Record("t", "teleportation", 1, t0); !errors.Is(err, ErrUnknownService) {
+		t.Errorf("unknown service: %v", err)
+	}
+	if err := m.Record("t", "ingest", 0, t0); !errors.Is(err, ErrBadQuantity) {
+		t.Errorf("zero quantity: %v", err)
+	}
+	if err := m.Record("t", "ingest", -2, t0); !errors.Is(err, ErrBadQuantity) {
+		t.Errorf("negative quantity: %v", err)
+	}
+}
+
+func TestBillAggregation(t *testing.T) {
+	m := NewMeter(DefaultRates())
+	m.Record("mercy", "ingest", 10, t0)
+	m.Record("mercy", "ingest", 5, t0.Add(time.Hour))
+	m.Record("mercy", "kb-read", 1000, t0.Add(2*time.Hour))
+	m.Record("mercy", "export", 3, t0.Add(3*time.Hour))
+	m.Record("other", "ingest", 99, t0) // different tenant
+
+	b := m.BillFor("mercy", t0, t0.Add(24*time.Hour))
+	if len(b.Lines) != 3 {
+		t.Fatalf("lines = %+v", b.Lines)
+	}
+	// Sorted by service: export, ingest, kb-read.
+	if b.Lines[0].Service != "export" || b.Lines[1].Service != "ingest" || b.Lines[2].Service != "kb-read" {
+		t.Errorf("line order = %+v", b.Lines)
+	}
+	if b.Lines[1].Quantity != 15 || b.Lines[1].Cents != 30 {
+		t.Errorf("ingest line = %+v", b.Lines[1])
+	}
+	want := 3*5.0 + 15*2.0 + 1000*0.01
+	if math.Abs(b.TotalCents-want) > 1e-9 {
+		t.Errorf("total = %f, want %f", b.TotalCents, want)
+	}
+}
+
+func TestBillPeriodBoundaries(t *testing.T) {
+	m := NewMeter(DefaultRates())
+	m.Record("t", "ingest", 1, t0.Add(-time.Second)) // before window
+	m.Record("t", "ingest", 1, t0)                   // inclusive start
+	m.Record("t", "ingest", 1, t0.Add(time.Hour))
+	m.Record("t", "ingest", 1, t0.Add(24*time.Hour)) // exclusive end
+	b := m.BillFor("t", t0, t0.Add(24*time.Hour))
+	if len(b.Lines) != 1 || b.Lines[0].Quantity != 2 {
+		t.Errorf("bill = %+v", b)
+	}
+}
+
+func TestEmptyBill(t *testing.T) {
+	m := NewMeter(DefaultRates())
+	b := m.BillFor("ghost", t0, t0.Add(time.Hour))
+	if len(b.Lines) != 0 || b.TotalCents != 0 {
+		t.Errorf("empty bill = %+v", b)
+	}
+}
+
+func TestTenantsListing(t *testing.T) {
+	m := NewMeter(DefaultRates())
+	m.Record("zeta", "ingest", 1, t0)
+	m.Record("alpha", "ingest", 1, t0)
+	m.Record("alpha", "export", 1, t0)
+	got := m.Tenants()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Errorf("tenants = %v", got)
+	}
+}
+
+func TestConcurrentMetering(t *testing.T) {
+	m := NewMeter(DefaultRates())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.Record("t", "kb-read", 1, t0)
+			}
+		}()
+	}
+	wg.Wait()
+	b := m.BillFor("t", t0.Add(-time.Hour), t0.Add(time.Hour))
+	if b.Lines[0].Quantity != 800 {
+		t.Errorf("quantity = %f, want 800", b.Lines[0].Quantity)
+	}
+}
+
+func TestRateCardIsolation(t *testing.T) {
+	rates := DefaultRates()
+	m := NewMeter(rates)
+	rates["ingest"] = 999 // caller mutates after construction
+	m.Record("t", "ingest", 1, t0)
+	b := m.BillFor("t", t0.Add(-time.Hour), t0.Add(time.Hour))
+	if b.Lines[0].UnitCents != 2.0 {
+		t.Errorf("rate card aliased: %f", b.Lines[0].UnitCents)
+	}
+}

@@ -1,0 +1,109 @@
+package rbac
+
+import (
+	"fmt"
+	"time"
+
+	"healthcloud/internal/hckrypto"
+)
+
+// Federated identity (§II-B): users may be authenticated by an external
+// approved identity provider; the platform then maps the asserted
+// identity into its own RBAC system. Providers assert identities by
+// signing tokens; the platform trusts only approved provider keys.
+
+// IdentityToken is an assertion from an external IdP.
+type IdentityToken struct {
+	Provider  string    `json:"provider"`
+	Subject   string    `json:"subject"` // external user identity
+	Tenant    string    `json:"tenant"`
+	IssuedAt  time.Time `json:"issued_at"`
+	ExpiresAt time.Time `json:"expires_at"`
+	Signature []byte    `json:"signature"`
+}
+
+func (tok *IdentityToken) payload() []byte {
+	return []byte(fmt.Sprintf("%s|%s|%s|%d|%d",
+		tok.Provider, tok.Subject, tok.Tenant,
+		tok.IssuedAt.UnixNano(), tok.ExpiresAt.UnixNano()))
+}
+
+// IdentityProvider simulates an external approved IdP that issues signed
+// tokens.
+type IdentityProvider struct {
+	name string
+	key  *hckrypto.SigningKey
+}
+
+// NewIdentityProvider creates a provider with a fresh signing key.
+func NewIdentityProvider(name string) (*IdentityProvider, error) {
+	key, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		return nil, fmt.Errorf("rbac: idp key: %w", err)
+	}
+	return &IdentityProvider{name: name, key: key}, nil
+}
+
+// Name returns the provider name.
+func (p *IdentityProvider) Name() string { return p.name }
+
+// VerifyKey returns the provider's public key for enrollment.
+func (p *IdentityProvider) VerifyKey() *hckrypto.VerifyKey { return p.key.Public() }
+
+// Issue signs a token asserting subject's identity for a tenant.
+func (p *IdentityProvider) Issue(subject, tenantName string, ttl time.Duration) (*IdentityToken, error) {
+	now := time.Now().UTC()
+	tok := &IdentityToken{
+		Provider: p.name, Subject: subject, Tenant: tenantName,
+		IssuedAt: now, ExpiresAt: now.Add(ttl),
+	}
+	sig, err := p.key.Sign(tok.payload())
+	if err != nil {
+		return nil, fmt.Errorf("rbac: signing token: %w", err)
+	}
+	tok.Signature = sig
+	return tok, nil
+}
+
+// ApproveIdentityProvider enrolls an external IdP's verification key.
+func (s *System) ApproveIdentityProvider(name string, key *hckrypto.VerifyKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idps[name] = true
+	if s.idpKeys == nil {
+		s.idpKeys = make(map[string]*hckrypto.VerifyKey)
+	}
+	s.idpKeys[name] = key
+}
+
+// Authenticate validates a federated token and returns the platform user
+// ID it maps to (provider-qualified, so two IdPs cannot collide). The
+// user must already be registered under the tenant; per §II-B, "once
+// users are authenticated, their roles and access privileges are managed
+// by the platform's RBAC system".
+func (s *System) Authenticate(tok *IdentityToken, now time.Time) (string, error) {
+	s.mu.RLock()
+	approved := s.idps[tok.Provider]
+	key := s.idpKeys[tok.Provider]
+	s.mu.RUnlock()
+	if !approved || key == nil {
+		return "", fmt.Errorf("%w: %q", ErrNotFederated, tok.Provider)
+	}
+	if !key.Verify(tok.payload(), tok.Signature) {
+		return "", fmt.Errorf("rbac: token signature invalid")
+	}
+	if now.After(tok.ExpiresAt) {
+		return "", fmt.Errorf("rbac: token expired at %s", tok.ExpiresAt)
+	}
+	userID := tok.Provider + ":" + tok.Subject
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tenants[tok.Tenant]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoSuchTenant, tok.Tenant)
+	}
+	if _, ok := t.users[userID]; !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoSuchUser, userID)
+	}
+	return userID, nil
+}

@@ -1,0 +1,347 @@
+// Package rbac implements the platform's privacy-management access
+// control (§II-B): a role-based model with Tenants, Organizations,
+// Groups, Environments, Users, Roles, and Permissions, motivated by
+// Cloud Foundry's RBAC. A Tenant is the namespace (an enterprise);
+// Organizations represent departments and own shareable resources;
+// Groups represent healthcare studies/programs that PHI is consented to;
+// Environments are development/deployment targets; Users hold Roles per
+// environment within an organization; Permissions are read/write grants
+// on resources scoped to tenant, organization, or group.
+package rbac
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"healthcloud/internal/hckrypto"
+)
+
+// Action is an access mode on a resource.
+type Action string
+
+// Supported actions. The paper's permissions are "read and write access
+// control to various resources".
+const (
+	ActionRead  Action = "read"
+	ActionWrite Action = "write"
+)
+
+// Role names used across the platform.
+type Role string
+
+// Built-in roles.
+const (
+	RoleAdmin     Role = "admin"     // full control within scope
+	RoleDeveloper Role = "developer" // write in development environments
+	RoleAnalyst   Role = "analyst"   // read de-identified data, run models
+	RoleClinician Role = "clinician" // read identified data with consent
+	RoleAuditor   Role = "auditor"   // read logs and ledgers only
+	RoleIngestor  Role = "ingestor"  // submit data for ingestion
+	RoleCRO       Role = "cro"       // clinical research org: exports
+)
+
+// Scope identifies where a permission applies.
+type Scope struct {
+	Tenant string
+	Org    string // empty = tenant-wide
+	Group  string // empty = org-wide
+}
+
+// String renders the scope path.
+func (s Scope) String() string {
+	out := s.Tenant
+	if s.Org != "" {
+		out += "/" + s.Org
+	}
+	if s.Group != "" {
+		out += "/" + s.Group
+	}
+	return out
+}
+
+// contains reports whether s covers other (s is equal or broader).
+func (s Scope) contains(other Scope) bool {
+	if s.Tenant != other.Tenant {
+		return false
+	}
+	if s.Org != "" && s.Org != other.Org {
+		return false
+	}
+	if s.Group != "" && s.Group != other.Group {
+		return false
+	}
+	return true
+}
+
+// Errors returned by this package.
+var (
+	ErrDenied        = errors.New("rbac: access denied")
+	ErrNoSuchTenant  = errors.New("rbac: no such tenant")
+	ErrNoSuchUser    = errors.New("rbac: no such user")
+	ErrNoSuchOrg     = errors.New("rbac: no such organization")
+	ErrNoSuchGroup   = errors.New("rbac: no such group")
+	ErrNoSuchEnv     = errors.New("rbac: no such environment")
+	ErrAlreadyExists = errors.New("rbac: already exists")
+	ErrNotFederated  = errors.New("rbac: identity provider not approved")
+)
+
+// grant is one (role, scope, environment) binding for a user.
+type grant struct {
+	role  Role
+	scope Scope
+	env   string // empty = all environments
+}
+
+// rolePerms maps each role to the actions it may perform on each
+// resource class. Resource classes are coarse strings ("phi", "deid",
+// "models", "logs", "exports", "ingest", "services").
+var rolePerms = map[Role]map[string][]Action{
+	RoleAdmin: {
+		"phi": {ActionRead, ActionWrite}, "deid": {ActionRead, ActionWrite},
+		"models": {ActionRead, ActionWrite}, "logs": {ActionRead, ActionWrite},
+		"exports": {ActionRead, ActionWrite}, "ingest": {ActionRead, ActionWrite},
+		"services": {ActionRead, ActionWrite},
+	},
+	RoleDeveloper: {
+		"deid": {ActionRead}, "models": {ActionRead, ActionWrite},
+		"services": {ActionRead, ActionWrite},
+	},
+	RoleAnalyst: {
+		"deid": {ActionRead}, "models": {ActionRead}, "services": {ActionRead},
+	},
+	RoleClinician: {
+		"phi": {ActionRead, ActionWrite}, "deid": {ActionRead},
+	},
+	RoleAuditor: {
+		"logs": {ActionRead},
+	},
+	RoleIngestor: {
+		"ingest": {ActionWrite},
+	},
+	RoleCRO: {
+		"exports": {ActionRead},
+	},
+}
+
+// Tenant is one enterprise namespace with its organizations, groups,
+// environments, and users.
+type tenant struct {
+	name   string
+	orgs   map[string]bool
+	groups map[string]string // group -> owning org
+	envs   map[string]bool
+	users  map[string]*user
+}
+
+type user struct {
+	id     string
+	grants []grant
+}
+
+// System is the RBAC decision point. The zero value is unusable; create
+// with NewSystem.
+type System struct {
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+	// approved federated identity providers (§II-B: "the platform user's
+	// identity could be managed and authenticated by an external
+	// (approved) system") and their token-verification keys.
+	idps    map[string]bool
+	idpKeys map[string]*hckrypto.VerifyKey
+}
+
+// NewSystem creates an empty RBAC system.
+func NewSystem() *System {
+	return &System{tenants: make(map[string]*tenant), idps: make(map[string]bool)}
+}
+
+// CreateTenant registers a tenant namespace. Per the Registration Service
+// (§II-B), a default organization and a default environment are created
+// under it.
+func (s *System) CreateTenant(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tenants[name]; ok {
+		return fmt.Errorf("%w: tenant %q", ErrAlreadyExists, name)
+	}
+	s.tenants[name] = &tenant{
+		name:   name,
+		orgs:   map[string]bool{"default": true},
+		groups: make(map[string]string),
+		envs:   map[string]bool{"default": true},
+		users:  make(map[string]*user),
+	}
+	return nil
+}
+
+// CreateOrg adds an organization (department) to a tenant.
+func (s *System) CreateOrg(tenantName, org string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[tenantName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTenant, tenantName)
+	}
+	if t.orgs[org] {
+		return fmt.Errorf("%w: org %q", ErrAlreadyExists, org)
+	}
+	t.orgs[org] = true
+	return nil
+}
+
+// CreateGroup adds a healthcare study/program group under an org. PHI is
+// consented to groups, so consent checks use these.
+func (s *System) CreateGroup(tenantName, org, group string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[tenantName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTenant, tenantName)
+	}
+	if !t.orgs[org] {
+		return fmt.Errorf("%w: %q", ErrNoSuchOrg, org)
+	}
+	if _, ok := t.groups[group]; ok {
+		return fmt.Errorf("%w: group %q", ErrAlreadyExists, group)
+	}
+	t.groups[group] = org
+	return nil
+}
+
+// CreateEnvironment adds a development/deployment environment.
+func (s *System) CreateEnvironment(tenantName, env string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[tenantName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTenant, tenantName)
+	}
+	if t.envs[env] {
+		return fmt.Errorf("%w: env %q", ErrAlreadyExists, env)
+	}
+	t.envs[env] = true
+	return nil
+}
+
+// RegisterUser adds a user under a tenant.
+func (s *System) RegisterUser(tenantName, userID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[tenantName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTenant, tenantName)
+	}
+	if _, ok := t.users[userID]; ok {
+		return fmt.Errorf("%w: user %q", ErrAlreadyExists, userID)
+	}
+	t.users[userID] = &user{id: userID}
+	return nil
+}
+
+// AssignRole grants a role to a user in a scope and environment. Users
+// "can have different roles in different environments within an
+// organization" (§II-B); env=="" grants across all environments.
+func (s *System) AssignRole(userID string, role Role, scope Scope, env string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[scope.Tenant]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTenant, scope.Tenant)
+	}
+	u, ok := t.users[userID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchUser, userID)
+	}
+	if scope.Org != "" && !t.orgs[scope.Org] {
+		return fmt.Errorf("%w: %q", ErrNoSuchOrg, scope.Org)
+	}
+	if scope.Group != "" {
+		if _, ok := t.groups[scope.Group]; !ok {
+			return fmt.Errorf("%w: %q", ErrNoSuchGroup, scope.Group)
+		}
+	}
+	if env != "" && !t.envs[env] {
+		return fmt.Errorf("%w: %q", ErrNoSuchEnv, env)
+	}
+	if _, ok := rolePerms[role]; !ok {
+		return fmt.Errorf("rbac: unknown role %q", role)
+	}
+	u.grants = append(u.grants, grant{role: role, scope: scope, env: env})
+	return nil
+}
+
+// RevokeRoles removes every grant of a role from a user.
+func (s *System) RevokeRoles(tenantName, userID string, role Role) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[tenantName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTenant, tenantName)
+	}
+	u, ok := t.users[userID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchUser, userID)
+	}
+	kept := u.grants[:0]
+	for _, g := range u.grants {
+		if g.role != role {
+			kept = append(kept, g)
+		}
+	}
+	u.grants = kept
+	return nil
+}
+
+// Check decides whether a user may perform action on a resource class in
+// the given scope and environment. It returns nil on allow and ErrDenied
+// (wrapped with context) otherwise.
+func (s *System) Check(userID string, action Action, resource string, scope Scope, env string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tenants[scope.Tenant]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTenant, scope.Tenant)
+	}
+	u, ok := t.users[userID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchUser, userID)
+	}
+	for _, g := range u.grants {
+		if !g.scope.contains(scope) {
+			continue
+		}
+		if g.env != "" && env != "" && g.env != env {
+			continue
+		}
+		for _, a := range rolePerms[g.role][resource] {
+			if a == action {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("%w: %s %s on %s in %s", ErrDenied, userID, action, resource, scope)
+}
+
+// Roles returns the distinct roles a user holds anywhere in the tenant.
+func (s *System) Roles(tenantName, userID string) ([]Role, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tenants[tenantName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTenant, tenantName)
+	}
+	u, ok := t.users[userID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchUser, userID)
+	}
+	seen := make(map[Role]bool)
+	var out []Role
+	for _, g := range u.grants {
+		if !seen[g.role] {
+			seen[g.role] = true
+			out = append(out, g.role)
+		}
+	}
+	return out, nil
+}

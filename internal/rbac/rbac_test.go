@@ -1,0 +1,298 @@
+package rbac
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// newHospitalSystem builds the scenario used across tests: one tenant
+// ("mercy-health") with a research org, a diabetes study group, and a
+// production environment.
+func newHospitalSystem(t *testing.T) *System {
+	t.Helper()
+	s := NewSystem()
+	if err := s.CreateTenant("mercy-health"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateOrg("mercy-health", "research"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateGroup("mercy-health", "research", "diabetes-study"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateEnvironment("mercy-health", "prod"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTenantDefaults(t *testing.T) {
+	s := NewSystem()
+	if err := s.CreateTenant("acme"); err != nil {
+		t.Fatal(err)
+	}
+	// The registration service creates a default org and environment.
+	if err := s.CreateOrg("acme", "default"); !errors.Is(err, ErrAlreadyExists) {
+		t.Errorf("default org: got %v, want ErrAlreadyExists", err)
+	}
+	if err := s.CreateEnvironment("acme", "default"); !errors.Is(err, ErrAlreadyExists) {
+		t.Errorf("default env: got %v, want ErrAlreadyExists", err)
+	}
+	if err := s.CreateTenant("acme"); !errors.Is(err, ErrAlreadyExists) {
+		t.Errorf("duplicate tenant: got %v, want ErrAlreadyExists", err)
+	}
+}
+
+func TestEntityValidation(t *testing.T) {
+	s := newHospitalSystem(t)
+	tests := []struct {
+		name string
+		call func() error
+		want error
+	}{
+		{"org in unknown tenant", func() error { return s.CreateOrg("ghost", "o") }, ErrNoSuchTenant},
+		{"group in unknown tenant", func() error { return s.CreateGroup("ghost", "o", "g") }, ErrNoSuchTenant},
+		{"group in unknown org", func() error { return s.CreateGroup("mercy-health", "ghost", "g") }, ErrNoSuchOrg},
+		{"env in unknown tenant", func() error { return s.CreateEnvironment("ghost", "e") }, ErrNoSuchTenant},
+		{"user in unknown tenant", func() error { return s.RegisterUser("ghost", "u") }, ErrNoSuchTenant},
+		{"dup group", func() error { return s.CreateGroup("mercy-health", "research", "diabetes-study") }, ErrAlreadyExists},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.call(); !errors.Is(err, tt.want) {
+				t.Errorf("got %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestRoleBasedAccess(t *testing.T) {
+	s := newHospitalSystem(t)
+	scope := Scope{Tenant: "mercy-health", Org: "research", Group: "diabetes-study"}
+	for _, u := range []string{"dr-alice", "analyst-bob", "auditor-carol"} {
+		if err := s.RegisterUser("mercy-health", u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AssignRole("dr-alice", RoleClinician, scope, "prod"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignRole("analyst-bob", RoleAnalyst, scope, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignRole("auditor-carol", RoleAuditor, Scope{Tenant: "mercy-health"}, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name     string
+		user     string
+		action   Action
+		resource string
+		env      string
+		allowed  bool
+	}{
+		{"clinician reads PHI", "dr-alice", ActionRead, "phi", "prod", true},
+		{"clinician writes PHI", "dr-alice", ActionWrite, "phi", "prod", true},
+		{"clinician blocked outside env", "dr-alice", ActionRead, "phi", "default", false},
+		{"clinician cannot touch models", "dr-alice", ActionWrite, "models", "prod", false},
+		{"analyst reads deid", "analyst-bob", ActionRead, "deid", "prod", true},
+		{"analyst cannot read PHI", "analyst-bob", ActionRead, "phi", "prod", false},
+		{"analyst cannot write models", "analyst-bob", ActionWrite, "models", "prod", false},
+		{"auditor reads logs", "auditor-carol", ActionRead, "logs", "prod", true},
+		{"auditor cannot read PHI", "auditor-carol", ActionRead, "phi", "prod", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := s.Check(tt.user, tt.action, tt.resource, scope, tt.env)
+			if tt.allowed && err != nil {
+				t.Errorf("denied: %v", err)
+			}
+			if !tt.allowed && !errors.Is(err, ErrDenied) {
+				t.Errorf("got %v, want ErrDenied", err)
+			}
+		})
+	}
+}
+
+func TestScopeContainment(t *testing.T) {
+	s := newHospitalSystem(t)
+	if err := s.RegisterUser("mercy-health", "tenant-admin"); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant-wide admin grant covers narrower scopes.
+	if err := s.AssignRole("tenant-admin", RoleAdmin, Scope{Tenant: "mercy-health"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	narrow := Scope{Tenant: "mercy-health", Org: "research", Group: "diabetes-study"}
+	if err := s.Check("tenant-admin", ActionWrite, "phi", narrow, "prod"); err != nil {
+		t.Errorf("tenant-wide admin denied in narrow scope: %v", err)
+	}
+	// But a group-scoped grant must not leak to other groups.
+	if err := s.CreateGroup("mercy-health", "research", "oncology-study"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterUser("mercy-health", "dr-dan"); err != nil {
+		t.Fatal(err)
+	}
+	diabetes := Scope{Tenant: "mercy-health", Org: "research", Group: "diabetes-study"}
+	oncology := Scope{Tenant: "mercy-health", Org: "research", Group: "oncology-study"}
+	if err := s.AssignRole("dr-dan", RoleClinician, diabetes, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Check("dr-dan", ActionRead, "phi", diabetes, ""); err != nil {
+		t.Errorf("denied in granted group: %v", err)
+	}
+	if err := s.Check("dr-dan", ActionRead, "phi", oncology, ""); !errors.Is(err, ErrDenied) {
+		t.Errorf("group grant leaked: %v", err)
+	}
+}
+
+func TestCrossTenantIsolation(t *testing.T) {
+	s := newHospitalSystem(t)
+	if err := s.CreateTenant("rival-hospital"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterUser("mercy-health", "dr-alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignRole("dr-alice", RoleAdmin, Scope{Tenant: "mercy-health"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Admin of one tenant is a stranger in another.
+	err := s.Check("dr-alice", ActionRead, "phi", Scope{Tenant: "rival-hospital"}, "")
+	if !errors.Is(err, ErrNoSuchUser) {
+		t.Errorf("cross-tenant check: got %v, want ErrNoSuchUser", err)
+	}
+}
+
+func TestRevokeRoles(t *testing.T) {
+	s := newHospitalSystem(t)
+	scope := Scope{Tenant: "mercy-health"}
+	if err := s.RegisterUser("mercy-health", "u"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignRole("u", RoleAnalyst, scope, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Check("u", ActionRead, "deid", scope, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RevokeRoles("mercy-health", "u", RoleAnalyst); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Check("u", ActionRead, "deid", scope, ""); !errors.Is(err, ErrDenied) {
+		t.Errorf("post-revoke: got %v, want ErrDenied", err)
+	}
+}
+
+func TestRolesListing(t *testing.T) {
+	s := newHospitalSystem(t)
+	if err := s.RegisterUser("mercy-health", "u"); err != nil {
+		t.Fatal(err)
+	}
+	scope := Scope{Tenant: "mercy-health"}
+	s.AssignRole("u", RoleAnalyst, scope, "")
+	s.AssignRole("u", RoleAuditor, scope, "")
+	s.AssignRole("u", RoleAnalyst, scope, "prod") // duplicate role, new env
+	roles, err := s.Roles("mercy-health", "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roles) != 2 {
+		t.Errorf("roles = %v, want 2 distinct", roles)
+	}
+}
+
+func TestAssignRoleValidation(t *testing.T) {
+	s := newHospitalSystem(t)
+	s.RegisterUser("mercy-health", "u")
+	scope := Scope{Tenant: "mercy-health"}
+	if err := s.AssignRole("u", Role("superuser"), scope, ""); err == nil {
+		t.Error("unknown role accepted")
+	}
+	if err := s.AssignRole("ghost", RoleAnalyst, scope, ""); !errors.Is(err, ErrNoSuchUser) {
+		t.Errorf("unknown user: %v", err)
+	}
+	if err := s.AssignRole("u", RoleAnalyst, Scope{Tenant: "mercy-health", Org: "ghost"}, ""); !errors.Is(err, ErrNoSuchOrg) {
+		t.Errorf("unknown org: %v", err)
+	}
+	if err := s.AssignRole("u", RoleAnalyst, Scope{Tenant: "mercy-health", Org: "research", Group: "ghost"}, ""); !errors.Is(err, ErrNoSuchGroup) {
+		t.Errorf("unknown group: %v", err)
+	}
+	if err := s.AssignRole("u", RoleAnalyst, scope, "ghost-env"); !errors.Is(err, ErrNoSuchEnv) {
+		t.Errorf("unknown env: %v", err)
+	}
+}
+
+func TestFederatedIdentity(t *testing.T) {
+	s := newHospitalSystem(t)
+	idp, err := NewIdentityProvider("hospital-sso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	tok, err := idp.Issue("alice@hospital.org", "mercy-health", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unapproved provider is rejected.
+	if _, err := s.Authenticate(tok, now); !errors.Is(err, ErrNotFederated) {
+		t.Errorf("unapproved idp: got %v, want ErrNotFederated", err)
+	}
+	s.ApproveIdentityProvider("hospital-sso", idp.VerifyKey())
+	// User must be pre-registered under the provider-qualified ID.
+	if _, err := s.Authenticate(tok, now); !errors.Is(err, ErrNoSuchUser) {
+		t.Errorf("unregistered user: got %v, want ErrNoSuchUser", err)
+	}
+	if err := s.RegisterUser("mercy-health", "hospital-sso:alice@hospital.org"); err != nil {
+		t.Fatal(err)
+	}
+	userID, err := s.Authenticate(tok, now)
+	if err != nil {
+		t.Fatalf("Authenticate: %v", err)
+	}
+	if userID != "hospital-sso:alice@hospital.org" {
+		t.Errorf("userID = %q", userID)
+	}
+	// Expired token.
+	if _, err := s.Authenticate(tok, now.Add(2*time.Hour)); err == nil {
+		t.Error("expired token accepted")
+	}
+	// Tampered token.
+	bad := *tok
+	bad.Subject = "mallory@hospital.org"
+	if _, err := s.Authenticate(&bad, now); err == nil {
+		t.Error("tampered token accepted")
+	}
+	// Token from a different (unapproved) provider with the same name but
+	// different key.
+	imposter, err := NewIdentityProvider("hospital-sso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged, err := imposter.Issue("alice@hospital.org", "mercy-health", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Authenticate(forged, now); err == nil {
+		t.Error("token signed by imposter key accepted")
+	}
+}
+
+func TestScopeString(t *testing.T) {
+	tests := []struct {
+		scope Scope
+		want  string
+	}{
+		{Scope{Tenant: "t"}, "t"},
+		{Scope{Tenant: "t", Org: "o"}, "t/o"},
+		{Scope{Tenant: "t", Org: "o", Group: "g"}, "t/o/g"},
+	}
+	for _, tt := range tests {
+		if got := tt.scope.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

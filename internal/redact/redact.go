@@ -1,0 +1,305 @@
+// Package redact implements leakage-free redactable signatures for
+// structured health records, after Kundu–Atallah–Bertino (CODASPY'12)
+// as cited in §IV-B1 of the paper.
+//
+// A holder of a signed record can disclose any subset of its fields to a
+// third party together with a proof that (1) the disclosed fields are
+// authentic — they were part of the originally signed record, unmodified —
+// and (2) nothing about the withheld fields leaks. Classical Merkle-hash
+// sharing fails property (2): sibling digests handed to the verifier are
+// deterministic hashes of the hidden values, so a verifier can confirm
+// guesses by dictionary attack ("does this patient's hidden diagnosis
+// field hash to H(name||'HIV positive')?"). The paper calls this out and
+// requires leakage-free schemes instead.
+//
+// The construction here blinds every leaf with a fresh random salt:
+// commit_i = SHA-256(salt_i || name_i || value_i). The salts act as
+// hiding commitments — without salt_i, commit_i is indistinguishable from
+// random, so revealing commitments of redacted fields leaks nothing a
+// dictionary attack could use. A Merkle tree over the commitments is
+// signed once; redaction reveals (field, salt) pairs only for disclosed
+// fields. NaiveSign/NaiveRedact implement the leaky baseline so tests and
+// experiment E7 can demonstrate the attack the paper warns about.
+package redact
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"healthcloud/internal/hckrypto"
+)
+
+// Field is one named unit of a record; redaction operates at field
+// granularity (§IV-B1: "HCLS data is shared in parts and not as a whole").
+type Field struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Record is an ordered list of fields. Order is part of what is signed.
+type Record []Field
+
+// SignedRecord binds a record to a signature via blinded commitments.
+type SignedRecord struct {
+	Fields    Record   `json:"fields"`
+	Salts     [][]byte `json:"salts"`     // one per field
+	Signature []byte   `json:"signature"` // over the Merkle root of commitments
+}
+
+// RedactedRecord is a partial disclosure: disclosed fields carry their
+// salts; withheld positions carry only the hiding commitment.
+type RedactedRecord struct {
+	NumFields   int            `json:"num_fields"`
+	Disclosed   map[int]Field  `json:"disclosed"`   // position -> field
+	Salts       map[int][]byte `json:"salts"`       // position -> salt (disclosed only)
+	Commitments map[int][]byte `json:"commitments"` // position -> commitment (withheld only)
+	Signature   []byte         `json:"signature"`
+}
+
+const saltSize = 16
+
+// Errors returned by this package.
+var (
+	ErrBadSignature = errors.New("redact: signature verification failed")
+	ErrMalformed    = errors.New("redact: malformed redacted record")
+)
+
+// Sign produces a redactable signature over the record using the
+// platform's signing key.
+func Sign(key *hckrypto.SigningKey, rec Record) (*SignedRecord, error) {
+	salts := make([][]byte, len(rec))
+	commits := make([][]byte, len(rec))
+	for i, f := range rec {
+		salt := make([]byte, saltSize)
+		if _, err := io.ReadFull(rand.Reader, salt); err != nil {
+			return nil, fmt.Errorf("redact: salt: %w", err)
+		}
+		salts[i] = salt
+		commits[i] = commitField(salt, f)
+	}
+	root := merkleRoot(commits)
+	sig, err := key.Sign(root)
+	if err != nil {
+		return nil, fmt.Errorf("redact: signing root: %w", err)
+	}
+	return &SignedRecord{Fields: rec, Salts: salts, Signature: sig}, nil
+}
+
+// Verify checks a full signed record.
+func Verify(key *hckrypto.VerifyKey, sr *SignedRecord) error {
+	if len(sr.Fields) != len(sr.Salts) {
+		return ErrMalformed
+	}
+	commits := make([][]byte, len(sr.Fields))
+	for i, f := range sr.Fields {
+		commits[i] = commitField(sr.Salts[i], f)
+	}
+	if !key.Verify(merkleRoot(commits), sr.Signature) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Redact produces a partial disclosure revealing only the fields at the
+// given positions. The returned structure carries hiding commitments for
+// every withheld field; it can be verified without learning anything
+// about them.
+func (sr *SignedRecord) Redact(disclose []int) (*RedactedRecord, error) {
+	want := make(map[int]bool, len(disclose))
+	for _, i := range disclose {
+		if i < 0 || i >= len(sr.Fields) {
+			return nil, fmt.Errorf("redact: position %d out of range [0,%d)", i, len(sr.Fields))
+		}
+		want[i] = true
+	}
+	rr := &RedactedRecord{
+		NumFields:   len(sr.Fields),
+		Disclosed:   make(map[int]Field),
+		Salts:       make(map[int][]byte),
+		Commitments: make(map[int][]byte),
+		Signature:   sr.Signature,
+	}
+	for i, f := range sr.Fields {
+		if want[i] {
+			rr.Disclosed[i] = f
+			rr.Salts[i] = append([]byte(nil), sr.Salts[i]...)
+		} else {
+			rr.Commitments[i] = commitField(sr.Salts[i], f)
+		}
+	}
+	return rr, nil
+}
+
+// VerifyRedacted checks that the disclosed fields are authentic parts of
+// a record signed by the key's owner.
+func VerifyRedacted(key *hckrypto.VerifyKey, rr *RedactedRecord) error {
+	if rr.NumFields < 0 || len(rr.Disclosed)+len(rr.Commitments) != rr.NumFields {
+		return ErrMalformed
+	}
+	commits := make([][]byte, rr.NumFields)
+	for i := 0; i < rr.NumFields; i++ {
+		if f, ok := rr.Disclosed[i]; ok {
+			salt, ok := rr.Salts[i]
+			if !ok {
+				return ErrMalformed
+			}
+			commits[i] = commitField(salt, f)
+		} else if c, ok := rr.Commitments[i]; ok {
+			commits[i] = c
+		} else {
+			return ErrMalformed
+		}
+	}
+	if !key.Verify(merkleRoot(commits), rr.Signature) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// DisclosedPositions returns the sorted positions revealed in rr.
+func (rr *RedactedRecord) DisclosedPositions() []int {
+	out := make([]int, 0, len(rr.Disclosed))
+	for i := range rr.Disclosed {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func commitField(salt []byte, f Field) []byte {
+	h := sha256.New()
+	h.Write(salt)
+	writeLenPrefixed(h, []byte(f.Name))
+	writeLenPrefixed(h, []byte(f.Value))
+	return h.Sum(nil)
+}
+
+// NaiveLeaf is the leaky baseline leaf: an unsalted deterministic hash.
+// Exported so experiment E7 and the privacy tests can mount the
+// dictionary attack the paper warns about.
+func NaiveLeaf(f Field) []byte {
+	h := sha256.New()
+	writeLenPrefixed(h, []byte(f.Name))
+	writeLenPrefixed(h, []byte(f.Value))
+	return h.Sum(nil)
+}
+
+// NaiveSignedRecord is the baseline: a plain Merkle tree over unsalted
+// field hashes. Redaction reveals sibling hashes directly, enabling
+// dictionary attacks on withheld fields.
+type NaiveSignedRecord struct {
+	Fields    Record
+	Signature []byte
+}
+
+// NaiveSign signs a record with the leaky baseline scheme.
+func NaiveSign(key *hckrypto.SigningKey, rec Record) (*NaiveSignedRecord, error) {
+	leaves := make([][]byte, len(rec))
+	for i, f := range rec {
+		leaves[i] = NaiveLeaf(f)
+	}
+	sig, err := key.Sign(merkleRoot(leaves))
+	if err != nil {
+		return nil, fmt.Errorf("redact: naive signing: %w", err)
+	}
+	return &NaiveSignedRecord{Fields: rec, Signature: sig}, nil
+}
+
+// NaiveRedacted is a baseline partial disclosure: withheld positions carry
+// the raw unsalted leaf hash.
+type NaiveRedacted struct {
+	NumFields  int
+	Disclosed  map[int]Field
+	LeafHashes map[int][]byte // withheld positions -> H(name||value): LEAKS
+	Signature  []byte
+}
+
+// NaiveRedact produces the baseline disclosure.
+func (nr *NaiveSignedRecord) NaiveRedact(disclose []int) (*NaiveRedacted, error) {
+	want := make(map[int]bool, len(disclose))
+	for _, i := range disclose {
+		if i < 0 || i >= len(nr.Fields) {
+			return nil, fmt.Errorf("redact: position %d out of range", i)
+		}
+		want[i] = true
+	}
+	out := &NaiveRedacted{
+		NumFields:  len(nr.Fields),
+		Disclosed:  make(map[int]Field),
+		LeafHashes: make(map[int][]byte),
+		Signature:  nr.Signature,
+	}
+	for i, f := range nr.Fields {
+		if want[i] {
+			out.Disclosed[i] = f
+		} else {
+			out.LeafHashes[i] = NaiveLeaf(f)
+		}
+	}
+	return out, nil
+}
+
+// VerifyNaiveRedacted checks the baseline disclosure.
+func VerifyNaiveRedacted(key *hckrypto.VerifyKey, nr *NaiveRedacted) error {
+	if len(nr.Disclosed)+len(nr.LeafHashes) != nr.NumFields {
+		return ErrMalformed
+	}
+	leaves := make([][]byte, nr.NumFields)
+	for i := 0; i < nr.NumFields; i++ {
+		if f, ok := nr.Disclosed[i]; ok {
+			leaves[i] = NaiveLeaf(f)
+		} else if h, ok := nr.LeafHashes[i]; ok {
+			leaves[i] = h
+		} else {
+			return ErrMalformed
+		}
+	}
+	if !key.Verify(merkleRoot(leaves), nr.Signature) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// merkleRoot computes a domain-separated binary Merkle root over leaves.
+// A single leaf hashes with the leaf prefix; empty input hashes a marker.
+func merkleRoot(leaves [][]byte) []byte {
+	if len(leaves) == 0 {
+		sum := sha256.Sum256([]byte("redact:empty"))
+		return sum[:]
+	}
+	level := make([][]byte, len(leaves))
+	for i, l := range leaves {
+		h := sha256.New()
+		h.Write([]byte{0x00}) // leaf domain separator
+		h.Write(l)
+		level[i] = h.Sum(nil)
+	}
+	for len(level) > 1 {
+		next := make([][]byte, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			h := sha256.New()
+			h.Write([]byte{0x01}) // interior domain separator
+			h.Write(level[i])
+			if i+1 < len(level) {
+				h.Write(level[i+1])
+			} else {
+				h.Write(level[i]) // duplicate odd node
+			}
+			next = append(next, h.Sum(nil))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+func writeLenPrefixed(w io.Writer, b []byte) {
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(b)))
+	w.Write(lenBuf[:])
+	w.Write(b)
+}

@@ -1,0 +1,313 @@
+package redact
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"healthcloud/internal/hckrypto"
+)
+
+// One shared key for the whole test package: RSA keygen is slow and the
+// scheme under test is key-agnostic.
+var testKey = func() *hckrypto.SigningKey {
+	k, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}()
+
+func sampleRecord() Record {
+	return Record{
+		{Name: "name", Value: "Jane Doe"},
+		{Name: "dob", Value: "1980-04-02"},
+		{Name: "diagnosis", Value: "type 2 diabetes"},
+		{Name: "hba1c", Value: "8.1"},
+		{Name: "insurer", Value: "Acme Health"},
+	}
+}
+
+func TestSignVerifyFullRecord(t *testing.T) {
+	sr, err := Sign(testKey, sampleRecord())
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := Verify(testKey.Public(), sr); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestVerifyDetectsFieldTamper(t *testing.T) {
+	sr, err := Sign(testKey, sampleRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr.Fields[2].Value = "healthy"
+	if err := Verify(testKey.Public(), sr); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered record: got %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyDetectsSaltFieldMismatch(t *testing.T) {
+	sr, err := Sign(testKey, sampleRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr.Salts = sr.Salts[:len(sr.Salts)-1]
+	if err := Verify(testKey.Public(), sr); !errors.Is(err, ErrMalformed) {
+		t.Errorf("got %v, want ErrMalformed", err)
+	}
+}
+
+func TestRedactAndVerifySubsets(t *testing.T) {
+	rec := sampleRecord()
+	sr, err := Sign(testKey, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subsets := [][]int{
+		{},              // disclose nothing
+		{0},             // one field
+		{2, 3},          // diagnosis + lab
+		{0, 1, 2, 3, 4}, // everything
+		{4, 0},          // out of order input
+	}
+	for _, subset := range subsets {
+		t.Run(fmt.Sprintf("disclose%v", subset), func(t *testing.T) {
+			rr, err := sr.Redact(subset)
+			if err != nil {
+				t.Fatalf("Redact: %v", err)
+			}
+			if err := VerifyRedacted(testKey.Public(), rr); err != nil {
+				t.Fatalf("VerifyRedacted: %v", err)
+			}
+			if len(rr.Disclosed) != len(subset) {
+				t.Errorf("disclosed %d fields, want %d", len(rr.Disclosed), len(subset))
+			}
+			for _, i := range subset {
+				if rr.Disclosed[i] != rec[i] {
+					t.Errorf("field %d = %+v, want %+v", i, rr.Disclosed[i], rec[i])
+				}
+			}
+		})
+	}
+}
+
+func TestRedactOutOfRange(t *testing.T) {
+	sr, err := Sign(testKey, sampleRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Redact([]int{99}); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	if _, err := sr.Redact([]int{-1}); err == nil {
+		t.Error("negative position accepted")
+	}
+}
+
+func TestRedactedTamperDetected(t *testing.T) {
+	sr, err := Sign(testKey, sampleRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := sr.Redact([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge a disclosed value.
+	f := rr.Disclosed[2]
+	f.Value = "no known conditions"
+	rr.Disclosed[2] = f
+	if err := VerifyRedacted(testKey.Public(), rr); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("forged disclosure: got %v, want ErrBadSignature", err)
+	}
+}
+
+func TestRedactedCommitmentTamperDetected(t *testing.T) {
+	sr, err := Sign(testKey, sampleRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := sr.Redact([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Commitments[1][0] ^= 1
+	if err := VerifyRedacted(testKey.Public(), rr); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered commitment: got %v, want ErrBadSignature", err)
+	}
+}
+
+func TestRedactedMalformedShapes(t *testing.T) {
+	sr, err := Sign(testKey, sampleRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := sr.Redact([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop a withheld commitment: count mismatch.
+	delete(rr.Commitments, 0)
+	if err := VerifyRedacted(testKey.Public(), rr); !errors.Is(err, ErrMalformed) {
+		t.Errorf("missing commitment: got %v, want ErrMalformed", err)
+	}
+	// Disclosed field missing its salt.
+	rr2, _ := sr.Redact([]int{1})
+	delete(rr2.Salts, 1)
+	if err := VerifyRedacted(testKey.Public(), rr2); !errors.Is(err, ErrMalformed) {
+		t.Errorf("missing salt: got %v, want ErrMalformed", err)
+	}
+}
+
+// TestLeakageFreedom is the core privacy property: the commitment of a
+// withheld field must not be reproducible by an attacker who guesses the
+// value, because of the hiding salt. The naive baseline fails exactly this
+// test — which is the paper's argument for leakage-free schemes.
+func TestLeakageFreedom(t *testing.T) {
+	rec := sampleRecord()
+	sr, err := Sign(testKey, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := sr.Redact([]int{0}) // everything but "name" withheld
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dictionary attack: try to confirm the hidden diagnosis.
+	guesses := []string{"type 2 diabetes", "hypertension", "HIV positive"}
+	for _, g := range guesses {
+		guessLeaf := NaiveLeaf(Field{Name: "diagnosis", Value: g})
+		if bytes.Equal(rr.Commitments[2], guessLeaf) {
+			t.Errorf("leakage-free scheme leaked: guess %q confirmed", g)
+		}
+	}
+}
+
+func TestNaiveSchemeLeaks(t *testing.T) {
+	rec := sampleRecord()
+	nr, err := NaiveSign(testKey, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := nr.NaiveRedact([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyNaiveRedacted(testKey.Public(), red); err != nil {
+		t.Fatalf("VerifyNaiveRedacted: %v", err)
+	}
+	// The dictionary attack succeeds against the baseline.
+	confirmed := ""
+	for _, g := range []string{"hypertension", "type 2 diabetes", "asthma"} {
+		if bytes.Equal(red.LeafHashes[2], NaiveLeaf(Field{Name: "diagnosis", Value: g})) {
+			confirmed = g
+		}
+	}
+	if confirmed != "type 2 diabetes" {
+		t.Errorf("expected the naive scheme to leak the diagnosis; confirmed=%q", confirmed)
+	}
+}
+
+func TestTwoRedactionsUnlinkableCommitments(t *testing.T) {
+	// Signing the same record twice must produce different commitments
+	// (fresh salts), so two disclosures cannot be linked via commitments.
+	rec := sampleRecord()
+	sr1, err := Sign(testKey, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr2, err := Sign(testKey, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := sr1.Redact([]int{0})
+	r2, _ := sr2.Redact([]int{0})
+	for i := range r1.Commitments {
+		if bytes.Equal(r1.Commitments[i], r2.Commitments[i]) {
+			t.Errorf("commitment for field %d identical across signings", i)
+		}
+	}
+}
+
+func TestEmptyAndSingleFieldRecords(t *testing.T) {
+	for _, rec := range []Record{{}, {{Name: "only", Value: "field"}}} {
+		sr, err := Sign(testKey, rec)
+		if err != nil {
+			t.Fatalf("Sign(%d fields): %v", len(rec), err)
+		}
+		if err := Verify(testKey.Public(), sr); err != nil {
+			t.Errorf("Verify(%d fields): %v", len(rec), err)
+		}
+	}
+}
+
+func TestDisclosedPositionsSorted(t *testing.T) {
+	sr, err := Sign(testKey, sampleRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := sr.Redact([]int{3, 0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rr.DisclosedPositions()
+	want := []int{0, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("positions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("positions = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: any subset of any record verifies after redaction.
+func TestQuickRedactSubsetsVerify(t *testing.T) {
+	f := func(values []string, mask uint16) bool {
+		if len(values) > 12 {
+			values = values[:12]
+		}
+		rec := make(Record, len(values))
+		for i, v := range values {
+			rec[i] = Field{Name: fmt.Sprintf("f%d", i), Value: v}
+		}
+		sr, err := Sign(testKey, rec)
+		if err != nil {
+			return false
+		}
+		var disclose []int
+		for i := range rec {
+			if mask&(1<<uint(i)) != 0 {
+				disclose = append(disclose, i)
+			}
+		}
+		rr, err := sr.Redact(disclose)
+		if err != nil {
+			return false
+		}
+		return VerifyRedacted(testKey.Public(), rr) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerkleRootDomainSeparation(t *testing.T) {
+	// A single leaf must not collide with the concatenation trick:
+	// root([a,b]) != root([H(a)||H(b)]) because of the 0x00/0x01 prefixes.
+	a, b := []byte("leaf-a"), []byte("leaf-b")
+	two := merkleRoot([][]byte{a, b})
+	one := merkleRoot([][]byte{two})
+	if bytes.Equal(two, one) {
+		t.Error("interior node collides with leaf hash — missing domain separation")
+	}
+	if !bytes.Equal(merkleRoot(nil), merkleRoot([][]byte{})) {
+		t.Error("empty roots disagree")
+	}
+}

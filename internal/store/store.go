@@ -1,0 +1,283 @@
+// Package store implements the platform's trusted back-end storage
+// (§II-B): a Data Lake of envelope-encrypted records, the secure
+// temporary staging area uploads land in, and the reference-id ↔
+// identity mapping kept in metadata ("the data is de-identified and
+// stored in the backend storage system (Data Lake) with a reference-id,
+// and the reference-id to identity the mapping is stored in the
+// metadata").
+//
+// Records are encrypted with per-record data keys from the KMS, bound to
+// a subject (patient), so GDPR right-to-forget is implemented by
+// crypto-shredding the subject's keys (§IV-B1 "encryption-based record
+// deletion").
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"healthcloud/internal/hckrypto"
+)
+
+// Errors returned by this package.
+var (
+	ErrNotFound = errors.New("store: record not found")
+	ErrDeleted  = errors.New("store: record securely deleted")
+	ErrIdentity = errors.New("store: identity mapping access denied")
+)
+
+// Meta describes a stored record. Tags carry non-PHI attributes only.
+type Meta struct {
+	ContentType string            `json:"content_type"`
+	Tenant      string            `json:"tenant"`
+	Group       string            `json:"group,omitempty"`
+	CreatedAt   time.Time         `json:"created_at"`
+	Tags        map[string]string `json:"tags,omitempty"`
+}
+
+type record struct {
+	refID      string
+	keyID      string
+	ciphertext []byte
+	meta       Meta
+	deleted    bool
+}
+
+// DataLake is the encrypted record store. Construct with NewDataLake.
+type DataLake struct {
+	kms       *hckrypto.KMS
+	principal string // the storage service's own KMS identity
+
+	mu      sync.RWMutex
+	records map[string]*record
+}
+
+// NewDataLake creates a lake that encrypts under keys from kms, acting
+// as the given KMS principal.
+func NewDataLake(kms *hckrypto.KMS, principal string) *DataLake {
+	return &DataLake{kms: kms, principal: principal, records: make(map[string]*record)}
+}
+
+// Put encrypts plaintext under a fresh per-record data key bound to
+// subject and stores it, returning the reference ID. The plaintext never
+// persists; the data key lives only in the KMS.
+func (d *DataLake) Put(subject string, plaintext []byte, meta Meta) (string, error) {
+	keyID, dk, err := d.kms.CreateDataKey(subject, d.principal)
+	if err != nil {
+		return "", fmt.Errorf("store: creating data key: %w", err)
+	}
+	refID := "ref-" + hckrypto.NewUUID()
+	ct, err := hckrypto.EncryptGCM(dk, plaintext, []byte(refID))
+	if err != nil {
+		return "", fmt.Errorf("store: encrypting record: %w", err)
+	}
+	if meta.CreatedAt.IsZero() {
+		meta.CreatedAt = time.Now().UTC()
+	}
+	d.mu.Lock()
+	d.records[refID] = &record{refID: refID, keyID: keyID, ciphertext: ct, meta: meta}
+	d.mu.Unlock()
+	return refID, nil
+}
+
+// Get decrypts a record on behalf of principal. The KMS enforces
+// need-to-know: the principal must hold a grant on the record's key.
+func (d *DataLake) Get(refID, principal string) ([]byte, error) {
+	d.mu.RLock()
+	rec, ok := d.records[refID]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, refID)
+	}
+	if rec.deleted {
+		return nil, fmt.Errorf("%w: %s", ErrDeleted, refID)
+	}
+	dk, err := d.kms.UnwrapDataKey(rec.keyID, principal)
+	if err != nil {
+		return nil, fmt.Errorf("store: unwrapping key for %s: %w", refID, err)
+	}
+	pt, err := hckrypto.DecryptGCM(dk, rec.ciphertext, []byte(refID))
+	if err != nil {
+		return nil, fmt.Errorf("store: decrypting %s: %w", refID, err)
+	}
+	return pt, nil
+}
+
+// Grant allows another principal to read a record (KMS key grant).
+func (d *DataLake) Grant(refID, principal string) error {
+	d.mu.RLock()
+	rec, ok := d.records[refID]
+	d.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, refID)
+	}
+	return d.kms.Grant(rec.keyID, principal)
+}
+
+// Meta returns a record's metadata (no key material, no plaintext).
+func (d *DataLake) Meta(refID string) (Meta, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	rec, ok := d.records[refID]
+	if !ok {
+		return Meta{}, fmt.Errorf("%w: %s", ErrNotFound, refID)
+	}
+	return rec.meta, nil
+}
+
+// SecureDelete crypto-shreds one record: its data key is destroyed and
+// the ciphertext zeroed. The tombstone remains so audits can see a
+// record existed.
+func (d *DataLake) SecureDelete(refID string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rec, ok := d.records[refID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, refID)
+	}
+	if rec.deleted {
+		return nil
+	}
+	if err := d.kms.Shred(rec.keyID); err != nil {
+		return fmt.Errorf("store: shredding key: %w", err)
+	}
+	for i := range rec.ciphertext {
+		rec.ciphertext[i] = 0
+	}
+	rec.ciphertext = nil
+	rec.deleted = true
+	return nil
+}
+
+// List returns the reference IDs matching the tenant/group filter
+// (empty strings match everything), sorted, excluding deleted records.
+func (d *DataLake) List(tenantName, group string) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []string
+	for id, rec := range d.records {
+		if rec.deleted {
+			continue
+		}
+		if tenantName != "" && rec.meta.Tenant != tenantName {
+			continue
+		}
+		if group != "" && rec.meta.Group != group {
+			continue
+		}
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns live (non-deleted) record count.
+func (d *DataLake) Count() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := 0
+	for _, rec := range d.records {
+		if !rec.deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Staging is the "secure temporary storage area" uploads land in before
+// background ingestion picks them up (§II-B). Contents are already
+// client-encrypted; staging only holds opaque bytes.
+type Staging struct {
+	mu      sync.Mutex
+	uploads map[string][]byte
+}
+
+// NewStaging creates an empty staging area.
+func NewStaging() *Staging {
+	return &Staging{uploads: make(map[string][]byte)}
+}
+
+// Put stores an encrypted upload and returns its upload ID.
+func (s *Staging) Put(encrypted []byte) string {
+	id := "upload-" + hckrypto.NewUUID()
+	s.mu.Lock()
+	s.uploads[id] = append([]byte(nil), encrypted...)
+	s.mu.Unlock()
+	return id
+}
+
+// Take removes and returns an upload (the background worker consumes it
+// exactly once).
+func (s *Staging) Take(id string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.uploads[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: upload %s", ErrNotFound, id)
+	}
+	delete(s.uploads, id)
+	return data, nil
+}
+
+// Len returns the number of pending uploads.
+func (s *Staging) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.uploads)
+}
+
+// IdentityMap keeps the reference-id → patient-identity mapping. Access
+// is restricted to a single authorized principal (the re-identification
+// path of the Full Export service); everything else in the platform works
+// with reference IDs only.
+type IdentityMap struct {
+	authorized string
+
+	mu sync.RWMutex
+	m  map[string]string // refID -> identity
+}
+
+// NewIdentityMap creates a map readable only by the authorized principal.
+func NewIdentityMap(authorizedPrincipal string) *IdentityMap {
+	return &IdentityMap{authorized: authorizedPrincipal, m: make(map[string]string)}
+}
+
+// Bind records the mapping for a reference ID.
+func (im *IdentityMap) Bind(refID, identity string) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	im.m[refID] = identity
+}
+
+// Identity resolves a reference ID for the authorized principal only.
+func (im *IdentityMap) Identity(refID, principal string) (string, error) {
+	if principal != im.authorized {
+		return "", fmt.Errorf("%w: principal %q", ErrIdentity, principal)
+	}
+	im.mu.RLock()
+	defer im.mu.RUnlock()
+	id, ok := im.m[refID]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNotFound, refID)
+	}
+	return id, nil
+}
+
+// Forget removes every mapping for an identity (right-to-forget) and
+// returns the reference IDs that pointed at it.
+func (im *IdentityMap) Forget(identity string) []string {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	var refs []string
+	for ref, id := range im.m {
+		if id == identity {
+			refs = append(refs, ref)
+			delete(im.m, ref)
+		}
+	}
+	sort.Strings(refs)
+	return refs
+}

@@ -1,0 +1,295 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"healthcloud/internal/hckrypto"
+)
+
+func newTestLake(t *testing.T) (*DataLake, *hckrypto.KMS) {
+	t.Helper()
+	kms, err := hckrypto.NewKMS("tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDataLake(kms, "svc-storage"), kms
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	lake, _ := newTestLake(t)
+	phi := []byte(`{"patient":"ref only","hba1c":8.1}`)
+	ref, err := lake.Put("patient-1", phi, Meta{ContentType: "fhir+json", Tenant: "tenant-a", Group: "study-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lake.Get(ref, "svc-storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, phi) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestGetUnknownRef(t *testing.T) {
+	lake, _ := newTestLake(t)
+	if _, err := lake.Get("ref-ghost", "svc-storage"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("got %v, want ErrNotFound", err)
+	}
+}
+
+func TestNeedToKnowEnforced(t *testing.T) {
+	lake, _ := newTestLake(t)
+	ref, err := lake.Put("patient-1", []byte("phi"), Meta{Tenant: "tenant-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A principal without a key grant cannot decrypt.
+	if _, err := lake.Get(ref, "svc-analytics"); !errors.Is(err, hckrypto.ErrAccessDenied) {
+		t.Errorf("ungranted read: got %v, want ErrAccessDenied", err)
+	}
+	if err := lake.Grant(ref, "svc-analytics"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lake.Get(ref, "svc-analytics"); err != nil {
+		t.Errorf("granted read failed: %v", err)
+	}
+	if err := lake.Grant("ref-ghost", "x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("grant on unknown ref: %v", err)
+	}
+}
+
+func TestSecureDelete(t *testing.T) {
+	lake, kms := newTestLake(t)
+	ref, err := lake.Put("patient-1", []byte("phi"), Meta{Tenant: "tenant-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lake.SecureDelete(ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lake.Get(ref, "svc-storage"); !errors.Is(err, ErrDeleted) {
+		t.Errorf("deleted read: got %v, want ErrDeleted", err)
+	}
+	if kms.KeyCount() != 0 {
+		t.Error("data key survived secure deletion")
+	}
+	// Idempotent.
+	if err := lake.SecureDelete(ref); err != nil {
+		t.Errorf("second delete: %v", err)
+	}
+	if err := lake.SecureDelete("ref-ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("delete unknown: %v", err)
+	}
+}
+
+func TestRightToForgetViaKMSShred(t *testing.T) {
+	lake, kms := newTestLake(t)
+	var refs []string
+	for i := 0; i < 3; i++ {
+		ref, err := lake.Put("patient-7", []byte(fmt.Sprintf("record-%d", i)), Meta{Tenant: "tenant-a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+	}
+	other, err := lake.Put("patient-8", []byte("other"), Meta{Tenant: "tenant-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GDPR erasure: shred every key belonging to the subject.
+	if n := kms.ShredSubject("patient-7"); n != 3 {
+		t.Fatalf("shredded %d keys, want 3", n)
+	}
+	for _, ref := range refs {
+		if _, err := lake.Get(ref, "svc-storage"); err == nil {
+			t.Errorf("record %s readable after right-to-forget", ref)
+		}
+	}
+	if _, err := lake.Get(other, "svc-storage"); err != nil {
+		t.Errorf("unrelated patient's record lost: %v", err)
+	}
+}
+
+func TestMetaAndList(t *testing.T) {
+	lake, _ := newTestLake(t)
+	r1, _ := lake.Put("p1", []byte("a"), Meta{Tenant: "tenant-a", Group: "study-1", ContentType: "fhir+json"})
+	r2, _ := lake.Put("p2", []byte("b"), Meta{Tenant: "tenant-a", Group: "study-2"})
+	lake.Put("p3", []byte("c"), Meta{Tenant: "tenant-b"})
+
+	m, err := lake.Meta(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ContentType != "fhir+json" || m.CreatedAt.IsZero() {
+		t.Errorf("meta = %+v", m)
+	}
+	if _, err := lake.Meta("ref-ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("meta unknown: %v", err)
+	}
+
+	if got := lake.List("tenant-a", ""); len(got) != 2 {
+		t.Errorf("tenant-a records = %v", got)
+	}
+	if got := lake.List("tenant-a", "study-2"); len(got) != 1 || got[0] != r2 {
+		t.Errorf("study-2 records = %v", got)
+	}
+	if got := lake.List("", ""); len(got) != 3 {
+		t.Errorf("all records = %v", got)
+	}
+	if lake.Count() != 3 {
+		t.Errorf("Count = %d", lake.Count())
+	}
+	lake.SecureDelete(r2)
+	if lake.Count() != 2 {
+		t.Errorf("Count after delete = %d", lake.Count())
+	}
+	if got := lake.List("tenant-a", "study-2"); len(got) != 0 {
+		t.Errorf("deleted record still listed: %v", got)
+	}
+}
+
+func TestCiphertextNotPlaintext(t *testing.T) {
+	lake, _ := newTestLake(t)
+	secret := []byte("THE-SECRET-DIAGNOSIS")
+	ref, err := lake.Put("p1", secret, Meta{Tenant: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lake.mu.RLock()
+	ct := lake.records[ref].ciphertext
+	lake.mu.RUnlock()
+	if bytes.Contains(ct, secret) {
+		t.Error("plaintext visible in stored ciphertext")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	lake, _ := newTestLake(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				body := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				ref, err := lake.Put(fmt.Sprintf("p-%d", g), body, Meta{Tenant: "t"})
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := lake.Get(ref, "svc-storage")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, body) {
+					errs <- fmt.Errorf("mismatch for %s", ref)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if lake.Count() != 32 {
+		t.Errorf("Count = %d, want 32", lake.Count())
+	}
+}
+
+func TestStaging(t *testing.T) {
+	s := NewStaging()
+	id := s.Put([]byte("encrypted-bundle"))
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	data, err := s.Take(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "encrypted-bundle" {
+		t.Errorf("data = %q", data)
+	}
+	if s.Len() != 0 {
+		t.Error("upload not consumed")
+	}
+	// Exactly-once consumption.
+	if _, err := s.Take(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("second take: %v", err)
+	}
+}
+
+func TestStagingIsolation(t *testing.T) {
+	s := NewStaging()
+	buf := []byte("mutable")
+	id := s.Put(buf)
+	buf[0] = 'X'
+	got, _ := s.Take(id)
+	if string(got) != "mutable" {
+		t.Error("staging did not copy the upload")
+	}
+}
+
+func TestIdentityMapAccessControl(t *testing.T) {
+	im := NewIdentityMap("svc-reident")
+	im.Bind("ref-1", "patient-jane")
+	if _, err := im.Identity("ref-1", "svc-analytics"); !errors.Is(err, ErrIdentity) {
+		t.Errorf("unauthorized resolve: %v", err)
+	}
+	id, err := im.Identity("ref-1", "svc-reident")
+	if err != nil || id != "patient-jane" {
+		t.Errorf("authorized resolve = %q, %v", id, err)
+	}
+	if _, err := im.Identity("ref-ghost", "svc-reident"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown ref: %v", err)
+	}
+}
+
+func TestIdentityMapForget(t *testing.T) {
+	im := NewIdentityMap("svc-reident")
+	im.Bind("ref-1", "patient-jane")
+	im.Bind("ref-2", "patient-jane")
+	im.Bind("ref-3", "patient-bob")
+	refs := im.Forget("patient-jane")
+	if len(refs) != 2 {
+		t.Fatalf("Forget returned %v", refs)
+	}
+	for _, ref := range refs {
+		if _, err := im.Identity(ref, "svc-reident"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("%s still mapped after Forget", ref)
+		}
+	}
+	if _, err := im.Identity("ref-3", "svc-reident"); err != nil {
+		t.Errorf("unrelated mapping lost: %v", err)
+	}
+	if got := im.Forget("patient-jane"); len(got) != 0 {
+		t.Errorf("second Forget = %v", got)
+	}
+}
+
+// Property: any payload round-trips through the encrypted lake intact.
+func TestQuickLakeRoundTrip(t *testing.T) {
+	lake, _ := newTestLake(t)
+	f := func(body []byte, subject uint8) bool {
+		ref, err := lake.Put(fmt.Sprintf("p-%d", subject), body, Meta{Tenant: "t"})
+		if err != nil {
+			return false
+		}
+		got, err := lake.Get(ref, "svc-storage")
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

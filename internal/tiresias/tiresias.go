@@ -1,0 +1,262 @@
+// Package tiresias implements similarity-based drug–drug interaction
+// prediction after the Tiresias system §V-A cites (Fokoue et al.,
+// ESWC'16): "Entities of interest for drug-drug interaction prediction
+// are pairs of drugs instead of single drugs. Tiresias computes
+// similarities on pairs of drugs by combining similarity metrics on
+// individual drugs." A candidate pair is scored by the similarity-
+// weighted vote of known interacting pairs, where pair similarity is the
+// best alignment of the two pairings' single-drug similarities combined
+// across sources.
+package tiresias
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Config tunes prediction.
+type Config struct {
+	// K is the number of nearest known interacting pairs that vote.
+	K int
+}
+
+// DefaultConfig returns the standard settings.
+func DefaultConfig() Config { return Config{K: 20} }
+
+// ErrInput reports invalid inputs.
+var ErrInput = errors.New("tiresias: invalid input")
+
+// Model holds the known-interaction training data and similarity views.
+type Model struct {
+	sims  [][][]float64 // per-source drug similarity
+	known [][2]int      // training interacting pairs (i<j)
+	n     int
+	cfg   Config
+}
+
+// New builds a model from training interactions (symmetric 0/1 matrix)
+// and one or more single-drug similarity sources.
+func New(train [][]float64, sims [][][]float64, cfg Config) (*Model, error) {
+	n := len(train)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty interaction matrix", ErrInput)
+	}
+	if len(sims) == 0 {
+		return nil, fmt.Errorf("%w: need at least one similarity source", ErrInput)
+	}
+	for s, sim := range sims {
+		if len(sim) != n {
+			return nil, fmt.Errorf("%w: source %d not aligned (%d vs %d)", ErrInput, s, len(sim), n)
+		}
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("%w: K must be positive", ErrInput)
+	}
+	m := &Model{sims: sims, n: n, cfg: cfg}
+	for i := 0; i < n; i++ {
+		if len(train[i]) != n {
+			return nil, fmt.Errorf("%w: ragged interaction matrix", ErrInput)
+		}
+		for j := i + 1; j < n; j++ {
+			if train[i][j] > 0 {
+				m.known = append(m.known, [2]int{i, j})
+			}
+		}
+	}
+	if len(m.known) == 0 {
+		return nil, fmt.Errorf("%w: no known interactions to learn from", ErrInput)
+	}
+	return m, nil
+}
+
+// drugSim combines the per-source similarities of two single drugs by
+// averaging across sources.
+func (m *Model) drugSim(a, b int) float64 {
+	s := 0.0
+	for _, sim := range m.sims {
+		s += sim[a][b]
+	}
+	return s / float64(len(m.sims))
+}
+
+// pairSim returns the similarity between pair (a,b) and pair (c,d): the
+// better of the two alignments, each the geometric mean of its
+// single-drug similarities.
+func (m *Model) pairSim(a, b, c, d int) float64 {
+	align1 := math.Sqrt(m.drugSim(a, c) * m.drugSim(b, d))
+	align2 := math.Sqrt(m.drugSim(a, d) * m.drugSim(b, c))
+	if align2 > align1 {
+		return align2
+	}
+	return align1
+}
+
+// Score predicts the interaction likelihood of (a, b): the mean pair
+// similarity to its K nearest known interacting pairs. Known pairs that
+// share a drug with the candidate vote with the similarity of the other
+// ends (triadic closure: if a interacts with c and b resembles c, then
+// (a,b) is a plausible interaction).
+func (m *Model) Score(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	top := make([]float64, 0, m.cfg.K)
+	for _, kp := range m.known {
+		if (kp[0] == a && kp[1] == b) || (kp[0] == b && kp[1] == a) {
+			continue // the candidate itself must not vote
+		}
+		s := m.pairSim(a, b, kp[0], kp[1])
+		if len(top) < m.cfg.K {
+			top = append(top, s)
+			continue
+		}
+		minAt, minV := 0, top[0]
+		for i := 1; i < len(top); i++ {
+			if top[i] < minV {
+				minAt, minV = i, top[i]
+			}
+		}
+		if s > minV {
+			top[minAt] = s
+		}
+	}
+	if len(top) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range top {
+		sum += v
+	}
+	return sum / float64(len(top))
+}
+
+// ScoreAll returns the full symmetric prediction matrix.
+func (m *Model) ScoreAll() [][]float64 {
+	out := make([][]float64, m.n)
+	for i := range out {
+		out[i] = make([]float64, m.n)
+	}
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			s := m.Score(i, j)
+			out[i][j], out[j][i] = s, s
+		}
+	}
+	return out
+}
+
+// DegreeBaseline scores pairs by the product of their training
+// interaction degrees — the popularity baseline.
+func DegreeBaseline(train [][]float64) [][]float64 {
+	n := len(train)
+	deg := make([]float64, n)
+	for i := range train {
+		for j := range train[i] {
+			deg[i] += train[i][j]
+		}
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			if i != j {
+				out[i][j] = deg[i] * deg[j]
+			}
+		}
+	}
+	return out
+}
+
+// PairAUC evaluates pair scores against held-out positive pairs,
+// ranking them among all non-training pairs (i<j).
+func PairAUC(scores, truth, train [][]float64, heldOut [][2]int) float64 {
+	held := make(map[[2]int]bool, len(heldOut))
+	for _, p := range heldOut {
+		a, b := p[0], p[1]
+		if a > b {
+			a, b = b, a
+		}
+		held[[2]int{a, b}] = true
+	}
+	var pos, neg []float64
+	n := len(truth)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if train[i][j] > 0 {
+				continue
+			}
+			if held[[2]int{i, j}] {
+				pos = append(pos, scores[i][j])
+			} else if truth[i][j] == 0 {
+				neg = append(neg, scores[i][j])
+			}
+		}
+	}
+	if len(pos) == 0 || len(neg) == 0 {
+		return 0
+	}
+	type sample struct {
+		v   float64
+		pos bool
+	}
+	all := make([]sample, 0, len(pos)+len(neg))
+	for _, v := range pos {
+		all = append(all, sample{v, true})
+	}
+	for _, v := range neg {
+		all = append(all, sample{v, false})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].v < all[b].v })
+	ranks := make([]float64, len(all))
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		avg := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		i = j
+	}
+	var rankSum float64
+	for i, s := range all {
+		if s.pos {
+			rankSum += ranks[i]
+		}
+	}
+	nP, nN := float64(len(pos)), float64(len(neg))
+	return (rankSum - nP*(nP+1)/2) / (nP * nN)
+}
+
+// HoldOutPairs removes a fraction of the positive pairs (i<j) from a
+// symmetric interaction matrix, deterministically by index stride, and
+// returns the training copy plus the held-out pairs.
+func HoldOutPairs(full [][]float64, fraction float64) (train [][]float64, heldOut [][2]int) {
+	n := len(full)
+	train = make([][]float64, n)
+	for i := range full {
+		train[i] = append([]float64(nil), full[i]...)
+	}
+	var positives [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if full[i][j] > 0 {
+				positives = append(positives, [2]int{i, j})
+			}
+		}
+	}
+	stride := int(1 / fraction)
+	if stride < 1 {
+		stride = 1
+	}
+	for idx := 0; idx < len(positives); idx += stride {
+		p := positives[idx]
+		train[p[0]][p[1]] = 0
+		train[p[1]][p[0]] = 0
+		heldOut = append(heldOut, p)
+	}
+	return train, heldOut
+}

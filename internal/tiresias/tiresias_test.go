@@ -1,0 +1,162 @@
+package tiresias
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"healthcloud/internal/kb"
+)
+
+// ddiFixture returns a dataset, its full interaction matrix, a training
+// split, and the held-out pairs.
+func ddiFixture(t *testing.T) (*kb.Dataset, [][]float64, [][]float64, [][2]int) {
+	t.Helper()
+	cfg := kb.DefaultConfig()
+	cfg.Drugs, cfg.Diseases = 100, 20
+	d, err := kb.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := d.GenerateInteractions(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, held := HoldOutPairs(full, 0.2)
+	return d, full, train, held
+}
+
+func sims(d *kb.Dataset) [][][]float64 {
+	var out [][][]float64
+	for _, src := range kb.DrugSources {
+		out = append(out, d.DrugSim[src])
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	d, _, train, _ := ddiFixture(t)
+	if _, err := New(nil, sims(d), DefaultConfig()); !errors.Is(err, ErrInput) {
+		t.Errorf("nil train: %v", err)
+	}
+	if _, err := New(train, nil, DefaultConfig()); !errors.Is(err, ErrInput) {
+		t.Errorf("no sims: %v", err)
+	}
+	if _, err := New(train, sims(d), Config{K: 0}); !errors.Is(err, ErrInput) {
+		t.Errorf("K=0: %v", err)
+	}
+	tiny := [][]float64{{0, 0}, {0, 0}}
+	tinySim := [][][]float64{{{1, 0}, {0, 1}}}
+	if _, err := New(tiny, tinySim, DefaultConfig()); !errors.Is(err, ErrInput) {
+		t.Errorf("no known interactions: %v", err)
+	}
+	misaligned := [][][]float64{{{1}}}
+	if _, err := New(train, misaligned, DefaultConfig()); !errors.Is(err, ErrInput) {
+		t.Errorf("misaligned sim: %v", err)
+	}
+}
+
+func TestInteractionGeneration(t *testing.T) {
+	cfg := kb.DefaultConfig()
+	cfg.Drugs, cfg.Diseases = 50, 10
+	d, _ := kb.Generate(cfg)
+	full, err := d.GenerateInteractions(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.GenerateInteractions(0); err == nil {
+		t.Error("density 0 accepted")
+	}
+	ones := 0
+	for i := range full {
+		if full[i][i] != 0 {
+			t.Fatal("self-interaction generated")
+		}
+		for j := range full[i] {
+			if full[i][j] != full[j][i] {
+				t.Fatal("interaction matrix not symmetric")
+			}
+			if full[i][j] > 0 {
+				ones++
+			}
+		}
+	}
+	totalPairs := 50 * 49 / 2
+	wantPairs := int(0.1 * float64(totalPairs))
+	if ones/2 != wantPairs {
+		t.Errorf("positive pairs = %d, want %d", ones/2, wantPairs)
+	}
+}
+
+func TestHoldOutPairs(t *testing.T) {
+	_, full, train, held := ddiFixture(t)
+	if len(held) == 0 {
+		t.Fatal("nothing held out")
+	}
+	for _, p := range held {
+		if full[p[0]][p[1]] != 1 {
+			t.Errorf("held-out %v not positive in truth", p)
+		}
+		if train[p[0]][p[1]] != 0 || train[p[1]][p[0]] != 0 {
+			t.Errorf("held-out %v still in train (both directions)", p)
+		}
+	}
+}
+
+func TestScoreSymmetryAndSelf(t *testing.T) {
+	d, _, train, _ := ddiFixture(t)
+	m, err := New(train, sims(d), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Score(3, 3) != 0 {
+		t.Error("self-pair scored nonzero")
+	}
+	if m.Score(3, 7) != m.Score(7, 3) {
+		t.Error("score not symmetric")
+	}
+}
+
+// TestTiresiasBeatsBaselines is experiment E14's shape: similarity-based
+// pair prediction beats popularity and random ranking.
+func TestTiresiasBeatsBaselines(t *testing.T) {
+	d, full, train, held := ddiFixture(t)
+	m, err := New(train, sims(d), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tireAUC := PairAUC(m.ScoreAll(), full, train, held)
+	degAUC := PairAUC(DegreeBaseline(train), full, train, held)
+	rng := rand.New(rand.NewSource(5))
+	randScores := make([][]float64, len(full))
+	for i := range randScores {
+		randScores[i] = make([]float64, len(full))
+		for j := range randScores[i] {
+			randScores[i][j] = rng.Float64()
+		}
+	}
+	randAUC := PairAUC(randScores, full, train, held)
+	t.Logf("AUC: tiresias=%.3f degree=%.3f random=%.3f", tireAUC, degAUC, randAUC)
+	if tireAUC < 0.65 {
+		t.Errorf("tiresias AUC = %.3f, want >= 0.65", tireAUC)
+	}
+	if tireAUC <= degAUC {
+		t.Errorf("tiresias (%.3f) did not beat degree baseline (%.3f)", tireAUC, degAUC)
+	}
+	if randAUC < 0.4 || randAUC > 0.6 {
+		t.Errorf("random AUC = %.3f, want ~0.5 (evaluator sanity)", randAUC)
+	}
+}
+
+func TestPairAUCEdgeCases(t *testing.T) {
+	truth := [][]float64{{0, 1}, {1, 0}}
+	train := [][]float64{{0, 0}, {0, 0}}
+	scores := [][]float64{{0, 0.9}, {0.9, 0}}
+	if got := PairAUC(scores, truth, train, nil); got != 0 {
+		t.Errorf("no held-out: %f", got)
+	}
+	// One positive, no negatives -> 0.
+	if got := PairAUC(scores, truth, train, [][2]int{{0, 1}}); got != 0 {
+		t.Errorf("no negatives: %f", got)
+	}
+}

@@ -1,0 +1,203 @@
+// Package tpm implements a software Trusted Platform Module and the vTPM
+// manager of Figure 5. The paper's trust chain starts from "a root of
+// trust at the hardware level (using TPMs and Attestation Service) for
+// each server" (§II-A) and extends transitively — hypervisor, guest OS,
+// containers — via vTPM instances (Berger et al.) hosted in a dedicated
+// VM and accessed by client drivers.
+//
+// Substitution note (DESIGN.md): we have no physical TPM, so this package
+// models the parts the attestation path consumes: a bank of PCRs that can
+// only be extended (never set), a measurement event log, and signed
+// quotes over selected PCRs with a caller-supplied nonce for freshness.
+package tpm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"healthcloud/internal/hckrypto"
+)
+
+// NumPCRs is the number of platform configuration registers, matching
+// the TPM 1.2 minimum.
+const NumPCRs = 24
+
+// Well-known PCR assignments used by the platform's measured boot.
+const (
+	PCRBios       = 0 // CRTM + BIOS (TCG conventional BIOS spec)
+	PCRHypervisor = 1
+	PCRKernel     = 2 // guest kernel (trusted kernel, Sailer et al. IMA)
+	PCRLibraries  = 3 // libraries and drivers
+	PCRContainer  = 4 // container images measured at start
+	PCRVTPMEvents = 5 // vTPM lifecycle events recorded by the manager
+)
+
+// Errors returned by this package.
+var (
+	ErrBadPCRIndex = errors.New("tpm: PCR index out of range")
+	ErrNoSuchVTPM  = errors.New("tpm: no vTPM instance for that VM")
+)
+
+// Event is one entry in the measurement log: what was extended where.
+type Event struct {
+	PCR         int    `json:"pcr"`
+	Description string `json:"description"`
+	Digest      []byte `json:"digest"`
+}
+
+// TPM is a software trusted platform module. The zero value is unusable;
+// create instances with New so the endorsement key exists.
+type TPM struct {
+	mu     sync.RWMutex
+	pcrs   [NumPCRs][]byte
+	log    []Event
+	ak     *hckrypto.SigningKey // attestation key, never leaves the TPM
+	akName string
+}
+
+// New creates a TPM with zeroed PCRs and a fresh attestation key. The
+// attestation (public) key is what the Attestation Service learns about
+// out of band when hardware is enrolled.
+func New(name string) (*TPM, error) {
+	ak, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: generating attestation key: %w", err)
+	}
+	t := &TPM{ak: ak, akName: name}
+	for i := range t.pcrs {
+		t.pcrs[i] = make([]byte, sha256.Size)
+	}
+	return t, nil
+}
+
+// Name returns the identity the TPM was enrolled under.
+func (t *TPM) Name() string { return t.akName }
+
+// AttestationKey returns the public verification key for this TPM's quotes.
+func (t *TPM) AttestationKey() *hckrypto.VerifyKey { return t.ak.Public() }
+
+// Extend folds a measurement into a PCR: pcr = SHA-256(pcr || digest).
+// This is the only way PCR contents change, which is what makes the
+// boot-sequence ledger tamper-evident.
+func (t *TPM) Extend(pcr int, description string, measured []byte) error {
+	if pcr < 0 || pcr >= NumPCRs {
+		return ErrBadPCRIndex
+	}
+	digest := sha256.Sum256(measured)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := sha256.New()
+	h.Write(t.pcrs[pcr])
+	h.Write(digest[:])
+	t.pcrs[pcr] = h.Sum(nil)
+	t.log = append(t.log, Event{PCR: pcr, Description: description, Digest: digest[:]})
+	return nil
+}
+
+// ReadPCR returns a copy of the current value of a PCR.
+func (t *TPM) ReadPCR(pcr int) ([]byte, error) {
+	if pcr < 0 || pcr >= NumPCRs {
+		return nil, ErrBadPCRIndex
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]byte(nil), t.pcrs[pcr]...), nil
+}
+
+// EventLog returns a copy of the measurement log.
+func (t *TPM) EventLog() []Event {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]Event(nil), t.log...)
+}
+
+// Quote is a signed statement of PCR contents at a point in time, bound
+// to a verifier-chosen nonce for freshness.
+type Quote struct {
+	TPMName string         `json:"tpm_name"`
+	Nonce   []byte         `json:"nonce"`
+	PCRs    map[int][]byte `json:"pcrs"`
+	Sig     []byte         `json:"sig"`
+}
+
+// GenerateQuote signs the selected PCRs together with the nonce.
+func (t *TPM) GenerateQuote(nonce []byte, pcrs []int) (*Quote, error) {
+	t.mu.RLock()
+	sel := make(map[int][]byte, len(pcrs))
+	for _, p := range pcrs {
+		if p < 0 || p >= NumPCRs {
+			t.mu.RUnlock()
+			return nil, ErrBadPCRIndex
+		}
+		sel[p] = append([]byte(nil), t.pcrs[p]...)
+	}
+	t.mu.RUnlock()
+	q := &Quote{TPMName: t.akName, Nonce: append([]byte(nil), nonce...), PCRs: sel}
+	sig, err := t.ak.Sign(q.payload())
+	if err != nil {
+		return nil, fmt.Errorf("tpm: signing quote: %w", err)
+	}
+	q.Sig = sig
+	return q, nil
+}
+
+// VerifyQuote checks a quote's signature and nonce against the TPM's
+// attestation public key.
+func VerifyQuote(ak *hckrypto.VerifyKey, q *Quote, wantNonce []byte) bool {
+	if q == nil || !bytesEqual(q.Nonce, wantNonce) {
+		return false
+	}
+	return ak.Verify(q.payload(), q.Sig)
+}
+
+// payload serializes the quote deterministically for signing: name,
+// nonce, then PCR indexes in ascending order with their values.
+func (q *Quote) payload() []byte {
+	h := sha256.New()
+	writeField(h, []byte(q.TPMName))
+	writeField(h, q.Nonce)
+	for i := 0; i < NumPCRs; i++ {
+		if v, ok := q.PCRs[i]; ok {
+			var idx [4]byte
+			binary.BigEndian.PutUint32(idx[:], uint32(i))
+			h.Write(idx[:])
+			writeField(h, v)
+		}
+	}
+	return h.Sum(nil)
+}
+
+// Marshal encodes the quote for transmission to an attestation service.
+func (q *Quote) Marshal() ([]byte, error) { return json.Marshal(q) }
+
+// UnmarshalQuote decodes a quote received over the wire.
+func UnmarshalQuote(data []byte) (*Quote, error) {
+	var q Quote
+	if err := json.Unmarshal(data, &q); err != nil {
+		return nil, fmt.Errorf("tpm: decoding quote: %w", err)
+	}
+	return &q, nil
+}
+
+func writeField(h interface{ Write([]byte) (int, error) }, b []byte) {
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(b)))
+	h.Write(lenBuf[:])
+	h.Write(b)
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

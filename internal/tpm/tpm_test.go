@@ -1,0 +1,344 @@
+package tpm
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestTPM(t *testing.T) *TPM {
+	t.Helper()
+	tp, err := New("host-1")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tp
+}
+
+func TestPCRsStartZeroed(t *testing.T) {
+	tp := newTestTPM(t)
+	zero := make([]byte, 32)
+	for i := 0; i < NumPCRs; i++ {
+		v, err := tp.ReadPCR(i)
+		if err != nil {
+			t.Fatalf("ReadPCR(%d): %v", i, err)
+		}
+		if !bytes.Equal(v, zero) {
+			t.Errorf("PCR %d not zeroed at creation", i)
+		}
+	}
+}
+
+func TestExtendChangesOnlyTargetPCR(t *testing.T) {
+	tp := newTestTPM(t)
+	before := make([][]byte, NumPCRs)
+	for i := range before {
+		before[i], _ = tp.ReadPCR(i)
+	}
+	if err := tp.Extend(PCRKernel, "kernel", []byte("vmlinuz")); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	for i := range before {
+		after, _ := tp.ReadPCR(i)
+		if i == PCRKernel {
+			if bytes.Equal(after, before[i]) {
+				t.Error("target PCR unchanged after Extend")
+			}
+		} else if !bytes.Equal(after, before[i]) {
+			t.Errorf("PCR %d changed by Extend of PCR %d", i, PCRKernel)
+		}
+	}
+}
+
+func TestExtendOrderMatters(t *testing.T) {
+	a := newTestTPM(t)
+	b := newTestTPM(t)
+	a.Extend(0, "m1", []byte("one"))
+	a.Extend(0, "m2", []byte("two"))
+	b.Extend(0, "m2", []byte("two"))
+	b.Extend(0, "m1", []byte("one"))
+	va, _ := a.ReadPCR(0)
+	vb, _ := b.ReadPCR(0)
+	if bytes.Equal(va, vb) {
+		t.Error("different extend orders produced identical PCR values")
+	}
+}
+
+func TestExtendDeterministic(t *testing.T) {
+	a := newTestTPM(t)
+	b := newTestTPM(t)
+	for _, tp := range []*TPM{a, b} {
+		tp.Extend(2, "bios", []byte("bios-v1"))
+		tp.Extend(2, "kernel", []byte("kernel-v1"))
+	}
+	va, _ := a.ReadPCR(2)
+	vb, _ := b.ReadPCR(2)
+	if !bytes.Equal(va, vb) {
+		t.Error("same measurement sequence produced different PCR values")
+	}
+}
+
+func TestPCRBounds(t *testing.T) {
+	tp := newTestTPM(t)
+	if err := tp.Extend(-1, "x", nil); !errors.Is(err, ErrBadPCRIndex) {
+		t.Errorf("Extend(-1): %v", err)
+	}
+	if err := tp.Extend(NumPCRs, "x", nil); !errors.Is(err, ErrBadPCRIndex) {
+		t.Errorf("Extend(NumPCRs): %v", err)
+	}
+	if _, err := tp.ReadPCR(NumPCRs); !errors.Is(err, ErrBadPCRIndex) {
+		t.Errorf("ReadPCR(NumPCRs): %v", err)
+	}
+	if _, err := tp.GenerateQuote([]byte("n"), []int{0, 99}); !errors.Is(err, ErrBadPCRIndex) {
+		t.Errorf("GenerateQuote bad pcr: %v", err)
+	}
+}
+
+func TestEventLogRecordsMeasurements(t *testing.T) {
+	tp := newTestTPM(t)
+	tp.Extend(0, "bios", []byte("bios"))
+	tp.Extend(1, "hv", []byte("xen"))
+	log := tp.EventLog()
+	if len(log) != 2 {
+		t.Fatalf("log length = %d, want 2", len(log))
+	}
+	if log[0].Description != "bios" || log[0].PCR != 0 {
+		t.Errorf("log[0] = %+v", log[0])
+	}
+	if log[1].Description != "hv" || log[1].PCR != 1 {
+		t.Errorf("log[1] = %+v", log[1])
+	}
+}
+
+func TestQuoteVerifies(t *testing.T) {
+	tp := newTestTPM(t)
+	tp.Extend(0, "bios", []byte("bios"))
+	nonce := []byte("fresh-nonce-123")
+	q, err := tp.GenerateQuote(nonce, []int{0, 1})
+	if err != nil {
+		t.Fatalf("GenerateQuote: %v", err)
+	}
+	if !VerifyQuote(tp.AttestationKey(), q, nonce) {
+		t.Error("valid quote rejected")
+	}
+}
+
+func TestQuoteRejectsWrongNonce(t *testing.T) {
+	tp := newTestTPM(t)
+	q, err := tp.GenerateQuote([]byte("nonce-a"), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyQuote(tp.AttestationKey(), q, []byte("nonce-b")) {
+		t.Error("replayed quote with wrong nonce accepted")
+	}
+	if VerifyQuote(tp.AttestationKey(), nil, []byte("nonce-a")) {
+		t.Error("nil quote accepted")
+	}
+}
+
+func TestQuoteRejectsTamperedPCR(t *testing.T) {
+	tp := newTestTPM(t)
+	tp.Extend(0, "bios", []byte("bios"))
+	nonce := []byte("n")
+	q, err := tp.GenerateQuote(nonce, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.PCRs[0][0] ^= 1
+	if VerifyQuote(tp.AttestationKey(), q, nonce) {
+		t.Error("tampered quote accepted")
+	}
+}
+
+func TestQuoteRejectsForeignKey(t *testing.T) {
+	tp1 := newTestTPM(t)
+	tp2 := newTestTPM(t)
+	nonce := []byte("n")
+	q, err := tp1.GenerateQuote(nonce, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyQuote(tp2.AttestationKey(), q, nonce) {
+		t.Error("quote verified under another TPM's key")
+	}
+}
+
+func TestQuoteMarshalRoundTrip(t *testing.T) {
+	tp := newTestTPM(t)
+	tp.Extend(3, "libs", []byte("libssl"))
+	nonce := []byte("round-trip")
+	q, err := tp.GenerateQuote(nonce, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := q.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	q2, err := UnmarshalQuote(data)
+	if err != nil {
+		t.Fatalf("UnmarshalQuote: %v", err)
+	}
+	if !VerifyQuote(tp.AttestationKey(), q2, nonce) {
+		t.Error("quote failed verification after JSON round trip")
+	}
+	if _, err := UnmarshalQuote([]byte("{bad")); err == nil {
+		t.Error("malformed quote accepted")
+	}
+}
+
+// Property: extending with any sequence of measurements never leaves a
+// PCR at its previous value (hash chain strictly evolves).
+func TestQuickExtendAlwaysChanges(t *testing.T) {
+	tp := newTestTPM(t)
+	f := func(m []byte) bool {
+		before, _ := tp.ReadPCR(5)
+		if err := tp.Extend(5, "q", m); err != nil {
+			return false
+		}
+		after, _ := tp.ReadPCR(5)
+		return !bytes.Equal(before, after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentExtends(t *testing.T) {
+	tp := newTestTPM(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tp.Extend(g%NumPCRs, "concurrent", []byte{byte(g), byte(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tp.EventLog()); got != 400 {
+		t.Errorf("event log has %d entries, want 400", got)
+	}
+}
+
+func TestVTPMLifecycle(t *testing.T) {
+	host := newTestTPM(t)
+	mgr, err := NewVTPMManager(host)
+	if err != nil {
+		t.Fatalf("NewVTPMManager: %v", err)
+	}
+	inst, err := mgr.CreateInstance("vm-1")
+	if err != nil {
+		t.Fatalf("CreateInstance: %v", err)
+	}
+	if _, err := mgr.CreateInstance("vm-1"); err == nil {
+		t.Error("duplicate vTPM creation accepted")
+	}
+	got, err := mgr.Instance("vm-1")
+	if err != nil || got != inst {
+		t.Errorf("Instance: %v", err)
+	}
+	if mgr.InstanceCount() != 1 {
+		t.Errorf("InstanceCount = %d", mgr.InstanceCount())
+	}
+	if err := mgr.DestroyInstance("vm-1"); err != nil {
+		t.Fatalf("DestroyInstance: %v", err)
+	}
+	if _, err := mgr.Instance("vm-1"); !errors.Is(err, ErrNoSuchVTPM) {
+		t.Errorf("Instance after destroy: %v", err)
+	}
+	if err := mgr.DestroyInstance("vm-1"); !errors.Is(err, ErrNoSuchVTPM) {
+		t.Errorf("double destroy: %v", err)
+	}
+}
+
+func TestVTPMIsolation(t *testing.T) {
+	host := newTestTPM(t)
+	mgr, err := NewVTPMManager(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := mgr.CreateInstance("vm-a")
+	b, _ := mgr.CreateInstance("vm-b")
+	a.Extend(PCRKernel, "kernel-a", []byte("ka"))
+	va, _ := a.ReadPCR(PCRKernel)
+	vb, _ := b.ReadPCR(PCRKernel)
+	if bytes.Equal(va, vb) {
+		t.Error("extending vm-a's vTPM affected vm-b's")
+	}
+	// Distinct attestation keys: a quote from A must not verify under B's key.
+	nonce := []byte("n")
+	qa, err := a.GenerateQuote(nonce, []int{PCRKernel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyQuote(b.AttestationKey(), qa, nonce) {
+		t.Error("vm-a quote verified under vm-b attestation key")
+	}
+}
+
+func TestVTPMCreationIsMeasuredOnHost(t *testing.T) {
+	host := newTestTPM(t)
+	mgr, err := NewVTPMManager(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := host.ReadPCR(PCRVTPMEvents)
+	if _, err := mgr.CreateInstance("vm-x"); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := host.ReadPCR(PCRVTPMEvents)
+	if bytes.Equal(before, after) {
+		t.Error("vTPM creation left no trace in host TPM")
+	}
+}
+
+func TestDriverAccess(t *testing.T) {
+	host := newTestTPM(t)
+	mgr, err := NewVTPMManager(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.OpenDriver("vm-1"); !errors.Is(err, ErrNoSuchVTPM) {
+		t.Errorf("OpenDriver before create: %v", err)
+	}
+	inst, _ := mgr.CreateInstance("vm-1")
+	drv, err := mgr.OpenDriver("vm-1")
+	if err != nil {
+		t.Fatalf("OpenDriver: %v", err)
+	}
+	if err := drv.Extend(PCRContainer, "app-image", []byte("sha")); err != nil {
+		t.Fatalf("driver Extend: %v", err)
+	}
+	viaDriver, err := drv.ReadPCR(PCRContainer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := inst.ReadPCR(PCRContainer)
+	if !bytes.Equal(viaDriver, direct) {
+		t.Error("driver and direct PCR reads disagree")
+	}
+	nonce := []byte("drv")
+	q, err := drv.GenerateQuote(nonce, []int{PCRContainer})
+	if err != nil {
+		t.Fatalf("driver quote: %v", err)
+	}
+	if !VerifyQuote(inst.AttestationKey(), q, nonce) {
+		t.Error("driver quote failed verification")
+	}
+	// Driver becomes stale once the instance is destroyed.
+	mgr.DestroyInstance("vm-1")
+	if err := drv.Extend(0, "late", nil); !errors.Is(err, ErrNoSuchVTPM) {
+		t.Errorf("stale driver Extend: %v", err)
+	}
+	if _, err := drv.ReadPCR(0); !errors.Is(err, ErrNoSuchVTPM) {
+		t.Errorf("stale driver ReadPCR: %v", err)
+	}
+	if _, err := drv.GenerateQuote(nonce, []int{0}); !errors.Is(err, ErrNoSuchVTPM) {
+		t.Errorf("stale driver quote: %v", err)
+	}
+}

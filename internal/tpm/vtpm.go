@@ -1,0 +1,124 @@
+package tpm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// VTPMManager realizes Figure 5: a vTPM Manager running in a dedicated VM
+// provides per-guest-VM vTPM instances. Guest VMs reach their instance
+// through a client driver; containers inside a VM reach it through an
+// in-VM vTPM-manager container (modeled by Driver below). Each vTPM is a
+// full software TPM whose attestation key is distinct, so compromising
+// one guest's measurements cannot forge another's.
+type VTPMManager struct {
+	host *TPM // the hardware TPM the manager's own VM was measured into
+
+	mu        sync.RWMutex
+	instances map[string]*TPM
+}
+
+// NewVTPMManager creates a manager anchored to a host ("hardware") TPM.
+// The manager records its own instantiation in the host TPM (in the
+// dedicated vTPM-events PCR, so runtime vTPM lifecycle does not drift
+// the hypervisor layer's golden value) and the chain host →
+// vTPM-manager → guest vTPM stays measured.
+func NewVTPMManager(host *TPM) (*VTPMManager, error) {
+	if err := host.Extend(PCRVTPMEvents, "vtpm-manager-start", []byte("vtpm-manager")); err != nil {
+		return nil, fmt.Errorf("tpm: anchoring vTPM manager: %w", err)
+	}
+	return &VTPMManager{host: host, instances: make(map[string]*TPM)}, nil
+}
+
+// CreateInstance provisions a vTPM for a VM. Creating an instance is a
+// measured event on the host TPM.
+func (m *VTPMManager) CreateInstance(vmID string) (*TPM, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.instances[vmID]; exists {
+		return nil, fmt.Errorf("tpm: vTPM for VM %q already exists", vmID)
+	}
+	inst, err := New("vtpm:" + vmID)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.host.Extend(PCRVTPMEvents, "vtpm-create:"+vmID, []byte(vmID)); err != nil {
+		return nil, err
+	}
+	m.instances[vmID] = inst
+	return inst, nil
+}
+
+// Instance returns the vTPM for a VM.
+func (m *VTPMManager) Instance(vmID string) (*TPM, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	inst, ok := m.instances[vmID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchVTPM, vmID)
+	}
+	return inst, nil
+}
+
+// DestroyInstance removes a VM's vTPM (VM teardown). The destruction is
+// measured on the host so an auditor can see the instance existed.
+func (m *VTPMManager) DestroyInstance(vmID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.instances[vmID]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchVTPM, vmID)
+	}
+	delete(m.instances, vmID)
+	return m.host.Extend(PCRVTPMEvents, "vtpm-destroy:"+vmID, []byte(vmID))
+}
+
+// InstanceCount returns the number of live vTPM instances.
+func (m *VTPMManager) InstanceCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.instances)
+}
+
+// Driver is the client-side access path of Figure 5: guest code (or a
+// container adapter exposing the IPC interface) holds a Driver rather
+// than the vTPM itself, mirroring the paper's client-driver/server-driver
+// split. It restricts the guest to extend/read/quote on its own instance.
+type Driver struct {
+	vm  string
+	mgr *VTPMManager
+}
+
+// OpenDriver connects a guest VM (or one of its containers) to its vTPM.
+func (m *VTPMManager) OpenDriver(vmID string) (*Driver, error) {
+	if _, err := m.Instance(vmID); err != nil {
+		return nil, err
+	}
+	return &Driver{vm: vmID, mgr: m}, nil
+}
+
+// Extend measures into the guest's vTPM.
+func (d *Driver) Extend(pcr int, description string, measured []byte) error {
+	inst, err := d.mgr.Instance(d.vm)
+	if err != nil {
+		return err
+	}
+	return inst.Extend(pcr, description, measured)
+}
+
+// ReadPCR reads from the guest's vTPM.
+func (d *Driver) ReadPCR(pcr int) ([]byte, error) {
+	inst, err := d.mgr.Instance(d.vm)
+	if err != nil {
+		return nil, err
+	}
+	return inst.ReadPCR(pcr)
+}
+
+// GenerateQuote quotes the guest's vTPM.
+func (d *Driver) GenerateQuote(nonce []byte, pcrs []int) (*Quote, error) {
+	inst, err := d.mgr.Instance(d.vm)
+	if err != nil {
+		return nil, err
+	}
+	return inst.GenerateQuote(nonce, pcrs)
+}
