@@ -1,5 +1,5 @@
 // Command benchreport runs the full reproduction harness (experiments
-// E1–E14 from DESIGN.md) and prints each experiment's measurements and
+// E1–E15 from DESIGN.md) and prints each experiment's measurements and
 // shape verdict — the data behind EXPERIMENTS.md.
 //
 //	go run ./cmd/benchreport            # all experiments
@@ -29,19 +29,20 @@ func main() {
 		"E9": experiments.E9JMFAccuracy, "E10": experiments.E10DELTRecovery,
 		"E11": experiments.E11KAnonymity, "E12": experiments.E12EdgeVsServer,
 		"E13": experiments.E13ComputeToData, "E14": experiments.E14TiresiasDDI,
-		"A1": experiments.A1JMFSourceAblation, "A2": experiments.A2EndorsementPolicy,
+		"E15": experiments.E15ChaosIngestion,
+		"A1":  experiments.A1JMFSourceAblation, "A2": experiments.A2EndorsementPolicy,
 		"A3": experiments.A3CacheTierAblation,
 	}
 
 	if *only != "" {
 		f, ok := runners[*only]
 		if !ok {
-			log.Fatalf("unknown experiment %q (E1..E14)", *only)
+			log.Fatalf("unknown experiment %q (E1..E15)", *only)
 		}
 		report(*only, f)
 		return
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 	if *ablations {
 		order = append(order, "A1", "A2", "A3")
 	}

@@ -8,8 +8,13 @@ import (
 	"time"
 
 	"healthcloud/internal/consensus"
+	"healthcloud/internal/faultinject"
 	"healthcloud/internal/hckrypto"
 )
+
+// FaultSubmit is the fault point consulted on every ledger submission
+// (see internal/faultinject).
+const FaultSubmit = "blockchain.submit"
 
 // Network is one permissioned blockchain network (§IV names several:
 // provenance, malware management, privacy, identity). Peers endorse,
@@ -22,6 +27,7 @@ type Network struct {
 	peers    map[string]*Peer
 	keys     map[string]*hckrypto.VerifyKey
 	cluster  *consensus.Cluster
+	faults   *faultinject.Registry
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 }
@@ -32,6 +38,7 @@ type Option func(*options)
 type options struct {
 	validate func(*Transaction) error
 	raftCfg  consensus.Config
+	faults   *faultinject.Registry
 }
 
 // WithValidation installs the peers' endorsement rule (smart-contract
@@ -43,6 +50,12 @@ func WithValidation(f func(*Transaction) error) Option {
 // WithRaftConfig overrides ordering-cluster tuning.
 func WithRaftConfig(cfg consensus.Config) Option {
 	return func(o *options) { o.raftCfg = cfg }
+}
+
+// WithFaults installs a fault-injection registry consulted at
+// FaultSubmit before each submission (nil disables).
+func WithFaults(r *faultinject.Registry) Option {
+	return func(o *options) { o.faults = r }
 }
 
 // NewNetwork creates a network with the given peers. policyK is the
@@ -61,6 +74,7 @@ func NewNetwork(name string, peerIDs []string, policyK int, opts ...Option) (*Ne
 	}
 	n := &Network{
 		name:    name,
+		faults:  o.faults,
 		policyK: policyK,
 		peerIDs: append([]string(nil), peerIDs...),
 		peers:   make(map[string]*Peer, len(peerIDs)),
@@ -197,6 +211,9 @@ func (n *Network) Submit(tx Transaction, timeout time.Duration) error {
 func (n *Network) SubmitBatch(txs []Transaction, timeout time.Duration) error {
 	if len(txs) == 0 {
 		return nil
+	}
+	if err := n.faults.Check(FaultSubmit); err != nil {
+		return fmt.Errorf("blockchain: %w", err)
 	}
 	for i := range txs {
 		if err := n.EndorseAll(&txs[i]); err != nil {

@@ -2,14 +2,18 @@
 // ingestion flow leaves "a message ... in the platform's internal
 // messaging system for the background ingestion process to ingest the
 // data". It provides named topics with fan-out to subscriptions,
-// at-least-once delivery with acknowledgements, and redelivery of
-// messages whose visibility timeout lapses (worker crash simulation).
+// at-least-once delivery with acknowledgements, redelivery of messages
+// whose visibility timeout lapses (worker crash simulation), and —
+// with WithMaxAttempts — dead-lettering: a message that keeps failing
+// moves to the topic's DLQ (DLQTopic) exactly once instead of being
+// redelivered forever, so one poison message cannot wedge a consumer.
 package bus
 
 import (
 	"container/list"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -22,7 +26,14 @@ type Message struct {
 	Topic   string
 	Payload []byte
 	Attempt int // 1 on first delivery, incremented on redelivery
+	// Reason is set on dead-letter deliveries only: why the message was
+	// given up on (the last nack reason, or the visibility timeout).
+	Reason string
 }
+
+// DLQTopic returns the dead-letter topic paired with a topic. Messages
+// that exhaust their delivery attempts are re-published there.
+func DLQTopic(topic string) string { return topic + ".dlq" }
 
 // Errors returned by this package.
 var (
@@ -33,13 +44,15 @@ var (
 
 // Bus routes published messages to every subscription on the topic.
 type Bus struct {
-	visibility time.Duration
+	visibility  time.Duration
+	maxAttempts int // 0 = redeliver forever (pre-DLQ behaviour)
 
-	mu     sync.Mutex
-	subs   map[string]map[string]*Subscription // topic -> name -> sub
-	closed bool
-	wg     sync.WaitGroup
-	stopCh chan struct{}
+	mu           sync.Mutex
+	subs         map[string]map[string]*Subscription // topic -> name -> sub
+	closed       bool
+	deadLettered uint64
+	wg           sync.WaitGroup
+	stopCh       chan struct{}
 }
 
 // Option configures the Bus.
@@ -49,6 +62,14 @@ type Option func(*Bus)
 // stays invisible before redelivery (default 500ms).
 func WithVisibilityTimeout(d time.Duration) Option {
 	return func(b *Bus) { b.visibility = d }
+}
+
+// WithMaxAttempts caps deliveries per message: after the n-th delivery
+// fails (nack or visibility timeout) the message is published on the
+// topic's dead-letter topic (DLQTopic) instead of being redelivered
+// forever. 0 (the default) keeps unlimited redelivery.
+func WithMaxAttempts(n int) Option {
+	return func(b *Bus) { b.maxAttempts = n }
 }
 
 // New creates a bus. Call Close to stop its redelivery sweeper.
@@ -115,7 +136,7 @@ func (b *Bus) Subscribe(topic, name string) (*Subscription, error) {
 		return nil, fmt.Errorf("bus: subscription %q already exists on %q", name, topic)
 	}
 	s := &Subscription{
-		topic: topic, name: name,
+		topic: topic, name: name, bus: b,
 		queue:    list.New(),
 		inflight: make(map[string]*flightRecord),
 		ready:    make(chan struct{}, 1),
@@ -141,12 +162,42 @@ func (b *Bus) sweep() {
 			b.mu.Lock()
 			for _, topic := range b.subs {
 				for _, s := range topic {
-					s.redeliverExpired(now, b.visibility)
+					for _, m := range s.redeliverExpired(now, b.visibility, b.maxAttempts) {
+						b.deadLetterLocked(m)
+					}
 				}
 			}
 			b.mu.Unlock()
 		}
 	}
+}
+
+// deadLetterLocked publishes a given-up message on its topic's DLQ,
+// preserving its ID, payload, and attempt count. Requires b.mu.
+func (b *Bus) deadLetterLocked(m Message) {
+	b.deadLettered++
+	m.Topic = DLQTopic(m.Topic)
+	for _, s := range b.subs[m.Topic] {
+		s.enqueue(m)
+	}
+}
+
+// deadLetter is deadLetterLocked for callers outside the bus lock
+// (consumer Nack paths).
+func (b *Bus) deadLetter(m Message) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.deadLetterLocked(m)
+}
+
+// DeadLettered returns how many messages were moved to a DLQ topic.
+func (b *Bus) DeadLettered() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.deadLettered
 }
 
 type flightRecord struct {
@@ -157,6 +208,7 @@ type flightRecord struct {
 // Subscription is one consumer queue on a topic.
 type Subscription struct {
 	topic, name string
+	bus         *Bus
 
 	mu       sync.Mutex
 	queue    *list.List
@@ -167,6 +219,10 @@ type Subscription struct {
 
 	redeliveries uint64
 }
+
+// isDLQ reports whether this subscription consumes a dead-letter topic;
+// DLQ messages are never dead-lettered again (no topic.dlq.dlq cascade).
+func (s *Subscription) isDLQ() bool { return strings.HasSuffix(s.topic, ".dlq") }
 
 func (s *Subscription) enqueue(m Message) {
 	s.mu.Lock()
@@ -239,8 +295,10 @@ func (s *Subscription) Ack(id string) error {
 }
 
 // Nack returns a message to the queue immediately (processing failed,
-// retry now rather than waiting for the visibility timeout).
-func (s *Subscription) Nack(id string) error {
+// retry now rather than waiting for the visibility timeout). If the
+// message has exhausted the bus's max attempts it is dead-lettered
+// instead; the optional reason travels with the DLQ delivery.
+func (s *Subscription) Nack(id string, reason ...string) error {
 	s.mu.Lock()
 	rec, ok := s.inflight[id]
 	if !ok {
@@ -248,6 +306,18 @@ func (s *Subscription) Nack(id string) error {
 		return fmt.Errorf("%w: %s", ErrNotInFlight, id)
 	}
 	delete(s.inflight, id)
+	max := s.bus.maxAttempts
+	if max > 0 && rec.msg.Attempt >= max && !s.isDLQ() {
+		m := rec.msg
+		if len(reason) > 0 {
+			m.Reason = reason[0]
+		} else {
+			m.Reason = fmt.Sprintf("max attempts (%d) exceeded", max)
+		}
+		s.mu.Unlock()
+		s.bus.deadLetter(m)
+		return nil
+	}
 	s.redeliveries++
 	s.queue.PushBack(rec.msg)
 	s.mu.Unlock()
@@ -255,12 +325,22 @@ func (s *Subscription) Nack(id string) error {
 	return nil
 }
 
-func (s *Subscription) redeliverExpired(now time.Time, visibility time.Duration) {
+// redeliverExpired requeues timed-out in-flight messages and returns
+// the ones that exhausted their attempts instead (for dead-lettering by
+// the caller, which holds the bus lock).
+func (s *Subscription) redeliverExpired(now time.Time, visibility time.Duration, maxAttempts int) []Message {
 	s.mu.Lock()
 	woke := false
+	var dead []Message
 	for id, rec := range s.inflight {
 		if now.Sub(rec.deliveredAt) >= visibility {
 			delete(s.inflight, id)
+			if maxAttempts > 0 && rec.msg.Attempt >= maxAttempts && !s.isDLQ() {
+				m := rec.msg
+				m.Reason = fmt.Sprintf("visibility timeout after %d attempts", m.Attempt)
+				dead = append(dead, m)
+				continue
+			}
 			s.redeliveries++
 			s.queue.PushBack(rec.msg)
 			woke = true
@@ -270,6 +350,7 @@ func (s *Subscription) redeliverExpired(now time.Time, visibility time.Duration)
 	if woke {
 		s.signal()
 	}
+	return dead
 }
 
 // Depth returns queued (not in-flight) message count.

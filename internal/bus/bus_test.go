@@ -245,3 +245,117 @@ func TestHighThroughputDrain(t *testing.T) {
 		sub.Ack(m.ID)
 	}
 }
+
+func TestPoisonMessageDeadLettersExactlyOnce(t *testing.T) {
+	b := newTestBus(t, WithMaxAttempts(3), WithVisibilityTimeout(20*time.Millisecond))
+	sub, _ := b.Subscribe("ingest", "workers")
+	dlq, err := b.Subscribe(DLQTopic("ingest"), "dlq-reader")
+	if err != nil {
+		t.Fatalf("subscribing DLQ: %v", err)
+	}
+	id, _ := b.Publish("ingest", []byte("poison"))
+	// Fail the message its full attempt budget.
+	for attempt := 1; attempt <= 3; attempt++ {
+		m, err := sub.Receive(time.Second)
+		if err != nil {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		if m.Attempt != attempt {
+			t.Fatalf("attempt counter = %d, want %d", m.Attempt, attempt)
+		}
+		if err := sub.Nack(m.ID, "cannot parse"); err != nil {
+			t.Fatalf("nack %d: %v", attempt, err)
+		}
+	}
+	// The message lands on the DLQ exactly once, with identity and reason.
+	dm, err := dlq.Receive(time.Second)
+	if err != nil {
+		t.Fatalf("DLQ receive: %v", err)
+	}
+	if dm.ID != id || string(dm.Payload) != "poison" {
+		t.Fatalf("DLQ message %q/%q lost identity", dm.ID, dm.Payload)
+	}
+	if dm.Reason != "cannot parse" {
+		t.Fatalf("DLQ reason = %q", dm.Reason)
+	}
+	if dm.Topic != "ingest.dlq" {
+		t.Fatalf("DLQ topic = %q", dm.Topic)
+	}
+	dlq.Ack(dm.ID)
+	if got := b.DeadLettered(); got != 1 {
+		t.Fatalf("DeadLettered = %d, want 1", got)
+	}
+	// And it stops being redelivered on the original topic.
+	if _, err := sub.Receive(100 * time.Millisecond); err == nil {
+		t.Fatal("poison message redelivered after dead-lettering")
+	}
+	if _, err := dlq.Receive(100 * time.Millisecond); err == nil {
+		t.Fatal("poison message dead-lettered more than once")
+	}
+}
+
+func TestVisibilityTimeoutDeadLetters(t *testing.T) {
+	b := newTestBus(t, WithMaxAttempts(2), WithVisibilityTimeout(15*time.Millisecond))
+	sub, _ := b.Subscribe("t", "s")
+	dlq, _ := b.Subscribe(DLQTopic("t"), "d")
+	b.Publish("t", []byte("slow"))
+	// Receive twice without acking: both deliveries time out; the second
+	// exhausts the budget and the sweeper dead-letters the message.
+	for attempt := 1; attempt <= 2; attempt++ {
+		if _, err := sub.Receive(time.Second); err != nil {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+	}
+	dm, err := dlq.Receive(time.Second)
+	if err != nil {
+		t.Fatalf("DLQ receive: %v", err)
+	}
+	if dm.Reason == "" {
+		t.Fatal("visibility-timeout dead-letter carries no reason")
+	}
+	dlq.Ack(dm.ID)
+	if _, err := sub.Receive(60 * time.Millisecond); err == nil {
+		t.Fatal("message redelivered after dead-lettering")
+	}
+}
+
+func TestDLQSubscriptionNeverCascades(t *testing.T) {
+	b := newTestBus(t, WithMaxAttempts(1), WithVisibilityTimeout(10*time.Millisecond))
+	sub, _ := b.Subscribe("t", "s")
+	dlq, _ := b.Subscribe(DLQTopic("t"), "d")
+	b.Publish("t", []byte("x"))
+	m, _ := sub.Receive(time.Second)
+	sub.Nack(m.ID)
+	// Fail the DLQ delivery repeatedly: it must keep being redelivered on
+	// the DLQ (no t.dlq.dlq), never lost.
+	for i := 0; i < 4; i++ {
+		dm, err := dlq.Receive(time.Second)
+		if err != nil {
+			t.Fatalf("DLQ redelivery %d: %v", i, err)
+		}
+		dlq.Nack(dm.ID)
+	}
+	if got := b.DeadLettered(); got != 1 {
+		t.Fatalf("DeadLettered = %d, want 1 (no cascade)", got)
+	}
+}
+
+func TestNoMaxAttemptsKeepsLegacyRedelivery(t *testing.T) {
+	b := newTestBus(t)
+	sub, _ := b.Subscribe("t", "s")
+	b.Publish("t", []byte("x"))
+	for i := 0; i < 5; i++ {
+		m, err := sub.Receive(time.Second)
+		if err != nil {
+			t.Fatalf("redelivery %d: %v", i, err)
+		}
+		if i == 4 {
+			sub.Ack(m.ID)
+			break
+		}
+		sub.Nack(m.ID)
+	}
+	if b.DeadLettered() != 0 {
+		t.Fatal("uncapped bus dead-lettered a message")
+	}
+}

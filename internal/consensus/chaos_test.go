@@ -1,0 +1,142 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"healthcloud/internal/faultinject"
+)
+
+// chaosTimeout is generous: chaos runs fight injected loss and latency.
+const chaosTimeout = 20 * time.Second
+
+// TestChaosInjectedLossAndLatencyConverges drives the cluster through a
+// storm injected via the faultinject registry — 20% message loss plus
+// latency spikes on a third of deliveries — and asserts the ledger still
+// commits, then converges on identical logs once the faults are lifted.
+func TestChaosInjectedLossAndLatencyConverges(t *testing.T) {
+	c := newTestCluster(t, 5)
+	faults := faultinject.NewRegistry(42)
+	faults.Enable(FaultSend, faultinject.Fault{
+		ErrorRate:   0.20,
+		LatencyRate: 0.30,
+		Latency:     3 * time.Millisecond,
+	})
+	c.Net.SetFaults(faults)
+
+	const entries = 5
+	for i := 0; i < entries; i++ {
+		if _, err := c.ProposeAndWait([]byte(fmt.Sprintf("chaos-%d", i)), chaosTimeout); err != nil {
+			t.Fatalf("proposal %d under injected chaos: %v", i, err)
+		}
+	}
+	stats := faults.Stats()[FaultSend]
+	if stats.Errors == 0 || stats.Latency == 0 {
+		t.Fatalf("chaos was a no-op: stats = %+v", stats)
+	}
+
+	// Lift the faults; every node must converge on the same committed
+	// prefix.
+	faults.Disable(FaultSend)
+	deadline := time.Now().Add(chaosTimeout)
+	for time.Now().Before(deadline) {
+		if logsConverged(c, entries) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, n := range c.Nodes {
+		t.Logf("%s: %d entries, commit=%d", n.ID(), len(n.LogEntries()), n.CommitIndex())
+	}
+	t.Fatal("logs did not converge after chaos ended")
+}
+
+// TestChaosPartitionReelectionAndConvergence partitions the leader's
+// side into a minority while fault-injected latency jitters the healthy
+// majority, asserts the majority re-elects, then heals and asserts full
+// log convergence — the §IV ordering service surviving a datacenter
+// split.
+func TestChaosPartitionReelectionAndConvergence(t *testing.T) {
+	c := newTestCluster(t, 5)
+	l, err := c.WaitForLeader(chaosTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ProposeAndWait([]byte("pre-split"), chaosTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	// Split: old leader plus one follower vs. the other three, with
+	// injected delivery jitter inside the majority.
+	var minority, majority []string
+	minority = append(minority, l.ID())
+	for _, n := range c.Nodes {
+		if n == l {
+			continue
+		}
+		if len(minority) < 2 {
+			minority = append(minority, n.ID())
+			continue
+		}
+		majority = append(majority, n.ID())
+	}
+	faults := faultinject.NewRegistry(7)
+	faults.Enable(FaultSend, faultinject.Fault{LatencyRate: 0.5, Latency: 2 * time.Millisecond})
+	c.Net.SetFaults(faults)
+	c.Net.Partition(minority, majority)
+
+	// A new leader must emerge on the majority side, in a higher term.
+	isMajority := func(id string) bool {
+		for _, m := range majority {
+			if m == id {
+				return true
+			}
+		}
+		return false
+	}
+	var newLeader *Node
+	deadline := time.Now().Add(chaosTimeout)
+	for newLeader == nil && time.Now().Before(deadline) {
+		for _, n := range c.Nodes {
+			if isMajority(n.ID()) && n.Role() == Leader && n.Term() > l.Term() {
+				newLeader = n
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if newLeader == nil {
+		t.Fatal("majority never re-elected a leader during the partition")
+	}
+
+	// The majority keeps committing through the jitter.
+	idx, _, err := newLeader.Propose([]byte("during-split"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for newLeader.CommitIndex() < idx && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if newLeader.CommitIndex() < idx {
+		t.Fatal("majority could not commit during the partition")
+	}
+
+	// Heal and lift the jitter: all five nodes converge.
+	c.Net.Heal()
+	faults.Disable(FaultSend)
+	if _, err := c.ProposeAndWait([]byte("post-heal"), chaosTimeout); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(chaosTimeout)
+	for time.Now().Before(deadline) {
+		if logsConverged(c, 3) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, n := range c.Nodes {
+		t.Logf("%s: %d entries, commit=%d", n.ID(), len(n.LogEntries()), n.CommitIndex())
+	}
+	t.Fatal("logs did not converge after heal")
+}

@@ -3,7 +3,13 @@ package consensus
 import (
 	"sync"
 	"time"
+
+	"healthcloud/internal/faultinject"
 )
+
+// FaultSend is the fault point consulted per message send: an injected
+// error drops the message, injected latency delays its delivery.
+const FaultSend = "consensus.transport.send"
 
 // Network is an in-process message fabric between Raft nodes with
 // injectable failures: per-link drops, delays, and partitions. It stands
@@ -15,6 +21,7 @@ type Network struct {
 	cut      map[[2]string]bool // directed links severed
 	dropRate float64            // global probability of dropping any message
 	delay    time.Duration      // fixed latency applied to every delivery
+	faults   *faultinject.Registry
 	rngState uint64
 	stopped  bool
 }
@@ -32,6 +39,16 @@ func (w *Network) register(id string, inbox chan<- message) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.inboxes[id] = inbox
+}
+
+// SetFaults installs a fault-injection registry consulted at FaultSend
+// for every delivery (nil disables). Injected errors drop the message —
+// Raft tolerates loss — giving chaos experiments a seedable loss knob
+// independent of SetDropRate.
+func (w *Network) SetFaults(r *faultinject.Registry) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.faults = r
 }
 
 // SetDelay applies a fixed delivery delay to all messages.
@@ -108,6 +125,7 @@ func (w *Network) send(from, to string, m message) {
 	}
 	inbox, ok := w.inboxes[to]
 	delay := w.delay
+	faults := w.faults
 	w.mu.Unlock()
 	if !ok {
 		return
@@ -119,6 +137,20 @@ func (w *Network) send(from, to string, m message) {
 			// Receiver's inbox is full: the message is lost, exactly as a
 			// saturated network would lose it. Raft tolerates message loss.
 		}
+	}
+	if faults != nil {
+		// Off the caller's goroutine: senders hold node locks, and the
+		// fault point may inject latency (sleep) before delivery.
+		go func() {
+			if faults.Check(FaultSend) != nil {
+				return // injected error = message lost
+			}
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			deliver()
+		}()
+		return
 	}
 	if delay > 0 {
 		time.AfterFunc(delay, deliver)

@@ -31,12 +31,14 @@ import (
 	"healthcloud/internal/client"
 	"healthcloud/internal/cloud"
 	"healthcloud/internal/consent"
+	"healthcloud/internal/faultinject"
 	"healthcloud/internal/hccache"
 	"healthcloud/internal/hckrypto"
 	"healthcloud/internal/ingest"
 	"healthcloud/internal/kb"
 	"healthcloud/internal/metering"
 	"healthcloud/internal/rbac"
+	"healthcloud/internal/resilience"
 	"healthcloud/internal/scan"
 	"healthcloud/internal/services"
 	"healthcloud/internal/ssi"
@@ -62,6 +64,13 @@ type Config struct {
 	KBLatency time.Duration
 	// KBDataset overrides the default synthetic knowledge base.
 	KBDataset *kb.Dataset
+	// IngestMaxAttempts caps bus deliveries per ingest message before it
+	// dead-letters (default 5; <0 disables the cap).
+	IngestMaxAttempts int
+	// Faults, when set, wires a fault-injection registry through the
+	// stores, ledger, remote KB, service registry, and consensus fabric
+	// so chaos experiments can break components by name.
+	Faults *faultinject.Registry
 }
 
 // Platform is one trusted health cloud instance.
@@ -86,7 +95,10 @@ type Platform struct {
 	Services   *services.Registry
 	KB         *kb.Dataset
 	KBRemote   *kb.RemoteKB
-	KBCache    *hccache.Tiered
+	// KBResilient guards the remote KB with retry, a circuit breaker,
+	// and stale-serving graceful degradation; KBCache loads through it.
+	KBResilient *kb.ResilientClient
+	KBCache     *hccache.Tiered
 	// Invalidations propagates cache-consistency events to every cache
 	// tier, including enhanced clients (§III).
 	Invalidations *hccache.Publisher
@@ -109,6 +121,12 @@ func New(cfg Config) (*Platform, error) {
 	if cfg.RequiredK <= 0 {
 		cfg.RequiredK = 2
 	}
+	switch {
+	case cfg.IngestMaxAttempts == 0:
+		cfg.IngestMaxAttempts = 5
+	case cfg.IngestMaxAttempts < 0:
+		cfg.IngestMaxAttempts = 0 // explicit opt-out: unlimited redelivery
+	}
 	p := &Platform{cfg: cfg}
 
 	var err error
@@ -123,8 +141,9 @@ func New(cfg Config) (*Platform, error) {
 	if err := p.RBAC.CreateTenant(cfg.Tenant); err != nil {
 		return nil, fmt.Errorf("core: tenant: %w", err)
 	}
-	p.Bus = bus.New()
+	p.Bus = bus.New(bus.WithMaxAttempts(cfg.IngestMaxAttempts))
 	p.Lake = store.NewDataLake(p.KMS, "svc-storage")
+	p.Lake.SetFaults(cfg.Faults)
 	p.IDMap = store.NewIdentityMap("svc-reident")
 	p.Consents = consent.NewService()
 	if p.Scanner, err = scan.NewScanner(scan.DefaultSignatures()...); err != nil {
@@ -137,7 +156,8 @@ func New(cfg Config) (*Platform, error) {
 		if k <= 0 {
 			k = len(cfg.LedgerPeers)/2 + 1
 		}
-		if p.Provenance, err = blockchain.NewNetwork("hcls-ledger", cfg.LedgerPeers, k); err != nil {
+		if p.Provenance, err = blockchain.NewNetwork("hcls-ledger", cfg.LedgerPeers, k,
+			blockchain.WithFaults(cfg.Faults)); err != nil {
 			return nil, fmt.Errorf("core: ledger: %w", err)
 		}
 	}
@@ -154,10 +174,12 @@ func New(cfg Config) (*Platform, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: ingest: %w", err)
 	}
+	p.Ingest.Staging().SetFaults(cfg.Faults)
 	p.Ingest.Start(cfg.IngestWorkers)
 
 	p.Analytics = analytics.NewPlatform(p.Audit)
 	p.Services = services.NewRegistry()
+	p.Services.SetFaults(cfg.Faults)
 	p.Meter = metering.NewMeter(metering.DefaultRates())
 
 	p.KB = cfg.KBDataset
@@ -166,12 +188,18 @@ func New(cfg Config) (*Platform, error) {
 			return nil, fmt.Errorf("core: kb: %w", err)
 		}
 	}
-	p.KBRemote = kb.NewRemoteKB(p.KB, cfg.KBLatency)
+	p.KBRemote = kb.NewRemoteKB(p.KB, cfg.KBLatency, kb.WithFaults(cfg.Faults))
+	// The cache loads through the resilience layer: transient KB
+	// failures are retried, sustained failure trips the breaker, and
+	// open-circuit reads degrade to the last-known-good value.
+	p.KBResilient = kb.NewResilientClient(p.KBRemote.Loader(),
+		resilience.NewBreaker(resilience.BreakerConfig{FailureThreshold: 5, OpenFor: time.Second}),
+		resilience.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond})
 	serverTier, err := hccache.New(4096, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: kb cache: %w", err)
 	}
-	if p.KBCache, err = hccache.NewTiered(p.KBRemote.Loader(), serverTier); err != nil {
+	if p.KBCache, err = hccache.NewTiered(p.KBResilient.Loader(), serverTier); err != nil {
 		return nil, fmt.Errorf("core: kb cache: %w", err)
 	}
 	p.Invalidations = hccache.NewPublisher(p.Bus)

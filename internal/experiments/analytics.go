@@ -210,7 +210,7 @@ func All() ([]*Result, error) {
 		E4HMACVsSignature, E5IngestPipeline, E6LedgerCommit,
 		E7RedactableSignatures, E8AttestationChain, E9JMFAccuracy,
 		E10DELTRecovery, E11KAnonymity, E12EdgeVsServer,
-		E13ComputeToData, E14TiresiasDDI,
+		E13ComputeToData, E14TiresiasDDI, E15ChaosIngestion,
 	}
 	out := make([]*Result, 0, len(funcs))
 	for _, f := range funcs {

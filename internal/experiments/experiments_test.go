@@ -17,8 +17,8 @@ func TestAllShapesHold(t *testing.T) {
 	if err != nil {
 		t.Fatalf("harness error after %d experiments: %v", len(results), err)
 	}
-	if len(results) != 14 {
-		t.Fatalf("ran %d experiments, want 14", len(results))
+	if len(results) != 15 {
+		t.Fatalf("ran %d experiments, want 15", len(results))
 	}
 	for _, r := range results {
 		if !strings.HasPrefix(r.Shape, "HOLDS") {
@@ -91,5 +91,34 @@ func TestAblationShapesHold(t *testing.T) {
 		if !strings.HasPrefix(r.Shape, "HOLDS") {
 			t.Errorf("%s: %s", r.ID, r.Shape)
 		}
+	}
+}
+
+// TestE15ChaosInvariant pins the resilience acceptance criteria: under
+// 20% store / 10% ledger fault injection every upload reaches a terminal
+// state and retries recover at least 90% of transiently-failed uploads.
+func TestE15ChaosInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run skipped in -short mode")
+	}
+	r, err := E15ChaosIngestion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]float64{}
+	for _, row := range r.Rows {
+		rows[row.Label] = row.Value
+	}
+	if rows["lost (no terminal state)"] != 0 {
+		t.Errorf("lost uploads = %v, want 0", rows["lost (no terminal state)"])
+	}
+	if rows["uploads that hit a transient fault"] == 0 {
+		t.Error("chaos was a no-op: no upload hit an injected fault")
+	}
+	if rows["recovery ratio"] < 90 {
+		t.Errorf("recovery ratio = %v%%, want >= 90%%", rows["recovery ratio"])
+	}
+	if !strings.HasPrefix(r.Shape, "HOLDS") {
+		t.Errorf("shape: %s", r.Shape)
 	}
 }

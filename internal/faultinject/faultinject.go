@@ -1,0 +1,187 @@
+// Package faultinject is the platform's deterministic fault-injection
+// substrate. Components expose named fault points (e.g.
+// "store.lake.put", "blockchain.submit") and consult a shared Registry
+// before doing real work; experiments and chaos tests enable faults at
+// those points — injected errors, added latency, or both — with a
+// seedable PRNG so every run is reproducible.
+//
+// A nil *Registry is valid and injects nothing, so components can hold
+// an optional registry with zero overhead on the happy path:
+//
+//	if err := d.faults.Check("store.lake.put"); err != nil { return err }
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error returned by a firing fault point.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault configures one fault point.
+type Fault struct {
+	// ErrorRate is the probability in [0,1] that Check returns an error.
+	ErrorRate float64
+	// Err overrides the returned error (wrapped around ErrInjected when
+	// nil so callers can errors.Is(err, ErrInjected) either way).
+	Err error
+	// FailFirst forces the first N checks to fail regardless of
+	// ErrorRate — deterministic "fail exactly twice then recover" setups.
+	FailFirst int
+	// LatencyRate is the probability that Check sleeps Latency first.
+	LatencyRate float64
+	// Latency is the injected delay (a latency spike).
+	Latency time.Duration
+}
+
+// PointStats reports one fault point's activity.
+type PointStats struct {
+	Checks   uint64 // times the point was consulted
+	Errors   uint64 // injected errors
+	Latency  uint64 // injected latency spikes
+	Disabled bool   // fault removed but history retained
+}
+
+type point struct {
+	fault  Fault
+	failed int // FailFirst consumed so far
+	stats  PointStats
+}
+
+// Registry holds named fault points. The zero value of *Registry (nil)
+// never injects.
+type Registry struct {
+	mu      sync.Mutex
+	rng     uint64
+	points  map[string]*point
+	sleeper func(time.Duration)
+}
+
+// NewRegistry creates a registry whose probabilistic decisions derive
+// from seed (same seed + same check sequence = same faults).
+func NewRegistry(seed int64) *Registry {
+	return &Registry{
+		rng:     uint64(seed)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
+		points:  make(map[string]*point),
+		sleeper: time.Sleep,
+	}
+}
+
+// SetSleeper replaces the latency sleep (experiments account modeled
+// time instead of blocking).
+func (r *Registry) SetSleeper(f func(time.Duration)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sleeper = f
+}
+
+// Enable installs (or replaces) a fault at a named point.
+func (r *Registry) Enable(name string, f Fault) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.points[name]
+	if p == nil {
+		p = &point{}
+		r.points[name] = p
+	}
+	p.fault = f
+	p.failed = 0
+	p.stats.Disabled = false
+}
+
+// Disable removes the fault at a point; its stats survive.
+func (r *Registry) Disable(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.points[name]; ok {
+		p.fault = Fault{}
+		p.stats.Disabled = true
+	}
+}
+
+// next is xorshift64* under r.mu: cheap, deterministic.
+func (r *Registry) next() float64 {
+	r.rng ^= r.rng << 13
+	r.rng ^= r.rng >> 7
+	r.rng ^= r.rng << 17
+	return float64(r.rng%1_000_000) / 1_000_000
+}
+
+// Check consults a fault point: it may sleep an injected latency and
+// may return an injected error. A nil registry or unknown point injects
+// nothing.
+func (r *Registry) Check(name string) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	p, ok := r.points[name]
+	if !ok || p.stats.Disabled {
+		if ok {
+			p.stats.Checks++
+		}
+		r.mu.Unlock()
+		return nil
+	}
+	p.stats.Checks++
+	var delay time.Duration
+	if p.fault.Latency > 0 && (p.fault.LatencyRate >= 1 || r.next() < p.fault.LatencyRate) {
+		delay = p.fault.Latency
+		p.stats.Latency++
+	}
+	fail := false
+	if p.failed < p.fault.FailFirst {
+		p.failed++
+		fail = true
+	} else if p.fault.ErrorRate > 0 && (p.fault.ErrorRate >= 1 || r.next() < p.fault.ErrorRate) {
+		fail = true
+	}
+	var err error
+	if fail {
+		p.stats.Errors++
+		if p.fault.Err != nil {
+			err = fmt.Errorf("%w: %s: %w", ErrInjected, name, p.fault.Err)
+		} else {
+			err = fmt.Errorf("%w: %s", ErrInjected, name)
+		}
+	}
+	sleeper := r.sleeper
+	r.mu.Unlock()
+	if delay > 0 {
+		sleeper(delay)
+	}
+	return err
+}
+
+// Stats returns a snapshot of every point that has been enabled.
+func (r *Registry) Stats() map[string]PointStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]PointStats, len(r.points))
+	for name, p := range r.points {
+		out[name] = p.stats
+	}
+	return out
+}
+
+// Points lists the registered fault-point names, sorted.
+func (r *Registry) Points() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.points))
+	for name := range r.points {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

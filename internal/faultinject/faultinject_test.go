@@ -1,0 +1,109 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryInjectsNothing(t *testing.T) {
+	var r *Registry
+	if err := r.Check("anything"); err != nil {
+		t.Fatalf("nil registry injected: %v", err)
+	}
+	if r.Stats() != nil || r.Points() != nil {
+		t.Fatal("nil registry should report nothing")
+	}
+}
+
+func TestUnknownPointInjectsNothing(t *testing.T) {
+	r := NewRegistry(1)
+	for i := 0; i < 100; i++ {
+		if err := r.Check("unregistered"); err != nil {
+			t.Fatalf("unknown point injected: %v", err)
+		}
+	}
+}
+
+func TestErrorRateDeterministic(t *testing.T) {
+	count := func() int {
+		r := NewRegistry(42)
+		r.Enable("p", Fault{ErrorRate: 0.3})
+		n := 0
+		for i := 0; i < 1000; i++ {
+			if r.Check("p") != nil {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := count(), count()
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	if a < 200 || a > 400 {
+		t.Fatalf("30%% rate injected %d/1000", a)
+	}
+}
+
+func TestFailFirst(t *testing.T) {
+	r := NewRegistry(7)
+	r.Enable("p", Fault{FailFirst: 2})
+	if r.Check("p") == nil || r.Check("p") == nil {
+		t.Fatal("first two checks must fail")
+	}
+	for i := 0; i < 50; i++ {
+		if err := r.Check("p"); err != nil {
+			t.Fatalf("check %d after FailFirst consumed: %v", i, err)
+		}
+	}
+}
+
+func TestInjectedErrorWrapping(t *testing.T) {
+	r := NewRegistry(7)
+	custom := errors.New("boom")
+	r.Enable("p", Fault{ErrorRate: 1, Err: custom})
+	err := r.Check("p")
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, custom) {
+		t.Fatalf("error %v should wrap both ErrInjected and the custom error", err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	r := NewRegistry(7)
+	var slept time.Duration
+	r.SetSleeper(func(d time.Duration) { slept += d })
+	r.Enable("p", Fault{Latency: 5 * time.Millisecond, LatencyRate: 1})
+	if err := r.Check("p"); err != nil {
+		t.Fatalf("latency-only fault returned error: %v", err)
+	}
+	if slept != 5*time.Millisecond {
+		t.Fatalf("slept %v, want 5ms", slept)
+	}
+}
+
+func TestDisableStopsInjectionKeepsStats(t *testing.T) {
+	r := NewRegistry(7)
+	r.Enable("p", Fault{ErrorRate: 1})
+	if r.Check("p") == nil {
+		t.Fatal("enabled point did not fire")
+	}
+	r.Disable("p")
+	if err := r.Check("p"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+	st := r.Stats()["p"]
+	if st.Errors != 1 || st.Checks != 2 || !st.Disabled {
+		t.Fatalf("stats after disable: %+v", st)
+	}
+}
+
+func TestPointsSorted(t *testing.T) {
+	r := NewRegistry(7)
+	r.Enable("z", Fault{})
+	r.Enable("a", Fault{})
+	pts := r.Points()
+	if len(pts) != 2 || pts[0] != "a" || pts[1] != "z" {
+		t.Fatalf("points = %v", pts)
+	}
+}

@@ -14,12 +14,20 @@
 package gateway
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"healthcloud/internal/cloud"
+	"healthcloud/internal/faultinject"
+	"healthcloud/internal/resilience"
 )
+
+// FaultTransfer is the fault point consulted per WAN transfer (see
+// internal/faultinject) — the flaky-intercloud-link knob.
+const FaultTransfer = "gateway.transfer"
 
 // Link models the WAN between two cloud instances.
 type Link struct {
@@ -46,6 +54,9 @@ type Gateway struct {
 	// sleeper lets tests and benches decide whether modeled time is
 	// actually slept or just accounted.
 	sleeper func(time.Duration)
+	faults  *faultinject.Registry
+	retry   resilience.Policy
+	retries atomic.Uint64
 }
 
 // Option configures the gateway.
@@ -56,16 +67,60 @@ func WithSleeper(f func(time.Duration)) Option {
 	return func(g *Gateway) { g.sleeper = f }
 }
 
+// WithFaults installs a fault-injection registry consulted at
+// FaultTransfer for every WAN crossing (nil disables).
+func WithFaults(r *faultinject.Registry) Option {
+	return func(g *Gateway) { g.faults = r }
+}
+
+// WithRetry overrides the transfer retry policy (intercloud links are
+// flaky; a failed crossing is retried with exponential backoff).
+func WithRetry(p resilience.Policy) Option {
+	return func(g *Gateway) { g.retry = p }
+}
+
 // New creates a gateway over the given link.
 func New(link Link, opts ...Option) (*Gateway, error) {
 	if link.BandwidthMBps <= 0 {
 		return nil, ErrBadLink
 	}
-	g := &Gateway{link: link, sleeper: time.Sleep}
+	g := &Gateway{link: link, sleeper: time.Sleep,
+		retry: resilience.Policy{MaxAttempts: 3, BaseDelay: 20 * time.Millisecond}}
 	for _, opt := range opts {
 		opt(g)
 	}
+	// Back off on the same (modeled or real) clock as the transfers.
+	if g.retry.Sleeper == nil {
+		g.retry.Sleeper = func(d time.Duration) { g.sleeper(d) }
+	}
 	return g, nil
+}
+
+// Retries reports how many transfer attempts failed on the link.
+func (g *Gateway) Retries() uint64 { return g.retries.Load() }
+
+// transfer pays the WAN cost for n bytes with retry: each attempt
+// consults the fault point, sleeps the modeled link time, and on
+// transient failure backs off and tries again.
+func (g *Gateway) transfer(n int) (time.Duration, error) {
+	per, err := g.link.TransferTime(n)
+	if err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	err = resilience.Retry(context.Background(), g.retry, func(context.Context) error {
+		if err := g.faults.Check(FaultTransfer); err != nil {
+			g.retries.Add(1)
+			return fmt.Errorf("gateway: link fault: %w", err)
+		}
+		g.sleeper(per)
+		total += per
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
 }
 
 // Receipt reports a completed workload transfer.
@@ -82,12 +137,12 @@ type Receipt struct {
 // must be on the destination's approved list, which is what makes the
 // workload "authored in a trusted environment with trusted libraries".
 func (g *Gateway) ShipWorkload(dst *cloud.Cloud, hostName, vmID, containerID string, img cloud.Image) (*Receipt, error) {
-	// 1. Move the container image across the WAN.
-	dur, err := g.link.TransferTime(len(img.Content))
+	// 1. Move the container image across the WAN (with retry on link
+	// faults).
+	dur, err := g.transfer(len(img.Content))
 	if err != nil {
 		return nil, err
 	}
-	g.sleeper(dur)
 	// 2. Destination image management verifies the signature against its
 	//    own approved-signer list. An already-admitted identical image is
 	//    fine (idempotent redeploy).
@@ -110,10 +165,5 @@ func (g *Gateway) ShipWorkload(dst *cloud.Cloud, hostName, vmID, containerID str
 // rejected alternative in §II-C. No trust transfer happens; this is the
 // cost-model arm of experiment E13.
 func (g *Gateway) ShipData(nbytes int) (time.Duration, error) {
-	dur, err := g.link.TransferTime(nbytes)
-	if err != nil {
-		return 0, err
-	}
-	g.sleeper(dur)
-	return dur, nil
+	return g.transfer(nbytes)
 }

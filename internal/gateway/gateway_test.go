@@ -8,7 +8,9 @@ import (
 	"healthcloud/internal/attest"
 	"healthcloud/internal/audit"
 	"healthcloud/internal/cloud"
+	"healthcloud/internal/faultinject"
 	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/resilience"
 )
 
 // newDestCloud builds a destination cloud instance with one host and VM,
@@ -160,5 +162,43 @@ func TestComputeToDataBeatsDataToCompute(t *testing.T) {
 	}
 	if slept != dataTime {
 		t.Errorf("sleeper accounted %v, want %v", slept, dataTime)
+	}
+}
+
+func TestTransferRetriesLinkFaults(t *testing.T) {
+	faults := faultinject.NewRegistry(5)
+	// The first two crossings fail; the third succeeds.
+	faults.Enable(FaultTransfer, faultinject.Fault{FailFirst: 2})
+	g, err := New(Link{Latency: time.Millisecond, BandwidthMBps: 100},
+		WithSleeper(noSleep), WithFaults(faults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur, err := g.ShipData(1_000_000)
+	if err != nil {
+		t.Fatalf("ShipData with transient link faults: %v", err)
+	}
+	if dur <= 0 {
+		t.Errorf("transfer time = %v", dur)
+	}
+	if g.Retries() != 2 {
+		t.Errorf("retries = %d, want 2", g.Retries())
+	}
+}
+
+func TestTransferGivesUpAfterPolicyExhausted(t *testing.T) {
+	faults := faultinject.NewRegistry(5)
+	faults.Enable(FaultTransfer, faultinject.Fault{ErrorRate: 1})
+	g, err := New(Link{Latency: time.Millisecond, BandwidthMBps: 100},
+		WithSleeper(noSleep), WithFaults(faults),
+		WithRetry(resilience.Policy{MaxAttempts: 3, BaseDelay: time.Microsecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ShipData(1000); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("ShipData on a dead link: %v", err)
+	}
+	if g.Retries() != 3 {
+		t.Errorf("retries = %d, want 3 (one per attempt)", g.Retries())
 	}
 }

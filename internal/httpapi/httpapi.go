@@ -11,6 +11,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -25,22 +26,38 @@ import (
 	"healthcloud/internal/consent"
 	"healthcloud/internal/core"
 	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/kb"
 	"healthcloud/internal/rbac"
+	"healthcloud/internal/resilience"
 	"healthcloud/internal/services"
 )
 
 // Server is the REST front end over a platform instance.
 type Server struct {
-	p   *core.Platform
-	mux *http.ServeMux
+	p          *core.Platform
+	mux        *http.ServeMux
+	reqTimeout time.Duration
 
 	mu       sync.RWMutex
 	sessions map[string]string // bearer token -> user id
 }
 
+// Option configures the server.
+type Option func(*Server)
+
+// WithRequestTimeout bounds each guarded request: handlers see a context
+// that expires after d (default 10s).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.reqTimeout = d }
+}
+
 // New builds the server and its routes.
-func New(p *core.Platform) *Server {
-	s := &Server{p: p, mux: http.NewServeMux(), sessions: make(map[string]string)}
+func New(p *core.Platform, opts ...Option) *Server {
+	s := &Server{p: p, mux: http.NewServeMux(), sessions: make(map[string]string),
+		reqTimeout: 10 * time.Second}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("POST /api/v1/login", s.handleLogin)
 	s.mux.HandleFunc("GET /api/v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /api/v1/clients", s.guard("ingest", rbac.ActionWrite, s.handleRegisterClient))
@@ -115,9 +132,14 @@ func (s *Server) authenticate(r *http.Request) (string, error) {
 	return user, nil
 }
 
-// guard wraps a handler with authenticate → RBAC (§II-B API management).
+// guard wraps a handler with authenticate → RBAC (§II-B API management)
+// and bounds the request with a per-request timeout context so a stalled
+// backend cannot pin the connection forever.
 func (s *Server) guard(resource string, action rbac.Action, next func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
 		user, err := s.authenticate(r)
 		if err != nil {
 			writeJSON(w, http.StatusUnauthorized, errorBody{err.Error()})
@@ -191,10 +213,28 @@ func (s *Server) handleUploadStatus(w http.ResponseWriter, r *http.Request, _ st
 }
 
 func (s *Server) handleKB(w http.ResponseWriter, r *http.Request, _ string) {
+	breaker := s.p.KBResilient.Breaker()
 	v, err := s.p.KBCache.Get(r.PathValue("key"))
 	if err != nil {
+		// Circuit open with nothing stale to degrade to: tell the client
+		// when to come back instead of a generic failure.
+		if errors.Is(err, kb.ErrDegraded) || errors.Is(err, resilience.ErrOpen) {
+			retryAfter := int(breaker.RetryAfter().Round(time.Second) / time.Second)
+			if retryAfter < 1 {
+				retryAfter = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
+			return
+		}
 		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
 		return
+	}
+	if breaker.State() != resilience.Closed {
+		// The origin is (or was just) unreachable, so this value came
+		// from a cache tier or the stale last-known-good store: flag it
+		// so clients can treat it as possibly outdated.
+		w.Header().Set("Warning", `110 healthcloud "response is stale"`)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(v)

@@ -5,6 +5,7 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"healthcloud/internal/analytics"
 	"healthcloud/internal/consent"
 	"healthcloud/internal/core"
+	"healthcloud/internal/faultinject"
 	"healthcloud/internal/fhir"
 	"healthcloud/internal/hckrypto"
 	"healthcloud/internal/kb"
@@ -30,13 +32,24 @@ type apiFixture struct {
 
 func newAPI(t *testing.T) *apiFixture {
 	t.Helper()
+	return newAPIWith(t, nil)
+}
+
+// newAPIWith lets a test adjust the platform config (e.g. install a
+// fault-injection registry) before the instance starts.
+func newAPIWith(t *testing.T, mutate func(*core.Config)) *apiFixture {
+	t.Helper()
 	kbCfg := kb.DefaultConfig()
 	kbCfg.Drugs, kbCfg.Diseases = 20, 10
 	dataset, err := kb.Generate(kbCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := core.New(core.Config{Tenant: "mercy-health", KBDataset: dataset})
+	cfg := core.Config{Tenant: "mercy-health", KBDataset: dataset}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	p, err := core.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,5 +370,73 @@ func TestBillingEndpoint(t *testing.T) {
 	}
 	if body["total_cents"].(float64) <= 0 {
 		t.Errorf("total = %v, want > 0 after metered reads", body["total_cents"])
+	}
+}
+
+// doRaw issues an authenticated request and returns the raw response
+// (headers included), with the body drained and closed.
+func (f *apiFixture) doRaw(t *testing.T, method, path, token string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, f.srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+func TestKBDegradesAndFailsFastUnderOutage(t *testing.T) {
+	faults := faultinject.NewRegistry(21)
+	f := newAPIWith(t, func(cfg *core.Config) { cfg.Faults = faults })
+
+	// A healthy fetch also banks a last-known-good copy for degradation.
+	resp := f.doRaw(t, "GET", "/api/v1/kb/drug:drug-000", f.admin)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Warning") != "" {
+		t.Fatalf("healthy read = %d warning=%q", resp.StatusCode, resp.Header.Get("Warning"))
+	}
+
+	// Total KB outage.
+	faults.Enable(kb.FaultFetch, faultinject.Fault{ErrorRate: 1})
+
+	// The warmed key keeps serving (stale) while failures accumulate and
+	// trip the breaker.
+	breaker := f.p.KBResilient.Breaker()
+	for i := 0; breaker.Opens() == 0 && i < 20; i++ {
+		f.p.KBCache.Invalidate("drug:drug-000") // force an origin load
+		resp := f.doRaw(t, "GET", "/api/v1/kb/drug:drug-000", f.admin)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("degraded read = %d", resp.StatusCode)
+		}
+	}
+	if breaker.Opens() == 0 {
+		t.Fatal("breaker never opened under sustained KB failure")
+	}
+	if f.p.KBResilient.DegradedServes() == 0 {
+		t.Error("no reads were served from the stale store")
+	}
+
+	// Circuit open, warmed key: still 200, but flagged stale.
+	f.p.KBCache.Invalidate("drug:drug-000")
+	resp = f.doRaw(t, "GET", "/api/v1/kb/drug:drug-000", f.admin)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("open-circuit stale read = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Warning") == "" {
+		t.Error("stale response not flagged with a Warning header")
+	}
+
+	// Circuit open, cold key: nothing to degrade to — 503 + Retry-After.
+	resp = f.doRaw(t, "GET", "/api/v1/kb/drug:drug-001", f.admin)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-circuit cold read = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 response missing Retry-After header")
 	}
 }

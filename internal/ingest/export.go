@@ -147,14 +147,17 @@ func quasiRow(bundleJSON []byte) anonymize.Record {
 	return row
 }
 
-// WaitForIdle blocks until no uploads are mid-flight (test support).
+// WaitForIdle blocks until no uploads are mid-flight (test support). It
+// wakes on the pipeline's status-change broadcast rather than polling.
 func (p *Pipeline) WaitForIdle(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
 		busy := false
 		p.mu.RLock()
+		ch := p.notify
 		for _, st := range p.statuses {
-			if st.State != StateStored && st.State != StateFailed {
+			if !st.State.Terminal() {
 				busy = true
 				break
 			}
@@ -163,7 +166,10 @@ func (p *Pipeline) WaitForIdle(timeout time.Duration) error {
 		if !busy {
 			return nil
 		}
-		time.Sleep(2 * time.Millisecond)
+		select {
+		case <-ch:
+		case <-timer.C:
+			return fmt.Errorf("ingest: pipeline still busy after %v", timeout)
+		}
 	}
-	return fmt.Errorf("ingest: pipeline still busy after %v", timeout)
 }

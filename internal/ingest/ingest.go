@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"healthcloud/internal/anonymize"
@@ -31,6 +32,7 @@ import (
 	"healthcloud/internal/consent"
 	"healthcloud/internal/fhir"
 	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/resilience"
 	"healthcloud/internal/scan"
 	"healthcloud/internal/store"
 )
@@ -48,7 +50,18 @@ const (
 	StateDeidentifying State = "de-identifying"
 	StateStored        State = "stored"
 	StateFailed        State = "failed"
+	// StateDeadLettered marks an upload whose transient failures
+	// exhausted the bus's delivery attempts; the message is parked on
+	// the ingest DLQ and the reason is surfaced at the status URL. No
+	// upload is ever silently lost: every terminal state is stored,
+	// failed, or dead-lettered.
+	StateDeadLettered State = "dead-lettered"
 )
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateStored || s == StateFailed || s == StateDeadLettered
+}
 
 // Status is what the status URL returns.
 type Status struct {
@@ -56,6 +69,8 @@ type Status struct {
 	State    State  `json:"state"`
 	RefID    string `json:"ref_id,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// Attempts counts processing deliveries (1 = no retries).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // Errors returned by this package.
@@ -89,10 +104,27 @@ type Pipeline struct {
 	mu         sync.RWMutex
 	clientKeys map[string]hckrypto.SymmetricKey
 	statuses   map[string]*Status
+	// progress remembers which side effects of a retried upload already
+	// happened (lake refs), so redelivery after a transient failure is
+	// idempotent: storage is not duplicated, only the failed tail reruns.
+	progress map[string]*uploadProgress
+	// notify is a broadcast generation channel: closed and replaced on
+	// every status change so waiters wake on events instead of polling.
+	notify chan struct{}
+
+	retries      atomic.Uint64 // transient redeliveries requested via Nack
+	deadLettered atomic.Uint64 // uploads parked on the DLQ
 
 	sub    *bus.Subscription
+	dlqSub *bus.Subscription
 	wg     sync.WaitGroup
 	stopCh chan struct{}
+}
+
+// uploadProgress tracks completed storage steps across retries.
+type uploadProgress struct {
+	refID   string
+	deidRef string
 }
 
 // Deps bundles the pipeline's collaborators.
@@ -123,16 +155,27 @@ func New(d Deps) (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ingest: subscribing: %w", err)
 	}
+	dlqSub, err := d.Bus.Subscribe(bus.DLQTopic(ingestTopic), "ingest-dlq")
+	if err != nil {
+		return nil, fmt.Errorf("ingest: subscribing to DLQ: %w", err)
+	}
 	return &Pipeline{
 		tenant: d.Tenant, kms: d.KMS, staging: store.NewStaging(),
 		lake: d.Lake, idmap: d.IDMap, msgBus: d.Bus, scanner: d.Scanner,
 		consents: d.Consents, verifier: d.Verifier, ledger: d.Ledger, log: d.Log,
 		clientKeys: make(map[string]hckrypto.SymmetricKey),
 		statuses:   make(map[string]*Status),
+		progress:   make(map[string]*uploadProgress),
+		notify:     make(chan struct{}),
 		sub:        sub,
+		dlqSub:     dlqSub,
 		stopCh:     make(chan struct{}),
 	}, nil
 }
+
+// Staging exposes the staging area so platform wiring can attach fault
+// injection to it.
+func (p *Pipeline) Staging() *store.Staging { return p.staging }
 
 // RegisterClient issues a client its shared upload key ("encrypted data,
 // using a client's public certificate issued by the platform ... the
@@ -169,9 +212,13 @@ func (p *Pipeline) Upload(clientID, group string, encrypted []byte) (string, err
 	if !known {
 		return "", fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
 	}
-	id := p.staging.Put(encrypted)
+	id, err := p.staging.Put(encrypted)
+	if err != nil {
+		return "", fmt.Errorf("ingest: staging: %w", err)
+	}
 	p.mu.Lock()
 	p.statuses[id] = &Status{UploadID: id, State: StateReceived}
+	p.notifyLocked()
 	p.mu.Unlock()
 	body, err := json.Marshal(uploadMsg{UploadID: id, ClientID: clientID, Group: group})
 	if err != nil {
@@ -194,30 +241,63 @@ func (p *Pipeline) Status(uploadID string) (Status, error) {
 	return *st, nil
 }
 
-// WaitForUpload polls until the upload reaches a terminal state.
+// WaitForUpload blocks until the upload reaches a terminal state. It is
+// event-driven: waiters sleep on a broadcast channel the pipeline closes
+// on every status change, not on a poll timer.
 func (p *Pipeline) WaitForUpload(uploadID string, timeout time.Duration) (Status, error) {
-	deadline := time.Now().Add(timeout)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	for {
-		st, err := p.Status(uploadID)
-		if err != nil {
-			return Status{}, err
+		// Capture the generation channel BEFORE reading the status so a
+		// change between the read and the wait still wakes us.
+		p.mu.RLock()
+		ch := p.notify
+		st, ok := p.statuses[uploadID]
+		var snap Status
+		if ok {
+			snap = *st
 		}
-		if st.State == StateStored || st.State == StateFailed {
-			return st, nil
+		p.mu.RUnlock()
+		if !ok {
+			return Status{}, fmt.Errorf("%w: %q", ErrUnknownUpload, uploadID)
 		}
-		if time.Now().After(deadline) {
-			return st, fmt.Errorf("ingest: upload %s still %s after %v", uploadID, st.State, timeout)
+		if snap.State.Terminal() {
+			return snap, nil
 		}
-		time.Sleep(2 * time.Millisecond)
+		select {
+		case <-ch:
+		case <-timer.C:
+			return snap, fmt.Errorf("ingest: upload %s still %s after %v", uploadID, snap.State, timeout)
+		}
 	}
 }
 
-// Start launches n background ingestion workers.
+// Retries reports how many transient redeliveries the workers requested.
+func (p *Pipeline) Retries() uint64 { return p.retries.Load() }
+
+// DeadLettered reports how many uploads were parked on the DLQ.
+func (p *Pipeline) DeadLettered() uint64 { return p.deadLettered.Load() }
+
+// Statuses snapshots every upload status (chaos-harness support).
+func (p *Pipeline) Statuses() []Status {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]Status, 0, len(p.statuses))
+	for _, st := range p.statuses {
+		out = append(out, *st)
+	}
+	return out
+}
+
+// Start launches n background ingestion workers plus the DLQ consumer
+// that surfaces dead-lettered uploads at the status URL.
 func (p *Pipeline) Start(n int) {
 	for i := 0; i < n; i++ {
 		p.wg.Add(1)
 		go p.worker()
 	}
+	p.wg.Add(1)
+	go p.dlqWorker()
 }
 
 // Close stops the workers (the bus subscription keeps queued messages for
@@ -248,9 +328,56 @@ func (p *Pipeline) worker() {
 			p.sub.Ack(m.ID) // malformed: poison message, drop
 			continue
 		}
-		p.process(msg)
-		p.sub.Ack(m.ID)
+		p.noteAttempt(msg.UploadID, m.Attempt)
+		err = p.process(msg)
+		switch {
+		case err == nil:
+			p.sub.Ack(m.ID)
+		case resilience.IsPermanent(err):
+			// Data problems (bad crypto, invalid FHIR, malware, missing
+			// consent) never heal on retry: mark failed and consume.
+			p.fail(msg.UploadID, err.Error())
+			p.sub.Ack(m.ID)
+		default:
+			// Infrastructure problems (store, ledger) are transient:
+			// hand the message back for redelivery. Once the bus's
+			// max-attempts cap is hit it dead-letters instead, and the
+			// DLQ consumer surfaces the reason at the status URL.
+			p.retries.Add(1)
+			p.log.Record(audit.Event{Level: audit.LevelWarn, Service: "ingest",
+				Action: "ingest-retry", Resource: msg.UploadID, Detail: err.Error()})
+			p.sub.Nack(m.ID, err.Error())
+		}
 	}
+}
+
+// dlqWorker consumes the ingest dead-letter topic and marks the parked
+// uploads so the invariant holds: every upload terminates as stored,
+// failed, or dead-lettered with a reason at its status URL.
+func (p *Pipeline) dlqWorker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		default:
+		}
+		m, err := p.dlqSub.Receive(50 * time.Millisecond)
+		if err != nil {
+			continue
+		}
+		var msg uploadMsg
+		if err := json.Unmarshal(m.Payload, &msg); err == nil {
+			p.markDeadLettered(msg.UploadID, m.Reason)
+		}
+		p.dlqSub.Ack(m.ID)
+	}
+}
+
+// notifyLocked wakes every waiter. Callers must hold p.mu for writing.
+func (p *Pipeline) notifyLocked() {
+	close(p.notify)
+	p.notify = make(chan struct{})
 }
 
 // setState updates a status.
@@ -258,6 +385,16 @@ func (p *Pipeline) setState(uploadID string, s State) {
 	p.mu.Lock()
 	if st, ok := p.statuses[uploadID]; ok {
 		st.State = s
+	}
+	p.notifyLocked()
+	p.mu.Unlock()
+}
+
+// noteAttempt records the bus delivery count on the status.
+func (p *Pipeline) noteAttempt(uploadID string, attempt int) {
+	p.mu.Lock()
+	if st, ok := p.statuses[uploadID]; ok && attempt > st.Attempts {
+		st.Attempts = attempt
 	}
 	p.mu.Unlock()
 }
@@ -268,19 +405,50 @@ func (p *Pipeline) fail(uploadID, reason string) {
 		st.State = StateFailed
 		st.Error = reason
 	}
+	delete(p.progress, uploadID)
+	p.notifyLocked()
 	p.mu.Unlock()
+	p.staging.Remove(uploadID)
 	p.log.Record(audit.Event{Level: audit.LevelWarn, Service: "ingest",
 		Action: "ingest-failed", Resource: uploadID, Detail: reason})
 }
 
-// process runs the full background ingestion flow for one upload.
-func (p *Pipeline) process(msg uploadMsg) {
+// markDeadLettered parks an upload that exhausted its retries.
+func (p *Pipeline) markDeadLettered(uploadID, reason string) {
+	if reason == "" {
+		reason = "retries exhausted"
+	}
+	p.mu.Lock()
+	if st, ok := p.statuses[uploadID]; ok && !st.State.Terminal() {
+		st.State = StateDeadLettered
+		st.Error = reason
+		p.deadLettered.Add(1)
+	}
+	delete(p.progress, uploadID)
+	p.notifyLocked()
+	p.mu.Unlock()
+	p.staging.Remove(uploadID)
+	p.log.Record(audit.Event{Level: audit.LevelError, Service: "ingest",
+		Action: "ingest-dead-lettered", Resource: uploadID, Detail: reason})
+}
+
+// process runs the full background ingestion flow for one upload. It
+// returns nil on success, a resilience.Permanent error for data problems
+// that cannot heal on retry, and a plain (transient) error for
+// infrastructure failures the worker should Nack for redelivery.
+func (p *Pipeline) process(msg uploadMsg) error {
 	id := msg.UploadID
-	// 1. Take the encrypted bundle from staging.
-	encrypted, err := p.staging.Take(id)
+	// Duplicate redelivery (e.g. after a visibility timeout) of an
+	// upload that already terminated is a no-op.
+	if st, err := p.Status(id); err == nil && st.State.Terminal() {
+		return nil
+	}
+	// 1. Read the encrypted bundle from staging. The bytes stay staged
+	// until a terminal state so transient failures can be retried; a
+	// missing entry here is unrecoverable.
+	encrypted, err := p.staging.Get(id)
 	if err != nil {
-		p.fail(id, "staging: "+err.Error())
-		return
+		return resilience.Permanent(fmt.Errorf("staging: %w", err))
 	}
 	// 2. Decrypt with the client's shared key.
 	p.setState(id, StateDecrypting)
@@ -288,88 +456,122 @@ func (p *Pipeline) process(msg uploadMsg) {
 	key := p.clientKeys[msg.ClientID]
 	p.mu.RUnlock()
 	if key == nil {
-		p.fail(id, "unknown client key")
-		return
+		return resilience.Permanent(errors.New("unknown client key"))
 	}
 	plaintext, err := hckrypto.DecryptGCM(key, encrypted, []byte(msg.ClientID))
 	if err != nil {
-		p.fail(id, "decrypt: integrity or key failure")
-		return
+		return resilience.Permanent(errors.New("decrypt: integrity or key failure"))
 	}
 	// 3. Validate the bundle.
 	p.setState(id, StateValidating)
 	bundle, err := fhir.ParseBundle(plaintext)
 	if err != nil {
-		p.fail(id, "validate: "+err.Error())
-		return
+		return resilience.Permanent(fmt.Errorf("validate: %w", err))
 	}
 	// 4. Malware filtration.
 	p.setState(id, StateScanning)
 	if findings, err := p.scanner.Scan(msg.ClientID, plaintext); err != nil {
-		p.fail(id, "malware: "+err.Error())
 		p.recordLedger(blockchain.EventMalwareReport, id, nil, map[string]string{
 			"sender": msg.ClientID, "findings": strconv.Itoa(len(findings)),
 		})
-		return
+		return resilience.Permanent(fmt.Errorf("malware: %w", err))
 	}
 	// 5. Find the patient and check consent for the target group.
 	p.setState(id, StateConsent)
 	patient, err := patientOf(bundle)
 	if err != nil {
-		p.fail(id, err.Error())
-		return
+		return resilience.Permanent(err)
 	}
 	if err := p.consents.Check(patient.ID, msg.Group, consent.PurposeResearch); err != nil {
-		p.fail(id, "consent: "+err.Error())
-		return
+		return resilience.Permanent(fmt.Errorf("consent: %w", err))
 	}
 	// 6. De-identify and store. The original (identified) record and the
 	// de-identified copy are both encrypted at rest under per-record keys
 	// (§IV-B1: "Both the original and anonymized versions of data objects
-	// are encrypted and stored").
+	// are encrypted and stored"). Lake writes that already succeeded on a
+	// previous attempt are remembered in the progress map and skipped, so
+	// retries are idempotent.
 	p.setState(id, StateDeidentifying)
 	deidPatient := anonymize.DeidentifyPatient(patient, nil)
 	deidBundle, err := deidentifiedBundle(bundle, deidPatient)
 	if err != nil {
-		p.fail(id, "deidentify: "+err.Error())
-		return
+		return resilience.Permanent(fmt.Errorf("deidentify: %w", err))
 	}
-	refID, err := p.lake.Put(patient.ID, plaintext, store.Meta{
-		ContentType: "fhir+json;identified", Tenant: p.tenant, Group: msg.Group,
-	})
-	if err != nil {
-		p.fail(id, "store: "+err.Error())
-		return
+	prog := p.progressFor(id)
+	if prog.refID == "" {
+		refID, err := p.lake.Put(patient.ID, plaintext, store.Meta{
+			ContentType: "fhir+json;identified", Tenant: p.tenant, Group: msg.Group,
+		})
+		if err != nil {
+			return fmt.Errorf("store: %w", err) // transient
+		}
+		prog.refID = refID
+		p.saveProgress(id, prog)
 	}
-	deidJSON, err := fhir.Marshal(deidBundle)
-	if err != nil {
-		p.fail(id, "deid-marshal: "+err.Error())
-		return
+	if prog.deidRef == "" {
+		deidJSON, err := fhir.Marshal(deidBundle)
+		if err != nil {
+			return resilience.Permanent(fmt.Errorf("deid-marshal: %w", err))
+		}
+		deidRef, err := p.lake.Put(patient.ID, deidJSON, store.Meta{
+			ContentType: "fhir+json;deidentified", Tenant: p.tenant, Group: msg.Group,
+			Tags: map[string]string{"identified_ref": prog.refID},
+		})
+		if err != nil {
+			return fmt.Errorf("store-deid: %w", err) // transient
+		}
+		prog.deidRef = deidRef
+		p.saveProgress(id, prog)
 	}
-	deidRef, err := p.lake.Put(patient.ID, deidJSON, store.Meta{
-		ContentType: "fhir+json;deidentified", Tenant: p.tenant, Group: msg.Group,
-		Tags: map[string]string{"identified_ref": refID},
-	})
-	if err != nil {
-		p.fail(id, "store-deid: "+err.Error())
-		return
+	p.idmap.Bind(prog.refID, patient.ID) // idempotent rebind on retry
+	// 7. Provenance. A failed ledger submit is transient: the receipt
+	// must eventually land, so the whole message is redelivered (the
+	// storage steps above are skipped via the progress map).
+	salt := []byte(prog.refID)
+	tx := blockchain.NewTransaction(blockchain.EventDataReceipt, "ingest-service",
+		prog.refID, hckrypto.SaltedHash(salt, plaintext), map[string]string{
+			"group": msg.Group, "deid_ref": prog.deidRef,
+		})
+	if p.ledger != nil {
+		if err := p.ledger.Submit(tx, 10*time.Second); err != nil {
+			return fmt.Errorf("ledger: %w", err) // transient
+		}
 	}
-	p.idmap.Bind(refID, patient.ID)
-	// 7. Provenance.
-	salt := []byte(refID)
-	p.recordLedger(blockchain.EventDataReceipt, refID, hckrypto.SaltedHash(salt, plaintext), map[string]string{
-		"group": msg.Group, "deid_ref": deidRef,
-	})
 	p.mu.Lock()
 	if st, ok := p.statuses[id]; ok {
 		st.State = StateStored
-		st.RefID = refID
+		st.RefID = prog.refID
 	}
+	delete(p.progress, id)
+	p.notifyLocked()
 	p.mu.Unlock()
+	p.staging.Remove(id)
 	p.log.Record(audit.Event{Level: audit.LevelInfo, Service: "ingest",
-		Action: "stored", Resource: refID})
+		Action: "stored", Resource: prog.refID})
+	return nil
 }
 
+// progressFor returns a copy of the retry progress for an upload.
+func (p *Pipeline) progressFor(id string) uploadProgress {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if prog, ok := p.progress[id]; ok {
+		return *prog
+	}
+	return uploadProgress{}
+}
+
+// saveProgress persists a completed storage step across retries.
+func (p *Pipeline) saveProgress(id string, prog uploadProgress) {
+	p.mu.Lock()
+	cp := prog
+	p.progress[id] = &cp
+	p.mu.Unlock()
+}
+
+// recordLedger is the best-effort submit used by export and malware
+// reporting, where the primary operation should not fail on a ledger
+// hiccup; failures are audit-logged only.
 func (p *Pipeline) recordLedger(typ blockchain.EventType, handle string, hash []byte, meta map[string]string) {
 	if p.ledger == nil {
 		return

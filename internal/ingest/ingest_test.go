@@ -13,6 +13,7 @@ import (
 	"healthcloud/internal/blockchain"
 	"healthcloud/internal/bus"
 	"healthcloud/internal/consent"
+	"healthcloud/internal/faultinject"
 	"healthcloud/internal/fhir"
 	"healthcloud/internal/hckrypto"
 	"healthcloud/internal/scan"
@@ -56,18 +57,27 @@ type rig struct {
 
 func newRig(t *testing.T) *rig {
 	t.Helper()
+	return newRigWith(t, bus.New(), nil)
+}
+
+// newRigWith lets a test choose the bus (e.g. with a max-attempts cap)
+// and substitute the ledger before the workers start.
+func newRigWith(t *testing.T, b *bus.Bus, ledger Ledger) *rig {
+	t.Helper()
 	kms, err := hckrypto.NewKMS("tenant-a")
 	if err != nil {
 		t.Fatal(err)
 	}
 	lake := store.NewDataLake(kms, "svc-storage")
-	b := bus.New()
 	t.Cleanup(b.Close)
 	scanner, err := scan.NewScanner(scan.DefaultSignatures()...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ledger := &fakeLedger{}
+	fake := &fakeLedger{}
+	if ledger == nil {
+		ledger = fake
+	}
 	deps := Deps{
 		Tenant: "tenant-a", KMS: kms, Lake: lake,
 		IDMap: store.NewIdentityMap("svc-reident"),
@@ -82,7 +92,7 @@ func newRig(t *testing.T) *rig {
 	}
 	p.Start(4)
 	t.Cleanup(p.Close)
-	return &rig{p: p, kms: kms, lake: lake, consents: deps.Consents, ledger: ledger, log: deps.Log}
+	return &rig{p: p, kms: kms, lake: lake, consents: deps.Consents, ledger: fake, log: deps.Log}
 }
 
 // patientBundle builds and encrypts a bundle for one patient.
@@ -431,17 +441,65 @@ func TestWaitForIdle(t *testing.T) {
 	}
 }
 
-func TestLedgerFailureIsNonFatal(t *testing.T) {
-	// A failing provenance ledger must not block ingestion — the failure
-	// is logged, the data still lands (availability under partial outage).
-	r := newRig(t)
-	r.p.ledger = failingLedger{}
-	st := r.ingestOne(t, "clinic-1", "patient-1", "10598")
-	if st.State != StateStored {
+func TestLedgerFailureDeadLetters(t *testing.T) {
+	// A persistently failing provenance ledger is a transient
+	// infrastructure fault: the upload is retried up to the bus's
+	// attempt cap and then parked on the DLQ with the reason surfaced at
+	// the status URL — it is never silently lost, and the data is never
+	// reported stored without its provenance receipt.
+	r := newRigWith(t, bus.New(bus.WithMaxAttempts(3)), failingLedger{})
+	key, err := r.p.RegisterClient("clinic-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.consents.Grant("patient-1", "study-1", consent.PurposeResearch, 0)
+	id, err := r.p.Upload("clinic-1", "study-1", patientBundle(t, key, "clinic-1", "patient-1", "10598"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.p.WaitForUpload(id, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDeadLettered {
 		t.Fatalf("status with failing ledger = %+v", st)
 	}
-	if got := r.log.Find(audit.Query{Action: "ledger-submit"}); len(got) == 0 {
-		t.Error("ledger failure not logged")
+	if !strings.Contains(st.Error, "ledger") {
+		t.Errorf("dead-letter reason %q does not name the ledger", st.Error)
+	}
+	if st.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", st.Attempts)
+	}
+	if r.p.Retries() == 0 || r.p.DeadLettered() != 1 {
+		t.Errorf("retries=%d deadLettered=%d", r.p.Retries(), r.p.DeadLettered())
+	}
+	if got := r.log.Find(audit.Query{Action: "ingest-dead-lettered"}); len(got) != 1 {
+		t.Errorf("dead-letter audit events = %d, want 1", len(got))
+	}
+}
+
+func TestTransientStoreFailureRecovers(t *testing.T) {
+	// A lake write that fails on the first delivery succeeds on a
+	// retried one: the upload ends stored with Attempts > 1 and nothing
+	// reaches the DLQ.
+	faults := faultinject.NewRegistry(7)
+	faults.Enable(store.FaultLakePut, faultinject.Fault{FailFirst: 1})
+	r := newRigWith(t, bus.New(bus.WithMaxAttempts(5)), nil)
+	r.lake.SetFaults(faults)
+	st := r.ingestOne(t, "clinic-1", "patient-1", "10598")
+	if st.State != StateStored {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Attempts < 2 {
+		t.Errorf("attempts = %d, want >= 2", st.Attempts)
+	}
+	if r.p.DeadLettered() != 0 {
+		t.Errorf("deadLettered = %d", r.p.DeadLettered())
+	}
+	// The retry must not have duplicated storage: one identified + one
+	// de-identified record.
+	if r.lake.Count() != 2 {
+		t.Errorf("lake count = %d, want 2 (idempotent retry)", r.lake.Count())
 	}
 }
 

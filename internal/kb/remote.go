@@ -7,8 +7,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"healthcloud/internal/faultinject"
 	"healthcloud/internal/hccache"
 )
+
+// FaultFetch is the fault point consulted per remote KB request (see
+// internal/faultinject) — the WAN/provider outage knob.
+const FaultFetch = "kb.remote.fetch"
 
 // RemoteKB wraps a dataset behind a simulated WAN so the caching
 // experiments (E1/E2) measure realistic remote-access costs. The paper:
@@ -19,6 +24,7 @@ type RemoteKB struct {
 	data    *Dataset
 	latency time.Duration
 	sleeper func(time.Duration)
+	faults  *faultinject.Registry
 	calls   atomic.Uint64
 }
 
@@ -28,6 +34,12 @@ type RemoteOption func(*RemoteKB)
 // WithSleeper replaces the real sleep (benches account instead of sleeping).
 func WithSleeper(f func(time.Duration)) RemoteOption {
 	return func(r *RemoteKB) { r.sleeper = f }
+}
+
+// WithFaults installs a fault-injection registry consulted at
+// FaultFetch before each request (nil disables).
+func WithFaults(reg *faultinject.Registry) RemoteOption {
+	return func(r *RemoteKB) { r.faults = reg }
 }
 
 // NewRemoteKB serves a dataset with the given per-request latency.
@@ -53,6 +65,9 @@ type DrugRecord struct {
 // the WAN latency. It satisfies hccache.Loader.
 func (r *RemoteKB) Fetch(key string) ([]byte, uint64, error) {
 	r.calls.Add(1)
+	if err := r.faults.Check(FaultFetch); err != nil {
+		return nil, 0, fmt.Errorf("kb: %w", err)
+	}
 	r.sleeper(r.latency)
 	switch {
 	case strings.HasPrefix(key, "drug:"):

@@ -1,0 +1,111 @@
+package kb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"healthcloud/internal/hccache"
+	"healthcloud/internal/resilience"
+)
+
+// ErrDegraded wraps errors returned when the KB is unreachable, the
+// circuit is open, and no stale copy exists to degrade to.
+var ErrDegraded = errors.New("kb: knowledge base unavailable")
+
+// ResilientClient wraps a KB origin loader with the platform's
+// resilience layer (§III assumes external KBs that can stall or fail):
+// per-request retry with backoff, a circuit breaker that fails fast
+// under sustained provider failure, and graceful degradation — while
+// the circuit is open, reads are served from a last-known-good stale
+// copy, flagged via the DegradedServes counter, instead of erroring.
+type ResilientClient struct {
+	origin  hccache.Loader
+	breaker *resilience.Breaker
+	retry   resilience.Policy
+
+	mu       sync.Mutex
+	stale    map[string]staleEntry // last good value per key, never expired
+	degraded uint64                // reads served stale
+}
+
+type staleEntry struct {
+	value   []byte
+	version uint64
+}
+
+// NewResilientClient protects origin with the given breaker and retry
+// policy. The stale store is unbounded: it mirrors the KB keyspace,
+// which is small relative to the records it annotates.
+func NewResilientClient(origin hccache.Loader, breaker *resilience.Breaker, retry resilience.Policy) *ResilientClient {
+	return &ResilientClient{
+		origin:  origin,
+		breaker: breaker,
+		stale:   make(map[string]staleEntry),
+		retry:   retry,
+	}
+}
+
+// Breaker exposes the circuit for health endpoints (state, retry-after).
+func (c *ResilientClient) Breaker() *resilience.Breaker { return c.breaker }
+
+// DegradedServes reports how many reads were answered from stale data.
+func (c *ResilientClient) DegradedServes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
+}
+
+// Loader returns the protected loader; plug it into an hccache.Tiered
+// as the origin.
+func (c *ResilientClient) Loader() hccache.Loader { return c.load }
+
+func (c *ResilientClient) load(key string) ([]byte, uint64, error) {
+	if err := c.breaker.Allow(); err != nil {
+		if v, ver, ok := c.serveStale(key); ok {
+			return v, ver, nil
+		}
+		return nil, 0, fmt.Errorf("%w (circuit %s): %w", ErrDegraded, c.breaker.State(), err)
+	}
+	var value []byte
+	var version uint64
+	err := resilience.Retry(context.Background(), c.retry, func(context.Context) error {
+		v, ver, err := c.origin(key)
+		if errors.Is(err, hccache.ErrNotFound) {
+			// A missing key is a healthy answer, not a provider failure.
+			return resilience.Permanent(err)
+		}
+		if err != nil {
+			return err
+		}
+		value, version = v, ver
+		return nil
+	})
+	if errors.Is(err, hccache.ErrNotFound) {
+		c.breaker.Record(nil)
+		return nil, 0, err
+	}
+	c.breaker.Record(err)
+	if err != nil {
+		if v, ver, ok := c.serveStale(key); ok {
+			return v, ver, nil
+		}
+		return nil, 0, fmt.Errorf("%w: %w", ErrDegraded, err)
+	}
+	c.mu.Lock()
+	c.stale[key] = staleEntry{value: value, version: version}
+	c.mu.Unlock()
+	return value, version, nil
+}
+
+func (c *ResilientClient) serveStale(key string) ([]byte, uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.stale[key]
+	if !ok {
+		return nil, 0, false
+	}
+	c.degraded++
+	return e.value, e.version, true
+}

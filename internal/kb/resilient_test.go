@@ -1,0 +1,119 @@
+package kb
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"healthcloud/internal/hccache"
+	"healthcloud/internal/resilience"
+)
+
+// flakyOrigin is a scriptable loader: fails while down, serves versioned
+// values otherwise.
+type flakyOrigin struct {
+	mu      sync.Mutex
+	down    bool
+	version uint64
+	calls   int
+}
+
+func (o *flakyOrigin) load(key string) ([]byte, uint64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.calls++
+	if o.down {
+		return nil, 0, errors.New("origin unreachable")
+	}
+	if key == "missing" {
+		return nil, 0, hccache.ErrNotFound
+	}
+	return []byte("value-of-" + key), o.version, nil
+}
+
+func newTestResilient(origin *flakyOrigin, clk func() time.Time) *ResilientClient {
+	return NewResilientClient(origin.load,
+		resilience.NewBreaker(resilience.BreakerConfig{
+			FailureThreshold: 3, OpenFor: time.Second, Now: clk,
+		}),
+		resilience.Policy{MaxAttempts: 2, BaseDelay: time.Microsecond})
+}
+
+func TestResilientServesAndBanksStale(t *testing.T) {
+	origin := &flakyOrigin{version: 7}
+	c := newTestResilient(origin, time.Now)
+	v, ver, err := c.Loader()("drug:a")
+	if err != nil || string(v) != "value-of-drug:a" || ver != 7 {
+		t.Fatalf("healthy load = %q %d %v", v, ver, err)
+	}
+	// Outage: the banked copy is served, flagged as degraded.
+	origin.mu.Lock()
+	origin.down = true
+	origin.mu.Unlock()
+	v, ver, err = c.Loader()("drug:a")
+	if err != nil || string(v) != "value-of-drug:a" || ver != 7 {
+		t.Fatalf("stale load = %q %d %v", v, ver, err)
+	}
+	if c.DegradedServes() != 1 {
+		t.Errorf("DegradedServes = %d, want 1", c.DegradedServes())
+	}
+}
+
+func TestResilientBreakerOpensAndRecovers(t *testing.T) {
+	now := time.Unix(0, 0)
+	var mu sync.Mutex
+	clk := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	origin := &flakyOrigin{down: true}
+	c := newTestResilient(origin, clk)
+	// Cold cache + outage: every load fails; three recorded failures
+	// trip the breaker.
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Loader()("drug:x"); !errors.Is(err, ErrDegraded) {
+			t.Fatalf("load %d: %v", i, err)
+		}
+	}
+	if got := c.Breaker().State(); got != resilience.Open {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+	// While open the origin is not called at all (fail fast).
+	origin.mu.Lock()
+	before := origin.calls
+	origin.mu.Unlock()
+	if _, _, err := c.Loader()("drug:x"); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("open-circuit load: %v", err)
+	}
+	origin.mu.Lock()
+	after := origin.calls
+	origin.down = false
+	origin.mu.Unlock()
+	if after != before {
+		t.Errorf("origin called %d times while circuit open", after-before)
+	}
+	// After the open window a probe succeeds and the circuit closes.
+	advance(2 * time.Second)
+	if _, _, err := c.Loader()("drug:x"); err != nil {
+		t.Fatalf("probe load: %v", err)
+	}
+	if got := c.Breaker().State(); got != resilience.Closed {
+		t.Errorf("breaker state after recovery = %v, want closed", got)
+	}
+}
+
+func TestResilientNotFoundIsHealthy(t *testing.T) {
+	origin := &flakyOrigin{}
+	c := newTestResilient(origin, time.Now)
+	for i := 0; i < 10; i++ {
+		if _, _, err := c.Loader()("missing"); !errors.Is(err, hccache.ErrNotFound) {
+			t.Fatalf("missing key: %v", err)
+		}
+	}
+	if got := c.Breaker().State(); got != resilience.Closed {
+		t.Errorf("404s tripped the breaker: state = %v", got)
+	}
+	if c.Breaker().Opens() != 0 {
+		t.Errorf("opens = %d, want 0", c.Breaker().Opens())
+	}
+}

@@ -1,0 +1,189 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit-breaker state machine position.
+type BreakerState int
+
+// The classic three states.
+const (
+	Closed   BreakerState = iota // normal operation
+	Open                         // failing fast, no calls pass
+	HalfOpen                     // one probe in flight decides reopen/close
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// ErrOpen is returned by Allow/Do while the breaker is rejecting calls.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// Clock is injectable time (tests advance it manually).
+type Clock func() time.Time
+
+// BreakerConfig tunes a Breaker.
+type BreakerConfig struct {
+	// FailureThreshold opens the circuit after this many consecutive
+	// failures (default 5).
+	FailureThreshold int
+	// OpenFor is how long the breaker rejects before allowing a
+	// half-open probe (default 1s).
+	OpenFor time.Duration
+	// Now is the injectable clock (default time.Now).
+	Now Clock
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a closed→open→half-open circuit breaker. While open it
+// fails fast with ErrOpen; after OpenFor it admits a single probe
+// (half-open) whose outcome closes or re-opens the circuit.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int       // consecutive failures while closed
+	openedAt    time.Time // when the circuit last opened
+	probing     bool      // a half-open probe is in flight
+	opens       uint64
+	rejected    uint64
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State returns the current state (Open lazily becomes HalfOpen once
+// OpenFor has elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked()
+}
+
+func (b *Breaker) stateLocked() BreakerState {
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.state = HalfOpen
+		b.probing = false
+	}
+	return b.state
+}
+
+// Allow reports whether a call may proceed now; the caller must Record
+// its outcome. In half-open only one probe is admitted at a time.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked() {
+	case Closed:
+		return nil
+	case HalfOpen:
+		if b.probing {
+			b.rejected++
+			return ErrOpen
+		}
+		b.probing = true
+		return nil
+	default:
+		b.rejected++
+		return ErrOpen
+	}
+}
+
+// Record reports a call outcome to the state machine.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	state := b.stateLocked()
+	if err == nil {
+		b.consecutive = 0
+		if state == HalfOpen {
+			b.state = Closed
+			b.probing = false
+		}
+		return
+	}
+	switch state {
+	case HalfOpen:
+		// Probe failed: back to fully open for another OpenFor window.
+		b.openLocked()
+	case Closed:
+		b.consecutive++
+		if b.consecutive >= b.cfg.FailureThreshold {
+			b.openLocked()
+		}
+	}
+}
+
+func (b *Breaker) openLocked() {
+	b.state = Open
+	b.probing = false
+	b.consecutive = 0
+	b.openedAt = b.cfg.Now()
+	b.opens++
+}
+
+// Do runs op through the breaker: ErrOpen when rejecting, else op's
+// error after recording it.
+func (b *Breaker) Do(op func() error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := op()
+	b.Record(err)
+	return err
+}
+
+// RetryAfter returns how long until the breaker will admit a probe
+// (zero when not open) — the HTTP Retry-After hint.
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stateLocked() != Open {
+		return 0
+	}
+	return b.cfg.OpenFor - b.cfg.Now().Sub(b.openedAt)
+}
+
+// Opens returns how many times the circuit has opened.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// Rejected returns how many calls were refused while open/half-open.
+func (b *Breaker) Rejected() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rejected
+}

@@ -1,0 +1,118 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+func newTestBreaker(threshold int, openFor time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{now: time.Unix(1700000000, 0)}
+	return NewBreaker(BreakerConfig{FailureThreshold: threshold, OpenFor: openFor, Now: clk.Now}), clk
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	fail := errors.New("down")
+	for i := 0; i < 3; i++ {
+		if b.State() != Closed {
+			t.Fatalf("opened early at failure %d", i)
+		}
+		b.Do(func() error { return fail })
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v after threshold failures", b.State())
+	}
+	if err := b.Do(func() error { return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker admitted a call: %v", err)
+	}
+	if b.Opens() != 1 || b.Rejected() != 1 {
+		t.Fatalf("opens=%d rejected=%d", b.Opens(), b.Rejected())
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	fail := errors.New("down")
+	b.Do(func() error { return fail })
+	b.Do(func() error { return fail })
+	b.Do(func() error { return nil }) // resets the consecutive count
+	b.Do(func() error { return fail })
+	b.Do(func() error { return fail })
+	if b.State() != Closed {
+		t.Fatal("non-consecutive failures opened the circuit")
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Do(func() error { return errors.New("down") })
+	if b.State() != Open {
+		t.Fatal("not open")
+	}
+	clk.Advance(time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v after OpenFor elapsed", b.State())
+	}
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("successful probe left state %v", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Do(func() error { return errors.New("down") })
+	clk.Advance(time.Second)
+	b.Do(func() error { return errors.New("still down") })
+	if b.State() != Open {
+		t.Fatalf("failed probe left state %v", b.State())
+	}
+	// The open window restarts: still rejecting before a full OpenFor.
+	clk.Advance(500 * time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("re-opened breaker admitted a call early")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Do(func() error { return errors.New("down") })
+	clk.Advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("first probe rejected: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatal("probe success did not close")
+	}
+}
+
+func TestBreakerRetryAfter(t *testing.T) {
+	b, clk := newTestBreaker(1, 10*time.Second)
+	if b.RetryAfter() != 0 {
+		t.Fatal("closed breaker has a retry-after")
+	}
+	b.Do(func() error { return errors.New("down") })
+	clk.Advance(4 * time.Second)
+	if got := b.RetryAfter(); got != 6*time.Second {
+		t.Fatalf("RetryAfter = %v, want 6s", got)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{Closed: "closed", Open: "open", HalfOpen: "half-open"} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package resilience provides the platform's failure-handling
+// primitives: retry with exponential backoff and full jitter, error
+// classification (transient vs permanent), and a circuit breaker. The
+// paper assumes external knowledge bases, AI services, and intercloud
+// links that can stall or fail (§II-C, §III); these primitives are how
+// the reproduction keeps an upload or a KB read from dying on the first
+// transient error.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Policy tunes Retry.
+type Policy struct {
+	// MaxAttempts caps total tries (default 3; 1 = no retry).
+	MaxAttempts int
+	// BaseDelay is the first backoff ceiling (default 10ms). Attempt n
+	// sleeps a uniform draw from [0, min(BaseDelay·Multiplier^(n-1),
+	// MaxDelay)] — "full jitter", which decorrelates competing retriers.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling (default 1s).
+	MaxDelay time.Duration
+	// Multiplier grows the ceiling per attempt (default 2).
+	Multiplier float64
+	// AttemptTimeout bounds each attempt's context (0 = no per-attempt
+	// deadline beyond the caller's).
+	AttemptTimeout time.Duration
+	// Sleeper and Rand are injectable for deterministic tests: Sleeper
+	// replaces the backoff sleep, Rand returns a value in [0,1).
+	Sleeper func(time.Duration)
+	Rand    func() float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Sleeper == nil {
+		p.Sleeper = time.Sleep
+	}
+	if p.Rand == nil {
+		p.Rand = defaultRand
+	}
+	return p
+}
+
+// defaultRand is a package-level xorshift seeded once; retries only
+// need decorrelation, not cryptographic quality.
+var defaultRand = func() func() float64 {
+	state := uint64(time.Now().UnixNano()) | 1
+	return func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%1_000_000) / 1_000_000
+	}
+}()
+
+// permanentError marks an error as not worth retrying.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps an error so Retry (and IsPermanent) stop immediately.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (anywhere in its chain) was marked
+// Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Retry runs op until it succeeds, returns a Permanent error, the
+// context is done, or MaxAttempts is exhausted. The error returned
+// after exhaustion wraps the last attempt's error.
+func Retry(ctx context.Context, p Policy, op func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	var last error
+	ceiling := p.BaseDelay
+	for attempt := 1; ; attempt++ {
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
+		if p.AttemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		}
+		last = op(attemptCtx)
+		cancel()
+		if last == nil {
+			return nil
+		}
+		if IsPermanent(last) {
+			return last
+		}
+		if attempt >= p.MaxAttempts {
+			return fmt.Errorf("resilience: %d attempts exhausted: %w", p.MaxAttempts, last)
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("resilience: giving up after %d attempts: %w", attempt, err)
+		}
+		// Full jitter: uniform in [0, ceiling].
+		p.Sleeper(time.Duration(p.Rand() * float64(ceiling)))
+		ceiling = time.Duration(float64(ceiling) * p.Multiplier)
+		if ceiling > p.MaxDelay {
+			ceiling = p.MaxDelay
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fixedPolicy retries without real sleeping and with a deterministic
+// jitter draw, recording each backoff.
+func fixedPolicy(attempts int, sleeps *[]time.Duration) Policy {
+	return Policy{
+		MaxAttempts: attempts,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    80 * time.Millisecond,
+		Multiplier:  2,
+		Sleeper:     func(d time.Duration) { *sleeps = append(*sleeps, d) },
+		Rand:        func() float64 { return 1.0 }, // jitter draws the full ceiling
+	}
+}
+
+func TestRetrySucceedsAfterTransients(t *testing.T) {
+	var sleeps []time.Duration
+	calls := 0
+	err := Retry(context.Background(), fixedPolicy(5, &sleeps), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryExponentialBackoffCapped(t *testing.T) {
+	var sleeps []time.Duration
+	fail := errors.New("transient")
+	err := Retry(context.Background(), fixedPolicy(5, &sleeps), func(context.Context) error { return fail })
+	if !errors.Is(err, fail) {
+		t.Fatalf("exhausted error %v should wrap the last attempt error", err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond,
+		40 * time.Millisecond, 80 * time.Millisecond}
+	if len(sleeps) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", sleeps, want)
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (ceiling growth with cap)", i, sleeps[i], want[i])
+		}
+	}
+}
+
+func TestRetryFullJitterBounded(t *testing.T) {
+	var sleeps []time.Duration
+	p := fixedPolicy(4, &sleeps)
+	p.Rand = func() float64 { return 0.5 }
+	Retry(context.Background(), p, func(context.Context) error { return errors.New("x") })
+	for i, d := range sleeps {
+		if d < 0 || d > 80*time.Millisecond {
+			t.Fatalf("sleep %d = %v escapes [0, ceiling]", i, d)
+		}
+	}
+	if sleeps[0] != 5*time.Millisecond {
+		t.Fatalf("half-jitter of 10ms ceiling = %v, want 5ms", sleeps[0])
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	var sleeps []time.Duration
+	calls := 0
+	base := errors.New("bad request")
+	err := Retry(context.Background(), fixedPolicy(5, &sleeps), func(context.Context) error {
+		calls++
+		return Permanent(base)
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+	if !IsPermanent(err) || !errors.Is(err, base) {
+		t.Fatalf("error %v lost its classification", err)
+	}
+}
+
+func TestRetryContextCancelStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := Policy{MaxAttempts: 10, Sleeper: func(time.Duration) {}, Rand: func() float64 { return 0 }}
+	err := Retry(ctx, p, func(context.Context) error {
+		calls++
+		cancel()
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("kept retrying after cancel: %d calls", calls)
+	}
+}
+
+func TestRetryPerAttemptDeadline(t *testing.T) {
+	p := Policy{MaxAttempts: 2, AttemptTimeout: 5 * time.Millisecond,
+		Sleeper: func(time.Duration) {}, Rand: func() float64 { return 0 }}
+	var deadlines int
+	err := Retry(context.Background(), p, func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			deadlines++
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Second):
+			return nil
+		}
+	})
+	if err == nil {
+		t.Fatal("attempts outliving their deadline should fail")
+	}
+	if deadlines != 2 {
+		t.Fatalf("per-attempt deadline seen %d times, want 2", deadlines)
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must stay nil")
+	}
+	if IsPermanent(errors.New("plain")) {
+		t.Fatal("plain error classified permanent")
+	}
+}

@@ -21,7 +21,13 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"healthcloud/internal/faultinject"
 )
+
+// FaultInvoke is the fault point consulted per provider call (see
+// internal/faultinject): injected errors count as provider downtime.
+const FaultInvoke = "services.invoke"
 
 // Capability names a functional family ("nlu", "speech", "vision",
 // "text-extraction") within which providers are interchangeable.
@@ -132,6 +138,8 @@ func (s Stats) UserRating() float64 {
 
 // Registry tracks providers and their observed stats.
 type Registry struct {
+	faults *faultinject.Registry
+
 	mu        sync.RWMutex
 	providers map[Capability][]*Provider
 	stats     map[string]*Stats
@@ -144,6 +152,13 @@ func NewRegistry() *Registry {
 		stats:     make(map[string]*Stats),
 	}
 }
+
+// SetFaults installs a fault-injection registry consulted at
+// FaultInvoke on every Call (nil disables). Injected failures are
+// recorded in the provider's observed stats exactly like real
+// unavailability, so chaos runs drive Best away from a faulted
+// provider. Call before the registry is shared across goroutines.
+func (r *Registry) SetFaults(reg *faultinject.Registry) { r.faults = reg }
 
 // Register adds a provider.
 func (r *Registry) Register(p *Provider) {
@@ -179,7 +194,14 @@ func (r *Registry) Call(name string, c Capability) (time.Duration, bool, error) 
 	if target == nil {
 		return 0, false, fmt.Errorf("%w: %s/%s", ErrNoProvider, c, name)
 	}
-	lat, correct, err := target.Invoke()
+	var lat time.Duration
+	var correct bool
+	err := r.faults.Check(FaultInvoke)
+	if err != nil {
+		err = fmt.Errorf("%w: %s: %w", ErrUnavailable, name, err)
+	} else {
+		lat, correct, err = target.Invoke()
+	}
 	r.mu.Lock()
 	st := r.stats[name]
 	st.Calls++

@@ -19,7 +19,15 @@ import (
 	"sync"
 	"time"
 
+	"healthcloud/internal/faultinject"
 	"healthcloud/internal/hckrypto"
+)
+
+// Fault-point names this package consults (see internal/faultinject).
+const (
+	FaultLakePut    = "store.lake.put"
+	FaultLakeGet    = "store.lake.get"
+	FaultStagingPut = "store.staging.put"
 )
 
 // Errors returned by this package.
@@ -50,6 +58,7 @@ type record struct {
 type DataLake struct {
 	kms       *hckrypto.KMS
 	principal string // the storage service's own KMS identity
+	faults    *faultinject.Registry
 
 	mu      sync.RWMutex
 	records map[string]*record
@@ -61,10 +70,17 @@ func NewDataLake(kms *hckrypto.KMS, principal string) *DataLake {
 	return &DataLake{kms: kms, principal: principal, records: make(map[string]*record)}
 }
 
+// SetFaults installs a fault-injection registry (nil disables). Call
+// before the lake is shared across goroutines.
+func (d *DataLake) SetFaults(r *faultinject.Registry) { d.faults = r }
+
 // Put encrypts plaintext under a fresh per-record data key bound to
 // subject and stores it, returning the reference ID. The plaintext never
 // persists; the data key lives only in the KMS.
 func (d *DataLake) Put(subject string, plaintext []byte, meta Meta) (string, error) {
+	if err := d.faults.Check(FaultLakePut); err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
 	keyID, dk, err := d.kms.CreateDataKey(subject, d.principal)
 	if err != nil {
 		return "", fmt.Errorf("store: creating data key: %w", err)
@@ -86,6 +102,9 @@ func (d *DataLake) Put(subject string, plaintext []byte, meta Meta) (string, err
 // Get decrypts a record on behalf of principal. The KMS enforces
 // need-to-know: the principal must hold a grant on the record's key.
 func (d *DataLake) Get(refID, principal string) ([]byte, error) {
+	if err := d.faults.Check(FaultLakeGet); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
 	d.mu.RLock()
 	rec, ok := d.records[refID]
 	d.mu.RUnlock()
@@ -191,6 +210,8 @@ func (d *DataLake) Count() int {
 // background ingestion picks them up (§II-B). Contents are already
 // client-encrypted; staging only holds opaque bytes.
 type Staging struct {
+	faults *faultinject.Registry
+
 	mu      sync.Mutex
 	uploads map[string][]byte
 }
@@ -200,13 +221,39 @@ func NewStaging() *Staging {
 	return &Staging{uploads: make(map[string][]byte)}
 }
 
+// SetFaults installs a fault-injection registry (nil disables). Call
+// before the staging area is shared across goroutines.
+func (s *Staging) SetFaults(r *faultinject.Registry) { s.faults = r }
+
 // Put stores an encrypted upload and returns its upload ID.
-func (s *Staging) Put(encrypted []byte) string {
+func (s *Staging) Put(encrypted []byte) (string, error) {
+	if err := s.faults.Check(FaultStagingPut); err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
 	id := "upload-" + hckrypto.NewUUID()
 	s.mu.Lock()
 	s.uploads[id] = append([]byte(nil), encrypted...)
 	s.mu.Unlock()
-	return id
+	return id, nil
+}
+
+// Get returns an upload without consuming it, so a worker whose later
+// pipeline stage fails transiently can retry from the same bytes.
+func (s *Staging) Get(id string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.uploads[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: upload %s", ErrNotFound, id)
+	}
+	return data, nil
+}
+
+// Remove deletes an upload once it reached a terminal state.
+func (s *Staging) Remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.uploads, id)
 }
 
 // Take removes and returns an upload (the background worker consumes it

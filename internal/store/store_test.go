@@ -8,6 +8,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"healthcloud/internal/faultinject"
 	"healthcloud/internal/hckrypto"
 )
 
@@ -207,9 +208,22 @@ func TestConcurrentPutGet(t *testing.T) {
 
 func TestStaging(t *testing.T) {
 	s := NewStaging()
-	id := s.Put([]byte("encrypted-bundle"))
+	id, err := s.Put([]byte("encrypted-bundle"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.Len() != 1 {
 		t.Errorf("Len = %d", s.Len())
+	}
+	// Get is non-destructive (retries re-read the same bytes).
+	for i := 0; i < 2; i++ {
+		data, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != "encrypted-bundle" {
+			t.Errorf("data = %q", data)
+		}
 	}
 	data, err := s.Take(id)
 	if err != nil {
@@ -227,10 +241,39 @@ func TestStaging(t *testing.T) {
 	}
 }
 
+func TestStagingRemove(t *testing.T) {
+	s := NewStaging()
+	id, err := s.Put([]byte("bundle"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Remove(id)
+	if _, err := s.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get after remove: %v", err)
+	}
+	s.Remove(id) // removing twice is a no-op
+}
+
+func TestStagingPutFault(t *testing.T) {
+	s := NewStaging()
+	reg := faultinject.NewRegistry(1)
+	reg.Enable(FaultStagingPut, faultinject.Fault{ErrorRate: 1})
+	s.SetFaults(reg)
+	if _, err := s.Put([]byte("x")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("Put with injected fault: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Error("failed put left data staged")
+	}
+}
+
 func TestStagingIsolation(t *testing.T) {
 	s := NewStaging()
 	buf := []byte("mutable")
-	id := s.Put(buf)
+	id, err := s.Put(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
 	buf[0] = 'X'
 	got, _ := s.Take(id)
 	if string(got) != "mutable" {
