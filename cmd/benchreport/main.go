@@ -1,12 +1,14 @@
 // Command benchreport runs the full reproduction harness (experiments
-// E1–E15 from DESIGN.md) and prints each experiment's measurements and
+// E1–E16 from DESIGN.md) and prints each experiment's measurements and
 // shape verdict — the data behind EXPERIMENTS.md.
 //
-//	go run ./cmd/benchreport            # all experiments
-//	go run ./cmd/benchreport -only E9   # one experiment
+//	go run ./cmd/benchreport                      # all experiments
+//	go run ./cmd/benchreport -only E9             # one experiment
+//	go run ./cmd/benchreport -json results.json   # also write JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +21,7 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment (e.g. E9 or A1)")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations A1-A3")
+	jsonPath := flag.String("json", "", "write all measurements to this file as JSON")
 	flag.Parse()
 
 	runners := map[string]func() (*experiments.Result, error){
@@ -29,42 +32,71 @@ func main() {
 		"E9": experiments.E9JMFAccuracy, "E10": experiments.E10DELTRecovery,
 		"E11": experiments.E11KAnonymity, "E12": experiments.E12EdgeVsServer,
 		"E13": experiments.E13ComputeToData, "E14": experiments.E14TiresiasDDI,
-		"E15": experiments.E15ChaosIngestion,
-		"A1":  experiments.A1JMFSourceAblation, "A2": experiments.A2EndorsementPolicy,
+		"E15": experiments.E15ChaosIngestion, "E16": experiments.E16TelemetryOverhead,
+		"A1": experiments.A1JMFSourceAblation, "A2": experiments.A2EndorsementPolicy,
 		"A3": experiments.A3CacheTierAblation,
 	}
 
+	var results []*experiments.Result
 	if *only != "" {
 		f, ok := runners[*only]
 		if !ok {
-			log.Fatalf("unknown experiment %q (E1..E15)", *only)
+			log.Fatalf("unknown experiment %q (E1..E16)", *only)
 		}
-		report(*only, f)
+		r, ok := report(*only, f)
+		if r != nil {
+			results = append(results, r)
+		}
+		writeJSON(*jsonPath, results)
+		if !ok {
+			os.Exit(1)
+		}
 		return
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
 	if *ablations {
 		order = append(order, "A1", "A2", "A3")
 	}
 	failures := 0
 	for _, id := range order {
-		if !report(id, runners[id]) {
+		r, ok := report(id, runners[id])
+		if r != nil {
+			results = append(results, r)
+		}
+		if !ok {
 			failures++
 		}
 	}
+	writeJSON(*jsonPath, results)
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failures)
 		os.Exit(1)
 	}
 }
 
-func report(id string, f func() (*experiments.Result, error)) bool {
+func report(id string, f func() (*experiments.Result, error)) (*experiments.Result, bool) {
 	start := time.Now()
 	r, err := f()
 	if err != nil {
 		fmt.Printf("%s: ERROR: %v\n\n", id, err)
-		return false
+		return nil, false
 	}
 	fmt.Printf("%s  (%.1fs)\n\n", r.String(), time.Since(start).Seconds())
-	return true
+	return r, true
+}
+
+// writeJSON dumps every completed experiment's measurements to path, so
+// CI and notebooks can diff runs without scraping the text report.
+func writeJSON(path string, results []*experiments.Result) {
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatalf("marshaling results: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatalf("writing %s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d result(s) to %s\n", len(results), path)
 }

@@ -19,6 +19,7 @@ import (
 	"healthcloud/internal/httpapi"
 	"healthcloud/internal/kb"
 	"healthcloud/internal/rbac"
+	"healthcloud/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +32,8 @@ func run() error {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	tenant := flag.String("tenant", "demo-health", "tenant name")
 	ledger := flag.Bool("ledger", true, "run the provenance blockchain")
+	obs := flag.Bool("telemetry", true, "serve metrics at /metrics and traces at /traces/{id}")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (own listener; empty disables)")
 	flag.Parse()
 
 	kbCfg := kb.DefaultConfig()
@@ -42,6 +45,17 @@ func run() error {
 	cfg := core.Config{Tenant: *tenant, KBDataset: dataset, KBLatency: 10 * time.Millisecond}
 	if *ledger {
 		cfg.LedgerPeers = []string{"hospital", "audit-svc", "data-protection"}
+	}
+	if *obs {
+		cfg.Telemetry = telemetry.New()
+	}
+	if *pprofAddr != "" {
+		pprofSrv, pprofLn, err := telemetry.StartPprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("starting pprof listener: %w", err)
+		}
+		defer pprofSrv.Close()
+		fmt.Printf("pprof profiling on http://%s/debug/pprof/\n", pprofLn)
 	}
 	platform, err := core.New(cfg)
 	if err != nil {
@@ -61,7 +75,8 @@ func run() error {
 		"auditor@demo": rbac.RoleAuditor,
 	}
 	fmt.Printf("healthcloud instance %q listening on http://%s\n", *tenant, *addr)
-	fmt.Printf("components: %d | ledger: %v\n\n", len(platform.Components()), *ledger)
+	fmt.Printf("components: %d | ledger: %v | telemetry: %v\n\n",
+		len(platform.Components()), *ledger, *obs)
 	fmt.Println("demo login tokens (POST each body to /api/v1/login):")
 	enc := json.NewEncoder(os.Stdout)
 	for subject, role := range users {

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"healthcloud/internal/consensus"
 	"healthcloud/internal/faultinject"
 	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/telemetry"
 )
 
 // FaultSubmit is the fault point consulted on every ledger submission
@@ -28,8 +30,30 @@ type Network struct {
 	keys     map[string]*hckrypto.VerifyKey
 	cluster  *consensus.Cluster
 	faults   *faultinject.Registry
+	tracer   *telemetry.Tracer
+	met      *netMetrics
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+}
+
+// netMetrics caches the ledger's metric handles; nil disables metrics.
+type netMetrics struct {
+	submits, submitErrs        *telemetry.Counter
+	endorse, order, commitWait *telemetry.Histogram
+}
+
+func newNetMetrics(reg *telemetry.Registry, network string) *netMetrics {
+	if reg == nil {
+		return nil
+	}
+	label := fmt.Sprintf("{network=%q}", network)
+	return &netMetrics{
+		submits:    reg.Counter("ledger_submits_total" + label),
+		submitErrs: reg.Counter("ledger_submit_errors_total" + label),
+		endorse:    reg.Histogram("ledger_endorse_seconds" + label),
+		order:      reg.Histogram("ledger_order_seconds" + label),
+		commitWait: reg.Histogram("ledger_commit_wait_seconds" + label),
+	}
 }
 
 // Option configures a Network.
@@ -39,6 +63,8 @@ type options struct {
 	validate func(*Transaction) error
 	raftCfg  consensus.Config
 	faults   *faultinject.Registry
+	reg      *telemetry.Registry
+	tracer   *telemetry.Tracer
 }
 
 // WithValidation installs the peers' endorsement rule (smart-contract
@@ -58,6 +84,16 @@ func WithFaults(r *faultinject.Registry) Option {
 	return func(o *options) { o.faults = r }
 }
 
+// WithTelemetry instruments the network: submit counters plus
+// endorse/order/commit-wait latency histograms on reg, and per-phase
+// spans on tracer (either may be nil).
+func WithTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) Option {
+	return func(o *options) {
+		o.reg = reg
+		o.tracer = tracer
+	}
+}
+
 // NewNetwork creates a network with the given peers. policyK is the
 // number of endorsements a transaction needs to be valid; it must be
 // between 1 and len(peerIDs).
@@ -75,6 +111,8 @@ func NewNetwork(name string, peerIDs []string, policyK int, opts ...Option) (*Ne
 	n := &Network{
 		name:    name,
 		faults:  o.faults,
+		tracer:  o.tracer,
+		met:     newNetMetrics(o.reg, name),
 		policyK: policyK,
 		peerIDs: append([]string(nil), peerIDs...),
 		peers:   make(map[string]*Peer, len(peerIDs)),
@@ -91,6 +129,7 @@ func NewNetwork(name string, peerIDs []string, policyK int, opts ...Option) (*Ne
 	}
 	// One ordering node per peer, mirroring Fabric's Raft ordering service.
 	n.cluster = consensus.NewCluster(len(n.peerIDs), o.raftCfg)
+	n.cluster.SetTelemetry(o.reg)
 	for i, id := range n.peerIDs {
 		n.wg.Add(1)
 		go n.pump(n.cluster.Nodes[i], n.peers[id])
@@ -202,48 +241,109 @@ func (n *Network) EndorseAll(tx *Transaction) error {
 // Submit runs the full lifecycle for one transaction: endorse, order,
 // and wait until it is committed on every peer's ledger.
 func (n *Network) Submit(tx Transaction, timeout time.Duration) error {
-	return n.SubmitBatch([]Transaction{tx}, timeout)
+	return n.SubmitBatchCtx([]Transaction{tx}, timeout, telemetry.SpanContext{})
+}
+
+// SubmitCtx is Submit continuing a caller's trace: endorse, order and
+// commit-wait appear as spans under parent (ingest.TracedLedger).
+func (n *Network) SubmitCtx(tx Transaction, timeout time.Duration, parent telemetry.SpanContext) error {
+	return n.SubmitBatchCtx([]Transaction{tx}, timeout, parent)
 }
 
 // SubmitBatch endorses every transaction and submits them as a single
 // ordering batch (one block), then waits for commit everywhere. Batching
 // is how experiment E6 amortizes ordering cost.
 func (n *Network) SubmitBatch(txs []Transaction, timeout time.Duration) error {
+	return n.SubmitBatchCtx(txs, timeout, telemetry.SpanContext{})
+}
+
+// phase runs one submit phase under a span and latency histogram, both
+// nil-safe no-ops when telemetry is off.
+func (n *Network) phase(parent telemetry.SpanContext, name string, h *telemetry.Histogram, f func() error) error {
+	sp := n.tracer.StartSpan(name, parent)
+	start := h.Start()
+	err := f()
+	h.ObserveSince(start)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	return err
+}
+
+// SubmitBatchCtx is SubmitBatch continuing a caller's trace.
+func (n *Network) SubmitBatchCtx(txs []Transaction, timeout time.Duration, parent telemetry.SpanContext) error {
 	if len(txs) == 0 {
 		return nil
 	}
 	if err := n.faults.Check(FaultSubmit); err != nil {
 		return fmt.Errorf("blockchain: %w", err)
 	}
-	for i := range txs {
-		if err := n.EndorseAll(&txs[i]); err != nil {
-			return fmt.Errorf("blockchain: endorsing %s: %w", txs[i].ID, err)
+	sp := n.tracer.StartSpan("ledger.submit", parent)
+	sp.SetAttr("network", n.name)
+	sp.SetAttr("batch", strconv.Itoa(len(txs)))
+	if n.met != nil {
+		n.met.submits.Inc()
+	}
+	err := n.submitPhases(txs, timeout, sp.Context())
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		if n.met != nil {
+			n.met.submitErrs.Inc()
 		}
+	}
+	sp.End()
+	return err
+}
+
+// submitPhases runs endorse → order → commit-wait, each as a traced
+// phase so the per-stage breakdown can attribute ordering overhead.
+func (n *Network) submitPhases(txs []Transaction, timeout time.Duration, pctx telemetry.SpanContext) error {
+	var eh, oh, ch *telemetry.Histogram
+	if n.met != nil {
+		eh, oh, ch = n.met.endorse, n.met.order, n.met.commitWait
+	}
+	if err := n.phase(pctx, "ledger.endorse", eh, func() error {
+		for i := range txs {
+			if err := n.EndorseAll(&txs[i]); err != nil {
+				return fmt.Errorf("blockchain: endorsing %s: %w", txs[i].ID, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	data, err := encodeBatch(txs)
 	if err != nil {
 		return err
 	}
 	deadline := time.Now().Add(timeout)
-	if _, err := n.cluster.ProposeAndWait(data, timeout); err != nil {
-		return fmt.Errorf("blockchain: ordering: %w", err)
+	if err := n.phase(pctx, "ledger.order", oh, func() error {
+		if _, err := n.cluster.ProposeAndWait(data, timeout); err != nil {
+			return fmt.Errorf("blockchain: ordering: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	// Wait until the last tx of the batch lands on every peer.
 	lastID := txs[len(txs)-1].ID
-	for time.Now().Before(deadline) {
-		all := true
-		for _, id := range n.peerIDs {
-			if !n.peers[id].Ledger().Committed(lastID) {
-				all = false
-				break
+	return n.phase(pctx, "ledger.commit-wait", ch, func() error {
+		for time.Now().Before(deadline) {
+			all := true
+			for _, id := range n.peerIDs {
+				if !n.peers[id].Ledger().Committed(lastID) {
+					all = false
+					break
+				}
 			}
+			if all {
+				return nil
+			}
+			time.Sleep(2 * time.Millisecond)
 		}
-		if all {
-			return nil
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	return errors.New("blockchain: commit not observed on all peers within timeout")
+		return errors.New("blockchain: commit not observed on all peers within timeout")
+	})
 }
 
 // Close shuts down the ordering cluster and waits for the apply pumps to

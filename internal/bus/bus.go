@@ -13,11 +13,13 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/telemetry"
 )
 
 // Message is one queued item.
@@ -29,6 +31,12 @@ type Message struct {
 	// Reason is set on dead-letter deliveries only: why the message was
 	// given up on (the last nack reason, or the visibility timeout).
 	Reason string
+	// Trace carries the publisher's span context across the hop. On a
+	// bus with tracing enabled, Receive replaces it with the hop span's
+	// context so consumer spans nest publish → hop → process.
+	Trace telemetry.SpanContext
+
+	publishedAt time.Time // set when the bus has telemetry; hop latency base
 }
 
 // DLQTopic returns the dead-letter topic paired with a topic. Messages
@@ -46,6 +54,8 @@ var (
 type Bus struct {
 	visibility  time.Duration
 	maxAttempts int // 0 = redeliver forever (pre-DLQ behaviour)
+	tracer      *telemetry.Tracer
+	met         *busMetrics // nil disables metrics
 
 	mu           sync.Mutex
 	subs         map[string]map[string]*Subscription // topic -> name -> sub
@@ -53,6 +63,26 @@ type Bus struct {
 	deadLettered uint64
 	wg           sync.WaitGroup
 	stopCh       chan struct{}
+}
+
+// busMetrics holds the bus's metric handles (nil when telemetry off).
+type busMetrics struct {
+	published, delivered, acked, nacked, deadLettered *telemetry.Counter
+	hop                                               *telemetry.Histogram
+}
+
+func newBusMetrics(reg *telemetry.Registry) *busMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &busMetrics{
+		published:    reg.Counter("bus_published_total"),
+		delivered:    reg.Counter("bus_delivered_total"),
+		acked:        reg.Counter("bus_acked_total"),
+		nacked:       reg.Counter("bus_nacked_total"),
+		deadLettered: reg.Counter("bus_dead_lettered_total"),
+		hop:          reg.Histogram("bus_hop_seconds"),
+	}
 }
 
 // Option configures the Bus.
@@ -70,6 +100,19 @@ func WithVisibilityTimeout(d time.Duration) Option {
 // forever. 0 (the default) keeps unlimited redelivery.
 func WithMaxAttempts(n int) Option {
 	return func(b *Bus) { b.maxAttempts = n }
+}
+
+// WithTelemetry instruments the bus: publish/deliver/ack/nack/DLQ
+// counters and a publish→receive hop histogram on reg, and — when
+// tracer is non-nil — a "bus.hop" span per delivery of a traced
+// message, re-parenting the message's context under the hop so
+// consumer spans link back to the publisher. Nil arguments disable the
+// respective half.
+func WithTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) Option {
+	return func(b *Bus) {
+		b.met = newBusMetrics(reg)
+		b.tracer = tracer
+	}
 }
 
 // New creates a bus. Call Close to stop its redelivery sweeper.
@@ -108,16 +151,34 @@ func (b *Bus) Close() {
 // Publish enqueues a payload on a topic, fanning out to every current
 // subscription. It returns the message ID.
 func (b *Bus) Publish(topic string, payload []byte) (string, error) {
+	return b.PublishCtx(topic, payload, telemetry.SpanContext{})
+}
+
+// PublishCtx is Publish with an explicit trace context: every delivery
+// of the message on a tracing bus produces a "bus.hop" span under it.
+func (b *Bus) PublishCtx(topic string, payload []byte, trace telemetry.SpanContext) (string, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return "", ErrClosed
 	}
+	b.met.countPublished()
 	id := hckrypto.NewUUID()
+	m := Message{ID: id, Topic: topic, Payload: append([]byte(nil), payload...), Trace: trace}
+	if b.met != nil || b.tracer != nil {
+		m.publishedAt = time.Now()
+	}
 	for _, s := range b.subs[topic] {
-		s.enqueue(Message{ID: id, Topic: topic, Payload: append([]byte(nil), payload...)})
+		s.enqueue(m)
 	}
 	return id, nil
+}
+
+// countPublished increments the published counter (nil-safe).
+func (m *busMetrics) countPublished() {
+	if m != nil {
+		m.published.Inc()
+	}
 }
 
 // Subscribe attaches a named subscription to a topic. Each subscription
@@ -172,10 +233,43 @@ func (b *Bus) sweep() {
 	}
 }
 
+// observeDelivery records delivery metrics and, for traced messages,
+// emits the "bus.hop" span covering publish→receive and re-parents the
+// delivered message's context under it (so the consumer's processing
+// span links publisher → hop → consumer). The inflight record keeps
+// the original context: a redelivered message hops again from the
+// publisher, producing sibling hop spans per attempt.
+func (b *Bus) observeDelivery(m *Message) {
+	if b.met == nil && b.tracer == nil {
+		return
+	}
+	now := time.Now()
+	start := m.publishedAt
+	if start.IsZero() {
+		start = now
+	}
+	if b.met != nil {
+		b.met.delivered.Inc()
+		b.met.hop.Observe(now.Sub(start))
+	}
+	if b.tracer != nil && m.Trace.Valid() {
+		sp := b.tracer.StartSpanAt("bus.hop", m.Trace, start)
+		sp.SetAttr("topic", m.Topic)
+		if m.Attempt > 1 { // only redeliveries are worth labelling
+			sp.SetAttr("attempt", strconv.Itoa(m.Attempt))
+		}
+		sp.EndAt(now)
+		m.Trace = sp.Context()
+	}
+}
+
 // deadLetterLocked publishes a given-up message on its topic's DLQ,
 // preserving its ID, payload, and attempt count. Requires b.mu.
 func (b *Bus) deadLetterLocked(m Message) {
 	b.deadLettered++
+	if b.met != nil {
+		b.met.deadLettered.Inc()
+	}
 	m.Topic = DLQTopic(m.Topic)
 	for _, s := range b.subs[m.Topic] {
 		s.enqueue(m)
@@ -269,6 +363,7 @@ func (s *Subscription) Receive(timeout time.Duration) (Message, error) {
 				s.signal()
 			}
 			s.mu.Unlock()
+			s.bus.observeDelivery(&m)
 			return m, nil
 		}
 		s.mu.Unlock()
@@ -291,6 +386,9 @@ func (s *Subscription) Ack(id string) error {
 		return fmt.Errorf("%w: %s", ErrNotInFlight, id)
 	}
 	delete(s.inflight, id)
+	if m := s.bus.met; m != nil {
+		m.acked.Inc()
+	}
 	return nil
 }
 
@@ -306,6 +404,9 @@ func (s *Subscription) Nack(id string, reason ...string) error {
 		return fmt.Errorf("%w: %s", ErrNotInFlight, id)
 	}
 	delete(s.inflight, id)
+	if m := s.bus.met; m != nil {
+		m.nacked.Inc()
+	}
 	max := s.bus.maxAttempts
 	if max > 0 && rec.msg.Attempt >= max && !s.isDLQ() {
 		m := rec.msg

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"healthcloud/internal/telemetry"
 )
 
 // Cluster bundles a set of nodes on one network — the deployment unit the
@@ -11,6 +13,27 @@ import (
 type Cluster struct {
 	Net   *Network
 	Nodes []*Node
+	met   *clusterMetrics
+}
+
+// clusterMetrics instruments the ordering path; nil disables it.
+type clusterMetrics struct {
+	proposals, retries, failures *telemetry.Counter
+	propose                      *telemetry.Histogram
+}
+
+// SetTelemetry attaches ordering metrics to the registry (nil disables).
+func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		c.met = nil
+		return
+	}
+	c.met = &clusterMetrics{
+		proposals: reg.Counter("consensus_proposals_total"),
+		retries:   reg.Counter("consensus_propose_retries_total"),
+		failures:  reg.Counter("consensus_propose_failures_total"),
+		propose:   reg.Histogram("consensus_propose_seconds"),
+	}
 }
 
 // NewCluster builds and starts n nodes named node-0..node-{n-1}.
@@ -83,12 +106,33 @@ func (c *Cluster) WaitForLeader(timeout time.Duration) (*Node, error) {
 // leader, so callers that need exactly-once must deduplicate by content —
 // the blockchain layer does so by transaction ID.
 func (c *Cluster) ProposeAndWait(data []byte, timeout time.Duration) (uint64, error) {
+	var start time.Time
+	if c.met != nil {
+		c.met.proposals.Inc()
+		start = c.met.propose.Start()
+	}
+	idx, err := c.proposeAndWait(data, timeout)
+	if c.met != nil {
+		c.met.propose.ObserveSince(start)
+		if err != nil {
+			c.met.failures.Inc()
+		}
+	}
+	return idx, err
+}
+
+func (c *Cluster) proposeAndWait(data []byte, timeout time.Duration) (uint64, error) {
 	deadline := time.Now().Add(timeout)
+	attempts := 0
 	for time.Now().Before(deadline) {
 		l := c.Leader()
 		if l == nil {
 			time.Sleep(5 * time.Millisecond)
 			continue
+		}
+		attempts++
+		if c.met != nil && attempts > 1 {
+			c.met.retries.Inc()
 		}
 		idx, term, err := l.Propose(data)
 		if errors.Is(err, ErrNotLeader) {

@@ -43,6 +43,7 @@ import (
 	"healthcloud/internal/services"
 	"healthcloud/internal/ssi"
 	"healthcloud/internal/store"
+	"healthcloud/internal/telemetry"
 )
 
 // Config sizes a platform instance.
@@ -71,6 +72,11 @@ type Config struct {
 	// stores, ledger, remote KB, service registry, and consensus fabric
 	// so chaos experiments can break components by name.
 	Faults *faultinject.Registry
+	// Telemetry, when set, wires the observability subsystem (metrics
+	// registry + tracer) through the bus, stores, ledger, consensus,
+	// caches, remote KB and service registry. Nil disables it at zero
+	// cost beyond nil checks (same contract as Faults).
+	Telemetry *telemetry.Telemetry
 }
 
 // Platform is one trusted health cloud instance.
@@ -108,6 +114,9 @@ type Platform struct {
 	// Meter records per-tenant service usage for billing (§II-B
 	// Registration Service: "metering and billing of various services").
 	Meter *metering.Meter
+	// Telemetry is the instance's observability subsystem (nil when
+	// disabled); httpapi serves it at /metrics and /traces/{id}.
+	Telemetry *telemetry.Telemetry
 }
 
 // New builds and starts a platform instance.
@@ -127,7 +136,8 @@ func New(cfg Config) (*Platform, error) {
 	case cfg.IngestMaxAttempts < 0:
 		cfg.IngestMaxAttempts = 0 // explicit opt-out: unlimited redelivery
 	}
-	p := &Platform{cfg: cfg}
+	p := &Platform{cfg: cfg, Telemetry: cfg.Telemetry}
+	reg, tracer := cfg.Telemetry.Registry(), cfg.Telemetry.Spans()
 
 	var err error
 	if p.KMS, err = hckrypto.NewKMS(cfg.Tenant); err != nil {
@@ -141,9 +151,11 @@ func New(cfg Config) (*Platform, error) {
 	if err := p.RBAC.CreateTenant(cfg.Tenant); err != nil {
 		return nil, fmt.Errorf("core: tenant: %w", err)
 	}
-	p.Bus = bus.New(bus.WithMaxAttempts(cfg.IngestMaxAttempts))
+	p.Bus = bus.New(bus.WithMaxAttempts(cfg.IngestMaxAttempts),
+		bus.WithTelemetry(reg, tracer))
 	p.Lake = store.NewDataLake(p.KMS, "svc-storage")
 	p.Lake.SetFaults(cfg.Faults)
+	p.Lake.SetTelemetry(reg)
 	p.IDMap = store.NewIdentityMap("svc-reident")
 	p.Consents = consent.NewService()
 	if p.Scanner, err = scan.NewScanner(scan.DefaultSignatures()...); err != nil {
@@ -157,7 +169,8 @@ func New(cfg Config) (*Platform, error) {
 			k = len(cfg.LedgerPeers)/2 + 1
 		}
 		if p.Provenance, err = blockchain.NewNetwork("hcls-ledger", cfg.LedgerPeers, k,
-			blockchain.WithFaults(cfg.Faults)); err != nil {
+			blockchain.WithFaults(cfg.Faults),
+			blockchain.WithTelemetry(reg, tracer)); err != nil {
 			return nil, fmt.Errorf("core: ledger: %w", err)
 		}
 	}
@@ -170,16 +183,19 @@ func New(cfg Config) (*Platform, error) {
 		Tenant: cfg.Tenant, KMS: p.KMS, Lake: p.Lake, IDMap: p.IDMap,
 		Bus: p.Bus, Scanner: p.Scanner, Consents: p.Consents,
 		Verifier: p.Verifier, Ledger: ledger, Log: p.Audit,
+		Telemetry: cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: ingest: %w", err)
 	}
 	p.Ingest.Staging().SetFaults(cfg.Faults)
+	p.Ingest.Staging().SetTelemetry(reg)
 	p.Ingest.Start(cfg.IngestWorkers)
 
 	p.Analytics = analytics.NewPlatform(p.Audit)
 	p.Services = services.NewRegistry()
 	p.Services.SetFaults(cfg.Faults)
+	p.Services.SetTelemetry(reg)
 	p.Meter = metering.NewMeter(metering.DefaultRates())
 
 	p.KB = cfg.KBDataset
@@ -188,7 +204,8 @@ func New(cfg Config) (*Platform, error) {
 			return nil, fmt.Errorf("core: kb: %w", err)
 		}
 	}
-	p.KBRemote = kb.NewRemoteKB(p.KB, cfg.KBLatency, kb.WithFaults(cfg.Faults))
+	p.KBRemote = kb.NewRemoteKB(p.KB, cfg.KBLatency, kb.WithFaults(cfg.Faults),
+		kb.WithTelemetry(reg))
 	// The cache loads through the resilience layer: transient KB
 	// failures are retried, sustained failure trips the breaker, and
 	// open-circuit reads degrade to the last-known-good value.
@@ -202,6 +219,7 @@ func New(cfg Config) (*Platform, error) {
 	if p.KBCache, err = hccache.NewTiered(p.KBResilient.Loader(), serverTier); err != nil {
 		return nil, fmt.Errorf("core: kb cache: %w", err)
 	}
+	p.KBCache.SetTelemetry(reg, tracer)
 	p.Invalidations = hccache.NewPublisher(p.Bus)
 	if p.Provenance != nil {
 		// Any peer's ledger copy serves identity status queries; use the

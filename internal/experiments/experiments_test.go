@@ -122,3 +122,33 @@ func TestE15ChaosInvariant(t *testing.T) {
 		t.Errorf("shape: %s", r.Shape)
 	}
 }
+
+// TestE16TelemetryOverhead pins the observability acceptance criteria:
+// the instrumented pipeline costs < 5% CPU over the nil-telemetry
+// baseline, and a single upload's trace carries every pipeline stage
+// including the bus hop and ledger phases.
+func TestE16TelemetryOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("telemetry benchmark skipped in -short mode")
+	}
+	r, err := E16TelemetryOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]float64{}
+	for _, row := range r.Rows {
+		rows[row.Label] = row.Value
+	}
+	if got := rows["telemetry self-overhead (cpu, median pair)"]; got >= 5 {
+		t.Errorf("telemetry self-overhead = %.2f%%, want < 5%%", got)
+	}
+	if rows["provenance+ordering share of pipeline"] <= 0 {
+		t.Error("provenance share not measured")
+	}
+	if rows["spans in one upload's trace"] < 15 {
+		t.Errorf("trace has %v spans, want >= 15", rows["spans in one upload's trace"])
+	}
+	if !strings.HasPrefix(r.Shape, "HOLDS") {
+		t.Errorf("shape: %s", r.Shape)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"healthcloud/internal/cloud"
 	"healthcloud/internal/faultinject"
 	"healthcloud/internal/resilience"
+	"healthcloud/internal/telemetry"
 )
 
 // FaultTransfer is the fault point consulted per WAN transfer (see
@@ -56,7 +57,15 @@ type Gateway struct {
 	sleeper func(time.Duration)
 	faults  *faultinject.Registry
 	retry   resilience.Policy
+	tracer  *telemetry.Tracer
+	met     *gatewayMetrics
 	retries atomic.Uint64
+}
+
+// gatewayMetrics instruments WAN crossings; nil disables it.
+type gatewayMetrics struct {
+	transfers, transferErrs, retried *telemetry.Counter
+	transfer                         *telemetry.Histogram
 }
 
 // Option configures the gateway.
@@ -77,6 +86,25 @@ func WithFaults(r *faultinject.Registry) Option {
 // flaky; a failed crossing is retried with exponential backoff).
 func WithRetry(p resilience.Policy) Option {
 	return func(g *Gateway) { g.retry = p }
+}
+
+// WithTelemetry instruments WAN crossings with transfer counters and a
+// modeled-transfer-time histogram on reg, plus spans on tracer (either
+// may be nil).
+func WithTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) Option {
+	return func(g *Gateway) {
+		g.tracer = tracer
+		if reg == nil {
+			g.met = nil
+			return
+		}
+		g.met = &gatewayMetrics{
+			transfers:    reg.Counter("gateway_transfers_total"),
+			transferErrs: reg.Counter("gateway_transfer_errors_total"),
+			retried:      reg.Counter("gateway_transfer_retries_total"),
+			transfer:     reg.Histogram("gateway_transfer_modeled_seconds"),
+		}
+	}
 }
 
 // New creates a gateway over the given link.
@@ -103,14 +131,35 @@ func (g *Gateway) Retries() uint64 { return g.retries.Load() }
 // consults the fault point, sleeps the modeled link time, and on
 // transient failure backs off and tries again.
 func (g *Gateway) transfer(n int) (time.Duration, error) {
+	return g.transferCtx(n, telemetry.SpanContext{})
+}
+
+// transferCtx is transfer continuing a caller's trace; the span records
+// the modeled (not wall-clock) link time as an attribute via duration.
+func (g *Gateway) transferCtx(n int, parent telemetry.SpanContext) (time.Duration, error) {
+	var sp *telemetry.Span
+	if parent.Valid() {
+		sp = g.tracer.StartSpan("gateway.transfer", parent)
+	}
+	if g.met != nil {
+		g.met.transfers.Inc()
+	}
 	per, err := g.link.TransferTime(n)
 	if err != nil {
+		if g.met != nil {
+			g.met.transferErrs.Inc()
+		}
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		return 0, err
 	}
 	var total time.Duration
 	err = resilience.Retry(context.Background(), g.retry, func(context.Context) error {
 		if err := g.faults.Check(FaultTransfer); err != nil {
 			g.retries.Add(1)
+			if g.met != nil {
+				g.met.retried.Inc()
+			}
 			return fmt.Errorf("gateway: link fault: %w", err)
 		}
 		g.sleeper(per)
@@ -118,8 +167,17 @@ func (g *Gateway) transfer(n int) (time.Duration, error) {
 		return nil
 	})
 	if err != nil {
+		if g.met != nil {
+			g.met.transferErrs.Inc()
+		}
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		return 0, err
 	}
+	if g.met != nil {
+		g.met.transfer.Observe(total)
+	}
+	sp.End()
 	return total, nil
 }
 
@@ -137,9 +195,29 @@ type Receipt struct {
 // must be on the destination's approved list, which is what makes the
 // workload "authored in a trusted environment with trusted libraries".
 func (g *Gateway) ShipWorkload(dst *cloud.Cloud, hostName, vmID, containerID string, img cloud.Image) (*Receipt, error) {
+	return g.ShipWorkloadCtx(dst, hostName, vmID, containerID, img, telemetry.SpanContext{})
+}
+
+// ShipWorkloadCtx is ShipWorkload continuing a caller's trace: the WAN
+// transfer, admission, start and attestation appear under one span.
+func (g *Gateway) ShipWorkloadCtx(dst *cloud.Cloud, hostName, vmID, containerID string, img cloud.Image, parent telemetry.SpanContext) (*Receipt, error) {
+	var sp *telemetry.Span
+	if parent.Valid() {
+		sp = g.tracer.StartSpan("gateway.ship", parent)
+		sp.SetAttr("image", img.Name)
+	}
+	r, err := g.shipWorkload(dst, hostName, vmID, containerID, img, sp.Context())
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	return r, err
+}
+
+func (g *Gateway) shipWorkload(dst *cloud.Cloud, hostName, vmID, containerID string, img cloud.Image, pctx telemetry.SpanContext) (*Receipt, error) {
 	// 1. Move the container image across the WAN (with retry on link
 	// faults).
-	dur, err := g.transfer(len(img.Content))
+	dur, err := g.transferCtx(len(img.Content), pctx)
 	if err != nil {
 		return nil, err
 	}

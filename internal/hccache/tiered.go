@@ -3,7 +3,11 @@ package hccache
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
+
+	"healthcloud/internal/telemetry"
 )
 
 // Loader fetches a value (and its version) from the origin — typically a
@@ -21,9 +25,40 @@ var ErrNotFound = errors.New("hccache: not found at origin")
 type Tiered struct {
 	tiers  []*Cache
 	origin Loader
+	tracer *telemetry.Tracer
+	met    *tieredMetrics
 
 	mu          sync.Mutex
 	originLoads uint64
+}
+
+// tieredMetrics instruments the tier chain; nil disables it.
+type tieredMetrics struct {
+	gets, origins *telemetry.Counter
+	tierHits      []*telemetry.Counter // indexed by tier
+	get, origin   *telemetry.Histogram
+}
+
+// SetTelemetry attaches per-tier hit counters, get/origin latency
+// histograms, and (when tracer is non-nil) cache spans. Call before the
+// cache is shared across goroutines; nil arguments disable each part.
+func (t *Tiered) SetTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	t.tracer = tracer
+	if reg == nil {
+		t.met = nil
+		return
+	}
+	m := &tieredMetrics{
+		gets:     reg.Counter("cache_gets_total"),
+		origins:  reg.Counter("cache_origin_loads_total"),
+		get:      reg.Histogram("cache_get_seconds"),
+		origin:   reg.Histogram("cache_origin_seconds"),
+		tierHits: make([]*telemetry.Counter, len(t.tiers)),
+	}
+	for i := range t.tiers {
+		m.tierHits[i] = reg.Counter(`cache_hits_total{tier="` + strconv.Itoa(i) + `"}`)
+	}
+	t.met = m
 }
 
 // NewTiered creates a tiered cache. Tier 0 is closest to the caller.
@@ -39,25 +74,66 @@ func NewTiered(origin Loader, tiers ...*Cache) (*Tiered, error) {
 
 // Get returns the value for key, filling missed tiers read-through.
 func (t *Tiered) Get(key string) ([]byte, error) {
+	return t.GetCtx(key, telemetry.SpanContext{})
+}
+
+// GetCtx is Get continuing a caller's trace: the lookup (and, on a full
+// miss, the origin load) appear as spans under parent. Untraced gets
+// (invalid parent) record metrics only, so hot cache loops don't flood
+// the span store with one-span traces.
+func (t *Tiered) GetCtx(key string, parent telemetry.SpanContext) ([]byte, error) {
+	var sp *telemetry.Span
+	if parent.Valid() {
+		sp = t.tracer.StartSpan("cache.get", parent)
+	}
+	if m := t.met; m != nil {
+		m.gets.Inc()
+		defer m.get.ObserveSince(m.get.Start())
+	}
 	for i, tier := range t.tiers {
 		if v, ver, ok := tier.Get(key); ok {
 			// Back-fill the closer tiers.
 			for j := 0; j < i; j++ {
 				t.tiers[j].Put(key, v, ver)
 			}
+			if m := t.met; m != nil {
+				m.tierHits[i].Inc()
+			}
+			sp.SetAttr("outcome", "hit")
+			sp.SetAttr("tier", strconv.Itoa(i))
+			sp.End()
 			return v, nil
 		}
 	}
+	var osp *telemetry.Span
+	if sp != nil {
+		osp = t.tracer.StartSpan("cache.origin", sp.Context())
+	}
+	var start time.Time
+	if m := t.met; m != nil {
+		start = m.origin.Start()
+	}
 	v, ver, err := t.origin(key)
+	if m := t.met; m != nil {
+		m.origin.ObserveSince(start)
+		m.origins.Inc()
+	}
 	if err != nil {
+		osp.SetAttr("error", err.Error())
+		osp.End()
+		sp.SetAttr("outcome", "origin-error")
+		sp.End()
 		return nil, fmt.Errorf("hccache: origin load %q: %w", key, err)
 	}
+	osp.End()
 	t.mu.Lock()
 	t.originLoads++
 	t.mu.Unlock()
 	for _, tier := range t.tiers {
 		tier.Put(key, v, ver)
 	}
+	sp.SetAttr("outcome", "origin")
+	sp.End()
 	return v, nil
 }
 

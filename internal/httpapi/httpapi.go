@@ -15,6 +15,7 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -30,6 +31,7 @@ import (
 	"healthcloud/internal/rbac"
 	"healthcloud/internal/resilience"
 	"healthcloud/internal/services"
+	"healthcloud/internal/telemetry"
 )
 
 // Server is the REST front end over a platform instance.
@@ -71,6 +73,11 @@ func New(p *core.Platform, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /api/v1/services/{capability}", s.guard("services", rbac.ActionRead, s.handleServices))
 	s.mux.HandleFunc("GET /api/v1/facts", s.guard("services", rbac.ActionRead, s.handleFacts))
 	s.mux.HandleFunc("GET /api/v1/billing", s.guard("logs", rbac.ActionRead, s.handleBilling))
+	// Observability endpoints (operational, like healthz): Prometheus
+	// text exposition and per-trace span dumps. Both 404 when the
+	// platform runs without telemetry.
+	s.mux.Handle("GET /metrics", telemetry.MetricsHandler(p.Telemetry.Registry()))
+	s.mux.Handle("GET /traces/{id}", telemetry.TraceHandler(p.Telemetry.Spans()))
 	return s
 }
 
@@ -134,19 +141,40 @@ func (s *Server) authenticate(r *http.Request) (string, error) {
 
 // guard wraps a handler with authenticate → RBAC (§II-B API management)
 // and bounds the request with a per-request timeout context so a stalled
-// backend cannot pin the connection forever.
+// backend cannot pin the connection forever. With telemetry enabled it
+// also times the request on a per-route histogram and opens a root span
+// handlers can continue (via telemetry.SpanFromContext).
 func (s *Server) guard(resource string, action rbac.Action, next func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	// Metric handles are created once per route at wiring time so the
+	// request path pays only nil checks and atomics.
+	var reqs *telemetry.Counter
+	var hist *telemetry.Histogram
+	if reg := s.p.Telemetry.Registry(); reg != nil {
+		label := fmt.Sprintf("{route=%q}", resource+":"+string(action))
+		reqs = reg.Counter("http_requests_total" + label)
+		hist = reg.Histogram("http_request_seconds" + label)
+	}
+	tracer := s.p.Telemetry.Spans()
 	return func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		start := hist.Start()
+		defer hist.ObserveSince(start)
+		sp := tracer.StartRoot("http." + resource)
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("path", r.URL.Path)
+		defer sp.End()
 		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
 		defer cancel()
-		r = r.WithContext(ctx)
+		r = r.WithContext(telemetry.ContextWithSpan(ctx, sp.Context()))
 		user, err := s.authenticate(r)
 		if err != nil {
+			sp.SetAttr("outcome", "unauthenticated")
 			writeJSON(w, http.StatusUnauthorized, errorBody{err.Error()})
 			return
 		}
 		scope := rbac.Scope{Tenant: s.tenant(), Org: r.URL.Query().Get("org"), Group: r.URL.Query().Get("group")}
 		if err := s.p.CheckAccess(user, action, resource, scope, r.URL.Query().Get("env")); err != nil {
+			sp.SetAttr("outcome", "forbidden")
 			writeJSON(w, http.StatusForbidden, errorBody{err.Error()})
 			return
 		}
@@ -214,7 +242,9 @@ func (s *Server) handleUploadStatus(w http.ResponseWriter, r *http.Request, _ st
 
 func (s *Server) handleKB(w http.ResponseWriter, r *http.Request, _ string) {
 	breaker := s.p.KBResilient.Breaker()
-	v, err := s.p.KBCache.Get(r.PathValue("key"))
+	// Continue the request's root span into the cache tiers, so a trace
+	// shows whether the read hit a tier or paid the origin WAN cost.
+	v, err := s.p.KBCache.GetCtx(r.PathValue("key"), telemetry.SpanFromContext(r.Context()))
 	if err != nil {
 		// Circuit open with nothing stale to degrade to: tell the client
 		// when to come back instead of a generic failure.

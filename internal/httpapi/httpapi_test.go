@@ -20,6 +20,7 @@ import (
 	"healthcloud/internal/hckrypto"
 	"healthcloud/internal/kb"
 	"healthcloud/internal/rbac"
+	"healthcloud/internal/telemetry"
 )
 
 // apiFixture is a running API server with an admin session.
@@ -438,5 +439,132 @@ func TestKBDegradesAndFailsFastUnderOutage(t *testing.T) {
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("503 response missing Retry-After header")
+	}
+}
+
+// TestTraceEndToEnd is the observability acceptance test: one upload
+// through the HTTP API, with the provenance ledger on, must yield a
+// trace at GET /traces/{id} that contains a span for every pipeline
+// stage — including the async bus hop and the ledger phases — linked
+// into a single parent/child tree rooted at the upload accept.
+func TestTraceEndToEnd(t *testing.T) {
+	f := newAPIWith(t, func(cfg *core.Config) {
+		cfg.Telemetry = telemetry.New()
+		cfg.LedgerPeers = []string{"hospital", "audit-svc", "data-protection"}
+	})
+	ingestor := f.login(t, "nurse@hospital.org", rbac.RoleIngestor)
+	status, body := f.do(t, "POST", "/api/v1/clients", ingestor, []byte(`{"client_id":"device-1"}`))
+	if status != http.StatusCreated {
+		t.Fatalf("register: %d %v", status, body)
+	}
+	key, err := base64.StdEncoding.DecodeString(body["key"].(string))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.p.Consents.Grant("patient-1", "study-1", consent.PurposeResearch, 0)
+	b := fhir.NewBundle("collection")
+	b.AddResource(&fhir.Patient{ResourceType: "Patient", ID: "patient-1", Gender: "female"})
+	raw, _ := fhir.Marshal(b)
+	encrypted, err := hckrypto.EncryptGCM(key, raw, []byte("device-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body = f.do(t, "POST", "/api/v1/uploads?client=device-1&group=study-1", ingestor, encrypted)
+	if status != http.StatusAccepted {
+		t.Fatalf("upload: %d %v", status, body)
+	}
+	statusURL := body["status_url"].(string)
+	deadline := time.Now().Add(30 * time.Second)
+	var last map[string]any
+	for time.Now().Before(deadline) {
+		_, last = f.do(t, "GET", statusURL, ingestor, nil)
+		if last["state"] == "stored" || last["state"] == "failed" {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if last["state"] != "stored" {
+		t.Fatalf("final status = %v", last)
+	}
+	traceID, _ := last["trace_id"].(string)
+	if traceID == "" {
+		t.Fatalf("status carries no trace_id: %v", last)
+	}
+
+	status, trace := f.do(t, "GET", "/traces/"+traceID, "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("trace fetch: %d %v", status, trace)
+	}
+	if trace["trace_id"] != traceID {
+		t.Errorf("trace_id = %v, want %s", trace["trace_id"], traceID)
+	}
+	spans, _ := trace["spans"].([]any)
+	byID := map[string]map[string]any{} // span_id -> span
+	byName := map[string]map[string]any{}
+	for _, raw := range spans {
+		sp := raw.(map[string]any)
+		byID[sp["span_id"].(string)] = sp
+		byName[sp["name"].(string)] = sp
+	}
+	want := []string{
+		"ingest.upload", "bus.hop", "ingest.process",
+		"ingest.decrypt", "ingest.validate", "ingest.scan", "ingest.consent",
+		"ingest.deidentify", "ingest.store", "ingest.store-deid", "ingest.provenance",
+		"ledger.submit", "ledger.endorse", "ledger.order", "ledger.commit-wait",
+	}
+	for _, name := range want {
+		if byName[name] == nil {
+			t.Errorf("trace is missing span %q", name)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	// Parent/child links: every span must chain back to the upload root.
+	parentName := func(name string) string {
+		pid, _ := byName[name]["parent_id"].(string)
+		if pid == "" {
+			return ""
+		}
+		parent, ok := byID[pid]
+		if !ok {
+			t.Fatalf("span %q has unknown parent %q", name, pid)
+		}
+		return parent["name"].(string)
+	}
+	links := map[string]string{
+		"ingest.upload":      "",               // root
+		"bus.hop":            "ingest.upload",  // async hop continues the trace
+		"ingest.process":     "bus.hop",        // worker hangs off the hop
+		"ingest.decrypt":     "ingest.process", // stages under the worker
+		"ingest.validate":    "ingest.process",
+		"ingest.scan":        "ingest.process",
+		"ingest.consent":     "ingest.process",
+		"ingest.deidentify":  "ingest.process",
+		"ingest.store":       "ingest.process",
+		"ingest.store-deid":  "ingest.process",
+		"ingest.provenance":  "ingest.process",
+		"ledger.submit":      "ingest.provenance", // ledger under the provenance stage
+		"ledger.endorse":     "ledger.submit",
+		"ledger.order":       "ledger.submit",
+		"ledger.commit-wait": "ledger.submit",
+	}
+	for child, wantParent := range links {
+		if got := parentName(child); got != wantParent {
+			t.Errorf("%s parent = %q, want %q", child, got, wantParent)
+		}
+	}
+
+	// The Prometheus endpoint must expose the pipeline counters.
+	resp, err := http.Get(f.srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	for _, metric := range []string{"ingest_uploads_total", "ingest_stored_total", "bus_published_total"} {
+		if !strings.Contains(string(text), metric) {
+			t.Errorf("/metrics is missing %s", metric)
+		}
 	}
 }

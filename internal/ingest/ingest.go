@@ -35,6 +35,7 @@ import (
 	"healthcloud/internal/resilience"
 	"healthcloud/internal/scan"
 	"healthcloud/internal/store"
+	"healthcloud/internal/telemetry"
 )
 
 // State is the ingestion status of one upload.
@@ -71,6 +72,9 @@ type Status struct {
 	Error    string `json:"error,omitempty"`
 	// Attempts counts processing deliveries (1 = no retries).
 	Attempts int `json:"attempts,omitempty"`
+	// TraceID links the upload to its distributed trace
+	// (GET /traces/{id}); empty when telemetry is disabled.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Errors returned by this package.
@@ -84,6 +88,14 @@ var (
 // Ledger is the slice of the provenance blockchain the pipeline needs.
 type Ledger interface {
 	Submit(tx blockchain.Transaction, timeout time.Duration) error
+}
+
+// TracedLedger is a Ledger that can continue a distributed trace: the
+// provenance span's context is handed down so endorsement, ordering and
+// commit-wait appear as children of the ingest pipeline's trace.
+type TracedLedger interface {
+	Ledger
+	SubmitCtx(tx blockchain.Transaction, timeout time.Duration, parent telemetry.SpanContext) error
 }
 
 // Pipeline is the ingestion/export service. Construct with New, then
@@ -100,6 +112,8 @@ type Pipeline struct {
 	verifier *anonymize.VerificationService
 	ledger   Ledger // nil disables provenance recording
 	log      *audit.Log
+	tracer   *telemetry.Tracer // nil disables tracing
+	met      *ingestMetrics    // nil disables metrics
 
 	mu         sync.RWMutex
 	clientKeys map[string]hckrypto.SymmetricKey
@@ -139,6 +153,52 @@ type Deps struct {
 	Verifier *anonymize.VerificationService
 	Ledger   Ledger // optional
 	Log      *audit.Log
+	// Telemetry is optional; nil runs the pipeline unobserved at zero
+	// cost beyond nil checks (same contract as faultinject).
+	Telemetry *telemetry.Telemetry
+}
+
+// stageNames are the instrumented pipeline stages, in execution order.
+var stageNames = []string{
+	"decrypt", "validate", "scan", "consent", "deidentify",
+	"store", "store-deid", "provenance",
+}
+
+// ingestMetrics caches the pipeline's metric handles so the hot path
+// pays only atomic increments. A nil *ingestMetrics disables all of it.
+type ingestMetrics struct {
+	uploads, stored, failed, dead, retried *telemetry.Counter
+	pipeline                               *telemetry.Histogram
+	stages                                 map[string]stageHandle
+}
+
+// stageHandle pairs a stage's histogram with its precomputed span name,
+// so the per-stage path does one map lookup and no string building.
+type stageHandle struct {
+	span string
+	hist *telemetry.Histogram
+}
+
+func newIngestMetrics(reg *telemetry.Registry) *ingestMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &ingestMetrics{
+		uploads:  reg.Counter("ingest_uploads_total"),
+		stored:   reg.Counter("ingest_stored_total"),
+		failed:   reg.Counter("ingest_failed_total"),
+		dead:     reg.Counter("ingest_dead_lettered_total"),
+		retried:  reg.Counter("ingest_retries_total"),
+		pipeline: reg.Histogram("ingest_process_seconds"),
+		stages:   make(map[string]stageHandle, len(stageNames)),
+	}
+	for _, s := range stageNames {
+		m.stages[s] = stageHandle{
+			span: "ingest." + s,
+			hist: reg.Histogram(fmt.Sprintf("ingest_stage_seconds{stage=%q}", s)),
+		}
+	}
+	return m
 }
 
 const ingestTopic = "ingest"
@@ -163,6 +223,7 @@ func New(d Deps) (*Pipeline, error) {
 		tenant: d.Tenant, kms: d.KMS, staging: store.NewStaging(),
 		lake: d.Lake, idmap: d.IDMap, msgBus: d.Bus, scanner: d.Scanner,
 		consents: d.Consents, verifier: d.Verifier, ledger: d.Ledger, log: d.Log,
+		tracer: d.Telemetry.Spans(), met: newIngestMetrics(d.Telemetry.Registry()),
 		clientKeys: make(map[string]hckrypto.SymmetricKey),
 		statuses:   make(map[string]*Status),
 		progress:   make(map[string]*uploadProgress),
@@ -212,21 +273,36 @@ func (p *Pipeline) Upload(clientID, group string, encrypted []byte) (string, err
 	if !known {
 		return "", fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
 	}
+	sp := p.tracer.StartRoot("ingest.upload")
+	sp.SetAttr("client", clientID)
+	sp.SetAttr("group", group)
+	if p.met != nil {
+		p.met.uploads.Inc()
+	}
 	id, err := p.staging.Put(encrypted)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		return "", fmt.Errorf("ingest: staging: %w", err)
 	}
+	sp.SetAttr("upload_id", id)
 	p.mu.Lock()
-	p.statuses[id] = &Status{UploadID: id, State: StateReceived}
+	p.statuses[id] = &Status{UploadID: id, State: StateReceived, TraceID: sp.Context().TraceID}
 	p.notifyLocked()
 	p.mu.Unlock()
 	body, err := json.Marshal(uploadMsg{UploadID: id, ClientID: clientID, Group: group})
 	if err != nil {
+		sp.End()
 		return "", fmt.Errorf("ingest: encoding message: %w", err)
 	}
-	if _, err := p.msgBus.Publish(ingestTopic, body); err != nil {
+	// The publish carries the upload span's context so the bus hop and
+	// the worker's processing spans join this trace.
+	if _, err := p.msgBus.PublishCtx(ingestTopic, body, sp.Context()); err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		return "", fmt.Errorf("ingest: publishing: %w", err)
 	}
+	sp.End()
 	return id, nil
 }
 
@@ -329,7 +405,7 @@ func (p *Pipeline) worker() {
 			continue
 		}
 		p.noteAttempt(msg.UploadID, m.Attempt)
-		err = p.process(msg)
+		err = p.process(msg, m.Trace)
 		switch {
 		case err == nil:
 			p.sub.Ack(m.ID)
@@ -344,6 +420,9 @@ func (p *Pipeline) worker() {
 			// max-attempts cap is hit it dead-letters instead, and the
 			// DLQ consumer surfaces the reason at the status URL.
 			p.retries.Add(1)
+			if p.met != nil {
+				p.met.retried.Inc()
+			}
 			p.log.Record(audit.Event{Level: audit.LevelWarn, Service: "ingest",
 				Action: "ingest-retry", Resource: msg.UploadID, Detail: err.Error()})
 			p.sub.Nack(m.ID, err.Error())
@@ -400,6 +479,9 @@ func (p *Pipeline) noteAttempt(uploadID string, attempt int) {
 }
 
 func (p *Pipeline) fail(uploadID, reason string) {
+	if p.met != nil {
+		p.met.failed.Inc()
+	}
 	p.mu.Lock()
 	if st, ok := p.statuses[uploadID]; ok {
 		st.State = StateFailed
@@ -423,6 +505,9 @@ func (p *Pipeline) markDeadLettered(uploadID, reason string) {
 		st.State = StateDeadLettered
 		st.Error = reason
 		p.deadLettered.Add(1)
+		if p.met != nil {
+			p.met.dead.Inc()
+		}
 	}
 	delete(p.progress, uploadID)
 	p.notifyLocked()
@@ -432,11 +517,54 @@ func (p *Pipeline) markDeadLettered(uploadID, reason string) {
 		Action: "ingest-dead-lettered", Resource: uploadID, Detail: reason})
 }
 
+// timeStage runs one pipeline stage under a span (child of parent) and
+// the stage's latency histogram. The stage body receives the stage
+// span's context so deeper work (the ledger submit) can nest under it.
+// With telemetry disabled every instrument call no-ops on a nil check.
+func (p *Pipeline) timeStage(parent telemetry.SpanContext, name string, f func(telemetry.SpanContext) error) error {
+	m := p.met
+	if m == nil { // telemetry off: zero cost beyond this check
+		return f(telemetry.SpanContext{})
+	}
+	sh := m.stages[name]
+	start := time.Now()
+	sp := p.tracer.StartSpanAt(sh.span, parent, start)
+	err := f(sp.Context())
+	end := time.Now()
+	sh.hist.Observe(end.Sub(start))
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.EndAt(end)
+	return err
+}
+
 // process runs the full background ingestion flow for one upload. It
 // returns nil on success, a resilience.Permanent error for data problems
 // that cannot heal on retry, and a plain (transient) error for
-// infrastructure failures the worker should Nack for redelivery.
-func (p *Pipeline) process(msg uploadMsg) error {
+// infrastructure failures the worker should Nack for redelivery. The
+// trace context arrives via the bus message, so the processing spans
+// hang off the upload's trace across the async hop.
+func (p *Pipeline) process(msg uploadMsg, tctx telemetry.SpanContext) error {
+	m := p.met
+	if m == nil {
+		return p.run(msg, telemetry.SpanContext{})
+	}
+	start := time.Now()
+	sp := p.tracer.StartSpanAt("ingest.process", tctx, start)
+	sp.SetAttr("upload_id", msg.UploadID)
+	err := p.run(msg, sp.Context())
+	end := time.Now()
+	m.pipeline.Observe(end.Sub(start))
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.EndAt(end)
+	return err
+}
+
+// run is the stage sequence behind process.
+func (p *Pipeline) run(msg uploadMsg, pctx telemetry.SpanContext) error {
 	id := msg.UploadID
 	// Duplicate redelivery (e.g. after a visibility timeout) of an
 	// upload that already terminated is a no-op.
@@ -458,23 +586,42 @@ func (p *Pipeline) process(msg uploadMsg) error {
 	if key == nil {
 		return resilience.Permanent(errors.New("unknown client key"))
 	}
-	plaintext, err := hckrypto.DecryptGCM(key, encrypted, []byte(msg.ClientID))
-	if err != nil {
-		return resilience.Permanent(errors.New("decrypt: integrity or key failure"))
+	var plaintext []byte
+	if err := p.timeStage(pctx, "decrypt", func(telemetry.SpanContext) error {
+		var derr error
+		plaintext, derr = hckrypto.DecryptGCM(key, encrypted, []byte(msg.ClientID))
+		if derr != nil {
+			return resilience.Permanent(errors.New("decrypt: integrity or key failure"))
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	// 3. Validate the bundle.
 	p.setState(id, StateValidating)
-	bundle, err := fhir.ParseBundle(plaintext)
-	if err != nil {
-		return resilience.Permanent(fmt.Errorf("validate: %w", err))
+	var bundle *fhir.Bundle
+	if err := p.timeStage(pctx, "validate", func(telemetry.SpanContext) error {
+		var verr error
+		bundle, verr = fhir.ParseBundle(plaintext)
+		if verr != nil {
+			return resilience.Permanent(fmt.Errorf("validate: %w", verr))
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	// 4. Malware filtration.
 	p.setState(id, StateScanning)
-	if findings, err := p.scanner.Scan(msg.ClientID, plaintext); err != nil {
-		p.recordLedger(blockchain.EventMalwareReport, id, nil, map[string]string{
-			"sender": msg.ClientID, "findings": strconv.Itoa(len(findings)),
-		})
-		return resilience.Permanent(fmt.Errorf("malware: %w", err))
+	if err := p.timeStage(pctx, "scan", func(telemetry.SpanContext) error {
+		if findings, serr := p.scanner.Scan(msg.ClientID, plaintext); serr != nil {
+			p.recordLedger(blockchain.EventMalwareReport, id, nil, map[string]string{
+				"sender": msg.ClientID, "findings": strconv.Itoa(len(findings)),
+			})
+			return resilience.Permanent(fmt.Errorf("malware: %w", serr))
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	// 5. Find the patient and check consent for the target group.
 	p.setState(id, StateConsent)
@@ -482,8 +629,13 @@ func (p *Pipeline) process(msg uploadMsg) error {
 	if err != nil {
 		return resilience.Permanent(err)
 	}
-	if err := p.consents.Check(patient.ID, msg.Group, consent.PurposeResearch); err != nil {
-		return resilience.Permanent(fmt.Errorf("consent: %w", err))
+	if err := p.timeStage(pctx, "consent", func(telemetry.SpanContext) error {
+		if cerr := p.consents.Check(patient.ID, msg.Group, consent.PurposeResearch); cerr != nil {
+			return resilience.Permanent(fmt.Errorf("consent: %w", cerr))
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	// 6. De-identify and store. The original (identified) record and the
 	// de-identified copy are both encrypted at rest under per-record keys
@@ -492,36 +644,53 @@ func (p *Pipeline) process(msg uploadMsg) error {
 	// previous attempt are remembered in the progress map and skipped, so
 	// retries are idempotent.
 	p.setState(id, StateDeidentifying)
-	deidPatient := anonymize.DeidentifyPatient(patient, nil)
-	deidBundle, err := deidentifiedBundle(bundle, deidPatient)
-	if err != nil {
-		return resilience.Permanent(fmt.Errorf("deidentify: %w", err))
+	var deidBundle *fhir.Bundle
+	if err := p.timeStage(pctx, "deidentify", func(telemetry.SpanContext) error {
+		deidPatient := anonymize.DeidentifyPatient(patient, nil)
+		var derr error
+		deidBundle, derr = deidentifiedBundle(bundle, deidPatient)
+		if derr != nil {
+			return resilience.Permanent(fmt.Errorf("deidentify: %w", derr))
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	prog := p.progressFor(id)
 	if prog.refID == "" {
-		refID, err := p.lake.Put(patient.ID, plaintext, store.Meta{
-			ContentType: "fhir+json;identified", Tenant: p.tenant, Group: msg.Group,
-		})
-		if err != nil {
-			return fmt.Errorf("store: %w", err) // transient
+		if err := p.timeStage(pctx, "store", func(telemetry.SpanContext) error {
+			refID, serr := p.lake.Put(patient.ID, plaintext, store.Meta{
+				ContentType: "fhir+json;identified", Tenant: p.tenant, Group: msg.Group,
+			})
+			if serr != nil {
+				return fmt.Errorf("store: %w", serr) // transient
+			}
+			prog.refID = refID
+			p.saveProgress(id, prog)
+			return nil
+		}); err != nil {
+			return err
 		}
-		prog.refID = refID
-		p.saveProgress(id, prog)
 	}
 	if prog.deidRef == "" {
 		deidJSON, err := fhir.Marshal(deidBundle)
 		if err != nil {
 			return resilience.Permanent(fmt.Errorf("deid-marshal: %w", err))
 		}
-		deidRef, err := p.lake.Put(patient.ID, deidJSON, store.Meta{
-			ContentType: "fhir+json;deidentified", Tenant: p.tenant, Group: msg.Group,
-			Tags: map[string]string{"identified_ref": prog.refID},
-		})
-		if err != nil {
-			return fmt.Errorf("store-deid: %w", err) // transient
+		if err := p.timeStage(pctx, "store-deid", func(telemetry.SpanContext) error {
+			deidRef, serr := p.lake.Put(patient.ID, deidJSON, store.Meta{
+				ContentType: "fhir+json;deidentified", Tenant: p.tenant, Group: msg.Group,
+				Tags: map[string]string{"identified_ref": prog.refID},
+			})
+			if serr != nil {
+				return fmt.Errorf("store-deid: %w", serr) // transient
+			}
+			prog.deidRef = deidRef
+			p.saveProgress(id, prog)
+			return nil
+		}); err != nil {
+			return err
 		}
-		prog.deidRef = deidRef
-		p.saveProgress(id, prog)
 	}
 	p.idmap.Bind(prog.refID, patient.ID) // idempotent rebind on retry
 	// 7. Provenance. A failed ledger submit is transient: the receipt
@@ -533,8 +702,19 @@ func (p *Pipeline) process(msg uploadMsg) error {
 			"group": msg.Group, "deid_ref": prog.deidRef,
 		})
 	if p.ledger != nil {
-		if err := p.ledger.Submit(tx, 10*time.Second); err != nil {
-			return fmt.Errorf("ledger: %w", err) // transient
+		if err := p.timeStage(pctx, "provenance", func(sc telemetry.SpanContext) error {
+			if tl, ok := p.ledger.(TracedLedger); ok {
+				if lerr := tl.SubmitCtx(tx, 10*time.Second, sc); lerr != nil {
+					return fmt.Errorf("ledger: %w", lerr) // transient
+				}
+				return nil
+			}
+			if lerr := p.ledger.Submit(tx, 10*time.Second); lerr != nil {
+				return fmt.Errorf("ledger: %w", lerr) // transient
+			}
+			return nil
+		}); err != nil {
+			return err
 		}
 	}
 	p.mu.Lock()
@@ -546,6 +726,9 @@ func (p *Pipeline) process(msg uploadMsg) error {
 	p.notifyLocked()
 	p.mu.Unlock()
 	p.staging.Remove(id)
+	if p.met != nil {
+		p.met.stored.Inc()
+	}
 	p.log.Record(audit.Event{Level: audit.LevelInfo, Service: "ingest",
 		Action: "stored", Resource: prog.refID})
 	return nil

@@ -9,6 +9,7 @@ import (
 
 	"healthcloud/internal/faultinject"
 	"healthcloud/internal/hccache"
+	"healthcloud/internal/telemetry"
 )
 
 // FaultFetch is the fault point consulted per remote KB request (see
@@ -21,11 +22,13 @@ const FaultFetch = "kb.remote.fetch"
 // be accessed and analyzed more quickly than if it needs to be fetched
 // remotely" (§III).
 type RemoteKB struct {
-	data    *Dataset
-	latency time.Duration
-	sleeper func(time.Duration)
-	faults  *faultinject.Registry
-	calls   atomic.Uint64
+	data      *Dataset
+	latency   time.Duration
+	sleeper   func(time.Duration)
+	faults    *faultinject.Registry
+	fetchHist *telemetry.Histogram // nil disables
+	fetchErrs *telemetry.Counter   // nil disables
+	calls     atomic.Uint64
 }
 
 // RemoteOption configures a RemoteKB.
@@ -40,6 +43,19 @@ func WithSleeper(f func(time.Duration)) RemoteOption {
 // FaultFetch before each request (nil disables).
 func WithFaults(reg *faultinject.Registry) RemoteOption {
 	return func(r *RemoteKB) { r.faults = reg }
+}
+
+// WithTelemetry records per-fetch latency (including the simulated WAN
+// hop) and error counts on the registry (nil disables).
+func WithTelemetry(reg *telemetry.Registry) RemoteOption {
+	return func(r *RemoteKB) {
+		if reg == nil {
+			r.fetchHist, r.fetchErrs = nil, nil
+			return
+		}
+		r.fetchHist = reg.Histogram("kb_remote_fetch_seconds")
+		r.fetchErrs = reg.Counter("kb_remote_fetch_errors_total")
+	}
 }
 
 // NewRemoteKB serves a dataset with the given per-request latency.
@@ -65,7 +81,9 @@ type DrugRecord struct {
 // the WAN latency. It satisfies hccache.Loader.
 func (r *RemoteKB) Fetch(key string) ([]byte, uint64, error) {
 	r.calls.Add(1)
+	defer r.fetchHist.ObserveSince(r.fetchHist.Start())
 	if err := r.faults.Check(FaultFetch); err != nil {
+		r.fetchErrs.Inc()
 		return nil, 0, fmt.Errorf("kb: %w", err)
 	}
 	r.sleeper(r.latency)

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"healthcloud/internal/faultinject"
+	"healthcloud/internal/telemetry"
 )
 
 // FaultInvoke is the fault point consulted per provider call (see
@@ -139,10 +140,31 @@ func (s Stats) UserRating() float64 {
 // Registry tracks providers and their observed stats.
 type Registry struct {
 	faults *faultinject.Registry
+	met    *brokerMetrics
 
 	mu        sync.RWMutex
 	providers map[Capability][]*Provider
 	stats     map[string]*Stats
+}
+
+// brokerMetrics instruments provider calls; nil disables it.
+type brokerMetrics struct {
+	calls, failures *telemetry.Counter
+	latency         *telemetry.Histogram // provider-modeled latency
+}
+
+// SetTelemetry attaches call counters and the modeled provider-latency
+// histogram to the registry (nil disables). Call before sharing.
+func (r *Registry) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		r.met = nil
+		return
+	}
+	r.met = &brokerMetrics{
+		calls:    reg.Counter("services_calls_total"),
+		failures: reg.Counter("services_call_failures_total"),
+		latency:  reg.Histogram("services_call_modeled_seconds"),
+	}
 }
 
 // NewRegistry creates an empty registry.
@@ -211,6 +233,14 @@ func (r *Registry) Call(name string, c Capability) (time.Duration, bool, error) 
 		st.TotalLatency += lat
 	}
 	r.mu.Unlock()
+	if m := r.met; m != nil {
+		m.calls.Inc()
+		if err != nil {
+			m.failures.Inc()
+		} else {
+			m.latency.Observe(lat)
+		}
+	}
 	return lat, correct, err
 }
 

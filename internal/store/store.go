@@ -21,6 +21,7 @@ import (
 
 	"healthcloud/internal/faultinject"
 	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/telemetry"
 )
 
 // Fault-point names this package consults (see internal/faultinject).
@@ -59,9 +60,16 @@ type DataLake struct {
 	kms       *hckrypto.KMS
 	principal string // the storage service's own KMS identity
 	faults    *faultinject.Registry
+	met       *lakeMetrics
 
 	mu      sync.RWMutex
 	records map[string]*record
+}
+
+// lakeMetrics instruments the lake; nil disables it.
+type lakeMetrics struct {
+	put, get         *telemetry.Histogram
+	putErrs, getErrs *telemetry.Counter
 }
 
 // NewDataLake creates a lake that encrypts under keys from kms, acting
@@ -74,11 +82,32 @@ func NewDataLake(kms *hckrypto.KMS, principal string) *DataLake {
 // before the lake is shared across goroutines.
 func (d *DataLake) SetFaults(r *faultinject.Registry) { d.faults = r }
 
+// SetTelemetry attaches put/get latency histograms and error counters
+// to the registry (nil disables). Call before the lake is shared.
+func (d *DataLake) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		d.met = nil
+		return
+	}
+	d.met = &lakeMetrics{
+		put:     reg.Histogram("lake_put_seconds"),
+		get:     reg.Histogram("lake_get_seconds"),
+		putErrs: reg.Counter("lake_put_errors_total"),
+		getErrs: reg.Counter("lake_get_errors_total"),
+	}
+}
+
 // Put encrypts plaintext under a fresh per-record data key bound to
 // subject and stores it, returning the reference ID. The plaintext never
 // persists; the data key lives only in the KMS.
 func (d *DataLake) Put(subject string, plaintext []byte, meta Meta) (string, error) {
+	if m := d.met; m != nil {
+		defer m.put.ObserveSince(m.put.Start())
+	}
 	if err := d.faults.Check(FaultLakePut); err != nil {
+		if m := d.met; m != nil {
+			m.putErrs.Inc()
+		}
 		return "", fmt.Errorf("store: %w", err)
 	}
 	keyID, dk, err := d.kms.CreateDataKey(subject, d.principal)
@@ -102,7 +131,13 @@ func (d *DataLake) Put(subject string, plaintext []byte, meta Meta) (string, err
 // Get decrypts a record on behalf of principal. The KMS enforces
 // need-to-know: the principal must hold a grant on the record's key.
 func (d *DataLake) Get(refID, principal string) ([]byte, error) {
+	if m := d.met; m != nil {
+		defer m.get.ObserveSince(m.get.Start())
+	}
 	if err := d.faults.Check(FaultLakeGet); err != nil {
+		if m := d.met; m != nil {
+			m.getErrs.Inc()
+		}
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	d.mu.RLock()
@@ -210,7 +245,8 @@ func (d *DataLake) Count() int {
 // background ingestion picks them up (§II-B). Contents are already
 // client-encrypted; staging only holds opaque bytes.
 type Staging struct {
-	faults *faultinject.Registry
+	faults  *faultinject.Registry
+	pending *telemetry.Gauge // nil disables
 
 	mu      sync.Mutex
 	uploads map[string][]byte
@@ -225,6 +261,16 @@ func NewStaging() *Staging {
 // before the staging area is shared across goroutines.
 func (s *Staging) SetFaults(r *faultinject.Registry) { s.faults = r }
 
+// SetTelemetry publishes the pending-upload depth as a gauge (nil
+// disables). Call before the staging area is shared.
+func (s *Staging) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		s.pending = nil
+		return
+	}
+	s.pending = reg.Gauge("staging_pending_uploads")
+}
+
 // Put stores an encrypted upload and returns its upload ID.
 func (s *Staging) Put(encrypted []byte) (string, error) {
 	if err := s.faults.Check(FaultStagingPut); err != nil {
@@ -234,6 +280,7 @@ func (s *Staging) Put(encrypted []byte) (string, error) {
 	s.mu.Lock()
 	s.uploads[id] = append([]byte(nil), encrypted...)
 	s.mu.Unlock()
+	s.pending.Add(1)
 	return id, nil
 }
 
@@ -252,20 +299,26 @@ func (s *Staging) Get(id string) ([]byte, error) {
 // Remove deletes an upload once it reached a terminal state.
 func (s *Staging) Remove(id string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	_, present := s.uploads[id]
 	delete(s.uploads, id)
+	s.mu.Unlock()
+	if present {
+		s.pending.Add(-1)
+	}
 }
 
 // Take removes and returns an upload (the background worker consumes it
 // exactly once).
 func (s *Staging) Take(id string) ([]byte, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	data, ok := s.uploads[id]
 	if !ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: upload %s", ErrNotFound, id)
 	}
 	delete(s.uploads, id)
+	s.mu.Unlock()
+	s.pending.Add(-1)
 	return data, nil
 }
 

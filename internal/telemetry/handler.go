@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// MetricsHandler serves the registry in Prometheus text format at
+// GET /metrics. With a nil registry it reports telemetry disabled.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "telemetry disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WritePrometheus(w)
+	})
+}
+
+// TraceResponse is the GET /traces/{id} body: the raw spans plus the
+// per-stage aggregation derived from them.
+type TraceResponse struct {
+	TraceID string       `json:"trace_id"`
+	Spans   []SpanRecord `json:"spans"`
+	Stages  []StageStat  `json:"stages"`
+}
+
+// TraceHandler serves one trace as JSON. Expects the trace ID as the
+// {id} path value (Go 1.22 pattern routing) or the last path segment.
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if t == nil {
+			http.Error(w, "telemetry disabled", http.StatusNotFound)
+			return
+		}
+		id := req.PathValue("id")
+		if id == "" {
+			if i := strings.LastIndexByte(req.URL.Path, '/'); i >= 0 {
+				id = req.URL.Path[i+1:]
+			}
+		}
+		spans := t.Trace(id)
+		if len(spans) == 0 {
+			http.Error(w, "unknown trace", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(TraceResponse{
+			TraceID: id,
+			Spans:   spans,
+			Stages:  StageBreakdown(spans),
+		})
+	})
+}
+
+// StartPprof serves net/http/pprof on its own listener — the opt-in
+// profiling hook (`healthcloud -pprof`). It returns the server (Close
+// to stop) and the bound address (addr may use port 0).
+func StartPprof(addr string) (*http.Server, net.Addr, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

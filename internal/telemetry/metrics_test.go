@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Fatal("nil counter counted")
+	}
+	g := r.Gauge("g")
+	g.Set(5)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge moved")
+	}
+	h := r.Histogram("h_seconds")
+	h.Observe(time.Millisecond)
+	h.ObserveSince(h.Start())
+	if !h.Start().IsZero() {
+		t.Fatal("nil histogram should not call time.Now")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry rendered %q, err %v", sb.String(), err)
+	}
+}
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("adds_total")
+	const goroutines, each = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*each {
+		t.Fatalf("counter = %d, want %d", got, goroutines*each)
+	}
+	// The same name returns the same handle.
+	if r.Counter("adds_total") != c {
+		t.Fatal("counter handle not stable")
+	}
+}
+
+func TestHistogramBucketsAndStats(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramWithBuckets("lat_seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // bucket 0 (≤1ms)
+	h.Observe(5 * time.Millisecond)   // bucket 1 (≤10ms)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(2 * time.Second) // +Inf bucket
+	snap := r.Snapshot().Histograms["lat_seconds"]
+	if snap.Count != 4 {
+		t.Fatalf("count = %d, want 4", snap.Count)
+	}
+	wantCounts := []uint64{1, 2, 0, 1}
+	for i, want := range wantCounts {
+		if snap.Counts[i] != want {
+			t.Fatalf("bucket %d = %d, want %d", i, snap.Counts[i], want)
+		}
+	}
+	wantSum := 500*time.Microsecond + 10*time.Millisecond + 2*time.Second
+	if snap.Sum != wantSum {
+		t.Fatalf("sum = %v, want %v", snap.Sum, wantSum)
+	}
+	if mean := snap.Mean(); mean != wantSum/4 {
+		t.Fatalf("mean = %v", mean)
+	}
+	// Median falls in the 1–10ms bucket.
+	if q := snap.Quantile(0.5); q < time.Millisecond || q > 10*time.Millisecond {
+		t.Fatalf("p50 = %v, want within (1ms, 10ms]", q)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`bus_published_total{topic="ingest"}`).Add(3)
+	r.Counter(`bus_published_total{topic="audit"}`).Add(1)
+	r.Gauge("queue_depth").Set(7)
+	r.HistogramWithBuckets("req_seconds", []float64{0.5}).Observe(time.Second)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE bus_published_total counter",
+		`bus_published_total{topic="ingest"} 3`,
+		`bus_published_total{topic="audit"} 1`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 7",
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{le="0.5"} 0`,
+		`req_seconds_bucket{le="+Inf"} 1`,
+		"req_seconds_sum 1",
+		"req_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one TYPE line per family even with two labeled series.
+	if n := strings.Count(out, "# TYPE bus_published_total"); n != 1 {
+		t.Errorf("TYPE line count = %d, want 1", n)
+	}
+}
+
+func TestGaugeAddAndSet(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("inflight")
+	g.Add(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d, want 2", g.Value())
+	}
+	g.Set(10)
+	if g.Value() != 10 {
+		t.Fatalf("gauge = %d, want 10", g.Value())
+	}
+}

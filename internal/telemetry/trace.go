@@ -1,0 +1,309 @@
+package telemetry
+
+import (
+	"container/list"
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanContext identifies a span for explicit propagation — through bus
+// messages, across pipeline stages, between goroutines. The zero value
+// is "no trace" and produces no spans downstream.
+type SpanContext struct {
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
+}
+
+// Valid reports whether the context names a real trace.
+func (c SpanContext) Valid() bool { return c.TraceID != "" && c.SpanID != "" }
+
+// SpanRecord is one completed span as stored and served by
+// GET /traces/{id}.
+type SpanRecord struct {
+	TraceID  string            `json:"trace_id"`
+	SpanID   string            `json:"span_id"`
+	ParentID string            `json:"parent_id,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Span is an in-flight operation. Obtain from a Tracer, call End when
+// the operation finishes; only ended spans reach the store. A nil *Span
+// is valid and does nothing, so callers never nil-check.
+type Span struct {
+	tracer *Tracer
+
+	mu    sync.Mutex
+	rec   SpanRecord
+	ended bool
+}
+
+// Context returns the span's identity for propagation.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.rec.TraceID, SpanID: s.rec.SpanID}
+}
+
+// SetAttr attaches a key/value label (no PHI — stage names, IDs,
+// outcomes only, same rule as the audit log).
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = make(map[string]string, 4)
+	}
+	s.rec.Attrs[k] = v
+	s.mu.Unlock()
+}
+
+// End completes the span and records it. Safe to call more than once;
+// only the first call records.
+func (s *Span) End() { s.EndAt(time.Time{}) }
+
+// EndAt completes the span with an explicit end time (zero = now).
+func (s *Span) EndAt(end time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	if end.IsZero() {
+		end = time.Now()
+	}
+	s.rec.Duration = end.Sub(s.rec.Start)
+	rec := s.rec
+	s.mu.Unlock()
+	s.tracer.record(rec)
+}
+
+// traceBuf holds one trace's completed spans.
+type traceBuf struct {
+	spans   []SpanRecord
+	evictAt *list.Element
+}
+
+// Tracer creates spans and keeps a bounded in-memory store of completed
+// ones, evicting whole traces FIFO past MaxTraces. A nil *Tracer is
+// valid and creates nothing.
+type Tracer struct {
+	maxTraces  int
+	maxPerTr   int
+	mu         sync.Mutex
+	traces     map[string]*traceBuf
+	evictOrder *list.List // trace IDs, oldest first
+	dropped    uint64
+}
+
+// Tracer store defaults: enough for a full E16 run (hundreds of uploads
+// × ~15 spans) without unbounded growth under production traffic.
+const (
+	DefaultMaxTraces        = 2048
+	DefaultMaxSpansPerTrace = 512
+)
+
+// NewTracer creates a tracer storing up to maxTraces traces of up to
+// maxSpansPerTrace spans each (<=0 selects the defaults).
+func NewTracer(maxTraces, maxSpansPerTrace int) *Tracer {
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTraces
+	}
+	if maxSpansPerTrace <= 0 {
+		maxSpansPerTrace = DefaultMaxSpansPerTrace
+	}
+	return &Tracer{
+		maxTraces:  maxTraces,
+		maxPerTr:   maxSpansPerTrace,
+		traces:     make(map[string]*traceBuf),
+		evictOrder: list.New(),
+	}
+}
+
+// newID returns n (a multiple of 8, at most 16) random bytes
+// hex-encoded. Span IDs need uniqueness, not secrecy, so the
+// runtime-sharded generator beats crypto/rand's per-call syscall on the
+// span-creation hot path; stack buffers keep it to the one string
+// allocation.
+func newID(n int) string {
+	var src [16]byte
+	for i := 0; i < n; i += 8 {
+		binary.BigEndian.PutUint64(src[i:], rand.Uint64())
+	}
+	var dst [32]byte
+	hex.Encode(dst[:2*n], src[:n])
+	return string(dst[:2*n])
+}
+
+// StartRoot opens a new trace and returns its root span.
+func (t *Tracer) StartRoot(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.start(name, SpanContext{TraceID: newID(16)}, time.Now())
+}
+
+// StartSpan opens a child span under parent. An invalid parent starts a
+// fresh root trace, so callers propagate contexts without branching.
+func (t *Tracer) StartSpan(name string, parent SpanContext) *Span {
+	return t.StartSpanAt(name, parent, time.Now())
+}
+
+// StartSpanAt opens a child span with an explicit start time — used for
+// bus hops, whose span covers publish→receive and can only be created
+// at the receiving end.
+func (t *Tracer) StartSpanAt(name string, parent SpanContext, start time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	if !parent.Valid() {
+		parent = SpanContext{TraceID: newID(16)}
+	}
+	return t.start(name, parent, start)
+}
+
+func (t *Tracer) start(name string, parent SpanContext, start time.Time) *Span {
+	return &Span{tracer: t, rec: SpanRecord{
+		TraceID:  parent.TraceID,
+		SpanID:   newID(8),
+		ParentID: parent.SpanID,
+		Name:     name,
+		Start:    start,
+	}}
+}
+
+// record stores a completed span, evicting the oldest trace when full.
+func (t *Tracer) record(rec SpanRecord) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	buf, ok := t.traces[rec.TraceID]
+	if !ok {
+		for len(t.traces) >= t.maxTraces {
+			oldest := t.evictOrder.Front()
+			if oldest == nil {
+				break
+			}
+			t.evictOrder.Remove(oldest)
+			delete(t.traces, oldest.Value.(string))
+		}
+		buf = &traceBuf{evictAt: t.evictOrder.PushBack(rec.TraceID)}
+		t.traces[rec.TraceID] = buf
+	}
+	if len(buf.spans) >= t.maxPerTr {
+		t.dropped++
+		return
+	}
+	buf.spans = append(buf.spans, rec)
+}
+
+// Trace returns the completed spans of a trace, sorted by start time
+// (nil if unknown or evicted).
+func (t *Tracer) Trace(id string) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	buf, ok := t.traces[id]
+	var out []SpanRecord
+	if ok {
+		out = append([]SpanRecord(nil), buf.spans...)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// TraceIDs lists stored trace IDs, oldest first.
+func (t *Tracer) TraceIDs() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, t.evictOrder.Len())
+	for el := t.evictOrder.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(string))
+	}
+	return out
+}
+
+// Dropped reports spans discarded because their trace hit the per-trace
+// span cap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// StageStat is the aggregate of one span name across a span set.
+type StageStat struct {
+	Name  string        `json:"name"`
+	Count int           `json:"count"`
+	Total time.Duration `json:"total_ns"` // sum of span durations
+	Self  time.Duration `json:"self_ns"`  // Total minus time covered by child spans
+	first time.Time
+}
+
+// MeanSelf returns the average self time per span.
+func (s StageStat) MeanSelf() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Self / time.Duration(s.Count)
+}
+
+// StageBreakdown aggregates spans by name into per-stage totals and
+// self times (duration minus direct children), ordered by each stage's
+// earliest start — the pipeline order for a traced ingest run. Spans
+// from multiple traces may be concatenated; span IDs keep parent links
+// unambiguous.
+func StageBreakdown(spans []SpanRecord) []StageStat {
+	childTime := make(map[string]time.Duration, len(spans))
+	for _, sp := range spans {
+		if sp.ParentID != "" {
+			childTime[sp.ParentID] += sp.Duration
+		}
+	}
+	agg := make(map[string]*StageStat)
+	for _, sp := range spans {
+		st := agg[sp.Name]
+		if st == nil {
+			st = &StageStat{Name: sp.Name, first: sp.Start}
+			agg[sp.Name] = st
+		}
+		if sp.Start.Before(st.first) {
+			st.first = sp.Start
+		}
+		st.Count++
+		st.Total += sp.Duration
+		self := sp.Duration - childTime[sp.SpanID]
+		if self < 0 {
+			self = 0
+		}
+		st.Self += self
+	}
+	out := make([]StageStat, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].first.Before(out[j].first) })
+	return out
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartRoot("x")
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	sp.SetAttr("k", "v")
+	sp.End()
+	if sp.Context().Valid() {
+		t.Fatal("nil span context valid")
+	}
+	child := tr.StartSpan("y", SpanContext{TraceID: "t", SpanID: "s"})
+	if child != nil {
+		t.Fatal("nil tracer produced a child span")
+	}
+	if tr.Trace("t") != nil || tr.TraceIDs() != nil {
+		t.Fatal("nil tracer stored spans")
+	}
+}
+
+func TestSpanParentLinks(t *testing.T) {
+	tr := NewTracer(0, 0)
+	root := tr.StartRoot("pipeline")
+	ctx := root.Context()
+	if !ctx.Valid() {
+		t.Fatal("root context invalid")
+	}
+	child := tr.StartSpan("stage", ctx)
+	grand := tr.StartSpan("substage", child.Context())
+	grand.End()
+	child.End()
+	root.SetAttr("outcome", "ok")
+	root.End()
+
+	spans := tr.Trace(ctx.TraceID)
+	if len(spans) != 3 {
+		t.Fatalf("stored %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range spans {
+		if sp.TraceID != ctx.TraceID {
+			t.Fatalf("span %s trace %s, want %s", sp.Name, sp.TraceID, ctx.TraceID)
+		}
+		byName[sp.Name] = sp
+	}
+	if byName["pipeline"].ParentID != "" {
+		t.Fatal("root has a parent")
+	}
+	if byName["stage"].ParentID != byName["pipeline"].SpanID {
+		t.Fatal("stage not a child of pipeline")
+	}
+	if byName["substage"].ParentID != byName["stage"].SpanID {
+		t.Fatal("substage not a child of stage")
+	}
+	if byName["pipeline"].Attrs["outcome"] != "ok" {
+		t.Fatal("attr lost")
+	}
+}
+
+func TestStartSpanWithInvalidParentStartsRoot(t *testing.T) {
+	tr := NewTracer(0, 0)
+	sp := tr.StartSpan("orphan", SpanContext{})
+	sp.End()
+	ctx := sp.Context()
+	if !ctx.Valid() {
+		t.Fatal("orphan got no trace")
+	}
+	spans := tr.Trace(ctx.TraceID)
+	if len(spans) != 1 || spans[0].ParentID != "" {
+		t.Fatalf("orphan stored wrong: %+v", spans)
+	}
+}
+
+func TestTraceEvictionFIFO(t *testing.T) {
+	tr := NewTracer(2, 0)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		sp := tr.StartRoot("r")
+		sp.End()
+		ids = append(ids, sp.Context().TraceID)
+	}
+	if got := tr.Trace(ids[0]); got != nil {
+		t.Fatal("oldest trace not evicted")
+	}
+	for _, id := range ids[1:] {
+		if tr.Trace(id) == nil {
+			t.Fatalf("trace %s evicted too early", id)
+		}
+	}
+}
+
+func TestSpanCapPerTrace(t *testing.T) {
+	tr := NewTracer(0, 2)
+	root := tr.StartRoot("r")
+	root.End()
+	for i := 0; i < 3; i++ {
+		tr.StartSpan("s", root.Context()).End()
+	}
+	if got := len(tr.Trace(root.Context().TraceID)); got != 2 {
+		t.Fatalf("stored %d spans, want cap 2", got)
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := NewTracer(0, 0)
+	sp := tr.StartRoot("once")
+	sp.End()
+	sp.End()
+	if got := len(tr.Trace(sp.Context().TraceID)); got != 1 {
+		t.Fatalf("recorded %d times, want 1", got)
+	}
+}
+
+func TestStageBreakdownSelfTime(t *testing.T) {
+	base := time.Now()
+	spans := []SpanRecord{
+		{TraceID: "t", SpanID: "a", Name: "process", Start: base, Duration: 100 * time.Millisecond},
+		{TraceID: "t", SpanID: "b", ParentID: "a", Name: "decrypt", Start: base.Add(time.Millisecond), Duration: 30 * time.Millisecond},
+		{TraceID: "t", SpanID: "c", ParentID: "a", Name: "store", Start: base.Add(40 * time.Millisecond), Duration: 50 * time.Millisecond},
+	}
+	stats := StageBreakdown(spans)
+	if len(stats) != 3 {
+		t.Fatalf("got %d stages, want 3", len(stats))
+	}
+	// Ordered by earliest start: process, decrypt, store.
+	if stats[0].Name != "process" || stats[1].Name != "decrypt" || stats[2].Name != "store" {
+		t.Fatalf("order = %v", []string{stats[0].Name, stats[1].Name, stats[2].Name})
+	}
+	if stats[0].Self != 20*time.Millisecond {
+		t.Fatalf("process self = %v, want 20ms", stats[0].Self)
+	}
+	if stats[1].Self != 30*time.Millisecond || stats[2].Self != 50*time.Millisecond {
+		t.Fatalf("leaf self times wrong: %v, %v", stats[1].Self, stats[2].Self)
+	}
+	if stats[0].MeanSelf() != 20*time.Millisecond {
+		t.Fatalf("mean self = %v", stats[0].MeanSelf())
+	}
+}
+
+func TestStartSpanAtBackdatesStart(t *testing.T) {
+	tr := NewTracer(0, 0)
+	start := time.Now().Add(-time.Second)
+	sp := tr.StartSpanAt("bus.hop", SpanContext{TraceID: "t", SpanID: "p"}, start)
+	sp.End()
+	spans := tr.Trace("t")
+	if len(spans) != 1 {
+		t.Fatalf("stored %d spans", len(spans))
+	}
+	if spans[0].Duration < time.Second {
+		t.Fatalf("duration %v, want >= 1s (backdated)", spans[0].Duration)
+	}
+	if spans[0].ParentID != "p" {
+		t.Fatal("parent link lost")
+	}
+}
