@@ -32,6 +32,7 @@ func run() error {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	tenant := flag.String("tenant", "demo-health", "tenant name")
 	ledger := flag.Bool("ledger", true, "run the provenance blockchain")
+	ledgerBatch := flag.Bool("ledger-batch", false, "group-commit provenance batching (max 64 tx / 5 ms window)")
 	obs := flag.Bool("telemetry", true, "serve metrics at /metrics and traces at /traces/{id}")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (own listener; empty disables)")
 	flag.Parse()
@@ -45,6 +46,7 @@ func run() error {
 	cfg := core.Config{Tenant: *tenant, KBDataset: dataset, KBLatency: 10 * time.Millisecond}
 	if *ledger {
 		cfg.LedgerPeers = []string{"hospital", "audit-svc", "data-protection"}
+		cfg.LedgerBatch = *ledgerBatch
 	}
 	if *obs {
 		cfg.Telemetry = telemetry.New()
@@ -75,8 +77,8 @@ func run() error {
 		"auditor@demo": rbac.RoleAuditor,
 	}
 	fmt.Printf("healthcloud instance %q listening on http://%s\n", *tenant, *addr)
-	fmt.Printf("components: %d | ledger: %v | telemetry: %v\n\n",
-		len(platform.Components()), *ledger, *obs)
+	fmt.Printf("components: %d | ledger: %v (batch: %v) | telemetry: %v\n\n",
+		len(platform.Components()), *ledger, *ledgerBatch, *obs)
 	fmt.Println("demo login tokens (POST each body to /api/v1/login):")
 	enc := json.NewEncoder(os.Stdout)
 	for subject, role := range users {

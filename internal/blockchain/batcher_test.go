@@ -1,0 +1,295 @@
+package blockchain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"healthcloud/internal/telemetry"
+)
+
+// submitN pushes n transactions through the batcher from workers
+// concurrent goroutines and returns the submitted IDs plus any errors.
+func submitN(t *testing.T, b *Batcher, n, workers int) []string {
+	t.Helper()
+	ids := make([]string, n)
+	txs := make([]Transaction, n)
+	for i := range txs {
+		txs[i] = NewTransaction(EventDataReceipt, "svc", fmt.Sprintf("h-%d", i), nil, nil)
+		ids[i] = txs[i].ID
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = b.Submit(txs[i], testTimeout)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	return ids
+}
+
+// TestBatcherStress hammers the batcher from 16 goroutines and asserts
+// exactly-once ledger semantics: every submitted transaction is
+// committed on every peer, none twice, none lost.
+func TestBatcherStress(t *testing.T) {
+	n := newTestNetwork(t, 3, 2)
+	b := NewBatcher(n, BatcherConfig{MaxBatch: 64, MaxDelay: 2 * time.Millisecond})
+	defer b.Close()
+
+	const total, workers = 200, 16
+	ids := submitN(t, b, total, workers)
+
+	for _, peerID := range n.PeerIDs() {
+		p, _ := n.Peer(peerID)
+		if got := p.Ledger().TxCount(); got != total {
+			t.Errorf("%s: TxCount = %d, want %d (lost or duplicated events)", peerID, got, total)
+		}
+		for _, id := range ids {
+			if !p.Ledger().Committed(id) {
+				t.Errorf("%s: tx %s not committed", peerID, id)
+			}
+		}
+		if err := p.Ledger().VerifyChain(); err != nil {
+			t.Errorf("%s: chain: %v", peerID, err)
+		}
+	}
+	st := b.Stats()
+	if st.Txs != total {
+		t.Errorf("stats: txs = %d, want %d", st.Txs, total)
+	}
+	if st.Commits == 0 || st.Commits > total {
+		t.Errorf("stats: commits = %d out of range (0,%d]", st.Commits, total)
+	}
+	if st.MeanBatchSize() <= 1 {
+		t.Errorf("mean batch size %.2f — batching never coalesced under 16 concurrent producers", st.MeanBatchSize())
+	}
+}
+
+// TestBatcherGroupEndorsementVerified proves group commits still pass
+// real endorsement checks: a tampered group envelope is rejected by
+// every peer's pump.
+func TestBatcherGroupEndorsementVerified(t *testing.T) {
+	n := newTestNetwork(t, 3, 2)
+	txs := []Transaction{
+		NewTransaction(EventDataReceipt, "svc", "h-a", nil, nil),
+		NewTransaction(EventDataReceipt, "svc", "h-b", nil, nil),
+	}
+	group, err := n.endorseGroup(txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.checkGroupEndorsements(txs, group); err != nil {
+		t.Fatalf("valid group rejected: %v", err)
+	}
+	// Tamper with a transaction after endorsement — digest changes.
+	txs[1].Handle = "h-evil"
+	if err := n.checkGroupEndorsements(txs, group); !errors.Is(err, ErrBadEndorsement) {
+		t.Errorf("tampered group: got %v, want ErrBadEndorsement", err)
+	}
+	// Reorder the batch — GroupDigest binds order.
+	txs[1].Handle = "h-b"
+	txs[0], txs[1] = txs[1], txs[0]
+	if err := n.checkGroupEndorsements(txs, group); !errors.Is(err, ErrBadEndorsement) {
+		t.Errorf("reordered group: got %v, want ErrBadEndorsement", err)
+	}
+	// Under-endorsed group.
+	if err := n.checkGroupEndorsements(txs, nil); !errors.Is(err, ErrNotEndorsed) {
+		t.Errorf("empty group: got %v, want ErrNotEndorsed", err)
+	}
+}
+
+// TestBatcherPoisonFallback proves one rejected transaction inside a
+// group cannot fail its neighbors: the batcher falls back to individual
+// submission and only the poison waiter gets the error.
+func TestBatcherPoisonFallback(t *testing.T) {
+	reject := func(tx *Transaction) error {
+		if tx.Meta["poison"] == "yes" {
+			return errors.New("business rule says no")
+		}
+		return nil
+	}
+	n := newTestNetwork(t, 3, 2, WithValidation(reject))
+	// A long window so all three submissions land in one group.
+	b := NewBatcher(n, BatcherConfig{MaxBatch: 3, MaxDelay: time.Minute})
+	defer b.Close()
+
+	good1 := NewTransaction(EventDataReceipt, "svc", "g1", nil, nil)
+	poison := NewTransaction(EventDataReceipt, "svc", "p", nil, map[string]string{"poison": "yes"})
+	good2 := NewTransaction(EventDataReceipt, "svc", "g2", nil, nil)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i, tx := range []Transaction{good1, poison, good2} {
+		wg.Add(1)
+		go func(i int, tx Transaction) {
+			defer wg.Done()
+			errs[i] = b.Submit(tx, testTimeout)
+		}(i, tx)
+	}
+	wg.Wait()
+
+	if errs[0] != nil || errs[2] != nil {
+		t.Errorf("good txs failed alongside poison: %v / %v", errs[0], errs[2])
+	}
+	if !errors.Is(errs[1], ErrTxRejected) {
+		t.Errorf("poison tx: got %v, want ErrTxRejected", errs[1])
+	}
+	p, _ := n.Peer("peer-0")
+	if !p.Ledger().Committed(good1.ID) || !p.Ledger().Committed(good2.ID) {
+		t.Error("good txs not committed after poison fallback")
+	}
+	if p.Ledger().Committed(poison.ID) {
+		t.Error("poison tx committed")
+	}
+	if st := b.Stats(); st.Fallbacks != 1 {
+		t.Errorf("fallbacks = %d, want 1", st.Fallbacks)
+	}
+}
+
+// TestBatcherCloseDrains proves Close commits every accepted
+// transaction and signals every waiter — nothing is dropped or left
+// hanging at shutdown.
+func TestBatcherCloseDrains(t *testing.T) {
+	n := newTestNetwork(t, 3, 2)
+	// Pathological window: without the close-time drain these waiters
+	// would block for an hour.
+	b := NewBatcher(n, BatcherConfig{MaxBatch: 1000, MaxDelay: time.Hour})
+
+	const total = 8
+	errs := make([]error, total)
+	ids := make([]string, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		tx := NewTransaction(EventDataReceipt, "svc", fmt.Sprintf("h-%d", i), nil, nil)
+		ids[i] = tx.ID
+		wg.Add(1)
+		go func(i int, tx Transaction) {
+			defer wg.Done()
+			errs[i] = b.Submit(tx, testTimeout)
+		}(i, tx)
+	}
+	// Wait until all eight are enqueued, then close.
+	deadline := time.Now().Add(5 * time.Second)
+	for b.QueueDepth() < total && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if d := b.QueueDepth(); d != total {
+		t.Fatalf("queue depth %d, want %d", d, total)
+	}
+	done := make(chan struct{})
+	go func() { b.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not drain within 10s")
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("waiter %d got error at close: %v", i, err)
+		}
+	}
+	p, _ := n.Peer("peer-0")
+	for _, id := range ids {
+		if !p.Ledger().Committed(id) {
+			t.Errorf("tx %s dropped at close", id)
+		}
+	}
+	// After close, submits are refused rather than silently dropped.
+	if err := b.Submit(NewTransaction(EventDataReceipt, "svc", "late", nil, nil), time.Second); !errors.Is(err, ErrBatcherClosed) {
+		t.Errorf("post-close submit: got %v, want ErrBatcherClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+// TestBatcherTelemetry checks the batcher's gauges, histograms and
+// counters land in the registry under the network label.
+func TestBatcherTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(8, 64)
+	n := newTestNetwork(t, 3, 2, WithTelemetry(reg, tr))
+	b := NewBatcher(n, BatcherConfig{MaxBatch: 8, MaxDelay: 2 * time.Millisecond, Registry: reg, Tracer: tr})
+	defer b.Close()
+
+	submitN(t, b, 20, 8)
+
+	snap := reg.Snapshot()
+	label := `{network="provenance"}`
+	if got := snap.Counters["ledger_group_txs_total"+label]; got != 20 {
+		t.Errorf("ledger_group_txs_total = %d, want 20", got)
+	}
+	if got := snap.Counters["ledger_group_commits_total"+label]; got == 0 {
+		t.Error("ledger_group_commits_total not incremented")
+	}
+	h, ok := snap.Histograms["ledger_batch_size"+label]
+	if !ok || h.Count == 0 {
+		t.Fatalf("ledger_batch_size histogram missing or empty: %+v", h)
+	}
+	if lat := snap.Histograms["ledger_group_commit_seconds"+label]; lat.Count == 0 {
+		t.Error("ledger_group_commit_seconds histogram empty")
+	}
+	if _, ok := snap.Gauges["ledger_batch_queue_depth"+label]; !ok {
+		t.Error("ledger_batch_queue_depth gauge missing")
+	}
+}
+
+// TestParallelEndorseMatchesSerialSemantics pins the parallel EndorseAll
+// behavior: the policy is satisfied with exactly policyK endorsements, a
+// rejecting fast-path peer is replaced by the serial fallback peer, and
+// a universally rejected tx returns the rejection reason.
+func TestParallelEndorseMatchesSerialSemantics(t *testing.T) {
+	n := newTestNetwork(t, 3, 2)
+	tx := NewTransaction(EventDataReceipt, "svc", "h", nil, nil)
+	if err := n.EndorseAll(&tx); err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.Endorsements) != 2 {
+		t.Errorf("endorsements = %d, want exactly policyK=2", len(tx.Endorsements))
+	}
+	if err := n.checkEndorsements(&tx); err != nil {
+		t.Errorf("parallel endorsements fail policy check: %v", err)
+	}
+
+	// Make peer-0 reject: the fast path loses one signature and the
+	// serial fallback must pick up peer-2 to still meet the policy.
+	n2 := newTestNetwork(t, 3, 2)
+	n2.peers["peer-0"].validate = func(tx *Transaction) error { return errors.New("no") }
+	tx2 := NewTransaction(EventDataReceipt, "svc", "h2", nil, nil)
+	if err := n2.EndorseAll(&tx2); err != nil {
+		t.Fatalf("fallback path: %v", err)
+	}
+	got := map[string]bool{}
+	for _, e := range tx2.Endorsements {
+		got[e.PeerID] = true
+	}
+	if !got["peer-1"] || !got["peer-2"] || got["peer-0"] {
+		t.Errorf("fallback endorsers = %v, want peer-1+peer-2", got)
+	}
+	if err := n2.checkEndorsements(&tx2); err != nil {
+		t.Errorf("fallback endorsements fail policy check: %v", err)
+	}
+
+	rejectAll := errors.New("nope")
+	n3 := newTestNetwork(t, 3, 2, WithValidation(func(tx *Transaction) error { return rejectAll }))
+	tx3 := NewTransaction(EventDataReceipt, "svc", "h3", nil, nil)
+	if err := n3.EndorseAll(&tx3); !errors.Is(err, ErrTxRejected) {
+		t.Errorf("universally rejected tx: got %v, want ErrTxRejected", err)
+	}
+}

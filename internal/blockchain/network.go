@@ -142,14 +142,24 @@ func NewNetwork(name string, peerIDs []string, policyK int, opts ...Option) (*Ne
 func (n *Network) pump(node *consensus.Node, peer *Peer) {
 	defer n.wg.Done()
 	for com := range node.Apply() {
-		txs, err := decodeBatch(com.Entry.Data)
+		txs, group, err := decodeBatch(com.Entry.Data)
 		if err != nil {
 			continue // malformed batches are skipped deterministically
 		}
-		valid := txs[:0]
-		for _, tx := range txs {
-			if n.checkEndorsements(&tx) == nil {
-				valid = append(valid, tx)
+		var valid []Transaction
+		if len(group) > 0 {
+			// Group-endorsed batch: one set of signatures covers the
+			// whole batch, all-or-nothing. Every peer makes the same
+			// deterministic decision, keeping ledgers identical.
+			if n.checkGroupEndorsements(txs, group) == nil {
+				valid = txs
+			}
+		} else {
+			valid = txs[:0]
+			for _, tx := range txs {
+				if n.checkEndorsements(&tx) == nil {
+					valid = append(valid, tx)
+				}
 			}
 		}
 		if len(valid) > 0 {
@@ -164,6 +174,31 @@ func (n *Network) checkEndorsements(tx *Transaction) error {
 	digest := tx.Digest()
 	seen := make(map[string]bool, len(tx.Endorsements))
 	for _, e := range tx.Endorsements {
+		key, ok := n.keys[e.PeerID]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownPeer, e.PeerID)
+		}
+		if seen[e.PeerID] {
+			continue
+		}
+		if !key.Verify(digest, e.Signature) {
+			return ErrBadEndorsement
+		}
+		seen[e.PeerID] = true
+	}
+	if len(seen) < n.policyK {
+		return fmt.Errorf("%w: have %d, need %d", ErrNotEndorsed, len(seen), n.policyK)
+	}
+	return nil
+}
+
+// checkGroupEndorsements enforces the endorsement policy for a
+// group-endorsed batch: at least policyK distinct known peers with valid
+// signatures over the batch's GroupDigest.
+func (n *Network) checkGroupEndorsements(txs []Transaction, group []Endorsement) error {
+	digest := GroupDigest(txs)
+	seen := make(map[string]bool, len(group))
+	for _, e := range group {
 		key, ok := n.keys[e.PeerID]
 		if !ok {
 			return fmt.Errorf("%w: %q", ErrUnknownPeer, e.PeerID)
@@ -210,17 +245,46 @@ func NewTransaction(typ EventType, creator, handle string, dataHash []byte, meta
 	}
 }
 
-// EndorseAll collects endorsements from up to policyK peers, stopping as
-// soon as the policy is satisfied. Peers whose validation rejects the
-// transaction are skipped; if the policy cannot be met the first
+// EndorseAll collects endorsements from up to policyK peers. The happy
+// path fans out to the first policyK peers (sorted order) in parallel —
+// each endorsement is an independent RSA signature, so the requests
+// don't serialize behind each other. If any of those peers rejects, the
+// remaining peers are tried serially in order until the policy is met.
+// Deliberately only policyK signatures are requested (not all peers):
+// endorsement work stays proportional to policy strictness, which is the
+// cost model ablation A2 pins. If the policy cannot be met the first
 // rejection reason is returned.
 func (n *Network) EndorseAll(tx *Transaction) error {
+	if len(tx.Endorsements) >= n.policyK {
+		return nil
+	}
+	type result struct {
+		e   Endorsement
+		err error
+	}
+	k := n.policyK
+	results := make([]result, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i].e, results[i].err = n.peers[n.peerIDs[i]].Endorse(tx)
+		}(i)
+	}
+	wg.Wait()
 	var firstErr error
-	for _, id := range n.peerIDs {
-		if len(tx.Endorsements) >= n.policyK {
-			break
+	for i := 0; i < k; i++ {
+		if results[i].err != nil {
+			if firstErr == nil {
+				firstErr = results[i].err
+			}
+			continue
 		}
-		e, err := n.peers[id].Endorse(tx)
+		tx.Endorsements = append(tx.Endorsements, results[i].e)
+	}
+	for i := k; i < len(n.peerIDs) && len(tx.Endorsements) < n.policyK; i++ {
+		e, err := n.peers[n.peerIDs[i]].Endorse(tx)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -236,6 +300,56 @@ func (n *Network) EndorseAll(tx *Transaction) error {
 		return ErrNotEndorsed
 	}
 	return nil
+}
+
+// endorseGroup collects batch-level endorsements: each of the first
+// policyK peers validates every transaction and signs one GroupDigest.
+// On rejection the remaining peers are tried serially, mirroring
+// EndorseAll's fallback.
+func (n *Network) endorseGroup(txs []Transaction) ([]Endorsement, error) {
+	type result struct {
+		e   Endorsement
+		err error
+	}
+	k := n.policyK
+	results := make([]result, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i].e, results[i].err = n.peers[n.peerIDs[i]].EndorseGroup(txs)
+		}(i)
+	}
+	wg.Wait()
+	group := make([]Endorsement, 0, k)
+	var firstErr error
+	for i := 0; i < k; i++ {
+		if results[i].err != nil {
+			if firstErr == nil {
+				firstErr = results[i].err
+			}
+			continue
+		}
+		group = append(group, results[i].e)
+	}
+	for i := k; i < len(n.peerIDs) && len(group) < k; i++ {
+		e, err := n.peers[n.peerIDs[i]].EndorseGroup(txs)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		group = append(group, e)
+	}
+	if len(group) < k {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, ErrNotEndorsed
+	}
+	return group, nil
 }
 
 // Submit runs the full lifecycle for one transaction: endorse, order,
@@ -273,6 +387,21 @@ func (n *Network) phase(parent telemetry.SpanContext, name string, h *telemetry.
 
 // SubmitBatchCtx is SubmitBatch continuing a caller's trace.
 func (n *Network) SubmitBatchCtx(txs []Transaction, timeout time.Duration, parent telemetry.SpanContext) error {
+	return n.submit(txs, timeout, parent, false)
+}
+
+// SubmitGroupCtx endorses the whole batch as a unit — each of policyK
+// peers validates every transaction but signs a single GroupDigest —
+// then orders and commit-waits like SubmitBatchCtx. This is the
+// group-commit fast path used by the Batcher: endorsement cost is
+// amortized across the batch instead of paid per transaction.
+// Commit is all-or-nothing; callers that need per-transaction error
+// isolation (the Batcher) fall back to individual submission on error.
+func (n *Network) SubmitGroupCtx(txs []Transaction, timeout time.Duration, parent telemetry.SpanContext) error {
+	return n.submit(txs, timeout, parent, true)
+}
+
+func (n *Network) submit(txs []Transaction, timeout time.Duration, parent telemetry.SpanContext, group bool) error {
 	if len(txs) == 0 {
 		return nil
 	}
@@ -282,10 +411,13 @@ func (n *Network) SubmitBatchCtx(txs []Transaction, timeout time.Duration, paren
 	sp := n.tracer.StartSpan("ledger.submit", parent)
 	sp.SetAttr("network", n.name)
 	sp.SetAttr("batch", strconv.Itoa(len(txs)))
+	if group {
+		sp.SetAttr("group", "true")
+	}
 	if n.met != nil {
 		n.met.submits.Inc()
 	}
-	err := n.submitPhases(txs, timeout, sp.Context())
+	err := n.submitPhases(txs, timeout, sp.Context(), group)
 	if err != nil {
 		sp.SetAttr("error", err.Error())
 		if n.met != nil {
@@ -298,12 +430,21 @@ func (n *Network) SubmitBatchCtx(txs []Transaction, timeout time.Duration, paren
 
 // submitPhases runs endorse → order → commit-wait, each as a traced
 // phase so the per-stage breakdown can attribute ordering overhead.
-func (n *Network) submitPhases(txs []Transaction, timeout time.Duration, pctx telemetry.SpanContext) error {
+func (n *Network) submitPhases(txs []Transaction, timeout time.Duration, pctx telemetry.SpanContext, group bool) error {
 	var eh, oh, ch *telemetry.Histogram
 	if n.met != nil {
 		eh, oh, ch = n.met.endorse, n.met.order, n.met.commitWait
 	}
+	var groupEndos []Endorsement
 	if err := n.phase(pctx, "ledger.endorse", eh, func() error {
+		if group {
+			endos, err := n.endorseGroup(txs)
+			if err != nil {
+				return fmt.Errorf("blockchain: endorsing group of %d: %w", len(txs), err)
+			}
+			groupEndos = endos
+			return nil
+		}
 		for i := range txs {
 			if err := n.EndorseAll(&txs[i]); err != nil {
 				return fmt.Errorf("blockchain: endorsing %s: %w", txs[i].ID, err)
@@ -313,7 +454,7 @@ func (n *Network) submitPhases(txs []Transaction, timeout time.Duration, pctx te
 	}); err != nil {
 		return err
 	}
-	data, err := encodeBatch(txs)
+	data, err := encodeEnvelope(txs, groupEndos)
 	if err != nil {
 		return err
 	}

@@ -55,6 +55,26 @@ func (p *Peer) Endorse(tx *Transaction) (Endorsement, error) {
 	return Endorsement{PeerID: p.id, Signature: sig}, nil
 }
 
+// EndorseGroup validates every transaction in the batch against the
+// peer's rules and signs a single GroupDigest covering all of them. This
+// is the group-commit fast path: one signature amortizes endorsement
+// cost across the whole batch while each transaction still passes the
+// peer's validation rule individually.
+func (p *Peer) EndorseGroup(txs []Transaction) (Endorsement, error) {
+	if p.validate != nil {
+		for i := range txs {
+			if err := p.validate(&txs[i]); err != nil {
+				return Endorsement{}, fmt.Errorf("%w: %s: %s: %v", ErrTxRejected, p.id, txs[i].ID, err)
+			}
+		}
+	}
+	sig, err := p.key.Sign(GroupDigest(txs))
+	if err != nil {
+		return Endorsement{}, fmt.Errorf("blockchain: endorsing group: %w", err)
+	}
+	return Endorsement{PeerID: p.id, Signature: sig}, nil
+}
+
 // Ledger returns the peer's view of the chain.
 func (p *Peer) Ledger() *Ledger {
 	p.mu.RLock()

@@ -112,25 +112,50 @@ func (b *Block) computeHash() []byte {
 	return h.Sum(nil)
 }
 
-// batch is the unit submitted to the ordering service.
+// batch is the unit submitted to the ordering service. Group carries
+// batch-level endorsements (signatures over GroupDigest of Txs) when the
+// batch was endorsed as a unit by the group-commit path; it is empty for
+// per-transaction endorsement, keeping the wire format backward
+// compatible.
 type batch struct {
-	Txs []Transaction `json:"txs"`
+	Txs   []Transaction `json:"txs"`
+	Group []Endorsement `json:"group,omitempty"`
+}
+
+// GroupDigest is the canonical hash peers sign when endorsing a batch as
+// a unit: a domain-separated hash over every transaction digest in
+// order. Binding the order means a reordered or substituted batch fails
+// verification.
+func GroupDigest(txs []Transaction) []byte {
+	h := sha256.New()
+	h.Write([]byte("blockchain:group-endorsement:v1"))
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(txs)))
+	h.Write(n[:])
+	for i := range txs {
+		h.Write(txs[i].Digest())
+	}
+	return h.Sum(nil)
 }
 
 func encodeBatch(txs []Transaction) ([]byte, error) {
-	data, err := json.Marshal(batch{Txs: txs})
+	return encodeEnvelope(txs, nil)
+}
+
+func encodeEnvelope(txs []Transaction, group []Endorsement) ([]byte, error) {
+	data, err := json.Marshal(batch{Txs: txs, Group: group})
 	if err != nil {
 		return nil, fmt.Errorf("blockchain: encoding batch: %w", err)
 	}
 	return data, nil
 }
 
-func decodeBatch(data []byte) ([]Transaction, error) {
+func decodeBatch(data []byte) ([]Transaction, []Endorsement, error) {
 	var b batch
 	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, fmt.Errorf("blockchain: decoding batch: %w", err)
+		return nil, nil, fmt.Errorf("blockchain: decoding batch: %w", err)
 	}
-	return b.Txs, nil
+	return b.Txs, b.Group, nil
 }
 
 // Errors returned by this package.

@@ -1,0 +1,172 @@
+package bus
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stressConsume runs workers goroutines competing on sub, handling each
+// delivery with handle (which returns true once the message counts as
+// processed). It returns when total messages have been processed.
+func stressConsume(t *testing.T, sub *Subscription, workers int, total int64,
+	handle func(m Message) bool) {
+	t.Helper()
+	var processed int64
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(30 * time.Second)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for atomic.LoadInt64(&processed) < total {
+				if time.Now().After(deadline) {
+					t.Errorf("stress consumer gave up: %d/%d processed",
+						atomic.LoadInt64(&processed), total)
+					return
+				}
+				m, err := sub.Receive(50 * time.Millisecond)
+				if err != nil {
+					continue // timeout while others drain the tail
+				}
+				if handle(m) {
+					atomic.AddInt64(&processed, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := atomic.LoadInt64(&processed); got != total {
+		t.Fatalf("processed %d messages, want %d", got, total)
+	}
+}
+
+// TestBusCompetingConsumersExactlyOnce hammers one subscription with 16
+// competing consumers while 8 publishers feed it, and asserts every
+// message is delivered to exactly one consumer: with a visibility
+// timeout far longer than the test, any duplicate would prove a race in
+// the queue/in-flight handoff rather than a legitimate redelivery.
+func TestBusCompetingConsumersExactlyOnce(t *testing.T) {
+	const (
+		publishers = 8
+		perPub     = 50
+		total      = publishers * perPub
+		consumers  = 16
+	)
+	b := New(WithVisibilityTimeout(time.Minute))
+	defer b.Close()
+	sub, err := b.Subscribe("stress", "workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[string]int, total)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		stressConsume(t, sub, consumers, total, func(m Message) bool {
+			mu.Lock()
+			seen[string(m.Payload)]++
+			mu.Unlock()
+			if err := sub.Ack(m.ID); err != nil {
+				t.Errorf("ack %s: %v", m.ID, err)
+			}
+			return true
+		})
+	}()
+
+	var pubWG sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pubWG.Add(1)
+		go func(p int) {
+			defer pubWG.Done()
+			for i := 0; i < perPub; i++ {
+				if _, err := b.Publish("stress", []byte(fmt.Sprintf("msg-%d-%d", p, i))); err != nil {
+					t.Errorf("publish: %v", err)
+				}
+			}
+		}(p)
+	}
+	pubWG.Wait()
+	<-done
+
+	if len(seen) != total {
+		t.Fatalf("saw %d distinct payloads, want %d", len(seen), total)
+	}
+	for payload, n := range seen {
+		if n != 1 {
+			t.Errorf("payload %s delivered %d times, want exactly once", payload, n)
+		}
+	}
+	if got := sub.Redeliveries(); got != 0 {
+		t.Errorf("redeliveries = %d, want 0 (visibility timeout never elapsed)", got)
+	}
+	if d, f := sub.Depth(), sub.InFlight(); d != 0 || f != 0 {
+		t.Errorf("subscription not drained: depth=%d inflight=%d", d, f)
+	}
+}
+
+// TestBusNackRedeliveryUnderRace drives the explicit-Nack redelivery
+// path from 16 competing consumers: every message is rejected on its
+// first delivery and acked on a later one. Each message must still end
+// up acked exactly once, and the redelivery counter must account for
+// exactly one nack per message.
+func TestBusNackRedeliveryUnderRace(t *testing.T) {
+	const total = 200
+	b := New(WithVisibilityTimeout(time.Minute))
+	defer b.Close()
+	sub, err := b.Subscribe("stress", "workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		if _, err := b.Publish("stress", []byte(fmt.Sprintf("msg-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var mu sync.Mutex
+	acked := make(map[string]int, total)
+
+	stressConsume(t, sub, 16, total, func(m Message) bool {
+		if m.Attempt == 1 {
+			if err := sub.Nack(m.ID, "first attempt always retried"); err != nil {
+				t.Errorf("nack %s: %v", m.ID, err)
+			}
+			return false
+		}
+		mu.Lock()
+		acked[string(m.Payload)]++
+		mu.Unlock()
+		if err := sub.Ack(m.ID); err != nil {
+			t.Errorf("ack %s: %v", m.ID, err)
+		}
+		return true
+	})
+
+	if len(acked) != total {
+		t.Fatalf("acked %d distinct payloads, want %d", len(acked), total)
+	}
+	for payload, n := range acked {
+		if n != 1 {
+			t.Errorf("payload %s acked %d times, want exactly once", payload, n)
+		}
+	}
+	if got := sub.Redeliveries(); got != total {
+		t.Errorf("redeliveries = %d, want %d (one nack per message)", got, total)
+	}
+	// A fully acked subscription must be empty: any residue here would
+	// mean a redelivered copy survived the ack.
+	m, err := sub.Receive(0)
+	if err == nil {
+		t.Fatalf("drained subscription still delivered %s", m.ID)
+	}
+	if !strings.Contains(err.Error(), "timeout") {
+		t.Errorf("unexpected receive error: %v", err)
+	}
+}

@@ -57,6 +57,13 @@ type Config struct {
 	LedgerPeers []string
 	// EndorsementK is the endorsement policy (default: majority).
 	EndorsementK int
+	// LedgerBatch enables group-commit provenance batching: ingest
+	// workers enqueue into a blockchain.Batcher that coalesces
+	// concurrent provenance events (max 64 tx / 5 ms window) into one
+	// group endorsement + ordering round (experiment E17). Off by
+	// default: batching pays a window latency per event, which only
+	// buys throughput under concurrent ingest.
+	LedgerBatch bool
 	// IngestWorkers is the background worker count (default 4).
 	IngestWorkers int
 	// RequiredK is the export k-anonymity policy (default 2).
@@ -96,11 +103,14 @@ type Platform struct {
 	Scanner    *scan.Scanner
 	Verifier   *anonymize.VerificationService
 	Provenance *blockchain.Network // nil when disabled
-	Ingest     *ingest.Pipeline
-	Analytics  *analytics.Platform
-	Services   *services.Registry
-	KB         *kb.Dataset
-	KBRemote   *kb.RemoteKB
+	// LedgerBatcher is the group-commit writer in front of Provenance
+	// (nil unless Config.LedgerBatch).
+	LedgerBatcher *blockchain.Batcher
+	Ingest        *ingest.Pipeline
+	Analytics     *analytics.Platform
+	Services      *services.Registry
+	KB            *kb.Dataset
+	KBRemote      *kb.RemoteKB
 	// KBResilient guards the remote KB with retry, a circuit breaker,
 	// and stale-serving graceful degradation; KBCache loads through it.
 	KBResilient *kb.ResilientClient
@@ -178,6 +188,12 @@ func New(cfg Config) (*Platform, error) {
 	var ledger ingest.Ledger
 	if p.Provenance != nil {
 		ledger = p.Provenance
+		if cfg.LedgerBatch {
+			p.LedgerBatcher = blockchain.NewBatcher(p.Provenance, blockchain.BatcherConfig{
+				Registry: reg, Tracer: tracer,
+			})
+			ledger = p.LedgerBatcher
+		}
 	}
 	p.Ingest, err = ingest.New(ingest.Deps{
 		Tenant: cfg.Tenant, KMS: p.KMS, Lake: p.Lake, IDMap: p.IDMap,
@@ -235,9 +251,14 @@ func New(cfg Config) (*Platform, error) {
 	return p, nil
 }
 
-// Close stops background machinery.
+// Close stops background machinery. Order matters: the pipeline first
+// (its Close flushes any group-commit batcher so in-flight provenance
+// events are acked), then the batcher, then the bus and the network.
 func (p *Platform) Close() {
 	p.Ingest.Close()
+	if p.LedgerBatcher != nil {
+		p.LedgerBatcher.Close()
+	}
 	p.Bus.Close()
 	if p.Provenance != nil {
 		p.Provenance.Close()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -369,5 +370,59 @@ func TestSeedDemoProvidersAndMineFacts(t *testing.T) {
 	facts := p.MineFacts(100, 1)
 	if len(facts) == 0 {
 		t.Error("no facts mined from the corpus")
+	}
+}
+
+// TestLedgerBatchPlatform drives uploads through a platform with
+// group-commit provenance batching enabled and verifies per-upload
+// semantics survive: every upload stores, every provenance event lands
+// on the ledger exactly once, and Close drains cleanly.
+func TestLedgerBatchPlatform(t *testing.T) {
+	cfg := Config{Tenant: "mercy-health", KBDataset: smallKB(t),
+		LedgerPeers: []string{"hospital", "audit-svc", "data-protection"},
+		LedgerBatch: true, IngestWorkers: 8}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	if p.LedgerBatcher == nil {
+		t.Fatal("LedgerBatch config did not wire a batcher")
+	}
+	dev, err := p.NewEnhancedClient("device-1", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const uploads = 8
+	for i := 0; i < uploads; i++ {
+		pid := fmt.Sprintf("patient-%d", i)
+		p.Consents.Grant(pid, "study-1", consent.PurposeResearch, 0)
+		b := fhir.NewBundle("collection")
+		b.AddResource(&fhir.Patient{ResourceType: "Patient", ID: pid, Gender: "other"})
+		if _, err := dev.Capture(b, "study-1", client.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range dev.Uploads() {
+		st, err := p.Ingest.WaitForUpload(id, 20*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "stored" {
+			t.Fatalf("status = %+v", st)
+		}
+	}
+	peer, err := p.Provenance.Peer("audit-svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peer.Ledger().TxCount(); got != uploads {
+		t.Errorf("ledger tx count = %d, want %d", got, uploads)
+	}
+	if err := peer.Ledger().VerifyChain(); err != nil {
+		t.Errorf("ledger chain: %v", err)
+	}
+	if st := p.LedgerBatcher.Stats(); st.Txs != uploads {
+		t.Errorf("batcher txs = %d, want %d", st.Txs, uploads)
 	}
 }

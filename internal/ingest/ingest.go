@@ -98,6 +98,14 @@ type TracedLedger interface {
 	SubmitCtx(tx blockchain.Transaction, timeout time.Duration, parent telemetry.SpanContext) error
 }
 
+// LedgerFlusher is implemented by group-commit ledgers (the blockchain
+// Batcher): Flush synchronously commits everything queued and releases
+// the waiting workers. Close detects it to guarantee no enqueued
+// provenance event is dropped or left un-acked at shutdown.
+type LedgerFlusher interface {
+	Flush()
+}
+
 // Pipeline is the ingestion/export service. Construct with New, then
 // Start workers; Close stops them.
 type Pipeline struct {
@@ -377,12 +385,31 @@ func (p *Pipeline) Start(n int) {
 }
 
 // Close stops the workers (the bus subscription keeps queued messages for
-// a later pipeline generation; the paper's ingestion is durable).
+// a later pipeline generation; the paper's ingestion is durable). When
+// the ledger is a group-commit batcher, Close keeps flushing it until
+// the last worker exits: a worker blocked in the provenance stage is
+// waiting on a batch window that may be longer than any patience, so
+// without the flush loop its enqueued event would be stranded un-acked.
 func (p *Pipeline) Close() {
 	select {
 	case <-p.stopCh:
 	default:
 		close(p.stopCh)
+	}
+	if f, ok := p.ledger.(LedgerFlusher); ok {
+		done := make(chan struct{})
+		go func() {
+			p.wg.Wait()
+			close(done)
+		}()
+		for {
+			f.Flush()
+			select {
+			case <-done:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
 	}
 	p.wg.Wait()
 }

@@ -1,0 +1,161 @@
+package redact
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+	"unicode/utf8"
+
+	"healthcloud/internal/hckrypto"
+)
+
+// fuzzKey is generated once per fuzz process: RSA keygen is ~100ms and
+// the scheme's properties are key-independent.
+var fuzzKey = func() *hckrypto.SigningKey {
+	k, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}()
+
+// fieldsFromFuzz derives a record from raw fuzz bytes: alternating
+// length-prefixed name/value chunks, capped so RSA signing keeps fuzz
+// iterations fast.
+func fieldsFromFuzz(data []byte) Record {
+	var rec Record
+	for len(data) > 0 && len(rec) < 10 {
+		n := int(data[0]) % 16
+		data = data[1:]
+		if n > len(data) {
+			n = len(data)
+		}
+		name := string(data[:n])
+		data = data[n:]
+		var value string
+		if len(data) > 0 {
+			v := int(data[0]) % 32
+			data = data[1:]
+			if v > len(data) {
+				v = len(data)
+			}
+			value = string(data[:v])
+			data = data[v:]
+		}
+		rec = append(rec, Field{Name: name, Value: value})
+	}
+	return rec
+}
+
+// FuzzRedact drives the redactable-signature scheme end to end with
+// arbitrary field contents and disclosure masks: sign → verify →
+// redact → verify-redacted must hold for every record, a JSON round
+// trip of the disclosure must still verify (it crosses the API), and
+// any tampering with a disclosed value or a withheld commitment must
+// be rejected.
+func FuzzRedact(f *testing.F) {
+	f.Add([]byte("\x04name\x05alice\x03dob\x0a1980-01-01\x09diagnosis\x04flu!"), uint16(0b01))
+	f.Add([]byte(""), uint16(0))
+	f.Add([]byte("\x00\x00\x00\x00\x00\x00"), uint16(0xffff))
+	f.Add([]byte("\x0funicode-\xc3\xa9\xe2\x82\xac\x05\xff\xfe\x00\x01\x02"), uint16(0b10))
+
+	f.Fuzz(func(t *testing.T, data []byte, mask uint16) {
+		rec := fieldsFromFuzz(data)
+		validUTF8 := true
+		for _, fld := range rec {
+			if !utf8.ValidString(fld.Name) || !utf8.ValidString(fld.Value) {
+				validUTF8 = false
+			}
+		}
+		sr, err := Sign(fuzzKey, rec)
+		if !validUTF8 {
+			// JSON disclosures cannot carry invalid UTF-8 losslessly;
+			// Sign must refuse rather than produce a record whose
+			// serialized disclosure no longer verifies.
+			if !errors.Is(err, ErrInvalidUTF8) {
+				t.Fatalf("Sign accepted invalid UTF-8 fields: err=%v", err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("sign: %v", err)
+		}
+		pub := fuzzKey.Public()
+		if err := Verify(pub, sr); err != nil {
+			t.Fatalf("verify full record: %v", err)
+		}
+
+		var disclose []int
+		for i := range rec {
+			if mask&(1<<uint(i%16)) != 0 {
+				disclose = append(disclose, i)
+			}
+		}
+		rr, err := sr.Redact(disclose)
+		if err != nil {
+			t.Fatalf("redact %v of %d fields: %v", disclose, len(rec), err)
+		}
+		if err := VerifyRedacted(pub, rr); err != nil {
+			t.Fatalf("verify redacted: %v", err)
+		}
+		if got, want := len(rr.Disclosed)+len(rr.Commitments), len(rec); got != want {
+			t.Fatalf("disclosure partitions %d positions, record has %d", got, want)
+		}
+
+		// The disclosure is what travels to third parties: it must
+		// survive JSON serialization and still verify.
+		blob, err := json.Marshal(rr)
+		if err != nil {
+			t.Fatalf("marshal redacted: %v", err)
+		}
+		var rr2 RedactedRecord
+		if err := json.Unmarshal(blob, &rr2); err != nil {
+			t.Fatalf("unmarshal redacted: %v", err)
+		}
+		if err := VerifyRedacted(pub, &rr2); err != nil {
+			t.Fatalf("verify after JSON round trip: %v", err)
+		}
+
+		// Tampering with any disclosed field must break verification.
+		for i, fld := range rr.Disclosed {
+			tampered := *rr
+			tampered.Disclosed = map[int]Field{}
+			for k, v := range rr.Disclosed {
+				tampered.Disclosed[k] = v
+			}
+			tampered.Disclosed[i] = Field{Name: fld.Name, Value: fld.Value + "x"}
+			if err := VerifyRedacted(pub, &tampered); err == nil {
+				t.Fatalf("tampered disclosed field %d still verified", i)
+			}
+			break // one position suffices per iteration
+		}
+		// Tampering with any withheld commitment must break verification.
+		for i, c := range rr.Commitments {
+			tampered := *rr
+			tampered.Commitments = map[int][]byte{}
+			for k, v := range rr.Commitments {
+				tampered.Commitments[k] = v
+			}
+			flipped := append([]byte(nil), c...)
+			if len(flipped) == 0 {
+				break
+			}
+			flipped[0] ^= 0xff
+			tampered.Commitments[i] = flipped
+			if err := VerifyRedacted(pub, &tampered); err == nil {
+				t.Fatalf("tampered commitment %d still verified", i)
+			}
+			break
+		}
+
+		// Leakage check: a withheld field's commitment must not equal the
+		// deterministic unsalted hash an attacker can compute (that is
+		// exactly the dictionary-attack surface the scheme removes).
+		for i, c := range rr.Commitments {
+			if bytes.Equal(c, NaiveLeaf(rec[i])) {
+				t.Fatalf("commitment %d equals the unsalted leaf hash — leaks", i)
+			}
+		}
+	})
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"unicode/utf8"
 
 	"healthcloud/internal/hckrypto"
 )
@@ -67,11 +68,20 @@ const saltSize = 16
 var (
 	ErrBadSignature = errors.New("redact: signature verification failed")
 	ErrMalformed    = errors.New("redact: malformed redacted record")
+	ErrInvalidUTF8  = errors.New("redact: field is not valid UTF-8")
 )
 
 // Sign produces a redactable signature over the record using the
-// platform's signing key.
+// platform's signing key. Field names and values must be valid UTF-8:
+// disclosures travel as JSON, whose encoder silently rewrites invalid
+// byte sequences — a third party would then recompute a different
+// commitment and reject an authentic disclosure.
 func Sign(key *hckrypto.SigningKey, rec Record) (*SignedRecord, error) {
+	for i, f := range rec {
+		if !utf8.ValidString(f.Name) || !utf8.ValidString(f.Value) {
+			return nil, fmt.Errorf("%w: field %d", ErrInvalidUTF8, i)
+		}
+	}
 	salts := make([][]byte, len(rec))
 	commits := make([][]byte, len(rec))
 	for i, f := range rec {

@@ -1,0 +1,250 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRetryBackoffBoundsProperty checks, across randomized policies and
+// failure scripts, the two bounds callers budget against: Retry never
+// calls op more than MaxAttempts times, and the summed backoff never
+// exceeds the analytic ceiling sum min(BaseDelay·Multiplier^(n-1),
+// MaxDelay) over the sleeps actually taken.
+func TestRetryBackoffBoundsProperty(t *testing.T) {
+	errTransient := errors.New("transient")
+	for seed := int64(0); seed < 64; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := Policy{
+			MaxAttempts: 1 + rng.Intn(8),
+			BaseDelay:   time.Duration(1+rng.Intn(50)) * time.Millisecond,
+			MaxDelay:    time.Duration(1+rng.Intn(500)) * time.Millisecond,
+			Multiplier:  1 + rng.Float64()*3,
+		}
+		var slept []time.Duration
+		p.Sleeper = func(d time.Duration) { slept = append(slept, d) }
+		p.Rand = rng.Float64
+
+		// Random failure script: each attempt independently succeeds,
+		// fails transiently, or fails permanently.
+		type outcome int
+		const (
+			transient outcome = iota
+			permanent
+			success
+		)
+		script := make([]outcome, p.MaxAttempts)
+		for i := range script {
+			switch r := rng.Float64(); {
+			case r < 0.6:
+				script[i] = transient
+			case r < 0.8:
+				script[i] = permanent
+			default:
+				script[i] = success
+			}
+		}
+		wantCalls := p.MaxAttempts
+		for i, o := range script {
+			if o != transient {
+				wantCalls = i + 1
+				break
+			}
+		}
+
+		calls := 0
+		err := Retry(context.Background(), p, func(context.Context) error {
+			defer func() { calls++ }()
+			switch script[calls] {
+			case success:
+				return nil
+			case permanent:
+				return Permanent(errTransient)
+			default:
+				return errTransient
+			}
+		})
+
+		if calls != wantCalls {
+			t.Errorf("seed %d: op called %d times, want %d (policy %+v)", seed, calls, wantCalls, p)
+		}
+		if calls > p.MaxAttempts {
+			t.Errorf("seed %d: attempt cap exceeded: %d > %d", seed, calls, p.MaxAttempts)
+		}
+		if len(slept) != calls-1 {
+			t.Errorf("seed %d: %d sleeps for %d attempts, want attempts-1", seed, len(slept), calls)
+		}
+		switch script[calls-1] {
+		case success:
+			if err != nil {
+				t.Errorf("seed %d: success script returned %v", seed, err)
+			}
+		case permanent:
+			if !IsPermanent(err) {
+				t.Errorf("seed %d: permanent script returned non-permanent %v", seed, err)
+			}
+		default:
+			if err == nil || IsPermanent(err) {
+				t.Errorf("seed %d: exhaustion script returned %v", seed, err)
+			}
+		}
+
+		// Replicate the documented ceiling sequence and bound each sleep
+		// individually plus the total.
+		ceiling := p.BaseDelay
+		var bound, total time.Duration
+		for i, d := range slept {
+			if d > ceiling {
+				t.Errorf("seed %d: sleep %d was %v, above its ceiling %v", seed, i, d, ceiling)
+			}
+			bound += ceiling
+			total += d
+			ceiling = time.Duration(float64(ceiling) * p.Multiplier)
+			if ceiling > p.MaxDelay {
+				ceiling = p.MaxDelay
+			}
+		}
+		if total > bound {
+			t.Errorf("seed %d: total backoff %v exceeds analytic bound %v", seed, total, bound)
+		}
+	}
+}
+
+// TestRetryContextCancelProperty checks that a canceled context stops
+// retrying before the next attempt regardless of the policy drawn.
+func TestRetryContextCancelProperty(t *testing.T) {
+	for seed := int64(0); seed < 16; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cancelAfter := 1 + rng.Intn(3)
+		p := Policy{
+			MaxAttempts: cancelAfter + 2 + rng.Intn(4),
+			Sleeper:     func(time.Duration) {},
+			Rand:        rng.Float64,
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		calls := 0
+		err := Retry(ctx, p, func(context.Context) error {
+			calls++
+			if calls == cancelAfter {
+				cancel()
+			}
+			return errors.New("transient")
+		})
+		if calls != cancelAfter {
+			t.Errorf("seed %d: op called %d times after cancel at %d", seed, calls, cancelAfter)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("seed %d: err = %v, want context.Canceled in chain", seed, err)
+		}
+	}
+}
+
+// TestBreakerTransitionProperty drives a breaker through randomized
+// call/advance interleavings on a fake clock and asserts the state
+// machine only ever takes legal edges: Closed→Open (threshold),
+// Open→HalfOpen (timer), HalfOpen→{Closed,Open} (probe outcome).
+// Closed→HalfOpen and Open→Closed must never be observed.
+func TestBreakerTransitionProperty(t *testing.T) {
+	errFail := errors.New("downstream failed")
+	legal := map[BreakerState]map[BreakerState]bool{
+		Closed:   {Closed: true, Open: true},
+		Open:     {Open: true, HalfOpen: true},
+		HalfOpen: {HalfOpen: true, Closed: true, Open: true},
+	}
+	for seed := int64(0); seed < 32; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		now := time.Unix(0, 0)
+		cfg := BreakerConfig{
+			FailureThreshold: 1 + rng.Intn(5),
+			OpenFor:          time.Duration(1+rng.Intn(10)) * time.Second,
+			Now:              func() time.Time { return now },
+		}
+		b := NewBreaker(cfg)
+
+		prev := b.State()
+		var observedOpens uint64
+		observe := func(step int, during string) BreakerState {
+			s := b.State()
+			if !legal[prev][s] {
+				t.Fatalf("seed %d step %d (%s): illegal transition %v → %v", seed, step, during, prev, s)
+			}
+			if s == Open && prev != Open {
+				observedOpens++
+			}
+			prev = s
+			return s
+		}
+
+		consecutive := 0 // failures since last success/open, tracked while closed
+		for step := 0; step < 400; step++ {
+			if rng.Intn(4) == 0 {
+				// Advance the clock — sometimes past OpenFor, sometimes not.
+				now = now.Add(time.Duration(rng.Int63n(int64(cfg.OpenFor) * 3 / 2)))
+				observe(step, "advance")
+				continue
+			}
+			state := observe(step, "pre-allow")
+			err := b.Allow()
+			switch state {
+			case Open:
+				if err == nil {
+					t.Fatalf("seed %d step %d: open breaker admitted a call", seed, step)
+				}
+			case Closed:
+				if err != nil {
+					t.Fatalf("seed %d step %d: closed breaker rejected: %v", seed, step, err)
+				}
+			case HalfOpen:
+				if err == nil {
+					// Probe admitted: a second concurrent call must be rejected.
+					if err2 := b.Allow(); !errors.Is(err2, ErrOpen) {
+						t.Fatalf("seed %d step %d: half-open admitted a second probe (%v)", seed, step, err2)
+					}
+				}
+			}
+			if err != nil {
+				continue
+			}
+			fail := rng.Intn(2) == 0
+			if fail {
+				b.Record(errFail)
+			} else {
+				b.Record(nil)
+			}
+			after := observe(step, "post-record")
+
+			// Threshold discipline: from Closed, the circuit opens exactly
+			// when consecutive failures reach the threshold.
+			if state == Closed {
+				if fail {
+					consecutive++
+				} else {
+					consecutive = 0
+				}
+				wantOpen := consecutive >= cfg.FailureThreshold
+				if wantOpen != (after == Open) {
+					t.Fatalf("seed %d step %d: %d/%d consecutive failures, state %v",
+						seed, step, consecutive, cfg.FailureThreshold, after)
+				}
+				if wantOpen {
+					consecutive = 0
+				}
+			}
+			if state == HalfOpen {
+				if fail && after != Open {
+					t.Fatalf("seed %d step %d: failed probe left state %v, want Open", seed, step, after)
+				}
+				if !fail && after != Closed {
+					t.Fatalf("seed %d step %d: successful probe left state %v, want Closed", seed, step, after)
+				}
+				consecutive = 0
+			}
+		}
+		if got := b.Opens(); got != observedOpens {
+			t.Errorf("seed %d: Opens() = %d, observed %d →Open transitions", seed, got, observedOpens)
+		}
+	}
+}
