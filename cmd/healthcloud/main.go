@@ -34,6 +34,8 @@ func run() error {
 	ledger := flag.Bool("ledger", true, "run the provenance blockchain")
 	ledgerBatch := flag.Bool("ledger-batch", false, "group-commit provenance batching (max 64 tx / 5 ms window)")
 	obs := flag.Bool("telemetry", true, "serve metrics at /metrics and traces at /traces/{id}")
+	mon := flag.Bool("monitor", true, "run the self-monitoring watchdog (/readyz, /statusz, /metrics/history)")
+	monInterval := flag.Duration("monitor-interval", time.Second, "watchdog tick period")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (own listener; empty disables)")
 	flag.Parse()
 
@@ -50,6 +52,10 @@ func run() error {
 	}
 	if *obs {
 		cfg.Telemetry = telemetry.New()
+	}
+	if *mon {
+		cfg.Monitor = true
+		cfg.MonitorInterval = *monInterval
 	}
 	if *pprofAddr != "" {
 		pprofSrv, pprofLn, err := telemetry.StartPprof(*pprofAddr)
@@ -77,8 +83,8 @@ func run() error {
 		"auditor@demo": rbac.RoleAuditor,
 	}
 	fmt.Printf("healthcloud instance %q listening on http://%s\n", *tenant, *addr)
-	fmt.Printf("components: %d | ledger: %v (batch: %v) | telemetry: %v\n\n",
-		len(platform.Components()), *ledger, *ledgerBatch, *obs)
+	fmt.Printf("components: %d | ledger: %v (batch: %v) | telemetry: %v | monitor: %v\n\n",
+		len(platform.Components()), *ledger, *ledgerBatch, *obs, *mon)
 	fmt.Println("demo login tokens (POST each body to /api/v1/login):")
 	enc := json.NewEncoder(os.Stdout)
 	for subject, role := range users {

@@ -202,3 +202,40 @@ func TestChangeApproveUnknownTPM(t *testing.T) {
 		t.Errorf("state after failed approve = %s, want evaluated", c.State)
 	}
 }
+
+// TestTimeWindowEdges pins the window semantics the monitor's alert
+// queries rely on: Since/Until are inclusive bounds, either may be open,
+// and an inverted window matches nothing.
+func TestTimeWindowEdges(t *testing.T) {
+	l := NewLog()
+	base := time.Unix(5000, 0)
+	for i := 0; i < 3; i++ {
+		l.Record(Event{At: base.Add(time.Duration(i) * time.Minute), Service: "s", Action: "a"})
+	}
+	if got := l.Find(Query{Since: base, Until: base}); len(got) != 1 {
+		t.Errorf("point window = %d events, want 1 (bounds inclusive)", len(got))
+	}
+	if got := l.Find(Query{Since: base.Add(2 * time.Minute)}); len(got) != 1 {
+		t.Errorf("open Until = %d events, want 1", len(got))
+	}
+	if got := l.Find(Query{Until: base}); len(got) != 1 {
+		t.Errorf("open Since = %d events, want 1", len(got))
+	}
+	if got := l.Find(Query{Since: base.Add(time.Hour), Until: base}); len(got) != 0 {
+		t.Errorf("inverted window = %d events, want 0", len(got))
+	}
+	if got := l.Find(Query{Since: base.Add(-time.Hour), Until: base.Add(time.Hour)}); len(got) != 3 {
+		t.Errorf("covering window = %d events, want 3", len(got))
+	}
+}
+
+// TestCountByEmptyLog checks the zero-traffic analytics path.
+func TestCountByEmptyLog(t *testing.T) {
+	l := NewLog()
+	if got := l.CountBy("service"); len(got) != 0 {
+		t.Errorf("empty log CountBy = %v", got)
+	}
+	if got := l.CountBy("nope"); len(got) != 0 {
+		t.Errorf("unknown dimension on empty log = %v", got)
+	}
+}

@@ -232,6 +232,20 @@ func (n *Network) Peer(id string) (*Peer, error) {
 // PeerIDs returns the sorted member list.
 func (n *Network) PeerIDs() []string { return append([]string(nil), n.peerIDs...) }
 
+// OrderingLeader reports the ordering cluster's settled leader, if any
+// — the consensus-liveness signal a health prober checks. ok is false
+// while an election is in flight (or the network is nil).
+func (n *Network) OrderingLeader() (id string, ok bool) {
+	if n == nil || n.cluster == nil {
+		return "", false
+	}
+	leader := n.cluster.Leader()
+	if leader == nil {
+		return "", false
+	}
+	return leader.ID(), true
+}
+
 // NewTransaction builds an unendorsed transaction with a fresh ID.
 func NewTransaction(typ EventType, creator, handle string, dataHash []byte, meta map[string]string) Transaction {
 	return Transaction{

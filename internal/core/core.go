@@ -37,6 +37,7 @@ import (
 	"healthcloud/internal/ingest"
 	"healthcloud/internal/kb"
 	"healthcloud/internal/metering"
+	"healthcloud/internal/monitor"
 	"healthcloud/internal/rbac"
 	"healthcloud/internal/resilience"
 	"healthcloud/internal/scan"
@@ -84,6 +85,17 @@ type Config struct {
 	// caches, remote KB and service registry. Nil disables it at zero
 	// cost beyond nil checks (same contract as Faults).
 	Telemetry *telemetry.Telemetry
+	// Monitor enables the self-monitoring layer: a metrics history ring
+	// sampled from Telemetry, SLO evaluation with error budgets,
+	// dependency-aware health probes behind /readyz and /statusz, and a
+	// watchdog that raises PHI-free audit alerts on breach. Requires
+	// Telemetry for the ring and SLOs (probes work without it).
+	Monitor bool
+	// MonitorInterval is the watchdog tick period (default 1s). A
+	// negative interval builds the monitor but never starts the loop —
+	// tests and experiment E18 call Watchdog().Tick() manually for
+	// deterministic timing.
+	MonitorInterval time.Duration
 }
 
 // Platform is one trusted health cloud instance.
@@ -127,6 +139,9 @@ type Platform struct {
 	// Telemetry is the instance's observability subsystem (nil when
 	// disabled); httpapi serves it at /metrics and /traces/{id}.
 	Telemetry *telemetry.Telemetry
+	// Monitor is the self-monitoring layer (nil when disabled); httpapi
+	// serves it at /readyz, /statusz, and /metrics/history.
+	Monitor *monitor.Monitor
 }
 
 // New builds and starts a platform instance.
@@ -228,6 +243,7 @@ func New(cfg Config) (*Platform, error) {
 	p.KBResilient = kb.NewResilientClient(p.KBRemote.Loader(),
 		resilience.NewBreaker(resilience.BreakerConfig{FailureThreshold: 5, OpenFor: time.Second}),
 		resilience.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond})
+	p.KBResilient.Breaker().SetTelemetry(reg, "kb-remote")
 	serverTier, err := hccache.New(4096, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: kb cache: %w", err)
@@ -246,15 +262,139 @@ func New(cfg Config) (*Platform, error) {
 		}
 		p.Identity = ssi.NewRegistry(p.Provenance, peer.Ledger())
 	}
+	if cfg.Monitor {
+		p.wireMonitor(cfg, reg, tracer)
+	}
 	p.Audit.Record(audit.Event{Level: audit.LevelInfo, Service: "platform",
 		Action: "instance-start", Resource: cfg.Tenant})
 	return p, nil
+}
+
+// Monitoring thresholds for the default probes and objectives. The
+// ledger probe's ceiling sits well above the ~45 ms a healthy in-process
+// endorsement+ordering round takes, so only genuine slowdowns trip it.
+const (
+	monitorLedgerSlow    = 250 * time.Millisecond
+	monitorLedgerTimeout = 2 * time.Second
+	monitorQueueDegraded = 1000 // ingest backlog before the queue probe degrades
+	monitorSLOWindow     = time.Minute
+)
+
+// wireMonitor assembles the self-monitoring layer: default dependency
+// probes over the components this instance runs, the platform SLOs
+// evaluated from the metrics history ring, collectors that copy
+// pull-style values into gauges each tick, and the watchdog that turns
+// breaches into audit alerts.
+func (p *Platform) wireMonitor(cfg Config, reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	prober := monitor.NewProber()
+
+	prober.AddCheck("data-lake", func() monitor.Health {
+		if err := p.Lake.Ping(); err != nil {
+			return monitor.Degraded(err.Error())
+		}
+		return monitor.Healthy("serving")
+	})
+	prober.AddCheck("ingest-queue", func() monitor.Health {
+		depth, dlq := p.Ingest.QueueDepth(), p.Ingest.DLQBacklog()
+		detail := fmt.Sprintf("depth %d, dlq backlog %d", depth, dlq)
+		if depth > monitorQueueDegraded {
+			return monitor.Degraded(detail)
+		}
+		return monitor.Healthy(detail)
+	})
+	// The KB probe goes straight to the remote, not through the
+	// resilient client: probes must not trip the production breaker,
+	// and recovery must be visible the moment the dependency heals.
+	probeKey := "drug:" + p.KB.DrugIDs[0]
+	prober.AddCheck("kb-remote", func() monitor.Health {
+		if _, _, err := p.KBRemote.Fetch(probeKey); err != nil {
+			return monitor.Degraded(err.Error())
+		}
+		return monitor.Healthy("reachable")
+	})
+	prober.AddCheck("kb-breaker", func() monitor.Health {
+		if s := p.KBResilient.Breaker().State(); s != resilience.Closed {
+			return monitor.Degraded("circuit " + s.String())
+		}
+		return monitor.Healthy("circuit closed")
+	})
+	if p.Provenance != nil {
+		prober.AddCheck("provenance-ledger", func() monitor.Health {
+			tx := blockchain.NewTransaction(blockchain.EventWorkloadAttest,
+				"monitor", "watchdog-probe", nil, map[string]string{"probe": "readyz"})
+			start := time.Now()
+			if err := p.Provenance.Submit(tx, monitorLedgerTimeout); err != nil {
+				return monitor.Down(err.Error())
+			}
+			if elapsed := time.Since(start); elapsed > monitorLedgerSlow {
+				return monitor.Degraded(fmt.Sprintf("commit took %v (ceiling %v)",
+					elapsed.Round(time.Millisecond), monitorLedgerSlow))
+			}
+			return monitor.Healthy("committing")
+		})
+		prober.AddCheck("consensus-leader", func() monitor.Health {
+			if id, ok := p.Provenance.OrderingLeader(); ok {
+				return monitor.Healthy("leader " + id)
+			}
+			return monitor.Degraded("no settled leader")
+		})
+	}
+
+	hist := monitor.NewHistory(reg, 0)
+	eval := monitor.NewEvaluator(hist, []monitor.Objective{
+		{Name: "upload-success", Kind: monitor.RatioObjective, Window: monitorSLOWindow,
+			Good:     []string{"ingest_stored_total"},
+			Bad:      []string{"ingest_failed_total", "ingest_dead_lettered_total"},
+			MinRatio: 0.99},
+		{Name: "ingest-p95", Kind: monitor.QuantileObjective, Window: monitorSLOWindow,
+			Histogram: "ingest_process_seconds", Quantile: 0.95, MaxDuration: 2 * time.Second},
+		{Name: "bus-redelivery", Kind: monitor.RatioObjective, Window: monitorSLOWindow,
+			Good: []string{"bus_acked_total"}, Bad: []string{"bus_nacked_total"},
+			MinRatio: 0.90},
+		{Name: "dlq-empty", Kind: monitor.DeltaObjective, Window: monitorSLOWindow,
+			Counter: "ingest_dead_lettered_total", MaxDelta: 0},
+	})
+
+	// Collectors copy pull-style values into gauges before each sample,
+	// so the ring and /metrics see them without per-operation cost.
+	collectors := []func(){
+		func() {
+			reg.Gauge("ingest_queue_depth").Set(int64(p.Ingest.QueueDepth()))
+			reg.Gauge("ingest_dlq_backlog").Set(int64(p.Ingest.DLQBacklog()))
+			reg.Gauge("trace_store_traces").Set(int64(tracer.StoredTraces()))
+			reg.Gauge("trace_store_evicted").Set(int64(tracer.EvictedTraces()))
+			reg.Gauge("trace_store_dropped_spans").Set(int64(tracer.Dropped()))
+		},
+	}
+	if p.Provenance != nil {
+		collectors = append(collectors, func() {
+			var present int64
+			if _, ok := p.Provenance.OrderingLeader(); ok {
+				present = 1
+			}
+			reg.Gauge("consensus_leader_present").Set(present)
+		})
+	}
+
+	wd := monitor.NewWatchdog(monitor.WatchdogConfig{
+		History: hist, Evaluator: eval, Prober: prober,
+		Audit: p.Audit, Tracer: tracer, Collectors: collectors,
+	})
+	p.Monitor = monitor.New(hist, eval, prober, wd)
+	if cfg.MonitorInterval >= 0 {
+		interval := cfg.MonitorInterval
+		if interval == 0 {
+			interval = time.Second
+		}
+		wd.Start(interval)
+	}
 }
 
 // Close stops background machinery. Order matters: the pipeline first
 // (its Close flushes any group-commit batcher so in-flight provenance
 // events are acked), then the batcher, then the bus and the network.
 func (p *Platform) Close() {
+	p.Monitor.Watchdog().Stop()
 	p.Ingest.Close()
 	if p.LedgerBatcher != nil {
 		p.LedgerBatcher.Close()

@@ -182,3 +182,32 @@ func TestE16TelemetryOverhead(t *testing.T) {
 		t.Errorf("shape: %s", r.Shape)
 	}
 }
+
+func TestE18WatchdogDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("watchdog chaos experiment skipped in -short mode")
+	}
+	r, err := E18WatchdogDetection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]float64{}
+	for _, row := range r.Rows {
+		rows[row.Label] = row.Value
+	}
+	for _, class := range []string{"store outage", "ledger latency", "kb outage"} {
+		if got := rows[class+": ticks to detect"]; got < 1 || got >= 2 {
+			t.Errorf("%s detected in %v ticks, want < 2", class, got)
+		}
+		if got := rows[class+": ticks to clear"]; got < 1 {
+			t.Errorf("%s never cleared (ticks = %v)", class, got)
+		}
+	}
+	if rows["alert-raised audit events"] < 3 || rows["alert-cleared audit events"] < 3 {
+		t.Errorf("alert transitions not audited: raised %v cleared %v",
+			rows["alert-raised audit events"], rows["alert-cleared audit events"])
+	}
+	if !strings.HasPrefix(r.Shape, "HOLDS") {
+		t.Errorf("shape: %s", r.Shape)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"healthcloud/internal/fhir"
 	"healthcloud/internal/hckrypto"
 	"healthcloud/internal/ingest"
+	"healthcloud/internal/monitor"
 	"healthcloud/internal/scan"
 	"healthcloud/internal/store"
 	"healthcloud/internal/telemetry"
@@ -204,6 +205,35 @@ func E16TelemetryOverhead() (*Result, error) {
 		return nil, err
 	}
 	defer instArm.close()
+
+	// The instrumented arm also runs the self-monitoring watchdog, so the
+	// overhead bound prices the whole observability stack: metrics, traces,
+	// history snapshots, SLO evaluation, and dependency probes together.
+	instHist := monitor.NewHistory(instArm.tel.Registry(), monitor.DefaultHistoryCapacity)
+	instEval := monitor.NewEvaluator(instHist, []monitor.Objective{{
+		Name:     "upload-success",
+		Kind:     monitor.RatioObjective,
+		Window:   time.Minute,
+		Good:     []string{"ingest_stored_total"},
+		Bad:      []string{"ingest_failed_total"},
+		MinRatio: 0.99,
+	}})
+	instProber := monitor.NewProber()
+	instProber.AddCheck("ingest-queue", func() monitor.Health {
+		if d := instArm.pipe.QueueDepth(); d > 1000 {
+			return monitor.Degraded(fmt.Sprintf("queue depth %d", d))
+		}
+		return monitor.Healthy("queue drained")
+	})
+	instWatchdog := monitor.NewWatchdog(monitor.WatchdogConfig{
+		History:   instHist,
+		Evaluator: instEval,
+		Prober:    instProber,
+		Audit:     audit.NewLog(),
+		Tracer:    instArm.tel.Spans(),
+	})
+	instWatchdog.Start(100 * time.Millisecond)
+	defer instWatchdog.Stop()
 
 	// Warm-up batch per arm (discarded): page faults, heap growth, code
 	// warm-up.

@@ -28,6 +28,7 @@ import (
 	"healthcloud/internal/core"
 	"healthcloud/internal/hckrypto"
 	"healthcloud/internal/kb"
+	"healthcloud/internal/monitor"
 	"healthcloud/internal/rbac"
 	"healthcloud/internal/resilience"
 	"healthcloud/internal/services"
@@ -78,7 +79,21 @@ func New(p *core.Platform, opts ...Option) *Server {
 	// platform runs without telemetry.
 	s.mux.Handle("GET /metrics", telemetry.MetricsHandler(p.Telemetry.Registry()))
 	s.mux.Handle("GET /traces/{id}", telemetry.TraceHandler(p.Telemetry.Spans()))
+	// Self-monitoring endpoints: dependency-aware readiness (degraded vs
+	// down with per-component detail), the operator status page, and the
+	// metrics history ring. /metrics/history 404s when monitoring is
+	// off; /readyz and /statusz fall back to an everything-ok view so
+	// orchestrators probing a monitorless instance still get a 200.
+	s.mux.Handle("GET /readyz", monitor.ReadyzHandler(p.Monitor.Prober()))
+	s.mux.Handle("GET /statusz", monitor.StatuszHandler(p.Monitor.Prober(), s.evaluations))
+	s.mux.Handle("GET /metrics/history", monitor.HistoryHandler(p.Monitor.History()))
 	return s
+}
+
+// evaluations exposes the monitor's SLO verdicts to /statusz (empty
+// when monitoring is disabled).
+func (s *Server) evaluations() []monitor.Evaluation {
+	return s.p.Monitor.Evaluator().Evaluate()
 }
 
 // ServeHTTP implements http.Handler.
@@ -116,9 +131,19 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"token": session, "user": userID})
 }
 
+// handleHealth is the legacy liveness route. It now derives its verdict
+// from the same prober as /readyz so the two can never disagree: same
+// overall state, same status code policy (200 unless a dependency is
+// down). Without monitoring the prober is nil and reports ok, which is
+// exactly the old static behavior.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
+	rep := s.p.Monitor.Prober().Probe()
+	status := http.StatusOK
+	if !rep.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"status":     rep.Overall.String(),
 		"components": s.p.Components(),
 	})
 }

@@ -19,7 +19,9 @@ import (
 	"healthcloud/internal/fhir"
 	"healthcloud/internal/hckrypto"
 	"healthcloud/internal/kb"
+	"healthcloud/internal/monitor"
 	"healthcloud/internal/rbac"
+	"healthcloud/internal/store"
 	"healthcloud/internal/telemetry"
 )
 
@@ -566,5 +568,98 @@ func TestTraceEndToEnd(t *testing.T) {
 		if !strings.Contains(string(text), metric) {
 			t.Errorf("/metrics is missing %s", metric)
 		}
+	}
+}
+
+// TestReadyzEndToEnd drives the full loop the monitor tentpole
+// promises: /readyz reports ok on a healthy platform, degrades (still
+// 200) while a store fault is injected, agrees with the legacy healthz
+// route throughout, and returns to ready after recovery.
+func TestReadyzEndToEnd(t *testing.T) {
+	faults := faultinject.NewRegistry(31)
+	f := newAPIWith(t, func(cfg *core.Config) {
+		cfg.Faults = faults
+		cfg.Telemetry = telemetry.New()
+		cfg.Monitor = true
+		cfg.MonitorInterval = -1 // manual ticks only: no goroutine racing assertions
+	})
+
+	readyz := func() (int, monitor.Report) {
+		t.Helper()
+		resp, err := http.Get(f.srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rep monitor.Report
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, rep
+	}
+	healthzStatus := func() string {
+		t.Helper()
+		resp, err := http.Get(f.srv.URL + "/api/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Status string `json:"status"`
+		}
+		json.NewDecoder(resp.Body).Decode(&body)
+		return body.Status
+	}
+
+	if code, rep := readyz(); code != http.StatusOK || !rep.Ready || rep.Overall != monitor.StateOK {
+		t.Fatalf("healthy: code %d report %+v", code, rep)
+	}
+	if got := healthzStatus(); got != "ok" {
+		t.Fatalf("healthy healthz status = %q", got)
+	}
+
+	// Break the data lake: the store probe degrades but the platform
+	// keeps serving, so readiness stays 200 with a degraded verdict.
+	faults.Enable(store.FaultLakePut, faultinject.Fault{ErrorRate: 1})
+	code, rep := readyz()
+	if code != http.StatusOK {
+		t.Fatalf("degraded must stay 200, got %d", code)
+	}
+	if rep.Overall != monitor.StateDegraded || !rep.Ready {
+		t.Fatalf("faulted report = %+v, want degraded+ready", rep)
+	}
+	if h := rep.Components["data-lake"]; h.State != monitor.StateDegraded {
+		t.Fatalf("data-lake component = %+v, want degraded", h)
+	}
+	if got := healthzStatus(); got != "degraded" {
+		t.Fatalf("legacy healthz disagrees with /readyz: %q", got)
+	}
+
+	// Recovery: the next probe round sees the lake healthy again.
+	faults.Disable(store.FaultLakePut)
+	if code, rep := readyz(); code != http.StatusOK || rep.Overall != monitor.StateOK {
+		t.Fatalf("recovered: code %d report %+v", code, rep)
+	}
+	if got := healthzStatus(); got != "ok" {
+		t.Fatalf("recovered healthz status = %q", got)
+	}
+
+	// The operator page and the history ring are served too.
+	resp, err := http.Get(f.srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(page), "data-lake") {
+		t.Fatalf("statusz: %d\n%s", resp.StatusCode, page)
+	}
+	resp, err = http.Get(f.srv.URL + "/metrics/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics/history status %d", resp.StatusCode)
 	}
 }

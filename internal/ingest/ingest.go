@@ -362,6 +362,14 @@ func (p *Pipeline) Retries() uint64 { return p.retries.Load() }
 // DeadLettered reports how many uploads were parked on the DLQ.
 func (p *Pipeline) DeadLettered() uint64 { return p.deadLettered.Load() }
 
+// QueueDepth reports uploads accepted but not yet picked up by a worker
+// — the backlog a health prober watches for ingest congestion.
+func (p *Pipeline) QueueDepth() int { return p.sub.Depth() }
+
+// DLQBacklog reports dead-lettered messages still awaiting the DLQ
+// consumer (distinct from DeadLettered, which is the lifetime total).
+func (p *Pipeline) DLQBacklog() int { return p.dlqSub.Depth() }
+
 // Statuses snapshots every upload status (chaos-harness support).
 func (p *Pipeline) Statuses() []Status {
 	p.mu.RLock()

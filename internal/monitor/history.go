@@ -1,0 +1,239 @@
+// Package monitor is the platform's self-monitoring layer: a metrics
+// history ring sampled from the telemetry registry, a declarative SLO
+// evaluator with rolling error budgets, a dependency-aware health
+// prober behind /readyz and /statusz, and a watchdog that turns SLO
+// breaches and probe failures into structured audit alerts. Everything
+// follows the telemetry contract: a nil receiver is valid and does
+// nothing, so disabled monitoring costs one nil check.
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"healthcloud/internal/telemetry"
+)
+
+// Sample is one point-in-time registry snapshot in the history ring.
+type Sample struct {
+	At   time.Time          `json:"at"`
+	Snap telemetry.Snapshot `json:"snapshot"`
+}
+
+// History is a fixed-capacity ring of registry snapshots — the
+// time-series behind sliding-window rate, delta, and quantile-drift
+// queries. Recording overwrites the oldest sample once full, so memory
+// is bounded by capacity regardless of uptime.
+type History struct {
+	reg *telemetry.Registry
+	now func() time.Time
+
+	mu      sync.Mutex
+	samples []Sample // ring buffer
+	next    int      // index the next Record writes
+	count   int      // live samples, <= cap(samples)
+}
+
+// DefaultHistoryCapacity keeps ~4 minutes of history at a 1s watchdog
+// tick — enough for the default SLO windows with headroom.
+const DefaultHistoryCapacity = 256
+
+// NewHistory creates a ring over reg holding up to capacity samples
+// (<=0 selects DefaultHistoryCapacity). A nil registry yields a nil
+// History, preserving the zero-cost-when-disabled contract.
+func NewHistory(reg *telemetry.Registry, capacity int) *History {
+	if reg == nil {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = DefaultHistoryCapacity
+	}
+	return &History{reg: reg, now: time.Now, samples: make([]Sample, capacity)}
+}
+
+// SetClock replaces the sample timestamp source (tests advance it
+// manually for deterministic windows).
+func (h *History) SetClock(now func() time.Time) {
+	if h == nil || now == nil {
+		return
+	}
+	h.mu.Lock()
+	h.now = now
+	h.mu.Unlock()
+}
+
+// Record snapshots the registry into the ring and returns the sample.
+func (h *History) Record() Sample {
+	if h == nil {
+		return Sample{}
+	}
+	snap := h.reg.Snapshot()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Sample{At: h.now(), Snap: snap}
+	h.samples[h.next] = s
+	h.next = (h.next + 1) % len(h.samples)
+	if h.count < len(h.samples) {
+		h.count++
+	}
+	return s
+}
+
+// Len reports how many samples the ring currently holds.
+func (h *History) Len() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Samples returns the stored samples inside the window ending at the
+// newest sample, oldest first (all samples when window <= 0). The
+// boundary is inclusive: a sample exactly window old is returned.
+func (h *History) Samples(window time.Duration) []Sample {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.windowLocked(window)
+}
+
+func (h *History) windowLocked(window time.Duration) []Sample {
+	if h.count == 0 {
+		return nil
+	}
+	out := make([]Sample, 0, h.count)
+	start := (h.next - h.count + len(h.samples)) % len(h.samples)
+	for i := 0; i < h.count; i++ {
+		out = append(out, h.samples[(start+i)%len(h.samples)])
+	}
+	if window <= 0 {
+		return out
+	}
+	cutoff := out[len(out)-1].At.Add(-window)
+	for i, s := range out {
+		if !s.At.Before(cutoff) {
+			return out[i:]
+		}
+	}
+	return out[len(out)-1:]
+}
+
+// bounds returns the oldest and newest samples of the window (equal
+// when only one sample falls inside it).
+func (h *History) bounds(window time.Duration) (oldest, newest Sample, ok bool) {
+	if h == nil {
+		return Sample{}, Sample{}, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w := h.windowLocked(window)
+	if len(w) == 0 {
+		return Sample{}, Sample{}, false
+	}
+	return w[0], w[len(w)-1], true
+}
+
+// CounterDelta returns how much the named counter grew across the
+// window (zero when unknown or with fewer than two samples).
+func (h *History) CounterDelta(name string, window time.Duration) uint64 {
+	oldest, newest, ok := h.bounds(window)
+	if !ok {
+		return 0
+	}
+	then, now := oldest.Snap.Counters[name], newest.Snap.Counters[name]
+	if now < then { // registry replaced mid-window; treat as restart
+		return now
+	}
+	return now - then
+}
+
+// CounterRate returns the counter's growth per second over the window.
+func (h *History) CounterRate(name string, window time.Duration) float64 {
+	oldest, newest, ok := h.bounds(window)
+	if !ok || !newest.At.After(oldest.At) {
+		return 0
+	}
+	delta := h.CounterDelta(name, window)
+	return float64(delta) / newest.At.Sub(oldest.At).Seconds()
+}
+
+// GaugeLast returns the gauge's value in the newest sample.
+func (h *History) GaugeLast(name string) (int64, bool) {
+	_, newest, ok := h.bounds(0)
+	if !ok {
+		return 0, false
+	}
+	v, present := newest.Snap.Gauges[name]
+	return v, present
+}
+
+// HistogramWindow returns the histogram of observations recorded
+// during the window — newest snapshot minus oldest (the whole lifetime
+// when only one sample exists).
+func (h *History) HistogramWindow(name string, window time.Duration) telemetry.HistogramSnapshot {
+	oldest, newest, ok := h.bounds(window)
+	if !ok {
+		return telemetry.HistogramSnapshot{}
+	}
+	cur := newest.Snap.Histograms[name]
+	if oldest.At.Equal(newest.At) {
+		return cur
+	}
+	return cur.Sub(oldest.Snap.Histograms[name])
+}
+
+// QuantileDrift returns how much the q-quantile of the named histogram
+// moved between the window immediately before the last `window` and
+// the window itself — positive when latency is rising. With too little
+// history for two windows it returns zero.
+func (h *History) QuantileDrift(name string, q float64, window time.Duration) time.Duration {
+	recent := h.HistogramWindow(name, window)
+	prior := h.HistogramWindow(name, 2*window).Sub(recent)
+	if recent.Count == 0 || prior.Count == 0 {
+		return 0
+	}
+	return recent.Quantile(q) - prior.Quantile(q)
+}
+
+// HistoryResponse is the GET /metrics/history body.
+type HistoryResponse struct {
+	Capacity int      `json:"capacity"`
+	Samples  []Sample `json:"samples"`
+}
+
+// HistoryHandler serves the ring as JSON at GET /metrics/history. An
+// optional ?window=30s query bounds how far back samples go. A nil
+// History reports monitoring disabled.
+func HistoryHandler(h *History) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if h == nil {
+			http.Error(w, "monitoring disabled", http.StatusNotFound)
+			return
+		}
+		var window time.Duration
+		if raw := req.URL.Query().Get("window"); raw != "" {
+			d, err := time.ParseDuration(raw)
+			if err != nil {
+				http.Error(w, "bad window: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(HistoryResponse{
+			Capacity: cap(h.samples),
+			Samples:  h.Samples(window),
+		})
+	})
+}

@@ -1,0 +1,48 @@
+package monitor
+
+// Monitor bundles the self-monitoring pieces one platform owns. A nil
+// *Monitor is valid — every accessor returns nil, and nil pieces no-op
+// — so disabled monitoring costs nothing.
+type Monitor struct {
+	history   *History
+	evaluator *Evaluator
+	prober    *Prober
+	watchdog  *Watchdog
+}
+
+// New assembles a Monitor; any piece may be nil.
+func New(h *History, e *Evaluator, p *Prober, w *Watchdog) *Monitor {
+	return &Monitor{history: h, evaluator: e, prober: p, watchdog: w}
+}
+
+// History returns the metrics history ring.
+func (m *Monitor) History() *History {
+	if m == nil {
+		return nil
+	}
+	return m.history
+}
+
+// Evaluator returns the SLO evaluator.
+func (m *Monitor) Evaluator() *Evaluator {
+	if m == nil {
+		return nil
+	}
+	return m.evaluator
+}
+
+// Prober returns the dependency prober.
+func (m *Monitor) Prober() *Prober {
+	if m == nil {
+		return nil
+	}
+	return m.prober
+}
+
+// Watchdog returns the anomaly watchdog.
+func (m *Monitor) Watchdog() *Watchdog {
+	if m == nil {
+		return nil
+	}
+	return m.watchdog
+}

@@ -1,0 +1,198 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ProbeState is a dependency's health classification.
+type ProbeState int
+
+// Probe outcomes, ordered by severity.
+const (
+	StateOK       ProbeState = iota // fully serviceable
+	StateDegraded                   // impaired but the platform still serves
+	StateDown                       // hard failure; readiness flips to 503
+)
+
+// String implements fmt.Stringer.
+func (s ProbeState) String() string {
+	switch s {
+	case StateOK:
+		return "ok"
+	case StateDegraded:
+		return "degraded"
+	case StateDown:
+		return "down"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the state as its string form.
+func (s ProbeState) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses the string form back (clients decoding /readyz).
+func (s *ProbeState) UnmarshalJSON(b []byte) error {
+	var raw string
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	switch raw {
+	case "ok":
+		*s = StateOK
+	case "degraded":
+		*s = StateDegraded
+	case "down":
+		*s = StateDown
+	default:
+		return fmt.Errorf("monitor: unknown probe state %q", raw)
+	}
+	return nil
+}
+
+// Health is one dependency check's outcome.
+type Health struct {
+	State  ProbeState `json:"state"`
+	Detail string     `json:"detail,omitempty"` // PHI-free, no date strings
+}
+
+// Healthy, Degraded, and Down build the three Health shapes.
+func Healthy(detail string) Health  { return Health{State: StateOK, Detail: detail} }
+func Degraded(detail string) Health { return Health{State: StateDegraded, Detail: detail} }
+func Down(detail string) Health     { return Health{State: StateDown, Detail: detail} }
+
+// Check is a named dependency probe. Probes must be cheap, side-effect
+// free (no record growth, no breaker trips), and PHI-free in details.
+type Check struct {
+	Name  string
+	Probe func() Health
+}
+
+// Prober runs registered dependency checks and aggregates them into a
+// platform-level readiness verdict. A nil Prober probes nothing and
+// reports OK (monitoring disabled keeps legacy health behavior).
+type Prober struct {
+	mu     sync.Mutex
+	checks []Check
+	last   Report
+}
+
+// Report is the aggregated outcome of one probe round.
+type Report struct {
+	Overall    ProbeState        `json:"overall"`
+	Ready      bool              `json:"ready"`
+	Components map[string]Health `json:"components"`
+	At         time.Time         `json:"at"`
+}
+
+// NewProber creates an empty prober; register checks with AddCheck.
+func NewProber() *Prober { return &Prober{} }
+
+// AddCheck registers a dependency check. Safe to call concurrently
+// with Probe.
+func (p *Prober) AddCheck(name string, probe func() Health) {
+	if p == nil || probe == nil {
+		return
+	}
+	p.mu.Lock()
+	p.checks = append(p.checks, Check{Name: name, Probe: probe})
+	p.mu.Unlock()
+}
+
+// Probe runs every check and returns the aggregate: Overall is the
+// worst component state, Ready is true unless some component is Down
+// (degraded platforms still accept traffic — they are impaired, not
+// dead).
+func (p *Prober) Probe() Report {
+	if p == nil {
+		return Report{Overall: StateOK, Ready: true, At: time.Now()}
+	}
+	p.mu.Lock()
+	checks := append([]Check(nil), p.checks...)
+	p.mu.Unlock()
+	rep := Report{Overall: StateOK, Components: make(map[string]Health, len(checks)), At: time.Now()}
+	for _, c := range checks {
+		h := c.Probe()
+		rep.Components[c.Name] = h
+		if h.State > rep.Overall {
+			rep.Overall = h.State
+		}
+	}
+	rep.Ready = rep.Overall != StateDown
+	p.mu.Lock()
+	p.last = rep
+	p.mu.Unlock()
+	return rep
+}
+
+// Last returns the most recent Probe report (zero Report before the
+// first probe).
+func (p *Prober) Last() Report {
+	if p == nil {
+		return Report{Overall: StateOK, Ready: true}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.last
+}
+
+// ReadyzHandler serves GET /readyz: 200 with the JSON Report while the
+// platform is ok or degraded, 503 when any dependency is down. Each
+// request runs a fresh probe round so the verdict is current, not the
+// watchdog's last tick.
+func ReadyzHandler(p *Prober) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rep := p.Probe()
+		w.Header().Set("Content-Type", "application/json")
+		if !rep.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(rep)
+	})
+}
+
+// StatuszHandler serves GET /statusz: a human-readable plain-text view
+// of the latest probe round and SLO evaluations — the operator's
+// one-glance page. The evals func may be nil (probes only).
+func StatuszHandler(p *Prober, evals func() []Evaluation) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rep := p.Probe()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "healthcloud status: %s (ready=%v)\n\ndependencies:\n", rep.Overall, rep.Ready)
+		names := make([]string, 0, len(rep.Components))
+		for name := range rep.Components {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := rep.Components[name]
+			fmt.Fprintf(w, "  %-20s %-9s %s\n", name, h.State, h.Detail)
+		}
+		if evals == nil {
+			return
+		}
+		fmt.Fprintf(w, "\nobjectives:\n")
+		for _, ev := range evals() {
+			verdict := "MET"
+			if !ev.Met {
+				verdict = "BREACHED"
+			}
+			fmt.Fprintf(w, "  %-20s %-9s %s\n", ev.Name, verdict, ev.Detail)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestProberAggregatesWorstState(t *testing.T) {
+	p := NewProber()
+	state := StateOK
+	p.AddCheck("store", func() Health { return Healthy("serving") })
+	p.AddCheck("kb", func() Health { return Health{State: state, Detail: "remote"} })
+
+	rep := p.Probe()
+	if rep.Overall != StateOK || !rep.Ready || len(rep.Components) != 2 {
+		t.Fatalf("healthy report = %+v", rep)
+	}
+
+	state = StateDegraded
+	rep = p.Probe()
+	if rep.Overall != StateDegraded || !rep.Ready {
+		t.Fatalf("degraded must stay ready: %+v", rep)
+	}
+
+	state = StateDown
+	rep = p.Probe()
+	if rep.Overall != StateDown || rep.Ready {
+		t.Fatalf("down must flip readiness: %+v", rep)
+	}
+	if p.Last().Overall != StateDown {
+		t.Fatal("Last must return the latest report")
+	}
+}
+
+func TestReadyzHandlerStatusCodes(t *testing.T) {
+	p := NewProber()
+	state := StateOK
+	p.AddCheck("dep", func() Health { return Health{State: state, Detail: "x"} })
+	h := ReadyzHandler(p)
+
+	get := func() (*httptest.ResponseRecorder, Report) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		var rep Report
+		json.Unmarshal(rec.Body.Bytes(), &rep)
+		return rec, rep
+	}
+
+	if rec, rep := get(); rec.Code != http.StatusOK || !rep.Ready {
+		t.Fatalf("ok: status %d ready %v", rec.Code, rep.Ready)
+	}
+	state = StateDegraded
+	if rec, rep := get(); rec.Code != http.StatusOK || rep.Overall.String() != "degraded" {
+		t.Fatalf("degraded: status %d overall %v (degraded stays 200)", rec.Code, rep.Overall)
+	}
+	state = StateDown
+	if rec, rep := get(); rec.Code != http.StatusServiceUnavailable || rep.Ready {
+		t.Fatalf("down: status %d ready %v, want 503/false", rec.Code, rep.Ready)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/readyz", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST: status %d, want 405", rec.Code)
+	}
+}
+
+func TestProbeStateJSON(t *testing.T) {
+	b, err := json.Marshal(Health{State: StateDegraded, Detail: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"degraded"`) {
+		t.Fatalf("state must serialize as string: %s", b)
+	}
+}
+
+func TestStatuszHandler(t *testing.T) {
+	p := NewProber()
+	p.AddCheck("ledger", func() Health { return Degraded("slow commit path") })
+	evals := func() []Evaluation {
+		return []Evaluation{{Name: "upload-success", Met: false, Detail: "success ratio 0.9500 (floor 0.9900, 95 good / 5 bad)"}}
+	}
+	rec := httptest.NewRecorder()
+	StatuszHandler(p, evals).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statusz", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"degraded", "ledger", "slow commit path", "upload-success", "BREACHED"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("statusz missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestProberNilSafety(t *testing.T) {
+	var p *Prober
+	p.AddCheck("x", func() Health { return Healthy("") })
+	if rep := p.Probe(); !rep.Ready || rep.Overall != StateOK {
+		t.Fatal("nil prober must report ready")
+	}
+	rec := httptest.NewRecorder()
+	ReadyzHandler(nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("nil prober readyz status %d, want 200", rec.Code)
+	}
+}

@@ -1,0 +1,155 @@
+package monitor
+
+import (
+	"fmt"
+	"time"
+)
+
+// ObjectiveKind selects how an Objective is computed from the history
+// ring.
+type ObjectiveKind int
+
+// The supported objective shapes.
+const (
+	// RatioObjective requires good/(good+bad) >= MinRatio over the
+	// window, from the windowed deltas of the listed counters.
+	RatioObjective ObjectiveKind = iota
+	// QuantileObjective requires the windowed Quantile of Histogram to
+	// stay at or under MaxDuration.
+	QuantileObjective
+	// GaugeObjective requires the gauge's latest value to stay at or
+	// under MaxGauge.
+	GaugeObjective
+	// DeltaObjective requires the counter to grow by at most MaxDelta
+	// over the window (MaxDelta 0 = "must not move", the DLQ shape).
+	DeltaObjective
+)
+
+// Objective is one declarative service-level objective evaluated
+// against the metrics history ring.
+type Objective struct {
+	Name   string // stable identifier, used as the alert name
+	Kind   ObjectiveKind
+	Window time.Duration // sliding window (0 = whole ring)
+
+	// RatioObjective fields.
+	Good     []string // counters whose windowed deltas count as good events
+	Bad      []string // counters whose windowed deltas count as bad events
+	MinRatio float64
+
+	// QuantileObjective fields.
+	Histogram   string
+	Quantile    float64
+	MaxDuration time.Duration
+
+	// GaugeObjective fields.
+	Gauge    string
+	MaxGauge int64
+
+	// DeltaObjective fields.
+	Counter  string
+	MaxDelta uint64
+}
+
+// Evaluation is one objective's verdict at one watchdog tick.
+type Evaluation struct {
+	Name   string  `json:"name"`
+	Met    bool    `json:"met"`
+	Value  float64 `json:"value"`  // measured quantity (ratio, seconds, count)
+	Bound  float64 `json:"bound"`  // the objective's threshold in the same unit
+	Detail string  `json:"detail"` // human-readable, PHI-free, no date strings
+
+	// BurnRate is how fast the error budget is burning over the window:
+	// (bad ratio) / (allowed bad ratio). 1.0 burns exactly the budget;
+	// above 1 the objective fails eventually even if currently met.
+	// Only ratio objectives report a burn rate.
+	BurnRate float64 `json:"burn_rate,omitempty"`
+	// BudgetRemaining is the fraction of the lifetime error budget left
+	// (1 = untouched, 0 = exhausted, negative = overspent). Only ratio
+	// objectives report a budget.
+	BudgetRemaining float64 `json:"budget_remaining,omitempty"`
+}
+
+// Evaluator computes a fixed set of objectives from a history ring.
+type Evaluator struct {
+	hist       *History
+	objectives []Objective
+}
+
+// NewEvaluator creates an evaluator over hist. A nil history yields a
+// nil evaluator (monitoring disabled).
+func NewEvaluator(hist *History, objectives []Objective) *Evaluator {
+	if hist == nil {
+		return nil
+	}
+	return &Evaluator{hist: hist, objectives: objectives}
+}
+
+// Objectives returns the configured objectives.
+func (e *Evaluator) Objectives() []Objective {
+	if e == nil {
+		return nil
+	}
+	return e.objectives
+}
+
+// Evaluate computes every objective against the current ring contents.
+func (e *Evaluator) Evaluate() []Evaluation {
+	if e == nil {
+		return nil
+	}
+	out := make([]Evaluation, 0, len(e.objectives))
+	for _, o := range e.objectives {
+		out = append(out, e.evalOne(o))
+	}
+	return out
+}
+
+func (e *Evaluator) evalOne(o Objective) Evaluation {
+	ev := Evaluation{Name: o.Name}
+	switch o.Kind {
+	case RatioObjective:
+		var good, bad uint64
+		for _, c := range o.Good {
+			good += e.hist.CounterDelta(c, o.Window)
+		}
+		for _, c := range o.Bad {
+			bad += e.hist.CounterDelta(c, o.Window)
+		}
+		total := good + bad
+		ratio := 1.0 // no traffic: vacuously met, budget untouched
+		if total > 0 {
+			ratio = float64(good) / float64(total)
+		}
+		ev.Value, ev.Bound = ratio, o.MinRatio
+		ev.Met = ratio >= o.MinRatio
+		budget := 1 - o.MinRatio
+		if budget > 0 && total > 0 {
+			badRatio := float64(bad) / float64(total)
+			ev.BurnRate = badRatio / budget
+			ev.BudgetRemaining = 1 - ev.BurnRate
+		} else {
+			ev.BudgetRemaining = 1
+		}
+		ev.Detail = fmt.Sprintf("success ratio %.4f (floor %.4f, %d good / %d bad)", ratio, o.MinRatio, good, bad)
+	case QuantileObjective:
+		q := e.hist.HistogramWindow(o.Histogram, o.Window).Quantile(o.Quantile)
+		ev.Value, ev.Bound = q.Seconds(), o.MaxDuration.Seconds()
+		ev.Met = q <= o.MaxDuration
+		ev.Detail = fmt.Sprintf("p%d %v (ceiling %v)", int(o.Quantile*100), q.Round(time.Microsecond), o.MaxDuration)
+	case GaugeObjective:
+		v, _ := e.hist.GaugeLast(o.Gauge)
+		ev.Value, ev.Bound = float64(v), float64(o.MaxGauge)
+		ev.Met = v <= o.MaxGauge
+		ev.Detail = fmt.Sprintf("%s at %d (ceiling %d)", o.Gauge, v, o.MaxGauge)
+	case DeltaObjective:
+		d := e.hist.CounterDelta(o.Counter, o.Window)
+		ev.Value, ev.Bound = float64(d), float64(o.MaxDelta)
+		ev.Met = d <= o.MaxDelta
+		ev.Detail = fmt.Sprintf("%s grew by %d (ceiling %d)", o.Counter, d, o.MaxDelta)
+	default:
+		ev.Met = true
+		ev.Detail = "unknown objective kind"
+	}
+	return ev
+}

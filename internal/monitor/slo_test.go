@@ -1,0 +1,107 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+)
+
+func evalNamed(t *testing.T, evals []Evaluation, name string) Evaluation {
+	t.Helper()
+	for _, ev := range evals {
+		if ev.Name == name {
+			return ev
+		}
+	}
+	t.Fatalf("no evaluation named %q in %+v", name, evals)
+	return Evaluation{}
+}
+
+func TestRatioObjectiveAndBurnRate(t *testing.T) {
+	h, reg, clk := newTestHistory(16)
+	good := reg.Counter("stored_total")
+	bad := reg.Counter("failed_total")
+	ev := NewEvaluator(h, []Objective{{
+		Name: "upload-success", Kind: RatioObjective,
+		Good: []string{"stored_total"}, Bad: []string{"failed_total"}, MinRatio: 0.99,
+	}})
+
+	h.Record() // empty baseline: vacuously met
+	out := ev.Evaluate()
+	e := evalNamed(t, out, "upload-success")
+	if !e.Met || e.Value != 1 || e.BudgetRemaining != 1 {
+		t.Fatalf("no-traffic evaluation = %+v, want vacuously met", e)
+	}
+
+	good.Add(98)
+	bad.Add(2) // 98% success: below the 99% floor
+	clk.Advance(time.Second)
+	h.Record()
+	e = evalNamed(t, ev.Evaluate(), "upload-success")
+	if e.Met {
+		t.Fatalf("98%% success must breach a 99%% objective: %+v", e)
+	}
+	// Bad ratio 0.02 against a 0.01 budget: burning at 2x.
+	if e.BurnRate < 1.9 || e.BurnRate > 2.1 {
+		t.Errorf("burn rate = %v, want ~2", e.BurnRate)
+	}
+	if e.BudgetRemaining >= 0 {
+		t.Errorf("budget remaining = %v, want negative (overspent)", e.BudgetRemaining)
+	}
+
+	good.Add(900) // recover: windowed ratio back above floor
+	clk.Advance(time.Second)
+	h.Record()
+	e = evalNamed(t, ev.Evaluate(), "upload-success")
+	if !e.Met {
+		t.Fatalf("recovered ratio should meet the objective: %+v", e)
+	}
+}
+
+func TestQuantileGaugeAndDeltaObjectives(t *testing.T) {
+	h, reg, clk := newTestHistory(16)
+	lat := reg.Histogram("proc_seconds")
+	depth := reg.Gauge("queue_depth")
+	dlq := reg.Counter("dead_lettered_total")
+	ev := NewEvaluator(h, []Objective{
+		{Name: "p95", Kind: QuantileObjective, Histogram: "proc_seconds", Quantile: 0.95, MaxDuration: 100 * time.Millisecond},
+		{Name: "depth", Kind: GaugeObjective, Gauge: "queue_depth", MaxGauge: 5},
+		{Name: "dlq-empty", Kind: DeltaObjective, Counter: "dead_lettered_total", MaxDelta: 0},
+	})
+
+	h.Record()
+	for i := 0; i < 20; i++ {
+		lat.Observe(2 * time.Millisecond)
+	}
+	depth.Set(3)
+	clk.Advance(time.Second)
+	h.Record()
+	for _, e := range ev.Evaluate() {
+		if !e.Met {
+			t.Fatalf("healthy platform breached %+v", e)
+		}
+	}
+
+	// Breach all three.
+	for i := 0; i < 20; i++ {
+		lat.Observe(2 * time.Second)
+	}
+	depth.Set(50)
+	dlq.Inc()
+	clk.Advance(time.Second)
+	h.Record()
+	for _, name := range []string{"p95", "depth", "dlq-empty"} {
+		if e := evalNamed(t, ev.Evaluate(), name); e.Met {
+			t.Errorf("%s should be breached: %+v", name, e)
+		}
+	}
+}
+
+func TestEvaluatorNilSafety(t *testing.T) {
+	var e *Evaluator
+	if e.Evaluate() != nil || e.Objectives() != nil {
+		t.Fatal("nil evaluator must no-op")
+	}
+	if NewEvaluator(nil, nil) != nil {
+		t.Fatal("NewEvaluator(nil history) must return nil")
+	}
+}

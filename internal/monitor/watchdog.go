@@ -1,0 +1,213 @@
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"healthcloud/internal/audit"
+	"healthcloud/internal/telemetry"
+)
+
+// Alert is one active anomaly the watchdog has raised and not yet
+// cleared.
+type Alert struct {
+	Name       string      `json:"name"`   // "slo:<objective>" or "probe:<component>"
+	Detail     string      `json:"detail"` // PHI-free, no date strings
+	Severity   audit.Level `json:"severity"`
+	RaisedTick uint64      `json:"raised_tick"`
+	TraceID    string      `json:"trace_id,omitempty"` // tick trace that raised it
+}
+
+// WatchdogConfig assembles a watchdog from the monitor pieces. Any
+// field may be nil; missing pieces simply contribute nothing to a tick.
+type WatchdogConfig struct {
+	History   *History
+	Evaluator *Evaluator
+	Prober    *Prober
+	Audit     *audit.Log        // alert events land here
+	Tracer    *telemetry.Tracer // each tick runs inside a monitor.tick span
+	// Collectors run at the top of every tick, before the registry is
+	// sampled — the place to copy pull-style values (queue depths,
+	// leader presence) into gauges so the ring and SLOs can see them.
+	Collectors []func()
+}
+
+// TickReport is what one watchdog tick observed.
+type TickReport struct {
+	Tick        uint64       `json:"tick"`
+	Evaluations []Evaluation `json:"evaluations"`
+	Probe       Report       `json:"probe"`
+	Raised      []Alert      `json:"raised,omitempty"`
+	Cleared     []Alert      `json:"cleared,omitempty"`
+}
+
+// Watchdog periodically samples the registry into the history ring,
+// evaluates SLOs, probes dependencies, and converts state changes into
+// structured audit alerts. A nil Watchdog does nothing.
+type Watchdog struct {
+	cfg WatchdogConfig
+
+	mu     sync.Mutex
+	active map[string]Alert
+	ticks  uint64
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// NewWatchdog builds a watchdog over the configured pieces.
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	return &Watchdog{cfg: cfg, active: make(map[string]Alert)}
+}
+
+// Ticks reports how many ticks have run.
+func (w *Watchdog) Ticks() uint64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ticks
+}
+
+// ActiveAlerts returns the currently-raised alerts, unordered.
+func (w *Watchdog) ActiveAlerts() []Alert {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Alert, 0, len(w.active))
+	for _, a := range w.active {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Tick runs one full watchdog round synchronously: collectors →
+// history sample → SLO evaluation → dependency probe → alert diff.
+// Tests and E18 call it directly for deterministic timing; Start calls
+// it on an interval.
+func (w *Watchdog) Tick() TickReport {
+	if w == nil {
+		return TickReport{}
+	}
+	span := w.cfg.Tracer.StartRoot("monitor.tick")
+	defer span.End()
+
+	for _, collect := range w.cfg.Collectors {
+		collect()
+	}
+	w.cfg.History.Record()
+	evals := w.cfg.Evaluator.Evaluate()
+	probe := w.cfg.Prober.Probe()
+
+	// Desired alert set for this tick.
+	want := make(map[string]Alert)
+	for _, ev := range evals {
+		if ev.Met {
+			continue
+		}
+		want["slo:"+ev.Name] = Alert{
+			Name: "slo:" + ev.Name, Detail: ev.Detail, Severity: audit.LevelWarn,
+		}
+	}
+	for name, h := range probe.Components {
+		if h.State == StateOK {
+			continue
+		}
+		sev := audit.LevelWarn
+		if h.State == StateDown {
+			sev = audit.LevelError
+		}
+		want["probe:"+name] = Alert{
+			Name: "probe:" + name, Detail: h.State.String() + ": " + h.Detail, Severity: sev,
+		}
+	}
+
+	w.mu.Lock()
+	w.ticks++
+	tick := w.ticks
+	var raised, cleared []Alert
+	for name, a := range want {
+		if _, ok := w.active[name]; ok {
+			continue // already raised; stays active, no duplicate event
+		}
+		a.RaisedTick = tick
+		a.TraceID = span.Context().TraceID
+		w.active[name] = a
+		raised = append(raised, a)
+	}
+	for name, a := range w.active {
+		if _, ok := want[name]; !ok {
+			delete(w.active, name)
+			cleared = append(cleared, a)
+		}
+	}
+	w.mu.Unlock()
+
+	for _, a := range raised {
+		span.SetAttr("raised", a.Name)
+		w.cfg.Audit.Record(audit.Event{
+			Level: a.Severity, Service: "monitor", Action: "alert-raised",
+			Actor: "watchdog", Resource: a.Name, Detail: a.Detail + " trace=" + a.TraceID,
+		})
+	}
+	for _, a := range cleared {
+		span.SetAttr("cleared", a.Name)
+		w.cfg.Audit.Record(audit.Event{
+			Level: audit.LevelInfo, Service: "monitor", Action: "alert-cleared",
+			Actor: "watchdog", Resource: a.Name, Detail: "recovered, raising trace=" + a.TraceID,
+		})
+	}
+	return TickReport{Tick: tick, Evaluations: evals, Probe: probe, Raised: raised, Cleared: cleared}
+}
+
+// Start launches the watchdog loop at the given interval (<=0 selects
+// one second). Stop terminates it. Calling Start twice without Stop is
+// a no-op.
+func (w *Watchdog) Start(interval time.Duration) {
+	if w == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	w.mu.Lock()
+	if w.stop != nil {
+		w.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	w.stop, w.done = stop, done
+	w.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				w.Tick()
+			}
+		}
+	}()
+}
+
+// Stop terminates the watchdog loop and waits for the in-flight tick.
+func (w *Watchdog) Stop() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	stop, done := w.stop, w.done
+	w.stop, w.done = nil, nil
+	w.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

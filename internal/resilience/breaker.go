@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"healthcloud/internal/telemetry"
 )
 
 // BreakerState is the circuit-breaker state machine position.
@@ -75,11 +77,46 @@ type Breaker struct {
 	probing     bool      // a half-open probe is in flight
 	opens       uint64
 	rejected    uint64
+
+	// Telemetry export (nil until SetTelemetry; nil metrics no-op).
+	stateGauge  *telemetry.Gauge
+	transitions map[BreakerState]*telemetry.Counter
 }
 
 // NewBreaker creates a closed breaker.
 func NewBreaker(cfg BreakerConfig) *Breaker {
 	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// SetTelemetry exports the breaker's position and transition counts to
+// reg: a gauge `breaker_state{breaker=<name>}` (0 closed, 1 open,
+// 2 half-open — the BreakerState values) and counters
+// `breaker_transitions_total{breaker=<name>,to=<state>}` incremented on
+// every state change, including the lazy open→half-open flip. A nil reg
+// leaves the breaker unobserved.
+func (b *Breaker) SetTelemetry(reg *telemetry.Registry, name string) {
+	if b == nil || reg == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stateGauge = reg.Gauge(fmt.Sprintf("breaker_state{breaker=%q}", name))
+	b.transitions = map[BreakerState]*telemetry.Counter{
+		Closed:   reg.Counter(fmt.Sprintf("breaker_transitions_total{breaker=%q,to=\"closed\"}", name)),
+		Open:     reg.Counter(fmt.Sprintf("breaker_transitions_total{breaker=%q,to=\"open\"}", name)),
+		HalfOpen: reg.Counter(fmt.Sprintf("breaker_transitions_total{breaker=%q,to=\"half-open\"}", name)),
+	}
+	b.stateGauge.Set(int64(b.state))
+}
+
+// transitionLocked moves the state machine to next, updating exported
+// metrics. Callers hold b.mu and must not re-enter stateLocked.
+func (b *Breaker) transitionLocked(next BreakerState) {
+	b.state = next
+	b.stateGauge.Set(int64(next))
+	if c := b.transitions[next]; c != nil {
+		c.Inc()
+	}
 }
 
 // State returns the current state (Open lazily becomes HalfOpen once
@@ -92,7 +129,7 @@ func (b *Breaker) State() BreakerState {
 
 func (b *Breaker) stateLocked() BreakerState {
 	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
-		b.state = HalfOpen
+		b.transitionLocked(HalfOpen)
 		b.probing = false
 	}
 	return b.state
@@ -127,7 +164,7 @@ func (b *Breaker) Record(err error) {
 	if err == nil {
 		b.consecutive = 0
 		if state == HalfOpen {
-			b.state = Closed
+			b.transitionLocked(Closed)
 			b.probing = false
 		}
 		return
@@ -145,7 +182,7 @@ func (b *Breaker) Record(err error) {
 }
 
 func (b *Breaker) openLocked() {
-	b.state = Open
+	b.transitionLocked(Open)
 	b.probing = false
 	b.consecutive = 0
 	b.openedAt = b.cfg.Now()

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"healthcloud/internal/telemetry"
 )
 
 type fakeClock struct{ now time.Time }
@@ -114,5 +116,52 @@ func TestBreakerStateString(t *testing.T) {
 		if s.String() != want {
 			t.Fatalf("%d.String() = %q", s, s.String())
 		}
+	}
+}
+
+func TestBreakerTelemetryExport(t *testing.T) {
+	b, clk := newTestBreaker(2, time.Second)
+	errFail := errors.New("down")
+	reg := telemetry.NewRegistry()
+	b.SetTelemetry(reg, "kb")
+
+	gauge := reg.Gauge(`breaker_state{breaker="kb"}`)
+	if gauge.Value() != int64(Closed) {
+		t.Fatalf("initial gauge = %d, want closed", gauge.Value())
+	}
+
+	b.Record(errFail)
+	b.Record(errFail) // threshold reached: closed -> open
+	if gauge.Value() != int64(Open) {
+		t.Fatalf("gauge after open = %d, want %d", gauge.Value(), int64(Open))
+	}
+	clk.Advance(time.Second) // lazy open -> half-open on next observation
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	if gauge.Value() != int64(HalfOpen) {
+		t.Fatalf("gauge after half-open = %d, want %d", gauge.Value(), int64(HalfOpen))
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(nil) // probe success: half-open -> closed
+	if gauge.Value() != int64(Closed) {
+		t.Fatalf("gauge after close = %d, want %d", gauge.Value(), int64(Closed))
+	}
+
+	for to, want := range map[string]uint64{"open": 1, "half-open": 1, "closed": 1} {
+		c := reg.Counter(`breaker_transitions_total{breaker="kb",to="` + to + `"}`)
+		if c.Value() != want {
+			t.Errorf("transitions to %s = %d, want %d", to, c.Value(), want)
+		}
+	}
+
+	// Unobserved breakers keep working: nil registry is a no-op.
+	nb, _ := newTestBreaker(1, time.Second)
+	nb.SetTelemetry(nil, "ignored")
+	nb.Record(errFail)
+	if nb.State() != Open {
+		t.Fatal("unobserved breaker failed to open")
 	}
 }

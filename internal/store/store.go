@@ -228,6 +228,19 @@ func (d *DataLake) List(tenantName, group string) []string {
 	return out
 }
 
+// Ping reports whether the lake's read and write paths are currently
+// serviceable, consulting the same fault points Put/Get do without
+// creating or touching any record — the health prober's storage check.
+func (d *DataLake) Ping() error {
+	if err := d.faults.Check(FaultLakePut); err != nil {
+		return fmt.Errorf("store: lake write path: %w", err)
+	}
+	if err := d.faults.Check(FaultLakeGet); err != nil {
+		return fmt.Errorf("store: lake read path: %w", err)
+	}
+	return nil
+}
+
 // Count returns live (non-deleted) record count.
 func (d *DataLake) Count() int {
 	d.mu.RLock()

@@ -12,6 +12,11 @@ import (
 // GET /metrics. With a nil registry it reports telemetry disabled.
 func MetricsHandler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
 		if r == nil {
 			http.Error(w, "telemetry disabled", http.StatusNotFound)
 			return
@@ -33,6 +38,11 @@ type TraceResponse struct {
 // {id} path value (Go 1.22 pattern routing) or the last path segment.
 func TraceHandler(t *Tracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
 		if t == nil {
 			http.Error(w, "telemetry disabled", http.StatusNotFound)
 			return

@@ -162,6 +162,35 @@ func (s HistogramSnapshot) Mean() time.Duration {
 	return s.Sum / time.Duration(s.Count)
 }
 
+// Sub returns the histogram of observations recorded after older was
+// taken (bucket-wise difference) — the windowed view a metrics history
+// ring needs for sliding-window quantiles. Snapshots with different
+// bucket bounds (or an "older" snapshot that is actually newer) yield
+// the zero snapshot.
+func (s HistogramSnapshot) Sub(older HistogramSnapshot) HistogramSnapshot {
+	if older.Count > s.Count || len(older.Counts) != len(s.Counts) {
+		return HistogramSnapshot{}
+	}
+	for i, b := range older.Bounds {
+		if i >= len(s.Bounds) || s.Bounds[i] != b {
+			return HistogramSnapshot{}
+		}
+	}
+	out := HistogramSnapshot{
+		Count:  s.Count - older.Count,
+		Sum:    s.Sum - older.Sum,
+		Bounds: append([]float64(nil), s.Bounds...),
+		Counts: make([]uint64, len(s.Counts)),
+	}
+	for i := range s.Counts {
+		if older.Counts[i] > s.Counts[i] {
+			return HistogramSnapshot{}
+		}
+		out.Counts[i] = s.Counts[i] - older.Counts[i]
+	}
+	return out
+}
+
 // Quantile estimates the q-quantile (0..1) by linear interpolation
 // within the containing bucket.
 func (s HistogramSnapshot) Quantile(q float64) time.Duration {

@@ -137,3 +137,37 @@ func TestGaugeAddAndSet(t *testing.T) {
 		t.Fatalf("gauge = %d, want 10", g.Value())
 	}
 }
+
+// TestHistogramSnapshotSub checks the windowed-difference view a metrics
+// history ring computes: new-minus-old bucket counts, with mismatched or
+// reversed snapshots collapsing to the zero snapshot.
+func TestHistogramSnapshotSub(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.HistogramWithBuckets("w", []float64{0.01, 0.1, 1})
+	h.Observe(5 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+	older := reg.Snapshot().Histograms["w"]
+	h.Observe(500 * time.Millisecond)
+	h.Observe(600 * time.Millisecond)
+	newer := reg.Snapshot().Histograms["w"]
+
+	win := newer.Sub(older)
+	if win.Count != 2 {
+		t.Fatalf("window count = %d, want 2", win.Count)
+	}
+	if q := win.Quantile(0.5); q < 100*time.Millisecond || q > time.Second {
+		t.Fatalf("window median %v not in the 0.1-1s bucket", q)
+	}
+	// The full snapshot's median sits lower: half the observations are fast.
+	if q := newer.Quantile(0.5); q > 500*time.Millisecond {
+		t.Fatalf("full median %v unexpectedly high", q)
+	}
+
+	if got := older.Sub(newer); got.Count != 0 {
+		t.Fatalf("reversed Sub count = %d, want 0", got.Count)
+	}
+	other := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: make([]uint64, 3)}
+	if got := newer.Sub(other); got.Count != 0 {
+		t.Fatalf("mismatched-bounds Sub count = %d, want 0", got.Count)
+	}
+}

@@ -106,6 +106,7 @@ type Tracer struct {
 	traces     map[string]*traceBuf
 	evictOrder *list.List // trace IDs, oldest first
 	dropped    uint64
+	evicted    uint64 // whole traces evicted FIFO past maxTraces
 }
 
 // Tracer store defaults: enough for a full E16 run (hundreds of uploads
@@ -200,6 +201,7 @@ func (t *Tracer) record(rec SpanRecord) {
 			}
 			t.evictOrder.Remove(oldest)
 			delete(t.traces, oldest.Value.(string))
+			t.evicted++
 		}
 		buf = &traceBuf{evictAt: t.evictOrder.PushBack(rec.TraceID)}
 		t.traces[rec.TraceID] = buf
@@ -251,6 +253,29 @@ func (t *Tracer) Dropped() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.dropped
+}
+
+// EvictedTraces reports whole traces discarded FIFO because the store hit
+// its trace cap. Together with Dropped it makes trace-completeness claims
+// honest: a trace served by Trace may be missing siblings only if one of
+// these counters moved (see experiment E16).
+func (t *Tracer) EvictedTraces() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// StoredTraces reports how many traces the store currently holds.
+func (t *Tracer) StoredTraces() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.traces)
 }
 
 // StageStat is the aggregate of one span name across a span set.

@@ -163,3 +163,38 @@ func TestStartSpanAtBackdatesStart(t *testing.T) {
 		t.Fatal("parent link lost")
 	}
 }
+
+// TestEvictionAndDropCounters forces both overflow paths of the span
+// store and checks the honesty counters: whole-trace FIFO eviction and
+// the per-trace span cap each leave a trail, so trace-completeness
+// claims (E16) can be audited against them.
+func TestEvictionAndDropCounters(t *testing.T) {
+	tr := NewTracer(2, 2)
+	if tr.EvictedTraces() != 0 || tr.Dropped() != 0 {
+		t.Fatal("fresh tracer reports losses")
+	}
+	var roots []*Span
+	for i := 0; i < 4; i++ {
+		sp := tr.StartRoot("r")
+		sp.End()
+		roots = append(roots, sp)
+	}
+	if got := tr.EvictedTraces(); got != 2 {
+		t.Fatalf("EvictedTraces = %d, want 2 (4 traces through a 2-trace store)", got)
+	}
+	if got := tr.StoredTraces(); got != 2 {
+		t.Fatalf("StoredTraces = %d, want 2", got)
+	}
+	// Overflow the newest trace's span cap: 2 stored + root = cap hit.
+	for i := 0; i < 3; i++ {
+		tr.StartSpan("s", roots[3].Context()).End()
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	// A nil tracer reports zero losses rather than panicking.
+	var nilT *Tracer
+	if nilT.EvictedTraces() != 0 || nilT.StoredTraces() != 0 {
+		t.Fatal("nil tracer reports losses")
+	}
+}
