@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"healthcloud/internal/faultinject"
 	"healthcloud/internal/hckrypto"
 )
 
@@ -55,6 +56,44 @@ func TestSubmitCommitsOnAllPeers(t *testing.T) {
 		if state, ok := p.Ledger().HandleState("handle-1"); !ok || !strings.HasPrefix(state, string(EventDataReceipt)) {
 			t.Errorf("%s handle state = %q, %v", id, state, ok)
 		}
+	}
+}
+
+// TestCheckSubmitPathSideEffectFree pins the health-probe contract: the
+// dry-run submit check must exercise the fault point and the
+// endorsement policy without growing any peer's ledger, and must
+// surface injected submit faults as errors.
+func TestCheckSubmitPathSideEffectFree(t *testing.T) {
+	faults := faultinject.NewRegistry(7)
+	n := newTestNetwork(t, 3, 2, WithFaults(faults))
+	tx := NewTransaction(EventDataReceipt, "ingest-svc", "handle-1", []byte("hash"), nil)
+	if err := n.Submit(tx, testTimeout); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	heights := make(map[string]int)
+	for _, id := range n.PeerIDs() {
+		p, _ := n.Peer(id)
+		heights[id] = p.Ledger().Height()
+	}
+	for i := 0; i < 10; i++ {
+		if err := n.CheckSubmitPath(); err != nil {
+			t.Fatalf("healthy CheckSubmitPath: %v", err)
+		}
+	}
+	// Ten probe rounds, zero record growth — on every peer.
+	for _, id := range n.PeerIDs() {
+		p, _ := n.Peer(id)
+		if got := p.Ledger().Height(); got != heights[id] {
+			t.Errorf("%s ledger height %d after probes, want %d (probes must not commit)", id, got, heights[id])
+		}
+	}
+	faults.Enable(FaultSubmit, faultinject.Fault{ErrorRate: 1})
+	if err := n.CheckSubmitPath(); err == nil {
+		t.Error("CheckSubmitPath missed an injected submit fault")
+	}
+	faults.Disable(FaultSubmit)
+	if err := n.CheckSubmitPath(); err != nil {
+		t.Errorf("CheckSubmitPath after fault cleared: %v", err)
 	}
 }
 

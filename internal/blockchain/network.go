@@ -246,6 +246,27 @@ func (n *Network) OrderingLeader() (id string, ok bool) {
 	return leader.ID(), true
 }
 
+// CheckSubmitPath is the ledger's side-effect-free health check. It
+// walks the front half of the submit lifecycle — the FaultSubmit fault
+// point (experiencing any injected error or latency exactly as a real
+// submission would) and a full policy's worth of endorsements over a
+// throwaway transaction — but never proposes to the ordering cluster,
+// so no block is appended and no ledger grows. Health probes call this
+// on every round; committing a real transaction per probe would bloat
+// the audit-grade ledger (and let unauthenticated readiness requests
+// force consensus commits).
+func (n *Network) CheckSubmitPath() error {
+	if err := n.faults.Check(FaultSubmit); err != nil {
+		return fmt.Errorf("blockchain: %w", err)
+	}
+	tx := NewTransaction(EventWorkloadAttest, "monitor", "health-probe", nil,
+		map[string]string{"probe": "readyz"})
+	if err := n.EndorseAll(&tx); err != nil {
+		return fmt.Errorf("blockchain: probing endorsement path: %w", err)
+	}
+	return nil
+}
+
 // NewTransaction builds an unendorsed transaction with a fresh ID.
 func NewTransaction(typ EventType, creator, handle string, dataHash []byte, meta map[string]string) Transaction {
 	return Transaction{

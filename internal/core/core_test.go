@@ -17,6 +17,7 @@ import (
 	"healthcloud/internal/rbac"
 	"healthcloud/internal/services"
 	"healthcloud/internal/ssi"
+	"healthcloud/internal/telemetry"
 )
 
 // smallKB keeps platform construction fast in tests.
@@ -48,6 +49,62 @@ func newPlatform(t *testing.T, ledger bool) *Platform {
 func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("empty tenant accepted")
+	}
+}
+
+// TestMonitorWithDrugLessDataset pins that a caller-supplied dataset
+// with no drugs (kb.Generate always plants some; a hand-built Dataset
+// need not) degrades to "no kb-remote probe" instead of panicking in
+// core.New when monitoring is on.
+func TestMonitorWithDrugLessDataset(t *testing.T) {
+	dataset := smallKB(t)
+	dataset.DrugIDs = nil
+	p, err := New(Config{
+		Tenant:          "mercy-health",
+		KBDataset:       dataset,
+		Telemetry:       telemetry.New(),
+		Monitor:         true,
+		MonitorInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	rep := p.Monitor.Prober().Probe()
+	if _, ok := rep.Components["kb-remote"]; ok {
+		t.Error("kb-remote probe registered with nothing to fetch")
+	}
+	if _, ok := rep.Components["data-lake"]; !ok {
+		t.Errorf("remaining probes missing: %+v", rep)
+	}
+}
+
+// TestWatchdogTicksNeverGrowLedger pins the probe contract end to end:
+// monitoring rounds (and therefore unauthenticated /readyz traffic)
+// must not commit transactions to the audit-grade provenance ledger.
+func TestWatchdogTicksNeverGrowLedger(t *testing.T) {
+	p, err := New(Config{
+		Tenant:          "mercy-health",
+		KBDataset:       smallKB(t),
+		LedgerPeers:     []string{"hospital", "audit-svc", "data-protection"},
+		Telemetry:       telemetry.New(),
+		Monitor:         true,
+		MonitorInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	peer, err := p.Provenance.Peer("audit-svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := peer.Ledger().TxCount()
+	for i := 0; i < 5; i++ {
+		p.Monitor.Watchdog().Tick()
+	}
+	if got := peer.Ledger().TxCount(); got != before {
+		t.Errorf("ledger grew from %d to %d txs across 5 watchdog ticks; probes must be side-effect free", before, got)
 	}
 }
 

@@ -134,10 +134,11 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 // handleHealth is the legacy liveness route. It now derives its verdict
 // from the same prober as /readyz so the two can never disagree: same
 // overall state, same status code policy (200 unless a dependency is
-// down). Without monitoring the prober is nil and reports ok, which is
-// exactly the old static behavior.
+// down), same cached report (fresh probe rounds only when the watchdog
+// hasn't refreshed it recently). Without monitoring the prober is nil
+// and reports ok, which is exactly the old static behavior.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	rep := s.p.Monitor.Prober().Probe()
+	rep := s.p.Monitor.Prober().Cached()
 	status := http.StatusOK
 	if !rep.Ready {
 		status = http.StatusServiceUnavailable

@@ -79,7 +79,14 @@ type Check struct {
 type Prober struct {
 	mu     sync.Mutex
 	checks []Check
+	ttl    time.Duration // Cached serves last for this long (0 = always probe)
 	last   Report
+	// Rounds are numbered at start so overlapping probes (watchdog tick
+	// plus HTTP-triggered rounds) can never leave a stale report as last:
+	// a round only stores its report if no later-started round already did.
+	round     uint64
+	lastRound uint64
+	inflight  chan struct{} // closed when the current on-demand round finishes
 }
 
 // Report is the aggregated outcome of one probe round.
@@ -113,6 +120,8 @@ func (p *Prober) Probe() Report {
 		return Report{Overall: StateOK, Ready: true, At: time.Now()}
 	}
 	p.mu.Lock()
+	p.round++
+	round := p.round
 	checks := append([]Check(nil), p.checks...)
 	p.mu.Unlock()
 	rep := Report{Overall: StateOK, Components: make(map[string]Health, len(checks)), At: time.Now()}
@@ -125,8 +134,58 @@ func (p *Prober) Probe() Report {
 	}
 	rep.Ready = rep.Overall != StateDown
 	p.mu.Lock()
-	p.last = rep
+	if round > p.lastRound {
+		p.lastRound = round
+		p.last = rep
+	}
 	p.mu.Unlock()
+	return rep
+}
+
+// SetCacheTTL bounds how long Cached may serve the last stored report
+// before running a fresh round. The watchdog owner sets it to a small
+// multiple of the tick interval so HTTP readiness reads ride the
+// watchdog's refresh; zero (the default) makes Cached always probe —
+// the right behavior when no watchdog is refreshing the report.
+func (p *Prober) SetCacheTTL(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.ttl = d
+	p.mu.Unlock()
+}
+
+// Cached returns the last stored report while it is younger than the
+// cache TTL, and otherwise runs a probe round. Concurrent stale callers
+// coalesce into a single round — unauthenticated readiness endpoints
+// must not be able to multiply load on the dependencies being probed.
+func (p *Prober) Cached() Report {
+	if p == nil {
+		return Report{Overall: StateOK, Ready: true, At: time.Now()}
+	}
+	p.mu.Lock()
+	if p.ttl > 0 && !p.last.At.IsZero() && time.Since(p.last.At) < p.ttl {
+		rep := p.last
+		p.mu.Unlock()
+		return rep
+	}
+	if wait := p.inflight; wait != nil {
+		p.mu.Unlock()
+		<-wait
+		p.mu.Lock()
+		rep := p.last
+		p.mu.Unlock()
+		return rep
+	}
+	done := make(chan struct{})
+	p.inflight = done
+	p.mu.Unlock()
+	rep := p.Probe()
+	p.mu.Lock()
+	p.inflight = nil
+	p.mu.Unlock()
+	close(done)
 	return rep
 }
 
@@ -142,9 +201,12 @@ func (p *Prober) Last() Report {
 }
 
 // ReadyzHandler serves GET /readyz: 200 with the JSON Report while the
-// platform is ok or degraded, 503 when any dependency is down. Each
-// request runs a fresh probe round so the verdict is current, not the
-// watchdog's last tick.
+// platform is ok or degraded, 503 when any dependency is down. The
+// report comes from Cached: while the watchdog keeps the stored report
+// fresh the handler never touches a dependency, and when no recent
+// report exists concurrent requests coalesce into one probe round —
+// the route is unauthenticated, so per-request probing would let
+// clients multiply load on the probed dependencies.
 func ReadyzHandler(p *Prober) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
@@ -152,7 +214,7 @@ func ReadyzHandler(p *Prober) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		rep := p.Probe()
+		rep := p.Cached()
 		w.Header().Set("Content-Type", "application/json")
 		if !rep.Ready {
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -163,7 +225,9 @@ func ReadyzHandler(p *Prober) http.Handler {
 
 // StatuszHandler serves GET /statusz: a human-readable plain-text view
 // of the latest probe round and SLO evaluations — the operator's
-// one-glance page. The evals func may be nil (probes only).
+// one-glance page. Like ReadyzHandler it serves the cached report
+// (fresh rounds only when the watchdog hasn't refreshed it recently).
+// The evals func may be nil (probes only).
 func StatuszHandler(p *Prober, evals func() []Evaluation) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
@@ -171,7 +235,7 @@ func StatuszHandler(p *Prober, evals func() []Evaluation) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		rep := p.Probe()
+		rep := p.Cached()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "healthcloud status: %s (ready=%v)\n\ndependencies:\n", rep.Overall, rep.Ready)
 		names := make([]string, 0, len(rep.Components))

@@ -5,7 +5,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestProberAggregatesWorstState(t *testing.T) {
@@ -94,11 +96,92 @@ func TestStatuszHandler(t *testing.T) {
 	}
 }
 
+// TestCachedServesFreshReport pins the readiness-serving contract: with
+// a TTL set (the watchdog refreshes the report every tick), Cached must
+// serve the stored report without touching dependencies; with no TTL
+// (manual-tick setups) every Cached call probes so verdicts are always
+// current.
+func TestCachedServesFreshReport(t *testing.T) {
+	p := NewProber()
+	var mu sync.Mutex
+	rounds := 0
+	p.AddCheck("dep", func() Health {
+		mu.Lock()
+		rounds++
+		mu.Unlock()
+		return Healthy("x")
+	})
+
+	// TTL 0: every call probes.
+	p.Cached()
+	p.Cached()
+	mu.Lock()
+	if rounds != 2 {
+		t.Fatalf("no-TTL Cached ran %d rounds, want 2 (always probe)", rounds)
+	}
+	mu.Unlock()
+
+	// Generous TTL: the report stored by the last round is fresh, so
+	// repeated calls serve it without touching the dependency again.
+	p.SetCacheTTL(time.Hour)
+	p.Cached()
+	p.Cached()
+	p.Cached()
+	mu.Lock()
+	defer mu.Unlock()
+	if rounds != 2 {
+		t.Fatalf("fresh-report Cached ran %d rounds, want 2 (serve the cache)", rounds)
+	}
+}
+
+// TestProbeRoundsNeverRegress pins the overlapping-round guard: a probe
+// round that started earlier but finished later (watchdog tick racing
+// an HTTP-triggered round) must not overwrite a newer report in Last.
+func TestProbeRoundsNeverRegress(t *testing.T) {
+	p := NewProber()
+	var mu sync.Mutex
+	state := StateDown
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	p.AddCheck("dep", func() Health {
+		mu.Lock()
+		s := state
+		mu.Unlock()
+		if s == StateDown {
+			entered <- struct{}{}
+			<-release // stall the round that observed the outage
+		}
+		return Health{State: s}
+	})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Probe() // round 1: observes down, finishes last
+	}()
+	<-entered
+	mu.Lock()
+	state = StateOK
+	mu.Unlock()
+	if rep := p.Probe(); rep.Overall != StateOK { // round 2: healthy, finishes first
+		t.Fatalf("round 2 overall = %v, want ok", rep.Overall)
+	}
+	close(release)
+	<-done
+	if got := p.Last().Overall; got != StateOK {
+		t.Fatalf("Last after out-of-order finish = %v, want ok (stale round must not win)", got)
+	}
+}
+
 func TestProberNilSafety(t *testing.T) {
 	var p *Prober
 	p.AddCheck("x", func() Health { return Healthy("") })
+	p.SetCacheTTL(time.Second)
 	if rep := p.Probe(); !rep.Ready || rep.Overall != StateOK {
 		t.Fatal("nil prober must report ready")
+	}
+	if rep := p.Cached(); !rep.Ready || rep.Overall != StateOK {
+		t.Fatal("nil prober Cached must report ready")
 	}
 	rec := httptest.NewRecorder()
 	ReadyzHandler(nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))

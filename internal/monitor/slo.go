@@ -59,15 +59,21 @@ type Evaluation struct {
 	Bound  float64 `json:"bound"`  // the objective's threshold in the same unit
 	Detail string  `json:"detail"` // human-readable, PHI-free, no date strings
 
+	// HasBudget marks the objective as carrying an error budget (ratio
+	// objectives with MinRatio < 1). When false, BurnRate and
+	// BudgetRemaining are meaningless zeros — the fields are always
+	// serialized, so an exhausted budget (BudgetRemaining 0, the most
+	// alert-worthy value) stays distinguishable from "no budget at all".
+	HasBudget bool `json:"has_budget"`
 	// BurnRate is how fast the error budget is burning over the window:
 	// (bad ratio) / (allowed bad ratio). 1.0 burns exactly the budget;
 	// above 1 the objective fails eventually even if currently met.
-	// Only ratio objectives report a burn rate.
-	BurnRate float64 `json:"burn_rate,omitempty"`
-	// BudgetRemaining is the fraction of the lifetime error budget left
-	// (1 = untouched, 0 = exhausted, negative = overspent). Only ratio
-	// objectives report a budget.
-	BudgetRemaining float64 `json:"budget_remaining,omitempty"`
+	BurnRate float64 `json:"burn_rate"`
+	// BudgetRemaining is the fraction of this window's error budget left
+	// (1 = untouched, 0 = exhausted, negative = overspent). It is
+	// window-relative — recomputed from the sliding window each
+	// evaluation, not a lifetime running total.
+	BudgetRemaining float64 `json:"budget_remaining"`
 }
 
 // Evaluator computes a fixed set of objectives from a history ring.
@@ -123,13 +129,13 @@ func (e *Evaluator) evalOne(o Objective) Evaluation {
 		}
 		ev.Value, ev.Bound = ratio, o.MinRatio
 		ev.Met = ratio >= o.MinRatio
-		budget := 1 - o.MinRatio
-		if budget > 0 && total > 0 {
-			badRatio := float64(bad) / float64(total)
-			ev.BurnRate = badRatio / budget
+		if budget := 1 - o.MinRatio; budget > 0 {
+			ev.HasBudget = true
+			if total > 0 {
+				badRatio := float64(bad) / float64(total)
+				ev.BurnRate = badRatio / budget
+			}
 			ev.BudgetRemaining = 1 - ev.BurnRate
-		} else {
-			ev.BudgetRemaining = 1
 		}
 		ev.Detail = fmt.Sprintf("success ratio %.4f (floor %.4f, %d good / %d bad)", ratio, o.MinRatio, good, bad)
 	case QuantileObjective:

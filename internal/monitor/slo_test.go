@@ -1,6 +1,8 @@
 package monitor
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 )
@@ -28,8 +30,8 @@ func TestRatioObjectiveAndBurnRate(t *testing.T) {
 	h.Record() // empty baseline: vacuously met
 	out := ev.Evaluate()
 	e := evalNamed(t, out, "upload-success")
-	if !e.Met || e.Value != 1 || e.BudgetRemaining != 1 {
-		t.Fatalf("no-traffic evaluation = %+v, want vacuously met", e)
+	if !e.Met || e.Value != 1 || e.BudgetRemaining != 1 || !e.HasBudget {
+		t.Fatalf("no-traffic evaluation = %+v, want vacuously met with an untouched budget", e)
 	}
 
 	good.Add(98)
@@ -93,6 +95,54 @@ func TestQuantileGaugeAndDeltaObjectives(t *testing.T) {
 		if e := evalNamed(t, ev.Evaluate(), name); e.Met {
 			t.Errorf("%s should be breached: %+v", name, e)
 		}
+	}
+}
+
+// TestBudgetJSONAlwaysPresent pins the wire shape: an exactly-exhausted
+// budget (burn rate 1, remaining 0 — the most alert-worthy state) must
+// serialize its zeros, with HasBudget separating real budgets from
+// objectives that have none.
+func TestBudgetJSONAlwaysPresent(t *testing.T) {
+	h, reg, clk := newTestHistory(16)
+	h.Record() // empty baseline
+	// 75 good / 25 bad against a 0.75 floor: the bad ratio (0.25) spends
+	// exactly the budget (0.25) — all values exact in binary floating
+	// point, so burn rate is exactly 1 and remaining exactly 0.
+	reg.Counter("good_total").Add(75)
+	reg.Counter("bad_total").Add(25)
+	clk.Advance(time.Second)
+	h.Record()
+	ev := NewEvaluator(h, []Objective{
+		{Name: "ratio", Kind: RatioObjective, Good: []string{"good_total"},
+			Bad: []string{"bad_total"}, MinRatio: 0.75},
+		{Name: "depth", Kind: GaugeObjective, Gauge: "queue_depth", MaxGauge: 5},
+	})
+	out := ev.Evaluate()
+
+	e := evalNamed(t, out, "ratio")
+	if !e.HasBudget || e.BurnRate != 1 || e.BudgetRemaining != 0 {
+		t.Fatalf("exhausted-budget evaluation = %+v, want burn 1 / remaining 0", e)
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"has_budget":true`, `"burn_rate":1`, `"budget_remaining":0`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("exhausted budget JSON missing %s: %s", want, b)
+		}
+	}
+
+	g := evalNamed(t, out, "depth")
+	if g.HasBudget {
+		t.Fatalf("gauge objective claims a budget: %+v", g)
+	}
+	b, err = json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"has_budget":false`) {
+		t.Errorf("non-ratio JSON missing has_budget:false: %s", b)
 	}
 }
 
