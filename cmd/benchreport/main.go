@@ -1,5 +1,5 @@
 // Command benchreport runs the full reproduction harness (experiments
-// E1–E18 from DESIGN.md) and prints each experiment's measurements and
+// E1–E19 from DESIGN.md) and prints each experiment's measurements and
 // shape verdict — the data behind EXPERIMENTS.md.
 //
 //	go run ./cmd/benchreport                      # all experiments
@@ -34,7 +34,8 @@ func main() {
 		"E13": experiments.E13ComputeToData, "E14": experiments.E14TiresiasDDI,
 		"E15": experiments.E15ChaosIngestion, "E16": experiments.E16TelemetryOverhead,
 		"E17": experiments.E17GroupCommit, "E18": experiments.E18WatchdogDetection,
-		"A1": experiments.A1JMFSourceAblation, "A2": experiments.A2EndorsementPolicy,
+		"E19": experiments.E19ShardedLake,
+		"A1":  experiments.A1JMFSourceAblation, "A2": experiments.A2EndorsementPolicy,
 		"A3": experiments.A3CacheTierAblation,
 	}
 
@@ -42,7 +43,7 @@ func main() {
 	if *only != "" {
 		f, ok := runners[*only]
 		if !ok {
-			log.Fatalf("unknown experiment %q (E1..E18)", *only)
+			log.Fatalf("unknown experiment %q (E1..E19)", *only)
 		}
 		r, ok := report(*only, f)
 		if r != nil {
@@ -54,7 +55,7 @@ func main() {
 		}
 		return
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
 	if *ablations {
 		order = append(order, "A1", "A2", "A3")
 	}

@@ -37,6 +37,8 @@ func run() error {
 	mon := flag.Bool("monitor", true, "run the self-monitoring watchdog (/readyz, /statusz, /metrics/history)")
 	monInterval := flag.Duration("monitor-interval", time.Second, "watchdog tick period")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (own listener; empty disables)")
+	shards := flag.Int("shards", 1, "Data Lake shard count (1 = single lake; >1 enables the consistent-hash shardlake)")
+	replicas := flag.Int("replicas", 1, "Data Lake replication factor R (clamped to -shards)")
 	flag.Parse()
 
 	kbCfg := kb.DefaultConfig()
@@ -45,7 +47,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{Tenant: *tenant, KBDataset: dataset, KBLatency: 10 * time.Millisecond}
+	cfg := core.Config{Tenant: *tenant, KBDataset: dataset, KBLatency: 10 * time.Millisecond,
+		Shards: *shards, Replicas: *replicas}
 	if *ledger {
 		cfg.LedgerPeers = []string{"hospital", "audit-svc", "data-protection"}
 		cfg.LedgerBatch = *ledgerBatch

@@ -11,12 +11,14 @@ import (
 	"bytes"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"time"
 
 	"healthcloud/internal/fhir"
@@ -35,6 +37,7 @@ func run() error {
 	bundlePath := flag.String("bundle", "", "path to a FHIR bundle JSON")
 	clientID := flag.String("client", "device-1", "client/device identifier")
 	group := flag.String("group", "study-1", "study group the data is consented to")
+	flag.IntVar(&retries, "retries", 4, "extra attempts when the server answers 503 Service Unavailable")
 	flag.Parse()
 	if *tokenPath == "" || *bundlePath == "" {
 		flag.Usage()
@@ -115,24 +118,63 @@ func run() error {
 	return fmt.Errorf("timed out waiting for ingestion")
 }
 
+// retries is how many 503 answers are retried before giving up;
+// sleep is swapped out by tests.
+var (
+	retries = 4
+	sleep   = time.Sleep
+)
+
+const maxRetryAfter = 5 * time.Second
+
+// unavailableError carries a 503's server-suggested backoff.
+type unavailableError struct {
+	after time.Duration
+	msg   string
+}
+
+func (e *unavailableError) Error() string { return e.msg }
+
 func postJSON(url, bearer string, body []byte, out any) error {
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	if bearer != "" {
-		req.Header.Set("Authorization", "Bearer "+bearer)
-	}
-	return doJSON(req, out)
+	return withRetry(func() error {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if bearer != "" {
+			req.Header.Set("Authorization", "Bearer "+bearer)
+		}
+		return doJSON(req, out)
+	})
 }
 
 func getJSON(url, bearer string, out any) error {
-	req, err := http.NewRequest(http.MethodGet, url, nil)
-	if err != nil {
-		return err
+	return withRetry(func() error {
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Authorization", "Bearer "+bearer)
+		return doJSON(req, out)
+	})
+}
+
+// withRetry re-runs op when the server answers 503, sleeping the
+// Retry-After duration it suggested. Other failures return at once.
+func withRetry(op func() error) error {
+	var err error
+	for attempt := 0; attempt <= retries; attempt++ {
+		err = op()
+		var ue *unavailableError
+		if !errors.As(err, &ue) {
+			return err
+		}
+		if attempt < retries {
+			fmt.Printf("  server busy, retrying in %v (%d/%d)\n", ue.after, attempt+1, retries)
+			sleep(ue.after)
+		}
 	}
-	req.Header.Set("Authorization", "Bearer "+bearer)
-	return doJSON(req, out)
+	return err
 }
 
 func doJSON(req *http.Request, out any) error {
@@ -145,8 +187,26 @@ func doJSON(req *http.Request, out any) error {
 	if err != nil {
 		return err
 	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return &unavailableError{after: retryAfter(resp.Header.Get("Retry-After")),
+			msg: fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(data))}
+	}
 	if resp.StatusCode >= 300 {
 		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
 	}
 	return json.Unmarshal(data, out)
+}
+
+// retryAfter parses a Retry-After value in seconds, defaulting to 1s
+// and capping at maxRetryAfter so a misbehaving server can't park the
+// CLI.
+func retryAfter(h string) time.Duration {
+	d := time.Second
+	if n, err := strconv.Atoi(h); err == nil && n > 0 {
+		d = time.Duration(n) * time.Second
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
 }

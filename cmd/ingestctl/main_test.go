@@ -1,0 +1,103 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestRetryAfterParsing(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", time.Second},        // absent → 1s default
+		{"garbage", time.Second}, // unparsable → default
+		{"0", time.Second},       // non-positive → default
+		{"-3", time.Second},
+		{"2", 2 * time.Second},
+		{"60", maxRetryAfter}, // capped so a bad server can't park the CLI
+	}
+	for _, c := range cases {
+		if got := retryAfter(c.header); got != c.want {
+			t.Errorf("retryAfter(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+func TestPostJSONRetriesOn503(t *testing.T) {
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls <= 2 {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, `{"error":"busy"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ok":"yes"}`))
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	origSleep := sleep
+	sleep = func(d time.Duration) { slept = append(slept, d) }
+	defer func() { sleep = origSleep }()
+
+	var out map[string]string
+	if err := postJSON(srv.URL, "tok", []byte(`{}`), &out); err != nil {
+		t.Fatalf("postJSON after two 503s: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("server saw %d calls, want 3 (two busy + one success)", calls)
+	}
+	if out["ok"] != "yes" {
+		t.Errorf("response = %v", out)
+	}
+	// The client honored the server-suggested delay, not its own guess.
+	if len(slept) != 2 || slept[0] != 2*time.Second || slept[1] != 2*time.Second {
+		t.Errorf("slept %v, want two 2s waits from Retry-After", slept)
+	}
+}
+
+func TestPostJSONGivesUpAfterRetryBudget(t *testing.T) {
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		http.Error(w, `{"error":"busy"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	origSleep := sleep
+	sleep = func(time.Duration) {}
+	defer func() { sleep = origSleep }()
+
+	var out map[string]string
+	if err := postJSON(srv.URL, "", []byte(`{}`), &out); err == nil {
+		t.Fatal("postJSON succeeded against a permanently busy server")
+	}
+	if want := retries + 1; calls != want {
+		t.Errorf("server saw %d calls, want %d (initial + %d retries)", calls, want, retries)
+	}
+}
+
+func TestPostJSONDoesNotRetryClientErrors(t *testing.T) {
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	origSleep := sleep
+	sleep = func(time.Duration) { t.Error("slept on a non-retryable error") }
+	defer func() { sleep = origSleep }()
+
+	var out map[string]string
+	if err := postJSON(srv.URL, "", []byte(`{}`), &out); err == nil {
+		t.Fatal("postJSON succeeded on a 400")
+	}
+	if calls != 1 {
+		t.Errorf("server saw %d calls, want 1 — 4xx is the caller's bug, not load", calls)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"healthcloud/internal/resilience"
 	"healthcloud/internal/scan"
 	"healthcloud/internal/services"
+	"healthcloud/internal/shardlake"
 	"healthcloud/internal/ssi"
 	"healthcloud/internal/store"
 	"healthcloud/internal/telemetry"
@@ -76,6 +77,14 @@ type Config struct {
 	// IngestMaxAttempts caps bus deliveries per ingest message before it
 	// dead-letters (default 5; <0 disables the cap).
 	IngestMaxAttempts int
+	// Shards is the Data Lake shard count (default 1 = today's single
+	// in-process lake, byte-identical behavior). Above 1 the lake is a
+	// shardlake cluster: consistent-hash placement, R-way replication,
+	// read-repair, hinted handoff, and online rebalancing.
+	Shards int
+	// Replicas is the replication factor R for the sharded lake
+	// (default 1; clamped to Shards). Ignored when Shards <= 1.
+	Replicas int
 	// Faults, when set, wires a fault-injection registry through the
 	// stores, ledger, remote KB, service registry, and consensus fabric
 	// so chaos experiments can break components by name.
@@ -102,14 +111,18 @@ type Config struct {
 type Platform struct {
 	cfg Config
 
-	RBAC       *rbac.System
-	KMS        *hckrypto.KMS
-	Audit      *audit.Log
-	AttSvc     *attest.Service
-	CM         *audit.ChangeManager
-	Cloud      *cloud.Cloud
-	Bus        *bus.Bus
-	Lake       *store.DataLake
+	RBAC   *rbac.System
+	KMS    *hckrypto.KMS
+	Audit  *audit.Log
+	AttSvc *attest.Service
+	CM     *audit.ChangeManager
+	Cloud  *cloud.Cloud
+	Bus    *bus.Bus
+	// Lake is the Data Lake the pipeline writes to: a single
+	// store.DataLake when Config.Shards <= 1, otherwise ShardLake.
+	Lake store.Lake
+	// ShardLake is the sharded lake cluster (nil when Shards <= 1).
+	ShardLake  *shardlake.Lake
 	IDMap      *store.IdentityMap
 	Consents   *consent.Service
 	Scanner    *scan.Scanner
@@ -178,9 +191,34 @@ func New(cfg Config) (*Platform, error) {
 	}
 	p.Bus = bus.New(bus.WithMaxAttempts(cfg.IngestMaxAttempts),
 		bus.WithTelemetry(reg, tracer))
-	p.Lake = store.NewDataLake(p.KMS, "svc-storage")
-	p.Lake.SetFaults(cfg.Faults)
-	p.Lake.SetTelemetry(reg)
+	if cfg.Shards <= 1 {
+		lake := store.NewDataLake(p.KMS, "svc-storage")
+		lake.SetFaults(cfg.Faults)
+		lake.SetTelemetry(reg)
+		p.Lake = lake
+	} else {
+		// All shards hang off the one KMS (the trust plane stays
+		// unsharded), so replicas are byte-identical sealed records and
+		// grants/crypto-shredding cover every copy at once.
+		shards := make([]shardlake.Shard, cfg.Shards)
+		for i := range shards {
+			lake := store.NewDataLake(p.KMS, "svc-storage")
+			lake.SetTelemetry(reg)
+			shards[i] = shardlake.Shard{Name: shardlake.ShardName(i), Lake: lake}
+		}
+		p.ShardLake, err = shardlake.New(shards, shardlake.Config{
+			Replicas: cfg.Replicas,
+			Seed:     lakeRingSeed,
+			Faults:   cfg.Faults,
+			Registry: reg,
+			Tracer:   tracer,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: shardlake: %w", err)
+		}
+		p.ShardLake.StartPump(time.Second)
+		p.Lake = p.ShardLake
+	}
 	p.IDMap = store.NewIdentityMap("svc-reident")
 	p.Consents = consent.NewService()
 	if p.Scanner, err = scan.NewScanner(scan.DefaultSignatures()...); err != nil {
@@ -278,6 +316,9 @@ const (
 	monitorLedgerSlow    = 250 * time.Millisecond
 	monitorQueueDegraded = 1000 // ingest backlog before the queue probe degrades
 	monitorSLOWindow     = time.Minute
+	// lakeRingSeed pins shardlake placement so experiments and tests see
+	// the same layout on every run.
+	lakeRingSeed = 1907
 )
 
 // wireMonitor assembles the self-monitoring layer: default dependency
@@ -288,12 +329,52 @@ const (
 func (p *Platform) wireMonitor(cfg Config, reg *telemetry.Registry, tracer *telemetry.Tracer) {
 	prober := monitor.NewProber()
 
-	prober.AddCheck("data-lake", func() monitor.Health {
-		if err := p.Lake.Ping(); err != nil {
-			return monitor.Degraded(err.Error())
+	if p.ShardLake == nil {
+		prober.AddCheck("data-lake", func() monitor.Health {
+			if err := p.Lake.Ping(); err != nil {
+				return monitor.Degraded(err.Error())
+			}
+			return monitor.Healthy("serving")
+		})
+	} else {
+		sl := p.ShardLake
+		// The cluster probe distinguishes "replication is absorbing an
+		// outage" (degraded, still ready) from "quorum lost" (down):
+		// with R-way replication a single dead shard must not fail
+		// readiness, only surface as degraded until hints drain.
+		prober.AddCheck("data-lake", func() monitor.Health {
+			down := 0
+			for _, err := range sl.ShardHealth() {
+				if err != nil {
+					down++
+				}
+			}
+			backlog := sl.HintBacklog()
+			switch {
+			case down == 0 && backlog == 0:
+				return monitor.Healthy(fmt.Sprintf("%d shards serving", len(sl.Shards())))
+			case sl.QuorumHolds():
+				return monitor.Degraded(fmt.Sprintf(
+					"%d shard(s) down, quorum holds (R=%d), %d hints queued",
+					down, sl.Replicas(), backlog))
+			default:
+				return monitor.Down(fmt.Sprintf("%d/%d shards down, quorum lost",
+					down, len(sl.Shards())))
+			}
+		})
+		for _, name := range sl.Shards() {
+			name := name
+			prober.AddCheck("data-lake/"+name, func() monitor.Health {
+				if err := sl.ShardPing(name); err != nil {
+					if sl.QuorumHolds() {
+						return monitor.Degraded(err.Error())
+					}
+					return monitor.Down(err.Error())
+				}
+				return monitor.Healthy("serving")
+			})
 		}
-		return monitor.Healthy("serving")
-	})
+	}
 	prober.AddCheck("ingest-queue", func() monitor.Health {
 		depth, dlq := p.Ingest.QueueDepth(), p.Ingest.DLQBacklog()
 		detail := fmt.Sprintf("depth %d, dlq backlog %d", depth, dlq)
@@ -381,6 +462,9 @@ func (p *Platform) wireMonitor(cfg Config, reg *telemetry.Registry, tracer *tele
 			reg.Gauge("consensus_leader_present").Set(present)
 		})
 	}
+	if p.ShardLake != nil {
+		collectors = append(collectors, p.ShardLake.Collect)
+	}
 
 	wd := monitor.NewWatchdog(monitor.WatchdogConfig{
 		History: hist, Evaluator: eval, Prober: prober,
@@ -408,6 +492,9 @@ func (p *Platform) wireMonitor(cfg Config, reg *telemetry.Registry, tracer *tele
 func (p *Platform) Close() {
 	p.Monitor.Watchdog().Stop()
 	p.Ingest.Close()
+	if p.ShardLake != nil {
+		p.ShardLake.Close()
+	}
 	if p.LedgerBatcher != nil {
 		p.LedgerBatcher.Close()
 	}

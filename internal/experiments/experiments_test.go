@@ -211,3 +211,47 @@ func TestE18WatchdogDetection(t *testing.T) {
 		t.Errorf("shape: %s", r.Shape)
 	}
 }
+
+// TestE19ShardedLake pins the sharded-lake acceptance criteria: ≥2×
+// ingest throughput at 4 shards vs 1 (16 workers against serial
+// storage nodes), and — with one of three shards dead at R=2 — zero
+// lost and zero dead-lettered uploads, readiness degraded-then-
+// recovered, the hint backlog drained, and every object's replicas
+// byte-identical afterwards.
+func TestE19ShardedLake(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded-lake experiment skipped in -short mode")
+	}
+	r, err := E19ShardedLake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]float64{}
+	for _, row := range r.Rows {
+		rows[row.Label] = row.Value
+	}
+	if got := rows["throughput speedup (4 vs 1)"]; got < 2 {
+		t.Errorf("4-shard speedup = %.2fx, want >= 2x", got)
+	}
+	if got := rows["lost"]; got != 0 {
+		t.Errorf("lost uploads = %v, want 0", got)
+	}
+	if got := rows["dead-lettered"]; got != 0 {
+		t.Errorf("dead-lettered uploads = %v, want 0", got)
+	}
+	if got := rows["stored"]; got != rows["uploads during outage run"] {
+		t.Errorf("stored %v of %v uploads", got, rows["uploads during outage run"])
+	}
+	if got := rows["hints queued during outage"]; got == 0 {
+		t.Error("no hints queued — the outage never exercised hinted handoff")
+	}
+	if got := rows["hint backlog after drain"]; got != 0 {
+		t.Errorf("hint backlog after drain = %v, want 0", got)
+	}
+	if got := rows["divergent objects"]; got != 0 {
+		t.Errorf("divergent objects = %v, want 0", got)
+	}
+	if !strings.HasPrefix(r.Shape, "HOLDS") {
+		t.Errorf("shape: %s", r.Shape)
+	}
+}

@@ -1,0 +1,137 @@
+package hccache
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/shardlake"
+	"healthcloud/internal/store"
+)
+
+// shardOrigin builds a 3-shard R=2 lake and a Loader over it, so the
+// tiered cache's origin is a cluster whose objects can move shards.
+func shardOrigin(t *testing.T) (*shardlake.Lake, *hckrypto.KMS, Loader) {
+	t.Helper()
+	kms, err := hckrypto.NewKMS("cache-shard-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]shardlake.Shard, 3)
+	for i := range members {
+		members[i] = shardlake.Shard{
+			Name: shardlake.ShardName(i),
+			Lake: store.NewDataLake(kms, "svc-storage"),
+		}
+	}
+	sl, err := shardlake.New(members, shardlake.Config{Replicas: 2, Seed: 1907})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sl.Close)
+	loader := func(key string) ([]byte, uint64, error) {
+		v, err := sl.Get(key, "svc-storage")
+		if err != nil {
+			if errors.Is(err, store.ErrNotFound) || errors.Is(err, store.ErrDeleted) {
+				return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+			}
+			return nil, 0, err
+		}
+		return v, 1, nil
+	}
+	return sl, kms, loader
+}
+
+// TestShardedOriginInvalidationAcrossRebalance pins the satellite
+// guarantee: when the tiered cache fronts a sharded lake, an object
+// that moves shards during a rebalance must still honor invalidation —
+// a secure-delete plus cache invalidate yields ErrNotFound, never a
+// stale read, whether the delete lands mid-migration or after it.
+func TestShardedOriginInvalidationAcrossRebalance(t *testing.T) {
+	sl, kms, loader := shardOrigin(t)
+
+	refs := make([]string, 30)
+	for i := range refs {
+		ref, err := sl.Put(fmt.Sprintf("patient-%02d", i),
+			[]byte(fmt.Sprintf("record-%02d", i)), store.Meta{Tenant: "t", Group: "g"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref
+	}
+
+	tier, err := New(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := NewTiered(loader, tier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache on the pre-rebalance topology.
+	for _, ref := range refs {
+		if _, err := tc.Get(ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Grow the cluster; the new shard is slowed so deletes can land
+	// while the migration is still moving objects.
+	extra := store.NewDataLake(kms, "svc-storage")
+	extra.SetServiceTime(time.Millisecond)
+	if err := sl.AddShard(shardlake.ShardName(3), extra); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete + invalidate the first few objects mid-migration.
+	mid := refs[:5]
+	for _, ref := range mid {
+		if err := sl.SecureDelete(ref); err != nil {
+			t.Fatal(err)
+		}
+		tc.Invalidate(ref)
+	}
+	for _, ref := range mid {
+		if _, err := tc.Get(ref); !errors.Is(err, ErrNotFound) {
+			t.Errorf("mid-rebalance read of deleted %s = %v, want ErrNotFound", ref, err)
+		}
+	}
+
+	if err := sl.WaitRebalance(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-rebalance: objects have moved shards. Delete + invalidate
+	// more and verify no tier serves them; the survivors still read.
+	post := refs[5:10]
+	for _, ref := range post {
+		if err := sl.SecureDelete(ref); err != nil {
+			t.Fatal(err)
+		}
+		tc.Invalidate(ref)
+	}
+	for _, ref := range post {
+		if _, err := tc.Get(ref); !errors.Is(err, ErrNotFound) {
+			t.Errorf("post-rebalance read of deleted %s = %v, want ErrNotFound", ref, err)
+		}
+	}
+	for _, ref := range refs[10:] {
+		v, err := tc.Get(ref)
+		if err != nil {
+			t.Fatalf("surviving record %s unreadable after rebalance: %v", ref, err)
+		}
+		if len(v) == 0 {
+			t.Fatalf("surviving record %s served empty", ref)
+		}
+	}
+	// The deletes must also have stayed deleted in the lake itself —
+	// the migration cannot resurrect a tombstoned object into a
+	// cacheable read.
+	for _, ref := range append(append([]string{}, mid...), post...) {
+		if _, err := sl.Get(ref, "svc-storage"); !errors.Is(err, store.ErrDeleted) {
+			t.Errorf("lake read of deleted %s = %v, want ErrDeleted", ref, err)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"healthcloud/internal/consent"
 	"healthcloud/internal/core"
 	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/ingest"
 	"healthcloud/internal/kb"
 	"healthcloud/internal/monitor"
 	"healthcloud/internal/rbac"
@@ -248,6 +249,15 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, _ string) 
 	}
 	id, err := s.p.Ingest.Upload(clientID, group, encrypted)
 	if err != nil {
+		// An unregistered client is the caller's mistake; anything else
+		// (staging or lake trouble) is transient server-side load, so
+		// answer 503 + Retry-After and let the client resubmit — the
+		// bundle was not accepted, nothing is half-ingested.
+		if !errors.Is(err, ingest.ErrUnknownClient) {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
 		return
 	}

@@ -663,3 +663,55 @@ func TestReadyzEndToEnd(t *testing.T) {
 		t.Fatalf("metrics/history status %d", resp.StatusCode)
 	}
 }
+
+// TestUploadBackpressure503 pins the upload backpressure contract: a
+// transient server-side failure (staging down) answers 503 with a
+// Retry-After hint so clients resubmit, while a caller mistake
+// (unknown client) stays a plain 400.
+func TestUploadBackpressure503(t *testing.T) {
+	faults := faultinject.NewRegistry(31)
+	f := newAPIWith(t, func(cfg *core.Config) { cfg.Faults = faults })
+	ingestor := f.login(t, "nurse@hospital.org", rbac.RoleIngestor)
+	status, _ := f.do(t, "POST", "/api/v1/clients", ingestor, []byte(`{"client_id":"device-1"}`))
+	if status != http.StatusCreated {
+		t.Fatalf("register: %d", status)
+	}
+
+	post := func() *http.Response {
+		t.Helper()
+		req, err := http.NewRequest("POST",
+			f.srv.URL+"/api/v1/uploads?client=device-1&group=study-1",
+			bytes.NewReader([]byte("ciphertext")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+ingestor)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	faults.Enable(store.FaultStagingPut, faultinject.Fault{ErrorRate: 1})
+	resp := post()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("upload with staging down = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+
+	faults.Disable(store.FaultStagingPut)
+	if resp = post(); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("upload after recovery = %d, want 202", resp.StatusCode)
+	}
+
+	// Caller mistakes never masquerade as server overload.
+	status, _ = f.do(t, "POST", "/api/v1/uploads?client=ghost&group=g", ingestor, []byte("x"))
+	if status != http.StatusBadRequest {
+		t.Errorf("unknown client = %d, want 400", status)
+	}
+}

@@ -112,7 +112,7 @@ type Pipeline struct {
 	tenant   string
 	kms      *hckrypto.KMS
 	staging  *store.Staging
-	lake     *store.DataLake
+	lake     store.Lake
 	idmap    *store.IdentityMap
 	msgBus   *bus.Bus
 	scanner  *scan.Scanner
@@ -153,7 +153,7 @@ type uploadProgress struct {
 type Deps struct {
 	Tenant   string
 	KMS      *hckrypto.KMS
-	Lake     *store.DataLake
+	Lake     store.Lake
 	IDMap    *store.IdentityMap
 	Bus      *bus.Bus
 	Scanner  *scan.Scanner

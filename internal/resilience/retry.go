@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -57,17 +58,28 @@ func (p Policy) withDefaults() Policy {
 	return p
 }
 
-// defaultRand is a package-level xorshift seeded once; retries only
-// need decorrelation, not cryptographic quality.
-var defaultRand = func() func() float64 {
-	state := uint64(time.Now().UnixNano()) | 1
-	return func() float64 {
-		state ^= state << 13
-		state ^= state >> 7
-		state ^= state << 17
-		return float64(state%1_000_000) / 1_000_000
-	}
+// defaultRandState is a package-level xorshift seeded once; retries
+// only need decorrelation, not cryptographic quality. The state
+// advances via compare-and-swap because concurrent retriers (replica
+// writes, parallel KB reads) share it.
+var defaultRandState = func() *atomic.Uint64 {
+	var s atomic.Uint64
+	s.Store(uint64(time.Now().UnixNano()) | 1)
+	return &s
 }()
+
+func defaultRand() float64 {
+	for {
+		old := defaultRandState.Load()
+		s := old
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		if defaultRandState.CompareAndSwap(old, s) {
+			return float64(s%1_000_000) / 1_000_000
+		}
+	}
+}
 
 // permanentError marks an error as not worth retrying.
 type permanentError struct{ err error }

@@ -1,0 +1,166 @@
+package shardlake
+
+import (
+	"sort"
+	"time"
+
+	"healthcloud/internal/store"
+)
+
+// Hinted handoff: when a replica write (or a tombstone for a missed
+// deletion) cannot reach its shard, the sealed record is buffered here
+// under the shard's name and re-installed once the shard answers again.
+// Because records are sealed once and immutable — the only transition
+// is live → tombstone — a hint never conflicts with anything: PutSealed
+// is an idempotent upsert and tombstones win on both sides.
+
+// addHint buffers a sealed record for a shard that missed it. Per
+// reference id the latest hint wins, except that a tombstone is never
+// replaced by a live copy.
+func (l *Lake) addHint(shard string, s store.Sealed) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := l.hints[shard]
+	if m == nil {
+		m = make(map[string]store.Sealed)
+		l.hints[shard] = m
+	}
+	if prev, ok := m[s.RefID]; ok && prev.Deleted && !s.Deleted {
+		return
+	}
+	m[s.RefID] = s
+	l.hinted.Add(1)
+	if l.met != nil {
+		l.met.hintsAdded.Inc()
+		l.met.backlog.Set(int64(l.backlogLocked()))
+	}
+}
+
+// HintBacklog counts buffered hints across all shards.
+func (l *Lake) HintBacklog() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.backlogLocked()
+}
+
+func (l *Lake) backlogLocked() int {
+	n := 0
+	for _, m := range l.hints {
+		n += len(m)
+	}
+	return n
+}
+
+// DrainHints tries to deliver every buffered hint and returns how many
+// landed. A shard that fails a delivery is skipped for the rest of the
+// pass (it is presumably still down); its remaining hints stay
+// buffered for the next pass.
+func (l *Lake) DrainHints() int {
+	l.mu.Lock()
+	pending := make(map[string][]store.Sealed, len(l.hints))
+	for shard, m := range l.hints {
+		refs := make([]string, 0, len(m))
+		for ref := range m {
+			refs = append(refs, ref)
+		}
+		sort.Strings(refs)
+		batch := make([]store.Sealed, 0, len(m))
+		for _, ref := range refs {
+			batch = append(batch, m[ref])
+		}
+		pending[shard] = batch
+	}
+	l.mu.Unlock()
+
+	delivered := 0
+	for shardName, batch := range pending {
+		shard := l.shard(shardName)
+		if shard == nil {
+			// Shard left the cluster; its hints are moot.
+			l.dropHints(shardName, batch)
+			continue
+		}
+		for _, s := range batch {
+			if err := shard.PutSealed(s); err != nil {
+				break
+			}
+			l.removeHint(shardName, s.RefID)
+			delivered++
+			l.drained.Add(1)
+			if l.met != nil {
+				l.met.hintsDrained.Inc()
+			}
+		}
+	}
+	if l.met != nil {
+		l.met.backlog.Set(int64(l.HintBacklog()))
+	}
+	return delivered
+}
+
+func (l *Lake) removeHint(shard, refID string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if m := l.hints[shard]; m != nil {
+		delete(m, refID)
+		if len(m) == 0 {
+			delete(l.hints, shard)
+		}
+	}
+}
+
+func (l *Lake) dropHints(shard string, batch []store.Sealed) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := l.hints[shard]
+	for _, s := range batch {
+		delete(m, s.RefID)
+	}
+	if len(m) == 0 {
+		delete(l.hints, shard)
+	}
+}
+
+// StartPump starts the background hint pump: every interval it tries
+// to drain the backlog, so a recovered replica converges without any
+// explicit operator action. Idempotent; stopped by Close.
+func (l *Lake) StartPump(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	l.pumpOnce.Do(func() {
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-l.pumpStop:
+					return
+				case <-t.C:
+					if l.HintBacklog() > 0 {
+						l.DrainHints()
+					}
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the hint pump and waits for any in-flight rebalance
+// migration to finish.
+func (l *Lake) Close() {
+	l.mu.Lock()
+	select {
+	case <-l.pumpStop:
+	default:
+		close(l.pumpStop)
+	}
+	done := l.rebalanceDone
+	l.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+	l.wg.Wait()
+}

@@ -1,0 +1,121 @@
+// Package shardlake shards the Data Lake horizontally: N
+// store.DataLake shards behind a consistent-hash ring with virtual
+// nodes, R-way replication, quorum reads with read-repair, hinted
+// handoff for downed replicas, and online rebalancing when a shard
+// joins or leaves. It implements store.Lake, so ingest, the export
+// path and the caches swap over via core.Config.Shards/Replicas with
+// Shards=1, Replicas=1 preserving today's single-lake behavior.
+//
+// The design leans on the platform's plane separation (hChain-style):
+// the *data plane* shards freely because the *trust plane* — KMS keys,
+// consent, provenance, the identity map — stays unsharded. Every shard
+// hangs off the same KMS, so a replica is a byte-identical Sealed
+// record installable anywhere, a grant on one replica's key covers all
+// of them, and crypto-shredding the key kills every copy at once.
+package shardlake
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// Ring is a consistent-hash ring over shard names with vnodes virtual
+// nodes per shard. It is immutable after construction: rebalancing
+// swaps whole rings, never edits one, so readers need no lock beyond
+// the pointer swap. The seed folds into every hash, making placement
+// deterministic per (seed, shard set) and letting tests pin exact
+// layouts.
+type Ring struct {
+	points []ringPoint
+	shards []string
+	vnodes int
+	seed   int64
+}
+
+// NewRing builds a ring over the given shard names (order-insensitive:
+// names are sorted first so the same set always yields the same ring).
+func NewRing(shards []string, vnodes int, seed int64) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	names := append([]string(nil), shards...)
+	sort.Strings(names)
+	r := &Ring{shards: names, vnodes: vnodes, seed: seed}
+	r.points = make([]ringPoint, 0, len(names)*vnodes)
+	for _, name := range names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  ringHash(seed, name+"#"+strconv.Itoa(v)),
+				shard: name,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// ringHash is 64-bit FNV-1a with the seed folded in front, so two
+// rings with different seeds place the same keys differently.
+func ringHash(seed int64, s string) uint64 {
+	h := fnv.New64a()
+	var sb [8]byte
+	for i := 0; i < 8; i++ {
+		sb[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(sb[:])
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Shards returns the shard names on the ring, sorted.
+func (r *Ring) Shards() []string { return append([]string(nil), r.shards...) }
+
+// Placement returns the n distinct shards responsible for key: the
+// owner of the first virtual node clockwise from the key's hash, then
+// the next distinct shards walking onward — the classic successor-list
+// replica set. n is clamped to the shard count.
+func (r *Ring) Placement(key string, n int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n > len(r.shards) {
+		n = len(r.shards)
+	}
+	if n < 1 {
+		n = 1
+	}
+	h := ringHash(r.seed, key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.shard] {
+			continue
+		}
+		seen[p.shard] = true
+		out = append(out, p.shard)
+	}
+	return out
+}
+
+// ShardName is the conventional name of the i-th shard ("shard-i").
+func ShardName(i int) string { return fmt.Sprintf("shard-%d", i) }
+
+// FaultPoint names a shard's fault-injection point for op ("put",
+// "get" or "ping"): chaos tests kill shard s with
+// Enable(FaultPoint(s, "put"), ...) etc.
+func FaultPoint(shard, op string) string { return "shardlake." + shard + "." + op }

@@ -1,0 +1,151 @@
+package shardlake
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"healthcloud/internal/store"
+)
+
+// TestShardLakeStress hammers the cluster from every direction at
+// once — concurrent puts, gets and secure-deletes, a flapping shard,
+// the hint pump, and a mid-flight shard join — then requires full
+// convergence: zero hint backlog, every accepted write readable (or
+// properly tombstoned), and every object's replicas byte-identical.
+// CI runs this with -race; the invariants matter, the interleavings
+// are the point.
+func TestShardLakeStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	c := newCluster(t, 3, 2)
+	c.lake.StartPump(5 * time.Millisecond)
+
+	const workers = 8
+	const perWorker = 40
+	flaky := ShardName(1)
+
+	var stop atomic.Bool
+	var flapperWG sync.WaitGroup
+	flapperWG.Add(1)
+	go func() {
+		defer flapperWG.Done()
+		for i := 0; !stop.Load(); i++ {
+			if i%2 == 0 {
+				c.kill(flaky)
+			} else {
+				c.heal(flaky)
+			}
+			time.Sleep(3 * time.Millisecond)
+		}
+		c.heal(flaky)
+	}()
+
+	var (
+		mu      sync.Mutex
+		live    = map[string]bool{} // ref → expected alive (false = tombstoned)
+		wg      sync.WaitGroup
+		errCh   = make(chan error, workers)
+		joined  atomic.Bool
+		newLake = store.NewDataLake(c.kms, "svc-storage")
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var mine []string
+			for i := 0; i < perWorker; i++ {
+				subject := fmt.Sprintf("patient-w%d-%03d", w, i)
+				ref, err := c.lake.Put(subject, []byte("payload "+subject), store.Meta{
+					ContentType: "test", Tenant: "shard-test", Group: "g",
+				})
+				if err != nil {
+					// With only one shard flapping at R=2 a put must
+					// always find a durable replica.
+					errCh <- fmt.Errorf("put %s: %w", subject, err)
+					return
+				}
+				mine = append(mine, ref)
+				mu.Lock()
+				live[ref] = true
+				mu.Unlock()
+
+				// Read something we wrote earlier.
+				if len(mine) > 4 && i%3 == 0 {
+					back := mine[i/2]
+					if _, err := c.lake.Get(back, "svc-storage"); err != nil &&
+						!errors.Is(err, store.ErrDeleted) && !errors.Is(err, ErrUnavailable) {
+						errCh <- fmt.Errorf("get %s: %w", back, err)
+						return
+					}
+				}
+				// Occasionally delete an older record of ours.
+				if i%10 == 9 {
+					victim := mine[i-5]
+					if err := c.lake.SecureDelete(victim); err != nil &&
+						!errors.Is(err, ErrUnavailable) {
+						errCh <- fmt.Errorf("delete %s: %w", victim, err)
+						return
+					} else if err == nil {
+						mu.Lock()
+						live[victim] = false
+						mu.Unlock()
+					}
+				}
+				// Halfway through the run, one worker grows the cluster.
+				if w == 0 && i == perWorker/2 && joined.CompareAndSwap(false, true) {
+					if err := c.lake.AddShard(ShardName(3), newLake); err != nil &&
+						!errors.Is(err, ErrRebalancing) {
+						errCh <- fmt.Errorf("add shard: %w", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop.Store(true)
+	flapperWG.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	if err := c.lake.WaitRebalance(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Heal for good and drain until dry — bounded, not forever.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.lake.HintBacklog() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("hint backlog stuck at %d", c.lake.HintBacklog())
+		}
+		c.lake.DrainHints()
+	}
+
+	// Every accepted write must resolve to its expected state.
+	c.shards[ShardName(3)] = newLake
+	mu.Lock()
+	defer mu.Unlock()
+	for ref, alive := range live {
+		_, err := c.lake.Get(ref, "svc-storage")
+		switch {
+		case alive && err != nil:
+			t.Errorf("live record %s unreadable after recovery: %v", ref, err)
+		case !alive && !errors.Is(err, store.ErrDeleted):
+			t.Errorf("deleted record %s = %v, want ErrDeleted", ref, err)
+		}
+	}
+	objects, divergent := c.lake.VerifyConvergence()
+	if len(divergent) != 0 {
+		t.Errorf("%d of %d objects divergent after recovery: %v", len(divergent), objects, divergent)
+	}
+	if objects != len(live) {
+		t.Errorf("cluster holds %d objects, expected %d", objects, len(live))
+	}
+}

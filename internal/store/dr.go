@@ -16,18 +16,11 @@ import (
 // surviving KMS. Tombstones for securely-deleted records are preserved
 // so a restore cannot resurrect forgotten patients.
 
-// snapshotRecord is the serialized form of one lake record.
-type snapshotRecord struct {
-	RefID      string `json:"ref_id"`
-	KeyID      string `json:"key_id"`
-	Ciphertext []byte `json:"ciphertext,omitempty"`
-	Meta       Meta   `json:"meta"`
-	Deleted    bool   `json:"deleted"`
-}
-
+// A snapshot serializes lake records in their Sealed form — the same
+// shape replication and rebalancing move between shards.
 type snapshot struct {
-	TakenAt time.Time        `json:"taken_at"`
-	Records []snapshotRecord `json:"records"`
+	TakenAt time.Time `json:"taken_at"`
+	Records []Sealed  `json:"records"`
 }
 
 // Snapshot serializes the lake's full state (encrypted records +
@@ -44,7 +37,7 @@ func (d *DataLake) Snapshot() ([]byte, error) {
 	sort.Strings(ids)
 	for _, id := range ids {
 		rec := d.records[id]
-		snap.Records = append(snap.Records, snapshotRecord{
+		snap.Records = append(snap.Records, Sealed{
 			RefID:      rec.refID,
 			KeyID:      rec.keyID,
 			Ciphertext: append([]byte(nil), rec.ciphertext...),

@@ -25,9 +25,12 @@ import (
 )
 
 // Fault-point names this package consults (see internal/faultinject).
+// A sharded lake rescopes the per-shard points via SetFaultScope, so
+// "shardlake.shard-1.put" can fail while "shardlake.shard-0.put" serves.
 const (
 	FaultLakePut    = "store.lake.put"
 	FaultLakeGet    = "store.lake.get"
+	FaultLakePing   = "store.lake.ping"
 	FaultStagingPut = "store.staging.put"
 )
 
@@ -47,6 +50,36 @@ type Meta struct {
 	Tags        map[string]string `json:"tags,omitempty"`
 }
 
+// Lake is the Data Lake surface the rest of the platform programs
+// against: the single-node *DataLake implements it directly, and the
+// sharded internal/shardlake.Lake implements it over N DataLake shards,
+// so ingest, the export path, caching and the health prober swap
+// between them via core.Config.Shards without code changes.
+type Lake interface {
+	Put(subject string, plaintext []byte, meta Meta) (string, error)
+	Get(refID, principal string) ([]byte, error)
+	Grant(refID, principal string) error
+	Meta(refID string) (Meta, error)
+	SecureDelete(refID string) error
+	List(tenantName, group string) []string
+	Count() int
+	Ping() error
+}
+
+// Sealed is one envelope-encrypted record in transportable form: the
+// ciphertext plus the KMS key id that unwraps it, no plaintext and no
+// key material. Because every shard of a sharded lake hangs off the
+// same KMS, a Sealed record can be installed verbatim on any replica —
+// replication, read-repair, hinted handoff and rebalancing all move
+// Sealed records, never plaintext.
+type Sealed struct {
+	RefID      string `json:"ref_id"`
+	KeyID      string `json:"key_id"`
+	Ciphertext []byte `json:"ciphertext,omitempty"`
+	Meta       Meta   `json:"meta"`
+	Deleted    bool   `json:"deleted"`
+}
+
 type record struct {
 	refID      string
 	keyID      string
@@ -61,29 +94,70 @@ type DataLake struct {
 	principal string // the storage service's own KMS identity
 	faults    *faultinject.Registry
 	met       *lakeMetrics
+	// Per-instance fault-point names (SetFaultScope rescopes them so
+	// each shard of a sharded lake can be broken independently).
+	ptPut, ptGet, ptPing string
+	// svcTime models the serial service capacity of one storage node:
+	// when set, every storage operation holds the node's "device" for
+	// svcTime, so shard-scaling experiments measure a real bottleneck
+	// instead of an uncontended map insert. Zero (the default) disables
+	// the model entirely.
+	svcTime time.Duration
+	svcMu   sync.Mutex
 
 	mu      sync.RWMutex
 	records map[string]*record
 }
 
+var _ Lake = (*DataLake)(nil)
+
 // lakeMetrics instruments the lake; nil disables it.
 type lakeMetrics struct {
-	put, get         *telemetry.Histogram
+	put, get, ping   *telemetry.Histogram
 	putErrs, getErrs *telemetry.Counter
 }
 
 // NewDataLake creates a lake that encrypts under keys from kms, acting
 // as the given KMS principal.
 func NewDataLake(kms *hckrypto.KMS, principal string) *DataLake {
-	return &DataLake{kms: kms, principal: principal, records: make(map[string]*record)}
+	return &DataLake{
+		kms: kms, principal: principal, records: make(map[string]*record),
+		ptPut: FaultLakePut, ptGet: FaultLakeGet, ptPing: FaultLakePing,
+	}
 }
 
 // SetFaults installs a fault-injection registry (nil disables). Call
 // before the lake is shared across goroutines.
 func (d *DataLake) SetFaults(r *faultinject.Registry) { d.faults = r }
 
-// SetTelemetry attaches put/get latency histograms and error counters
-// to the registry (nil disables). Call before the lake is shared.
+// SetFaultScope renames the lake's fault points from the default
+// "store.lake.*" to scope+".put", ".get" and ".ping", so each shard of
+// a sharded lake exposes its own points (internal/shardlake scopes
+// shard i as "shardlake.shard-i"). Call before the lake is shared.
+func (d *DataLake) SetFaultScope(scope string) {
+	d.ptPut, d.ptGet, d.ptPing = scope+".put", scope+".get", scope+".ping"
+}
+
+// SetServiceTime enables the storage-node capacity model: each Put/Get
+// (sealed variants included) occupies the node serially for dur. Zero
+// restores the default free-of-charge in-memory behavior.
+func (d *DataLake) SetServiceTime(dur time.Duration) { d.svcTime = dur }
+
+// serviceDelay charges one operation's service time against the node's
+// single "device" (held exclusively, like a disk spindle or a saturated
+// NIC), making per-shard throughput finite when the model is on.
+func (d *DataLake) serviceDelay() {
+	if d.svcTime <= 0 {
+		return
+	}
+	d.svcMu.Lock()
+	time.Sleep(d.svcTime)
+	d.svcMu.Unlock()
+}
+
+// SetTelemetry attaches put/get/ping latency histograms and error
+// counters to the registry (nil disables). Call before the lake is
+// shared.
 func (d *DataLake) SetTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		d.met = nil
@@ -92,9 +166,49 @@ func (d *DataLake) SetTelemetry(reg *telemetry.Registry) {
 	d.met = &lakeMetrics{
 		put:     reg.Histogram("lake_put_seconds"),
 		get:     reg.Histogram("lake_get_seconds"),
+		ping:    reg.Histogram("lake_ping_seconds"),
 		putErrs: reg.Counter("lake_put_errors_total"),
 		getErrs: reg.Counter("lake_get_errors_total"),
 	}
+}
+
+// Seal encrypts plaintext under a fresh per-record data key bound to
+// subject and returns the sealed record without storing it — the
+// coordinator half of a replicated write. No fault point is consulted:
+// sealing is coordinator CPU plus KMS work, not shard I/O.
+func (d *DataLake) Seal(subject string, plaintext []byte, meta Meta) (Sealed, error) {
+	keyID, dk, err := d.kms.CreateDataKey(subject, d.principal)
+	if err != nil {
+		return Sealed{}, fmt.Errorf("store: creating data key: %w", err)
+	}
+	refID := "ref-" + hckrypto.NewUUID()
+	ct, err := hckrypto.EncryptGCM(dk, plaintext, []byte(refID))
+	if err != nil {
+		return Sealed{}, fmt.Errorf("store: encrypting record: %w", err)
+	}
+	if meta.CreatedAt.IsZero() {
+		meta.CreatedAt = time.Now().UTC()
+	}
+	return Sealed{RefID: refID, KeyID: keyID, Ciphertext: ct, Meta: meta}, nil
+}
+
+// Open decrypts a sealed record on behalf of principal using this
+// lake's KMS — the coordinator half of a replicated read, after quorum
+// resolution picked the authoritative copy. Like Seal it consults no
+// fault point.
+func (d *DataLake) Open(s Sealed, principal string) ([]byte, error) {
+	if s.Deleted {
+		return nil, fmt.Errorf("%w: %s", ErrDeleted, s.RefID)
+	}
+	dk, err := d.kms.UnwrapDataKey(s.KeyID, principal)
+	if err != nil {
+		return nil, fmt.Errorf("store: unwrapping key for %s: %w", s.RefID, err)
+	}
+	pt, err := hckrypto.DecryptGCM(dk, s.Ciphertext, []byte(s.RefID))
+	if err != nil {
+		return nil, fmt.Errorf("store: decrypting %s: %w", s.RefID, err)
+	}
+	return pt, nil
 }
 
 // Put encrypts plaintext under a fresh per-record data key bound to
@@ -104,28 +218,83 @@ func (d *DataLake) Put(subject string, plaintext []byte, meta Meta) (string, err
 	if m := d.met; m != nil {
 		defer m.put.ObserveSince(m.put.Start())
 	}
-	if err := d.faults.Check(FaultLakePut); err != nil {
+	if err := d.faults.Check(d.ptPut); err != nil {
 		if m := d.met; m != nil {
 			m.putErrs.Inc()
 		}
 		return "", fmt.Errorf("store: %w", err)
 	}
-	keyID, dk, err := d.kms.CreateDataKey(subject, d.principal)
+	s, err := d.Seal(subject, plaintext, meta)
 	if err != nil {
-		return "", fmt.Errorf("store: creating data key: %w", err)
+		return "", err
 	}
-	refID := "ref-" + hckrypto.NewUUID()
-	ct, err := hckrypto.EncryptGCM(dk, plaintext, []byte(refID))
-	if err != nil {
-		return "", fmt.Errorf("store: encrypting record: %w", err)
+	d.serviceDelay()
+	d.install(s)
+	return s.RefID, nil
+}
+
+// PutSealed installs a sealed record verbatim — the replication,
+// read-repair, hinted-handoff and rebalance write path. It is an
+// idempotent upsert with one invariant: a tombstone already present can
+// never be overwritten by a live copy (deletion wins, so a late hint
+// cannot resurrect a securely-deleted record).
+func (d *DataLake) PutSealed(s Sealed) error {
+	if m := d.met; m != nil {
+		defer m.put.ObserveSince(m.put.Start())
 	}
-	if meta.CreatedAt.IsZero() {
-		meta.CreatedAt = time.Now().UTC()
+	if err := d.faults.Check(d.ptPut); err != nil {
+		if m := d.met; m != nil {
+			m.putErrs.Inc()
+		}
+		return fmt.Errorf("store: %w", err)
 	}
+	d.serviceDelay()
 	d.mu.Lock()
-	d.records[refID] = &record{refID: refID, keyID: keyID, ciphertext: ct, meta: meta}
+	defer d.mu.Unlock()
+	if existing, ok := d.records[s.RefID]; ok && existing.deleted {
+		return nil
+	}
+	d.records[s.RefID] = &record{
+		refID: s.RefID, keyID: s.KeyID,
+		ciphertext: append([]byte(nil), s.Ciphertext...),
+		meta:       s.Meta, deleted: s.Deleted,
+	}
+	return nil
+}
+
+// GetSealed returns a record in sealed form, tombstones included — the
+// replica-side read that quorum resolution, repair and rebalancing are
+// built from. It pays the same fault point as Get, so a downed shard
+// fails sealed reads too.
+func (d *DataLake) GetSealed(refID string) (Sealed, error) {
+	if err := d.faults.Check(d.ptGet); err != nil {
+		if m := d.met; m != nil {
+			m.getErrs.Inc()
+		}
+		return Sealed{}, fmt.Errorf("store: %w", err)
+	}
+	d.serviceDelay()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	rec, ok := d.records[refID]
+	if !ok {
+		return Sealed{}, fmt.Errorf("%w: %s", ErrNotFound, refID)
+	}
+	return Sealed{
+		RefID: rec.refID, KeyID: rec.keyID,
+		Ciphertext: append([]byte(nil), rec.ciphertext...),
+		Meta:       rec.meta, Deleted: rec.deleted,
+	}, nil
+}
+
+// install stores a sealed record, replacing any existing copy.
+func (d *DataLake) install(s Sealed) {
+	d.mu.Lock()
+	d.records[s.RefID] = &record{
+		refID: s.RefID, keyID: s.KeyID, ciphertext: s.Ciphertext,
+		meta: s.Meta, deleted: s.Deleted,
+	}
 	d.mu.Unlock()
-	return refID, nil
 }
 
 // Get decrypts a record on behalf of principal. The KMS enforces
@@ -134,12 +303,13 @@ func (d *DataLake) Get(refID, principal string) ([]byte, error) {
 	if m := d.met; m != nil {
 		defer m.get.ObserveSince(m.get.Start())
 	}
-	if err := d.faults.Check(FaultLakeGet); err != nil {
+	if err := d.faults.Check(d.ptGet); err != nil {
 		if m := d.met; m != nil {
 			m.getErrs.Inc()
 		}
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	d.serviceDelay()
 	d.mu.RLock()
 	rec, ok := d.records[refID]
 	d.mu.RUnlock()
@@ -229,16 +399,50 @@ func (d *DataLake) List(tenantName, group string) []string {
 }
 
 // Ping reports whether the lake's read and write paths are currently
-// serviceable, consulting the same fault points Put/Get do without
-// creating or touching any record — the health prober's storage check.
+// serviceable, consulting its own ping fault point plus the same points
+// Put/Get do, without creating or touching any record — the health
+// prober's storage check. The dedicated ping point lets chaos tests
+// fail health probes independently of writes (and vice versa); the
+// latency histogram makes slow-probe behavior observable.
 func (d *DataLake) Ping() error {
-	if err := d.faults.Check(FaultLakePut); err != nil {
+	if m := d.met; m != nil {
+		defer m.ping.ObserveSince(m.ping.Start())
+	}
+	if err := d.faults.Check(d.ptPing); err != nil {
+		return fmt.Errorf("store: lake probe path: %w", err)
+	}
+	if err := d.faults.Check(d.ptPut); err != nil {
 		return fmt.Errorf("store: lake write path: %w", err)
 	}
-	if err := d.faults.Check(FaultLakeGet); err != nil {
+	if err := d.faults.Check(d.ptGet); err != nil {
 		return fmt.Errorf("store: lake read path: %w", err)
 	}
 	return nil
+}
+
+// Refs lists every reference ID the lake holds — tombstones included,
+// sorted — the rebalancer's enumeration (List excludes deleted records
+// and filters by tenant; a migration must move tombstones too, or a
+// resurrected replica could undo a secure deletion).
+func (d *DataLake) Refs() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.records))
+	for id := range d.records {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Evict removes a record outright without touching its data key — the
+// rebalancer's cleanup once an object's placement moved off this shard.
+// Not a secure deletion: the key survives and the object lives on its
+// new shards.
+func (d *DataLake) Evict(refID string) {
+	d.mu.Lock()
+	delete(d.records, refID)
+	d.mu.Unlock()
 }
 
 // Count returns live (non-deleted) record count.

@@ -10,6 +10,7 @@ import (
 
 	"healthcloud/internal/faultinject"
 	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/telemetry"
 )
 
 func newTestLake(t *testing.T) (*DataLake, *hckrypto.KMS) {
@@ -334,5 +335,154 @@ func TestQuickLakeRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestLakePingFaultPoint(t *testing.T) {
+	lake, _ := newTestLake(t)
+	reg := faultinject.NewRegistry(7)
+	lake.SetFaults(reg)
+
+	// The dedicated ping point fails probes without touching writes.
+	reg.Enable(FaultLakePing, faultinject.Fault{ErrorRate: 1})
+	if err := lake.Ping(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("Ping with injected probe fault: %v", err)
+	}
+	ref, err := lake.Put("p", []byte("x"), Meta{Tenant: "tenant-a", Group: "g"})
+	if err != nil {
+		t.Fatalf("Put must survive a ping-only fault: %v", err)
+	}
+	if _, err := lake.Get(ref, "svc-storage"); err != nil {
+		t.Fatalf("Get must survive a ping-only fault: %v", err)
+	}
+
+	// Ping also consults the write and read paths, so a downed put
+	// point fails the probe even with the ping point healthy.
+	reg.Disable(FaultLakePing)
+	reg.Enable(FaultLakePut, faultinject.Fault{ErrorRate: 1})
+	if err := lake.Ping(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("Ping with downed write path: %v", err)
+	}
+	reg.Disable(FaultLakePut)
+	if err := lake.Ping(); err != nil {
+		t.Errorf("Ping after healing: %v", err)
+	}
+}
+
+func TestLakePingLatencyHistogram(t *testing.T) {
+	lake, _ := newTestLake(t)
+	reg := telemetry.NewRegistry()
+	lake.SetTelemetry(reg)
+	for i := 0; i < 3; i++ {
+		if err := lake.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Histograms["lake_ping_seconds"].Count; got != 3 {
+		t.Errorf("lake_ping_seconds count = %d, want 3", got)
+	}
+}
+
+func TestSealedRecordPortability(t *testing.T) {
+	// Two lakes sharing one KMS: a record sealed on one installs and
+	// opens on the other byte-for-byte — the property replication
+	// depends on.
+	kms, err := hckrypto.NewKMS("tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewDataLake(kms, "svc-storage")
+	b := NewDataLake(kms, "svc-storage")
+	sealed, err := a.Seal("patient-1", []byte("phi"), Meta{Tenant: "tenant-a", Group: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutSealed(sealed); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Open(sealed, "svc-storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("phi")) {
+		t.Error("sealed record did not round-trip across lakes")
+	}
+}
+
+func TestPutSealedTombstoneWins(t *testing.T) {
+	lake, _ := newTestLake(t)
+	ref, err := lake.Put("patient-1", []byte("phi"), Meta{Tenant: "tenant-a", Group: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := lake.GetSealed(ref) // live copy, as a replica would hold it
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lake.SecureDelete(ref); err != nil {
+		t.Fatal(err)
+	}
+	// A late replica write must not resurrect the deleted record.
+	if err := lake.PutSealed(stale); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lake.GetSealed(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Deleted {
+		t.Error("stale live replica overwrote a tombstone")
+	}
+	if _, err := lake.Get(ref, "svc-storage"); !errors.Is(err, ErrDeleted) {
+		t.Errorf("Get after tombstone-wins = %v, want ErrDeleted", err)
+	}
+}
+
+func TestRefsIncludeTombstonesAndEvict(t *testing.T) {
+	lake, _ := newTestLake(t)
+	var refs []string
+	for i := 0; i < 3; i++ {
+		ref, err := lake.Put(fmt.Sprintf("p-%d", i), []byte("x"), Meta{Tenant: "tenant-a", Group: "g"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+	}
+	if err := lake.SecureDelete(refs[1]); err != nil {
+		t.Fatal(err)
+	}
+	all := lake.Refs()
+	if len(all) != 3 {
+		t.Fatalf("Refs = %v, want all 3 including the tombstone", all)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1] >= all[i] {
+			t.Fatalf("Refs not sorted: %v", all)
+		}
+	}
+	lake.Evict(refs[0])
+	if got := len(lake.Refs()); got != 2 {
+		t.Errorf("Refs after Evict = %d entries, want 2", got)
+	}
+	if _, err := lake.GetSealed(refs[0]); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetSealed after Evict = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSetFaultScopeRenamesPoints(t *testing.T) {
+	lake, _ := newTestLake(t)
+	reg := faultinject.NewRegistry(7)
+	lake.SetFaults(reg)
+	lake.SetFaultScope("shardlake.shard-9")
+
+	// The default point no longer applies; the scoped one does.
+	reg.Enable(FaultLakePut, faultinject.Fault{ErrorRate: 1})
+	if _, err := lake.Put("p", []byte("x"), Meta{Tenant: "tenant-a", Group: "g"}); err != nil {
+		t.Fatalf("Put tripped the unscoped fault point after rescoping: %v", err)
+	}
+	reg.Enable("shardlake.shard-9.put", faultinject.Fault{ErrorRate: 1})
+	if _, err := lake.Put("p", []byte("x"), Meta{Tenant: "tenant-a", Group: "g"}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("Put with scoped fault: %v", err)
 	}
 }
