@@ -1,5 +1,5 @@
 // Command benchreport runs the full reproduction harness (experiments
-// E1–E19 from DESIGN.md) and prints each experiment's measurements and
+// E1–E20 from DESIGN.md) and prints each experiment's measurements and
 // shape verdict — the data behind EXPERIMENTS.md.
 //
 //	go run ./cmd/benchreport                      # all experiments
@@ -19,6 +19,11 @@ import (
 )
 
 func main() {
+	// E20's crash test re-executes this binary as its ingest child;
+	// dispatch before flag parsing so the child sees no CLI surface.
+	if os.Getenv(experiments.E20ChildEnv) != "" {
+		experiments.E20Child()
+	}
 	only := flag.String("only", "", "run a single experiment (e.g. E9 or A1)")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations A1-A3")
 	jsonPath := flag.String("json", "", "write all measurements to this file as JSON")
@@ -34,8 +39,8 @@ func main() {
 		"E13": experiments.E13ComputeToData, "E14": experiments.E14TiresiasDDI,
 		"E15": experiments.E15ChaosIngestion, "E16": experiments.E16TelemetryOverhead,
 		"E17": experiments.E17GroupCommit, "E18": experiments.E18WatchdogDetection,
-		"E19": experiments.E19ShardedLake,
-		"A1":  experiments.A1JMFSourceAblation, "A2": experiments.A2EndorsementPolicy,
+		"E19": experiments.E19ShardedLake, "E20": experiments.E20CrashRecovery,
+		"A1": experiments.A1JMFSourceAblation, "A2": experiments.A2EndorsementPolicy,
 		"A3": experiments.A3CacheTierAblation,
 	}
 
@@ -43,7 +48,7 @@ func main() {
 	if *only != "" {
 		f, ok := runners[*only]
 		if !ok {
-			log.Fatalf("unknown experiment %q (E1..E19)", *only)
+			log.Fatalf("unknown experiment %q (E1..E20)", *only)
 		}
 		r, ok := report(*only, f)
 		if r != nil {
@@ -55,7 +60,7 @@ func main() {
 		}
 		return
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
 	if *ablations {
 		order = append(order, "A1", "A2", "A3")
 	}

@@ -7,12 +7,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"healthcloud/internal/core"
@@ -39,6 +42,7 @@ func run() error {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (own listener; empty disables)")
 	shards := flag.Int("shards", 1, "Data Lake shard count (1 = single lake; >1 enables the consistent-hash shardlake)")
 	replicas := flag.Int("replicas", 1, "Data Lake replication factor R (clamped to -shards)")
+	dataDir := flag.String("data-dir", "", "root directory for durable storage: lake segments + ledger WAL, replayed on restart (empty = in-memory only)")
 	flag.Parse()
 
 	kbCfg := kb.DefaultConfig()
@@ -48,7 +52,7 @@ func run() error {
 		return err
 	}
 	cfg := core.Config{Tenant: *tenant, KBDataset: dataset, KBLatency: 10 * time.Millisecond,
-		Shards: *shards, Replicas: *replicas}
+		Shards: *shards, Replicas: *replicas, DataDir: *dataDir}
 	if *ledger {
 		cfg.LedgerPeers = []string{"hospital", "audit-svc", "data-protection"}
 		cfg.LedgerBatch = *ledgerBatch
@@ -72,7 +76,6 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer platform.Close()
 	platform.SeedDemoProviders()
 
 	idp, err := rbac.NewIdentityProvider("demo-sso")
@@ -114,5 +117,30 @@ func run() error {
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
-	return srv.ListenAndServe()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	// Graceful shutdown on SIGINT/SIGTERM, in drain order: stop taking
+	// uploads (srv.Shutdown finishes in-flight requests first), then
+	// platform.Close drains the ingest workers, flushes any ledger
+	// batcher, closes the bus and the network, and finally syncs and
+	// closes the durable logs — so every acknowledged upload is on disk
+	// before exit. A SIGKILL instead exercises the crash-recovery path
+	// (experiment E20): restart replays the same state from the logs.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		platform.Close()
+		return err
+	case sig := <-stop:
+		fmt.Printf("\n%s: draining and flushing durable logs\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+		platform.Close()
+		return nil
+	}
 }

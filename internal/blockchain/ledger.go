@@ -2,7 +2,11 @@ package blockchain
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -13,10 +17,23 @@ import (
 // comparing chain heads.
 type Ledger struct {
 	mu     sync.RWMutex
+	wal    BlockWAL // nil = in-memory only
 	blocks []Block
 	state  map[string]string // world state: handle -> latest event summary
 	byID   map[string]bool   // committed tx ids, for at-least-once dedup
 	byType map[EventType][]int
+}
+
+// BlockWAL persists committed blocks write-ahead: AppendBlock hands
+// every new block to the WAL before the world state applies it, and a
+// WAL error fails the commit (the submitter sees a transient failure
+// and retries). Because each peer builds the same chain from the same
+// ordered stream, one WAL is safely shared across all peers of a
+// network — the implementation deduplicates by block number + hash and
+// turns a same-number/different-hash append into a divergence error.
+// internal/durable provides the file-backed implementation.
+type BlockWAL interface {
+	Append(b Block) error
 }
 
 // NewLedger creates an empty ledger.
@@ -49,6 +66,11 @@ func (l *Ledger) AppendBlock(txs []Transaction) (*Block, error) {
 	}
 	b := Block{Number: uint64(len(l.blocks)), PrevHash: prev, Txs: fresh}
 	b.Hash = b.computeHash()
+	if l.wal != nil {
+		if err := l.wal.Append(b); err != nil {
+			return nil, fmt.Errorf("blockchain: wal append: %w", err)
+		}
+	}
 	l.blocks = append(l.blocks, b)
 	for _, tx := range fresh {
 		l.byID[tx.ID] = true
@@ -58,6 +80,83 @@ func (l *Ledger) AppendBlock(txs []Transaction) (*Block, error) {
 		}
 	}
 	return &l.blocks[len(l.blocks)-1], nil
+}
+
+// SetWAL attaches a write-ahead log for committed blocks (nil
+// detaches). Call before the ledger takes traffic; typically right
+// after Restore replayed the same WAL's history.
+func (l *Ledger) SetWAL(w BlockWAL) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.wal = w
+}
+
+// Restore rebuilds the ledger from a replayed chain — the restart path.
+// It refuses on a non-empty ledger, verifies numbering, linkage and
+// every block hash before touching any state, then applies the blocks
+// through exactly the same state transition AppendBlock uses, so a
+// restored ledger is indistinguishable from one that committed the
+// blocks live.
+func (l *Ledger) Restore(blocks []Block) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.blocks) != 0 {
+		return fmt.Errorf("blockchain: restore into non-empty ledger (height %d)", len(l.blocks))
+	}
+	var prev []byte
+	for i := range blocks {
+		b := &blocks[i]
+		if b.Number != uint64(i) {
+			return fmt.Errorf("%w: block %d numbered %d", ErrChainBroken, i, b.Number)
+		}
+		if !bytes.Equal(b.PrevHash, prev) {
+			return fmt.Errorf("%w: block %d prev-hash mismatch", ErrChainBroken, i)
+		}
+		if !bytes.Equal(b.Hash, b.computeHash()) {
+			return fmt.Errorf("%w: block %d hash mismatch", ErrChainBroken, i)
+		}
+		prev = b.Hash
+	}
+	for _, b := range blocks {
+		l.blocks = append(l.blocks, b)
+		for _, tx := range b.Txs {
+			l.byID[tx.ID] = true
+			l.byType[tx.Type] = append(l.byType[tx.Type], int(b.Number))
+			if tx.Handle != "" {
+				l.state[tx.Handle] = fmt.Sprintf("%s@block%d", tx.Type, b.Number)
+			}
+		}
+	}
+	return nil
+}
+
+// StateHash returns a deterministic digest of the world state — sorted
+// handle/value pairs plus the chain tip — so two ledgers (or one
+// ledger before a crash and after replay) can be compared with a
+// single value. Replaying the same WAL twice yields the same hash.
+func (l *Ledger) StateHash() string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	handles := make([]string, 0, len(l.state))
+	for h := range l.state {
+		handles = append(handles, h)
+	}
+	sort.Strings(handles)
+	h := sha256.New()
+	write := func(b []byte) {
+		var lenBuf [8]byte
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(b)))
+		h.Write(lenBuf[:])
+		h.Write(b)
+	}
+	for _, handle := range handles {
+		write([]byte(handle))
+		write([]byte(l.state[handle]))
+	}
+	if n := len(l.blocks); n > 0 {
+		write(l.blocks[n-1].Hash)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Height returns the number of blocks.

@@ -39,6 +39,7 @@ type Network struct {
 // netMetrics caches the ledger's metric handles; nil disables metrics.
 type netMetrics struct {
 	submits, submitErrs        *telemetry.Counter
+	commitErrs                 *telemetry.Counter
 	endorse, order, commitWait *telemetry.Histogram
 }
 
@@ -50,6 +51,7 @@ func newNetMetrics(reg *telemetry.Registry, network string) *netMetrics {
 	return &netMetrics{
 		submits:    reg.Counter("ledger_submits_total" + label),
 		submitErrs: reg.Counter("ledger_submit_errors_total" + label),
+		commitErrs: reg.Counter("ledger_commit_errors_total" + label),
 		endorse:    reg.Histogram("ledger_endorse_seconds" + label),
 		order:      reg.Histogram("ledger_order_seconds" + label),
 		commitWait: reg.Histogram("ledger_commit_wait_seconds" + label),
@@ -163,7 +165,14 @@ func (n *Network) pump(node *consensus.Node, peer *Peer) {
 			}
 		}
 		if len(valid) > 0 {
-			peer.Ledger().AppendBlock(valid)
+			// A commit can now fail for real: with a WAL attached, the
+			// block must be durable before the world state applies. The
+			// block is simply not committed on this peer — the submitter's
+			// commit-wait times out and the caller retries, exactly like
+			// any other transient ledger failure.
+			if _, err := peer.Ledger().AppendBlock(valid); err != nil && n.met != nil {
+				n.met.commitErrs.Inc()
+			}
 		}
 	}
 }

@@ -19,7 +19,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"healthcloud/internal/analytics"
@@ -31,6 +33,7 @@ import (
 	"healthcloud/internal/client"
 	"healthcloud/internal/cloud"
 	"healthcloud/internal/consent"
+	"healthcloud/internal/durable"
 	"healthcloud/internal/faultinject"
 	"healthcloud/internal/hccache"
 	"healthcloud/internal/hckrypto"
@@ -77,6 +80,14 @@ type Config struct {
 	// IngestMaxAttempts caps bus deliveries per ingest message before it
 	// dead-letters (default 5; <0 disables the cap).
 	IngestMaxAttempts int
+	// DataDir roots the durable persistence layer: each Data Lake shard
+	// journals to its own segment directory under it and the provenance
+	// ledger write-ahead-logs committed blocks, so a restarted instance
+	// replays its state from disk. Empty (the default) keeps everything
+	// in memory, byte-identical to the pre-durability behavior. Opening
+	// a DataDir with interior corruption fails New with
+	// durable.ErrCorrupt rather than serving rewritten history.
+	DataDir string
 	// Shards is the Data Lake shard count (default 1 = today's single
 	// in-process lake, byte-identical behavior). Above 1 the lake is a
 	// shardlake cluster: consistent-hash placement, R-way replication,
@@ -155,6 +166,12 @@ type Platform struct {
 	// Monitor is the self-monitoring layer (nil when disabled); httpapi
 	// serves it at /readyz, /statusz, and /metrics/history.
 	Monitor *monitor.Monitor
+	// LakeLogs are the per-shard durable journals, keyed by shard name
+	// ("lake" for the single-lake layout). Empty when DataDir is unset.
+	LakeLogs map[string]*durable.LakeLog
+	// LedgerWAL is the provenance ledger's write-ahead log (nil when
+	// DataDir is unset or the ledger is disabled).
+	LedgerWAL *durable.WAL
 }
 
 // New builds and starts a platform instance.
@@ -174,8 +191,27 @@ func New(cfg Config) (*Platform, error) {
 	case cfg.IngestMaxAttempts < 0:
 		cfg.IngestMaxAttempts = 0 // explicit opt-out: unlimited redelivery
 	}
-	p := &Platform{cfg: cfg, Telemetry: cfg.Telemetry}
+	p := &Platform{cfg: cfg, Telemetry: cfg.Telemetry,
+		LakeLogs: make(map[string]*durable.LakeLog)}
 	reg, tracer := cfg.Telemetry.Registry(), cfg.Telemetry.Spans()
+
+	// openDurable replays a shard directory into a freshly built lake
+	// and attaches its write-ahead journal; a no-op without DataDir.
+	openDurable := func(name, dir string, lake *store.DataLake) error {
+		if cfg.DataDir == "" {
+			return nil
+		}
+		log, err := durable.OpenLake(dir, lake, durable.Options{
+			FaultScope: "durable." + name,
+			Faults:     cfg.Faults, Registry: reg, Tracer: tracer,
+		})
+		if err != nil {
+			return fmt.Errorf("core: durable lake %s: %w", name, err)
+		}
+		lake.SetJournal(log)
+		p.LakeLogs[name] = log
+		return nil
+	}
 
 	var err error
 	if p.KMS, err = hckrypto.NewKMS(cfg.Tenant); err != nil {
@@ -195,6 +231,9 @@ func New(cfg Config) (*Platform, error) {
 		lake := store.NewDataLake(p.KMS, "svc-storage")
 		lake.SetFaults(cfg.Faults)
 		lake.SetTelemetry(reg)
+		if err := openDurable("lake", filepath.Join(cfg.DataDir, "lake"), lake); err != nil {
+			return nil, err
+		}
 		p.Lake = lake
 	} else {
 		// All shards hang off the one KMS (the trust plane stays
@@ -204,7 +243,14 @@ func New(cfg Config) (*Platform, error) {
 		for i := range shards {
 			lake := store.NewDataLake(p.KMS, "svc-storage")
 			lake.SetTelemetry(reg)
-			shards[i] = shardlake.Shard{Name: shardlake.ShardName(i), Lake: lake}
+			name := shardlake.ShardName(i)
+			// One directory per shard: replication already moves portable
+			// Sealed records, so each replica journals independently and
+			// the quorum/repair machinery above is untouched.
+			if err := openDurable(name, filepath.Join(cfg.DataDir, "shards", name), lake); err != nil {
+				return nil, err
+			}
+			shards[i] = shardlake.Shard{Name: name, Lake: lake}
 		}
 		p.ShardLake, err = shardlake.New(shards, shardlake.Config{
 			Replicas: cfg.Replicas,
@@ -235,6 +281,30 @@ func New(cfg Config) (*Platform, error) {
 			blockchain.WithFaults(cfg.Faults),
 			blockchain.WithTelemetry(reg, tracer)); err != nil {
 			return nil, fmt.Errorf("core: ledger: %w", err)
+		}
+		if cfg.DataDir != "" {
+			// One WAL serves every peer: they commit the same blocks from
+			// the same ordered stream, the WAL dedups by number + hash and
+			// flags divergence. Each peer restores from the replayed chain
+			// (hash-verified by Restore) before the network takes traffic.
+			wal, blocks, err := durable.OpenWAL(filepath.Join(cfg.DataDir, "ledger"), durable.Options{
+				FaultScope: "durable.ledger",
+				Faults:     cfg.Faults, Registry: reg, Tracer: tracer,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: ledger wal: %w", err)
+			}
+			for _, id := range p.Provenance.PeerIDs() {
+				peer, perr := p.Provenance.Peer(id)
+				if perr != nil {
+					return nil, fmt.Errorf("core: ledger wal: %w", perr)
+				}
+				if rerr := peer.Ledger().Restore(blocks); rerr != nil {
+					return nil, fmt.Errorf("core: ledger wal restore (%s): %w", id, rerr)
+				}
+				peer.Ledger().SetWAL(wal)
+			}
+			p.LedgerWAL = wal
 		}
 	}
 
@@ -314,7 +384,8 @@ func New(cfg Config) (*Platform, error) {
 // injected submit-path latency) trip it.
 const (
 	monitorLedgerSlow    = 250 * time.Millisecond
-	monitorQueueDegraded = 1000 // ingest backlog before the queue probe degrades
+	monitorFsyncSlow     = 250 * time.Millisecond // durable probe's fsync-latency ceiling
+	monitorQueueDegraded = 1000                   // ingest backlog before the queue probe degrades
 	monitorSLOWindow     = time.Minute
 	// lakeRingSeed pins shardlake placement so experiments and tests see
 	// the same layout on every run.
@@ -426,6 +497,54 @@ func (p *Platform) wireMonitor(cfg Config, reg *telemetry.Registry, tracer *tele
 			return monitor.Degraded("no settled leader")
 		})
 	}
+	if len(p.LakeLogs) > 0 || p.LedgerWAL != nil {
+		// Durability probe: a wedged writer (torn write or failed fsync —
+		// the store refuses until reopen) means acks can no longer be
+		// honored, so it is Down, not Degraded. Slow fsyncs (injected
+		// stall or a saturated disk) surface as Degraded before they
+		// become upload-latency SLO breaches.
+		prober.AddCheck("durable-storage", func() monitor.Health {
+			type named struct {
+				name string
+				st   durable.Stats
+			}
+			all := make([]named, 0, len(p.LakeLogs)+1)
+			for name, log := range p.LakeLogs {
+				all = append(all, named{name, log.Stats()})
+			}
+			if p.LedgerWAL != nil {
+				all = append(all, named{"ledger", p.LedgerWAL.Stats()})
+			}
+			var wedged []string
+			var slow []string
+			var replayed int
+			var truncated int64
+			for _, n := range all {
+				if n.st.Wedged {
+					wedged = append(wedged, n.name)
+				}
+				if n.st.LastFsync > monitorFsyncSlow {
+					slow = append(slow, fmt.Sprintf("%s=%v", n.name,
+						n.st.LastFsync.Round(time.Millisecond)))
+				}
+				replayed += n.st.ReplayedRecs
+				truncated += n.st.TruncatedLen
+			}
+			sort.Strings(wedged)
+			sort.Strings(slow)
+			switch {
+			case len(wedged) > 0:
+				return monitor.Down("writer wedged: " + strings.Join(wedged, ", "))
+			case len(slow) > 0:
+				return monitor.Degraded(fmt.Sprintf("fsync over %v ceiling: %s",
+					monitorFsyncSlow, strings.Join(slow, ", ")))
+			default:
+				return monitor.Healthy(fmt.Sprintf(
+					"%d log(s) serving, replayed %d record(s), truncated %dB at open",
+					len(all), replayed, truncated))
+			}
+		})
+	}
 
 	hist := monitor.NewHistory(reg, 0)
 	eval := monitor.NewEvaluator(hist, []monitor.Objective{
@@ -488,7 +607,9 @@ func (p *Platform) wireMonitor(cfg Config, reg *telemetry.Registry, tracer *tele
 
 // Close stops background machinery. Order matters: the pipeline first
 // (its Close flushes any group-commit batcher so in-flight provenance
-// events are acked), then the batcher, then the bus and the network.
+// events are acked), then the batcher, then the bus and the network,
+// and the durable logs last — everything upstream has drained by then,
+// so their final fsync + close seals a complete image on disk.
 func (p *Platform) Close() {
 	p.Monitor.Watchdog().Stop()
 	p.Ingest.Close()
@@ -501,6 +622,12 @@ func (p *Platform) Close() {
 	p.Bus.Close()
 	if p.Provenance != nil {
 		p.Provenance.Close()
+	}
+	for _, log := range p.LakeLogs {
+		log.Close()
+	}
+	if p.LedgerWAL != nil {
+		p.LedgerWAL.Close()
 	}
 }
 

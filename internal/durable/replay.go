@@ -1,0 +1,170 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"healthcloud/internal/telemetry"
+)
+
+// ReplayInfo summarizes one directory replay, for the monitor's
+// replay-status probe and E20's replay-time row.
+type ReplayInfo struct {
+	Files          int           // log files replayed
+	Records        int           // valid frames applied
+	TruncatedBytes int64         // torn-tail bytes cut from the final segment
+	Duration       time.Duration // wall time of the replay
+}
+
+// replayDir reads every log file in dir in its logical order and
+// invokes apply for each valid frame. Recovery rules:
+//
+//   - Compacted files subsume the segment range in their name; the
+//     covering file with the largest range wins, older cmp files and
+//     covered segments are deleted (they are crash leftovers of a
+//     compaction that didn't finish its cleanup).
+//   - tmp-*.log files are compactions that crashed before their atomic
+//     rename; they are deleted unread.
+//   - A bad frame in the FINAL segment is a torn tail if and only if
+//     no complete valid frame exists after it: the tail is truncated at
+//     the first bad byte and startup proceeds. If a valid frame does
+//     follow the damage — or a bad frame appears in any non-final file,
+//     including every compacted file (those are written whole and
+//     renamed, so they have no tail to tear) — the damage is interior
+//     corruption the log cannot explain, and replay refuses with
+//     ErrCorrupt rather than serve a silently rewritten history.
+//
+// On success it returns the active segment number appends continue in.
+func replayDir(dir string, tracer *telemetry.Tracer, met *segMetrics, apply func(Record) error) (ReplayInfo, int, error) {
+	start := time.Now()
+	span := tracer.StartRoot("durable.replay")
+	if span != nil {
+		span.SetAttr("dir", dir)
+	}
+	info, active, err := replayDirInner(dir, apply)
+	info.Duration = time.Since(start)
+	if span != nil {
+		span.SetAttr("records", fmt.Sprint(info.Records))
+		span.SetAttr("truncated_bytes", fmt.Sprint(info.TruncatedBytes))
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+	}
+	if met != nil && err == nil {
+		met.replayRecs.Add(uint64(info.Records))
+		met.truncBytes.Add(uint64(info.TruncatedBytes))
+	}
+	return info, active, err
+}
+
+func replayDirInner(dir string, apply func(Record) error) (ReplayInfo, int, error) {
+	var info ReplayInfo
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return info, 0, fmt.Errorf("durable: creating %s: %w", dir, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return info, 0, fmt.Errorf("durable: reading %s: %w", dir, err)
+	}
+
+	// Classify the directory: drop tmp leftovers, collect segments and
+	// pick the widest compacted file.
+	var segs []int
+	bestCmpEnd, bestCmpStart := 0, 0
+	bestCmp := ""
+	var staleCmps []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if len(name) > 4 && name[:4] == "tmp-" {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if seq, ok := parseSeg(name); ok {
+			segs = append(segs, seq)
+			continue
+		}
+		if a, b, ok := parseCmp(name); ok {
+			if b > bestCmpEnd {
+				if bestCmp != "" {
+					staleCmps = append(staleCmps, bestCmp)
+				}
+				bestCmp, bestCmpStart, bestCmpEnd = name, a, b
+			} else {
+				staleCmps = append(staleCmps, name)
+			}
+		}
+	}
+	_ = bestCmpStart
+	for _, name := range staleCmps {
+		os.Remove(filepath.Join(dir, name))
+	}
+	sort.Ints(segs)
+
+	// Logical order: the covering compacted file first, then every
+	// segment past its range. Segments inside the range are leftovers
+	// of an interrupted compaction cleanup.
+	type logFile struct {
+		name  string
+		final bool // the active segment — the only file allowed a torn tail
+	}
+	var order []logFile
+	if bestCmp != "" {
+		order = append(order, logFile{name: bestCmp})
+	}
+	live := segs[:0]
+	for _, seq := range segs {
+		if seq <= bestCmpEnd {
+			os.Remove(filepath.Join(dir, segName(seq)))
+			continue
+		}
+		live = append(live, seq)
+	}
+	for i, seq := range live {
+		order = append(order, logFile{name: segName(seq), final: i == len(live)-1})
+	}
+
+	activeSeq := bestCmpEnd + 1
+	if n := len(live); n > 0 {
+		activeSeq = live[n-1]
+	}
+
+	for _, lf := range order {
+		path := filepath.Join(dir, lf.name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return info, 0, fmt.Errorf("durable: reading %s: %w", lf.name, err)
+		}
+		recs, validEnd, ok := scanFrames(data)
+		if !ok {
+			if !lf.final {
+				return info, 0, fmt.Errorf("%w: bad frame at %s:%d (sealed file)", ErrCorrupt, lf.name, validEnd)
+			}
+			// Final segment: a tear is only a tear if nothing valid
+			// follows it. A later intact frame means the damage is in
+			// the interior and truncating would rewrite history.
+			if resyncFinds(data, validEnd) {
+				return info, 0, fmt.Errorf("%w: bad frame at %s:%d with valid frames after it", ErrCorrupt, lf.name, validEnd)
+			}
+			cut := int64(len(data)) - int64(validEnd)
+			if err := os.Truncate(path, int64(validEnd)); err != nil {
+				return info, 0, fmt.Errorf("durable: truncating torn tail of %s: %w", lf.name, err)
+			}
+			info.TruncatedBytes += cut
+		}
+		for _, rec := range recs {
+			if err := apply(rec); err != nil {
+				return info, 0, fmt.Errorf("durable: replaying %s: %w", lf.name, err)
+			}
+			info.Records++
+		}
+		info.Files++
+	}
+	return info, activeSeq, nil
+}

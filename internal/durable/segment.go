@@ -1,0 +1,460 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"healthcloud/internal/faultinject"
+	"healthcloud/internal/telemetry"
+)
+
+// Disk fault-point suffixes. A SegmentStore scoped as "durable.lake"
+// consults "durable.lake.write" (append fails before any byte lands),
+// "durable.lake.torn" (append writes a partial frame then wedges — the
+// on-disk image a power cut mid-write leaves behind) and
+// "durable.lake.fsync" (fsync fails, or stalls via injected latency).
+const (
+	FaultWriteSuffix = ".write"
+	FaultTornSuffix  = ".torn"
+	FaultFsyncSuffix = ".fsync"
+)
+
+// DefaultMaxSegmentBytes rotates segments at 4 MiB — small enough that
+// whole-file replay reads stay cheap, large enough that rotation is
+// rare on the experiment workloads.
+const DefaultMaxSegmentBytes = 4 << 20
+
+// Options configures a SegmentStore.
+type Options struct {
+	// MaxSegmentBytes rotates the active segment once it grows past
+	// this size. Zero means DefaultMaxSegmentBytes.
+	MaxSegmentBytes int64
+	// SyncEachAppend fsyncs inline inside every Append instead of
+	// group-committing across concurrent appenders — the slow, simple
+	// baseline E20's fsync-batching row compares against.
+	SyncEachAppend bool
+	// FaultScope prefixes the disk fault points ("<scope>.write" etc.).
+	// Empty means "durable".
+	FaultScope string
+	// Faults is the shared fault-injection registry (nil disables).
+	Faults *faultinject.Registry
+	// Registry receives wal/segment metrics (nil disables).
+	Registry *telemetry.Registry
+	// Tracer records durable.replay spans (nil disables).
+	Tracer *telemetry.Tracer
+}
+
+// Stats is a point-in-time view of one store, for probes and tests.
+type Stats struct {
+	Segments     int           // segment + compacted files on disk
+	ActiveBytes  int64         // bytes in the active segment
+	Appends      uint64        // frames appended since open
+	Fsyncs       uint64        // fsync syscalls issued since open
+	LastFsync    time.Duration // duration of the most recent fsync
+	LastFsyncAt  time.Time     // when it completed
+	Wedged       bool          // writer refused after torn write / fsync failure
+	ReplayedRecs int           // frames replayed at open
+	TruncatedLen int64         // torn-tail bytes truncated at open
+}
+
+// segMetrics are the shared counters (multiple stores aggregate into
+// the same registry names, like the sharded lake's shards do).
+type segMetrics struct {
+	appends, appendBytes *telemetry.Counter
+	fsyncs               *telemetry.Counter
+	fsyncDur             *telemetry.Histogram
+	rotations            *telemetry.Counter
+	replayRecs           *telemetry.Counter
+	truncBytes           *telemetry.Counter
+	compactions          *telemetry.Counter
+	compactDrops         *telemetry.Counter
+}
+
+func newSegMetrics(reg *telemetry.Registry) *segMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &segMetrics{
+		appends:      reg.Counter("durable_appends_total"),
+		appendBytes:  reg.Counter("durable_append_bytes_total"),
+		fsyncs:       reg.Counter("durable_fsyncs_total"),
+		fsyncDur:     reg.Histogram("durable_fsync_seconds"),
+		rotations:    reg.Counter("durable_segment_rotations_total"),
+		replayRecs:   reg.Counter("durable_replay_records_total"),
+		truncBytes:   reg.Counter("durable_replay_truncated_bytes_total"),
+		compactions:  reg.Counter("durable_compactions_total"),
+		compactDrops: reg.Counter("durable_compaction_dropped_total"),
+	}
+}
+
+// SegmentStore is the append-only substrate both faces share: a
+// directory of CRC32C-framed segment files with group-commit fsync
+// batching and size-based rotation. Appends are staged in order under
+// one mutex; durability waits happen outside it, and the first waiter
+// of a batch fsyncs for everyone (leader-based group commit).
+type SegmentStore struct {
+	dir string
+	opt Options
+	met *segMetrics
+
+	ptWrite, ptTorn, ptFsync string
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	f         *os.File
+	seq       int   // active segment number
+	size      int64 // bytes staged in the active segment
+	appendSeq uint64
+	syncedSeq uint64
+	syncing   bool
+	stats     Stats
+	closed    bool
+	wedged    bool
+	wedgeErr  error
+}
+
+// openSegmentStore opens dir's active segment for appending, creating
+// seg-000001.log when the directory is empty. Replay has already run
+// (and truncated any torn tail) by the time this is called.
+func openSegmentStore(dir string, activeSeq int, opt Options) (*SegmentStore, error) {
+	if opt.MaxSegmentBytes <= 0 {
+		opt.MaxSegmentBytes = DefaultMaxSegmentBytes
+	}
+	scope := opt.FaultScope
+	if scope == "" {
+		scope = "durable"
+	}
+	if activeSeq < 1 {
+		activeSeq = 1
+	}
+	path := filepath.Join(dir, segName(activeSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("durable: opening segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: stating segment: %w", err)
+	}
+	s := &SegmentStore{
+		dir: dir, opt: opt, met: newSegMetrics(opt.Registry),
+		ptWrite: scope + FaultWriteSuffix,
+		ptTorn:  scope + FaultTornSuffix,
+		ptFsync: scope + FaultFsyncSuffix,
+		f:       f, seq: activeSeq, size: fi.Size(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Append frames payload, stages it in the active segment, and returns
+// a wait function that blocks until the frame is durable (fsynced).
+// Staging order under the store's mutex is the replay order, so a
+// caller that stages inside its own critical section gets journal
+// order identical to its in-memory apply order, then waits for
+// durability after releasing its lock.
+func (s *SegmentStore) Append(kind byte, payload []byte) (wait func() error, err error) {
+	frame := encodeFrame(kind, payload)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.wedged {
+		err := s.wedgeErr
+		s.mu.Unlock()
+		return nil, err
+	}
+	if ferr := s.opt.Faults.Check(s.ptWrite); ferr != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("durable: segment write: %w", ferr)
+	}
+	if ferr := s.opt.Faults.Check(s.ptTorn); ferr != nil {
+		err := s.tearLocked(frame, ferr)
+		s.mu.Unlock()
+		return nil, err
+	}
+	if s.size >= s.opt.MaxSegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+	}
+	if _, err := s.f.Write(frame); err != nil {
+		s.wedge(fmt.Errorf("durable: segment write: %w", err))
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.size += int64(len(frame))
+	s.appendSeq++
+	seq := s.appendSeq
+	s.stats.Appends++
+	if s.met != nil {
+		s.met.appends.Inc()
+		s.met.appendBytes.Add(uint64(len(frame)))
+	}
+	if s.opt.SyncEachAppend {
+		err := s.fsyncLocked()
+		s.mu.Unlock()
+		return func() error { return err }, err
+	}
+	s.mu.Unlock()
+	return func() error { return s.waitSynced(seq) }, nil
+}
+
+// AppendSync appends and waits for durability in one call.
+func (s *SegmentStore) AppendSync(kind byte, payload []byte) error {
+	wait, err := s.Append(kind, payload)
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// tearLocked simulates the on-disk image of a crash mid-write: a
+// prefix of the frame lands (and is flushed so a post-SIGKILL reader
+// sees it), then the writer wedges — the file position can no longer
+// be trusted, so every later append fails until the store is reopened
+// and replay truncates the tear.
+func (s *SegmentStore) tearLocked(frame []byte, cause error) error {
+	cut := len(frame) / 2
+	if cut == 0 {
+		cut = 1
+	}
+	s.f.Write(frame[:cut])
+	s.f.Sync()
+	s.size += int64(cut)
+	err := fmt.Errorf("%w: %v", ErrWedged, cause)
+	s.wedge(err)
+	return err
+}
+
+// wedge marks the writer unusable; waiters are released with the error.
+func (s *SegmentStore) wedge(err error) {
+	s.wedged = true
+	s.wedgeErr = err
+	s.stats.Wedged = true
+	s.cond.Broadcast()
+}
+
+// fsyncLocked syncs the active segment under the store mutex (the
+// SyncEachAppend baseline and rotation path).
+func (s *SegmentStore) fsyncLocked() error {
+	if ferr := s.opt.Faults.Check(s.ptFsync); ferr != nil {
+		err := fmt.Errorf("durable: fsync: %w", ferr)
+		s.wedge(err)
+		return err
+	}
+	start := time.Now()
+	if err := s.f.Sync(); err != nil {
+		err = fmt.Errorf("durable: fsync: %w", err)
+		s.wedge(err)
+		return err
+	}
+	s.observeFsync(time.Since(start))
+	s.syncedSeq = s.appendSeq
+	return nil
+}
+
+func (s *SegmentStore) observeFsync(d time.Duration) {
+	s.stats.Fsyncs++
+	s.stats.LastFsync = d
+	s.stats.LastFsyncAt = time.Now()
+	if s.met != nil {
+		s.met.fsyncs.Inc()
+		s.met.fsyncDur.Observe(d)
+	}
+}
+
+// waitSynced blocks until frame seq is durable. The first waiter to
+// arrive while no fsync is in flight becomes the batch leader: it
+// syncs once for every frame staged so far, then wakes the batch. A
+// failed or injected-failing fsync wedges the store — after fsync has
+// lied once, the cache state is unknowable, so refusing further writes
+// until reopen is the only honest answer.
+func (s *SegmentStore) waitSynced(seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.syncedSeq >= seq {
+			return nil
+		}
+		if s.wedged {
+			return s.wedgeErr
+		}
+		if s.closed {
+			return ErrClosed
+		}
+		if !s.syncing {
+			s.syncing = true
+			target := s.appendSeq
+			f := s.f
+			s.mu.Unlock()
+
+			var err error
+			if ferr := s.opt.Faults.Check(s.ptFsync); ferr != nil {
+				err = fmt.Errorf("durable: fsync: %w", ferr)
+			} else {
+				start := time.Now()
+				if serr := f.Sync(); serr != nil {
+					err = fmt.Errorf("durable: fsync: %w", serr)
+				} else {
+					dur := time.Since(start)
+					s.mu.Lock()
+					s.observeFsync(dur)
+					s.mu.Unlock()
+				}
+			}
+
+			s.mu.Lock()
+			s.syncing = false
+			if err != nil {
+				s.wedge(err)
+				return err
+			}
+			if target > s.syncedSeq {
+				s.syncedSeq = target
+			}
+			s.cond.Broadcast()
+			continue
+		}
+		s.cond.Wait()
+	}
+}
+
+// rotateLocked seals the active segment (one final fsync so its staged
+// frames are durable before the writer moves on) and starts the next.
+func (s *SegmentStore) rotateLocked() error {
+	if err := s.fsyncLocked(); err != nil {
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		err = fmt.Errorf("durable: closing segment: %w", err)
+		s.wedge(err)
+		return err
+	}
+	s.seq++
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(s.seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		err = fmt.Errorf("durable: opening segment: %w", err)
+		s.wedge(err)
+		return err
+	}
+	s.f = f
+	s.size = 0
+	s.cond.Broadcast() // everything staged so far is durable
+	if s.met != nil {
+		s.met.rotations.Inc()
+	}
+	return nil
+}
+
+// Sync forces durability of everything staged so far (graceful
+// shutdown's flush step).
+func (s *SegmentStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.wedged {
+		return s.wedgeErr
+	}
+	if s.syncedSeq >= s.appendSeq {
+		return nil
+	}
+	return s.fsyncLocked()
+}
+
+// Close syncs and closes the active segment. Further appends fail with
+// ErrClosed.
+func (s *SegmentStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	var err error
+	if !s.wedged && s.syncedSeq < s.appendSeq {
+		err = s.fsyncLocked()
+	}
+	if cerr := s.f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("durable: closing segment: %w", cerr)
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	return err
+}
+
+// Stats snapshots the store's counters.
+func (s *SegmentStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.ActiveBytes = s.size
+	st.Wedged = s.wedged
+	if names, err := listLogFiles(s.dir); err == nil {
+		st.Segments = len(names)
+	}
+	return st
+}
+
+// Wedged reports whether the writer refused after a torn write or
+// failed fsync (the monitor's durability probe consults this).
+func (s *SegmentStore) Wedged() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wedged
+}
+
+// --- file naming ---------------------------------------------------
+
+func segName(seq int) string { return fmt.Sprintf("seg-%06d.log", seq) }
+
+func cmpName(a, b int) string { return fmt.Sprintf("cmp-%06d-%06d.log", a, b) }
+
+// parseSeg returns the sequence number of a seg-NNNNNN.log name.
+func parseSeg(name string) (int, bool) {
+	var seq int
+	if n, err := fmt.Sscanf(name, "seg-%06d.log", &seq); err != nil || n != 1 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// parseCmp returns the [a,b] segment range a cmp-file covers.
+func parseCmp(name string) (a, b int, ok bool) {
+	if n, err := fmt.Sscanf(name, "cmp-%06d-%06d.log", &a, &b); err != nil || n != 2 {
+		return 0, 0, false
+	}
+	return a, b, true
+}
+
+// listLogFiles returns the seg-/cmp- file names in dir, sorted.
+func listLogFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: reading %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasPrefix(name, "seg-") || strings.HasPrefix(name, "cmp-") {
+			if strings.HasSuffix(name, ".log") {
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

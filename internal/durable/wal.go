@@ -1,0 +1,121 @@
+package durable
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"healthcloud/internal/blockchain"
+)
+
+// WAL is the write-ahead log for blockchain.Ledger world state: every
+// committed block is framed to disk before any peer applies it, and
+// OpenWAL returns the replayed chain for Ledger.Restore to verify and
+// rebuild from. One WAL is shared by all peers of a network — each
+// peer commits the same blocks in the same order from the ordered
+// stream, so the WAL deduplicates by block number and hash, and an
+// append of a same-numbered block with a different hash is surfaced as
+// divergence instead of being silently dropped.
+type WAL struct {
+	seg  *SegmentStore
+	info ReplayInfo
+
+	mu        sync.Mutex
+	hashByNum map[uint64]string
+	next      uint64
+}
+
+var _ blockchain.BlockWAL = (*WAL)(nil)
+
+// OpenWAL replays dir and opens the log for appending. The returned
+// blocks are the verified replay input for Ledger.Restore on every
+// peer. A torn tail (the block a crash interrupted mid-frame) is
+// truncated — that block was never acknowledged, because commit waits
+// for the WAL; interior corruption returns ErrCorrupt.
+func OpenWAL(dir string, opt Options) (*WAL, []blockchain.Block, error) {
+	var blocks []blockchain.Block
+	met := newSegMetrics(opt.Registry)
+	info, activeSeq, err := replayDir(dir, opt.Tracer, met, func(rec Record) error {
+		if rec.Kind != KindBlock {
+			return fmt.Errorf("unexpected frame kind 0x%02x in ledger wal", rec.Kind)
+		}
+		var b blockchain.Block
+		if err := json.Unmarshal(rec.Payload, &b); err != nil {
+			return fmt.Errorf("decoding block: %w", err)
+		}
+		blocks = append(blocks, b)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &WAL{seg: nil, info: info, hashByNum: make(map[uint64]string, len(blocks))}
+	for _, b := range blocks {
+		if b.Number != w.next {
+			return nil, nil, fmt.Errorf("%w: wal block %d out of order (want %d)", ErrCorrupt, b.Number, w.next)
+		}
+		w.hashByNum[b.Number] = hex.EncodeToString(b.Hash)
+		w.next++
+	}
+	seg, err := openSegmentStore(dir, activeSeq, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	w.seg = seg
+	return w, blocks, nil
+}
+
+// Append implements blockchain.BlockWAL. It blocks until the block's
+// frame is durable, so AppendBlock's caller — and transitively the
+// submitter's commit-wait — only ever sees a block that would survive
+// a crash.
+func (w *WAL) Append(b blockchain.Block) error {
+	w.mu.Lock()
+	if h, ok := w.hashByNum[b.Number]; ok {
+		w.mu.Unlock()
+		if h == hex.EncodeToString(b.Hash) {
+			return nil // another peer already framed this block
+		}
+		return fmt.Errorf("durable: ledger divergence at block %d", b.Number)
+	}
+	if b.Number != w.next {
+		w.mu.Unlock()
+		return fmt.Errorf("durable: wal gap: block %d submitted, want %d", b.Number, w.next)
+	}
+	payload, err := json.Marshal(b)
+	if err != nil {
+		w.mu.Unlock()
+		return fmt.Errorf("durable: encoding block: %w", err)
+	}
+	wait, err := w.seg.Append(KindBlock, payload)
+	if err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.hashByNum[b.Number] = hex.EncodeToString(b.Hash)
+	w.next++
+	w.mu.Unlock()
+	return wait()
+}
+
+// ReplayInfo reports what OpenWAL replayed.
+func (w *WAL) ReplayInfo() ReplayInfo { return w.info }
+
+// Stats snapshots the underlying segment store, replay info included.
+func (w *WAL) Stats() Stats {
+	st := w.seg.Stats()
+	st.ReplayedRecs = w.info.Records
+	st.TruncatedLen = w.info.TruncatedBytes
+	return st
+}
+
+// Wedged reports whether the writer refused after a torn write or
+// failed fsync.
+func (w *WAL) Wedged() bool { return w.seg.Wedged() }
+
+// Sync flushes everything staged (graceful shutdown).
+func (w *WAL) Sync() error { return w.seg.Sync() }
+
+// Close syncs and closes the log.
+func (w *WAL) Close() error { return w.seg.Close() }

@@ -1,0 +1,481 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"time"
+
+	"healthcloud/internal/consent"
+	"healthcloud/internal/core"
+	"healthcloud/internal/durable"
+	"healthcloud/internal/faultinject"
+	"healthcloud/internal/fhir"
+	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/ingest"
+	"healthcloud/internal/kb"
+	"healthcloud/internal/shardlake"
+	"healthcloud/internal/store"
+)
+
+// E20 kills a real child process mid-ingest — including mid-frame, via
+// an injected torn write — and proves the restarted instance loses no
+// acknowledged upload. The child is this same binary re-executed with
+// E20ChildEnv set; both cmd/benchreport and the experiments TestMain
+// hook dispatch to E20Child before doing anything else.
+const (
+	// E20ChildEnv marks a process as the E20 crash-test child.
+	E20ChildEnv = "HEALTHCLOUD_E20_CHILD"
+	// e20DirEnv is the child's durable data directory.
+	e20DirEnv = "HEALTHCLOUD_E20_DIR"
+	// e20TornEnv arms a torn write on shard-0's journal after N appends.
+	e20TornEnv = "HEALTHCLOUD_E20_TORN"
+
+	e20Tenant = "e20-lab"
+	e20Client = "e20-client"
+	// e20TornAfter lets roughly 15–25 uploads land before the tear
+	// (each upload journals an identified + a de-identified record on
+	// each of the two replicas, plus grant frames).
+	e20TornAfter = 60
+	// e20AcksAfterWedge: the parent keeps the child alive for this many
+	// more acknowledged uploads after the wedge, so the kill provably
+	// lands mid-ingest with a torn frame already on disk.
+	e20AcksAfterWedge = 5
+)
+
+// e20Event is one line of the child's stdout protocol.
+type e20Event struct {
+	Type     string `json:"type"` // ready | ack | wedged | error
+	Seq      int    `json:"seq,omitempty"`
+	UploadID string `json:"upload_id,omitempty"`
+	RefID    string `json:"ref_id,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// e20Peers is the child's and the reopened parent's ledger membership.
+func e20Peers() []string { return []string{"hospital", "audit-svc", "data-protection"} }
+
+// e20Config builds the platform configuration both the child and the
+// post-crash reopen use: 2 shards at R=2 (every object on both), a
+// 3-peer provenance ledger, durable storage rooted at dir.
+func e20Config(dir string, faults *faultinject.Registry) (core.Config, error) {
+	kbCfg := kb.DefaultConfig()
+	kbCfg.Drugs, kbCfg.Diseases = 10, 5
+	dataset, err := kb.Generate(kbCfg)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		Tenant:      e20Tenant,
+		Shards:      2,
+		Replicas:    2,
+		LedgerPeers: e20Peers(),
+		DataDir:     dir,
+		KBDataset:   dataset,
+		Faults:      faults,
+	}, nil
+}
+
+// e20Upload pushes one patient bundle through the pipeline and waits
+// for a terminal state.
+func e20Upload(p *core.Platform, key []byte, seq int) (ingest.Status, error) {
+	pid := fmt.Sprintf("patient-%05d", seq)
+	p.Consents.Grant(pid, "study", consent.PurposeResearch, 0)
+	b := fhir.NewBundle("collection")
+	b.AddResource(&fhir.Patient{ResourceType: "Patient", ID: pid, Gender: "female"})
+	raw, err := fhir.Marshal(b)
+	if err != nil {
+		return ingest.Status{}, err
+	}
+	payload, err := hckrypto.EncryptGCM(key, raw, []byte(e20Client))
+	if err != nil {
+		return ingest.Status{}, err
+	}
+	id, err := p.Ingest.Upload(e20Client, "study", payload)
+	if err != nil {
+		return ingest.Status{}, err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := p.Ingest.Status(id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("upload %s stuck in state %s", id, st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// E20Child is the crash-test child's entry point: it runs a durable
+// platform, acknowledges uploads on stdout (one JSON line each, only
+// after the pipeline reports them stored — which means fsynced), and
+// keeps ingesting until the parent SIGKILLs it. It never returns.
+func E20Child() {
+	enc := json.NewEncoder(os.Stdout)
+	if err := e20ChildRun(enc); err != nil {
+		enc.Encode(e20Event{Type: "error", Detail: err.Error()})
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func e20ChildRun(enc *json.Encoder) error {
+	dir := os.Getenv(e20DirEnv)
+	if dir == "" {
+		return errors.New("e20 child: " + e20DirEnv + " not set")
+	}
+	faults := faultinject.NewRegistry(1907)
+	if n, _ := strconv.Atoi(os.Getenv(e20TornEnv)); n > 0 {
+		// After n clean appends, shard-0's journal writes half a frame,
+		// flushes the tear to disk, and wedges — the exact on-disk image
+		// a power cut mid-write leaves. The shard keeps erroring; R=2
+		// replication keeps acknowledging through shard-1.
+		faults.Enable("durable."+shardlake.ShardName(0)+durable.FaultTornSuffix,
+			faultinject.Fault{SkipFirst: n, FailFirst: 1})
+	}
+	cfg, err := e20Config(dir, faults)
+	if err != nil {
+		return err
+	}
+	p, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	key, err := p.Ingest.RegisterClient(e20Client)
+	if err != nil {
+		return err
+	}
+	enc.Encode(e20Event{Type: "ready"})
+	wedgedSent := false
+	for seq := 0; seq < 5000; seq++ {
+		st, err := e20Upload(p, key, seq)
+		if err != nil {
+			return err
+		}
+		if st.State == ingest.StateStored {
+			enc.Encode(e20Event{Type: "ack", Seq: seq, UploadID: st.UploadID, RefID: st.RefID})
+		} else {
+			return fmt.Errorf("upload %d ended %s: %s", seq, st.State, st.Error)
+		}
+		if !wedgedSent {
+			for name, log := range p.LakeLogs {
+				if log.Wedged() {
+					enc.Encode(e20Event{Type: "wedged", Detail: name})
+					wedgedSent = true
+				}
+			}
+		}
+	}
+	return errors.New("e20 child drained its whole workload without being killed")
+}
+
+// e20RunChild re-executes this binary as the crash-test child, reads
+// its acknowledgment stream, and SIGKILLs it once the torn write has
+// landed and several more uploads were acknowledged after it. It
+// returns every acknowledged upload and how many were acknowledged
+// after the wedge.
+func e20RunChild(dir string) (acked []e20Event, afterWedge int, err error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, 0, err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		E20ChildEnv+"=1",
+		e20DirEnv+"="+dir,
+		e20TornEnv+"="+strconv.Itoa(e20TornAfter))
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, 0, err
+	}
+	events := make(chan e20Event, 256)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			var ev e20Event
+			// The kill can land mid-line; a trailing partial record is
+			// exactly the torn-tail story and is simply dropped here too.
+			if json.Unmarshal(sc.Bytes(), &ev) == nil {
+				events <- ev
+			}
+		}
+	}()
+
+	wedgeAt := -1
+	timeout := time.After(120 * time.Second)
+	var childErr string
+loop:
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				cmd.Wait()
+				return nil, 0, fmt.Errorf("e20 child exited before the kill (err=%q, stderr=%q)",
+					childErr, stderr.String())
+			}
+			switch ev.Type {
+			case "ack":
+				acked = append(acked, ev)
+			case "wedged":
+				wedgeAt = len(acked)
+			case "error":
+				childErr = ev.Detail
+			}
+			if wedgeAt >= 0 && len(acked) >= wedgeAt+e20AcksAfterWedge {
+				break loop
+			}
+		case <-timeout:
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, 0, fmt.Errorf("e20 child never reached the kill point (acks=%d wedged=%v)",
+				len(acked), wedgeAt >= 0)
+		}
+	}
+	// SIGKILL: no handlers, no flushes — whatever fsync acknowledged is
+	// all the disk is guaranteed to hold.
+	cmd.Process.Kill()
+	cmd.Wait()
+	for range events {
+		// drain the scanner goroutine
+	}
+	return acked, len(acked) - wedgeAt, nil
+}
+
+// e20FsyncBench measures the fsync-batching win on the journal
+// substrate: 8 workers × 50 framed records, fsync-per-append vs
+// leader-based group commit. Records are sealed up front (sealing
+// serializes on the KMS and would hide the journal), and each worker
+// stages its batch before awaiting durability — the pipelined-writer
+// shape — so the group-commit run coalesces by construction instead of
+// by scheduler luck: one leader fsync covers everything staged, while
+// the baseline pays one fsync per frame no matter what.
+func e20FsyncBench(syncEach bool) (wall time.Duration, stats durable.Stats, err error) {
+	dir, err := os.MkdirTemp("", "healthcloud-e20-bench-")
+	if err != nil {
+		return 0, stats, err
+	}
+	defer os.RemoveAll(dir)
+	kms, err := hckrypto.NewKMS("e20-bench")
+	if err != nil {
+		return 0, stats, err
+	}
+	lake := store.NewDataLake(kms, "svc-storage")
+	log, err := durable.OpenLake(dir, lake, durable.Options{SyncEachAppend: syncEach})
+	if err != nil {
+		return 0, stats, err
+	}
+	const workers, perWorker = 8, 50
+	payload := []byte(`{"resourceType":"Observation","status":"final","value":42}`)
+	sealed := make([][]store.Sealed, workers)
+	for w := range sealed {
+		sealed[w] = make([]store.Sealed, perWorker)
+		for j := range sealed[w] {
+			s, err := lake.Seal(fmt.Sprintf("p-%02d-%03d", w, j), payload, store.Meta{
+				ContentType: "fhir+json;identified", Tenant: "e20-bench", Group: "bench",
+			})
+			if err != nil {
+				return 0, stats, err
+			}
+			sealed[w][j] = s
+		}
+	}
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			waits := make([]func() error, 0, perWorker)
+			for _, s := range sealed[w] {
+				wait, err := log.Append(store.JournalRecord{Op: store.OpPut, Sealed: s})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				waits = append(waits, wait)
+			}
+			for _, wait := range waits {
+				if err := wait(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall = time.Since(start)
+	select {
+	case err := <-errCh:
+		return 0, stats, err
+	default:
+	}
+	stats = log.Stats()
+	return wall, stats, log.Close()
+}
+
+// E20CrashRecovery is the kill-and-restart experiment: a child process
+// ingests through a 2-shard R=2 durable lake and a 3-peer WAL-backed
+// ledger, suffers an injected torn write on one shard's journal,
+// acknowledges more uploads through the surviving replica, and is
+// SIGKILLed mid-ingest. The parent then reopens the same data
+// directory in-process and verifies the durability contract: the torn
+// tail is truncated (never refused), every acknowledged upload is
+// still present, a repair sweep re-converges the replicas
+// byte-identically, and all three peers replay the identical
+// hash-verified chain. Replay-time and fsync-batching rows quantify
+// the cost of the guarantee.
+func E20CrashRecovery() (*Result, error) {
+	if os.Getenv(E20ChildEnv) != "" {
+		return nil, errors.New("E20 must not run inside its own child")
+	}
+	dir, err := os.MkdirTemp("", "healthcloud-e20-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	acked, afterWedge, err := e20RunChild(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Restart: reopen the same directory in-process, no faults armed.
+	cfg, err := e20Config(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	reopenStart := time.Now()
+	p, err := core.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("E20: reopening after crash: %w", err)
+	}
+	defer p.Close()
+	reopenWall := time.Since(reopenStart)
+
+	var replayed int
+	var truncated int64
+	var replayTime time.Duration
+	for _, log := range p.LakeLogs {
+		info := log.ReplayInfo()
+		replayed += info.Records
+		truncated += info.TruncatedBytes
+		replayTime += info.Duration
+	}
+	if p.LedgerWAL != nil {
+		replayTime += p.LedgerWAL.ReplayInfo().Duration
+	}
+
+	// Zero acknowledged-upload loss: every ref the child acked must
+	// resolve after replay.
+	lost := 0
+	for _, ev := range acked {
+		if _, err := p.Lake.Meta(ev.RefID); err != nil {
+			lost++
+		}
+	}
+
+	// The torn shard missed everything after its wedge; hints died with
+	// the process, so convergence is re-established by the repair sweep
+	// (exactly what a restarted node runs), then verified byte-by-byte.
+	repaired := p.ShardLake.RepairAll()
+	objects, divergent := p.ShardLake.VerifyConvergence()
+
+	// Ledger replay: every peer restored the identical chain from the
+	// shared WAL, hash-verified block by block, with identical world
+	// state.
+	ledgerOK := p.Provenance != nil
+	height := 0
+	agree := 0
+	if p.Provenance != nil {
+		var first string
+		for i, id := range p.Provenance.PeerIDs() {
+			peer, perr := p.Provenance.Peer(id)
+			if perr != nil {
+				return nil, perr
+			}
+			led := peer.Ledger()
+			if verr := led.VerifyChain(); verr != nil {
+				ledgerOK = false
+				continue
+			}
+			h := led.StateHash()
+			if i == 0 {
+				first, height = h, led.Height()
+			}
+			if h == first {
+				agree++
+			}
+		}
+		ledgerOK = ledgerOK && agree == len(p.Provenance.PeerIDs()) && height > 0
+	}
+
+	// Fsync batching on the same substrate the crash test exercised.
+	wallSync, statsSync, err := e20FsyncBench(true)
+	if err != nil {
+		return nil, err
+	}
+	wallGroup, statsGroup, err := e20FsyncBench(false)
+	if err != nil {
+		return nil, err
+	}
+	speedup := float64(wallSync) / float64(wallGroup)
+
+	// Batching depth varies with scheduler and fsync speed (the -race
+	// runs stage slower, so fewer waiters pile per sync); the pinned
+	// shape is that group commit strictly coalesces, not a fixed ratio.
+	holds := lost == 0 && afterWedge >= 1 && truncated > 0 &&
+		len(divergent) == 0 && ledgerOK &&
+		statsGroup.Fsyncs < statsSync.Fsyncs
+	return &Result{
+		ID: "E20",
+		Title: fmt.Sprintf("crash recovery: SIGKILL mid-ingest with a torn frame on disk; "+
+			"%d acked uploads replayed from WAL-backed segments", len(acked)),
+		PaperClaim: "the Data Lake is the system of record for PHI (§II-A) and the blockchain an " +
+			"immutable audit trail (§IV-B1): neither may lose an acknowledged write to a crash, " +
+			"so every ack must be preceded by an fsynced journal frame and restart must replay " +
+			"identical state — truncating torn tails, never silently dropping interior history",
+		Rows: []Row{
+			{"uploads acked before SIGKILL", float64(len(acked)), ""},
+			{"acked after torn-write wedge", float64(afterWedge), ""},
+			{"acked uploads missing after replay", float64(lost), ""},
+			{"torn-tail bytes truncated at reopen", float64(truncated), "B"},
+			{"lake records replayed", float64(replayed), ""},
+			{"ledger blocks replayed", float64(height), ""},
+			{"peers agreeing on replayed state hash", float64(agree), ""},
+			{"platform reopen wall", reopenWall.Seconds() * 1000, "ms"},
+			{"durable replay time (all logs)", replayTime.Seconds() * 1000, "ms"},
+			{"records re-copied by repair sweep", float64(repaired), ""},
+			{"objects verified converged", float64(objects), ""},
+			{"divergent objects", float64(len(divergent)), ""},
+			{"400 sealed installs, fsync-per-append", wallSync.Seconds() * 1000, "ms"},
+			{"400 sealed installs, group-commit fsync", wallGroup.Seconds() * 1000, "ms"},
+			{"fsyncs issued, fsync-per-append", float64(statsSync.Fsyncs), ""},
+			{"fsyncs issued, group-commit", float64(statsGroup.Fsyncs), ""},
+			{"group-commit speedup", speedup, "x"},
+		},
+		Shape: verdict(holds,
+			fmt.Sprintf("SIGKILL with a torn frame lost 0 of %d acked uploads; replay truncated "+
+				"%dB of torn tail, %d peers re-converged on one state hash, repair restored "+
+				"byte-identical replicas, and group commit cut %d fsyncs to %d",
+				len(acked), truncated, agree, statsSync.Fsyncs, statsGroup.Fsyncs)),
+	}, nil
+}

@@ -1,9 +1,24 @@
 package experiments
 
 import (
+	"os"
 	"strings"
 	"testing"
+
+	"healthcloud/internal/core"
+	"healthcloud/internal/ingest"
 )
+
+// TestMain dispatches to the E20 crash-test child when this test
+// binary is re-executed with E20ChildEnv set: the child runs a durable
+// platform and ingests until the parent SIGKILLs it. E20Child exits
+// the process, so m.Run never executes in that mode.
+func TestMain(m *testing.M) {
+	if os.Getenv(E20ChildEnv) != "" {
+		E20Child()
+	}
+	os.Exit(m.Run())
+}
 
 // TestAllShapesHold runs the full reproduction harness and requires every
 // experiment to report its paper-predicted shape. This is the repo's
@@ -253,5 +268,118 @@ func TestE19ShardedLake(t *testing.T) {
 	}
 	if !strings.HasPrefix(r.Shape, "HOLDS") {
 		t.Errorf("shape: %s", r.Shape)
+	}
+}
+
+// TestE20CrashRecovery pins the durability acceptance criteria: a
+// child process SIGKILLed mid-ingest — with an injected torn write
+// already flushed to one shard's journal — must lose zero acknowledged
+// uploads across restart, the torn tail must be truncated (not
+// refused), replicas must re-converge byte-identically after the
+// repair sweep, all ledger peers must replay one hash-verified chain,
+// and group-commit fsync batching must at least halve the fsync count.
+func TestE20CrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-recovery experiment skipped in -short mode")
+	}
+	r, err := E20CrashRecovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]float64{}
+	for _, row := range r.Rows {
+		rows[row.Label] = row.Value
+	}
+	if got := rows["acked uploads missing after replay"]; got != 0 {
+		t.Errorf("lost %v acked uploads, want 0", got)
+	}
+	if got := rows["acked after torn-write wedge"]; got < 1 {
+		t.Error("no uploads acked after the wedge — the kill did not land mid-ingest")
+	}
+	if got := rows["torn-tail bytes truncated at reopen"]; got <= 0 {
+		t.Errorf("torn-tail bytes truncated = %v, want > 0", got)
+	}
+	if got := rows["divergent objects"]; got != 0 {
+		t.Errorf("divergent objects after repair = %v, want 0", got)
+	}
+	if got, n := rows["peers agreeing on replayed state hash"], 3.0; got != n {
+		t.Errorf("peers agreeing on state hash = %v, want %v", got, n)
+	}
+	if g, s := rows["fsyncs issued, group-commit"], rows["fsyncs issued, fsync-per-append"]; g >= s {
+		t.Errorf("group commit issued %v fsyncs vs %v — batching never coalesced", g, s)
+	}
+	if !strings.HasPrefix(r.Shape, "HOLDS") {
+		t.Errorf("shape: %s", r.Shape)
+	}
+}
+
+// TestCleanStopStartNoLoss is the graceful-shutdown regression: a
+// platform that stops cleanly (Platform.Close drains intake, flushes
+// the ledger, then syncs and closes the durable logs) must restart
+// with every acknowledged upload present and the identical ledger
+// state hash — and with nothing truncated, because a clean stop leaves
+// no torn tail.
+func TestCleanStopStartNoLoss(t *testing.T) {
+	dir := t.TempDir()
+	cfg, err := e20Config(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := p.Ingest.RegisterClient(e20Client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const uploads = 10
+	refs := make([]string, 0, uploads)
+	for i := 0; i < uploads; i++ {
+		st, err := e20Upload(p, key, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != ingest.StateStored {
+			t.Fatalf("upload %d ended %s: %s", i, st.State, st.Error)
+		}
+		refs = append(refs, st.RefID)
+	}
+	count := p.Lake.Count()
+	peer, err := p.Provenance.Peer(p.Provenance.PeerIDs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateHash := peer.Ledger().StateHash()
+	p.Close()
+
+	p2, err := core.New(cfg)
+	if err != nil {
+		t.Fatalf("reopen after clean stop: %v", err)
+	}
+	defer p2.Close()
+	for _, log := range p2.LakeLogs {
+		if tb := log.ReplayInfo().TruncatedBytes; tb != 0 {
+			t.Errorf("clean stop left %dB of torn tail", tb)
+		}
+	}
+	if got := p2.Lake.Count(); got != count {
+		t.Errorf("restart holds %d objects, want %d", got, count)
+	}
+	for _, ref := range refs {
+		if _, err := p2.Lake.Meta(ref); err != nil {
+			t.Errorf("acked upload %s missing after clean restart: %v", ref, err)
+		}
+	}
+	peer2, err := p2.Provenance.Peer(p2.Provenance.PeerIDs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peer2.Ledger().StateHash(); got != stateHash {
+		t.Errorf("ledger state hash changed across clean restart:\n  before %s\n  after  %s",
+			stateHash, got)
+	}
+	if _, divergent := p2.ShardLake.VerifyConvergence(); len(divergent) != 0 {
+		t.Errorf("divergent objects after clean restart: %v", divergent)
 	}
 }

@@ -32,6 +32,10 @@ type Fault struct {
 	// FailFirst forces the first N checks to fail regardless of
 	// ErrorRate — deterministic "fail exactly twice then recover" setups.
 	FailFirst int
+	// SkipFirst lets the first N checks pass untouched (no error, no
+	// latency) before FailFirst/ErrorRate apply — deterministic "the
+	// K+1th write tears" setups, counted from Enable.
+	SkipFirst int
 	// LatencyRate is the probability that Check sleeps Latency first.
 	LatencyRate float64
 	// Latency is the injected delay (a latency spike).
@@ -47,9 +51,10 @@ type PointStats struct {
 }
 
 type point struct {
-	fault  Fault
-	failed int // FailFirst consumed so far
-	stats  PointStats
+	fault   Fault
+	failed  int // FailFirst consumed so far
+	skipped int // SkipFirst consumed so far
+	stats   PointStats
 }
 
 // Registry holds named fault points. The zero value of *Registry (nil)
@@ -90,6 +95,7 @@ func (r *Registry) Enable(name string, f Fault) {
 	}
 	p.fault = f
 	p.failed = 0
+	p.skipped = 0
 	p.stats.Disabled = false
 }
 
@@ -128,6 +134,11 @@ func (r *Registry) Check(name string) error {
 		return nil
 	}
 	p.stats.Checks++
+	if p.skipped < p.fault.SkipFirst {
+		p.skipped++
+		r.mu.Unlock()
+		return nil
+	}
 	var delay time.Duration
 	if p.fault.Latency > 0 && (p.fault.LatencyRate >= 1 || r.next() < p.fault.LatencyRate) {
 		delay = p.fault.Latency

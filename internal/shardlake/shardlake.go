@@ -677,6 +677,21 @@ func (l *Lake) VerifyConvergence() (objects int, divergent []string) {
 	return objects, divergent
 }
 
+// RepairAll sweeps every known object through quorum resolution with
+// repair enabled, re-installing the authoritative copy on any replica
+// that is missing or stale. It returns the repair count of the pass
+// (the lake's lifetime counter delta). After a crash-restart the
+// hinted-handoff buffers are gone — hints are in-memory by design —
+// so this sweep is how a recovered cluster proactively re-converges
+// instead of waiting for each object to be read.
+func (l *Lake) RepairAll() int {
+	before := l.repairs.Load()
+	for _, ref := range l.allRefs() {
+		l.resolve(ref, true)
+	}
+	return int(l.repairs.Load() - before)
+}
+
 // allRefs is the union of every shard's reference ids, tombstones
 // included, sorted.
 func (l *Lake) allRefs() []string {

@@ -104,6 +104,9 @@ type DataLake struct {
 	// the model entirely.
 	svcTime time.Duration
 	svcMu   sync.Mutex
+	// journal, when set, persists every mutation write-ahead (see
+	// journal.go); nil keeps the lake purely in-memory.
+	journal Journal
 
 	mu      sync.RWMutex
 	records map[string]*record
@@ -229,7 +232,15 @@ func (d *DataLake) Put(subject string, plaintext []byte, meta Meta) (string, err
 		return "", err
 	}
 	d.serviceDelay()
-	d.install(s)
+	wait, err := d.install(s)
+	if err != nil {
+		return "", err
+	}
+	if wait != nil {
+		if err := wait(); err != nil {
+			return "", err
+		}
+	}
 	return s.RefID, nil
 }
 
@@ -250,14 +261,25 @@ func (d *DataLake) PutSealed(s Sealed) error {
 	}
 	d.serviceDelay()
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if existing, ok := d.records[s.RefID]; ok && existing.deleted {
+		d.mu.Unlock()
 		return nil
+	}
+	wait, err := d.stageJournal(JournalRecord{Op: OpPut, Sealed: s})
+	if err != nil {
+		d.mu.Unlock()
+		return fmt.Errorf("store: journaling record: %w", err)
 	}
 	d.records[s.RefID] = &record{
 		refID: s.RefID, keyID: s.KeyID,
 		ciphertext: append([]byte(nil), s.Ciphertext...),
 		meta:       s.Meta, deleted: s.Deleted,
+	}
+	d.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return fmt.Errorf("store: journaling record: %w", err)
+		}
 	}
 	return nil
 }
@@ -287,14 +309,23 @@ func (d *DataLake) GetSealed(refID string) (Sealed, error) {
 	}, nil
 }
 
-// install stores a sealed record, replacing any existing copy.
-func (d *DataLake) install(s Sealed) {
+// install stores a sealed record, replacing any existing copy. The
+// journal frame is staged under the mutex (write-ahead, in apply
+// order); the returned wait — to be called after unlock — blocks until
+// the frame is durable, so the record is only acknowledged once it
+// would survive a crash.
+func (d *DataLake) install(s Sealed) (func() error, error) {
 	d.mu.Lock()
+	defer d.mu.Unlock()
+	wait, err := d.stageJournal(JournalRecord{Op: OpPut, Sealed: s})
+	if err != nil {
+		return nil, fmt.Errorf("store: journaling record: %w", err)
+	}
 	d.records[s.RefID] = &record{
 		refID: s.RefID, keyID: s.KeyID, ciphertext: s.Ciphertext,
 		meta: s.Meta, deleted: s.Deleted,
 	}
-	d.mu.Unlock()
+	return wait, nil
 }
 
 // Get decrypts a record on behalf of principal. The KMS enforces
@@ -330,15 +361,30 @@ func (d *DataLake) Get(refID, principal string) ([]byte, error) {
 	return pt, nil
 }
 
-// Grant allows another principal to read a record (KMS key grant).
+// Grant allows another principal to read a record (KMS key grant). The
+// grant is journaled for the audit trail; the KMS itself (an external
+// system in the paper's model) is the authority for its effect.
 func (d *DataLake) Grant(refID, principal string) error {
-	d.mu.RLock()
+	d.mu.Lock()
 	rec, ok := d.records[refID]
-	d.mu.RUnlock()
 	if !ok {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotFound, refID)
 	}
-	return d.kms.Grant(rec.keyID, principal)
+	keyID := rec.keyID
+	wait, err := d.stageJournal(JournalRecord{
+		Op: OpGrant, Sealed: Sealed{RefID: refID, KeyID: keyID}, Principal: principal,
+	})
+	d.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("store: journaling grant: %w", err)
+	}
+	if wait != nil {
+		if err := wait(); err != nil {
+			return fmt.Errorf("store: journaling grant: %w", err)
+		}
+	}
+	return d.kms.Grant(keyID, principal)
 }
 
 // Meta returns a record's metadata (no key material, no plaintext).
@@ -357,22 +403,38 @@ func (d *DataLake) Meta(refID string) (Meta, error) {
 // record existed.
 func (d *DataLake) SecureDelete(refID string) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	rec, ok := d.records[refID]
 	if !ok {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotFound, refID)
 	}
 	if rec.deleted {
+		d.mu.Unlock()
 		return nil
 	}
 	if err := d.kms.Shred(rec.keyID); err != nil {
+		d.mu.Unlock()
 		return fmt.Errorf("store: shredding key: %w", err)
+	}
+	// The key is already shredded (that durability belongs to the
+	// external KMS), so the tombstone is journaled write-ahead of the
+	// in-memory transition and the deletion acked only once durable.
+	wait, err := d.stageJournal(tombstoneRecord(rec))
+	if err != nil {
+		d.mu.Unlock()
+		return fmt.Errorf("store: journaling tombstone: %w", err)
 	}
 	for i := range rec.ciphertext {
 		rec.ciphertext[i] = 0
 	}
 	rec.ciphertext = nil
 	rec.deleted = true
+	d.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return fmt.Errorf("store: journaling tombstone: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -439,10 +501,17 @@ func (d *DataLake) Refs() []string {
 // rebalancer's cleanup once an object's placement moved off this shard.
 // Not a secure deletion: the key survives and the object lives on its
 // new shards.
+// Best-effort on the journal: if the evict frame is lost to a crash,
+// replay resurrects a stray copy the next rebalance or repair pass
+// re-evicts — placement, not presence, is authoritative for reads.
 func (d *DataLake) Evict(refID string) {
 	d.mu.Lock()
+	wait, err := d.stageJournal(JournalRecord{Op: OpEvict, Sealed: Sealed{RefID: refID}})
 	delete(d.records, refID)
 	d.mu.Unlock()
+	if err == nil && wait != nil {
+		_ = wait()
+	}
 }
 
 // Count returns live (non-deleted) record count.
