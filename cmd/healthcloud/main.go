@@ -36,6 +36,8 @@ func run() error {
 	tenant := flag.String("tenant", "demo-health", "tenant name")
 	ledger := flag.Bool("ledger", true, "run the provenance blockchain")
 	ledgerBatch := flag.Bool("ledger-batch", false, "group-commit provenance batching (max 64 tx / 5 ms window)")
+	channels := flag.Int("channels", 1, "provenance ledger channels (1 = single ledger; >1 partitions records by patient across independently ordered channels)")
+	snapEvery := flag.Int("ledger-snapshot-every", 0, "cut a ledger world-state snapshot into the WAL every K blocks so restarts replay from the snapshot instead of the full chain (0 disables)")
 	obs := flag.Bool("telemetry", true, "serve metrics at /metrics and traces at /traces/{id}")
 	mon := flag.Bool("monitor", true, "run the self-monitoring watchdog (/readyz, /statusz, /metrics/history)")
 	monInterval := flag.Duration("monitor-interval", time.Second, "watchdog tick period")
@@ -56,6 +58,8 @@ func run() error {
 	if *ledger {
 		cfg.LedgerPeers = []string{"hospital", "audit-svc", "data-protection"}
 		cfg.LedgerBatch = *ledgerBatch
+		cfg.Channels = *channels
+		cfg.LedgerSnapshotEvery = *snapEvery
 	}
 	if *obs {
 		cfg.Telemetry = telemetry.New()
@@ -89,8 +93,8 @@ func run() error {
 		"auditor@demo": rbac.RoleAuditor,
 	}
 	fmt.Printf("healthcloud instance %q listening on http://%s\n", *tenant, *addr)
-	fmt.Printf("components: %d | ledger: %v (batch: %v) | telemetry: %v | monitor: %v\n\n",
-		len(platform.Components()), *ledger, *ledgerBatch, *obs, *mon)
+	fmt.Printf("components: %d | ledger: %v (batch: %v, channels: %d) | telemetry: %v | monitor: %v\n\n",
+		len(platform.Components()), *ledger, *ledgerBatch, *channels, *obs, *mon)
 	fmt.Println("demo login tokens (POST each body to /api/v1/login):")
 	enc := json.NewEncoder(os.Stdout)
 	for subject, role := range users {

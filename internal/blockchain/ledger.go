@@ -17,11 +17,20 @@ import (
 // comparing chain heads.
 type Ledger struct {
 	mu     sync.RWMutex
-	wal    BlockWAL // nil = in-memory only
-	blocks []Block
+	wal    BlockWAL          // nil = in-memory only
+	blocks []Block           // retained blocks, numbered [base, base+len)
 	state  map[string]string // world state: handle -> latest event summary
 	byID   map[string]bool   // committed tx ids, for at-least-once dedup
 	byType map[EventType][]int
+
+	// base/baseHash are non-zero only on a ledger restored from a
+	// world-state snapshot (RestoreSnapshot): blocks [0, base) were
+	// folded into the snapshot and are not retained; baseHash is the
+	// hash of block base-1, the linkage anchor for the first retained
+	// block. snapEvery > 0 offers a snapshot to the WAL every K blocks.
+	base      uint64
+	baseHash  []byte
+	snapEvery uint64
 }
 
 // BlockWAL persists committed blocks write-ahead: AppendBlock hands
@@ -60,11 +69,11 @@ func (l *Ledger) AppendBlock(txs []Transaction) (*Block, error) {
 	if len(fresh) == 0 {
 		return nil, nil
 	}
-	var prev []byte
+	prev := l.baseHash
 	if n := len(l.blocks); n > 0 {
 		prev = l.blocks[n-1].Hash
 	}
-	b := Block{Number: uint64(len(l.blocks)), PrevHash: prev, Txs: fresh}
+	b := Block{Number: l.base + uint64(len(l.blocks)), PrevHash: prev, Txs: fresh}
 	b.Hash = b.computeHash()
 	if l.wal != nil {
 		if err := l.wal.Append(b); err != nil {
@@ -72,14 +81,23 @@ func (l *Ledger) AppendBlock(txs []Transaction) (*Block, error) {
 		}
 	}
 	l.blocks = append(l.blocks, b)
-	for _, tx := range fresh {
+	l.applyTxsLocked(b)
+	l.maybeSnapshotLocked()
+	return &l.blocks[len(l.blocks)-1], nil
+}
+
+// applyTxsLocked runs the world-state transition for one block's
+// transactions — the single code path AppendBlock, Restore and
+// RestoreSnapshot all share, so live commit and both replay flavors
+// are provably the same transition.
+func (l *Ledger) applyTxsLocked(b Block) {
+	for _, tx := range b.Txs {
 		l.byID[tx.ID] = true
 		l.byType[tx.Type] = append(l.byType[tx.Type], int(b.Number))
 		if tx.Handle != "" {
 			l.state[tx.Handle] = fmt.Sprintf("%s@block%d", tx.Type, b.Number)
 		}
 	}
-	return &l.blocks[len(l.blocks)-1], nil
 }
 
 // SetWAL attaches a write-ahead log for committed blocks (nil
@@ -100,8 +118,8 @@ func (l *Ledger) SetWAL(w BlockWAL) {
 func (l *Ledger) Restore(blocks []Block) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if len(l.blocks) != 0 {
-		return fmt.Errorf("blockchain: restore into non-empty ledger (height %d)", len(l.blocks))
+	if len(l.blocks) != 0 || l.base != 0 {
+		return fmt.Errorf("blockchain: restore into non-empty ledger (height %d)", l.base+uint64(len(l.blocks)))
 	}
 	var prev []byte
 	for i := range blocks {
@@ -119,13 +137,7 @@ func (l *Ledger) Restore(blocks []Block) error {
 	}
 	for _, b := range blocks {
 		l.blocks = append(l.blocks, b)
-		for _, tx := range b.Txs {
-			l.byID[tx.ID] = true
-			l.byType[tx.Type] = append(l.byType[tx.Type], int(b.Number))
-			if tx.Handle != "" {
-				l.state[tx.Handle] = fmt.Sprintf("%s@block%d", tx.Type, b.Number)
-			}
-		}
+		l.applyTxsLocked(b)
 	}
 	return nil
 }
@@ -155,15 +167,20 @@ func (l *Ledger) StateHash() string {
 	}
 	if n := len(l.blocks); n > 0 {
 		write(l.blocks[n-1].Hash)
+	} else if len(l.baseHash) > 0 {
+		// Snapshot-restored with no tail yet: the snapshot's tip is the
+		// chain tip, so the hash matches a full replay to the same height.
+		write(l.baseHash)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// Height returns the number of blocks.
+// Height returns the chain height — the number of blocks committed,
+// including any folded into a restore snapshot.
 func (l *Ledger) Height() int {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	return len(l.blocks)
+	return int(l.base) + len(l.blocks)
 }
 
 // TxCount returns the number of committed transactions.
@@ -173,14 +190,18 @@ func (l *Ledger) TxCount() int {
 	return len(l.byID)
 }
 
-// Block returns a copy of block n.
+// Block returns a copy of block n. Blocks folded into a restore
+// snapshot (n < Base) are no longer retained and return an error.
 func (l *Ledger) Block(n uint64) (Block, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	if n >= uint64(len(l.blocks)) {
-		return Block{}, fmt.Errorf("blockchain: no block %d (height %d)", n, len(l.blocks))
+	if n < l.base {
+		return Block{}, fmt.Errorf("blockchain: block %d folded into snapshot (base %d)", n, l.base)
 	}
-	return l.blocks[n], nil
+	if n-l.base >= uint64(len(l.blocks)) {
+		return Block{}, fmt.Errorf("blockchain: no block %d (height %d)", n, l.base+uint64(len(l.blocks)))
+	}
+	return l.blocks[n-l.base], nil
 }
 
 // Head returns the hash of the latest block, or nil if empty.
@@ -188,6 +209,9 @@ func (l *Ledger) Head() []byte {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	if len(l.blocks) == 0 {
+		if len(l.baseHash) > 0 {
+			return append([]byte(nil), l.baseHash...)
+		}
 		return nil
 	}
 	return append([]byte(nil), l.blocks[len(l.blocks)-1].Hash...)
@@ -199,7 +223,7 @@ func (l *Ledger) Head() []byte {
 func (l *Ledger) VerifyChain() error {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	var prev []byte
+	prev := l.baseHash
 	for i := range l.blocks {
 		b := &l.blocks[i]
 		if !bytes.Equal(b.PrevHash, prev) {
@@ -240,7 +264,10 @@ type AuditQuery struct {
 }
 
 // Audit returns every committed transaction matching the query, in chain
-// order.
+// order. On a snapshot-restored ledger only retained blocks (>= Base)
+// are scanned: transactions folded into the snapshot still count for
+// dedup and world state, but their full bodies live in the snapshotted
+// prefix of the WAL, not in memory.
 func (l *Ledger) Audit(q AuditQuery) []Transaction {
 	l.mu.RLock()
 	defer l.mu.RUnlock()

@@ -34,6 +34,21 @@ type Network struct {
 	met      *netMetrics
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+
+	// orderPerTx > 0 models the ordering service as a serial device:
+	// each ordering round holds orderMu for perTx × batch-size, the
+	// way E19's lake device model charges per-object service time.
+	// Set before the network takes traffic (experiments only).
+	orderMu    sync.Mutex
+	orderPerTx time.Duration
+
+	// Block-cut cadence (the go-blockchain-time metric): interval
+	// between consecutive blocks cut on the lead peer's chain.
+	cutMu   sync.Mutex
+	lastCut time.Time
+	cutN    uint64 // blocks cut
+	cutSum  time.Duration
+	cutIvls uint64 // intervals recorded (cutN-1 once cutting)
 }
 
 // netMetrics caches the ledger's metric handles; nil disables metrics.
@@ -41,6 +56,7 @@ type netMetrics struct {
 	submits, submitErrs        *telemetry.Counter
 	commitErrs                 *telemetry.Counter
 	endorse, order, commitWait *telemetry.Histogram
+	blockCut                   *telemetry.Histogram
 }
 
 func newNetMetrics(reg *telemetry.Registry, network string) *netMetrics {
@@ -55,6 +71,7 @@ func newNetMetrics(reg *telemetry.Registry, network string) *netMetrics {
 		endorse:    reg.Histogram("ledger_endorse_seconds" + label),
 		order:      reg.Histogram("ledger_order_seconds" + label),
 		commitWait: reg.Histogram("ledger_commit_wait_seconds" + label),
+		blockCut:   reg.Histogram("ledger_block_cut_seconds" + label),
 	}
 }
 
@@ -134,14 +151,16 @@ func NewNetwork(name string, peerIDs []string, policyK int, opts ...Option) (*Ne
 	n.cluster.SetTelemetry(o.reg)
 	for i, id := range n.peerIDs {
 		n.wg.Add(1)
-		go n.pump(n.cluster.Nodes[i], n.peers[id])
+		// The first (sorted) peer is the cadence reference: every peer
+		// cuts the same blocks, so one chain's timing is the network's.
+		go n.pump(n.cluster.Nodes[i], n.peers[id], i == 0)
 	}
 	return n, nil
 }
 
 // pump applies the ordered stream to one peer's ledger (the "validate"
-// and "commit" phases).
-func (n *Network) pump(node *consensus.Node, peer *Peer) {
+// and "commit" phases). lead marks the block-cut cadence reference peer.
+func (n *Network) pump(node *consensus.Node, peer *Peer, lead bool) {
 	defer n.wg.Done()
 	for com := range node.Apply() {
 		txs, group, err := decodeBatch(com.Entry.Data)
@@ -170,8 +189,12 @@ func (n *Network) pump(node *consensus.Node, peer *Peer) {
 			// block is simply not committed on this peer — the submitter's
 			// commit-wait times out and the caller retries, exactly like
 			// any other transient ledger failure.
-			if _, err := peer.Ledger().AppendBlock(valid); err != nil && n.met != nil {
-				n.met.commitErrs.Inc()
+			if blk, err := peer.Ledger().AppendBlock(valid); err != nil {
+				if n.met != nil {
+					n.met.commitErrs.Inc()
+				}
+			} else if lead && blk != nil {
+				n.noteBlockCut()
 			}
 		}
 	}
@@ -224,6 +247,46 @@ func (n *Network) checkGroupEndorsements(txs []Transaction, group []Endorsement)
 		return fmt.Errorf("%w: have %d, need %d", ErrNotEndorsed, len(seen), n.policyK)
 	}
 	return nil
+}
+
+// SetOrderServiceTime models the ordering service as a serial device
+// charging perTx per transaction per round: each ordering round holds
+// the device for perTx × batch-size before proposing, so a single
+// network's ordering throughput is capped at 1/perTx tx/s no matter
+// how many submitters pile on — the honest baseline experiment E21
+// scales against, mirroring how E19's DataLake.SetServiceTime models
+// disk service time. Zero (the default) disables. Call before the
+// network takes traffic.
+func (n *Network) SetOrderServiceTime(perTx time.Duration) { n.orderPerTx = perTx }
+
+// noteBlockCut records one block landing on the lead peer's chain and
+// the interval since the previous cut — the per-channel block-cut
+// cadence metric (ledger_block_cut_seconds).
+func (n *Network) noteBlockCut() {
+	now := time.Now()
+	n.cutMu.Lock()
+	n.cutN++
+	if !n.lastCut.IsZero() {
+		d := now.Sub(n.lastCut)
+		n.cutIvls++
+		n.cutSum += d
+		if n.met != nil {
+			n.met.blockCut.Observe(d)
+		}
+	}
+	n.lastCut = now
+	n.cutMu.Unlock()
+}
+
+// BlockCutStats reports how many blocks the lead peer has cut and the
+// mean interval between consecutive cuts (0 until two blocks exist).
+func (n *Network) BlockCutStats() (blocks uint64, meanInterval time.Duration) {
+	n.cutMu.Lock()
+	defer n.cutMu.Unlock()
+	if n.cutIvls > 0 {
+		meanInterval = n.cutSum / time.Duration(n.cutIvls)
+	}
+	return n.cutN, meanInterval
 }
 
 // Name returns the network name.
@@ -504,6 +567,13 @@ func (n *Network) submitPhases(txs []Transaction, timeout time.Duration, pctx te
 	}
 	deadline := time.Now().Add(timeout)
 	if err := n.phase(pctx, "ledger.order", oh, func() error {
+		if n.orderPerTx > 0 {
+			// Serial ordering device (see SetOrderServiceTime): rounds
+			// queue behind each other, paying per-transaction service time.
+			n.orderMu.Lock()
+			time.Sleep(n.orderPerTx * time.Duration(len(txs)))
+			n.orderMu.Unlock()
+		}
 		if _, err := n.cluster.ProposeAndWait(data, timeout); err != nil {
 			return fmt.Errorf("blockchain: ordering: %w", err)
 		}

@@ -1,0 +1,157 @@
+package blockchain
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Snapshot captures a ledger's entire derived state at a block
+// boundary: it covers blocks [0, Height) and carries everything
+// AppendBlock accumulates — world state, committed tx IDs (the
+// at-least-once dedup set), and the per-type block index — plus the
+// tip hash so a restored ledger can verify that the first tail block
+// links onto it. A ledger restored from (snapshot, tail) is
+// indistinguishable from one that replayed the full chain, which the
+// replay-from-snapshot test pins by comparing StateHash values.
+type Snapshot struct {
+	Height  uint64              `json:"height"`             // blocks covered: [0, Height)
+	TipHash []byte              `json:"tip_hash,omitempty"` // hash of block Height-1
+	State   map[string]string   `json:"state,omitempty"`
+	TxIDs   []string            `json:"tx_ids,omitempty"` // sorted committed tx IDs
+	ByType  map[EventType][]int `json:"by_type,omitempty"`
+}
+
+// SnapshotWAL is the optional capability a BlockWAL implements to also
+// persist periodic world-state snapshots. When a ledger configured
+// with SetSnapshotEvery commits a block at a K-boundary it offers a
+// snapshot to the WAL; implementations are free to skip it (another
+// peer already framed one, or the log has moved on) because snapshots
+// are purely a replay-cost optimization — the block stream alone is
+// always sufficient to rebuild state.
+type SnapshotWAL interface {
+	AppendSnapshot(s Snapshot) error
+}
+
+// SetSnapshotEvery arranges for a world-state snapshot to be offered
+// to the attached WAL every k blocks (0, the default, disables). A
+// snapshot failure never fails the commit that triggered it: the
+// block is already durable, and losing a snapshot only costs a longer
+// replay on the next restart.
+func (l *Ledger) SetSnapshotEvery(k int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if k < 0 {
+		k = 0
+	}
+	l.snapEvery = uint64(k)
+}
+
+// Base returns the height below which blocks were folded into the
+// snapshot this ledger was restored from (0 for a full chain).
+// Blocks in [0, Base) are not retained and cannot be read back.
+func (l *Ledger) Base() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.base
+}
+
+// Snapshot captures the current derived state (see the Snapshot type).
+// The ledger keeps serving while the copy is made.
+func (l *Ledger) Snapshot() Snapshot {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.snapshotLocked()
+}
+
+// snapshotLocked builds a deterministic state capture under l.mu.
+func (l *Ledger) snapshotLocked() Snapshot {
+	s := Snapshot{
+		Height: l.base + uint64(len(l.blocks)),
+		State:  make(map[string]string, len(l.state)),
+		TxIDs:  make([]string, 0, len(l.byID)),
+		ByType: make(map[EventType][]int, len(l.byType)),
+	}
+	if n := len(l.blocks); n > 0 {
+		s.TipHash = append([]byte(nil), l.blocks[n-1].Hash...)
+	} else {
+		s.TipHash = append([]byte(nil), l.baseHash...)
+	}
+	for h, v := range l.state {
+		s.State[h] = v
+	}
+	for id := range l.byID {
+		s.TxIDs = append(s.TxIDs, id)
+	}
+	sort.Strings(s.TxIDs)
+	for t, blocks := range l.byType {
+		s.ByType[t] = append([]int(nil), blocks...)
+	}
+	return s
+}
+
+// maybeSnapshotLocked offers a snapshot to the WAL when the chain just
+// crossed a SetSnapshotEvery boundary. Best-effort by design: the
+// triggering block is already durable, so a snapshot error only means
+// the next restart replays more blocks.
+func (l *Ledger) maybeSnapshotLocked() {
+	if l.snapEvery == 0 || l.wal == nil {
+		return
+	}
+	sw, ok := l.wal.(SnapshotWAL)
+	if !ok {
+		return
+	}
+	if h := l.base + uint64(len(l.blocks)); h == 0 || h%l.snapEvery != 0 {
+		return
+	}
+	_ = sw.AppendSnapshot(l.snapshotLocked())
+}
+
+// RestoreSnapshot rebuilds the ledger from a snapshot plus the blocks
+// committed after it — the bounded-replay restart path. It refuses on
+// a non-empty ledger, verifies that the tail chains onto the
+// snapshot's tip (numbering, linkage, every block hash) before
+// touching any state, then applies the tail through the same state
+// transition AppendBlock uses. Blocks below the snapshot height are
+// not retained: Block and Audit only see the tail, but StateHash,
+// HandleState, Committed and TxCount answer exactly as a full replay
+// would.
+func (l *Ledger) RestoreSnapshot(snap Snapshot, tail []Block) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.blocks) != 0 || l.base != 0 {
+		return fmt.Errorf("blockchain: restore into non-empty ledger (height %d)", l.base+uint64(len(l.blocks)))
+	}
+	prev := snap.TipHash
+	for i := range tail {
+		b := &tail[i]
+		if b.Number != snap.Height+uint64(i) {
+			return fmt.Errorf("%w: tail block %d numbered %d (want %d)",
+				ErrChainBroken, i, b.Number, snap.Height+uint64(i))
+		}
+		if !bytes.Equal(b.PrevHash, prev) {
+			return fmt.Errorf("%w: tail block %d prev-hash mismatch", ErrChainBroken, b.Number)
+		}
+		if !bytes.Equal(b.Hash, b.computeHash()) {
+			return fmt.Errorf("%w: tail block %d hash mismatch", ErrChainBroken, b.Number)
+		}
+		prev = b.Hash
+	}
+	l.base = snap.Height
+	l.baseHash = append([]byte(nil), snap.TipHash...)
+	for h, v := range snap.State {
+		l.state[h] = v
+	}
+	for _, id := range snap.TxIDs {
+		l.byID[id] = true
+	}
+	for t, blocks := range snap.ByType {
+		l.byType[t] = append([]int(nil), blocks...)
+	}
+	for _, b := range tail {
+		l.blocks = append(l.blocks, b)
+		l.applyTxsLocked(b)
+	}
+	return nil
+}

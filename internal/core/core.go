@@ -41,6 +41,7 @@ import (
 	"healthcloud/internal/kb"
 	"healthcloud/internal/metering"
 	"healthcloud/internal/monitor"
+	"healthcloud/internal/multichain"
 	"healthcloud/internal/rbac"
 	"healthcloud/internal/resilience"
 	"healthcloud/internal/scan"
@@ -62,6 +63,20 @@ type Config struct {
 	LedgerPeers []string
 	// EndorsementK is the endorsement policy (default: majority).
 	EndorsementK int
+	// Channels partitions provenance onto N independent ledger channels
+	// (default 1 = the single hcls-ledger network, byte-identical to the
+	// pre-multichain behavior). Above 1 the trust plane is an
+	// internal/multichain fabric: transactions route by record key on a
+	// seeded consistent-hash ring, each channel owns its own ordering
+	// cluster, optional group-commit batcher, and (with DataDir) block
+	// WAL directory, and the cross-channel auditor view reconstructs a
+	// verifiable per-record total order. The channel count must stay
+	// stable for a given DataDir.
+	Channels int
+	// LedgerSnapshotEvery cuts a ledger world-state snapshot into the
+	// WAL every K blocks so restart replay cost stays bounded as the
+	// chain grows (0 disables; requires DataDir to have any effect).
+	LedgerSnapshotEvery int
 	// LedgerBatch enables group-commit provenance batching: ingest
 	// workers enqueue into a blockchain.Batcher that coalesces
 	// concurrent provenance events (max 64 tx / 5 ms window) into one
@@ -133,14 +148,22 @@ type Platform struct {
 	// store.DataLake when Config.Shards <= 1, otherwise ShardLake.
 	Lake store.Lake
 	// ShardLake is the sharded lake cluster (nil when Shards <= 1).
-	ShardLake  *shardlake.Lake
-	IDMap      *store.IdentityMap
-	Consents   *consent.Service
-	Scanner    *scan.Scanner
-	Verifier   *anonymize.VerificationService
+	ShardLake *shardlake.Lake
+	IDMap     *store.IdentityMap
+	Consents  *consent.Service
+	Scanner   *scan.Scanner
+	Verifier  *anonymize.VerificationService
+	// Provenance is the single provenance network when Channels <= 1;
+	// with a multi-channel fabric it aliases channel ch-0 (the anchor
+	// channel legacy single-network paths keep working against).
 	Provenance *blockchain.Network // nil when disabled
+	// MultiChain is the partitioned provenance fabric (nil unless
+	// Config.Channels > 1): per-channel ordering, batching and WALs,
+	// plus the cross-channel auditor view.
+	MultiChain *multichain.Ledger
 	// LedgerBatcher is the group-commit writer in front of Provenance
-	// (nil unless Config.LedgerBatch).
+	// (nil unless Config.LedgerBatch; with a multi-channel fabric the
+	// batchers live inside the channels instead).
 	LedgerBatcher *blockchain.Batcher
 	Ingest        *ingest.Pipeline
 	Analytics     *analytics.Platform
@@ -277,39 +300,73 @@ func New(cfg Config) (*Platform, error) {
 		if k <= 0 {
 			k = len(cfg.LedgerPeers)/2 + 1
 		}
-		if p.Provenance, err = blockchain.NewNetwork("hcls-ledger", cfg.LedgerPeers, k,
-			blockchain.WithFaults(cfg.Faults),
-			blockchain.WithTelemetry(reg, tracer)); err != nil {
-			return nil, fmt.Errorf("core: ledger: %w", err)
-		}
-		if cfg.DataDir != "" {
-			// One WAL serves every peer: they commit the same blocks from
-			// the same ordered stream, the WAL dedups by number + hash and
-			// flags divergence. Each peer restores from the replayed chain
-			// (hash-verified by Restore) before the network takes traffic.
-			wal, blocks, err := durable.OpenWAL(filepath.Join(cfg.DataDir, "ledger"), durable.Options{
-				FaultScope: "durable.ledger",
-				Faults:     cfg.Faults, Registry: reg, Tracer: tracer,
+		if cfg.Channels > 1 {
+			mcDir := ""
+			if cfg.DataDir != "" {
+				mcDir = filepath.Join(cfg.DataDir, "ledger")
+			}
+			p.MultiChain, err = multichain.New(multichain.Config{
+				Name: "hcls-ledger", Channels: cfg.Channels,
+				PeerIDs: cfg.LedgerPeers, PolicyK: k,
+				Seed: ledgerRingSeed, Batch: cfg.LedgerBatch,
+				DataDir: mcDir, SnapshotEvery: cfg.LedgerSnapshotEvery,
+				Faults: cfg.Faults, Registry: reg, Tracer: tracer,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("core: ledger wal: %w", err)
+				return nil, fmt.Errorf("core: multichain ledger: %w", err)
 			}
-			for _, id := range p.Provenance.PeerIDs() {
-				peer, perr := p.Provenance.Peer(id)
-				if perr != nil {
-					return nil, fmt.Errorf("core: ledger wal: %w", perr)
-				}
-				if rerr := peer.Ledger().Restore(blocks); rerr != nil {
-					return nil, fmt.Errorf("core: ledger wal restore (%s): %w", id, rerr)
-				}
-				peer.Ledger().SetWAL(wal)
+			// ch-0 anchors legacy single-network paths (Components,
+			// SubmitWorkloadAttestation-style direct submits).
+			p.Provenance = p.MultiChain.Channels()[0].Net
+		} else {
+			if p.Provenance, err = blockchain.NewNetwork("hcls-ledger", cfg.LedgerPeers, k,
+				blockchain.WithFaults(cfg.Faults),
+				blockchain.WithTelemetry(reg, tracer)); err != nil {
+				return nil, fmt.Errorf("core: ledger: %w", err)
 			}
-			p.LedgerWAL = wal
+			if cfg.DataDir != "" {
+				// One WAL serves every peer: they commit the same blocks from
+				// the same ordered stream, the WAL dedups by number + hash and
+				// flags divergence. Each peer restores from the replayed chain
+				// (hash-verified by Restore) — from the latest world-state
+				// snapshot plus its tail when one exists, full replay
+				// otherwise — before the network takes traffic.
+				wal, rep, err := durable.OpenWALSnapshot(filepath.Join(cfg.DataDir, "ledger"), durable.Options{
+					FaultScope: "durable.ledger",
+					Faults:     cfg.Faults, Registry: reg, Tracer: tracer,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("core: ledger wal: %w", err)
+				}
+				for _, id := range p.Provenance.PeerIDs() {
+					peer, perr := p.Provenance.Peer(id)
+					if perr != nil {
+						return nil, fmt.Errorf("core: ledger wal: %w", perr)
+					}
+					var rerr error
+					if rep.Snapshot != nil {
+						rerr = peer.Ledger().RestoreSnapshot(*rep.Snapshot, rep.Blocks)
+					} else {
+						rerr = peer.Ledger().Restore(rep.Blocks)
+					}
+					if rerr != nil {
+						return nil, fmt.Errorf("core: ledger wal restore (%s): %w", id, rerr)
+					}
+					peer.Ledger().SetWAL(wal)
+					peer.Ledger().SetSnapshotEvery(cfg.LedgerSnapshotEvery)
+				}
+				p.LedgerWAL = wal
+			}
 		}
 	}
 
 	var ledger ingest.Ledger
-	if p.Provenance != nil {
+	switch {
+	case p.MultiChain != nil:
+		// The fabric routes each provenance event to its owning channel
+		// and flushes per-channel batchers on pipeline close.
+		ledger = p.MultiChain
+	case p.Provenance != nil:
 		ledger = p.Provenance
 		if cfg.LedgerBatch {
 			p.LedgerBatcher = blockchain.NewBatcher(p.Provenance, blockchain.BatcherConfig{
@@ -361,7 +418,11 @@ func New(cfg Config) (*Platform, error) {
 	}
 	p.KBCache.SetTelemetry(reg, tracer)
 	p.Invalidations = hccache.NewPublisher(p.Bus)
-	if p.Provenance != nil {
+	if p.MultiChain != nil {
+		// The fabric is both submit surface (routing by record key) and
+		// query surface (the merged, chain-verified auditor view).
+		p.Identity = ssi.NewRegistry(p.MultiChain, p.MultiChain)
+	} else if p.Provenance != nil {
 		// Any peer's ledger copy serves identity status queries; use the
 		// first (they converge, and VerifyChain audits divergence).
 		peer, err := p.Provenance.Peer(p.Provenance.PeerIDs()[0])
@@ -390,6 +451,19 @@ const (
 	// lakeRingSeed pins shardlake placement so experiments and tests see
 	// the same layout on every run.
 	lakeRingSeed = 1907
+	// ledgerRingSeed pins multichain channel placement the same way —
+	// and, because routing must agree with data already on disk, it is
+	// part of the durable format for multi-channel DataDirs.
+	ledgerRingSeed = 2112
+)
+
+// The multichain fabric stands in wherever one network or batcher sat.
+var (
+	_ ingest.Ledger        = (*multichain.Ledger)(nil)
+	_ ingest.TracedLedger  = (*multichain.Ledger)(nil)
+	_ ingest.LedgerFlusher = (*multichain.Ledger)(nil)
+	_ ssi.Ledger           = (*multichain.Ledger)(nil)
+	_ ssi.LedgerQuerier    = (*multichain.Ledger)(nil)
 )
 
 // wireMonitor assembles the self-monitoring layer: default dependency
@@ -474,7 +548,37 @@ func (p *Platform) wireMonitor(cfg Config, reg *telemetry.Registry, tracer *tele
 		}
 		return monitor.Healthy("circuit closed")
 	})
-	if p.Provenance != nil {
+	if p.MultiChain != nil {
+		mc := p.MultiChain
+		// Aggregate worst-state across channels: one sick channel must
+		// degrade /readyz (a slice of record keys can't commit), but
+		// only every channel failing takes the whole submit path Down.
+		// CheckSubmitPath is side-effect free on every channel, same
+		// contract as the single-network probe below.
+		prober.AddCheck("provenance-ledger", func() monitor.Health {
+			return fabricLedgerHealth(mc.ChannelHealth())
+		})
+		prober.AddCheck("consensus-leader", func() monitor.Health {
+			return fabricLeaderHealth(mc.OrderingLeaders())
+		})
+		// Per-channel checks keep /statusz attributable: which channel,
+		// not just how many. Singly they report Degraded — the aggregate
+		// above owns the Down decision.
+		for _, name := range mc.ChannelNames() {
+			name := name
+			prober.AddCheck("provenance-ledger/"+name, func() monitor.Health {
+				start := time.Now()
+				if err := mc.ChannelHealth()[name]; err != nil {
+					return monitor.Degraded(err.Error())
+				}
+				if elapsed := time.Since(start); elapsed > monitorLedgerSlow {
+					return monitor.Degraded(fmt.Sprintf("submit path took %v (ceiling %v)",
+						elapsed.Round(time.Millisecond), monitorLedgerSlow))
+				}
+				return monitor.Healthy("endorsing")
+			})
+		}
+	} else if p.Provenance != nil {
 		// Side-effect free by contract: CheckSubmitPath walks the fault
 		// point and the endorsement policy but never orders or commits,
 		// so probe rounds (and unauthenticated /readyz requests) cannot
@@ -497,7 +601,11 @@ func (p *Platform) wireMonitor(cfg Config, reg *telemetry.Registry, tracer *tele
 			return monitor.Degraded("no settled leader")
 		})
 	}
-	if len(p.LakeLogs) > 0 || p.LedgerWAL != nil {
+	var ledgerWALs map[string]*durable.WAL
+	if p.MultiChain != nil {
+		ledgerWALs = p.MultiChain.WALs()
+	}
+	if len(p.LakeLogs) > 0 || p.LedgerWAL != nil || len(ledgerWALs) > 0 {
 		// Durability probe: a wedged writer (torn write or failed fsync —
 		// the store refuses until reopen) means acks can no longer be
 		// honored, so it is Down, not Degraded. Slow fsyncs (injected
@@ -514,6 +622,9 @@ func (p *Platform) wireMonitor(cfg Config, reg *telemetry.Registry, tracer *tele
 			}
 			if p.LedgerWAL != nil {
 				all = append(all, named{"ledger", p.LedgerWAL.Stats()})
+			}
+			for name, wal := range ledgerWALs {
+				all = append(all, named{"ledger/" + name, wal.Stats()})
 			}
 			var wedged []string
 			var slow []string
@@ -572,7 +683,24 @@ func (p *Platform) wireMonitor(cfg Config, reg *telemetry.Registry, tracer *tele
 			reg.Gauge("trace_store_dropped_spans").Set(int64(tracer.Dropped()))
 		},
 	}
-	if p.Provenance != nil {
+	if p.MultiChain != nil {
+		// Pre-resolve one labelled gauge per channel so the collector
+		// does no map/name work per tick; the label keeps a wedged
+		// channel attributable on /metrics, not averaged away.
+		leaderGauges := make(map[string]*telemetry.Gauge, len(p.MultiChain.ChannelNames()))
+		for _, name := range p.MultiChain.ChannelNames() {
+			leaderGauges[name] = reg.Gauge(`consensus_leader_present{channel="` + name + `"}`)
+		}
+		collectors = append(collectors, func() {
+			for name, id := range p.MultiChain.OrderingLeaders() {
+				var present int64
+				if id != "" {
+					present = 1
+				}
+				leaderGauges[name].Set(present)
+			}
+		})
+	} else if p.Provenance != nil {
 		collectors = append(collectors, func() {
 			var present int64
 			if _, ok := p.Provenance.OrderingLeader(); ok {
@@ -605,6 +733,52 @@ func (p *Platform) wireMonitor(cfg Config, reg *telemetry.Registry, tracer *tele
 	}
 }
 
+// fabricLedgerHealth folds per-channel submit-path results into one
+// worst-state health. The readiness contract is "degrade, don't lie":
+// any failing channel means some slice of record keys cannot commit,
+// so the platform is at best Degraded; it is Down only when no channel
+// can endorse at all.
+func fabricLedgerHealth(health map[string]error) monitor.Health {
+	var failing []string
+	for name, err := range health {
+		if err != nil {
+			failing = append(failing, name)
+		}
+	}
+	sort.Strings(failing)
+	switch {
+	case len(failing) == 0:
+		return monitor.Healthy(fmt.Sprintf("%d channel(s) endorsing", len(health)))
+	case len(failing) < len(health):
+		return monitor.Degraded(fmt.Sprintf("%d/%d channel(s) failing submit path: %s",
+			len(failing), len(health), strings.Join(failing, ", ")))
+	default:
+		return monitor.Down("all channels failing submit path: " + strings.Join(failing, ", "))
+	}
+}
+
+// fabricLeaderHealth is the same worst-state fold for ordering
+// leadership: a channel without a settled leader stalls its keys'
+// commits (writes block until Raft re-elects), so it degrades
+// readiness without taking the healthy channels down with it.
+func fabricLeaderHealth(leaders map[string]string) monitor.Health {
+	var missing []string
+	for name, id := range leaders {
+		if id == "" {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	switch {
+	case len(missing) == 0:
+		return monitor.Healthy(fmt.Sprintf("leaders settled on %d channel(s)", len(leaders)))
+	case len(missing) < len(leaders):
+		return monitor.Degraded("no settled leader on: " + strings.Join(missing, ", "))
+	default:
+		return monitor.Down("no settled leader on any channel")
+	}
+}
+
 // Close stops background machinery. Order matters: the pipeline first
 // (its Close flushes any group-commit batcher so in-flight provenance
 // events are acked), then the batcher, then the bus and the network,
@@ -620,7 +794,11 @@ func (p *Platform) Close() {
 		p.LedgerBatcher.Close()
 	}
 	p.Bus.Close()
-	if p.Provenance != nil {
+	if p.MultiChain != nil {
+		// Owns every channel's batcher, network, and WAL; p.Provenance
+		// aliases channel 0, so it must not be closed separately.
+		p.MultiChain.Close()
+	} else if p.Provenance != nil {
 		p.Provenance.Close()
 	}
 	for _, log := range p.LakeLogs {
@@ -823,6 +1001,14 @@ func (p *Platform) SyncConsentProvenance(timeout time.Duration) (int, error) {
 		}
 		txs = append(txs, blockchain.NewTransaction(typ, "consent-service", e.Patient,
 			nil, map[string]string{"group": e.Group, "purpose": string(e.Purpose)}))
+	}
+	if p.MultiChain != nil {
+		// Route by patient so each patient's consent history stays a
+		// totally ordered sequence on one channel.
+		if err := p.MultiChain.SubmitBatch(txs, timeout); err != nil {
+			return 0, fmt.Errorf("core: consent provenance: %w", err)
+		}
+		return len(txs), nil
 	}
 	if err := p.Provenance.SubmitBatch(txs, timeout); err != nil {
 		return 0, fmt.Errorf("core: consent provenance: %w", err)

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"healthcloud/internal/blockchain"
+	"healthcloud/internal/client"
+	"healthcloud/internal/consent"
+	"healthcloud/internal/faultinject"
+	"healthcloud/internal/fhir"
+	"healthcloud/internal/monitor"
+	"healthcloud/internal/multichain"
+	"healthcloud/internal/telemetry"
+)
+
+// TestFabricHealthAggregation pins the worst-state fold behind the
+// multi-channel readiness probes: the platform degrades when some
+// channels are sick and goes Down only when all are — it never reports
+// Healthy over a partial outage, and never reports Down while healthy
+// channels can still commit.
+func TestFabricHealthAggregation(t *testing.T) {
+	boom := errors.New("endorsement refused")
+	cases := []struct {
+		name   string
+		health map[string]error
+		want   monitor.ProbeState
+	}{
+		{"all-healthy", map[string]error{"ch-0": nil, "ch-1": nil, "ch-2": nil}, monitor.StateOK},
+		{"one-failing", map[string]error{"ch-0": nil, "ch-1": boom, "ch-2": nil}, monitor.StateDegraded},
+		{"all-failing", map[string]error{"ch-0": boom, "ch-1": boom}, monitor.StateDown},
+	}
+	for _, tc := range cases {
+		if got := fabricLedgerHealth(tc.health); got.State != tc.want {
+			t.Errorf("fabricLedgerHealth %s = %v (%s), want %v", tc.name, got.State, got.Detail, tc.want)
+		}
+	}
+
+	leaderCases := []struct {
+		name    string
+		leaders map[string]string
+		want    monitor.ProbeState
+	}{
+		{"all-settled", map[string]string{"ch-0": "hospital", "ch-1": "hospital"}, monitor.StateOK},
+		{"one-unsettled", map[string]string{"ch-0": "hospital", "ch-1": ""}, monitor.StateDegraded},
+		{"none-settled", map[string]string{"ch-0": "", "ch-1": ""}, monitor.StateDown},
+	}
+	for _, tc := range leaderCases {
+		if got := fabricLeaderHealth(tc.leaders); got.State != tc.want {
+			t.Errorf("fabricLeaderHealth %s = %v (%s), want %v", tc.name, got.State, got.Detail, tc.want)
+		}
+	}
+
+	// A degraded report must name the sick channel so /statusz is
+	// actionable, not just a count.
+	if got := fabricLedgerHealth(map[string]error{"ch-0": nil, "ch-1": boom}); got.Detail == "" {
+		t.Error("degraded ledger health carries no detail")
+	} else if want := "ch-1"; !strings.Contains(got.Detail, want) {
+		t.Errorf("degraded detail %q does not name failing channel %s", got.Detail, want)
+	}
+}
+
+// TestMultiChannelPlatformEndToEnd drives real uploads through a
+// Channels=2 platform: ingest routes provenance by patient onto the
+// owning channel, consent sync rides the same fabric, the identity
+// registry anchors to the partitioned ledger, and the monitor exposes
+// the aggregate plus one probe per channel.
+func TestMultiChannelPlatformEndToEnd(t *testing.T) {
+	p, err := New(Config{
+		Tenant:          "mercy-health",
+		KBDataset:       smallKB(t),
+		LedgerPeers:     []string{"hospital", "audit-svc"},
+		Channels:        2,
+		Telemetry:       telemetry.New(),
+		Monitor:         true,
+		MonitorInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.MultiChain == nil {
+		t.Fatal("Channels=2 platform has no MultiChain")
+	}
+	if p.Provenance == nil {
+		t.Fatal("channel-0 alias not wired")
+	}
+
+	dev, err := p.NewEnhancedClient("device-1", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const uploads = 6
+	for i := 0; i < uploads; i++ {
+		pid := fmt.Sprintf("patient-%02d", i)
+		p.Consents.Grant(pid, "study-1", consent.PurposeResearch, 0)
+		b := fhir.NewBundle("collection")
+		b.AddResource(&fhir.Patient{ResourceType: "Patient", ID: pid, Gender: "other"})
+		if _, err := dev.Capture(b, "study-1", client.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range dev.Uploads() {
+		st, err := p.Ingest.WaitForUpload(id, 20*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "stored" {
+			t.Fatalf("status = %+v", st)
+		}
+	}
+	if got := p.MultiChain.TxCount(); got != uploads {
+		t.Errorf("fabric tx count = %d, want %d", got, uploads)
+	}
+	if err := p.MultiChain.VerifyAll(); err != nil {
+		t.Errorf("VerifyAll: %v", err)
+	}
+
+	// Consent provenance routes through the fabric too.
+	n, err := p.SyncConsentProvenance(20 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uploads {
+		t.Errorf("consent sync = %d events, want %d", n, uploads)
+	}
+	if got := p.MultiChain.TxCount(); got != 2*uploads {
+		t.Errorf("fabric tx count after consent sync = %d, want %d", got, 2*uploads)
+	}
+
+	// The auditor reconstructs each patient's trail even though the
+	// records live on different channels.
+	for i := 0; i < uploads; i++ {
+		pid := fmt.Sprintf("patient-%02d", i)
+		trail := p.MultiChain.ProvenanceTrail(pid)
+		if len(trail) == 0 {
+			t.Errorf("no provenance trail for %s", pid)
+		}
+	}
+
+	rep := p.Monitor.Prober().Probe()
+	for _, name := range []string{"provenance-ledger", "consensus-leader",
+		"provenance-ledger/" + multichain.ChannelName(0),
+		"provenance-ledger/" + multichain.ChannelName(1)} {
+		if _, ok := rep.Components[name]; !ok {
+			t.Errorf("probe %q missing: %v", name, rep.Components)
+		}
+	}
+	if !rep.Ready {
+		t.Errorf("healthy multi-channel platform not ready: %+v", rep)
+	}
+}
+
+// TestMultiChannelFaultFlipsReadiness pins the honest half of the
+// readiness contract end to end: when the submit path is broken the
+// aggregate ledger probe goes Down and /readyz flips, instead of
+// serving a green report over a fabric that cannot commit.
+func TestMultiChannelFaultFlipsReadiness(t *testing.T) {
+	faults := faultinject.NewRegistry(1)
+	p, err := New(Config{
+		Tenant:          "mercy-health",
+		KBDataset:       smallKB(t),
+		LedgerPeers:     []string{"hospital", "audit-svc"},
+		Channels:        2,
+		Faults:          faults,
+		Telemetry:       telemetry.New(),
+		Monitor:         true,
+		MonitorInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	faults.Enable(blockchain.FaultSubmit, faultinject.Fault{ErrorRate: 1})
+	rep := p.Monitor.Prober().Probe()
+	if h := rep.Components["provenance-ledger"]; h.State != monitor.StateDown {
+		t.Errorf("ledger probe under total fault = %v (%s), want Down", h.State, h.Detail)
+	}
+	for i := 0; i < 2; i++ {
+		name := "provenance-ledger/" + multichain.ChannelName(i)
+		if h := rep.Components[name]; h.State != monitor.StateDegraded {
+			t.Errorf("%s under fault = %v, want Degraded (aggregate owns Down)", name, h.State)
+		}
+	}
+	if rep.Ready {
+		t.Error("platform ready while no channel can commit")
+	}
+
+	faults.Disable(blockchain.FaultSubmit)
+	rep = p.Monitor.Prober().Probe()
+	if h := rep.Components["provenance-ledger"]; h.State != monitor.StateOK {
+		t.Errorf("ledger probe after fault cleared = %v (%s)", h.State, h.Detail)
+	}
+	if !rep.Ready {
+		t.Errorf("platform not ready after fault cleared: %+v", rep)
+	}
+}
+
+// TestMultiChannelRestartReplaysState is the fabric-wide crash-recovery
+// contract: a Channels=2 platform with a DataDir commits traffic, shuts
+// down, and a rebuilt platform replays every channel's WAL (through the
+// latest world-state snapshot where one exists) to identical per-channel
+// state hashes — then keeps accepting writes.
+func TestMultiChannelRestartReplaysState(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Tenant:              "mercy-health",
+		KBDataset:           smallKB(t),
+		LedgerPeers:         []string{"hospital", "audit-svc"},
+		Channels:            2,
+		DataDir:             dir,
+		LedgerSnapshotEvery: 3,
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const records = 10
+	for i := 0; i < records; i++ {
+		tx := blockchain.NewTransaction(blockchain.EventDataReceipt, "ingest",
+			fmt.Sprintf("patient-%02d", i), nil, nil)
+		if err := p.MultiChain.Submit(tx, 10*time.Second); err != nil {
+			p.Close()
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	hashes := p.MultiChain.StateHashes()
+	p.Close()
+
+	re, err := New(cfg)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	defer re.Close()
+	replayed := re.MultiChain.StateHashes()
+	if len(replayed) != len(hashes) {
+		t.Fatalf("replayed %d channels, want %d", len(replayed), len(hashes))
+	}
+	for name, want := range hashes {
+		if got := replayed[name]; got != want {
+			t.Errorf("channel %s state hash diverged across restart:\n got %s\nwant %s", name, got, want)
+		}
+	}
+	if got := re.MultiChain.TxCount(); got != records {
+		t.Errorf("tx count after restart = %d, want %d", got, records)
+	}
+	if err := re.MultiChain.VerifyAll(); err != nil {
+		t.Errorf("VerifyAll after restart: %v", err)
+	}
+	// The recovered fabric still takes writes.
+	tx := blockchain.NewTransaction(blockchain.EventSecureDeletion, "ingest", "patient-00", nil, nil)
+	if err := re.MultiChain.Submit(tx, 10*time.Second); err != nil {
+		t.Fatalf("post-restart submit: %v", err)
+	}
+}

@@ -38,6 +38,12 @@ const (
 	KindLake byte = 0x01
 	// KindBlock frames carry a blockchain.Block (JSON).
 	KindBlock byte = 0x02
+	// KindSnapshot frames carry a blockchain.Snapshot (JSON): a ledger
+	// world-state capture interleaved into the block WAL every K blocks
+	// so restart replay can start from the latest snapshot instead of
+	// block zero. A snapshot at height H sits between block H-1 and
+	// block H in the log.
+	KindSnapshot byte = 0x03
 )
 
 // frameMagic is the first byte of every frame — a cheap resync anchor

@@ -1,0 +1,138 @@
+package durable
+
+import (
+	"fmt"
+	"testing"
+
+	"healthcloud/internal/blockchain"
+)
+
+// TestWALSnapshotReplayMatchesFullReplay pins the snapshot contract:
+// restoring from (latest snapshot, tail blocks) must yield exactly the
+// same state hash as replaying the full chain, and the restored ledger
+// must keep committing into the same WAL.
+func TestWALSnapshotReplayMatchesFullReplay(t *testing.T) {
+	dir := t.TempDir()
+	wal, blocks, err := OpenWAL(dir, Options{})
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	if len(blocks) != 0 {
+		t.Fatalf("fresh WAL replayed %d blocks", len(blocks))
+	}
+	led := blockchain.NewLedger()
+	led.SetWAL(wal)
+	led.SetSnapshotEvery(4)
+	for i := 0; i < 10; i++ {
+		tx := newTx(fmt.Sprintf("snap-ref-%d", i))
+		if _, err := led.AppendBlock([]blockchain.Transaction{tx}); err != nil {
+			t.Fatalf("AppendBlock %d: %v", i, err)
+		}
+	}
+	liveHash := led.StateHash()
+	if got := wal.SnapshotHeight(); got != 8 {
+		t.Fatalf("SnapshotHeight = %d, want 8 (boundaries at 4 and 8)", got)
+	}
+	wal.Close()
+
+	// Full replay — OpenWAL must still return the entire chain even
+	// with snapshot frames interleaved (byte-identical legacy path).
+	walFull, full, err := OpenWAL(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen full: %v", err)
+	}
+	if len(full) != 10 {
+		t.Fatalf("full replay returned %d blocks, want 10", len(full))
+	}
+	fullLed := blockchain.NewLedger()
+	if err := fullLed.Restore(full); err != nil {
+		t.Fatalf("full Restore: %v", err)
+	}
+	if got := fullLed.StateHash(); got != liveHash {
+		t.Fatalf("full-replay state hash = %s, want %s", got, liveHash)
+	}
+	walFull.Close()
+
+	// Bounded replay — the snapshot plus the two-block tail.
+	walSnap, rep, err := OpenWALSnapshot(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen snapshot: %v", err)
+	}
+	defer walSnap.Close()
+	if rep.Snapshot == nil {
+		t.Fatal("OpenWALSnapshot returned no snapshot")
+	}
+	if rep.Snapshot.Height != 8 || len(rep.Blocks) != 2 {
+		t.Fatalf("snapshot height %d with %d tail blocks, want 8 and 2",
+			rep.Snapshot.Height, len(rep.Blocks))
+	}
+	snapLed := blockchain.NewLedger()
+	if err := snapLed.RestoreSnapshot(*rep.Snapshot, rep.Blocks); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if got := snapLed.StateHash(); got != liveHash {
+		t.Fatalf("snapshot-replay state hash = %s, want %s (full replay)", got, liveHash)
+	}
+	if err := snapLed.VerifyChain(); err != nil {
+		t.Fatalf("VerifyChain after snapshot restore: %v", err)
+	}
+	if got, want := snapLed.Height(), 10; got != want {
+		t.Fatalf("Height after snapshot restore = %d, want %d", got, want)
+	}
+	if got, want := snapLed.TxCount(), fullLed.TxCount(); got != want {
+		t.Fatalf("TxCount after snapshot restore = %d, want %d", got, want)
+	}
+	if got := snapLed.Base(); got != 8 {
+		t.Fatalf("Base = %d, want 8", got)
+	}
+	// The snapshot-restored ledger keeps committing into the same WAL
+	// at the right height, and its state matches a dedup replay.
+	snapLed.SetWAL(walSnap)
+	if _, err := snapLed.AppendBlock([]blockchain.Transaction{newTx("snap-ref-post")}); err != nil {
+		t.Fatalf("AppendBlock after snapshot restore: %v", err)
+	}
+	if got, want := snapLed.Height(), 11; got != want {
+		t.Fatalf("Height after post-restore commit = %d, want %d", got, want)
+	}
+}
+
+// TestWALSnapshotSharedAcrossPeersDedups: every peer of a network
+// offers the same snapshot at the same boundary; only the first lands
+// in the log, the rest are skipped silently.
+func TestWALSnapshotSharedAcrossPeersDedups(t *testing.T) {
+	dir := t.TempDir()
+	wal, _, err := OpenWAL(dir, Options{})
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	peerA, peerB := blockchain.NewLedger(), blockchain.NewLedger()
+	for _, led := range []*blockchain.Ledger{peerA, peerB} {
+		led.SetWAL(wal)
+		led.SetSnapshotEvery(2)
+	}
+	for i := 0; i < 4; i++ {
+		txs := []blockchain.Transaction{newTx(fmt.Sprintf("shared-%d", i))}
+		if _, err := peerA.AppendBlock(txs); err != nil {
+			t.Fatalf("peerA block %d: %v", i, err)
+		}
+		if _, err := peerB.AppendBlock(txs); err != nil {
+			t.Fatalf("peerB block %d: %v", i, err)
+		}
+	}
+	wal.Close()
+
+	// Count snapshot frames directly: exactly one per boundary even
+	// though two peers offered one at each.
+	snapshots := 0
+	if _, _, err := replayDir(dir, nil, newSegMetrics(nil), func(rec Record) error {
+		if rec.Kind == KindSnapshot {
+			snapshots++
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("replayDir: %v", err)
+	}
+	if snapshots != 2 {
+		t.Fatalf("framed %d snapshots, want 2 (one per boundary)", snapshots)
+	}
+}

@@ -21,49 +21,101 @@ type WAL struct {
 	seg  *SegmentStore
 	info ReplayInfo
 
-	mu        sync.Mutex
-	hashByNum map[uint64]string
-	next      uint64
+	mu         sync.Mutex
+	hashByNum  map[uint64]string
+	next       uint64
+	snapHeight uint64 // highest snapshot framed (0 = none)
 }
 
 var _ blockchain.BlockWAL = (*WAL)(nil)
+var _ blockchain.SnapshotWAL = (*WAL)(nil)
+
+// WALReplay is what OpenWALSnapshot recovered: the latest world-state
+// snapshot in the log (nil if none) plus every block after it — the
+// two inputs Ledger.RestoreSnapshot verifies and rebuilds from. With
+// no snapshot, Blocks is the full chain for Ledger.Restore.
+type WALReplay struct {
+	Snapshot *blockchain.Snapshot
+	Blocks   []blockchain.Block
+}
 
 // OpenWAL replays dir and opens the log for appending. The returned
 // blocks are the verified replay input for Ledger.Restore on every
 // peer. A torn tail (the block a crash interrupted mid-frame) is
 // truncated — that block was never acknowledged, because commit waits
-// for the WAL; interior corruption returns ErrCorrupt.
+// for the WAL; interior corruption returns ErrCorrupt. Snapshot
+// frames in the log are validated but not returned: OpenWAL always
+// yields the full chain, so pre-snapshot tooling and tests see
+// byte-identical replay; OpenWALSnapshot is the bounded-replay opener.
 func OpenWAL(dir string, opt Options) (*WAL, []blockchain.Block, error) {
+	w, blocks, _, err := openWAL(dir, opt)
+	return w, blocks, err
+}
+
+// OpenWALSnapshot is OpenWAL returning the latest snapshot plus only
+// the blocks after it, so restart cost stays bounded as the chain
+// grows (ledgers restore via RestoreSnapshot instead of replaying from
+// block zero).
+func OpenWALSnapshot(dir string, opt Options) (*WAL, WALReplay, error) {
+	w, blocks, snap, err := openWAL(dir, opt)
+	if err != nil {
+		return nil, WALReplay{}, err
+	}
+	rep := WALReplay{Snapshot: snap, Blocks: blocks}
+	if snap != nil {
+		rep.Blocks = blocks[snap.Height:]
+	}
+	return w, rep, nil
+}
+
+func openWAL(dir string, opt Options) (*WAL, []blockchain.Block, *blockchain.Snapshot, error) {
 	var blocks []blockchain.Block
+	var snap *blockchain.Snapshot
 	met := newSegMetrics(opt.Registry)
 	info, activeSeq, err := replayDir(dir, opt.Tracer, met, func(rec Record) error {
-		if rec.Kind != KindBlock {
+		switch rec.Kind {
+		case KindBlock:
+			var b blockchain.Block
+			if err := json.Unmarshal(rec.Payload, &b); err != nil {
+				return fmt.Errorf("decoding block: %w", err)
+			}
+			blocks = append(blocks, b)
+		case KindSnapshot:
+			var s blockchain.Snapshot
+			if err := json.Unmarshal(rec.Payload, &s); err != nil {
+				return fmt.Errorf("decoding snapshot: %w", err)
+			}
+			// A snapshot at height H must sit right after block H-1;
+			// anywhere else the log is internally inconsistent.
+			if s.Height != uint64(len(blocks)) {
+				return fmt.Errorf("snapshot at height %d after %d block(s)", s.Height, len(blocks))
+			}
+			snap = &s
+		default:
 			return fmt.Errorf("unexpected frame kind 0x%02x in ledger wal", rec.Kind)
 		}
-		var b blockchain.Block
-		if err := json.Unmarshal(rec.Payload, &b); err != nil {
-			return fmt.Errorf("decoding block: %w", err)
-		}
-		blocks = append(blocks, b)
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	w := &WAL{seg: nil, info: info, hashByNum: make(map[uint64]string, len(blocks))}
+	if snap != nil {
+		w.snapHeight = snap.Height
+	}
 	for _, b := range blocks {
 		if b.Number != w.next {
-			return nil, nil, fmt.Errorf("%w: wal block %d out of order (want %d)", ErrCorrupt, b.Number, w.next)
+			return nil, nil, nil, fmt.Errorf("%w: wal block %d out of order (want %d)", ErrCorrupt, b.Number, w.next)
 		}
 		w.hashByNum[b.Number] = hex.EncodeToString(b.Hash)
 		w.next++
 	}
 	seg, err := openSegmentStore(dir, activeSeq, opt)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	w.seg = seg
-	return w, blocks, nil
+	return w, blocks, snap, nil
 }
 
 // Append implements blockchain.BlockWAL. It blocks until the block's
@@ -97,6 +149,43 @@ func (w *WAL) Append(b blockchain.Block) error {
 	w.next++
 	w.mu.Unlock()
 	return wait()
+}
+
+// AppendSnapshot implements blockchain.SnapshotWAL. Snapshots are
+// opportunistic: one is framed only when it lands exactly at the log's
+// current height (between block Height-1 and block Height) and is
+// newer than any snapshot already framed — otherwise it is silently
+// skipped, because every peer of the network offers the same snapshot
+// at the same boundary and the log has either already taken it or
+// already moved past the boundary. Skipping is safe: the block stream
+// alone always suffices to rebuild state.
+func (w *WAL) AppendSnapshot(s blockchain.Snapshot) error {
+	w.mu.Lock()
+	if s.Height == 0 || s.Height != w.next || s.Height <= w.snapHeight {
+		w.mu.Unlock()
+		return nil
+	}
+	payload, err := json.Marshal(s)
+	if err != nil {
+		w.mu.Unlock()
+		return fmt.Errorf("durable: encoding snapshot: %w", err)
+	}
+	wait, err := w.seg.Append(KindSnapshot, payload)
+	if err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.snapHeight = s.Height
+	w.mu.Unlock()
+	return wait()
+}
+
+// SnapshotHeight reports the height of the latest snapshot framed or
+// replayed (0 = none).
+func (w *WAL) SnapshotHeight() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.snapHeight
 }
 
 // ReplayInfo reports what OpenWAL replayed.

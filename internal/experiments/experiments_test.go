@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"os"
 	"strings"
 	"testing"
@@ -381,5 +382,39 @@ func TestCleanStopStartNoLoss(t *testing.T) {
 	}
 	if _, divergent := p2.ShardLake.VerifyConvergence(); len(divergent) != 0 {
 		t.Errorf("divergent objects after clean restart: %v", divergent)
+	}
+}
+
+// TestE21MultiChannel pins the multi-channel provenance acceptance
+// criteria: 4 channels sustain at least 1.8x the single-channel commit
+// throughput under the serial-ordering device model, with zero
+// transactions lost, every channel cutting blocks, and per-channel
+// block-cut cadence reported.
+func TestE21MultiChannel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-channel benchmark skipped in -short mode")
+	}
+	r, err := E21MultiChannel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]float64{}
+	for _, row := range r.Rows {
+		rows[row.Label] = row.Value
+	}
+	if got := rows["speedup (4 vs 1 channels)"]; got < 1.8 {
+		t.Errorf("4-channel speedup = %.2fx, want >= 1.8x", got)
+	}
+	if rows["throughput @ 2 channels (median of 3)"] <= rows["throughput @ 1 channel (median of 3)"] {
+		t.Error("2-channel throughput not above single-channel")
+	}
+	for i := 0; i < 4; i++ {
+		label := fmt.Sprintf("blocks cut @ 4 channels, ch-%d", i)
+		if got, ok := rows[label]; !ok || got == 0 {
+			t.Errorf("%s = %v — channel idle or cadence row missing", label, got)
+		}
+	}
+	if !strings.HasPrefix(r.Shape, "HOLDS") {
+		t.Errorf("shape: %s", r.Shape)
 	}
 }
