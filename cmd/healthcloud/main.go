@@ -45,6 +45,7 @@ func run() error {
 	shards := flag.Int("shards", 1, "Data Lake shard count (1 = single lake; >1 enables the consistent-hash shardlake)")
 	replicas := flag.Int("replicas", 1, "Data Lake replication factor R (clamped to -shards)")
 	dataDir := flag.String("data-dir", "", "root directory for durable storage: lake segments + ledger WAL, replayed on restart (empty = in-memory only)")
+	sigScheme := flag.String("sig-scheme", "", "ledger endorsement signature scheme: ed25519 (default) or rsa; chains endorsed under either scheme verify regardless (algorithm-tagged envelopes)")
 	flag.Parse()
 
 	kbCfg := kb.DefaultConfig()
@@ -60,6 +61,7 @@ func run() error {
 		cfg.LedgerBatch = *ledgerBatch
 		cfg.Channels = *channels
 		cfg.LedgerSnapshotEvery = *snapEvery
+		cfg.SignatureScheme = *sigScheme
 	}
 	if *obs {
 		cfg.Telemetry = telemetry.New()

@@ -55,12 +55,13 @@ var (
 // construct with NewService.
 type Service struct {
 	mu sync.RWMutex
-	// enrolled TPM/vTPM attestation keys, by TPM name.
-	aks map[string]*hckrypto.VerifyKey
+	// enrolled TPM/vTPM attestation keys, by TPM name. Verifiers carry
+	// their own scheme, so mixed-algorithm fleets attest side by side.
+	aks map[string]hckrypto.Verifier
 	// golden PCR values: tpmName -> layer -> approved PCR value.
 	golden map[string]map[Layer][]byte
 	// approved image-signing keys by fingerprint.
-	imageSigners map[string]*hckrypto.VerifyKey
+	imageSigners map[string]hckrypto.Verifier
 	// outstanding challenge nonces (one-shot).
 	nonces map[string][]byte
 	// attestation decisions, for the audit trail.
@@ -78,9 +79,9 @@ type Decision struct {
 // NewService creates an empty attestation service.
 func NewService() *Service {
 	return &Service{
-		aks:          make(map[string]*hckrypto.VerifyKey),
+		aks:          make(map[string]hckrypto.Verifier),
 		golden:       make(map[string]map[Layer][]byte),
-		imageSigners: make(map[string]*hckrypto.VerifyKey),
+		imageSigners: make(map[string]hckrypto.Verifier),
 		nonces:       make(map[string][]byte),
 	}
 }
@@ -88,7 +89,7 @@ func NewService() *Service {
 // EnrollTPM registers a TPM's attestation key. In a real deployment this
 // happens out of band when hardware is racked (or when a vTPM is created
 // by an already-trusted vTPM manager).
-func (s *Service) EnrollTPM(name string, ak *hckrypto.VerifyKey) {
+func (s *Service) EnrollTPM(name string, ak hckrypto.Verifier) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.aks[name] = ak
@@ -233,7 +234,7 @@ func (s *Service) AttestChain(links []ChainLink) error {
 
 // ApproveImageSigner adds a key to the approved list used by Image
 // Management.
-func (s *Service) ApproveImageSigner(key *hckrypto.VerifyKey) {
+func (s *Service) ApproveImageSigner(key hckrypto.Verifier) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.imageSigners[key.Fingerprint()] = key
@@ -252,7 +253,7 @@ func (s *Service) VerifyImageSignature(imageDigest, sig []byte) (string, error) 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for fp, key := range s.imageSigners {
-		if key.Verify(imageDigest, sig) {
+		if hckrypto.VerifyEnvelope(key, imageDigest, sig) {
 			return fp, nil
 		}
 	}

@@ -265,7 +265,15 @@ func (b *Batcher) take() []*pendingTx {
 		n = b.cfg.MaxBatch
 	}
 	batch := b.queue[:n:n]
-	b.queue = append([]*pendingTx(nil), b.queue[n:]...)
+	if n == len(b.queue) {
+		// Full drain (the common case): hand the backing array to the
+		// batch and keep the empty tail. Later enqueues append at
+		// indices >= n of a capacity-clipped slice, so they can never
+		// alias the batch being committed.
+		b.queue = b.queue[n:]
+	} else {
+		b.queue = append([]*pendingTx(nil), b.queue[n:]...)
+	}
 	depth := len(b.queue)
 	b.mu.Unlock()
 	if b.met != nil {

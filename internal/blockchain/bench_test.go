@@ -1,0 +1,39 @@
+package blockchain
+
+import (
+	"fmt"
+	"testing"
+
+	"healthcloud/internal/hckrypto"
+)
+
+// BenchmarkEndorseGroup measures the batched endorsement hot path — one
+// group digest over 16 transactions plus one signature — under each
+// signature scheme. Together with BenchmarkSign/BenchmarkVerify in
+// internal/hckrypto this is the per-op evidence behind experiment E22.
+func BenchmarkEndorseGroup(b *testing.B) {
+	for _, scheme := range []hckrypto.Scheme{hckrypto.SchemeRSAPSS, hckrypto.SchemeEd25519} {
+		name := "rsa"
+		if scheme == hckrypto.SchemeEd25519 {
+			name = "ed25519"
+		}
+		b.Run(name, func(b *testing.B) {
+			peer, err := NewPeerWithScheme("bench", scheme, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			txs := make([]Transaction, 16)
+			for i := range txs {
+				txs[i] = NewTransaction(EventDataReceipt, "bench",
+					fmt.Sprintf("h-%d", i), nil, map[string]string{"k": "v"})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := peer.EndorseGroup(txs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

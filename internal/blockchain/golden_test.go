@@ -1,0 +1,225 @@
+// Golden-compatibility regression for crypto agility: a chain endorsed
+// with legacy untagged RSA-PSS signatures, written before Ed25519 became
+// the runtime default, must keep replaying, hash-verifying, and
+// endorsement-verifying forever — and must accept an Ed25519-endorsed
+// continuation, giving a mixed-algorithm chain.
+//
+// This file is an external test package because it drives the replay
+// through internal/durable, which imports blockchain.
+package blockchain_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"healthcloud/internal/blockchain"
+	"healthcloud/internal/durable"
+	"healthcloud/internal/hckrypto"
+)
+
+const (
+	goldenDir = "testdata/golden_rsa_wal"
+
+	// State hash of the 3-block fixture chain after replay. Pinned at
+	// fixture generation time; regenerate with
+	//
+	//	HC_REGEN_GOLDEN=1 go test ./internal/blockchain -run TestRegenerateGoldenWAL -v
+	//
+	// and update this constant from the test's output.
+	goldenRSAWALStateHash = "a9613ff055114297a8d82660cf1fb4805b4ca56f59834fe8337b3189bc1e9662"
+)
+
+// goldenTx builds the i-th fixture transaction of block b with every
+// field fixed, so regeneration changes only the signing key.
+func goldenTx(b, i int) blockchain.Transaction {
+	return blockchain.Transaction{
+		ID:        fmt.Sprintf("golden-%d-%d", b, i),
+		Type:      blockchain.EventDataReceipt,
+		Creator:   "golden-org",
+		Handle:    fmt.Sprintf("record-%d-%d", b, i),
+		DataHash:  []byte{byte(b), byte(i), 0xEE},
+		Meta:      map[string]string{"study": "golden"},
+		Timestamp: time.Unix(1700000000+int64(b*100+i), 0).UTC(),
+	}
+}
+
+// TestRegenerateGoldenWAL rewrites the checked-in fixture. It is gated
+// behind HC_REGEN_GOLDEN=1 because regeneration mints a fresh RSA key,
+// which changes the WAL bytes and the pinned state hash.
+func TestRegenerateGoldenWAL(t *testing.T) {
+	if os.Getenv("HC_REGEN_GOLDEN") == "" {
+		t.Skip("set HC_REGEN_GOLDEN=1 to regenerate the golden RSA WAL fixture")
+	}
+	if err := os.RemoveAll(goldenDir); err != nil {
+		t.Fatal(err)
+	}
+	walDir := filepath.Join(goldenDir, "wal")
+	if err := os.MkdirAll(walDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	key, err := hckrypto.NewSigningKey(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pemBytes, err := key.Verifier().MarshalPEM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(goldenDir, "endorser.pem"), pemBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wal, blocks, err := durable.OpenWAL(walDir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 0 {
+		t.Fatalf("fresh fixture dir replayed %d blocks", len(blocks))
+	}
+	led := blockchain.NewLedger()
+	led.SetWAL(wal)
+	for b := 0; b < 3; b++ {
+		txs := make([]blockchain.Transaction, 2)
+		for i := range txs {
+			txs[i] = goldenTx(b, i)
+			// Legacy endorsement format: the raw RSA-PSS signature, no
+			// envelope header — exactly what pre-agility peers produced.
+			sig, err := key.Sign(txs[i].Digest())
+			if err != nil {
+				t.Fatal(err)
+			}
+			txs[i].Endorsements = []blockchain.Endorsement{{PeerID: "golden-peer", Signature: sig}}
+		}
+		if _, err := led.AppendBlock(txs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fixture regenerated; update goldenRSAWALStateHash to %q", led.StateHash())
+}
+
+// copyDir clones the fixture into a scratch dir: OpenWAL opens the
+// segment for appending and the continuation writes a new block, neither
+// of which may dirty the checked-in fixture.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGoldenRSAWALReplay is the compatibility pin: under the Ed25519
+// runtime default, the stored RSA-endorsed chain still replays to the
+// same state hash, its legacy endorsements still verify (and only under
+// the RSA key), and an Ed25519-endorsed block appends cleanly on top —
+// the resulting mixed-algorithm chain replays end to end.
+func TestGoldenRSAWALReplay(t *testing.T) {
+	pemBytes, err := os.ReadFile(filepath.Join(goldenDir, "endorser.pem"))
+	if err != nil {
+		t.Fatalf("reading fixture key (regenerate with HC_REGEN_GOLDEN=1?): %v", err)
+	}
+	rsaV, err := hckrypto.ParseVerifierPEM(pemBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsaV.Scheme() != hckrypto.SchemeRSAPSS {
+		t.Fatalf("fixture key scheme = %q, want rsa-pss", rsaV.Scheme())
+	}
+	scratch := t.TempDir()
+	copyDir(t, filepath.Join(goldenDir, "wal"), scratch)
+
+	wal, blocks, err := durable.OpenWAL(scratch, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 3 {
+		t.Fatalf("fixture replayed %d blocks, want 3", len(blocks))
+	}
+	led := blockchain.NewLedger()
+	if err := led.Restore(blocks); err != nil {
+		t.Fatalf("restoring RSA-endorsed chain: %v", err)
+	}
+	if err := led.VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := led.StateHash(); got != goldenRSAWALStateHash {
+		t.Fatalf("state hash drifted:\n got %s\nwant %s", got, goldenRSAWALStateHash)
+	}
+
+	// Every stored endorsement is a legacy untagged RSA-PSS signature:
+	// VerifyEnvelope must accept it under the RSA key and under nothing
+	// else — the Ed25519 default cannot retroactively break stored chains.
+	edKey, err := hckrypto.NewEd25519KeyFromSeed(bytes.Repeat([]byte{0x07}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		for _, tx := range b.Txs {
+			for _, e := range tx.Endorsements {
+				if !hckrypto.VerifyEnvelope(rsaV, tx.Digest(), e.Signature) {
+					t.Fatalf("legacy endorsement on %s no longer verifies", tx.ID)
+				}
+				if hckrypto.VerifyEnvelope(edKey.Verifier(), tx.Digest(), e.Signature) {
+					t.Fatalf("legacy RSA endorsement on %s verified under ed25519", tx.ID)
+				}
+			}
+		}
+	}
+
+	// Continue the chain under the new default: one Ed25519-endorsed
+	// block on top of the RSA history.
+	led.SetWAL(wal)
+	tx := goldenTx(3, 0)
+	env, err := hckrypto.SignEnvelope(edKey, tx.Digest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Endorsements = []blockchain.Endorsement{{PeerID: "ed-peer", Signature: env}}
+	if _, err := led.AppendBlock([]blockchain.Transaction{tx}); err != nil {
+		t.Fatalf("appending ed25519-endorsed block onto RSA chain: %v", err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The mixed-algorithm chain must replay end to end, each endorsement
+	// verifying under its own scheme's key and no other.
+	wal2, blocks2, err := durable.OpenWAL(scratch, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	if len(blocks2) != 4 {
+		t.Fatalf("mixed chain replayed %d blocks, want 4", len(blocks2))
+	}
+	led2 := blockchain.NewLedger()
+	if err := led2.Restore(blocks2); err != nil {
+		t.Fatalf("restoring mixed-algorithm chain: %v", err)
+	}
+	if err := led2.VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+	tail := blocks2[3].Txs[0]
+	sig := tail.Endorsements[0].Signature
+	if !hckrypto.VerifyEnvelope(edKey.Verifier(), tail.Digest(), sig) {
+		t.Fatal("ed25519 endorsement on the continuation block failed to verify")
+	}
+	if hckrypto.VerifyEnvelope(rsaV, tail.Digest(), sig) {
+		t.Fatal("ed25519 endorsement verified under the RSA key")
+	}
+}

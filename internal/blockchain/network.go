@@ -27,7 +27,7 @@ type Network struct {
 	policyK  int // endorsements required
 	peerIDs  []string
 	peers    map[string]*Peer
-	keys     map[string]*hckrypto.VerifyKey
+	keys     map[string]hckrypto.Verifier
 	cluster  *consensus.Cluster
 	faults   *faultinject.Registry
 	tracer   *telemetry.Tracer
@@ -84,6 +84,7 @@ type options struct {
 	faults   *faultinject.Registry
 	reg      *telemetry.Registry
 	tracer   *telemetry.Tracer
+	scheme   hckrypto.Scheme
 }
 
 // WithValidation installs the peers' endorsement rule (smart-contract
@@ -101,6 +102,15 @@ func WithRaftConfig(cfg consensus.Config) Option {
 // FaultSubmit before each submission (nil disables).
 func WithFaults(r *faultinject.Registry) Option {
 	return func(o *options) { o.faults = r }
+}
+
+// WithSignatureScheme pins the endorsement signature scheme for every
+// peer on the network (crypto agility). Zero value means the platform
+// default (Ed25519); networks replaying chains endorsed under RSA-PSS
+// pin that here. Mixed-algorithm verification still works regardless —
+// the scheme rides in each endorsement's signature envelope.
+func WithSignatureScheme(s hckrypto.Scheme) Option {
+	return func(o *options) { o.scheme = s }
 }
 
 // WithTelemetry instruments the network: submit counters plus
@@ -135,16 +145,19 @@ func NewNetwork(name string, peerIDs []string, policyK int, opts ...Option) (*Ne
 		policyK: policyK,
 		peerIDs: append([]string(nil), peerIDs...),
 		peers:   make(map[string]*Peer, len(peerIDs)),
-		keys:    make(map[string]*hckrypto.VerifyKey, len(peerIDs)),
+		keys:    make(map[string]hckrypto.Verifier, len(peerIDs)),
+	}
+	if o.scheme == "" {
+		o.scheme = hckrypto.DefaultScheme
 	}
 	sort.Strings(n.peerIDs)
 	for _, id := range n.peerIDs {
-		p, err := NewPeer(id, o.validate)
+		p, err := NewPeerWithScheme(id, o.scheme, o.validate)
 		if err != nil {
 			return nil, err
 		}
 		n.peers[id] = p
-		n.keys[id] = p.VerifyKey()
+		n.keys[id] = p.Verifier()
 	}
 	// One ordering node per peer, mirroring Fabric's Raft ordering service.
 	n.cluster = consensus.NewCluster(len(n.peerIDs), o.raftCfg)
@@ -213,7 +226,7 @@ func (n *Network) checkEndorsements(tx *Transaction) error {
 		if seen[e.PeerID] {
 			continue
 		}
-		if !key.Verify(digest, e.Signature) {
+		if !hckrypto.VerifyEnvelope(key, digest, e.Signature) {
 			return ErrBadEndorsement
 		}
 		seen[e.PeerID] = true
@@ -238,7 +251,7 @@ func (n *Network) checkGroupEndorsements(txs []Transaction, group []Endorsement)
 		if seen[e.PeerID] {
 			continue
 		}
-		if !key.Verify(digest, e.Signature) {
+		if !hckrypto.VerifyEnvelope(key, digest, e.Signature) {
 			return ErrBadEndorsement
 		}
 		seen[e.PeerID] = true
@@ -354,7 +367,7 @@ func NewTransaction(typ EventType, creator, handle string, dataHash []byte, meta
 
 // EndorseAll collects endorsements from up to policyK peers. The happy
 // path fans out to the first policyK peers (sorted order) in parallel —
-// each endorsement is an independent RSA signature, so the requests
+// each endorsement is an independent signature, so the requests
 // don't serialize behind each other. If any of those peers rejects, the
 // remaining peers are tried serially in order until the policy is met.
 // Deliberately only policyK signatures are requested (not all peers):

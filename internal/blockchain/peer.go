@@ -14,7 +14,7 @@ import (
 // service, audit service as well as other services" (§IV-B1).
 type Peer struct {
 	id  string
-	key *hckrypto.SigningKey
+	key hckrypto.Signer
 
 	// validate lets each peer apply its own business rules before
 	// endorsing (smart-contract stand-in). Nil means endorse anything
@@ -25,9 +25,17 @@ type Peer struct {
 	ledger *Ledger
 }
 
-// NewPeer creates a peer with a fresh signing identity.
+// NewPeer creates a peer with a fresh signing identity under the
+// platform's default signature scheme.
 func NewPeer(id string, validate func(*Transaction) error) (*Peer, error) {
-	key, err := hckrypto.NewSigningKey(2048)
+	return NewPeerWithScheme(id, hckrypto.DefaultScheme, validate)
+}
+
+// NewPeerWithScheme creates a peer whose endorsement identity uses the
+// given signature scheme. Networks replaying chains endorsed under an
+// older scheme pin it here; new networks take the default.
+func NewPeerWithScheme(id string, scheme hckrypto.Scheme, validate func(*Transaction) error) (*Peer, error) {
+	key, err := hckrypto.NewSigner(scheme)
 	if err != nil {
 		return nil, fmt.Errorf("blockchain: peer key: %w", err)
 	}
@@ -37,8 +45,11 @@ func NewPeer(id string, validate func(*Transaction) error) (*Peer, error) {
 // ID returns the peer's identity.
 func (p *Peer) ID() string { return p.id }
 
-// VerifyKey returns the peer's public endorsement-verification key.
-func (p *Peer) VerifyKey() *hckrypto.VerifyKey { return p.key.Public() }
+// Scheme returns the signature scheme the peer endorses under.
+func (p *Peer) Scheme() hckrypto.Scheme { return p.key.Scheme() }
+
+// Verifier returns the peer's public endorsement-verification key.
+func (p *Peer) Verifier() hckrypto.Verifier { return p.key.Verifier() }
 
 // Endorse validates the transaction against the peer's rules and signs
 // its digest. This is the "endorse" phase of the lifecycle.
@@ -48,7 +59,7 @@ func (p *Peer) Endorse(tx *Transaction) (Endorsement, error) {
 			return Endorsement{}, fmt.Errorf("%w: %s: %v", ErrTxRejected, p.id, err)
 		}
 	}
-	sig, err := p.key.Sign(tx.Digest())
+	sig, err := hckrypto.SignEnvelope(p.key, tx.Digest())
 	if err != nil {
 		return Endorsement{}, fmt.Errorf("blockchain: endorsing: %w", err)
 	}
@@ -68,7 +79,7 @@ func (p *Peer) EndorseGroup(txs []Transaction) (Endorsement, error) {
 			}
 		}
 	}
-	sig, err := p.key.Sign(GroupDigest(txs))
+	sig, err := hckrypto.SignEnvelope(p.key, GroupDigest(txs))
 	if err != nil {
 		return Endorsement{}, fmt.Errorf("blockchain: endorsing group: %w", err)
 	}

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash"
 	"sort"
 	"time"
 )
@@ -64,8 +65,18 @@ type Endorsement struct {
 // the endorsements themselves, deterministically serialized.
 func (tx *Transaction) Digest() []byte {
 	h := sha256.New()
+	tx.writeDigest(h)
+	return h.Sum(nil)
+}
+
+// writeDigest streams the canonical digest serialization into h. The
+// byte layout is load-bearing: stored chains hash-verify against it on
+// replay, so it must never change. Batch paths (GroupDigest, block
+// hashing) call this with a reused hasher instead of allocating a fresh
+// sha256 state and 32-byte sum per transaction.
+func (tx *Transaction) writeDigest(h hash.Hash) {
+	var lenBuf [8]byte
 	write := func(b []byte) {
-		var lenBuf [8]byte
 		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(b)))
 		h.Write(lenBuf[:])
 		h.Write(b)
@@ -75,19 +86,41 @@ func (tx *Transaction) Digest() []byte {
 	write([]byte(tx.Creator))
 	write([]byte(tx.Handle))
 	write(tx.DataHash)
-	keys := make([]string, 0, len(tx.Meta))
-	for k := range tx.Meta {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		write([]byte(k))
-		write([]byte(tx.Meta[k]))
+	switch len(tx.Meta) {
+	case 0:
+	case 1:
+		// A single entry needs no sort — skip the keys-slice allocation
+		// (most ledger transactions carry zero or one metadata pair).
+		for k, v := range tx.Meta {
+			write([]byte(k))
+			write([]byte(v))
+		}
+	default:
+		keys := make([]string, 0, len(tx.Meta))
+		for k := range tx.Meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			write([]byte(k))
+			write([]byte(tx.Meta[k]))
+		}
 	}
 	var ts [8]byte
 	binary.BigEndian.PutUint64(ts[:], uint64(tx.Timestamp.UnixNano()))
 	write(ts[:])
-	return h.Sum(nil)
+}
+
+// writeTxDigests writes each transaction's digest into h, reusing one
+// inner hasher and one stack sum buffer across the whole batch.
+func writeTxDigests(h hash.Hash, txs []Transaction) {
+	inner := sha256.New()
+	var sum [sha256.Size]byte
+	for i := range txs {
+		inner.Reset()
+		txs[i].writeDigest(inner)
+		h.Write(inner.Sum(sum[:0]))
+	}
 }
 
 // Block is a batch of validated transactions chained by hash.
@@ -106,9 +139,7 @@ func (b *Block) computeHash() []byte {
 	binary.BigEndian.PutUint64(num[:], b.Number)
 	h.Write(num[:])
 	h.Write(b.PrevHash)
-	for i := range b.Txs {
-		h.Write(b.Txs[i].Digest())
-	}
+	writeTxDigests(h, b.Txs)
 	return h.Sum(nil)
 }
 
@@ -132,9 +163,7 @@ func GroupDigest(txs []Transaction) []byte {
 	var n [8]byte
 	binary.BigEndian.PutUint64(n[:], uint64(len(txs)))
 	h.Write(n[:])
-	for i := range txs {
-		h.Write(txs[i].Digest())
-	}
+	writeTxDigests(h, txs)
 	return h.Sum(nil)
 }
 

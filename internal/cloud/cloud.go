@@ -48,16 +48,16 @@ type Image struct {
 // NewImage builds and signs an image with the given key. The signer must
 // later be on the attestation service's approved list for the image to
 // be admitted.
-func NewImage(name string, content []byte, signer *hckrypto.SigningKey) (Image, error) {
+func NewImage(name string, content []byte, signer hckrypto.Signer) (Image, error) {
 	digest := sha256.Sum256(content)
-	sig, err := signer.Sign(digest[:])
+	sig, err := hckrypto.SignEnvelope(signer, digest[:])
 	if err != nil {
 		return Image{}, fmt.Errorf("cloud: signing image: %w", err)
 	}
 	return Image{
 		Name: name, Content: append([]byte(nil), content...),
 		Digest: digest[:], Signature: sig,
-		SignerFP: signer.Public().Fingerprint(),
+		SignerFP: signer.Verifier().Fingerprint(),
 	}, nil
 }
 

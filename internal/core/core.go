@@ -63,6 +63,12 @@ type Config struct {
 	LedgerPeers []string
 	// EndorsementK is the endorsement policy (default: majority).
 	EndorsementK int
+	// SignatureScheme selects the endorsement signature scheme for the
+	// provenance ledger peers: "ed25519" (the default) or "rsa"/"rsa-pss"
+	// (the compatibility scheme stored artifacts were endorsed under).
+	// The scheme travels in every signature envelope, so chains written
+	// under one scheme replay and verify under another.
+	SignatureScheme string
 	// Channels partitions provenance onto N independent ledger channels
 	// (default 1 = the single hcls-ledger network, byte-identical to the
 	// pre-multichain behavior). Above 1 the trust plane is an
@@ -300,6 +306,10 @@ func New(cfg Config) (*Platform, error) {
 		if k <= 0 {
 			k = len(cfg.LedgerPeers)/2 + 1
 		}
+		scheme, err := hckrypto.ParseScheme(cfg.SignatureScheme)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 		if cfg.Channels > 1 {
 			mcDir := ""
 			if cfg.DataDir != "" {
@@ -310,6 +320,7 @@ func New(cfg Config) (*Platform, error) {
 				PeerIDs: cfg.LedgerPeers, PolicyK: k,
 				Seed: ledgerRingSeed, Batch: cfg.LedgerBatch,
 				DataDir: mcDir, SnapshotEvery: cfg.LedgerSnapshotEvery,
+				Scheme: scheme,
 				Faults: cfg.Faults, Registry: reg, Tracer: tracer,
 			})
 			if err != nil {
@@ -320,6 +331,7 @@ func New(cfg Config) (*Platform, error) {
 			p.Provenance = p.MultiChain.Channels()[0].Net
 		} else {
 			if p.Provenance, err = blockchain.NewNetwork("hcls-ledger", cfg.LedgerPeers, k,
+				blockchain.WithSignatureScheme(scheme),
 				blockchain.WithFaults(cfg.Faults),
 				blockchain.WithTelemetry(reg, tracer)); err != nil {
 				return nil, fmt.Errorf("core: ledger: %w", err)
@@ -812,8 +824,8 @@ func (p *Platform) Close() {
 // ProvisionTrustedInstance racks a host, boots the platform VM from a
 // signed image, attests the chain, and returns the host/VM names — the
 // "trusted secure health cloud instances" of §II-A.
-func (p *Platform) ProvisionTrustedInstance(signer *hckrypto.SigningKey) (hostName, vmID string, err error) {
-	p.AttSvc.ApproveImageSigner(signer.Public())
+func (p *Platform) ProvisionTrustedInstance(signer hckrypto.Signer) (hostName, vmID string, err error) {
+	p.AttSvc.ApproveImageSigner(signer.Verifier())
 	img, err := cloud.NewImage("healthcloud-platform", []byte("platform-os-v1"), signer)
 	if err != nil {
 		return "", "", err

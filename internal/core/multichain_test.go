@@ -191,7 +191,15 @@ func TestMultiChannelFaultFlipsReadiness(t *testing.T) {
 	}
 
 	faults.Disable(blockchain.FaultSubmit)
+	// Readiness also needs the ordering clusters' first elections to have
+	// settled, which races a freshly built platform — poll with a
+	// deadline instead of asserting on one instant.
+	deadline := time.Now().Add(5 * time.Second)
 	rep = p.Monitor.Prober().Probe()
+	for !rep.Ready && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		rep = p.Monitor.Prober().Probe()
+	}
 	if h := rep.Components["provenance-ledger"]; h.State != monitor.StateOK {
 		t.Errorf("ledger probe after fault cleared = %v (%s)", h.State, h.Detail)
 	}

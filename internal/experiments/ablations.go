@@ -7,6 +7,7 @@ import (
 
 	"healthcloud/internal/blockchain"
 	"healthcloud/internal/hccache"
+	"healthcloud/internal/hckrypto"
 	"healthcloud/internal/jmf"
 	"healthcloud/internal/kb"
 )
@@ -80,7 +81,11 @@ func A2EndorsementPolicy() (*Result, error) {
 	rows := []Row{}
 	var tps, cpus []float64
 	for _, k := range []int{1, 2, 3} {
-		net, err := blockchain.NewNetwork("bench", []string{"p0", "p1", "p2"}, k)
+		// RSA-PSS pinned: the linear-in-K CPU claim needs signatures
+		// expensive enough to dominate the rusage delta; Ed25519 signing
+		// would drown in ordering noise (E22 owns that regime).
+		net, err := blockchain.NewNetwork("bench", []string{"p0", "p1", "p2"}, k,
+			blockchain.WithSignatureScheme(hckrypto.SchemeRSAPSS))
 		if err != nil {
 			return nil, err
 		}

@@ -30,11 +30,12 @@ type e17Sample struct {
 }
 
 // e17Run stands up a fresh full pipeline (3-peer 2-of-3 provenance
-// ledger) with the given worker count, optionally fronted by the
-// group-commit batcher, pushes `uploads` single-patient bundles through
-// it, and returns the sustained throughput. Every upload must reach the
-// stored state — a silently failing arm would fake its throughput.
-func e17Run(workers, uploads int, batched bool) (e17Sample, error) {
+// ledger endorsing under the given signature scheme) with the given
+// worker count, optionally fronted by the group-commit batcher, pushes
+// `uploads` single-patient bundles through it, and returns the sustained
+// throughput. Every upload must reach the stored state — a silently
+// failing arm would fake its throughput.
+func e17Run(workers, uploads int, batched bool, scheme hckrypto.Scheme) (e17Sample, error) {
 	var s e17Sample
 	tel := telemetry.New()
 	kms, err := hckrypto.NewKMS("groupcommit")
@@ -49,6 +50,7 @@ func e17Run(workers, uploads int, batched bool) (e17Sample, error) {
 	}
 	network, err := blockchain.NewNetwork("provenance",
 		[]string{"p0", "p1", "p2"}, 2,
+		blockchain.WithSignatureScheme(scheme),
 		blockchain.WithTelemetry(tel.Registry(), tel.Spans()))
 	if err != nil {
 		return s, err
@@ -178,20 +180,27 @@ func E17GroupCommit() (*Result, error) {
 	const uploads = 120 + e17Warmup
 	const rounds = 3 // pinned 16-worker arms: median of 3 interleaved rounds
 
+	// The ledger is pinned to RSA-PSS endorsement: E17's claim is about
+	// amortizing an expensive per-transaction endorsement, and its >= 2x
+	// bar was calibrated against RSA signing cost. Under the Ed25519
+	// runtime default endorsement is so cheap that batching has nothing
+	// to amortize (E22 measures exactly that shift).
+	const scheme = hckrypto.SchemeRSAPSS
+
 	// Informational arms: single measurement each.
-	un1, err := e17Run(1, uploads, false)
+	un1, err := e17Run(1, uploads, false, scheme)
 	if err != nil {
 		return nil, err
 	}
-	ba1, err := e17Run(1, uploads, true)
+	ba1, err := e17Run(1, uploads, true, scheme)
 	if err != nil {
 		return nil, err
 	}
-	un4, err := e17Run(4, uploads, false)
+	un4, err := e17Run(4, uploads, false, scheme)
 	if err != nil {
 		return nil, err
 	}
-	ba4, err := e17Run(4, uploads, true)
+	ba4, err := e17Run(4, uploads, true, scheme)
 	if err != nil {
 		return nil, err
 	}
@@ -201,11 +210,11 @@ func E17GroupCommit() (*Result, error) {
 	// hits both halves of a round — and take each side's median.
 	var un16s, ba16s []e17Sample
 	for i := 0; i < rounds; i++ {
-		u, err := e17Run(16, uploads, false)
+		u, err := e17Run(16, uploads, false, scheme)
 		if err != nil {
 			return nil, err
 		}
-		b, err := e17Run(16, uploads, true)
+		b, err := e17Run(16, uploads, true, scheme)
 		if err != nil {
 			return nil, err
 		}

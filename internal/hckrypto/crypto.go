@@ -56,10 +56,13 @@ func (k SymmetricKey) Fingerprint() string {
 	return hex.EncodeToString(sum[:8])
 }
 
-// EncryptGCM seals plaintext with AES-256-GCM. The nonce is prepended to
-// the returned ciphertext. Additional data is authenticated but not
-// encrypted; pass nil when there is none.
-func EncryptGCM(key SymmetricKey, plaintext, additional []byte) ([]byte, error) {
+// NewAEAD builds a reusable AES-256-GCM instance for key. Deriving the
+// AES key schedule and GCM tables is the expensive, allocation-heavy
+// part of EncryptGCM/DecryptGCM; hot paths that seal or open many
+// payloads under one key (the KMS master key wrapping every data key)
+// cache the AEAD and call SealAEAD/OpenAEAD instead. cipher.AEAD is
+// safe for concurrent use.
+func NewAEAD(key SymmetricKey) (cipher.AEAD, error) {
 	if len(key) != AESKeySize {
 		return nil, ErrBadKeySize
 	}
@@ -71,36 +74,52 @@ func EncryptGCM(key SymmetricKey, plaintext, additional []byte) ([]byte, error) 
 	if err != nil {
 		return nil, fmt.Errorf("hckrypto: gcm: %w", err)
 	}
-	nonce := make([]byte, gcm.NonceSize())
-	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
-		return nil, fmt.Errorf("hckrypto: nonce: %w", err)
-	}
-	out := gcm.Seal(nonce, nonce, plaintext, additional)
-	return out, nil
+	return gcm, nil
 }
 
-// DecryptGCM opens a ciphertext produced by EncryptGCM.
-func DecryptGCM(key SymmetricKey, ciphertext, additional []byte) ([]byte, error) {
-	if len(key) != AESKeySize {
-		return nil, ErrBadKeySize
+// SealAEAD seals plaintext under a cached AEAD with a fresh random
+// nonce prepended, in a single output allocation.
+func SealAEAD(gcm cipher.AEAD, plaintext, additional []byte) ([]byte, error) {
+	n := gcm.NonceSize()
+	out := make([]byte, n, n+len(plaintext)+gcm.Overhead())
+	if _, err := io.ReadFull(rand.Reader, out); err != nil {
+		return nil, fmt.Errorf("hckrypto: nonce: %w", err)
 	}
-	block, err := aes.NewCipher(key)
-	if err != nil {
-		return nil, fmt.Errorf("hckrypto: cipher: %w", err)
-	}
-	gcm, err := cipher.NewGCM(block)
-	if err != nil {
-		return nil, fmt.Errorf("hckrypto: gcm: %w", err)
-	}
-	if len(ciphertext) < gcm.NonceSize() {
+	return gcm.Seal(out, out, plaintext, additional), nil
+}
+
+// OpenAEAD opens a ciphertext produced by SealAEAD (or EncryptGCM under
+// the same key).
+func OpenAEAD(gcm cipher.AEAD, ciphertext, additional []byte) ([]byte, error) {
+	n := gcm.NonceSize()
+	if len(ciphertext) < n {
 		return nil, ErrShortPayload
 	}
-	nonce, sealed := ciphertext[:gcm.NonceSize()], ciphertext[gcm.NonceSize():]
-	pt, err := gcm.Open(nil, nonce, sealed, additional)
+	pt, err := gcm.Open(nil, ciphertext[:n], ciphertext[n:], additional)
 	if err != nil {
 		return nil, ErrDecrypt
 	}
 	return pt, nil
+}
+
+// EncryptGCM seals plaintext with AES-256-GCM. The nonce is prepended to
+// the returned ciphertext. Additional data is authenticated but not
+// encrypted; pass nil when there is none.
+func EncryptGCM(key SymmetricKey, plaintext, additional []byte) ([]byte, error) {
+	gcm, err := NewAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	return SealAEAD(gcm, plaintext, additional)
+}
+
+// DecryptGCM opens a ciphertext produced by EncryptGCM.
+func DecryptGCM(key SymmetricKey, ciphertext, additional []byte) ([]byte, error) {
+	gcm, err := NewAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	return OpenAEAD(gcm, ciphertext, additional)
 }
 
 // EncryptCBCHMAC implements the paper's alternative "AES CBC mode

@@ -1,0 +1,75 @@
+package hckrypto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSignatureEnvelope throws arbitrary bytes at the envelope decode and
+// verify paths and pins three properties:
+//
+//  1. DecodeSignature and VerifyEnvelope never panic, whatever the input.
+//  2. A freshly signed envelope always verifies, and any single-byte
+//     mutation of it never does (the fuzzer picks the position and mask).
+//  3. An envelope never verifies under the other scheme's verifier.
+//
+// The Ed25519 key is rebuilt from a fixed seed so every fuzz worker and
+// every corpus replay exercises identical envelopes.
+func FuzzSignatureEnvelope(f *testing.F) {
+	seed := bytes.Repeat([]byte{0x42}, 32)
+	edKey, err := NewEd25519KeyFromSeed(seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	edV := edKey.Verifier()
+	rsaKey, err := NewSigningKey(2048)
+	if err != nil {
+		f.Fatal(err)
+	}
+	rsaV := rsaKey.Verifier()
+
+	genuine, err := SignEnvelope(edKey, []byte("healthcloud"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte("healthcloud"), genuine, 0, byte(1))
+	f.Add([]byte(""), []byte{'H', 'C', 'S', envVersion, envAlgEd25519}, 3, byte(0xFF))
+	f.Add([]byte("x"), []byte{'H', 'C', 'S', 99, 99, 1, 2, 3}, 4, byte(0x80))
+	f.Add([]byte("legacy"), bytes.Repeat([]byte{0xA5}, 256), 128, byte(0x01))
+
+	f.Fuzz(func(t *testing.T, data, env []byte, flipIdx int, mask byte) {
+		// Property 1: arbitrary bytes never panic the decode/verify paths.
+		scheme, raw, err := DecodeSignature(env)
+		if err == nil && scheme != SchemeRSAPSS && scheme != SchemeEd25519 {
+			t.Fatalf("DecodeSignature returned unknown scheme %q without error", scheme)
+		}
+		_ = raw
+		VerifyEnvelope(edV, data, env)
+		VerifyEnvelope(rsaV, data, env)
+
+		// Property 2: sign/verify round trip, then single-byte mutation at a
+		// fuzzer-chosen position must be rejected.
+		signed, err := SignEnvelope(edKey, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyEnvelope(edV, data, signed) {
+			t.Fatal("fresh envelope failed to verify")
+		}
+		if mask != 0 {
+			mut := append([]byte(nil), signed...)
+			mut[((flipIdx%len(mut))+len(mut))%len(mut)] ^= mask
+			if bytes.Equal(mut, signed) {
+				t.Fatal("mutation was a no-op despite non-zero mask")
+			}
+			if VerifyEnvelope(edV, data, mut) {
+				t.Fatalf("mutated envelope verified (idx=%d mask=%#x)", flipIdx, mask)
+			}
+		}
+
+		// Property 3: never accepted across schemes.
+		if VerifyEnvelope(rsaV, data, signed) {
+			t.Fatal("ed25519 envelope verified under rsa-pss verifier")
+		}
+	})
+}

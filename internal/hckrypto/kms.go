@@ -1,6 +1,7 @@
 package hckrypto
 
 import (
+	"crypto/cipher"
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -25,6 +26,7 @@ type KMS struct {
 	mu        sync.RWMutex
 	masterGen uint32
 	masters   map[uint32]SymmetricKey // generation -> master key
+	aeads     map[uint32]cipher.AEAD  // generation -> cached wrapping AEAD
 	keys      map[string]*managedKey  // key id -> record
 	acl       map[string]map[string]bool
 	shredded  map[string]bool
@@ -52,10 +54,19 @@ func NewKMS(tenant string) (*KMS, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The master-key AEAD is cached per generation: every data-key wrap
+	// and unwrap (one of each per record sealed or opened) reuses the key
+	// schedule instead of re-deriving it, which is the bulk of the
+	// allocation cost on the Seal/Open hot path.
+	aead, err := NewAEAD(master)
+	if err != nil {
+		return nil, err
+	}
 	return &KMS{
 		tenant:    tenant,
 		masterGen: 1,
 		masters:   map[uint32]SymmetricKey{1: master},
+		aeads:     map[uint32]cipher.AEAD{1: aead},
 		keys:      make(map[string]*managedKey),
 		acl:       make(map[string]map[string]bool),
 		shredded:  make(map[string]bool),
@@ -78,7 +89,7 @@ func (k *KMS) CreateDataKey(subject, principal string) (string, SymmetricKey, er
 	defer k.mu.Unlock()
 	k.nextID++
 	id := fmt.Sprintf("key-%s-%d", k.tenant, k.nextID)
-	wrapped, err := EncryptGCM(k.masters[k.masterGen], dk, []byte(id))
+	wrapped, err := SealAEAD(k.aeads[k.masterGen], dk, []byte(id))
 	if err != nil {
 		return "", nil, fmt.Errorf("hckrypto: wrapping data key: %w", err)
 	}
@@ -126,11 +137,11 @@ func (k *KMS) UnwrapDataKey(keyID, principal string) (SymmetricKey, error) {
 	if !k.acl[keyID][principal] {
 		return nil, ErrAccessDenied
 	}
-	master, ok := k.masters[mk.gen]
+	aead, ok := k.aeads[mk.gen]
 	if !ok {
 		return nil, ErrKeyShredded
 	}
-	dk, err := DecryptGCM(master, mk.wrapped, []byte(keyID))
+	dk, err := OpenAEAD(aead, mk.wrapped, []byte(keyID))
 	if err != nil {
 		return nil, fmt.Errorf("hckrypto: unwrapping data key: %w", err)
 	}
@@ -145,6 +156,10 @@ func (k *KMS) RotateMaster() error {
 	if err != nil {
 		return err
 	}
+	newAEAD, err := NewAEAD(newMaster)
+	if err != nil {
+		return err
+	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	newGen := k.masterGen + 1
@@ -152,15 +167,15 @@ func (k *KMS) RotateMaster() error {
 		if k.shredded[id] {
 			continue
 		}
-		old, ok := k.masters[mk.gen]
+		old, ok := k.aeads[mk.gen]
 		if !ok {
 			continue
 		}
-		dk, err := DecryptGCM(old, mk.wrapped, []byte(id))
+		dk, err := OpenAEAD(old, mk.wrapped, []byte(id))
 		if err != nil {
 			return fmt.Errorf("hckrypto: rotate unwrap %s: %w", id, err)
 		}
-		rewrapped, err := EncryptGCM(newMaster, dk, []byte(id))
+		rewrapped, err := SealAEAD(newAEAD, dk, []byte(id))
 		if err != nil {
 			return fmt.Errorf("hckrypto: rotate rewrap %s: %w", id, err)
 		}
@@ -169,6 +184,7 @@ func (k *KMS) RotateMaster() error {
 		mk.gen = newGen
 	}
 	k.masters = map[uint32]SymmetricKey{newGen: newMaster}
+	k.aeads = map[uint32]cipher.AEAD{newGen: newAEAD}
 	k.masterGen = newGen
 	return nil
 }

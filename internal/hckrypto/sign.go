@@ -41,6 +41,15 @@ func NewSigningKey(bits int) (*SigningKey, error) {
 // Public returns the verification half of the key.
 func (k *SigningKey) Public() *VerifyKey { return &VerifyKey{pub: &k.priv.PublicKey} }
 
+// Scheme returns SchemeRSAPSS.
+func (k *SigningKey) Scheme() Scheme { return SchemeRSAPSS }
+
+// Verifier returns the verification half as the generic interface.
+func (k *SigningKey) Verifier() Verifier { return k.Public() }
+
+// Scheme returns SchemeRSAPSS.
+func (v *VerifyKey) Scheme() Scheme { return SchemeRSAPSS }
+
 // Sign produces an RSA-PSS signature over SHA-256(data).
 func (k *SigningKey) Sign(data []byte) ([]byte, error) {
 	digest := sha256.Sum256(data)

@@ -15,16 +15,19 @@ import (
 // are sealed together under the shared data key with the recipient
 // identity as authenticated data. The construction provides
 // confidentiality (AES-GCM), integrity (GCM tag), and origin
-// non-repudiation (the embedded RSA-PSS signature names the sender and
-// the intended recipient, preventing re-targeting).
+// non-repudiation (the embedded signature envelope names the sender and
+// the intended recipient, preventing re-targeting; the signature scheme
+// rides in the envelope's algorithm tag).
 
 // ErrSigncrypt reports an invalid signcrypted payload.
 var ErrSigncrypt = errors.New("hckrypto: signcryption verification failed")
 
 // Signcrypt seals plaintext from the signer to recipient under the
-// shared key.
-func Signcrypt(signer *SigningKey, senderID, recipientID string, key SymmetricKey, plaintext []byte) ([]byte, error) {
-	sig, err := signer.Sign(signcryptPayload(senderID, recipientID, plaintext))
+// shared key. The embedded signature travels as an algorithm-tagged
+// envelope, so sender identities can migrate schemes without breaking
+// recipients.
+func Signcrypt(signer Signer, senderID, recipientID string, key SymmetricKey, plaintext []byte) ([]byte, error) {
+	sig, err := SignEnvelope(signer, signcryptPayload(senderID, recipientID, plaintext))
 	if err != nil {
 		return nil, fmt.Errorf("hckrypto: signcrypt sign: %w", err)
 	}
@@ -38,7 +41,7 @@ func Signcrypt(signer *SigningKey, senderID, recipientID string, key SymmetricKe
 // Unsigncrypt opens a signcrypted payload addressed to recipientID,
 // verifying the embedded signature under senderKey. It returns the
 // plaintext and the claimed sender identity.
-func Unsigncrypt(senderKey *VerifyKey, recipientID string, key SymmetricKey, sealed []byte) (plaintext []byte, senderID string, err error) {
+func Unsigncrypt(senderKey Verifier, recipientID string, key SymmetricKey, sealed []byte) (plaintext []byte, senderID string, err error) {
 	inner, err := DecryptGCM(key, sealed, []byte(recipientID))
 	if err != nil {
 		return nil, "", fmt.Errorf("%w: %v", ErrSigncrypt, err)
@@ -56,7 +59,7 @@ func Unsigncrypt(senderKey *VerifyKey, recipientID string, key SymmetricKey, sea
 	if err != nil {
 		return nil, "", ErrSigncrypt
 	}
-	if !senderKey.Verify(signcryptPayload(string(sender), recipientID, pt), sig) {
+	if !VerifyEnvelope(senderKey, signcryptPayload(string(sender), recipientID, pt), sig) {
 		return nil, "", ErrSigncrypt
 	}
 	return pt, string(sender), nil

@@ -1,0 +1,228 @@
+package hckrypto
+
+import (
+	"crypto/ed25519"
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/pem"
+	"errors"
+	"fmt"
+)
+
+// Crypto agility (ROADMAP item 2): every signing identity on the
+// platform is a Signer behind an algorithm-tagged signature envelope, so
+// the runtime algorithm can change without invalidating artifacts signed
+// under the old one. Two schemes are implemented: RSA-PSS (the original
+// platform algorithm, kept as the compatibility scheme for stored
+// artifacts — image signatures and ledger endorsements written before
+// the envelope existed are raw RSA-PSS bytes) and Ed25519 (the runtime
+// default: ~30× cheaper to sign and allocation-free to verify, which is
+// what lets endorsement keep up with the sharded ledger).
+
+// Scheme identifies a signature algorithm.
+type Scheme string
+
+// Supported signature schemes.
+const (
+	SchemeRSAPSS  Scheme = "rsa-pss"
+	SchemeEd25519 Scheme = "ed25519"
+)
+
+// DefaultScheme is the runtime default for newly minted signing
+// identities (peers, TPM attestation keys). RSA-PSS remains the
+// compatibility scheme: legacy untagged signatures are assumed to be
+// RSA-PSS, and stored artifacts signed before crypto agility verify
+// unchanged through VerifyEnvelope's legacy fallback.
+const DefaultScheme = SchemeEd25519
+
+// Signer produces signatures under one scheme. Sign returns the raw
+// algorithm-native signature; use SignEnvelope to get the tagged form
+// that mixed-algorithm verifiers accept.
+type Signer interface {
+	Sign(data []byte) ([]byte, error)
+	Scheme() Scheme
+	Verifier() Verifier
+}
+
+// Verifier checks raw signatures under one scheme. Use VerifyEnvelope
+// for tagged envelopes (it enforces the algorithm tag before touching
+// the signature bytes).
+type Verifier interface {
+	Verify(data, sig []byte) bool
+	Scheme() Scheme
+	Fingerprint() string
+	MarshalPEM() ([]byte, error)
+}
+
+// Interface conformance for both implementations.
+var (
+	_ Signer   = (*SigningKey)(nil)
+	_ Verifier = (*VerifyKey)(nil)
+	_ Signer   = (*Ed25519Key)(nil)
+	_ Verifier = (*Ed25519VerifyKey)(nil)
+)
+
+// ErrBadEnvelope reports a tagged signature envelope that is malformed:
+// recognized magic but truncated, unknown version, or unknown algorithm.
+var ErrBadEnvelope = errors.New("hckrypto: malformed signature envelope")
+
+// ErrUnknownScheme reports an unrecognized scheme name.
+var ErrUnknownScheme = errors.New("hckrypto: unknown signature scheme")
+
+// ParseScheme maps a user-facing scheme name (config file, -sig-scheme
+// flag) to a Scheme. The empty string selects DefaultScheme.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "":
+		return DefaultScheme, nil
+	case "ed25519":
+		return SchemeEd25519, nil
+	case "rsa", "rsa-pss":
+		return SchemeRSAPSS, nil
+	}
+	return "", fmt.Errorf("%w: %q (want ed25519 or rsa-pss)", ErrUnknownScheme, s)
+}
+
+// NewSigner mints a fresh signing identity under the given scheme. The
+// empty scheme selects DefaultScheme.
+func NewSigner(scheme Scheme) (Signer, error) {
+	switch scheme {
+	case "":
+		scheme = DefaultScheme
+	case SchemeEd25519, SchemeRSAPSS:
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownScheme, scheme)
+	}
+	if scheme == SchemeRSAPSS {
+		return NewSigningKey(2048)
+	}
+	return NewEd25519Key()
+}
+
+// Signature envelope wire format: a 5-byte header — magic "HCS", a
+// version byte, an algorithm byte — followed by the raw algorithm-native
+// signature. Signatures produced before crypto agility are untagged raw
+// RSA-PSS bytes; VerifyEnvelope treats anything without the magic as
+// legacy RSA-PSS, which an RSA verifier still accepts (an RSA-2048-PSS
+// signature is 256 high-entropy bytes, so a legacy signature starting
+// with the 3-byte magic plus a valid version byte is a ~2^-32 accident —
+// and even then it only shifts which bytes are handed to the RSA
+// verifier, which rejects them).
+const (
+	envVersion    byte = 1
+	envAlgRSAPSS  byte = 1
+	envAlgEd25519 byte = 2
+	envHeaderLen       = 5
+)
+
+// envelopeTagged reports whether env carries the envelope magic. Kept
+// allocation-free: the verify hot path runs this on every endorsement.
+func envelopeTagged(env []byte) bool {
+	return len(env) >= envHeaderLen && env[0] == 'H' && env[1] == 'C' && env[2] == 'S'
+}
+
+func algByte(s Scheme) (byte, error) {
+	switch s {
+	case SchemeRSAPSS:
+		return envAlgRSAPSS, nil
+	case SchemeEd25519:
+		return envAlgEd25519, nil
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownScheme, s)
+}
+
+// EncodeSignature wraps a raw signature in the tagged envelope.
+func EncodeSignature(scheme Scheme, raw []byte) ([]byte, error) {
+	alg, err := algByte(scheme)
+	if err != nil {
+		return nil, err
+	}
+	env := make([]byte, 0, envHeaderLen+len(raw))
+	env = append(env, 'H', 'C', 'S', envVersion, alg)
+	return append(env, raw...), nil
+}
+
+// DecodeSignature splits an envelope into its scheme and raw signature.
+// Untagged input is returned as-is under SchemeRSAPSS (the legacy
+// interpretation); a tagged envelope with an unknown version or
+// algorithm is an error, never silently reinterpreted.
+func DecodeSignature(env []byte) (Scheme, []byte, error) {
+	if !envelopeTagged(env) {
+		return SchemeRSAPSS, env, nil
+	}
+	if env[3] != envVersion {
+		return "", nil, fmt.Errorf("%w: version %d", ErrBadEnvelope, env[3])
+	}
+	switch env[4] {
+	case envAlgRSAPSS:
+		return SchemeRSAPSS, env[envHeaderLen:], nil
+	case envAlgEd25519:
+		return SchemeEd25519, env[envHeaderLen:], nil
+	}
+	return "", nil, fmt.Errorf("%w: algorithm %d", ErrBadEnvelope, env[4])
+}
+
+// SignEnvelope signs data and wraps the signature in the tagged
+// envelope. This is what every platform signing path (endorsement,
+// attestation quotes, redactable seals, signcryption, image signing)
+// emits.
+func SignEnvelope(s Signer, data []byte) ([]byte, error) {
+	raw, err := s.Sign(data)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeSignature(s.Scheme(), raw)
+}
+
+// VerifyEnvelope checks a signature envelope against a verifier. The
+// algorithm tag must match the verifier's scheme (cross-algorithm
+// envelopes are rejected before any signature math); untagged input is
+// accepted only by an RSA-PSS verifier, preserving every signature
+// written before crypto agility. The function is allocation-free for
+// tagged envelopes — it sub-slices the raw signature in place — which is
+// what keeps the Ed25519 endorsement verify path at 0 allocs/op.
+func VerifyEnvelope(v Verifier, data, env []byte) bool {
+	if v == nil {
+		return false
+	}
+	if envelopeTagged(env) {
+		if env[3] != envVersion {
+			return false
+		}
+		var scheme Scheme
+		switch env[4] {
+		case envAlgRSAPSS:
+			scheme = SchemeRSAPSS
+		case envAlgEd25519:
+			scheme = SchemeEd25519
+		default:
+			return false
+		}
+		if scheme != v.Scheme() {
+			return false
+		}
+		return v.Verify(data, env[envHeaderLen:])
+	}
+	// Legacy untagged signature: raw RSA-PSS from before crypto agility.
+	return v.Scheme() == SchemeRSAPSS && v.Verify(data, env)
+}
+
+// ParseVerifierPEM decodes a PEM public key produced by any Verifier's
+// MarshalPEM, returning the scheme-appropriate implementation.
+func ParseVerifierPEM(data []byte) (Verifier, error) {
+	block, _ := pem.Decode(data)
+	if block == nil {
+		return nil, errors.New("hckrypto: no PEM block found")
+	}
+	pub, err := x509.ParsePKIXPublicKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("hckrypto: parse public key: %w", err)
+	}
+	switch p := pub.(type) {
+	case *rsa.PublicKey:
+		return &VerifyKey{pub: p}, nil
+	case ed25519.PublicKey:
+		return &Ed25519VerifyKey{pub: p}, nil
+	}
+	return nil, fmt.Errorf("hckrypto: unsupported public key type %T", pub)
+}

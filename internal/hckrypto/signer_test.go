@@ -1,0 +1,334 @@
+package hckrypto
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// conformanceSigners builds one signer per scheme, once: RSA keygen is
+// ~100ms and every conformance case reuses the same identities.
+var conformanceSigners = sync.OnceValues(func() (map[Scheme]Signer, error) {
+	out := make(map[Scheme]Signer, 2)
+	for _, scheme := range []Scheme{SchemeRSAPSS, SchemeEd25519} {
+		s, err := NewSigner(scheme)
+		if err != nil {
+			return nil, err
+		}
+		out[scheme] = s
+	}
+	return out, nil
+})
+
+func signerFor(t testing.TB, scheme Scheme) Signer {
+	t.Helper()
+	signers, err := conformanceSigners()
+	if err != nil {
+		t.Fatalf("building signers: %v", err)
+	}
+	return signers[scheme]
+}
+
+// TestSignerConformance drives both Signer implementations through the
+// identical contract: round trip, tamper rejection, wrong-key rejection,
+// cross-algorithm rejection, payload-size edges, PEM round trip, and
+// concurrent signing (the suite runs under -race in CI).
+func TestSignerConformance(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeRSAPSS, SchemeEd25519} {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			s := signerFor(t, scheme)
+			v := s.Verifier()
+			if s.Scheme() != scheme || v.Scheme() != scheme {
+				t.Fatalf("scheme mismatch: signer %q verifier %q want %q", s.Scheme(), v.Scheme(), scheme)
+			}
+
+			t.Run("round-trip", func(t *testing.T) {
+				data := []byte("the platform weaves security into the data lifecycle")
+				env, err := SignEnvelope(s, data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !VerifyEnvelope(v, data, env) {
+					t.Fatal("freshly signed envelope failed to verify")
+				}
+				gotScheme, raw, err := DecodeSignature(env)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotScheme != scheme {
+					t.Fatalf("decoded scheme = %q, want %q", gotScheme, scheme)
+				}
+				if !v.Verify(data, raw) {
+					t.Fatal("decoded raw signature failed raw verify")
+				}
+			})
+
+			t.Run("payload-edges", func(t *testing.T) {
+				for _, payload := range [][]byte{nil, {}, bytes.Repeat([]byte{0xAB}, 1<<20)} {
+					env, err := SignEnvelope(s, payload)
+					if err != nil {
+						t.Fatalf("signing %d-byte payload: %v", len(payload), err)
+					}
+					if !VerifyEnvelope(v, payload, env) {
+						t.Fatalf("%d-byte payload failed to verify", len(payload))
+					}
+				}
+			})
+
+			t.Run("tamper-rejected", func(t *testing.T) {
+				data := []byte("tamper target")
+				env, err := SignEnvelope(s, data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Flip one bit at every position — header bytes included: a
+				// corrupted magic or tag must fail closed, never verify.
+				for i := range env {
+					mut := append([]byte(nil), env...)
+					mut[i] ^= 0x01
+					if VerifyEnvelope(v, data, mut) {
+						t.Fatalf("envelope with byte %d flipped verified", i)
+					}
+				}
+				if VerifyEnvelope(v, append([]byte("x"), data...), env) {
+					t.Fatal("envelope verified over different data")
+				}
+				if VerifyEnvelope(v, data, env[:len(env)-1]) {
+					t.Fatal("truncated envelope verified")
+				}
+				if VerifyEnvelope(v, data, nil) {
+					t.Fatal("nil envelope verified")
+				}
+			})
+
+			t.Run("wrong-key-rejected", func(t *testing.T) {
+				data := []byte("wrong key")
+				env, err := SignEnvelope(s, data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				other, err := NewSigner(scheme)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if VerifyEnvelope(other.Verifier(), data, env) {
+					t.Fatal("envelope verified under a different key of the same scheme")
+				}
+			})
+
+			t.Run("cross-algorithm-rejected", func(t *testing.T) {
+				data := []byte("cross algorithm")
+				env, err := SignEnvelope(s, data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for otherScheme, other := range mustSigners(t) {
+					if otherScheme == scheme {
+						continue
+					}
+					if VerifyEnvelope(other.Verifier(), data, env) {
+						t.Fatalf("%s envelope verified under %s verifier", scheme, otherScheme)
+					}
+					// Relabeling the algorithm byte must also fail: the raw
+					// signature bytes never validate under the other scheme.
+					relabel := append([]byte(nil), env...)
+					alg, err := algByte(otherScheme)
+					if err != nil {
+						t.Fatal(err)
+					}
+					relabel[4] = alg
+					if VerifyEnvelope(other.Verifier(), data, relabel) {
+						t.Fatalf("%s signature relabeled as %s verified", scheme, otherScheme)
+					}
+				}
+			})
+
+			t.Run("pem-round-trip", func(t *testing.T) {
+				pemBytes, err := v.MarshalPEM()
+				if err != nil {
+					t.Fatal(err)
+				}
+				parsed, err := ParseVerifierPEM(pemBytes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if parsed.Scheme() != scheme {
+					t.Fatalf("parsed scheme = %q, want %q", parsed.Scheme(), scheme)
+				}
+				if parsed.Fingerprint() == "" || parsed.Fingerprint() != v.Fingerprint() {
+					t.Fatalf("fingerprint drifted across PEM round trip: %q vs %q",
+						parsed.Fingerprint(), v.Fingerprint())
+				}
+				data := []byte("pem round trip")
+				env, err := SignEnvelope(s, data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !VerifyEnvelope(parsed, data, env) {
+					t.Fatal("PEM round-tripped verifier rejected a valid envelope")
+				}
+			})
+
+			t.Run("concurrent-sign", func(t *testing.T) {
+				const goroutines = 8
+				var wg sync.WaitGroup
+				errs := make(chan error, goroutines)
+				for g := 0; g < goroutines; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						data := []byte{byte(g), 'c', 'o', 'n', 'c'}
+						for i := 0; i < 16; i++ {
+							env, err := SignEnvelope(s, data)
+							if err != nil {
+								errs <- err
+								return
+							}
+							if !VerifyEnvelope(v, data, env) {
+								errs <- errors.New("concurrent envelope failed to verify")
+								return
+							}
+						}
+					}(g)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+			})
+		})
+	}
+}
+
+func mustSigners(t testing.TB) map[Scheme]Signer {
+	t.Helper()
+	signers, err := conformanceSigners()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return signers
+}
+
+// TestLegacyUntaggedSignature pins the compatibility contract: raw
+// RSA-PSS signatures from before crypto agility verify under an RSA
+// verifier (the legacy fallback) and under no other scheme.
+func TestLegacyUntaggedSignature(t *testing.T) {
+	rsaSigner := signerFor(t, SchemeRSAPSS)
+	data := []byte("stored artifact signed before the envelope existed")
+	raw, err := rsaSigner.Sign(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyEnvelope(rsaSigner.Verifier(), data, raw) {
+		t.Fatal("legacy untagged RSA signature rejected by RSA verifier")
+	}
+	ed := signerFor(t, SchemeEd25519)
+	if VerifyEnvelope(ed.Verifier(), data, raw) {
+		t.Fatal("legacy untagged RSA signature accepted by Ed25519 verifier")
+	}
+	scheme, decoded, err := DecodeSignature(raw)
+	if err != nil || scheme != SchemeRSAPSS || !bytes.Equal(decoded, raw) {
+		t.Fatalf("legacy decode = (%q, %d bytes, %v), want rsa-pss pass-through", scheme, len(decoded), err)
+	}
+}
+
+// TestDecodeSignatureRejectsBadEnvelopes pins error (not panic, not
+// legacy fallback) for tagged-but-malformed envelopes.
+func TestDecodeSignatureRejectsBadEnvelopes(t *testing.T) {
+	cases := map[string][]byte{
+		"bad version":   {'H', 'C', 'S', 99, envAlgRSAPSS, 1, 2, 3},
+		"bad algorithm": {'H', 'C', 'S', envVersion, 99, 1, 2, 3},
+	}
+	for name, env := range cases {
+		if _, _, err := DecodeSignature(env); !errors.Is(err, ErrBadEnvelope) {
+			t.Errorf("%s: err = %v, want ErrBadEnvelope", name, err)
+		}
+	}
+	if _, err := EncodeSignature("no-such-scheme", []byte{1}); !errors.Is(err, ErrUnknownScheme) {
+		t.Errorf("EncodeSignature with unknown scheme: err = %v, want ErrUnknownScheme", err)
+	}
+}
+
+// TestParseScheme pins the user-facing scheme names.
+func TestParseScheme(t *testing.T) {
+	for in, want := range map[string]Scheme{
+		"":        DefaultScheme,
+		"ed25519": SchemeEd25519,
+		"rsa":     SchemeRSAPSS,
+		"rsa-pss": SchemeRSAPSS,
+	} {
+		got, err := ParseScheme(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScheme(%q) = (%q, %v), want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParseScheme("dsa"); !errors.Is(err, ErrUnknownScheme) {
+		t.Errorf("ParseScheme(dsa) err = %v, want ErrUnknownScheme", err)
+	}
+}
+
+// TestEd25519VerifyZeroAlloc is the zero-allocation guard for the
+// endorsement verify hot path: a tagged Ed25519 envelope must verify
+// without a single heap allocation (VerifyEnvelope sub-slices the raw
+// signature in place and ed25519.Verify itself is allocation-free).
+func TestEd25519VerifyZeroAlloc(t *testing.T) {
+	s := signerFor(t, SchemeEd25519)
+	v := s.Verifier()
+	data := []byte("zero-alloc verify hot path")
+	env, err := SignEnvelope(s, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if !VerifyEnvelope(v, data, env) {
+			t.Fatal("envelope failed to verify")
+		}
+	}); allocs != 0 {
+		t.Fatalf("Ed25519 VerifyEnvelope allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// Benchmarks back the E22 experiment with per-op numbers; run with
+// -bench -benchmem for the allocation columns cited in DESIGN.md.
+
+func benchSign(b *testing.B, scheme Scheme) {
+	s := signerFor(b, scheme)
+	data := []byte("benchmark payload: one endorsement digest worth of bytes")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SignEnvelope(s, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchVerify(b *testing.B, scheme Scheme) {
+	s := signerFor(b, scheme)
+	v := s.Verifier()
+	data := []byte("benchmark payload: one endorsement digest worth of bytes")
+	env, err := SignEnvelope(s, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !VerifyEnvelope(v, data, env) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	b.Run("rsa", func(b *testing.B) { benchSign(b, SchemeRSAPSS) })
+	b.Run("ed25519", func(b *testing.B) { benchSign(b, SchemeEd25519) })
+}
+
+func BenchmarkVerify(b *testing.B) {
+	b.Run("rsa", func(b *testing.B) { benchVerify(b, SchemeRSAPSS) })
+	b.Run("ed25519", func(b *testing.B) { benchVerify(b, SchemeEd25519) })
+}

@@ -30,6 +30,7 @@ import (
 	"healthcloud/internal/blockchain"
 	"healthcloud/internal/durable"
 	"healthcloud/internal/faultinject"
+	"healthcloud/internal/hckrypto"
 	"healthcloud/internal/shardlake"
 	"healthcloud/internal/telemetry"
 )
@@ -77,6 +78,10 @@ type Config struct {
 	// OrderServiceTime > 0 installs the serial ordering device model on
 	// every channel (experiments; see Network.SetOrderServiceTime).
 	OrderServiceTime time.Duration
+	// Scheme pins the endorsement signature scheme on every channel
+	// (zero value = the platform default; see
+	// blockchain.WithSignatureScheme).
+	Scheme hckrypto.Scheme
 
 	Faults   *faultinject.Registry
 	Registry *telemetry.Registry
@@ -174,6 +179,7 @@ func New(cfg Config) (*Ledger, error) {
 func (m *Ledger) openChannel(name string) (*Channel, error) {
 	cfg := m.cfg
 	net, err := blockchain.NewNetwork(cfg.Name+"/"+name, cfg.PeerIDs, cfg.PolicyK,
+		blockchain.WithSignatureScheme(cfg.Scheme),
 		blockchain.WithFaults(cfg.Faults),
 		blockchain.WithTelemetry(cfg.Registry, cfg.Tracer))
 	if err != nil {

@@ -76,7 +76,7 @@ var (
 // disclosures travel as JSON, whose encoder silently rewrites invalid
 // byte sequences — a third party would then recompute a different
 // commitment and reject an authentic disclosure.
-func Sign(key *hckrypto.SigningKey, rec Record) (*SignedRecord, error) {
+func Sign(key hckrypto.Signer, rec Record) (*SignedRecord, error) {
 	for i, f := range rec {
 		if !utf8.ValidString(f.Name) || !utf8.ValidString(f.Value) {
 			return nil, fmt.Errorf("%w: field %d", ErrInvalidUTF8, i)
@@ -93,7 +93,7 @@ func Sign(key *hckrypto.SigningKey, rec Record) (*SignedRecord, error) {
 		commits[i] = commitField(salt, f)
 	}
 	root := merkleRoot(commits)
-	sig, err := key.Sign(root)
+	sig, err := hckrypto.SignEnvelope(key, root)
 	if err != nil {
 		return nil, fmt.Errorf("redact: signing root: %w", err)
 	}
@@ -101,7 +101,7 @@ func Sign(key *hckrypto.SigningKey, rec Record) (*SignedRecord, error) {
 }
 
 // Verify checks a full signed record.
-func Verify(key *hckrypto.VerifyKey, sr *SignedRecord) error {
+func Verify(key hckrypto.Verifier, sr *SignedRecord) error {
 	if len(sr.Fields) != len(sr.Salts) {
 		return ErrMalformed
 	}
@@ -109,7 +109,7 @@ func Verify(key *hckrypto.VerifyKey, sr *SignedRecord) error {
 	for i, f := range sr.Fields {
 		commits[i] = commitField(sr.Salts[i], f)
 	}
-	if !key.Verify(merkleRoot(commits), sr.Signature) {
+	if !hckrypto.VerifyEnvelope(key, merkleRoot(commits), sr.Signature) {
 		return ErrBadSignature
 	}
 	return nil
@@ -147,7 +147,7 @@ func (sr *SignedRecord) Redact(disclose []int) (*RedactedRecord, error) {
 
 // VerifyRedacted checks that the disclosed fields are authentic parts of
 // a record signed by the key's owner.
-func VerifyRedacted(key *hckrypto.VerifyKey, rr *RedactedRecord) error {
+func VerifyRedacted(key hckrypto.Verifier, rr *RedactedRecord) error {
 	if rr.NumFields < 0 || len(rr.Disclosed)+len(rr.Commitments) != rr.NumFields {
 		return ErrMalformed
 	}
@@ -165,7 +165,7 @@ func VerifyRedacted(key *hckrypto.VerifyKey, rr *RedactedRecord) error {
 			return ErrMalformed
 		}
 	}
-	if !key.Verify(merkleRoot(commits), rr.Signature) {
+	if !hckrypto.VerifyEnvelope(key, merkleRoot(commits), rr.Signature) {
 		return ErrBadSignature
 	}
 	return nil
@@ -208,12 +208,12 @@ type NaiveSignedRecord struct {
 }
 
 // NaiveSign signs a record with the leaky baseline scheme.
-func NaiveSign(key *hckrypto.SigningKey, rec Record) (*NaiveSignedRecord, error) {
+func NaiveSign(key hckrypto.Signer, rec Record) (*NaiveSignedRecord, error) {
 	leaves := make([][]byte, len(rec))
 	for i, f := range rec {
 		leaves[i] = NaiveLeaf(f)
 	}
-	sig, err := key.Sign(merkleRoot(leaves))
+	sig, err := hckrypto.SignEnvelope(key, merkleRoot(leaves))
 	if err != nil {
 		return nil, fmt.Errorf("redact: naive signing: %w", err)
 	}
@@ -255,7 +255,7 @@ func (nr *NaiveSignedRecord) NaiveRedact(disclose []int) (*NaiveRedacted, error)
 }
 
 // VerifyNaiveRedacted checks the baseline disclosure.
-func VerifyNaiveRedacted(key *hckrypto.VerifyKey, nr *NaiveRedacted) error {
+func VerifyNaiveRedacted(key hckrypto.Verifier, nr *NaiveRedacted) error {
 	if len(nr.Disclosed)+len(nr.LeafHashes) != nr.NumFields {
 		return ErrMalformed
 	}
@@ -269,7 +269,7 @@ func VerifyNaiveRedacted(key *hckrypto.VerifyKey, nr *NaiveRedacted) error {
 			return ErrMalformed
 		}
 	}
-	if !key.Verify(merkleRoot(leaves), nr.Signature) {
+	if !hckrypto.VerifyEnvelope(key, merkleRoot(leaves), nr.Signature) {
 		return ErrBadSignature
 	}
 	return nil

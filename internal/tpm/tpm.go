@@ -55,15 +55,16 @@ type TPM struct {
 	mu     sync.RWMutex
 	pcrs   [NumPCRs][]byte
 	log    []Event
-	ak     *hckrypto.SigningKey // attestation key, never leaves the TPM
+	ak     hckrypto.Signer // attestation key, never leaves the TPM
 	akName string
 }
 
-// New creates a TPM with zeroed PCRs and a fresh attestation key. The
-// attestation (public) key is what the Attestation Service learns about
-// out of band when hardware is enrolled.
+// New creates a TPM with zeroed PCRs and a fresh attestation key under
+// the platform's default signature scheme. The attestation (public) key
+// is what the Attestation Service learns about out of band when hardware
+// is enrolled.
 func New(name string) (*TPM, error) {
-	ak, err := hckrypto.NewSigningKey(2048)
+	ak, err := hckrypto.NewSigner(hckrypto.DefaultScheme)
 	if err != nil {
 		return nil, fmt.Errorf("tpm: generating attestation key: %w", err)
 	}
@@ -78,7 +79,7 @@ func New(name string) (*TPM, error) {
 func (t *TPM) Name() string { return t.akName }
 
 // AttestationKey returns the public verification key for this TPM's quotes.
-func (t *TPM) AttestationKey() *hckrypto.VerifyKey { return t.ak.Public() }
+func (t *TPM) AttestationKey() hckrypto.Verifier { return t.ak.Verifier() }
 
 // Extend folds a measurement into a PCR: pcr = SHA-256(pcr || digest).
 // This is the only way PCR contents change, which is what makes the
@@ -137,7 +138,7 @@ func (t *TPM) GenerateQuote(nonce []byte, pcrs []int) (*Quote, error) {
 	}
 	t.mu.RUnlock()
 	q := &Quote{TPMName: t.akName, Nonce: append([]byte(nil), nonce...), PCRs: sel}
-	sig, err := t.ak.Sign(q.payload())
+	sig, err := hckrypto.SignEnvelope(t.ak, q.payload())
 	if err != nil {
 		return nil, fmt.Errorf("tpm: signing quote: %w", err)
 	}
@@ -146,12 +147,13 @@ func (t *TPM) GenerateQuote(nonce []byte, pcrs []int) (*Quote, error) {
 }
 
 // VerifyQuote checks a quote's signature and nonce against the TPM's
-// attestation public key.
-func VerifyQuote(ak *hckrypto.VerifyKey, q *Quote, wantNonce []byte) bool {
+// attestation public key. Quotes carry algorithm-tagged signature
+// envelopes, so AKs of any registered scheme verify here.
+func VerifyQuote(ak hckrypto.Verifier, q *Quote, wantNonce []byte) bool {
 	if q == nil || !bytesEqual(q.Nonce, wantNonce) {
 		return false
 	}
-	return ak.Verify(q.payload(), q.Sig)
+	return hckrypto.VerifyEnvelope(ak, q.payload(), q.Sig)
 }
 
 // payload serializes the quote deterministically for signing: name,
