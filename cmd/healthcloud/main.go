@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,6 +40,8 @@ func run() error {
 	channels := flag.Int("channels", 1, "provenance ledger channels (1 = single ledger; >1 partitions records by patient across independently ordered channels)")
 	snapEvery := flag.Int("ledger-snapshot-every", 0, "cut a ledger world-state snapshot into the WAL every K blocks so restarts replay from the snapshot instead of the full chain (0 disables)")
 	obs := flag.Bool("telemetry", true, "serve metrics at /metrics and traces at /traces/{id}")
+	traceSample := flag.Float64("trace-sample", 0, "tail-sampling keep probability for unremarkable traces (0 = keep all; errored traces and the slowest roots are always kept)")
+	traceSlowK := flag.Int("trace-slow-k", 0, "pin the K slowest traces per root span name in the trace store (0 = default 8)")
 	mon := flag.Bool("monitor", true, "run the self-monitoring watchdog (/readyz, /statusz, /metrics/history)")
 	monInterval := flag.Duration("monitor-interval", time.Second, "watchdog tick period")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (own listener; empty disables)")
@@ -65,13 +68,17 @@ func run() error {
 	}
 	if *obs {
 		cfg.Telemetry = telemetry.New()
+		cfg.TraceSample = *traceSample
+		cfg.TraceSlowK = *traceSlowK
 	}
 	if *mon {
 		cfg.Monitor = true
 		cfg.MonitorInterval = *monInterval
 	}
+	var pprofSrv *http.Server
 	if *pprofAddr != "" {
-		pprofSrv, pprofLn, err := telemetry.StartPprof(*pprofAddr)
+		var pprofLn net.Addr
+		pprofSrv, pprofLn, err = telemetry.StartPprof(*pprofAddr)
 		if err != nil {
 			return fmt.Errorf("starting pprof listener: %w", err)
 		}
@@ -137,16 +144,30 @@ func run() error {
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-serveErr:
-		platform.Close()
+		drain(nil, pprofSrv, platform)
 		return err
 	case sig := <-stop:
 		fmt.Printf("\n%s: draining and flushing durable logs\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			srv.Close()
-		}
-		platform.Close()
+		drain(srv, pprofSrv, platform)
 		return nil
 	}
+}
+
+// drain is the graceful-shutdown sequence: finish in-flight API
+// requests (bounded), close the pprof side listener so its port is
+// released, then close the platform — ingest workers drain, ledger
+// batchers flush, and the durable logs sync before exit. Any server
+// may be nil.
+func drain(api, pprof *http.Server, platform interface{ Close() }) {
+	if api != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := api.Shutdown(ctx); err != nil {
+			api.Close()
+		}
+	}
+	if pprof != nil {
+		pprof.Close()
+	}
+	platform.Close()
 }

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"healthcloud/internal/telemetry"
+)
+
+type closerFunc func()
+
+func (f closerFunc) Close() { f() }
+
+// TestDrainClosesPprof pins the shutdown contract: the pprof side
+// listener must be closed by the graceful-shutdown drain (it used to
+// leak past SIGINT/SIGTERM), and the platform closes after it.
+func TestDrainClosesPprof(t *testing.T) {
+	srv, addr, err := telemetry.StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := fmt.Sprintf("http://%s/debug/pprof/cmdline", addr)
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("pprof not serving before drain: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status %d before drain, want 200", resp.StatusCode)
+	}
+
+	platformClosed := false
+	drain(nil, srv, closerFunc(func() { platformClosed = true }))
+
+	if !platformClosed {
+		t.Fatal("drain did not close the platform")
+	}
+	// The listener is closed; new connections must fail (allow a beat
+	// for the kernel to tear the socket down).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err != nil {
+			break
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("pprof still serving after drain")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -297,13 +297,14 @@ func (b *Batcher) commit(batch []*pendingTx) {
 		}
 	}
 	sp := b.tracer().StartSpan("ledger.group-commit", telemetry.SpanContext{})
+	sc := sp.Context()
 	sp.SetAttr("network", b.net.Name())
 	sp.SetAttr("batch", strconv.Itoa(len(batch)))
 	start := time.Now()
 	if len(batch) == 1 {
 		batch[0].size = 1
 		batch[0].done <- b.net.SubmitCtx(txs[0], timeout, batch[0].parent)
-	} else if err := b.net.SubmitGroupCtx(txs, timeout, sp.Context()); err == nil {
+	} else if err := b.net.SubmitGroupCtx(txs, timeout, sc); err == nil {
 		for _, p := range batch {
 			p.size = len(batch)
 			p.done <- nil
@@ -325,7 +326,9 @@ func (b *Batcher) commit(batch []*pendingTx) {
 		b.met.commits.Inc()
 		b.met.txs.Add(uint64(len(batch)))
 		b.met.batchSize.Observe(time.Duration(len(batch)) * time.Second)
-		b.met.commitLat.Observe(time.Since(start))
+		b.met.commitLat.ObserveTrace(time.Since(start), sc.TraceID)
 	}
 	sp.End()
+	// The group-commit span is its own root trace; it is complete here.
+	b.tracer().FinishTrace(sc.TraceID)
 }

@@ -497,7 +497,7 @@ func (n *Network) phase(parent telemetry.SpanContext, name string, h *telemetry.
 	sp := n.tracer.StartSpan(name, parent)
 	start := h.Start()
 	err := f()
-	h.ObserveSince(start)
+	h.ObserveSinceTrace(start, parent.TraceID)
 	if err != nil {
 		sp.SetAttr("error", err.Error())
 	}

@@ -250,7 +250,7 @@ func (b *Bus) observeDelivery(m *Message) {
 	}
 	if b.met != nil {
 		b.met.delivered.Inc()
-		b.met.hop.Observe(now.Sub(start))
+		b.met.hop.ObserveTrace(now.Sub(start), m.Trace.TraceID)
 	}
 	if b.tracer != nil && m.Trace.Valid() {
 		sp := b.tracer.StartSpanAt("bus.hop", m.Trace, start)
@@ -258,8 +258,10 @@ func (b *Bus) observeDelivery(m *Message) {
 		if m.Attempt > 1 { // only redeliveries are worth labelling
 			sp.SetAttr("attempt", strconv.Itoa(m.Attempt))
 		}
-		sp.EndAt(now)
+		// Capture the context before EndAt: ended spans may be pooled
+		// once their trace finishes.
 		m.Trace = sp.Context()
+		sp.EndAt(now)
 	}
 }
 

@@ -126,6 +126,13 @@ type Config struct {
 	// caches, remote KB and service registry. Nil disables it at zero
 	// cost beyond nil checks (same contract as Faults).
 	Telemetry *telemetry.Telemetry
+	// TraceSample overrides the tail-sampler's keep probability for
+	// unremarkable traces (0 = keep the tracer's default policy;
+	// errored traces and the slowest roots are always kept).
+	TraceSample float64
+	// TraceSlowK overrides how many of the slowest traces per root
+	// span name stay pinned in the trace store (0 = policy default).
+	TraceSlowK int
 	// Monitor enables the self-monitoring layer: a metrics history ring
 	// sampled from Telemetry, SLO evaluation with error budgets,
 	// dependency-aware health probes behind /readyz and /statusz, and a
@@ -223,6 +230,16 @@ func New(cfg Config) (*Platform, error) {
 	p := &Platform{cfg: cfg, Telemetry: cfg.Telemetry,
 		LakeLogs: make(map[string]*durable.LakeLog)}
 	reg, tracer := cfg.Telemetry.Registry(), cfg.Telemetry.Spans()
+	if tracer != nil && (cfg.TraceSample > 0 || cfg.TraceSlowK > 0) {
+		pol := telemetry.DefaultPolicy()
+		if cfg.TraceSample > 0 {
+			pol.SampleRate = cfg.TraceSample
+		}
+		if cfg.TraceSlowK > 0 {
+			pol.SlowK = cfg.TraceSlowK
+		}
+		tracer.SetPolicy(pol)
+	}
 
 	// openDurable replays a shard directory into a freshly built lake
 	// and attaches its write-ahead journal; a no-op without DataDir.

@@ -229,6 +229,40 @@ func TestE16TelemetryOverhead(t *testing.T) {
 	}
 }
 
+// TestE23TailSampling pins the tail-sampling acceptance criteria: with
+// a 200-trace store under a 3000-upload run carrying a seeded 1%
+// slow-ledger fault, the tail sampler retains >= 90% of the slow traces
+// where FIFO retains < 20%, the span lifecycle stays at 0 allocs/op,
+// and self-overhead stays under the E16 5% CPU bound.
+func TestE23TailSampling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tail-sampling benchmark skipped in -short mode")
+	}
+	r, err := E23TailSampling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]float64{}
+	for _, row := range r.Rows {
+		rows[row.Label] = row.Value
+	}
+	if got := rows["tail retention of slow traces"]; got < 90 {
+		t.Errorf("tail retention = %.1f%%, want >= 90%%", got)
+	}
+	if got := rows["fifo retention of slow traces"]; got >= 20 {
+		t.Errorf("fifo retention = %.1f%%, want < 20%% (the failure mode tail sampling fixes)", got)
+	}
+	if got := rows["span lifecycle allocations"]; got != 0 {
+		t.Errorf("span lifecycle = %v allocs/op, want 0", got)
+	}
+	if got := rows["tail-sampling self-overhead (cpu, median pair)"]; got >= 5 {
+		t.Errorf("tail-sampling self-overhead = %.2f%%, want < 5%%", got)
+	}
+	if !strings.HasPrefix(r.Shape, "HOLDS") {
+		t.Errorf("shape: %s", r.Shape)
+	}
+}
+
 func TestE18WatchdogDetection(t *testing.T) {
 	if testing.Short() {
 		t.Skip("watchdog chaos experiment skipped in -short mode")

@@ -199,7 +199,7 @@ func TestTieredGetCtxSpans(t *testing.T) {
 	}
 	root.End()
 
-	spans := tr.Trace(root.Context().TraceID)
+	spans := tr.Trace(root.Context().TraceID.String())
 	byName := map[string][]telemetry.SpanRecord{}
 	for _, sp := range spans {
 		byName[sp.Name] = append(byName[sp.Name], sp)
@@ -211,7 +211,7 @@ func TestTieredGetCtxSpans(t *testing.T) {
 		t.Fatalf("cache.origin spans = %d, want 1 (trace: %v)", got, names(spans))
 	}
 	for _, sp := range byName["cache.get"] {
-		if sp.ParentID != root.Context().SpanID {
+		if sp.ParentID != root.Context().SpanID.String() {
 			t.Errorf("cache.get parent = %s, want root %s", sp.ParentID, root.Context().SpanID)
 		}
 	}

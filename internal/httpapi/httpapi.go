@@ -80,6 +80,8 @@ func New(p *core.Platform, opts ...Option) *Server {
 	// platform runs without telemetry.
 	s.mux.Handle("GET /metrics", telemetry.MetricsHandler(p.Telemetry.Registry()))
 	s.mux.Handle("GET /traces/{id}", telemetry.TraceHandler(p.Telemetry.Spans()))
+	// Go 1.22 routing: the literal pattern wins over /traces/{id}.
+	s.mux.Handle("GET /traces/summary", telemetry.TraceSummaryHandler(p.Telemetry.Spans()))
 	// Self-monitoring endpoints: dependency-aware readiness (degraded vs
 	// down with per-component detail), the operator status page, and the
 	// metrics history ring. /metrics/history 404s when monitoring is
@@ -185,14 +187,19 @@ func (s *Server) guard(resource string, action rbac.Action, next func(http.Respo
 	return func(w http.ResponseWriter, r *http.Request) {
 		reqs.Inc()
 		start := hist.Start()
-		defer hist.ObserveSince(start)
 		sp := tracer.StartRoot("http." + resource)
+		sc := sp.Context()
 		sp.SetAttr("method", r.Method)
 		sp.SetAttr("path", r.URL.Path)
-		defer sp.End()
+		defer func() {
+			sp.End()
+			// The handler has returned: the request's trace is over.
+			tracer.FinishTrace(sc.TraceID)
+			hist.ObserveSinceTrace(start, sc.TraceID)
+		}()
 		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
 		defer cancel()
-		r = r.WithContext(telemetry.ContextWithSpan(ctx, sp.Context()))
+		r = r.WithContext(telemetry.ContextWithSpan(ctx, sc))
 		user, err := s.authenticate(r)
 		if err != nil {
 			sp.SetAttr("outcome", "unauthenticated")

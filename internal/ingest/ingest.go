@@ -282,6 +282,7 @@ func (p *Pipeline) Upload(clientID, group string, encrypted []byte) (string, err
 		return "", fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
 	}
 	sp := p.tracer.StartRoot("ingest.upload")
+	sc := sp.Context()
 	sp.SetAttr("client", clientID)
 	sp.SetAttr("group", group)
 	if p.met != nil {
@@ -291,23 +292,27 @@ func (p *Pipeline) Upload(clientID, group string, encrypted []byte) (string, err
 	if err != nil {
 		sp.SetAttr("error", err.Error())
 		sp.End()
+		p.tracer.FinishTrace(sc.TraceID)
 		return "", fmt.Errorf("ingest: staging: %w", err)
 	}
 	sp.SetAttr("upload_id", id)
 	p.mu.Lock()
-	p.statuses[id] = &Status{UploadID: id, State: StateReceived, TraceID: sp.Context().TraceID}
+	p.statuses[id] = &Status{UploadID: id, State: StateReceived, TraceID: sc.TraceID.String()}
 	p.notifyLocked()
 	p.mu.Unlock()
 	body, err := json.Marshal(uploadMsg{UploadID: id, ClientID: clientID, Group: group})
 	if err != nil {
 		sp.End()
+		p.tracer.FinishTrace(sc.TraceID)
 		return "", fmt.Errorf("ingest: encoding message: %w", err)
 	}
 	// The publish carries the upload span's context so the bus hop and
-	// the worker's processing spans join this trace.
-	if _, err := p.msgBus.PublishCtx(ingestTopic, body, sp.Context()); err != nil {
+	// the worker's processing spans join this trace. The trace itself
+	// finishes at the worker's ack (or dead-letter), not here.
+	if _, err := p.msgBus.PublishCtx(ingestTopic, body, sc); err != nil {
 		sp.SetAttr("error", err.Error())
 		sp.End()
+		p.tracer.FinishTrace(sc.TraceID)
 		return "", fmt.Errorf("ingest: publishing: %w", err)
 	}
 	sp.End()
@@ -437,6 +442,7 @@ func (p *Pipeline) worker() {
 		var msg uploadMsg
 		if err := json.Unmarshal(m.Payload, &msg); err != nil {
 			p.sub.Ack(m.ID) // malformed: poison message, drop
+			p.tracer.FinishTrace(m.Trace.TraceID)
 			continue
 		}
 		p.noteAttempt(msg.UploadID, m.Attempt)
@@ -444,11 +450,13 @@ func (p *Pipeline) worker() {
 		switch {
 		case err == nil:
 			p.sub.Ack(m.ID)
+			p.tracer.FinishTrace(m.Trace.TraceID)
 		case resilience.IsPermanent(err):
 			// Data problems (bad crypto, invalid FHIR, malware, missing
 			// consent) never heal on retry: mark failed and consume.
 			p.fail(msg.UploadID, err.Error())
 			p.sub.Ack(m.ID)
+			p.tracer.FinishTrace(m.Trace.TraceID)
 		default:
 			// Infrastructure problems (store, ledger) are transient:
 			// hand the message back for redelivery. Once the bus's
@@ -485,6 +493,8 @@ func (p *Pipeline) dlqWorker() {
 			p.markDeadLettered(msg.UploadID, m.Reason)
 		}
 		p.dlqSub.Ack(m.ID)
+		// Dead-lettering ends the upload's lifecycle — and its trace.
+		p.tracer.FinishTrace(m.Trace.TraceID)
 	}
 }
 
@@ -566,7 +576,7 @@ func (p *Pipeline) timeStage(parent telemetry.SpanContext, name string, f func(t
 	sp := p.tracer.StartSpanAt(sh.span, parent, start)
 	err := f(sp.Context())
 	end := time.Now()
-	sh.hist.Observe(end.Sub(start))
+	sh.hist.ObserveTrace(end.Sub(start), sp.Context().TraceID)
 	if err != nil {
 		sp.SetAttr("error", err.Error())
 	}
@@ -590,7 +600,7 @@ func (p *Pipeline) process(msg uploadMsg, tctx telemetry.SpanContext) error {
 	sp.SetAttr("upload_id", msg.UploadID)
 	err := p.run(msg, sp.Context())
 	end := time.Now()
-	m.pipeline.Observe(end.Sub(start))
+	m.pipeline.ObserveTrace(end.Sub(start), sp.Context().TraceID)
 	if err != nil {
 		sp.SetAttr("error", err.Error())
 	}

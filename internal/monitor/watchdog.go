@@ -92,7 +92,11 @@ func (w *Watchdog) Tick() TickReport {
 		return TickReport{}
 	}
 	span := w.cfg.Tracer.StartRoot("monitor.tick")
-	defer span.End()
+	sc := span.Context()
+	defer func() {
+		span.End()
+		w.cfg.Tracer.FinishTrace(sc.TraceID)
+	}()
 
 	for _, collect := range w.cfg.Collectors {
 		collect()
@@ -133,7 +137,7 @@ func (w *Watchdog) Tick() TickReport {
 			continue // already raised; stays active, no duplicate event
 		}
 		a.RaisedTick = tick
-		a.TraceID = span.Context().TraceID
+		a.TraceID = sc.TraceID.String()
 		w.active[name] = a
 		raised = append(raised, a)
 	}

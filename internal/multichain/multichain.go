@@ -90,11 +90,12 @@ type Config struct {
 
 // Channel is one independent provenance partition.
 type Channel struct {
-	Name    string
-	Net     *blockchain.Network
-	Batcher *blockchain.Batcher // nil unless Config.Batch
-	WAL     *durable.WAL        // nil unless Config.DataDir
-	routed  *telemetry.Counter
+	Name     string
+	Net      *blockchain.Network
+	Batcher  *blockchain.Batcher // nil unless Config.Batch
+	WAL      *durable.WAL        // nil unless Config.DataDir
+	routed   *telemetry.Counter
+	routeLat *telemetry.Histogram
 }
 
 // submit runs one transaction through the channel's write path —
@@ -191,6 +192,7 @@ func (m *Ledger) openChannel(name string) (*Channel, error) {
 	}
 	if cfg.Registry != nil {
 		ch.routed = cfg.Registry.Counter(fmt.Sprintf("multichain_routed_total{channel=%q}", name))
+		ch.routeLat = cfg.Registry.Histogram(fmt.Sprintf("multichain_route_seconds{channel=%q}", name))
 	}
 	if cfg.DataDir != "" {
 		wal, rep, werr := durable.OpenWALSnapshot(filepath.Join(cfg.DataDir, name), durable.Options{
@@ -295,11 +297,14 @@ func (m *Ledger) Submit(tx blockchain.Transaction, timeout time.Duration) error 
 func (m *Ledger) SubmitCtx(tx blockchain.Transaction, timeout time.Duration, parent telemetry.SpanContext) error {
 	ch := m.byName[m.Route(RouteKey(&tx))]
 	sp := m.tracer.StartSpan("multichain.route", parent)
+	sc := sp.Context()
 	sp.SetAttr("channel", ch.Name)
 	if ch.routed != nil {
 		ch.routed.Inc()
 	}
-	err := ch.submit(tx, timeout, sp.Context())
+	start := ch.routeLat.Start()
+	err := ch.submit(tx, timeout, sc)
+	ch.routeLat.ObserveSinceTrace(start, sc.TraceID)
 	if err != nil {
 		sp.SetAttr("error", err.Error())
 	}

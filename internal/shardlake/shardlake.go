@@ -91,6 +91,7 @@ type metrics struct {
 	reg          *telemetry.Registry
 	putReplicas  *telemetry.Counter // replica writes that landed
 	repairs      *telemetry.Counter
+	repairLat    *telemetry.Histogram
 	hintsAdded   *telemetry.Counter
 	hintsDrained *telemetry.Counter
 	moves        *telemetry.Counter
@@ -141,6 +142,7 @@ func New(shards []Shard, cfg Config) (*Lake, error) {
 			reg:          cfg.Registry,
 			putReplicas:  cfg.Registry.Counter("shardlake_replica_writes_total"),
 			repairs:      cfg.Registry.Counter("shardlake_repairs_total"),
+			repairLat:    cfg.Registry.Histogram("shardlake_repair_seconds"),
 			hintsAdded:   cfg.Registry.Counter("shardlake_hints_total"),
 			hintsDrained: cfg.Registry.Counter("shardlake_hints_drained_total"),
 			moves:        cfg.Registry.Counter("shardlake_moves_total"),
@@ -382,15 +384,20 @@ func (l *Lake) readRepair(refID string, best store.Sealed, current []string, cop
 		return
 	}
 	sp := l.tracer.StartRoot("shardlake.get")
+	sc := sp.Context()
 	sp.SetAttr("ref", refID)
 	sp.SetAttr("stale_replicas", fmt.Sprint(len(stale)))
 	for _, name := range stale {
-		rsp := l.tracer.StartSpan("shardlake.repair", sp.Context())
+		rsp := l.tracer.StartSpan("shardlake.repair", sc)
 		rsp.SetAttr("shard", name)
 		shard := l.shard(name)
 		if shard == nil {
 			rsp.End()
 			continue
+		}
+		var start time.Time
+		if m := l.met; m != nil {
+			start = m.repairLat.Start()
 		}
 		if err := shard.PutSealed(best); err != nil {
 			rsp.SetAttr("error", err.Error())
@@ -401,9 +408,14 @@ func (l *Lake) readRepair(refID string, best store.Sealed, current []string, cop
 				m.repairs.Inc()
 			}
 		}
+		if m := l.met; m != nil {
+			m.repairLat.ObserveSinceTrace(start, sc.TraceID)
+		}
 		rsp.End()
 	}
 	sp.End()
+	// Read-repair is a root trace of its own; it is complete here.
+	l.tracer.FinishTrace(sc.TraceID)
 }
 
 // Grant allows another principal to read a record. One replica

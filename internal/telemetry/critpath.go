@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// PathSegment is one stage's share of a trace's critical path.
+type PathSegment struct {
+	Name  string        `json:"name"`
+	Self  time.Duration `json:"self_ns"`
+	Share float64       `json:"share"` // fraction of the trace's wall time
+}
+
+// criticalPathSpanCap bounds the boundary sweep: traces wider than this
+// skip critical-path attribution (the sweep is O(n²) in span count).
+const criticalPathSpanCap = 384
+
+// CriticalPath attributes a trace's wall time to the deepest span
+// active at each instant — the classic critical-path view: a parent's
+// time only counts where no child covers it, and concurrent children
+// resolve to the deepest/latest-started one. Gaps covered by no span
+// appear as "(unattributed)". Returns nil for empty traces or traces
+// wider than criticalPathSpanCap; segments are sorted by Self
+// descending.
+func CriticalPath(spans []SpanRecord) []PathSegment {
+	if len(spans) == 0 || len(spans) > criticalPathSpanCap {
+		return nil
+	}
+
+	type node struct {
+		start, end time.Time
+		name       string
+		spanID     string
+		parentID   string
+		depth      int
+	}
+	nodes := make([]node, 0, len(spans))
+	byID := make(map[string]int, len(spans))
+	for _, sp := range spans {
+		end := sp.Start.Add(sp.Duration)
+		nodes = append(nodes, node{start: sp.Start, end: end, name: sp.Name, spanID: sp.SpanID, parentID: sp.ParentID})
+		if sp.SpanID != "" {
+			byID[sp.SpanID] = len(nodes) - 1
+		}
+	}
+
+	// Depth via parent links, memoized; the hop cap guards against
+	// cycles in malformed input.
+	var depthOf func(i, hops int) int
+	memo := make([]int, len(nodes))
+	for i := range memo {
+		memo[i] = -1
+	}
+	depthOf = func(i, hops int) int {
+		if memo[i] >= 0 {
+			return memo[i]
+		}
+		d := 0
+		if hops < len(nodes) && nodes[i].parentID != "" {
+			if pi, ok := byID[nodes[i].parentID]; ok && pi != i {
+				d = depthOf(pi, hops+1) + 1
+			}
+		}
+		memo[i] = d
+		return d
+	}
+	for i := range nodes {
+		nodes[i].depth = depthOf(i, 0)
+	}
+
+	// Elementary intervals between sorted span boundaries.
+	bounds := make([]time.Time, 0, 2*len(nodes))
+	for _, n := range nodes {
+		bounds = append(bounds, n.start, n.end)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].Before(bounds[j]) })
+	dedup := bounds[:0]
+	for _, b := range bounds {
+		if len(dedup) == 0 || !b.Equal(dedup[len(dedup)-1]) {
+			dedup = append(dedup, b)
+		}
+	}
+	bounds = dedup
+	if len(bounds) < 2 {
+		return nil
+	}
+
+	self := make(map[string]time.Duration)
+	var wall time.Duration
+	for i := 0; i+1 < len(bounds); i++ {
+		a, b := bounds[i], bounds[i+1]
+		width := b.Sub(a)
+		if width <= 0 {
+			continue
+		}
+		wall += width
+		best := -1
+		for j := range nodes {
+			n := &nodes[j]
+			if n.start.After(a) || n.end.Before(b) {
+				continue
+			}
+			if best < 0 {
+				best = j
+				continue
+			}
+			bn := &nodes[best]
+			if n.depth != bn.depth {
+				if n.depth > bn.depth {
+					best = j
+				}
+				continue
+			}
+			if !n.start.Equal(bn.start) {
+				if n.start.After(bn.start) {
+					best = j
+				}
+				continue
+			}
+			if n.spanID > bn.spanID {
+				best = j
+			}
+		}
+		if best >= 0 {
+			self[nodes[best].name] += width
+		} else {
+			self["(unattributed)"] += width
+		}
+	}
+
+	out := make([]PathSegment, 0, len(self))
+	for name, d := range self {
+		seg := PathSegment{Name: name, Self: d}
+		if wall > 0 {
+			seg.Share = float64(d) / float64(wall)
+		}
+		out = append(out, seg)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Self != out[j].Self {
+			return out[i].Self > out[j].Self
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -26,12 +26,14 @@ func MetricsHandler(r *Registry) http.Handler {
 	})
 }
 
-// TraceResponse is the GET /traces/{id} body: the raw spans plus the
-// per-stage aggregation derived from them.
+// TraceResponse is the GET /traces/{id} body: the raw spans, the
+// per-stage aggregation, and the critical-path attribution derived
+// from them.
 type TraceResponse struct {
-	TraceID string       `json:"trace_id"`
-	Spans   []SpanRecord `json:"spans"`
-	Stages  []StageStat  `json:"stages"`
+	TraceID      string        `json:"trace_id"`
+	Spans        []SpanRecord  `json:"spans"`
+	Stages       []StageStat   `json:"stages"`
+	CriticalPath []PathSegment `json:"critical_path,omitempty"`
 }
 
 // TraceHandler serves one trace as JSON. Expects the trace ID as the
@@ -60,10 +62,30 @@ func TraceHandler(t *Tracer) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(TraceResponse{
-			TraceID: id,
-			Spans:   spans,
-			Stages:  StageBreakdown(spans),
+			TraceID:      id,
+			Spans:        spans,
+			Stages:       StageBreakdown(spans),
+			CriticalPath: CriticalPath(spans),
 		})
+	})
+}
+
+// TraceSummaryHandler serves the store-wide trace aggregation — per-
+// stage totals and merged critical-path attribution across every
+// retained trace — at GET /traces/summary.
+func TraceSummaryHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if t == nil {
+			http.Error(w, "telemetry disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(t.Summary())
 	})
 }
 

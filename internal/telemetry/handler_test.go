@@ -75,7 +75,7 @@ func TestTraceHandlerServesSpans(t *testing.T) {
 	tr := NewTracer(0, 0)
 	sp := tr.StartRoot("op")
 	sp.End()
-	id := sp.Context().TraceID
+	id := sp.Context().TraceID.String()
 	rec := httptest.NewRecorder()
 	// No Go 1.22 path value set: the handler falls back to the last path
 	// segment.

@@ -106,25 +106,48 @@ var DefaultLatencyBuckets = []float64{
 	1, 5, 10,
 }
 
+// exemplarRec is the internal latest-wins exemplar slot of one bucket.
+type exemplarRec struct {
+	trace TraceID
+	value float64 // observed value, seconds
+}
+
+// Exemplar links a histogram bucket back to a trace that landed in it
+// (OpenMetrics `# {trace_id="..."} value` convention).
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
+}
+
 // Histogram is a fixed-bucket latency histogram (bounds in seconds,
 // cumulative at render time, +Inf implicit). A nil Histogram is valid.
 type Histogram struct {
-	name   string
-	bounds []float64       // ascending upper bounds, seconds
-	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
-	count  atomic.Uint64
-	sum    atomic.Int64 // nanoseconds
+	name      string
+	bounds    []float64       // ascending upper bounds, seconds
+	counts    []atomic.Uint64 // len(bounds)+1; last is +Inf
+	exemplars []atomic.Pointer[exemplarRec]
+	count     atomic.Uint64
+	sum       atomic.Int64 // nanoseconds
 }
 
 // Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
+func (h *Histogram) Observe(d time.Duration) { h.ObserveTrace(d, TraceID{}) }
+
+// ObserveTrace records one duration and, when trace is non-zero,
+// stamps it as the bucket's exemplar (latest wins) so a latency spike
+// in /metrics points at a trace that caused it.
+func (h *Histogram) ObserveTrace(d time.Duration, trace TraceID) {
 	if h == nil {
 		return
 	}
-	i := sort.SearchFloat64s(h.bounds, d.Seconds())
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, sec)
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(int64(d))
+	if !trace.IsZero() && i < len(h.exemplars) {
+		h.exemplars[i].Store(&exemplarRec{trace: trace, value: sec})
+	}
 }
 
 // Start returns the observation start time, or the zero time on a nil
@@ -146,12 +169,23 @@ func (h *Histogram) ObserveSince(start time.Time) {
 	h.Observe(time.Since(start))
 }
 
+// ObserveSinceTrace is ObserveSince with an exemplar trace ID.
+func (h *Histogram) ObserveSinceTrace(start time.Time, trace TraceID) {
+	if h == nil || start.IsZero() {
+		return
+	}
+	h.ObserveTrace(time.Since(start), trace)
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram.
 type HistogramSnapshot struct {
 	Count  uint64        `json:"count"`
 	Sum    time.Duration `json:"sum_ns"`
 	Bounds []float64     `json:"bounds"`
 	Counts []uint64      `json:"counts"` // per-bucket (not cumulative); last is +Inf
+	// Exemplars is parallel to Counts (nil entries = no exemplar yet);
+	// omitted entirely when no bucket has one.
+	Exemplars []*Exemplar `json:"exemplars,omitempty"`
 }
 
 // Mean returns the average observed duration.
@@ -181,6 +215,9 @@ func (s HistogramSnapshot) Sub(older HistogramSnapshot) HistogramSnapshot {
 		Sum:    s.Sum - older.Sum,
 		Bounds: append([]float64(nil), s.Bounds...),
 		Counts: make([]uint64, len(s.Counts)),
+		// Exemplars are latest-wins stamps, not counters: the newer
+		// snapshot's exemplars are the window's exemplars.
+		Exemplars: s.Exemplars,
 	}
 	for i := range s.Counts {
 		if older.Counts[i] > s.Counts[i] {
@@ -318,9 +355,10 @@ func (r *Registry) HistogramWithBuckets(name string, bounds []float64) *Histogra
 		return h
 	}
 	h = &Histogram{
-		name:   name,
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		name:      name,
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[exemplarRec], len(bounds)+1),
 	}
 	r.histograms[name] = h
 	return h
@@ -354,6 +392,16 @@ func (r *Registry) Snapshot() Snapshot {
 		for i := range h.counts {
 			hs.Counts[i] = h.counts[i].Load()
 		}
+		for i := range h.exemplars {
+			rec := h.exemplars[i].Load()
+			if rec == nil {
+				continue
+			}
+			if hs.Exemplars == nil {
+				hs.Exemplars = make([]*Exemplar, len(h.counts))
+			}
+			hs.Exemplars[i] = &Exemplar{TraceID: rec.trace.String(), Value: rec.value}
+		}
 		snap.Histograms[name] = hs
 	}
 	return snap
@@ -368,11 +416,133 @@ func splitName(name string) (base, labels string) {
 	return name, ""
 }
 
-// joinLabels renders a label block from existing labels plus extras.
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote, and newline must be
+// escaped or the line is unparseable.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabels re-escapes an inline label block's values. Metric
+// names embed labels as `k="v"` pairs built by callers (often via
+// strconv.Quote, sometimes raw); this parser decodes each quoted value
+// and re-emits it with exposition-format escaping so hostile values
+// (backslashes, quotes, newlines) can't corrupt the scrape output.
+func sanitizeLabels(labels string) string {
+	if labels == "" {
+		return labels
+	}
+	var b strings.Builder
+	b.Grow(len(labels) + 8)
+	i := 0
+	for i < len(labels) {
+		// Copy the key up to '='.
+		for i < len(labels) && labels[i] != '=' {
+			b.WriteByte(labels[i])
+			i++
+		}
+		if i >= len(labels) {
+			break
+		}
+		b.WriteByte('=')
+		i++
+		if i >= len(labels) || labels[i] != '"' {
+			// Not a quoted value; copy until the next comma.
+			for i < len(labels) && labels[i] != ',' {
+				b.WriteByte(labels[i])
+				i++
+			}
+		} else {
+			i++ // opening quote
+			var val strings.Builder
+			for i < len(labels) {
+				c := labels[i]
+				if c == '\\' && i+1 < len(labels) {
+					if labels[i+1] == '"' && !hasClosingQuote(labels, i+2) {
+						// Trailing `\"` with nothing to close the value
+						// later: the backslash is content and this
+						// quote is the closer.
+						val.WriteByte('\\')
+						i += 2
+						break
+					}
+					switch labels[i+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						// Not a format escape (e.g. the \t of a raw
+						// Windows path): the backslash is content.
+						val.WriteByte('\\')
+						val.WriteByte(labels[i+1])
+					}
+					i += 2
+					continue
+				}
+				// A closing quote only ends the value when followed by
+				// ',' or end of block; raw interior quotes are content.
+				if c == '"' && (i+1 >= len(labels) || labels[i+1] == ',') {
+					i++
+					break
+				}
+				val.WriteByte(c)
+				i++
+			}
+			b.WriteByte('"')
+			b.WriteString(escapeLabelValue(val.String()))
+			b.WriteByte('"')
+		}
+		if i < len(labels) && labels[i] == ',' {
+			b.WriteByte(',')
+			i++
+		}
+	}
+	return b.String()
+}
+
+// hasClosingQuote reports whether s[from:] contains an unescaped quote
+// in closing position (followed by ',' or end of block). It decides the
+// ambiguous `\"` sequence: with a later closer it is an escaped quote;
+// without one the backslash is content and the quote ends the value.
+func hasClosingQuote(s string, from int) bool {
+	for j := from; j < len(s); j++ {
+		if s[j] == '\\' {
+			j++
+			continue
+		}
+		if s[j] == '"' && (j+1 >= len(s) || s[j+1] == ',') {
+			return true
+		}
+	}
+	return false
+}
+
+// joinLabels renders a label block from existing labels (re-escaped for
+// the exposition format) plus extras (already well-formed, e.g. le=).
 func joinLabels(labels string, extra ...string) string {
 	parts := make([]string, 0, 2)
 	if labels != "" {
-		parts = append(parts, labels)
+		parts = append(parts, sanitizeLabels(labels))
 	}
 	parts = append(parts, extra...)
 	if len(parts) == 0 {
@@ -433,8 +603,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if i < len(h.Bounds) {
 				le = fmt.Sprintf("%g", h.Bounds[i])
 			}
-			lines = append(lines, line{base, fmt.Sprintf("%s_bucket%s %d\n",
-				base, joinLabels(labels, `le="`+le+`"`), cum)})
+			// OpenMetrics exemplar: `# {trace_id="..."} value` links
+			// the bucket to a trace that landed in it.
+			exemplar := ""
+			if i < len(h.Exemplars) && h.Exemplars[i] != nil {
+				exemplar = fmt.Sprintf(" # {trace_id=%q} %g", h.Exemplars[i].TraceID, h.Exemplars[i].Value)
+			}
+			lines = append(lines, line{base, fmt.Sprintf("%s_bucket%s %d%s\n",
+				base, joinLabels(labels, `le="`+le+`"`), cum, exemplar)})
 		}
 		lines = append(lines, line{base, fmt.Sprintf("%s_sum%s %g\n", base, joinLabels(labels), h.Sum.Seconds())})
 		lines = append(lines, line{base, fmt.Sprintf("%s_count%s %d\n", base, joinLabels(labels), h.Count)})

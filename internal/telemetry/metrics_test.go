@@ -171,3 +171,84 @@ func TestHistogramSnapshotSub(t *testing.T) {
 		t.Fatalf("mismatched-bounds Sub count = %d, want 0", got.Count)
 	}
 }
+
+// TestPrometheusLabelEscaping feeds hostile label values — backslashes,
+// embedded quotes, raw newlines — through the render path and checks
+// the exposition text stays parseable (one metric per line, specials
+// escaped per the format).
+func TestPrometheusLabelEscaping(t *testing.T) {
+	cases := []struct {
+		name string // registry name with inline labels
+		want string // escaped label block in the output
+	}{
+		{`evil_total{path="C:\temp"}`, `evil_total{path="C:\\temp"}`},
+		{`evil2_total{msg="say \"hi\""}`, `evil2_total{msg="say \"hi\""}`},
+		{`evil3_total{raw="say "hi""}`, `evil3_total{raw="say \"hi\""}`},
+		{"evil4_total{nl=\"a\nb\"}", `evil4_total{nl="a\nb"}`},
+		{`evil5_total{bs="tail\"}`, `evil5_total{bs="tail\\"}`},
+		{`ok_total{topic="ingest"}`, `ok_total{topic="ingest"}`},
+	}
+	r := NewRegistry()
+	for _, c := range cases {
+		r.Counter(c.name).Add(1)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, c := range cases {
+		if !strings.Contains(out, c.want+" 1") {
+			t.Errorf("output missing %q:\n%s", c.want, out)
+		}
+	}
+	// No raw newline may survive inside any line's label block.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "{") && !strings.Contains(line, "}") {
+			t.Errorf("unterminated label block (raw newline leaked): %q", line)
+		}
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramWithBuckets("lat_seconds", []float64{0.1, 1})
+	trace := newTraceID()
+	h.ObserveTrace(500*time.Millisecond, trace) // 0.1 < 0.5 <= 1 bucket
+	h.Observe(time.Millisecond)                 // no exemplar
+
+	snap := r.Snapshot().Histograms["lat_seconds"]
+	if snap.Exemplars == nil {
+		t.Fatal("snapshot has no exemplars")
+	}
+	if ex := snap.Exemplars[1]; ex == nil || ex.TraceID != trace.String() || ex.Value != 0.5 {
+		t.Fatalf("bucket-1 exemplar = %+v, want trace %s value 0.5", snap.Exemplars[1], trace)
+	}
+	if snap.Exemplars[0] != nil {
+		t.Fatalf("bucket-0 exemplar = %+v, want none", snap.Exemplars[0])
+	}
+
+	// Latest observation wins the slot.
+	trace2 := newTraceID()
+	h.ObserveTrace(700*time.Millisecond, trace2)
+	snap = r.Snapshot().Histograms["lat_seconds"]
+	if ex := snap.Exemplars[1]; ex.TraceID != trace2.String() {
+		t.Fatalf("exemplar not replaced: %+v", ex)
+	}
+
+	// The exposition text carries the OpenMetrics exemplar suffix.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `lat_seconds_bucket{le="1"} 3 # {trace_id="` + trace2.String() + `"} 0.7`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("exposition missing exemplar %q:\n%s", want, sb.String())
+	}
+
+	// Sub (the history window view) carries the newer exemplars.
+	win := snap.Sub(HistogramSnapshot{Bounds: snap.Bounds, Counts: make([]uint64, len(snap.Counts))})
+	if win.Exemplars == nil || win.Exemplars[1] == nil || win.Exemplars[1].TraceID != trace2.String() {
+		t.Fatalf("Sub dropped exemplars: %+v", win.Exemplars)
+	}
+}

@@ -10,9 +10,11 @@ type Telemetry struct {
 	Tracer  *Tracer
 }
 
-// New creates an enabled Telemetry with default-sized stores.
+// New creates an enabled Telemetry with default-sized stores and the
+// default tail-sampling policy (keep everything, pin errors and the
+// slowest roots — a superset of the legacy FIFO retention).
 func New() *Telemetry {
-	return &Telemetry{Metrics: NewRegistry(), Tracer: NewTracer(0, 0)}
+	return &Telemetry{Metrics: NewRegistry(), Tracer: NewTailTracer(0, 0, DefaultPolicy())}
 }
 
 // Registry returns the metrics registry (nil when disabled).

@@ -7,22 +7,143 @@ import (
 	"math/rand/v2"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// TraceID is a 128-bit trace identifier. The zero value means "no
+// trace". Binary IDs keep the span hot path allocation-free; the hex
+// string form appears only at the edges (JSON, HTTP, Status).
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the "no trace" sentinel.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the ID as lowercase hex ("" for the zero ID).
+func (id TraceID) String() string {
+	if id.IsZero() {
+		return ""
+	}
+	var dst [32]byte
+	hex.Encode(dst[:], id[:])
+	return string(dst[:])
+}
+
+// MarshalJSON renders the hex form ("" for zero).
+func (id TraceID) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + id.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the hex form ("" or null yields the zero ID).
+func (id *TraceID) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if s == "null" || s == `""` {
+		*id = TraceID{}
+		return nil
+	}
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	parsed, ok := ParseTraceID(s)
+	if !ok {
+		*id = TraceID{}
+		return nil
+	}
+	*id = parsed
+	return nil
+}
+
+// ParseTraceID decodes the 32-hex-char string form of a trace ID.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 2*len(id) {
+		return TraceID{}, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	return id, true
+}
+
+// SpanID is a 64-bit span identifier; zero means "no span".
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the "no span" sentinel.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the ID as lowercase hex ("" for the zero ID).
+func (id SpanID) String() string {
+	if id.IsZero() {
+		return ""
+	}
+	var dst [16]byte
+	hex.Encode(dst[:], id[:])
+	return string(dst[:])
+}
+
+// MarshalJSON renders the hex form ("" for zero).
+func (id SpanID) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + id.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the hex form ("" or null yields the zero ID).
+func (id *SpanID) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if s == "null" || s == `""` {
+		*id = SpanID{}
+		return nil
+	}
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	var parsed SpanID
+	if len(s) != 2*len(parsed) {
+		*id = SpanID{}
+		return nil
+	}
+	if _, err := hex.Decode(parsed[:], []byte(s)); err != nil {
+		*id = SpanID{}
+		return nil
+	}
+	*id = parsed
+	return nil
+}
+
+// newTraceID returns a fresh non-zero trace ID. Span IDs need
+// uniqueness, not secrecy, so the runtime-sharded generator beats
+// crypto/rand's per-call syscall on the span-creation hot path.
+func newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:8], rand.Uint64())
+		binary.BigEndian.PutUint64(id[8:], rand.Uint64())
+	}
+	return id
+}
+
+// newSpanID returns a fresh non-zero span ID.
+func newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:], rand.Uint64())
+	}
+	return id
+}
 
 // SpanContext identifies a span for explicit propagation — through bus
 // messages, across pipeline stages, between goroutines. The zero value
 // is "no trace" and produces no spans downstream.
 type SpanContext struct {
-	TraceID string `json:"trace_id,omitempty"`
-	SpanID  string `json:"span_id,omitempty"`
+	TraceID TraceID `json:"trace_id"`
+	SpanID  SpanID  `json:"span_id"`
 }
 
 // Valid reports whether the context names a real trace.
-func (c SpanContext) Valid() bool { return c.TraceID != "" && c.SpanID != "" }
+func (c SpanContext) Valid() bool { return !c.TraceID.IsZero() && !c.SpanID.IsZero() }
 
 // SpanRecord is one completed span as stored and served by
-// GET /traces/{id}.
+// GET /traces/{id}. IDs are hex strings here — the record is the wire
+// and storage form, converted once per span at trace retention time.
 type SpanRecord struct {
 	TraceID  string            `json:"trace_id"`
 	SpanID   string            `json:"span_id"`
@@ -33,37 +154,78 @@ type SpanRecord struct {
 	Attrs    map[string]string `json:"attrs,omitempty"`
 }
 
+// spanAttrCap is the per-span attribute slab size. The widest span in
+// the pipeline today carries 3 attrs; overflow is counted, not stored.
+const spanAttrCap = 8
+
+// attrKV is one slot of a span's preallocated attribute slab.
+type attrKV struct{ k, v string }
+
 // Span is an in-flight operation. Obtain from a Tracer, call End when
 // the operation finishes; only ended spans reach the store. A nil *Span
 // is valid and does nothing, so callers never nil-check.
+//
+// In tail-sampling mode spans are pooled: once ended AND their trace
+// finished, the object is recycled. Capture Context() before End (all
+// production call sites do) and never touch a span after End.
 type Span struct {
 	tracer *Tracer
 
-	mu    sync.Mutex
-	rec   SpanRecord
-	ended bool
+	mu       sync.Mutex
+	traceID  TraceID
+	spanID   SpanID
+	parentID SpanID
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    [spanAttrCap]attrKV
+	nattrs   int
+	errored  bool
+	ended    bool
+
+	next *Span // intrusive list link while buffered in a pending trace
 }
 
-// Context returns the span's identity for propagation.
+// Context returns the span's identity for propagation. Capture it
+// before End in tail-sampling mode (spans are pooled after retention).
 func (s *Span) Context() SpanContext {
 	if s == nil {
 		return SpanContext{}
 	}
-	return SpanContext{TraceID: s.rec.TraceID, SpanID: s.rec.SpanID}
+	return SpanContext{TraceID: s.traceID, SpanID: s.spanID}
 }
 
 // SetAttr attaches a key/value label (no PHI — stage names, IDs,
-// outcomes only, same rule as the audit log).
+// outcomes only, same rule as the audit log). Setting "error" marks the
+// whole trace as errored for the tail-sampling keep decision. Calls
+// after End are dropped.
 func (s *Span) SetAttr(k, v string) {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
-	if s.rec.Attrs == nil {
-		s.rec.Attrs = make(map[string]string, 4)
+	if s.ended {
+		s.mu.Unlock()
+		return
 	}
-	s.rec.Attrs[k] = v
+	if k == "error" {
+		s.errored = true
+	}
+	for i := 0; i < s.nattrs; i++ {
+		if s.attrs[i].k == k {
+			s.attrs[i].v = v
+			s.mu.Unlock()
+			return
+		}
+	}
+	if s.nattrs < spanAttrCap {
+		s.attrs[s.nattrs] = attrKV{k, v}
+		s.nattrs++
+		s.mu.Unlock()
+		return
+	}
 	s.mu.Unlock()
+	s.tracer.attrDropped.Add(1)
 }
 
 // End completes the span and records it. Safe to call more than once;
@@ -81,32 +243,87 @@ func (s *Span) EndAt(end time.Time) {
 		return
 	}
 	s.ended = true
-	if end.IsZero() {
-		end = time.Now()
-	}
-	s.rec.Duration = end.Sub(s.rec.Start)
-	rec := s.rec
+	s.end = end
 	s.mu.Unlock()
-	s.tracer.record(rec)
+	s.tracer.record(s)
 }
 
-// traceBuf holds one trace's completed spans.
-type traceBuf struct {
-	spans   []SpanRecord
-	evictAt *list.Element
+// toRecord converts the span to its storage form. traceID is the
+// shared hex string of the whole trace so sibling spans don't each
+// re-encode it.
+func (s *Span) toRecord(traceID string) SpanRecord {
+	rec := SpanRecord{
+		TraceID:  traceID,
+		SpanID:   s.spanID.String(),
+		Name:     s.name,
+		Start:    s.start,
+		Duration: s.end.Sub(s.start),
+	}
+	if !s.parentID.IsZero() {
+		rec.ParentID = s.parentID.String()
+	}
+	if s.nattrs > 0 {
+		rec.Attrs = make(map[string]string, s.nattrs)
+		for i := 0; i < s.nattrs; i++ {
+			rec.Attrs[s.attrs[i].k] = s.attrs[i].v
+		}
+	}
+	return rec
+}
+
+// retainedTrace is one finished (or FIFO-stored) trace in the
+// retention store.
+type retainedTrace struct {
+	key      TraceID
+	id       string // hex form, shared by every span record
+	rootName string
+	wall     time.Duration
+	pinned   bool // errored or slow-K — lives in pinnedOrder
+	elem     *list.Element
+	spans    []SpanRecord
 }
 
 // Tracer creates spans and keeps a bounded in-memory store of completed
-// ones, evicting whole traces FIFO past MaxTraces. A nil *Tracer is
-// valid and creates nothing.
+// traces. With a Policy installed (NewTailTracer / SetPolicy) it
+// tail-samples: spans buffer per trace until the trace finishes, then
+// the policy decides retention. Without one it falls back to the legacy
+// per-span FIFO store. A nil *Tracer is valid and creates nothing.
 type Tracer struct {
-	maxTraces  int
-	maxPerTr   int
-	mu         sync.Mutex
-	traces     map[string]*traceBuf
-	evictOrder *list.List // trace IDs, oldest first
-	dropped    uint64
-	evicted    uint64 // whole traces evicted FIFO past maxTraces
+	maxTraces int
+	maxPerTr  int
+
+	// clock is the injected time source (hot paths must not call the
+	// real clock directly — CI lints for it). Atomic so SetClock is
+	// race-free against concurrent span starts.
+	clock  atomic.Pointer[func() time.Time]
+	policy atomic.Pointer[Policy] // nil = legacy FIFO mode
+
+	attrDropped atomic.Uint64
+
+	mu       sync.Mutex
+	retained map[TraceID]*retainedTrace
+	// Retention order: unpinned traces evict before pinned ones, both
+	// FIFO within their class.
+	normalOrder *list.List // *retainedTrace, oldest first
+	pinnedOrder *list.List // *retainedTrace, oldest first
+
+	// Tail-sampling state (nil in FIFO mode).
+	pending            map[TraceID]*pendingTrace
+	pendHead, pendTail *pendingTrace // insertion-ordered DLL, oldest first
+	slowHeaps          map[string][]slowEntry
+	discardMemo        map[TraceID]struct{}
+	discardRing        []TraceID
+	discardIdx         int
+	spanPool           sync.Pool
+	pendPool           sync.Pool
+
+	dropped     uint64 // spans past the per-trace cap
+	evicted     uint64 // whole traces evicted past maxTraces
+	finished    uint64 // traces that reached a tail-sampling decision
+	discarded   uint64 // finished traces the policy declined to keep
+	lateDropped uint64 // spans arriving after their trace was discarded
+	pinnedErr   uint64 // traces kept because a span carried an error
+	pinnedSlow  uint64 // traces kept by the slow-K heap
 }
 
 // Tracer store defaults: enough for a full E16 run (hundreds of uploads
@@ -116,8 +333,10 @@ const (
 	DefaultMaxSpansPerTrace = 512
 )
 
-// NewTracer creates a tracer storing up to maxTraces traces of up to
-// maxSpansPerTrace spans each (<=0 selects the defaults).
+// NewTracer creates a legacy FIFO tracer storing up to maxTraces traces
+// of up to maxSpansPerTrace spans each (<=0 selects the defaults).
+// Spans record individually as they end and whole traces evict FIFO —
+// the pre-tail-sampling behavior, kept as the A arm of experiment E23.
 func NewTracer(maxTraces, maxSpansPerTrace int) *Tracer {
 	if maxTraces <= 0 {
 		maxTraces = DefaultMaxTraces
@@ -125,41 +344,44 @@ func NewTracer(maxTraces, maxSpansPerTrace int) *Tracer {
 	if maxSpansPerTrace <= 0 {
 		maxSpansPerTrace = DefaultMaxSpansPerTrace
 	}
-	return &Tracer{
-		maxTraces:  maxTraces,
-		maxPerTr:   maxSpansPerTrace,
-		traces:     make(map[string]*traceBuf),
-		evictOrder: list.New(),
+	t := &Tracer{
+		maxTraces:   maxTraces,
+		maxPerTr:    maxSpansPerTrace,
+		retained:    make(map[TraceID]*retainedTrace),
+		normalOrder: list.New(),
+		pinnedOrder: list.New(),
 	}
+	clock := time.Now
+	t.clock.Store(&clock)
+	return t
 }
 
-// newID returns n (a multiple of 8, at most 16) random bytes
-// hex-encoded. Span IDs need uniqueness, not secrecy, so the
-// runtime-sharded generator beats crypto/rand's per-call syscall on the
-// span-creation hot path; stack buffers keep it to the one string
-// allocation.
-func newID(n int) string {
-	var src [16]byte
-	for i := 0; i < n; i += 8 {
-		binary.BigEndian.PutUint64(src[i:], rand.Uint64())
+// SetClock injects the tracer's time source (tests; the pending-age
+// sweep and span timestamps all flow through it).
+func (t *Tracer) SetClock(now func() time.Time) {
+	if t == nil || now == nil {
+		return
 	}
-	var dst [32]byte
-	hex.Encode(dst[:2*n], src[:n])
-	return string(dst[:2*n])
+	t.clock.Store(&now)
 }
+
+func (t *Tracer) now() time.Time { return (*t.clock.Load())() }
 
 // StartRoot opens a new trace and returns its root span.
 func (t *Tracer) StartRoot(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return t.start(name, SpanContext{TraceID: newID(16)}, time.Now())
+	return t.start(name, SpanContext{TraceID: newTraceID()}, t.now())
 }
 
 // StartSpan opens a child span under parent. An invalid parent starts a
 // fresh root trace, so callers propagate contexts without branching.
 func (t *Tracer) StartSpan(name string, parent SpanContext) *Span {
-	return t.StartSpanAt(name, parent, time.Now())
+	if t == nil {
+		return nil
+	}
+	return t.StartSpanAt(name, parent, t.now())
 }
 
 // StartSpanAt opens a child span with an explicit start time — used for
@@ -170,76 +392,161 @@ func (t *Tracer) StartSpanAt(name string, parent SpanContext, start time.Time) *
 		return nil
 	}
 	if !parent.Valid() {
-		parent = SpanContext{TraceID: newID(16)}
+		parent = SpanContext{TraceID: newTraceID()}
 	}
 	return t.start(name, parent, start)
 }
 
 func (t *Tracer) start(name string, parent SpanContext, start time.Time) *Span {
-	return &Span{tracer: t, rec: SpanRecord{
-		TraceID:  parent.TraceID,
-		SpanID:   newID(8),
-		ParentID: parent.SpanID,
-		Name:     name,
-		Start:    start,
-	}}
+	var s *Span
+	if t.policy.Load() != nil {
+		s = t.spanPool.Get().(*Span)
+	} else {
+		// Legacy FIFO mode never pools: pre-tail callers may read
+		// Context() after End, which pooling would make unsafe.
+		s = new(Span)
+	}
+	s.tracer = t
+	s.traceID = parent.TraceID
+	s.spanID = newSpanID()
+	s.parentID = parent.SpanID
+	s.name = name
+	s.start = start
+	return s
 }
 
-// record stores a completed span, evicting the oldest trace when full.
-func (t *Tracer) record(rec SpanRecord) {
+// recycleSpan resets a span field-wise (the struct embeds a mutex, so
+// no wholesale copy) and returns it to the pool.
+func (t *Tracer) recycleSpan(s *Span) {
+	s.tracer = nil
+	s.traceID = TraceID{}
+	s.spanID = SpanID{}
+	s.parentID = SpanID{}
+	s.name = ""
+	s.start = time.Time{}
+	s.end = time.Time{}
+	for i := 0; i < s.nattrs; i++ {
+		s.attrs[i] = attrKV{}
+	}
+	s.nattrs = 0
+	s.errored = false
+	s.ended = false
+	s.next = nil
+	t.spanPool.Put(s)
+}
+
+// record stores a completed span: buffered per trace in tail mode,
+// immediately retained in FIFO mode.
+func (t *Tracer) record(s *Span) {
 	if t == nil {
 		return
 	}
+	p := t.policy.Load()
+	now := t.now()
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	buf, ok := t.traces[rec.TraceID]
+	if s.end.IsZero() {
+		s.end = now
+	}
+	if p == nil {
+		t.recordFIFOLocked(s)
+	} else {
+		t.recordTailLocked(p, s, now)
+		t.sweepLocked(p, now)
+	}
+	t.mu.Unlock()
+}
+
+// recordFIFOLocked is the legacy path: convert and append immediately,
+// evicting the oldest trace when the store is full.
+func (t *Tracer) recordFIFOLocked(s *Span) {
+	rt, ok := t.retained[s.traceID]
 	if !ok {
-		for len(t.traces) >= t.maxTraces {
-			oldest := t.evictOrder.Front()
-			if oldest == nil {
+		for len(t.retained) >= t.maxTraces {
+			if !t.evictOneLocked() {
 				break
 			}
-			t.evictOrder.Remove(oldest)
-			delete(t.traces, oldest.Value.(string))
-			t.evicted++
 		}
-		buf = &traceBuf{evictAt: t.evictOrder.PushBack(rec.TraceID)}
-		t.traces[rec.TraceID] = buf
+		rt = &retainedTrace{key: s.traceID, id: s.traceID.String(), rootName: s.name}
+		rt.elem = t.normalOrder.PushBack(rt)
+		t.retained[s.traceID] = rt
 	}
-	if len(buf.spans) >= t.maxPerTr {
+	if len(rt.spans) >= t.maxPerTr {
 		t.dropped++
 		return
 	}
-	buf.spans = append(buf.spans, rec)
+	rt.spans = append(rt.spans, s.toRecord(rt.id))
+}
+
+// evictOneLocked removes the oldest evictable trace — unpinned first,
+// pinned only when nothing else remains. Reports false on an empty
+// store.
+func (t *Tracer) evictOneLocked() bool {
+	el := t.normalOrder.Front()
+	fromPinned := false
+	if el == nil {
+		el = t.pinnedOrder.Front()
+		fromPinned = true
+	}
+	if el == nil {
+		return false
+	}
+	rt := el.Value.(*retainedTrace)
+	if fromPinned {
+		t.pinnedOrder.Remove(el)
+		t.dropSlowEntryLocked(rt.rootName, rt.key)
+	} else {
+		t.normalOrder.Remove(el)
+	}
+	delete(t.retained, rt.key)
+	t.memoDiscardLocked(rt.key)
+	t.evicted++
+	return true
 }
 
 // Trace returns the completed spans of a trace, sorted by start time
-// (nil if unknown or evicted).
+// (nil if unknown, discarded, or evicted). Pending traces — finished
+// root not yet seen — are served from their buffer so in-flight work
+// stays observable.
 func (t *Tracer) Trace(id string) []SpanRecord {
 	if t == nil {
 		return nil
 	}
+	key, ok := ParseTraceID(id)
+	if !ok {
+		return nil
+	}
 	t.mu.Lock()
-	buf, ok := t.traces[id]
 	var out []SpanRecord
-	if ok {
-		out = append([]SpanRecord(nil), buf.spans...)
+	if rt, ok := t.retained[key]; ok {
+		out = append([]SpanRecord(nil), rt.spans...)
+	} else if pt, ok := t.pending[key]; ok {
+		hexID := key.String()
+		for s := pt.head; s != nil; s = s.next {
+			out = append(out, s.toRecord(hexID))
+		}
 	}
 	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
 	return out
 }
 
-// TraceIDs lists stored trace IDs, oldest first.
+// TraceIDs lists stored trace IDs: unpinned then pinned retained traces
+// (oldest first within each class), then still-pending traces.
 func (t *Tracer) TraceIDs() []string {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]string, 0, t.evictOrder.Len())
-	for el := t.evictOrder.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(string))
+	out := make([]string, 0, len(t.retained)+len(t.pending))
+	for el := t.normalOrder.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*retainedTrace).id)
+	}
+	for el := t.pinnedOrder.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*retainedTrace).id)
+	}
+	for pt := t.pendHead; pt != nil; pt = pt.next {
+		out = append(out, pt.key.String())
 	}
 	return out
 }
@@ -255,10 +562,10 @@ func (t *Tracer) Dropped() uint64 {
 	return t.dropped
 }
 
-// EvictedTraces reports whole traces discarded FIFO because the store hit
-// its trace cap. Together with Dropped it makes trace-completeness claims
-// honest: a trace served by Trace may be missing siblings only if one of
-// these counters moved (see experiment E16).
+// EvictedTraces reports whole traces discarded because the store hit
+// its trace cap. Together with Dropped it makes trace-completeness
+// claims honest: a trace served by Trace may be missing siblings only
+// if one of these counters moved (see experiment E16).
 func (t *Tracer) EvictedTraces() uint64 {
 	if t == nil {
 		return 0
@@ -268,14 +575,15 @@ func (t *Tracer) EvictedTraces() uint64 {
 	return t.evicted
 }
 
-// StoredTraces reports how many traces the store currently holds.
+// StoredTraces reports how many traces the tracer currently holds
+// (retained plus pending).
 func (t *Tracer) StoredTraces() int {
 	if t == nil {
 		return 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.traces)
+	return len(t.retained) + len(t.pending)
 }
 
 // StageStat is the aggregate of one span name across a span set.

@@ -16,7 +16,7 @@ func TestNilTracerIsInert(t *testing.T) {
 	if sp.Context().Valid() {
 		t.Fatal("nil span context valid")
 	}
-	child := tr.StartSpan("y", SpanContext{TraceID: "t", SpanID: "s"})
+	child := tr.StartSpan("y", SpanContext{TraceID: newTraceID(), SpanID: newSpanID()})
 	if child != nil {
 		t.Fatal("nil tracer produced a child span")
 	}
@@ -39,13 +39,13 @@ func TestSpanParentLinks(t *testing.T) {
 	root.SetAttr("outcome", "ok")
 	root.End()
 
-	spans := tr.Trace(ctx.TraceID)
+	spans := tr.Trace(ctx.TraceID.String())
 	if len(spans) != 3 {
 		t.Fatalf("stored %d spans, want 3", len(spans))
 	}
 	byName := map[string]SpanRecord{}
 	for _, sp := range spans {
-		if sp.TraceID != ctx.TraceID {
+		if sp.TraceID != ctx.TraceID.String() {
 			t.Fatalf("span %s trace %s, want %s", sp.Name, sp.TraceID, ctx.TraceID)
 		}
 		byName[sp.Name] = sp
@@ -72,7 +72,7 @@ func TestStartSpanWithInvalidParentStartsRoot(t *testing.T) {
 	if !ctx.Valid() {
 		t.Fatal("orphan got no trace")
 	}
-	spans := tr.Trace(ctx.TraceID)
+	spans := tr.Trace(ctx.TraceID.String())
 	if len(spans) != 1 || spans[0].ParentID != "" {
 		t.Fatalf("orphan stored wrong: %+v", spans)
 	}
@@ -84,7 +84,7 @@ func TestTraceEvictionFIFO(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		sp := tr.StartRoot("r")
 		sp.End()
-		ids = append(ids, sp.Context().TraceID)
+		ids = append(ids, sp.Context().TraceID.String())
 	}
 	if got := tr.Trace(ids[0]); got != nil {
 		t.Fatal("oldest trace not evicted")
@@ -103,7 +103,7 @@ func TestSpanCapPerTrace(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		tr.StartSpan("s", root.Context()).End()
 	}
-	if got := len(tr.Trace(root.Context().TraceID)); got != 2 {
+	if got := len(tr.Trace(root.Context().TraceID.String())); got != 2 {
 		t.Fatalf("stored %d spans, want cap 2", got)
 	}
 	if tr.Dropped() != 2 {
@@ -116,7 +116,7 @@ func TestEndIsIdempotent(t *testing.T) {
 	sp := tr.StartRoot("once")
 	sp.End()
 	sp.End()
-	if got := len(tr.Trace(sp.Context().TraceID)); got != 1 {
+	if got := len(tr.Trace(sp.Context().TraceID.String())); got != 1 {
 		t.Fatalf("recorded %d times, want 1", got)
 	}
 }
@@ -150,16 +150,17 @@ func TestStageBreakdownSelfTime(t *testing.T) {
 func TestStartSpanAtBackdatesStart(t *testing.T) {
 	tr := NewTracer(0, 0)
 	start := time.Now().Add(-time.Second)
-	sp := tr.StartSpanAt("bus.hop", SpanContext{TraceID: "t", SpanID: "p"}, start)
+	parent := SpanContext{TraceID: newTraceID(), SpanID: newSpanID()}
+	sp := tr.StartSpanAt("bus.hop", parent, start)
 	sp.End()
-	spans := tr.Trace("t")
+	spans := tr.Trace(parent.TraceID.String())
 	if len(spans) != 1 {
 		t.Fatalf("stored %d spans", len(spans))
 	}
 	if spans[0].Duration < time.Second {
 		t.Fatalf("duration %v, want >= 1s (backdated)", spans[0].Duration)
 	}
-	if spans[0].ParentID != "p" {
+	if spans[0].ParentID != parent.SpanID.String() {
 		t.Fatal("parent link lost")
 	}
 }
