@@ -1,5 +1,5 @@
 // Command benchreport runs the full reproduction harness (experiments
-// E1–E23 from DESIGN.md) and prints each experiment's measurements and
+// E1–E24 from DESIGN.md) and prints each experiment's measurements and
 // shape verdict — the data behind EXPERIMENTS.md.
 //
 //	go run ./cmd/benchreport                      # all experiments
@@ -43,6 +43,7 @@ func main() {
 		"E21": experiments.E21MultiChannel,
 		"E22": experiments.E22SignerAgility,
 		"E23": experiments.E23TailSampling,
+		"E24": experiments.E24AdmissionControl,
 		"A1":  experiments.A1JMFSourceAblation, "A2": experiments.A2EndorsementPolicy,
 		"A3": experiments.A3CacheTierAblation,
 	}
@@ -51,7 +52,7 @@ func main() {
 	if *only != "" {
 		f, ok := runners[*only]
 		if !ok {
-			log.Fatalf("unknown experiment %q (E1..E23)", *only)
+			log.Fatalf("unknown experiment %q (E1..E24)", *only)
 		}
 		r, ok := report(*only, f)
 		if r != nil {
@@ -63,7 +64,7 @@ func main() {
 		}
 		return
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24"}
 	if *ablations {
 		order = append(order, "A1", "A2", "A3")
 	}

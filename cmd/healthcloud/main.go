@@ -49,6 +49,11 @@ func run() error {
 	replicas := flag.Int("replicas", 1, "Data Lake replication factor R (clamped to -shards)")
 	dataDir := flag.String("data-dir", "", "root directory for durable storage: lake segments + ledger WAL, replayed on restart (empty = in-memory only)")
 	sigScheme := flag.String("sig-scheme", "", "ledger endorsement signature scheme: ed25519 (default) or rsa; chains endorsed under either scheme verify regardless (algorithm-tagged envelopes)")
+	adm := flag.Bool("admission", false, "enable admission control: per-tenant token buckets (429) and queue-depth load shedding (503), both with honest Retry-After")
+	admRate := flag.Float64("admission-rate", 0, "default per-tenant admission rate in requests/sec for tenants without a metered quota (0 = 200/s)")
+	admBurst := flag.Float64("admission-burst", 0, "default per-tenant burst capacity (0 = 2x rate)")
+	shedBulk := flag.Int("shed-bulk-depth", 0, "ingest backlog above which bulk traffic (uploads, registrations) sheds (0 = 256)")
+	shedNormal := flag.Int("shed-normal-depth", 0, "deeper backlog limit for interactive traffic (0 = 4x bulk depth); critical traffic is never shed")
 	flag.Parse()
 
 	kbCfg := kb.DefaultConfig()
@@ -74,6 +79,13 @@ func run() error {
 	if *mon {
 		cfg.Monitor = true
 		cfg.MonitorInterval = *monInterval
+	}
+	if *adm {
+		cfg.Admission = true
+		cfg.AdmissionRate = *admRate
+		cfg.AdmissionBurst = *admBurst
+		cfg.ShedBulkDepth = *shedBulk
+		cfg.ShedNormalDepth = *shedNormal
 	}
 	var pprofSrv *http.Server
 	if *pprofAddr != "" {
@@ -102,8 +114,8 @@ func run() error {
 		"auditor@demo": rbac.RoleAuditor,
 	}
 	fmt.Printf("healthcloud instance %q listening on http://%s\n", *tenant, *addr)
-	fmt.Printf("components: %d | ledger: %v (batch: %v, channels: %d) | telemetry: %v | monitor: %v\n\n",
-		len(platform.Components()), *ledger, *ledgerBatch, *channels, *obs, *mon)
+	fmt.Printf("components: %d | ledger: %v (batch: %v, channels: %d) | telemetry: %v | monitor: %v | admission: %v\n\n",
+		len(platform.Components()), *ledger, *ledgerBatch, *channels, *obs, *mon, *adm)
 	fmt.Println("demo login tokens (POST each body to /api/v1/login):")
 	enc := json.NewEncoder(os.Stdout)
 	for subject, role := range users {

@@ -1,0 +1,338 @@
+// Command loadgen drives open-loop synthetic client fleets against a
+// healthcloud instance and reports offered rate vs goodput, latency
+// quantiles, and shed/rate-limit counts per phase.
+//
+// Against a live instance (get a session token from POST /api/v1/login):
+//
+//	go run ./cmd/loadgen -url http://127.0.0.1:8080 -token $SESSION \
+//	    -fleets 4 -rate 400 -curve burst -duration 30s -out report.json
+//
+// Or self-contained against an in-process platform (CI smoke):
+//
+//	go run ./cmd/loadgen -selftest
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"healthcloud/internal/core"
+	"healthcloud/internal/fhir"
+	"healthcloud/internal/hckrypto"
+	"healthcloud/internal/httpapi"
+	"healthcloud/internal/loadgen"
+	"healthcloud/internal/rbac"
+	"healthcloud/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	url := flag.String("url", "http://127.0.0.1:8080", "platform base URL")
+	token := flag.String("token", "", "bearer session token (from POST /api/v1/login)")
+	fleets := flag.Int("fleets", 4, "synthetic client fleets driven concurrently")
+	rate := flag.Float64("rate", 200, "peak offered rate per fleet, requests/sec")
+	curve := flag.String("curve", "constant", "arrival curve: constant | diurnal | burst | herd")
+	duration := flag.Duration("duration", 10*time.Second, "phase duration")
+	mix := flag.String("mix", "ingest=8,query=3,analytics=1", "workload mix as op=weight[,op=weight...]; ops: ingest, query, analytics")
+	concurrency := flag.Int("concurrency", 64, "per-fleet connection pool (in-flight cap)")
+	group := flag.String("group", "load-study", "study group uploads target (consent is granted per fleet)")
+	out := flag.String("out", "", "write the JSON report here (empty = stdout)")
+	selftest := flag.Bool("selftest", false, "run a short fixed plan against an in-process platform (ignores -url/-token)")
+	flag.Parse()
+
+	if *selftest {
+		return runSelftest(*out)
+	}
+	if *token == "" {
+		return fmt.Errorf("-token required (or use -selftest); obtain one from POST %s/api/v1/login", *url)
+	}
+	weights, err := parseMix(*mix)
+	if err != nil {
+		return err
+	}
+	phases := []loadgen.Phase{phaseFor(*curve, *rate, *duration)}
+	fls := make([]loadgen.Fleet, 0, *fleets)
+	for i := 0; i < *fleets; i++ {
+		fl, err := buildFleet(*url, *token, fmt.Sprintf("fleet-%d", i), *group,
+			phases, weights, *concurrency)
+		if err != nil {
+			return fmt.Errorf("fleet %d setup: %w", i, err)
+		}
+		fls = append(fls, fl)
+	}
+	fmt.Printf("driving %d fleet(s) x %s curve, peak %.0f req/s each, for %v\n",
+		*fleets, *curve, *rate, *duration)
+	rep := loadgen.New(loadgen.Config{}).Run(fls)
+	return emit(rep, *out)
+}
+
+// phaseFor maps a curve name + peak rate to a single named phase.
+func phaseFor(name string, rate float64, d time.Duration) loadgen.Phase {
+	switch name {
+	case "diurnal":
+		return loadgen.Phase{Name: "diurnal", Duration: d,
+			Curve: loadgen.Diurnal{Base: rate / 10, Peak: rate, Period: d}}
+	case "burst":
+		return loadgen.Phase{Name: "burst", Duration: d,
+			Curve: loadgen.Burst{Base: rate / 10, Peak: rate, Every: d / 4, Width: d / 20}}
+	case "herd":
+		return loadgen.Phase{Name: "herd", Duration: d,
+			Curve: loadgen.Herd{Outage: d / 4, Spike: rate, Base: rate / 10, Decay: d / 8}}
+	default:
+		return loadgen.Phase{Name: "constant", Duration: d, Curve: loadgen.Constant{RPS: rate}}
+	}
+}
+
+// parseMix decodes "ingest=8,query=3,analytics=1".
+func parseMix(s string) (map[string]int, error) {
+	weights := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want op=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad weight in %q", part)
+		}
+		switch name {
+		case "ingest", "query", "analytics":
+			weights[name] = w
+		default:
+			return nil, fmt.Errorf("unknown op %q (want ingest, query, or analytics)", name)
+		}
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return weights, nil
+}
+
+// buildFleet registers one device for the fleet over the API, grants
+// consent for its synthetic patient, pre-encrypts the upload payload,
+// and wires the weighted HTTP ops.
+func buildFleet(url, token, name, group string, phases []loadgen.Phase,
+	weights map[string]int, concurrency int) (loadgen.Fleet, error) {
+	cli := &http.Client{Timeout: 30 * time.Second}
+	deviceID, patientID := name+"-device", name+"-patient"
+
+	// Register the device: the platform answers with its shared key.
+	regBody, _ := json.Marshal(map[string]string{"client_id": deviceID})
+	var reg struct {
+		Key string `json:"key"`
+	}
+	if err := call(cli, token, "POST", url+"/api/v1/clients", regBody, &reg); err != nil {
+		return loadgen.Fleet{}, fmt.Errorf("registering client: %w", err)
+	}
+	key, err := base64.StdEncoding.DecodeString(reg.Key)
+	if err != nil {
+		return loadgen.Fleet{}, fmt.Errorf("decoding client key: %w", err)
+	}
+	// Consent the fleet's patient into the study group.
+	consentBody, _ := json.Marshal(map[string]string{"patient": patientID, "group": group})
+	if err := call(cli, token, "POST", url+"/api/v1/consents", consentBody, nil); err != nil {
+		return loadgen.Fleet{}, fmt.Errorf("granting consent: %w", err)
+	}
+	// One pre-encrypted bundle per fleet: the harness measures the
+	// platform, not client-side crypto.
+	bundle := fhir.NewBundle("collection")
+	if err := bundle.AddResource(&fhir.Patient{ResourceType: "Patient", ID: patientID, Gender: "other"}); err != nil {
+		return loadgen.Fleet{}, err
+	}
+	raw, err := fhir.Marshal(bundle)
+	if err != nil {
+		return loadgen.Fleet{}, err
+	}
+	encrypted, err := hckrypto.EncryptGCM(key, raw, []byte(deviceID))
+	if err != nil {
+		return loadgen.Fleet{}, err
+	}
+
+	uploadURL := url + "/api/v1/uploads?client=" + deviceID + "&group=" + group
+	ops := []loadgen.Op{
+		{Name: "ingest", Weight: weights["ingest"], Do: func() loadgen.Outcome {
+			return doHTTP(cli, token, "POST", uploadURL, encrypted)
+		}},
+		{Name: "query", Weight: weights["query"], Do: func() loadgen.Outcome {
+			return doHTTP(cli, token, "GET", url+"/api/v1/billing", nil)
+		}},
+		{Name: "analytics", Weight: weights["analytics"], Do: func() loadgen.Outcome {
+			return doHTTP(cli, token, "GET", url+"/api/v1/services/nlu", nil)
+		}},
+	}
+	return loadgen.Fleet{Name: name, Phases: phases, Ops: ops, Concurrency: concurrency}, nil
+}
+
+// doHTTP fires one request and classifies the response.
+func doHTTP(cli *http.Client, token, method, url string, body []byte) loadgen.Outcome {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		return loadgen.OutcomeError
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := cli.Do(req)
+	if err != nil {
+		return loadgen.OutcomeError
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return loadgen.FromStatus(resp.StatusCode)
+}
+
+// call is the setup-path helper: non-2xx is an error, out (when non-nil)
+// decodes the JSON body.
+func call(cli *http.Client, token, method, url string, body []byte, out any) error {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := cli.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s %s: %d %s", method, url, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// runSelftest boots an in-process platform (admission on, modest
+// capacity) behind a real HTTP listener and drives a short three-phase
+// plan — steady, burst, thundering herd — with two fleets. It is the CI
+// smoke test: end to end over real sockets, seconds of wall time.
+func runSelftest(out string) error {
+	cfg := core.Config{
+		Tenant:        "loadtest",
+		Telemetry:     telemetry.New(),
+		Admission:     true,
+		AdmissionRate: 100000, // shed on backlog, not per-tenant quota
+		ShedBulkDepth: 128,
+	}
+	platform, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer platform.Close()
+	platform.SeedDemoProviders()
+
+	idp, err := rbac.NewIdentityProvider("load-sso")
+	if err != nil {
+		return err
+	}
+	platform.RBAC.ApproveIdentityProvider("load-sso", idp.VerifyKey())
+	userID := "load-sso:driver@loadtest"
+	if err := platform.RBAC.RegisterUser("loadtest", userID); err != nil {
+		return err
+	}
+	if err := platform.RBAC.AssignRole(userID, rbac.RoleAdmin, rbac.Scope{Tenant: "loadtest"}, ""); err != nil {
+		return err
+	}
+	srv := httptest.NewServer(httpapi.New(platform))
+	defer srv.Close()
+
+	idTok, err := idp.Issue("driver@loadtest", "loadtest", time.Hour)
+	if err != nil {
+		return err
+	}
+	body, _ := json.Marshal(idTok)
+	var login struct {
+		Token string `json:"token"`
+	}
+	if err := call(&http.Client{}, "", "POST", srv.URL+"/api/v1/login", body, &login); err != nil {
+		return fmt.Errorf("login: %w", err)
+	}
+
+	phases := []loadgen.Phase{
+		{Name: "steady", Duration: time.Second, Curve: loadgen.Constant{RPS: 150}},
+		{Name: "burst", Duration: time.Second,
+			Curve: loadgen.Burst{Base: 150, Peak: 1200, Every: 400 * time.Millisecond, Width: 120 * time.Millisecond}},
+		{Name: "herd", Duration: time.Second,
+			Curve: loadgen.Herd{Outage: 250 * time.Millisecond, Spike: 1000, Base: 150, Decay: 250 * time.Millisecond}},
+	}
+	weights := map[string]int{"ingest": 8, "query": 3, "analytics": 1}
+	fls := make([]loadgen.Fleet, 2)
+	for i := range fls {
+		fls[i], err = buildFleet(srv.URL, login.Token, fmt.Sprintf("self-%d", i),
+			"smoke-study", phases, weights, 64)
+		if err != nil {
+			return fmt.Errorf("selftest fleet %d: %w", i, err)
+		}
+	}
+	eng := loadgen.New(loadgen.Config{Snapshot: func() map[string]any {
+		s := platform.Admission.Snap()
+		return map[string]any{
+			"queue_depth":  s.QueueDepth,
+			"shedding":     s.Shedding,
+			"service_rate": s.ServiceRate,
+		}
+	}})
+	fmt.Printf("selftest: 2 fleets x 3 phases (steady/burst/herd) against %s\n", srv.URL)
+	rep := eng.Run(fls)
+	if err := emit(rep, out); err != nil {
+		return err
+	}
+	// Smoke gate: the harness must have pushed real traffic through.
+	var ok, offered uint64
+	for _, ph := range []string{"steady", "burst", "herd"} {
+		tot := rep.Totals(ph)
+		ok += tot.OK
+		offered += tot.Offered
+	}
+	if offered == 0 || ok == 0 {
+		return fmt.Errorf("selftest drove no successful traffic (offered %d, ok %d)", offered, ok)
+	}
+	fmt.Printf("selftest ok: offered %d, goodput %d\n", offered, ok)
+	return nil
+}
+
+// emit writes the report as JSON to out (stdout when empty) plus a
+// human summary per fleet/phase on stdout.
+func emit(rep *loadgen.Report, out string) error {
+	for _, f := range rep.Fleets {
+		for _, ph := range f.Phases {
+			fmt.Printf("%-10s %-8s offered %6.0f/s  goodput %6.0f/s  429 %6d  503 %6d  err %4d  overflow %5d  p95 %7.1fms\n",
+				f.Fleet, ph.Phase, ph.OfferedRate, ph.GoodputRate,
+				ph.RateLimited, ph.Shed, ph.Errors, ph.Overflow, ph.P95Ms)
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		_, err = os.Stdout.Write(append(data, '\n'))
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,324 @@
+// Package admission is the platform's admission-control layer: the
+// piece that keeps heavy open-loop traffic (ROADMAP item 4) from
+// collapsing the goodput the rest of the system worked for. Closed-loop
+// clients wait for acks; real enterprise-tenant fleets (§II-B metering
+// and tenancy) arrive at a rate, and when that rate exceeds capacity the
+// only choice is *which* work to refuse and *how honestly* to say so.
+//
+// Three mechanisms compose, all O(1) on the request path:
+//
+//   - Per-tenant token buckets, refilled from metering-backed quotas
+//     (the Registration Service's tenancy contract): a tenant bursting
+//     past its purchased rate is answered 429 with the exact time its
+//     next token arrives.
+//   - Queue-depth load shedding: when the ingest backlog crosses a
+//     class's depth limit, new work of that class is answered 503 with
+//     a Retry-After computed from the *measured* drain time (queue
+//     depth ÷ observed service rate, clamped) — an honest hint, not a
+//     constant.
+//   - Priority classes: health probes and consent revocations
+//     (ClassCritical) are never shed behind bulk ingest (ClassBulk);
+//     interactive reads (ClassNormal) survive deeper backlogs than bulk
+//     writes do.
+//
+// Everything is nil-safe: a nil *Controller admits everything at zero
+// cost, so the disabled configuration is byte-identical to a platform
+// built before this package existed (same contract as telemetry and
+// faultinject).
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"healthcloud/internal/telemetry"
+)
+
+// Class is a request's priority class. Ordering matters: lower values
+// survive deeper backlogs.
+type Class int
+
+// Priority classes, from most to least protected.
+const (
+	// ClassCritical is control-plane traffic whose delay has
+	// correctness consequences: health probes, consent revocations.
+	// Critical requests are never rate limited and never shed.
+	ClassCritical Class = iota
+	// ClassNormal is interactive traffic: queries, status polls,
+	// analytics reads. Shed only when the backlog is severe.
+	ClassNormal
+	// ClassBulk is throughput traffic: ingest uploads, client
+	// registration bursts. First to shed under overload.
+	ClassBulk
+)
+
+// String returns the class's metric label.
+func (c Class) String() string {
+	switch c {
+	case ClassCritical:
+		return "critical"
+	case ClassNormal:
+		return "normal"
+	case ClassBulk:
+		return "bulk"
+	default:
+		return fmt.Sprintf("class-%d", int(c))
+	}
+}
+
+// Rejection reasons carried on decisions and metric labels.
+const (
+	ReasonRateLimit = "rate-limit" // token bucket empty → 429
+	ReasonQueueFull = "queue-full" // backlog over the class limit → 503
+)
+
+// Sentinel errors for non-HTTP callers (the enhanced-client server
+// surface); errors.Is matches them through Decision.Err.
+var (
+	ErrRateLimited = errors.New("admission: tenant over rate quota")
+	ErrShed        = errors.New("admission: shed under load")
+)
+
+// Decision is the outcome of one admission check.
+type Decision struct {
+	Allowed bool
+	// Reason is ReasonRateLimit or ReasonQueueFull when rejected.
+	Reason string
+	// RetryAfter is the honest wait hint for a rejected request: time
+	// until the tenant's next token (rate limit) or the estimated queue
+	// drain time (shed). Always >= 1s for rejected requests so clients
+	// get a usable integer header.
+	RetryAfter time.Duration
+}
+
+// RetryAfterSeconds renders the hint for a Retry-After header (>= 1).
+func (d Decision) RetryAfterSeconds() int {
+	secs := int((d.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// Err converts a rejected decision into its sentinel error (nil when
+// allowed), for callers without an HTTP status line to answer on.
+func (d Decision) Err() error {
+	switch {
+	case d.Allowed:
+		return nil
+	case d.Reason == ReasonRateLimit:
+		return fmt.Errorf("%w (retry after %v)", ErrRateLimited, d.RetryAfter)
+	default:
+		return fmt.Errorf("%w (retry after %v)", ErrShed, d.RetryAfter)
+	}
+}
+
+// QuotaFunc resolves a tenant's purchased rate: requests/sec refill and
+// burst depth. ok=false falls back to the controller's default quota.
+// The platform wires this to the metering system's quota table, so the
+// bucket a tenant drains is the one their plan paid for.
+type QuotaFunc func(tenant string) (perSec, burst float64, ok bool)
+
+// Config sizes a Controller.
+type Config struct {
+	// DefaultPerSec/DefaultBurst apply to tenants without a metered
+	// quota (defaults 200/s, 2x burst).
+	DefaultPerSec float64
+	DefaultBurst  float64
+	// Quotas, when set, overrides the default per tenant.
+	Quotas QuotaFunc
+	// Estimator provides queue depth and drain-time estimates; nil
+	// disables queue shedding (buckets still apply).
+	Estimator *DrainEstimator
+	// BulkDepth is the ingest backlog above which ClassBulk sheds
+	// (default 256). NormalDepth is the deeper limit for ClassNormal
+	// (default 4x BulkDepth). ClassCritical never sheds.
+	BulkDepth   int
+	NormalDepth int
+	// Registry wires the limiter/shed counters and gauges; nil disables
+	// metrics at zero cost.
+	Registry *telemetry.Registry
+	// Clock overrides time.Now for deterministic tests.
+	Clock func() time.Time
+}
+
+// Controller is the admission decision point. Construct with New; a nil
+// *Controller admits everything.
+type Controller struct {
+	cfg Config
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*TokenBucket
+
+	// Metric handles are resolved once at construction so Admit pays
+	// only nil checks and atomics.
+	admitted   [3]*telemetry.Counter // by class
+	rateLtd    [3]*telemetry.Counter
+	shed       [3]*telemetry.Counter
+	retryHint  *telemetry.Histogram
+	depthGauge *telemetry.Gauge
+	shedGauge  *telemetry.Gauge
+}
+
+// New builds a controller. Zero-value config fields get defaults.
+func New(cfg Config) *Controller {
+	if cfg.DefaultPerSec <= 0 {
+		cfg.DefaultPerSec = 200
+	}
+	if cfg.DefaultBurst <= 0 {
+		cfg.DefaultBurst = 2 * cfg.DefaultPerSec
+	}
+	if cfg.BulkDepth <= 0 {
+		cfg.BulkDepth = 256
+	}
+	if cfg.NormalDepth <= 0 {
+		cfg.NormalDepth = 4 * cfg.BulkDepth
+	}
+	if cfg.NormalDepth < cfg.BulkDepth {
+		cfg.NormalDepth = cfg.BulkDepth
+	}
+	c := &Controller{cfg: cfg, now: cfg.Clock, buckets: make(map[string]*TokenBucket)}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if reg := cfg.Registry; reg != nil {
+		for _, class := range []Class{ClassCritical, ClassNormal, ClassBulk} {
+			c.admitted[class] = reg.Counter(fmt.Sprintf("admission_admitted_total{class=%q}", class))
+			c.rateLtd[class] = reg.Counter(fmt.Sprintf("admission_rejected_total{class=%q,reason=%q}", class, ReasonRateLimit))
+			c.shed[class] = reg.Counter(fmt.Sprintf("admission_rejected_total{class=%q,reason=%q}", class, ReasonQueueFull))
+		}
+		c.retryHint = reg.Histogram("admission_retry_after_seconds")
+		c.depthGauge = reg.Gauge("admission_queue_depth")
+		c.shedGauge = reg.Gauge("admission_shedding")
+	}
+	return c
+}
+
+// bucket returns the tenant's token bucket, creating it from the
+// metered quota (or the default) on first use and refreshing its rate
+// when the quota table changed since.
+func (c *Controller) bucket(tenant string) *TokenBucket {
+	perSec, burst := c.cfg.DefaultPerSec, c.cfg.DefaultBurst
+	if c.cfg.Quotas != nil {
+		if r, b, ok := c.cfg.Quotas(tenant); ok && r > 0 {
+			perSec = r
+			if b > 0 {
+				burst = b
+			} else {
+				burst = 2 * r
+			}
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.buckets[tenant]
+	if !ok {
+		b = NewTokenBucket(perSec, burst, c.now)
+		c.buckets[tenant] = b
+		return b
+	}
+	// Quota updates (a plan change mid-flight) take effect on the next
+	// admission, not the next restart.
+	b.SetRate(perSec, burst)
+	return b
+}
+
+// Admit decides one request. A nil controller admits everything — the
+// disabled configuration stays byte-identical.
+func (c *Controller) Admit(tenant string, class Class) Decision {
+	if c == nil {
+		return Decision{Allowed: true}
+	}
+	if class != ClassCritical {
+		// Per-tenant rate first: fairness between tenants is decided
+		// before the shared queue is considered.
+		if ok, wait := c.bucket(tenant).Take(1); !ok {
+			d := Decision{Reason: ReasonRateLimit, RetryAfter: clampRetry(wait)}
+			if ctr := c.rateLtd[class]; ctr != nil {
+				ctr.Inc()
+				c.retryHint.Observe(d.RetryAfter)
+			}
+			return d
+		}
+		if est := c.cfg.Estimator; est != nil {
+			limit := c.cfg.NormalDepth
+			if class == ClassBulk {
+				limit = c.cfg.BulkDepth
+			}
+			if depth := est.Depth(); depth >= limit {
+				d := Decision{Reason: ReasonQueueFull, RetryAfter: clampRetry(est.DrainTime())}
+				if ctr := c.shed[class]; ctr != nil {
+					ctr.Inc()
+					c.retryHint.Observe(d.RetryAfter)
+				}
+				return d
+			}
+		}
+	}
+	if ctr := c.admitted[class]; ctr != nil {
+		ctr.Inc()
+	}
+	return Decision{Allowed: true}
+}
+
+// maxRetryAfter caps the hint: past this the estimate says more about
+// the estimator than about the queue, and clients should re-probe.
+const maxRetryAfter = 30 * time.Second
+
+// clampRetry bounds a wait hint into [1s, maxRetryAfter]: honest but
+// always actionable as an integer Retry-After header.
+func clampRetry(d time.Duration) time.Duration {
+	if d < time.Second {
+		return time.Second
+	}
+	if d > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return d
+}
+
+// Snapshot is the controller's live state for probes and status pages.
+type Snapshot struct {
+	QueueDepth  int     `json:"queue_depth"`
+	BulkDepth   int     `json:"bulk_depth_limit"`
+	NormalDepth int     `json:"normal_depth_limit"`
+	ServiceRate float64 `json:"service_rate_per_sec"`
+	Shedding    bool    `json:"shedding"` // bulk class currently over its limit
+	Tenants     int     `json:"tenants"`  // buckets instantiated
+}
+
+// Snap reports the controller's current view (zero value on nil).
+func (c *Controller) Snap() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{BulkDepth: c.cfg.BulkDepth, NormalDepth: c.cfg.NormalDepth}
+	if est := c.cfg.Estimator; est != nil {
+		s.QueueDepth = est.Depth()
+		s.ServiceRate = est.ServiceRate()
+		s.Shedding = s.QueueDepth >= s.BulkDepth
+	}
+	c.mu.Lock()
+	s.Tenants = len(c.buckets)
+	c.mu.Unlock()
+	return s
+}
+
+// Collect copies pull-style values into gauges — wired as a monitor
+// collector so /metrics and the history ring see queue depth and shed
+// state without per-request cost. Nil-safe.
+func (c *Controller) Collect() {
+	if c == nil || c.depthGauge == nil {
+		return
+	}
+	s := c.Snap()
+	c.depthGauge.Set(int64(s.QueueDepth))
+	var shedding int64
+	if s.Shedding {
+		shedding = 1
+	}
+	c.shedGauge.Set(shedding)
+}

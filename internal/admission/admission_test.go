@@ -1,0 +1,318 @@
+package admission
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"healthcloud/internal/telemetry"
+)
+
+// fakeClock is a manually advanced clock shared by a test's bucket,
+// estimator and controller so every timing assertion is deterministic.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *fakeClock { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestTokenBucketTakeAndRefill(t *testing.T) {
+	clk := newClock()
+	b := NewTokenBucket(10, 5, clk.Now) // 10/s refill, 5 burst
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.Take(1); !ok {
+			t.Fatalf("take %d of burst rejected", i)
+		}
+	}
+	ok, wait := b.Take(1)
+	if ok {
+		t.Fatal("empty bucket granted a token")
+	}
+	// 10/s refill: one token arrives in 100ms, and the hint says so.
+	if want := 100 * time.Millisecond; wait != want {
+		t.Fatalf("retry hint = %v, want %v", wait, want)
+	}
+	clk.Advance(100 * time.Millisecond)
+	if ok, _ := b.Take(1); !ok {
+		t.Fatal("token not refilled after the hinted wait")
+	}
+	// Refill caps at burst no matter how long the idle gap.
+	clk.Advance(time.Hour)
+	if got := b.Tokens(); got != 5 {
+		t.Fatalf("tokens after long idle = %v, want burst 5", got)
+	}
+}
+
+func TestTokenBucketSetRate(t *testing.T) {
+	clk := newClock()
+	b := NewTokenBucket(1, 10, clk.Now)
+	b.Take(10) // drain
+	clk.Advance(2 * time.Second)
+	b.SetRate(100, 4) // plan change: faster refill, smaller burst
+	// The 2s under the old 1/s rate refilled 2 tokens; burst clamp to 4
+	// can't manufacture more than were earned.
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("tokens after rate change = %v, want 2", got)
+	}
+	clk.Advance(time.Second)
+	if got := b.Tokens(); got != 4 {
+		t.Fatalf("tokens under new rate = %v, want burst-capped 4", got)
+	}
+}
+
+func TestDrainEstimatorTracksServiceRate(t *testing.T) {
+	clk := newClock()
+	var depth int
+	var completed uint64
+	e := NewDrainEstimator(func() int { return depth }, func() uint64 { return completed }, clk.Now)
+
+	if got := e.ServiceRate(); got != 0 {
+		t.Fatalf("cold-start rate = %v, want 0", got)
+	}
+	if got := e.RetryAfterSeconds(); got != 1 {
+		t.Fatalf("cold-start retry hint = %d, want the 1s floor", got)
+	}
+	// 100 completions over 1s → 100/s.
+	completed, depth = 100, 200
+	clk.Advance(time.Second)
+	if got := e.ServiceRate(); got != 100 {
+		t.Fatalf("first-interval rate = %v, want 100", got)
+	}
+	// 200 backlog at 100/s drains in 2s.
+	if got := e.DrainTime(); got != 2*time.Second {
+		t.Fatalf("drain time = %v, want 2s", got)
+	}
+	if got := e.RetryAfterSeconds(); got != 2 {
+		t.Fatalf("retry hint = %d, want 2", got)
+	}
+	// A huge backlog clamps at the 30s ceiling.
+	depth = 1 << 20
+	if got := e.RetryAfterSeconds(); got != 30 {
+		t.Fatalf("clamped hint = %d, want 30", got)
+	}
+	// Sub-interval calls reuse the estimate instead of thrashing it.
+	clk.Advance(10 * time.Millisecond)
+	if got := e.ServiceRate(); got != 100 {
+		t.Fatalf("rate resampled below min interval: %v", got)
+	}
+	// The EWMA moves toward a sustained change without jumping to it.
+	clk.Advance(time.Second)
+	completed += 300 // 300/s instant against a 100/s estimate
+	got := e.ServiceRate()
+	if got <= 100 || got >= 300 {
+		t.Fatalf("EWMA after rate shift = %v, want between 100 and 300", got)
+	}
+}
+
+// controllerFixture wires a controller over a manual clock, a mutable
+// queue depth, and a completion counter that models a steady 100/s
+// service rate when advanced.
+type controllerFixture struct {
+	clk       *fakeClock
+	depth     int
+	completed uint64
+	reg       *telemetry.Registry
+	ctrl      *Controller
+}
+
+func newController(t *testing.T, mutate func(*Config)) *controllerFixture {
+	t.Helper()
+	f := &controllerFixture{clk: newClock(), reg: telemetry.NewRegistry()}
+	cfg := Config{
+		DefaultPerSec: 10, DefaultBurst: 5,
+		BulkDepth: 10, NormalDepth: 40,
+		Registry: f.reg, Clock: f.clk.Now,
+		Estimator: NewDrainEstimator(func() int { return f.depth },
+			func() uint64 { return f.completed }, f.clk.Now),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	f.ctrl = New(cfg)
+	return f
+}
+
+// observeRate teaches the estimator a 100/s service rate.
+func (f *controllerFixture) observeRate() {
+	f.clk.Advance(time.Second)
+	f.completed += 100
+	f.ctrl.cfg.Estimator.ServiceRate()
+}
+
+func TestControllerRateLimitsPerTenant(t *testing.T) {
+	f := newController(t, nil)
+	for i := 0; i < 5; i++ {
+		if d := f.ctrl.Admit("tenant-a", ClassBulk); !d.Allowed {
+			t.Fatalf("burst request %d rejected: %+v", i, d)
+		}
+	}
+	d := f.ctrl.Admit("tenant-a", ClassBulk)
+	if d.Allowed || d.Reason != ReasonRateLimit {
+		t.Fatalf("over-quota decision = %+v, want rate-limit rejection", d)
+	}
+	if d.RetryAfterSeconds() < 1 {
+		t.Fatalf("retry hint %d below the 1s floor", d.RetryAfterSeconds())
+	}
+	if !errors.Is(d.Err(), ErrRateLimited) {
+		t.Fatalf("Err() = %v, want ErrRateLimited", d.Err())
+	}
+	// Tenant isolation: another tenant's bucket is untouched.
+	if d := f.ctrl.Admit("tenant-b", ClassBulk); !d.Allowed {
+		t.Fatalf("tenant-b caught tenant-a's limit: %+v", d)
+	}
+	// Tokens return with time.
+	f.clk.Advance(time.Second)
+	if d := f.ctrl.Admit("tenant-a", ClassBulk); !d.Allowed {
+		t.Fatalf("tenant-a still limited after refill window: %+v", d)
+	}
+}
+
+func TestControllerQuotaFuncOverridesDefault(t *testing.T) {
+	f := newController(t, func(c *Config) {
+		c.Quotas = func(tenant string) (float64, float64, bool) {
+			if tenant == "gold" {
+				return 1000, 2000, true
+			}
+			return 0, 0, false
+		}
+	})
+	// Gold tenant: the metered quota's 2000 burst absorbs far more than
+	// the 5-token default.
+	for i := 0; i < 100; i++ {
+		if d := f.ctrl.Admit("gold", ClassBulk); !d.Allowed {
+			t.Fatalf("gold request %d rejected under metered quota: %+v", i, d)
+		}
+	}
+	// Unknown tenant: default quota (burst 5) still applies.
+	for i := 0; i < 5; i++ {
+		f.ctrl.Admit("free", ClassBulk)
+	}
+	if d := f.ctrl.Admit("free", ClassBulk); d.Allowed {
+		t.Fatal("default quota not enforced for unmetered tenant")
+	}
+}
+
+func TestControllerShedsByClassDepth(t *testing.T) {
+	f := newController(t, func(c *Config) {
+		c.DefaultPerSec, c.DefaultBurst = 1e6, 1e6 // bucket out of the way
+	})
+	f.observeRate()
+
+	f.depth = 9 // below every limit
+	for _, class := range []Class{ClassCritical, ClassNormal, ClassBulk} {
+		if d := f.ctrl.Admit("t", class); !d.Allowed {
+			t.Fatalf("%s shed below limits: %+v", class, d)
+		}
+	}
+	f.depth = 10 // at the bulk limit
+	if d := f.ctrl.Admit("t", ClassBulk); d.Allowed {
+		t.Fatal("bulk admitted at its depth limit")
+	} else {
+		if d.Reason != ReasonQueueFull {
+			t.Fatalf("reason = %q, want queue-full", d.Reason)
+		}
+		if !errors.Is(d.Err(), ErrShed) {
+			t.Fatalf("Err() = %v, want ErrShed", d.Err())
+		}
+	}
+	if d := f.ctrl.Admit("t", ClassNormal); !d.Allowed {
+		t.Fatalf("normal shed at the bulk limit: %+v", d)
+	}
+	f.depth = 40 // at the normal limit
+	if d := f.ctrl.Admit("t", ClassNormal); d.Allowed {
+		t.Fatal("normal admitted at its depth limit")
+	}
+	// Critical is never shed, no matter the backlog.
+	f.depth = 1 << 20
+	if d := f.ctrl.Admit("t", ClassCritical); !d.Allowed {
+		t.Fatalf("critical shed at depth %d: %+v", f.depth, d)
+	}
+}
+
+func TestShedRetryAfterIsDrainEstimate(t *testing.T) {
+	f := newController(t, func(c *Config) {
+		c.DefaultPerSec, c.DefaultBurst = 1e6, 1e6
+	})
+	f.observeRate() // 100/s
+	f.depth = 500   // 5s drain at 100/s
+	d := f.ctrl.Admit("t", ClassBulk)
+	if d.Allowed {
+		t.Fatal("expected shed")
+	}
+	if d.RetryAfterSeconds() != 5 {
+		t.Fatalf("retry hint = %ds, want the 5s drain estimate", d.RetryAfterSeconds())
+	}
+}
+
+func TestControllerMetrics(t *testing.T) {
+	f := newController(t, nil)
+	f.observeRate()
+	for i := 0; i < 7; i++ {
+		f.ctrl.Admit("t", ClassBulk) // 5 admitted, 2 rate-limited
+	}
+	f.depth = 10
+	f.clk.Advance(time.Second) // refill one bucket's worth
+	f.ctrl.Admit("t", ClassBulk)
+	f.ctrl.Collect()
+
+	var buf strings.Builder
+	if err := f.reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`admission_admitted_total{class="bulk"} 5`,
+		`admission_rejected_total{class="bulk",reason="rate-limit"} 2`,
+		`admission_rejected_total{class="bulk",reason="queue-full"} 1`,
+		`admission_queue_depth 10`,
+		`admission_shedding 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestNilControllerAdmitsEverything(t *testing.T) {
+	var c *Controller
+	if d := c.Admit("anyone", ClassBulk); !d.Allowed {
+		t.Fatal("nil controller rejected a request")
+	}
+	if s := c.Snap(); s.QueueDepth != 0 || s.Shedding {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	c.Collect() // must not panic
+	var e *DrainEstimator
+	if e.Depth() != 0 || e.DrainTime() != 0 || e.RetryAfterSeconds() != 1 {
+		t.Fatal("nil estimator not inert")
+	}
+}
+
+func TestDecisionRetryAfterSecondsRoundsUp(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want int
+	}{
+		{0, 1}, {time.Second, 1}, {1500 * time.Millisecond, 2}, {2 * time.Second, 2},
+	}
+	for _, c := range cases {
+		if got := (Decision{RetryAfter: c.in}).RetryAfterSeconds(); got != c.want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package admission
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// DrainEstimator answers the question an overloaded server owes its
+// clients: "when is it worth coming back?" It watches the ingest
+// backlog (a live depth gauge) and the pipeline's completion counter,
+// and keeps an exponentially weighted service-rate estimate sampled on
+// demand — no goroutine, no timer; callers pay one mutex and a handful
+// of float ops, and only when at least minSample has elapsed since the
+// last sample.
+//
+// DrainTime = depth ÷ rate is the same estimate the shedding path and
+// the transient-failure path share, replacing the hard-coded
+// "Retry-After: 1" the HTTP layer used to answer.
+type DrainEstimator struct {
+	depth       func() int    // live backlog (nil = 0)
+	completions func() uint64 // monotonic completed-work counter (nil = rate unknown)
+	now         func() time.Time
+
+	mu        sync.Mutex
+	lastAt    time.Time
+	lastCount uint64
+	ewma      float64 // completions per second
+	primed    bool
+}
+
+// Service-rate sampling constants: sample at most every minSample so
+// hot paths cannot thrash the estimate with sub-millisecond deltas, and
+// smooth over tau so one slow fsync doesn't whipsaw the hint.
+const (
+	estimatorMinSample = 100 * time.Millisecond
+	estimatorTau       = 2 * time.Second
+)
+
+// NewDrainEstimator builds an estimator over a live depth source and a
+// monotonic completion counter. clock overrides time.Now (nil = wall).
+func NewDrainEstimator(depth func() int, completions func() uint64, clock func() time.Time) *DrainEstimator {
+	if clock == nil {
+		clock = time.Now
+	}
+	e := &DrainEstimator{depth: depth, completions: completions, now: clock}
+	e.lastAt = clock()
+	if completions != nil {
+		e.lastCount = completions()
+	}
+	return e
+}
+
+// Depth reports the current backlog.
+func (e *DrainEstimator) Depth() int {
+	if e == nil || e.depth == nil {
+		return 0
+	}
+	return e.depth()
+}
+
+// ServiceRate returns the smoothed completions/sec estimate, sampling
+// the counter if enough time has passed. Zero until the first
+// completion interval has been observed.
+func (e *DrainEstimator) ServiceRate() float64 {
+	if e == nil || e.completions == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	elapsed := now.Sub(e.lastAt)
+	if elapsed < estimatorMinSample {
+		return e.ewma
+	}
+	count := e.completions()
+	inst := float64(count-e.lastCount) / elapsed.Seconds()
+	e.lastAt, e.lastCount = now, count
+	if !e.primed {
+		// First observed interval seeds the estimate outright.
+		e.ewma = inst
+		e.primed = inst > 0
+		return e.ewma
+	}
+	alpha := 1 - math.Exp(-elapsed.Seconds()/estimatorTau.Seconds())
+	e.ewma += alpha * (inst - e.ewma)
+	return e.ewma
+}
+
+// DrainTime estimates how long the current backlog needs to drain at
+// the observed service rate. With no rate observed yet (cold start, or
+// a fully wedged pipeline) it returns 0 and the caller's clamp turns
+// that into the 1s floor — exactly the old static hint, degrading
+// gracefully instead of guessing.
+func (e *DrainEstimator) DrainTime() time.Duration {
+	if e == nil {
+		return 0
+	}
+	depth := e.Depth()
+	rate := e.ServiceRate()
+	if depth <= 0 || rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(depth) / rate * float64(time.Second))
+}
+
+// RetryAfterSeconds renders the drain estimate as an integer header
+// value, clamped into [1, 30] — the shared honest hint.
+func (e *DrainEstimator) RetryAfterSeconds() int {
+	return Decision{RetryAfter: clampRetry(e.DrainTime())}.RetryAfterSeconds()
+}

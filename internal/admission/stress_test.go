@@ -1,0 +1,172 @@
+package admission
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"healthcloud/internal/telemetry"
+)
+
+// TestAdmissionStress hammers one controller from 16 goroutines across
+// a handful of tenants while the backlog depth and completion counter
+// move underneath it — the shape CI runs 3x under -race. The assertions
+// are conservation laws, not timing: every Admit lands in exactly one
+// outcome bucket, and critical traffic is never refused.
+func TestAdmissionStress(t *testing.T) {
+	const (
+		workers   = 16
+		perWorker = 2000
+	)
+	var depth atomic.Int64
+	var completed atomic.Uint64
+	reg := telemetry.NewRegistry()
+	ctrl := New(Config{
+		DefaultPerSec: 500, DefaultBurst: 1000,
+		BulkDepth: 64, NormalDepth: 256,
+		Registry: reg,
+		Estimator: NewDrainEstimator(
+			func() int { return int(depth.Load()) },
+			func() uint64 { return completed.Load() },
+			nil),
+		Quotas: func(tenant string) (float64, float64, bool) {
+			if tenant == "tenant-0" {
+				return 50, 100, true // one deliberately tight quota
+			}
+			return 0, 0, false
+		},
+	})
+
+	var admitted, limited, shedCount, criticalDenied atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", w%4)
+			for i := 0; i < perWorker; i++ {
+				class := Class(i % 3)
+				d := ctrl.Admit(tenant, class)
+				switch {
+				case d.Allowed:
+					admitted.Add(1)
+				case d.Reason == ReasonRateLimit:
+					limited.Add(1)
+				case d.Reason == ReasonQueueFull:
+					shedCount.Add(1)
+				default:
+					t.Errorf("decision with no outcome: %+v", d)
+				}
+				if class == ClassCritical && !d.Allowed {
+					criticalDenied.Add(1)
+				}
+				if !d.Allowed {
+					if ra := d.RetryAfterSeconds(); ra < 1 || ra > 30 {
+						t.Errorf("retry-after %ds outside [1,30]", ra)
+					}
+				}
+				// Move the world: backlog oscillates across both shed
+				// thresholds, service keeps completing work, and one
+				// worker keeps perturbing the snapshot/collector paths.
+				depth.Store(int64((i * 7) % 512))
+				completed.Add(1)
+				if w == 0 && i%64 == 0 {
+					ctrl.Collect()
+					_ = ctrl.Snap()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := admitted.Load() + limited.Load() + shedCount.Load()
+	if want := uint64(workers * perWorker); total != want {
+		t.Fatalf("outcome conservation broken: %d accounted, want %d", total, want)
+	}
+	if criticalDenied.Load() != 0 {
+		t.Fatalf("%d critical requests denied under contention", criticalDenied.Load())
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("nothing admitted — controller wedged")
+	}
+	if s := ctrl.Snap(); s.Tenants != 4 {
+		t.Fatalf("tenant buckets = %d, want 4", s.Tenants)
+	}
+}
+
+// TestTokenBucketStress races Take against concurrent SetRate quota
+// swings and checks the bucket never over-grants: with total refill
+// bounded above by maxRate*elapsed + maxBurst, grants must stay under
+// that budget.
+func TestTokenBucketStress(t *testing.T) {
+	const (
+		workers  = 16
+		duration = 100 * time.Millisecond
+		maxRate  = 1000.0
+		maxBurst = 200.0
+	)
+	b := NewTokenBucket(maxRate, maxBurst, nil)
+	start := time.Now()
+	deadline := start.Add(duration)
+	var grants atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				if w == 0 && i%100 == 0 {
+					// Oscillate the quota, never above the accounting cap.
+					b.SetRate(maxRate/float64(1+i%4), maxBurst/float64(1+i%2))
+				}
+				if ok, _ := b.Take(1); ok {
+					grants.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	budget := maxRate*elapsed + maxBurst + 1
+	if g := float64(grants.Load()); g > budget {
+		t.Fatalf("over-grant: %v tokens granted, budget %v over %vs", g, budget, elapsed)
+	}
+}
+
+// TestDrainEstimatorStress races ServiceRate/DrainTime readers against
+// a moving counter; the estimate must stay finite and non-negative.
+func TestDrainEstimatorStress(t *testing.T) {
+	var depth atomic.Int64
+	var completed atomic.Uint64
+	e := NewDrainEstimator(
+		func() int { return int(depth.Load()) },
+		func() uint64 { return completed.Load() },
+		nil)
+	deadline := time.Now().Add(100 * time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				completed.Add(3)
+				depth.Add(1)
+				if r := e.ServiceRate(); r < 0 {
+					t.Errorf("negative service rate %v", r)
+					return
+				}
+				if d := e.DrainTime(); d < 0 {
+					t.Errorf("negative drain time %v", d)
+					return
+				}
+				if ra := e.RetryAfterSeconds(); ra < 1 || ra > 30 {
+					t.Errorf("retry hint %d outside [1,30]", ra)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"healthcloud/internal/admission"
 	"healthcloud/internal/analytics"
 	"healthcloud/internal/anonymize"
 	"healthcloud/internal/attest"
@@ -133,6 +134,24 @@ type Config struct {
 	// TraceSlowK overrides how many of the slowest traces per root
 	// span name stay pinned in the trace store (0 = policy default).
 	TraceSlowK int
+	// Admission enables the admission-control layer: per-tenant token
+	// buckets refilled from metering quotas, queue-depth load shedding
+	// with honest Retry-After, and priority classes (experiment E24).
+	// Off by default: a disabled platform is byte-identical to one built
+	// before the subsystem existed (the controller is nil and every
+	// surface admits unconditionally).
+	Admission bool
+	// AdmissionRate/AdmissionBurst are the default per-tenant quota for
+	// tenants without a metered one (defaults 200/s, 2x burst).
+	AdmissionRate  float64
+	AdmissionBurst float64
+	// ShedBulkDepth is the ingest backlog above which bulk traffic
+	// (uploads, registrations) sheds with 503 + Retry-After (default
+	// 256); ShedNormalDepth is the deeper limit for interactive traffic
+	// (default 4x). Critical traffic (health probes, consent revocations)
+	// is never shed.
+	ShedBulkDepth   int
+	ShedNormalDepth int
 	// Monitor enables the self-monitoring layer: a metrics history ring
 	// sampled from Telemetry, SLO evaluation with error budgets,
 	// dependency-aware health probes behind /readyz and /statusz, and a
@@ -196,6 +215,13 @@ type Platform struct {
 	// Meter records per-tenant service usage for billing (§II-B
 	// Registration Service: "metering and billing of various services").
 	Meter *metering.Meter
+	// DrainEst watches the ingest backlog and completion rate; it backs
+	// the honest Retry-After on transient upload failures and the
+	// admission layer's shed hints. Always present (passive until read).
+	DrainEst *admission.DrainEstimator
+	// Admission is the admission controller (nil unless Config.Admission;
+	// nil admits everything).
+	Admission *admission.Controller
 	// Telemetry is the instance's observability subsystem (nil when
 	// disabled); httpapi serves it at /metrics and /traces/{id}.
 	Telemetry *telemetry.Telemetry
@@ -423,6 +449,26 @@ func New(cfg Config) (*Platform, error) {
 	p.Services.SetTelemetry(reg)
 	p.Meter = metering.NewMeter(metering.DefaultRates())
 
+	// The drain estimator is always wired: it is passive (sampled only
+	// when read) and the HTTP layer's transient-failure Retry-After uses
+	// it whether or not admission control is on.
+	p.DrainEst = admission.NewDrainEstimator(p.Ingest.QueueDepth, p.Ingest.Completed, nil)
+	if cfg.Admission {
+		meter := p.Meter
+		p.Admission = admission.New(admission.Config{
+			DefaultPerSec: cfg.AdmissionRate,
+			DefaultBurst:  cfg.AdmissionBurst,
+			Quotas: func(tenant string) (float64, float64, bool) {
+				q, ok := meter.QuotaFor(tenant)
+				return q.PerSec, q.Burst, ok
+			},
+			Estimator:   p.DrainEst,
+			BulkDepth:   cfg.ShedBulkDepth,
+			NormalDepth: cfg.ShedNormalDepth,
+			Registry:    reg,
+		})
+	}
+
 	p.KB = cfg.KBDataset
 	if p.KB == nil {
 		if p.KB, err = kb.Generate(kb.DefaultConfig()); err != nil {
@@ -557,6 +603,20 @@ func (p *Platform) wireMonitor(cfg Config, reg *telemetry.Registry, tracer *tele
 		}
 		return monitor.Healthy(detail)
 	})
+	if p.Admission != nil {
+		// Shedding is the platform doing its job, not an outage: the
+		// probe degrades (visible on /statusz, still ready) while bulk
+		// traffic is being refused, and recovers when the backlog drains.
+		prober.AddCheck("admission", func() monitor.Health {
+			s := p.Admission.Snap()
+			detail := fmt.Sprintf("depth %d/%d bulk limit, %.0f/s service, %d tenant bucket(s)",
+				s.QueueDepth, s.BulkDepth, s.ServiceRate, s.Tenants)
+			if s.Shedding {
+				return monitor.Degraded("shedding bulk traffic: " + detail)
+			}
+			return monitor.Healthy(detail)
+		})
+	}
 	// The KB probe goes straight to the remote, not through the
 	// resilient client: probes must not trip the production breaker,
 	// and recovery must be visible the moment the dependency heals.
@@ -741,6 +801,9 @@ func (p *Platform) wireMonitor(cfg Config, reg *telemetry.Registry, tracer *tele
 	if p.ShardLake != nil {
 		collectors = append(collectors, p.ShardLake.Collect)
 	}
+	if p.Admission != nil {
+		collectors = append(collectors, p.Admission.Collect)
+	}
 
 	wd := monitor.NewWatchdog(monitor.WatchdogConfig{
 		History: hist, Evaluator: eval, Prober: prober,
@@ -870,6 +933,12 @@ type clientServer struct{ p *Platform }
 var _ client.Server = (*clientServer)(nil)
 
 func (s *clientServer) Upload(clientID, group string, encrypted []byte) (string, error) {
+	// Uploads are bulk-class: first to be refused when the tenant is over
+	// quota or the ingest backlog crosses the shed line. A nil controller
+	// (admission off) admits unconditionally.
+	if d := s.p.Admission.Admit(s.p.cfg.Tenant, admission.ClassBulk); !d.Allowed {
+		return "", d.Err()
+	}
 	id, err := s.p.Ingest.Upload(clientID, group, encrypted)
 	if err == nil {
 		s.p.Meter.Record(s.p.cfg.Tenant, "ingest", 1, time.Now())

@@ -482,3 +482,43 @@ func TestE21MultiChannel(t *testing.T) {
 		t.Errorf("shape: %s", r.Shape)
 	}
 }
+
+// TestE24AdmissionControl pins the admission acceptance criteria: under
+// open-loop load at 10x the measured knee the admission layer holds
+// goodput at >= 80% of the knee while shedding with honest Retry-After
+// hints, the backlog stays near the shed depth, and no request below
+// the knee is ever refused. The unprotected arm must show the failure
+// mode: a backlog several times the shed line.
+func TestE24AdmissionControl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("admission benchmark skipped in -short mode")
+	}
+	r, err := E24AdmissionControl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]float64{}
+	for _, row := range r.Rows {
+		rows[row.Label] = row.Value
+	}
+	knee := rows["measured knee (admission off, drain rate)"]
+	if knee < 100 {
+		t.Fatalf("measured knee = %.0f/s — capacity model off or host overloaded", knee)
+	}
+	if got := rows["below knee: shed"]; got != 0 {
+		t.Errorf("sheds below the knee = %.0f, want 0", got)
+	}
+	if got := rows["10x overload: goodput vs knee"]; got < 80 {
+		t.Errorf("overload goodput = %.0f%% of knee, want >= 80%%", got)
+	}
+	if got := rows["10x overload: shed (503 + Retry-After)"]; got == 0 {
+		t.Error("overload produced no sheds — open loop not overdriving the knee")
+	}
+	if got := rows["no admission: backlog at phase end"]; got < 5*rows["10x overload: backlog at phase end"] {
+		t.Errorf("unprotected backlog %.0f not well above protected %.0f",
+			got, rows["10x overload: backlog at phase end"])
+	}
+	if !strings.HasPrefix(r.Shape, "HOLDS") {
+		t.Errorf("shape: %s", r.Shape)
+	}
+}

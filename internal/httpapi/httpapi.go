@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"healthcloud/internal/admission"
 	"healthcloud/internal/audit"
 	"healthcloud/internal/consent"
 	"healthcloud/internal/core"
@@ -64,17 +65,23 @@ func New(p *core.Platform, opts ...Option) *Server {
 	}
 	s.mux.HandleFunc("POST /api/v1/login", s.handleLogin)
 	s.mux.HandleFunc("GET /api/v1/healthz", s.handleHealth)
-	s.mux.HandleFunc("POST /api/v1/clients", s.guard("ingest", rbac.ActionWrite, s.handleRegisterClient))
-	s.mux.HandleFunc("POST /api/v1/uploads", s.guard("ingest", rbac.ActionWrite, s.handleUpload))
-	s.mux.HandleFunc("GET /api/v1/uploads/{id}", s.guard("ingest", rbac.ActionWrite, s.handleUploadStatus))
-	s.mux.HandleFunc("GET /api/v1/kb/{key}", s.guard("services", rbac.ActionRead, s.handleKB))
-	s.mux.HandleFunc("GET /api/v1/models/{name}", s.guard("models", rbac.ActionRead, s.handleModel))
-	s.mux.HandleFunc("GET /api/v1/exports/anonymized", s.guard("exports", rbac.ActionRead, s.handleExportAnonymized))
-	s.mux.HandleFunc("GET /api/v1/audit", s.guard("logs", rbac.ActionRead, s.handleAudit))
-	s.mux.HandleFunc("POST /api/v1/consents", s.guard("phi", rbac.ActionWrite, s.handleGrantConsent))
-	s.mux.HandleFunc("GET /api/v1/services/{capability}", s.guard("services", rbac.ActionRead, s.handleServices))
-	s.mux.HandleFunc("GET /api/v1/facts", s.guard("services", rbac.ActionRead, s.handleFacts))
-	s.mux.HandleFunc("GET /api/v1/billing", s.guard("logs", rbac.ActionRead, s.handleBilling))
+	// Admission classes per route: ingest-side writes are bulk (first to
+	// shed under load), interactive reads are normal, and consent changes
+	// are critical — a revocation must land even while bulk ingest is
+	// being refused, or the platform keeps using data it no longer has
+	// consent for. healthz/readyz/metrics are unguarded and never shed.
+	s.mux.HandleFunc("POST /api/v1/clients", s.guard("ingest", rbac.ActionWrite, admission.ClassBulk, s.handleRegisterClient))
+	s.mux.HandleFunc("POST /api/v1/uploads", s.guard("ingest", rbac.ActionWrite, admission.ClassBulk, s.handleUpload))
+	s.mux.HandleFunc("GET /api/v1/uploads/{id}", s.guard("ingest", rbac.ActionWrite, admission.ClassNormal, s.handleUploadStatus))
+	s.mux.HandleFunc("GET /api/v1/kb/{key}", s.guard("services", rbac.ActionRead, admission.ClassNormal, s.handleKB))
+	s.mux.HandleFunc("GET /api/v1/models/{name}", s.guard("models", rbac.ActionRead, admission.ClassNormal, s.handleModel))
+	s.mux.HandleFunc("GET /api/v1/exports/anonymized", s.guard("exports", rbac.ActionRead, admission.ClassNormal, s.handleExportAnonymized))
+	s.mux.HandleFunc("GET /api/v1/audit", s.guard("logs", rbac.ActionRead, admission.ClassNormal, s.handleAudit))
+	s.mux.HandleFunc("POST /api/v1/consents", s.guard("phi", rbac.ActionWrite, admission.ClassCritical, s.handleGrantConsent))
+	s.mux.HandleFunc("DELETE /api/v1/consents", s.guard("phi", rbac.ActionWrite, admission.ClassCritical, s.handleRevokeConsent))
+	s.mux.HandleFunc("GET /api/v1/services/{capability}", s.guard("services", rbac.ActionRead, admission.ClassNormal, s.handleServices))
+	s.mux.HandleFunc("GET /api/v1/facts", s.guard("services", rbac.ActionRead, admission.ClassNormal, s.handleFacts))
+	s.mux.HandleFunc("GET /api/v1/billing", s.guard("logs", rbac.ActionRead, admission.ClassNormal, s.handleBilling))
 	// Observability endpoints (operational, like healthz): Prometheus
 	// text exposition and per-trace span dumps. Both 404 when the
 	// platform runs without telemetry.
@@ -173,7 +180,7 @@ func (s *Server) authenticate(r *http.Request) (string, error) {
 // backend cannot pin the connection forever. With telemetry enabled it
 // also times the request on a per-route histogram and opens a root span
 // handlers can continue (via telemetry.SpanFromContext).
-func (s *Server) guard(resource string, action rbac.Action, next func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+func (s *Server) guard(resource string, action rbac.Action, class admission.Class, next func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
 	// Metric handles are created once per route at wiring time so the
 	// request path pays only nil checks and atomics.
 	var reqs *telemetry.Counter
@@ -210,6 +217,21 @@ func (s *Server) guard(resource string, action rbac.Action, next func(http.Respo
 		if err := s.p.CheckAccess(user, action, resource, scope, r.URL.Query().Get("env")); err != nil {
 			sp.SetAttr("outcome", "forbidden")
 			writeJSON(w, http.StatusForbidden, errorBody{err.Error()})
+			return
+		}
+		// Admission after authn/authz so only authorized traffic spends
+		// quota: 429 when the tenant's token bucket is empty, 503 when the
+		// ingest backlog crossed this class's shed line, both with the
+		// honest Retry-After (time to next token / estimated drain time).
+		// A nil controller (admission off) admits everything.
+		if d := s.p.Admission.Admit(s.tenant(), class); !d.Allowed {
+			status := http.StatusServiceUnavailable
+			if d.Reason == admission.ReasonRateLimit {
+				status = http.StatusTooManyRequests
+			}
+			sp.SetAttr("outcome", d.Reason)
+			w.Header().Set("Retry-After", strconv.Itoa(d.RetryAfterSeconds()))
+			writeJSON(w, status, errorBody{d.Err().Error()})
 			return
 		}
 		next(w, r, user)
@@ -259,9 +281,13 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, _ string) 
 		// An unregistered client is the caller's mistake; anything else
 		// (staging or lake trouble) is transient server-side load, so
 		// answer 503 + Retry-After and let the client resubmit — the
-		// bundle was not accepted, nothing is half-ingested.
+		// bundle was not accepted, nothing is half-ingested. The hint is
+		// the measured drain estimate (queue depth ÷ observed service
+		// rate, clamped to [1s, 30s]), the same one the shedding path
+		// answers with; with nothing observed yet it degrades to the old
+		// static "1".
 		if !errors.Is(err, ingest.ErrUnknownClient) {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.p.DrainEst.RetryAfterSeconds()))
 			writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
 			return
 		}
@@ -428,6 +454,33 @@ func (s *Server) handleGrantConsent(w http.ResponseWriter, r *http.Request, _ st
 	s.p.Consents.Grant(body.Patient, body.Group, purpose, 0)
 	writeJSON(w, http.StatusCreated, map[string]string{
 		"patient": body.Patient, "group": body.Group, "purpose": string(purpose),
+	})
+}
+
+// handleRevokeConsent withdraws a patient's consent from a study group.
+// It is ClassCritical on purpose: a revocation arriving during overload
+// must not queue behind the bulk ingest being shed — GDPR/HIPAA
+// withdrawal is only meaningful if it takes effect promptly.
+func (s *Server) handleRevokeConsent(w http.ResponseWriter, r *http.Request, _ string) {
+	q := r.URL.Query()
+	patient, group := q.Get("patient"), q.Get("group")
+	if patient == "" || group == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{"patient and group query params required"})
+		return
+	}
+	purpose := consent.Purpose(q.Get("purpose"))
+	switch purpose {
+	case "":
+		purpose = consent.PurposeResearch
+	case consent.PurposeResearch, consent.PurposeExport, consent.PurposeTreatment:
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{"unknown purpose"})
+		return
+	}
+	revoked := s.p.Consents.Revoke(patient, group, purpose)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"patient": patient, "group": group, "purpose": string(purpose),
+		"revoked": revoked,
 	})
 }
 

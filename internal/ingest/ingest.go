@@ -75,6 +75,12 @@ type Status struct {
 	// TraceID links the upload to its distributed trace
 	// (GET /traces/{id}); empty when telemetry is disabled.
 	TraceID string `json:"trace_id,omitempty"`
+	// ReceivedAt/DoneAt bracket the upload's end-to-end residence time
+	// (accept to terminal state). In-process consumers (the load harness,
+	// experiment E24) read them; they are not part of the HTTP status
+	// body, which stays byte-identical.
+	ReceivedAt time.Time `json:"-"`
+	DoneAt     time.Time `json:"-"`
 }
 
 // Errors returned by this package.
@@ -136,6 +142,7 @@ type Pipeline struct {
 
 	retries      atomic.Uint64 // transient redeliveries requested via Nack
 	deadLettered atomic.Uint64 // uploads parked on the DLQ
+	completed    atomic.Uint64 // uploads reaching any terminal state
 
 	sub    *bus.Subscription
 	dlqSub *bus.Subscription
@@ -297,7 +304,8 @@ func (p *Pipeline) Upload(clientID, group string, encrypted []byte) (string, err
 	}
 	sp.SetAttr("upload_id", id)
 	p.mu.Lock()
-	p.statuses[id] = &Status{UploadID: id, State: StateReceived, TraceID: sc.TraceID.String()}
+	p.statuses[id] = &Status{UploadID: id, State: StateReceived,
+		TraceID: sc.TraceID.String(), ReceivedAt: time.Now()}
 	p.notifyLocked()
 	p.mu.Unlock()
 	body, err := json.Marshal(uploadMsg{UploadID: id, ClientID: clientID, Group: group})
@@ -366,6 +374,11 @@ func (p *Pipeline) Retries() uint64 { return p.retries.Load() }
 
 // DeadLettered reports how many uploads were parked on the DLQ.
 func (p *Pipeline) DeadLettered() uint64 { return p.deadLettered.Load() }
+
+// Completed reports how many uploads reached a terminal state (stored,
+// failed, or dead-lettered). It is the monotonic completion counter the
+// admission layer's drain estimator differentiates into a service rate.
+func (p *Pipeline) Completed() uint64 { return p.completed.Load() }
 
 // QueueDepth reports uploads accepted but not yet picked up by a worker
 // — the backlog a health prober watches for ingest congestion.
@@ -527,10 +540,12 @@ func (p *Pipeline) fail(uploadID, reason string) {
 	if p.met != nil {
 		p.met.failed.Inc()
 	}
+	p.completed.Add(1)
 	p.mu.Lock()
 	if st, ok := p.statuses[uploadID]; ok {
 		st.State = StateFailed
 		st.Error = reason
+		st.DoneAt = time.Now()
 	}
 	delete(p.progress, uploadID)
 	p.notifyLocked()
@@ -549,7 +564,9 @@ func (p *Pipeline) markDeadLettered(uploadID, reason string) {
 	if st, ok := p.statuses[uploadID]; ok && !st.State.Terminal() {
 		st.State = StateDeadLettered
 		st.Error = reason
+		st.DoneAt = time.Now()
 		p.deadLettered.Add(1)
+		p.completed.Add(1)
 		if p.met != nil {
 			p.met.dead.Inc()
 		}
@@ -766,11 +783,13 @@ func (p *Pipeline) run(msg uploadMsg, pctx telemetry.SpanContext) error {
 	if st, ok := p.statuses[id]; ok {
 		st.State = StateStored
 		st.RefID = prog.refID
+		st.DoneAt = time.Now()
 	}
 	delete(p.progress, id)
 	p.notifyLocked()
 	p.mu.Unlock()
 	p.staging.Remove(id)
+	p.completed.Add(1)
 	if p.met != nil {
 		p.met.stored.Inc()
 	}

@@ -1,0 +1,80 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+)
+
+// Curve is an arrival-rate schedule: offered requests/sec as a function
+// of time since the phase began. Curves are pure functions, so a run is
+// reproducible given the same plan (modulo service-side timing).
+type Curve interface {
+	// Rate returns the offered rate (req/s) at elapsed time t.
+	Rate(t time.Duration) float64
+}
+
+// Constant offers a fixed rate — the classic throughput sweep point.
+type Constant struct {
+	RPS float64
+}
+
+// Rate implements Curve.
+func (c Constant) Rate(time.Duration) float64 { return c.RPS }
+
+// Diurnal models the day/night cycle of a hospital fleet: a raised
+// cosine from Base (trough) to Peak over each Period. The phase starts
+// at the trough, so short runs exercise the ramp.
+type Diurnal struct {
+	Base, Peak float64
+	Period     time.Duration
+}
+
+// Rate implements Curve.
+func (d Diurnal) Rate(t time.Duration) float64 {
+	if d.Period <= 0 {
+		return d.Base
+	}
+	frac := (1 - math.Cos(2*math.Pi*t.Seconds()/d.Period.Seconds())) / 2
+	return d.Base + (d.Peak-d.Base)*frac
+}
+
+// Burst is a square wave: Base rate with Peak spikes of Width every
+// Every — the "monday morning batch submit" shape that finds the shed
+// line without sustaining overload.
+type Burst struct {
+	Base, Peak   float64
+	Every, Width time.Duration
+}
+
+// Rate implements Curve.
+func (b Burst) Rate(t time.Duration) float64 {
+	if b.Every <= 0 {
+		return b.Base
+	}
+	if t%b.Every < b.Width {
+		return b.Peak
+	}
+	return b.Base
+}
+
+// Herd is the thundering-herd-after-outage shape: offered load is zero
+// while the fleet believes the platform is down (Outage), then every
+// queued client retries at once — a Spike decaying exponentially (time
+// constant Decay) back to Base as retry backoff spreads the fleet out.
+type Herd struct {
+	Outage      time.Duration
+	Spike, Base float64
+	Decay       time.Duration
+}
+
+// Rate implements Curve.
+func (h Herd) Rate(t time.Duration) float64 {
+	if t < h.Outage {
+		return 0
+	}
+	if h.Decay <= 0 {
+		return h.Base
+	}
+	since := (t - h.Outage).Seconds()
+	return h.Base + (h.Spike-h.Base)*math.Exp(-since/h.Decay.Seconds())
+}

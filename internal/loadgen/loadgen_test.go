@@ -1,0 +1,219 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"healthcloud/internal/admission"
+)
+
+func TestCurveShapes(t *testing.T) {
+	c := Constant{RPS: 120}
+	if c.Rate(0) != 120 || c.Rate(time.Hour) != 120 {
+		t.Error("constant curve not constant")
+	}
+
+	d := Diurnal{Base: 10, Peak: 110, Period: 20 * time.Second}
+	if got := d.Rate(0); math.Abs(got-10) > 1e-9 {
+		t.Errorf("diurnal trough = %v, want 10", got)
+	}
+	if got := d.Rate(10 * time.Second); math.Abs(got-110) > 1e-9 {
+		t.Errorf("diurnal peak = %v, want 110", got)
+	}
+	if got := d.Rate(20 * time.Second); math.Abs(got-10) > 1e-9 {
+		t.Errorf("diurnal full period = %v, want 10", got)
+	}
+
+	b := Burst{Base: 50, Peak: 500, Every: time.Second, Width: 100 * time.Millisecond}
+	if got := b.Rate(50 * time.Millisecond); got != 500 {
+		t.Errorf("in-burst rate = %v, want 500", got)
+	}
+	if got := b.Rate(500 * time.Millisecond); got != 50 {
+		t.Errorf("between-burst rate = %v, want 50", got)
+	}
+	if got := b.Rate(1050 * time.Millisecond); got != 500 {
+		t.Errorf("second burst rate = %v, want 500", got)
+	}
+
+	h := Herd{Outage: time.Second, Spike: 1000, Base: 100, Decay: 2 * time.Second}
+	if got := h.Rate(500 * time.Millisecond); got != 0 {
+		t.Errorf("rate during outage = %v, want 0", got)
+	}
+	if got := h.Rate(time.Second); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("herd spike = %v, want 1000", got)
+	}
+	later := h.Rate(3 * time.Second)
+	if later >= 1000 || later <= 100 {
+		t.Errorf("herd decay = %v, want between 100 and 1000", later)
+	}
+	if got := h.Rate(time.Hour); math.Abs(got-100) > 1 {
+		t.Errorf("herd settled rate = %v, want ~100", got)
+	}
+}
+
+func TestOutcomeClassification(t *testing.T) {
+	if FromError(nil) != OutcomeOK {
+		t.Error("nil error != OK")
+	}
+	if FromError(fmt.Errorf("wrap: %w", admission.ErrRateLimited)) != OutcomeRateLimited {
+		t.Error("rate-limit sentinel not classified")
+	}
+	if FromError(fmt.Errorf("wrap: %w", admission.ErrShed)) != OutcomeShed {
+		t.Error("shed sentinel not classified")
+	}
+	if FromError(errors.New("boom")) != OutcomeError {
+		t.Error("generic error not classified")
+	}
+	cases := map[int]Outcome{
+		202: OutcomeOK, 200: OutcomeOK,
+		429: OutcomeRateLimited, 503: OutcomeShed,
+		404: OutcomeError, 500: OutcomeError,
+	}
+	for code, want := range cases {
+		if got := FromStatus(code); got != want {
+			t.Errorf("FromStatus(%d) = %v, want %v", code, got, want)
+		}
+	}
+}
+
+// TestOpenLoopOfferedRate pins the scheduler: a constant 500/s curve
+// over ~400ms offers ~200 arrivals regardless of how slowly ops return.
+func TestOpenLoopOfferedRate(t *testing.T) {
+	var calls atomic.Uint64
+	fleet := Fleet{
+		Name: "steady",
+		Phases: []Phase{
+			{Name: "run", Duration: 400 * time.Millisecond, Curve: Constant{RPS: 500}},
+		},
+		Ops: []Op{{Name: "noop", Weight: 1, Do: func() Outcome {
+			calls.Add(1)
+			return OutcomeOK
+		}}},
+		Concurrency: 256,
+	}
+	rep := New(Config{}).Run([]Fleet{fleet})
+	ph := rep.Fleets[0].Phases[0]
+	// Scheduler jitter and the final partial tick allow slack; an
+	// off-by-10x (closed-loop collapse or a double-count) cannot pass.
+	if ph.Offered < 120 || ph.Offered > 280 {
+		t.Fatalf("offered = %d over ~400ms at 500/s, want ~200", ph.Offered)
+	}
+	if ph.Sent != ph.Offered-ph.Overflow {
+		t.Fatalf("sent %d != offered %d - overflow %d", ph.Sent, ph.Offered, ph.Overflow)
+	}
+	if ph.OK != calls.Load() {
+		t.Fatalf("ok %d != ops executed %d", ph.OK, calls.Load())
+	}
+	if ph.OfferedRate < 300 || ph.OfferedRate > 700 {
+		t.Fatalf("offered rate = %.0f, want ~500", ph.OfferedRate)
+	}
+}
+
+// TestOpenLoopDoesNotThrottle pins the defining property: when every
+// request hangs, arrivals keep being offered — the excess lands in
+// client overflow instead of slowing the schedule down.
+func TestOpenLoopDoesNotThrottle(t *testing.T) {
+	release := make(chan struct{})
+	fleet := Fleet{
+		Name: "stuck",
+		Phases: []Phase{
+			{Name: "hang", Duration: 300 * time.Millisecond, Curve: Constant{RPS: 1000}},
+		},
+		Ops: []Op{{Name: "hang", Weight: 1, Do: func() Outcome {
+			<-release
+			return OutcomeShed
+		}}},
+		Concurrency: 4,
+	}
+	done := make(chan *Report, 1)
+	go func() { done <- New(Config{}).Run([]Fleet{fleet}) }()
+	// Release only after the scheduling window has closed, so the engine
+	// is blocked draining the 4 stuck requests and nothing new fires.
+	time.Sleep(350 * time.Millisecond)
+	close(release)
+	rep := <-done
+	ph := rep.Fleets[0].Phases[0]
+	if ph.Offered < 100 {
+		t.Fatalf("offered = %d, a closed loop would have stopped at 4", ph.Offered)
+	}
+	if ph.Sent != 4 {
+		t.Fatalf("sent = %d, want exactly the pool size 4", ph.Sent)
+	}
+	if ph.Overflow != ph.Offered-ph.Sent {
+		t.Fatalf("overflow %d != offered %d - sent %d", ph.Overflow, ph.Offered, ph.Sent)
+	}
+	if ph.Shed != 4 {
+		t.Fatalf("shed = %d, want 4", ph.Shed)
+	}
+}
+
+// TestMixAndPhases drives two phases over a weighted mix and checks
+// per-phase attribution and the op ratio.
+func TestMixAndPhases(t *testing.T) {
+	fleet := Fleet{
+		Name: "mixed",
+		Phases: []Phase{
+			{Name: "a", Duration: 200 * time.Millisecond, Curve: Constant{RPS: 600}},
+			{Name: "b", Duration: 200 * time.Millisecond, Curve: Constant{RPS: 600}},
+		},
+		Ops: []Op{
+			{Name: "heavy", Weight: 3, Do: func() Outcome { return OutcomeOK }},
+			{Name: "light", Weight: 1, Do: func() Outcome { return OutcomeRateLimited }},
+		},
+		Concurrency: 128,
+	}
+	snapCalls := 0
+	rep := New(Config{Snapshot: func() map[string]any {
+		snapCalls++
+		return map[string]any{"depth": 7}
+	}}).Run([]Fleet{fleet})
+	if len(rep.Fleets[0].Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(rep.Fleets[0].Phases))
+	}
+	for _, ph := range rep.Fleets[0].Phases {
+		heavy, light := ph.Ops["heavy"], ph.Ops["light"]
+		if heavy == 0 || light == 0 {
+			t.Fatalf("phase %s: mix missing an op: %v", ph.Phase, ph.Ops)
+		}
+		ratio := float64(heavy) / float64(light)
+		if ratio < 1.5 || ratio > 6 {
+			t.Errorf("phase %s: heavy/light = %.1f, want ~3", ph.Phase, ratio)
+		}
+		if ph.RateLimited != light {
+			t.Errorf("phase %s: rate-limited %d != light ops %d", ph.Phase, ph.RateLimited, light)
+		}
+		if ph.Snapshot["depth"] != 7 {
+			t.Errorf("phase %s: snapshot not attached: %v", ph.Phase, ph.Snapshot)
+		}
+	}
+	if snapCalls != 2 {
+		t.Errorf("snapshot sampled %d times, want once per phase", snapCalls)
+	}
+	tot := rep.Totals("a")
+	if tot.Offered != rep.Fleets[0].Phases[0].Offered {
+		t.Errorf("totals offered = %d, want %d", tot.Offered, rep.Fleets[0].Phases[0].Offered)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if Quantile(nil, 0.95) != 0 {
+		t.Error("empty quantile != 0")
+	}
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if q := Quantile(samples, 0.50); q < 45*time.Millisecond || q > 55*time.Millisecond {
+		t.Errorf("p50 = %v", q)
+	}
+	if q := Quantile(samples, 0.99); q < 95*time.Millisecond {
+		t.Errorf("p99 = %v", q)
+	}
+	if q := Quantile(samples, 1); q != 100*time.Millisecond {
+		t.Errorf("p100 = %v", q)
+	}
+}

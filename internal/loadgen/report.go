@@ -1,0 +1,153 @@
+package loadgen
+
+import (
+	"errors"
+	"net/http"
+	"sort"
+	"time"
+
+	"healthcloud/internal/admission"
+)
+
+// Outcome classifies one request.
+type Outcome int
+
+// Outcomes, in decreasing order of health.
+const (
+	// OutcomeOK is a successful request — what goodput counts.
+	OutcomeOK Outcome = iota
+	// OutcomeRateLimited is a 429: the tenant's token bucket was empty.
+	OutcomeRateLimited
+	// OutcomeShed is a 503: the platform refused the request under load
+	// (admission shed or transient backpressure), with a Retry-After.
+	OutcomeShed
+	// OutcomeError is any other failure.
+	OutcomeError
+)
+
+// FromError classifies an in-process call through the admission
+// sentinels (nil = OK).
+func FromError(err error) Outcome {
+	switch {
+	case err == nil:
+		return OutcomeOK
+	case errors.Is(err, admission.ErrRateLimited):
+		return OutcomeRateLimited
+	case errors.Is(err, admission.ErrShed):
+		return OutcomeShed
+	default:
+		return OutcomeError
+	}
+}
+
+// FromStatus classifies an HTTP response code.
+func FromStatus(code int) Outcome {
+	switch {
+	case code >= 200 && code < 300:
+		return OutcomeOK
+	case code == http.StatusTooManyRequests:
+		return OutcomeRateLimited
+	case code == http.StatusServiceUnavailable:
+		return OutcomeShed
+	default:
+		return OutcomeError
+	}
+}
+
+// PhaseReport is one fleet's measurements over one phase.
+type PhaseReport struct {
+	Phase   string  `json:"phase"`
+	Seconds float64 `json:"seconds"`
+	// Offered counts arrivals the curve scheduled; OfferedRate is per
+	// second of phase wall time. Open-loop: arrivals do not wait for
+	// responses.
+	Offered     uint64  `json:"offered"`
+	OfferedRate float64 `json:"offered_per_sec"`
+	// Sent is the subset actually dispatched; Overflow is arrivals the
+	// fleet's own connection pool was too saturated to send (client-side
+	// loss — distinct from anything the platform refused).
+	Sent     uint64 `json:"sent"`
+	Overflow uint64 `json:"client_overflow"`
+	// OK is goodput; GoodputRate is per second of phase wall time.
+	OK          uint64  `json:"ok"`
+	GoodputRate float64 `json:"goodput_per_sec"`
+	RateLimited uint64  `json:"rate_limited"`
+	Shed        uint64  `json:"shed"`
+	Errors      uint64  `json:"errors"`
+	// Latency quantiles over successful requests, milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// Ops breaks Sent down by operation name.
+	Ops map[string]uint64 `json:"ops,omitempty"`
+	// Snapshot is the platform-side view sampled at phase end (queue
+	// depth, shed state) when the engine was given a snapshot hook.
+	Snapshot map[string]any `json:"snapshot,omitempty"`
+}
+
+// FleetReport is one fleet's phase sequence.
+type FleetReport struct {
+	Fleet  string        `json:"fleet"`
+	Phases []PhaseReport `json:"phases"`
+}
+
+// Report is a full run.
+type Report struct {
+	Fleets []FleetReport `json:"fleets"`
+}
+
+// Totals folds every fleet's numbers for a named phase into one
+// aggregate view (quantiles are the max across fleets — conservative).
+func (r *Report) Totals(phase string) PhaseReport {
+	out := PhaseReport{Phase: phase}
+	for _, f := range r.Fleets {
+		for _, p := range f.Phases {
+			if p.Phase != phase {
+				continue
+			}
+			out.Offered += p.Offered
+			out.Sent += p.Sent
+			out.Overflow += p.Overflow
+			out.OK += p.OK
+			out.RateLimited += p.RateLimited
+			out.Shed += p.Shed
+			out.Errors += p.Errors
+			out.OfferedRate += p.OfferedRate
+			out.GoodputRate += p.GoodputRate
+			if p.Seconds > out.Seconds {
+				out.Seconds = p.Seconds
+			}
+			if p.P50Ms > out.P50Ms {
+				out.P50Ms = p.P50Ms
+			}
+			if p.P95Ms > out.P95Ms {
+				out.P95Ms = p.P95Ms
+			}
+			if p.P99Ms > out.P99Ms {
+				out.P99Ms = p.P99Ms
+			}
+		}
+	}
+	return out
+}
+
+// Quantile returns the q-th latency quantile of samples (destructive
+// order, copies first). Zero with no samples.
+func Quantile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,154 @@
+package metering
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMeterConcurrentRecording drives 16 workers recording usage for 4
+// tenants while bills and quota lookups run against the same meter, then
+// checks exact per-tenant aggregation: every worker's contribution must
+// land on its tenant's bill, once, regardless of interleaving. Run under
+// -race this is the meter's thread-safety proof; run plainly it is the
+// conservation proof.
+func TestMeterConcurrentRecording(t *testing.T) {
+	const workers, perWorker = 16, 500
+	tenants := []string{"tenant-a", "tenant-b", "tenant-c", "tenant-d"}
+	m := NewMeter(DefaultRates())
+	t0 := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := tenants[w%len(tenants)]
+			for i := 0; i < perWorker; i++ {
+				// Alternate services so aggregation is per (tenant, service),
+				// not just per tenant.
+				svc, qty := "ingest", 1.0
+				if i%2 == 1 {
+					svc, qty = "kb-read", 3.0
+				}
+				if err := m.Record(tenant, svc, qty, t0); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers race the writers: bills, tenant listings, and the
+	// admission hot path's quota lookups must all be safe mid-recording.
+	var readers sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tenant := tenants[r%len(tenants)]
+				b := m.BillFor(tenant, t0.Add(-time.Hour), t0.Add(time.Hour))
+				if b.TotalCents < 0 {
+					t.Errorf("negative bill mid-run: %v", b.TotalCents)
+					return
+				}
+				m.QuotaFor(tenant)
+				m.SetQuota(tenant, Quota{PerSec: float64(r + 1)})
+				m.Tenants()
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Each tenant got workers/4 writers x perWorker events, half ingest
+	// (qty 1), half kb-read (qty 3).
+	perTenant := workers / len(tenants) * perWorker
+	for _, tenant := range tenants {
+		b := m.BillFor(tenant, t0.Add(-time.Hour), t0.Add(time.Hour))
+		got := map[string]float64{}
+		for _, line := range b.Lines {
+			got[line.Service] = line.Quantity
+		}
+		if want := float64(perTenant / 2); got["ingest"] != want {
+			t.Errorf("%s: ingest quantity = %v, want %v", tenant, got["ingest"], want)
+		}
+		if want := float64(perTenant/2) * 3; got["kb-read"] != want {
+			t.Errorf("%s: kb-read quantity = %v, want %v", tenant, got["kb-read"], want)
+		}
+		wantCents := float64(perTenant/2)*2.0 + float64(perTenant/2)*3*0.01
+		if diff := b.TotalCents - wantCents; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("%s: total = %v cents, want %v", tenant, b.TotalCents, wantCents)
+		}
+	}
+	if got := len(m.Tenants()); got != len(tenants) {
+		t.Errorf("tenants = %d, want %d", got, len(tenants))
+	}
+}
+
+// TestQuotaConcurrentUpdates races SetQuota (including deletions)
+// against QuotaFor across 16 goroutines and checks the invariants the
+// admission layer relies on: a returned quota is always one that some
+// writer actually set (burst defaulting included), never a torn value.
+func TestQuotaConcurrentUpdates(t *testing.T) {
+	const workers = 16
+	const rounds = 2000
+	m := NewMeter(DefaultRates())
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", w%4)
+			for i := 0; i < rounds; i++ {
+				switch i % 3 {
+				case 0:
+					m.SetQuota(tenant, Quota{PerSec: float64(1 + i%7)})
+				case 1:
+					m.SetQuota(tenant, Quota{}) // delete
+				default:
+					q, ok := m.QuotaFor(tenant)
+					if !ok {
+						continue
+					}
+					if q.PerSec < 1 || q.PerSec > 7 {
+						t.Errorf("torn quota rate: %+v", q)
+						return
+					}
+					if q.Burst != 2*q.PerSec {
+						t.Errorf("burst default not applied: %+v", q)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestQuotaBurstFloor pins the defaulting rule on the write path: a
+// burst below the sustained rate is replaced with 2x the rate, and an
+// explicit burst above it is kept.
+func TestQuotaBurstFloor(t *testing.T) {
+	m := NewMeter(DefaultRates())
+	m.SetQuota("t", Quota{PerSec: 10, Burst: 3})
+	if q, _ := m.QuotaFor("t"); q.Burst != 20 {
+		t.Errorf("sub-rate burst kept: %+v", q)
+	}
+	m.SetQuota("t", Quota{PerSec: 10, Burst: 50})
+	if q, _ := m.QuotaFor("t"); q.Burst != 50 {
+		t.Errorf("explicit burst lost: %+v", q)
+	}
+	m.SetQuota("t", Quota{})
+	if _, ok := m.QuotaFor("t"); ok {
+		t.Error("deletion did not drop the quota")
+	}
+}

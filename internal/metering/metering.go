@@ -41,12 +41,26 @@ var (
 	ErrBadQuantity    = errors.New("metering: quantity must be positive")
 )
 
+// Quota is a tenant's purchased admission rate: sustained requests per
+// second plus the burst the plan tolerates. The admission controller's
+// token buckets refill from these, so rate limits track what the tenant
+// pays for rather than a platform-wide constant.
+type Quota struct {
+	PerSec float64 `json:"per_sec"`
+	Burst  float64 `json:"burst"`
+}
+
 // Meter accumulates usage. Construct with NewMeter.
 type Meter struct {
 	rates RateCard
 
 	mu     sync.Mutex
 	events []Usage
+
+	// Quotas live under their own lock: the admission layer reads them on
+	// the request hot path and must never contend with bill aggregation.
+	quotaMu sync.RWMutex
+	quotas  map[string]Quota
 }
 
 // NewMeter creates a meter over a rate card.
@@ -55,7 +69,32 @@ func NewMeter(rates RateCard) *Meter {
 	for k, v := range rates {
 		rc[k] = v
 	}
-	return &Meter{rates: rc}
+	return &Meter{rates: rc, quotas: make(map[string]Quota)}
+}
+
+// SetQuota records (or updates) a tenant's admission quota. A
+// non-positive PerSec deletes the quota, dropping the tenant back to the
+// platform default.
+func (m *Meter) SetQuota(tenant string, q Quota) {
+	m.quotaMu.Lock()
+	defer m.quotaMu.Unlock()
+	if q.PerSec <= 0 {
+		delete(m.quotas, tenant)
+		return
+	}
+	if q.Burst < q.PerSec {
+		q.Burst = 2 * q.PerSec
+	}
+	m.quotas[tenant] = q
+}
+
+// QuotaFor resolves a tenant's admission quota; ok is false when the
+// tenant has no metered quota and the caller should use its default.
+func (m *Meter) QuotaFor(tenant string) (Quota, bool) {
+	m.quotaMu.RLock()
+	defer m.quotaMu.RUnlock()
+	q, ok := m.quotas[tenant]
+	return q, ok
 }
 
 // Record adds a usage event. Unknown services are rejected so typos

@@ -63,6 +63,14 @@ type Config struct {
 	// Epoch stamps auditor entries; bump it when a channel layout
 	// migration re-anchors chains (0 for the initial layout).
 	Epoch uint64
+	// UnbalancedRing keeps the legacy equal-vnode channel ring instead
+	// of the skew-corrected one (shardlake.NewBalancedRing). The two
+	// rings place keys differently, so a DataDir written under one is a
+	// routing-format mismatch under the other — set this on fabrics
+	// whose directories predate the balanced ring. Fresh deployments
+	// should leave it false: the balanced ring evens the per-channel
+	// keyspace shares that E21 measured as block-cut skew.
+	UnbalancedRing bool
 	// Batch puts a group-commit Batcher in front of every channel.
 	Batch bool
 	// BatchMaxDelay overrides the batcher window (0 = batcher default,
@@ -159,7 +167,11 @@ func New(cfg Config) (*Ledger, error) {
 	for i := range m.names {
 		m.names[i] = ChannelName(i)
 	}
-	m.ring = shardlake.NewRing(m.names, ringVnodes, cfg.Seed)
+	if cfg.Channels > 1 && !cfg.UnbalancedRing {
+		m.ring = shardlake.NewBalancedRing(m.names, ringVnodes, cfg.Seed)
+	} else {
+		m.ring = shardlake.NewRing(m.names, ringVnodes, cfg.Seed)
+	}
 	for _, name := range m.names {
 		ch, err := m.openChannel(name)
 		if err != nil {

@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
-	"strconv"
 )
 
 // ringPoint is one virtual node on the hash circle.
@@ -38,33 +37,35 @@ type Ring struct {
 	shards []string
 	vnodes int
 	seed   int64
+	// hashFn positions points and keys; nil means the legacy FNV-1a
+	// (ringHash). NewBalancedRing installs the full-avalanche hash —
+	// point positions and key lookups must always use the same family.
+	hashFn func(seed int64, s string) uint64
+}
+
+// keyHash hashes a key with the ring's hash family.
+func (r *Ring) keyHash(s string) uint64 {
+	if r.hashFn != nil {
+		return r.hashFn(r.seed, s)
+	}
+	return ringHash(r.seed, s)
 }
 
 // NewRing builds a ring over the given shard names (order-insensitive:
 // names are sorted first so the same set always yields the same ring).
+// Every shard gets the same vnode count; NewBalancedRing reweights
+// counts to shave hash skew (at the cost of a different placement).
 func NewRing(shards []string, vnodes int, seed int64) *Ring {
 	if vnodes <= 0 {
 		vnodes = 64
 	}
 	names := append([]string(nil), shards...)
 	sort.Strings(names)
-	r := &Ring{shards: names, vnodes: vnodes, seed: seed}
-	r.points = make([]ringPoint, 0, len(names)*vnodes)
+	counts := make(map[string]int, len(names))
 	for _, name := range names {
-		for v := 0; v < vnodes; v++ {
-			r.points = append(r.points, ringPoint{
-				hash:  ringHash(seed, name+"#"+strconv.Itoa(v)),
-				shard: name,
-			})
-		}
+		counts[name] = vnodes
 	}
-	sort.Slice(r.points, func(i, j int) bool {
-		if r.points[i].hash != r.points[j].hash {
-			return r.points[i].hash < r.points[j].hash
-		}
-		return r.points[i].shard < r.points[j].shard
-	})
-	return r
+	return newRingCounts(names, counts, vnodes, seed, nil)
 }
 
 // ringHash is 64-bit FNV-1a with the seed folded in front, so two
@@ -97,7 +98,7 @@ func (r *Ring) Placement(key string, n int) []string {
 	if n < 1 {
 		n = 1
 	}
-	h := ringHash(r.seed, key)
+	h := r.keyHash(key)
 	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	out := make([]string, 0, n)
 	seen := make(map[string]bool, n)
